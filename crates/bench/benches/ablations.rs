@@ -1,0 +1,150 @@
+//! Ablation benchmarks for the design choices DESIGN.md calls out:
+//!
+//! 1. freshness-based memoization vs recompute-always (WFLOW);
+//! 2. cost-model-gated pruning vs no pruning (PRUNE);
+//! 3. cached sample vs fresh sample per print;
+//! 4. cheapest-first async scheduling vs sequential execution (ASYNC).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lux_core::prelude::*;
+use lux_engine::{CachedSample, CostModel, FrameMeta};
+use lux_recs::{execute_action, metadata_actions::Correlation, ActionContext, ActionRegistry};
+use lux_workloads::{communities, synthetic_wide};
+
+/// WFLOW ablation: repeated prints with and without memoization.
+fn ablation_wflow(c: &mut Criterion) {
+    let df = synthetic_wide(20, 5_000, 1);
+    let mut g = c.benchmark_group("ablation_wflow");
+    g.sample_size(10);
+    g.bench_function("memoized_reprint", |b| {
+        let ldf = LuxDataFrame::with_config(df.clone(), Arc::new(LuxConfig::all_opt()));
+        let _ = ldf.recommendations();
+        b.iter(|| ldf.recommendations().len())
+    });
+    g.bench_function("recompute_reprint", |b| {
+        let mut cfg = LuxConfig::all_opt();
+        cfg.wflow = false;
+        let cfg = Arc::new(cfg);
+        let ldf = LuxDataFrame::with_config(df.clone(), Arc::clone(&cfg));
+        b.iter(|| ldf.recommendations().len())
+    });
+    g.finish();
+}
+
+/// PRUNE ablation: the Correlation action on a wide frame, exact vs sampled
+/// two-pass.
+fn ablation_prune(c: &mut Criterion) {
+    let df = communities(10_000, 2);
+    let meta = FrameMeta::compute(&df, &HashMap::new());
+    let model = CostModel::default();
+    let mut g = c.benchmark_group("ablation_prune");
+    g.sample_size(10);
+    for (name, prune, sample_rows) in [("exact", false, 0usize), ("pruned_1k_sample", true, 1_000)]
+    {
+        g.bench_with_input(BenchmarkId::new("correlation", name), &prune, |b, &prune| {
+            let config = LuxConfig { prune, ..LuxConfig::default() };
+            let ctx = ActionContext {
+                df: &df,
+                meta: &meta,
+                intent: &[],
+                intent_specs: &[],
+                config: &config,
+            };
+            let sample = (sample_rows > 0).then(|| df.sample(sample_rows, 9));
+            b.iter(|| execute_action(&Correlation, &ctx, sample.as_ref(), &model).unwrap().vislist.len())
+        });
+    }
+    g.finish();
+}
+
+/// Sample-cache ablation: cached sample handle vs re-sampling per use.
+fn ablation_sample_cache(c: &mut Criterion) {
+    let df = communities(50_000, 3);
+    let mut g = c.benchmark_group("ablation_sample_cache");
+    g.bench_function("cached", |b| {
+        let cache = CachedSample::new(5_000, 7);
+        let _ = cache.get(&df);
+        b.iter(|| cache.get(&df).num_rows())
+    });
+    g.bench_function("fresh_each_time", |b| b.iter(|| df.sample(5_000, 7).num_rows()));
+    g.finish();
+}
+
+/// ASYNC ablation: full default action set, threaded vs sequential.
+fn ablation_async(c: &mut Criterion) {
+    let df = synthetic_wide(30, 5_000, 4);
+    let meta = FrameMeta::compute(&df, &HashMap::new());
+    let registry = ActionRegistry::with_defaults();
+    let mut g = c.benchmark_group("ablation_async");
+    g.sample_size(10);
+    for (name, is_async) in [("sequential", false), ("async_cheapest_first", true)] {
+        g.bench_function(name, |b| {
+            let config = LuxConfig { r#async: is_async, prune: false, ..LuxConfig::default() };
+            let ctx = ActionContext {
+                df: &df,
+                meta: &meta,
+                intent: &[],
+                intent_specs: &[],
+                config: &config,
+            };
+            b.iter(|| lux_recs::run_actions(&registry, &ctx, None, None).len())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    ablation_wflow,
+    ablation_prune,
+    ablation_sample_cache,
+    ablation_async,
+    ablation_backend
+);
+criterion_main!(benches);
+
+/// Backend ablation: native kernels vs SQL translation for the Table-2
+/// processing shapes.
+fn ablation_backend(c: &mut Criterion) {
+    use lux_vis::{process, Backend, Channel, Encoding, Mark, ProcessOptions, VisSpec};
+    let df = lux_workloads::airbnb(20_000, 5);
+    let q = SemanticType::Quantitative;
+    let n = SemanticType::Nominal;
+    let cases = vec![
+        (
+            "bar_mean",
+            VisSpec::new(
+                Mark::Bar,
+                vec![
+                    Encoding::new("neighbourhood_group", n, Channel::X),
+                    Encoding::new("price", q, Channel::Y).with_aggregation(Agg::Mean),
+                ],
+                vec![],
+            ),
+        ),
+        (
+            "histogram",
+            VisSpec::new(
+                Mark::Histogram,
+                vec![
+                    Encoding::new("price", q, Channel::X).with_bin(10),
+                    Encoding::synthetic_count(Channel::Y),
+                ],
+                vec![],
+            ),
+        ),
+    ];
+    let mut g = c.benchmark_group("ablation_backend");
+    for (name, spec) in &cases {
+        for (backend_name, backend) in [("native", Backend::Native), ("sql", Backend::Sql)] {
+            let opts = ProcessOptions { backend, ..ProcessOptions::default() };
+            g.bench_function(format!("{name}/{backend_name}"), |b| {
+                b.iter(|| process(spec, &df, &opts).unwrap().num_rows())
+            });
+        }
+    }
+    g.finish();
+}

@@ -1,0 +1,111 @@
+//! Criterion microbenchmarks for the core kernels: metadata computation,
+//! intent compilation, visualization processing per Table 2 class, scoring,
+//! and a full print under the default (all-opt) configuration.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lux_core::prelude::*;
+use lux_engine::FrameMeta;
+use lux_intent::{compile, CompileOptions};
+use lux_vis::{process, ProcessOptions};
+use lux_workloads::{airbnb, synthetic_wide};
+
+fn bench_metadata(c: &mut Criterion) {
+    let mut g = c.benchmark_group("metadata");
+    for rows in [1_000usize, 10_000] {
+        let df = airbnb(rows, 1);
+        g.bench_with_input(BenchmarkId::new("compute", rows), &df, |b, df| {
+            b.iter(|| FrameMeta::compute(df, &HashMap::new()))
+        });
+    }
+    g.finish();
+}
+
+fn bench_compile(c: &mut Criterion) {
+    let df = synthetic_wide(40, 100, 2);
+    let meta = FrameMeta::compute(&df, &HashMap::new());
+    let opts = CompileOptions::default();
+    let mut g = c.benchmark_group("intent_compile");
+    g.bench_function("single_axis", |b| {
+        let intent = vec![Clause::axis("int_0")];
+        b.iter(|| compile(&intent, &meta, &opts).unwrap())
+    });
+    g.bench_function("wildcard_pair", |b| {
+        let intent = vec![
+            Clause::wildcard_typed(SemanticType::Quantitative),
+            Clause::wildcard_typed(SemanticType::Quantitative),
+        ];
+        b.iter(|| compile(&intent, &meta, &opts).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_processing(c: &mut Criterion) {
+    let df = airbnb(50_000, 3);
+    let meta = FrameMeta::compute(&df, &HashMap::new());
+    let popts = ProcessOptions::default();
+    let copts = CompileOptions::default();
+    let mut g = c.benchmark_group("vis_processing");
+    let cases = [
+        ("scatter", vec!["price", "number_of_reviews"]),
+        ("bar_groupagg", vec!["price", "room_type"]),
+        ("histogram", vec!["price"]),
+    ];
+    for (name, cols) in cases {
+        let intent: Vec<Clause> = cols.iter().map(|c| Clause::axis(c.to_string())).collect();
+        let specs = compile(&intent, &meta, &copts).unwrap();
+        let spec = specs.into_iter().next().unwrap();
+        g.bench_function(name, |b| b.iter(|| process(&spec, &df, &popts).unwrap()));
+    }
+    g.finish();
+}
+
+fn bench_scoring(c: &mut Criterion) {
+    let df = airbnb(50_000, 4);
+    let x = df.data_column("price");
+    let y = df.data_column("number_of_reviews");
+    c.bench_function("pearson_50k", |b| b.iter(|| lux_recs::score::pearson(&x, &y)));
+}
+
+// helper to pull an owned column out of a frame for the scoring bench
+trait DataColumn {
+    fn data_column(&self, name: &str) -> Column;
+}
+
+impl DataColumn for DataFrame {
+    fn data_column(&self, name: &str) -> Column {
+        self.column(name).unwrap().clone()
+    }
+}
+
+fn bench_full_print(c: &mut Criterion) {
+    let mut g = c.benchmark_group("full_print");
+    g.sample_size(10);
+    for rows in [5_000usize, 20_000] {
+        let df = airbnb(rows, 5);
+        g.bench_with_input(BenchmarkId::new("all_opt_cold", rows), &df, |b, df| {
+            b.iter(|| {
+                let ldf = LuxDataFrame::with_config(df.clone(), Arc::new(LuxConfig::all_opt()));
+                ldf.recommendations().len()
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("all_opt_memoized", rows), &df, |b, df| {
+            let ldf = LuxDataFrame::with_config(df.clone(), Arc::new(LuxConfig::all_opt()));
+            let _ = ldf.recommendations();
+            b.iter(|| ldf.recommendations().len())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_metadata,
+    bench_compile,
+    bench_processing,
+    bench_scoring,
+    bench_full_print
+);
+criterion_main!(benches);

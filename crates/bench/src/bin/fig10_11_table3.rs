@@ -1,0 +1,148 @@
+//! Regenerates **Figure 10**, **Figure 11**, and **Table 3** (RQ1):
+//! notebook replay under the five conditions, reporting average cell
+//! runtime, average dataframe-print time, and the per-cell-type overhead
+//! of `all-opt` over `pandas`.
+//!
+//! Usage:
+//!   fig10_11_table3 [--fig10] [--fig11] [--table3]     (default: all)
+//!   LUX_BENCH_FULL=1 for the paper's full row scales.
+
+use lux_bench::{airbnb_scales, communities_scales, fmt_secs, print_table};
+use lux_workloads::{airbnb_notebook, communities_notebook, CellKind, Condition, Notebook};
+
+struct SweepResult {
+    rows: usize,
+    /// Per condition: (mean cell, mean df print, mean series print,
+    /// total non-lux).
+    by_condition: Vec<(Condition, f64, f64, f64, f64)>,
+}
+
+fn sweep(make: impl Fn(usize) -> Notebook, scales: &[usize]) -> Vec<SweepResult> {
+    let mut out = Vec::new();
+    for &rows in scales {
+        let nb = make(rows);
+        // Paper: cap fixed at 30k against 100k-10M rows. At reduced scale,
+        // shrink the cap proportionally so PRUNE still engages.
+        let cap = if lux_bench::full_scale() { 30_000 } else { (rows / 10).max(200) };
+        let mut by_condition = Vec::new();
+        for cond in Condition::ALL {
+            let report = nb.run_with_sample_cap(cond, Some(cap));
+            by_condition.push((
+                cond,
+                report.mean_cell_seconds(),
+                report.mean_seconds_of(CellKind::PrintDataFrame),
+                report.mean_seconds_of(CellKind::PrintSeries),
+                report.total_seconds_of(CellKind::NonLux),
+            ));
+        }
+        eprintln!("  swept {rows} rows");
+        out.push(SweepResult { rows, by_condition });
+    }
+    out
+}
+
+fn figure10(name: &str, results: &[SweepResult]) {
+    println!("\n## Figure 10 ({name}): average notebook cell runtime");
+    let header: Vec<&str> =
+        std::iter::once("rows").chain(Condition::ALL.iter().map(|c| c.name())).collect();
+    let rows: Vec<Vec<String>> = results
+        .iter()
+        .map(|r| {
+            let mut row = vec![r.rows.to_string()];
+            row.extend(r.by_condition.iter().map(|(_, mean, _, _, _)| fmt_secs(*mean)));
+            row
+        })
+        .collect();
+    print_table(&header, &rows);
+    if let Some(last) = results.last() {
+        let noopt = last.by_condition.iter().find(|c| c.0 == Condition::NoOpt).unwrap().1;
+        let allopt = last.by_condition.iter().find(|c| c.0 == Condition::AllOpt).unwrap().1;
+        if allopt > 0.0 {
+            println!(
+                "speedup of all-opt over no-opt at {} rows: {:.1}x (paper: 11x Airbnb / 345x Communities)",
+                last.rows,
+                noopt / allopt
+            );
+        }
+    }
+}
+
+fn figure11(name: &str, results: &[SweepResult]) {
+    println!("\n## Figure 11 ({name}): average time for printing a single dataframe");
+    let header: Vec<&str> =
+        std::iter::once("rows").chain(Condition::ALL.iter().map(|c| c.name())).collect();
+    let rows: Vec<Vec<String>> = results
+        .iter()
+        .map(|r| {
+            let mut row = vec![r.rows.to_string()];
+            row.extend(r.by_condition.iter().map(|(_, _, dfp, _, _)| fmt_secs(*dfp)));
+            row
+        })
+        .collect();
+    print_table(&header, &rows);
+    if let Some(last) = results.last() {
+        let pandas = last.by_condition.iter().find(|c| c.0 == Condition::Pandas).unwrap().2;
+        let allopt = last.by_condition.iter().find(|c| c.0 == Condition::AllOpt).unwrap().2;
+        println!(
+            "per-print overhead of all-opt vs pandas at {} rows: {} (paper: <=2s under 1M rows)",
+            last.rows,
+            fmt_secs((allopt - pandas).max(0.0))
+        );
+    }
+}
+
+fn table3(name: &str, results: &[SweepResult], n_df: usize, n_series: usize, n_nonlux: usize) {
+    let Some(last) = results.last() else { return };
+    println!(
+        "\n## Table 3 ({name}, {} rows): per-cell-type overhead of all-opt vs pandas",
+        last.rows
+    );
+    let pandas = last.by_condition.iter().find(|c| c.0 == Condition::Pandas).unwrap();
+    let allopt = last.by_condition.iter().find(|c| c.0 == Condition::AllOpt).unwrap();
+    let rows = vec![
+        vec![
+            "Print df".to_string(),
+            n_df.to_string(),
+            fmt_secs(((allopt.2 - pandas.2) * n_df as f64).max(0.0)),
+        ],
+        vec![
+            "Print Series".to_string(),
+            n_series.to_string(),
+            fmt_secs(((allopt.3 - pandas.3) * n_series as f64).max(0.0)),
+        ],
+        vec![
+            "Non-Lux".to_string(),
+            n_nonlux.to_string(),
+            fmt_secs((allopt.4 - pandas.4).max(0.0)),
+        ],
+    ];
+    print_table(&["cell type", "N", "overhead"], &rows);
+    println!("(paper reports ~0 overhead for non-Lux cells under wflow's lazy evaluation)");
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let all = args.is_empty();
+    let want = |flag: &str| all || args.iter().any(|a| a == flag);
+
+    println!("# RQ1: overall workflow performance");
+    println!("conditions: {:?}", Condition::ALL.map(|c| c.name()));
+
+    eprintln!("sweeping Airbnb notebook...");
+    let airbnb = sweep(|rows| airbnb_notebook(rows, 42), &airbnb_scales());
+    eprintln!("sweeping Communities notebook...");
+    let communities = sweep(|rows| communities_notebook(rows, 42), &communities_scales());
+
+    if want("--fig10") {
+        figure10("Airbnb", &airbnb);
+        figure10("Communities", &communities);
+    }
+    if want("--fig11") {
+        figure11("Airbnb", &airbnb);
+        figure11("Communities", &communities);
+    }
+    if want("--table3") {
+        table3("Airbnb", &airbnb, 14, 7, 17);
+        table3("Communities", &communities, 14, 4, 25);
+    }
+}

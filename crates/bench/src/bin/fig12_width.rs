@@ -1,0 +1,105 @@
+//! Regenerates **Figure 12 (left)** (RQ2): time for a single dataframe
+//! print as the number of columns grows, comparing `no-opt` against
+//! `all-opt` (PRUNE + ASYNC), with power-law exponents fitted as in the
+//! paper (no-opt power≈2.53, all-opt power≈1.07).
+//!
+//! Methodology notes, mirroring the paper:
+//! - metadata is precomputed before timing ("after the metadata has already
+//!   been precomputed");
+//! - the `no-opt` curve computes every action's scores exactly and blocks
+//!   until all actions finish (footnote 5: no-opt == wflow for a single
+//!   print);
+//! - the `all-opt` curve applies PRUNE (sampled scoring, exact top-k
+//!   recompute) and ASYNC (cost-ordered background workers); the measured
+//!   time is when interactive control returns to the user with early
+//!   results — i.e. the first completed action — which is exactly the
+//!   benefit §8.2 claims for laggard-dominated wide dataframes. Total
+//!   completion time is reported alongside.
+//! - at reduced scale the sample cap is scaled proportionally (the paper's
+//!   30k cap assumes 100k+ rows; a cap above the row count disables PRUNE).
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use lux_bench::{fit_power, fmt_secs, full_scale, print_table, width_rows, width_scales};
+use lux_core::prelude::*;
+use lux_workloads::synthetic_wide;
+
+fn sample_cap_for(rows: usize) -> usize {
+    if full_scale() {
+        30_000
+    } else {
+        (rows / 10).max(100)
+    }
+}
+
+/// Blocking exact print (the no-opt curve).
+fn time_print_exact(df: &lux_dataframe::DataFrame) -> f64 {
+    let mut cfg = LuxConfig::wflow_only();
+    cfg.r#async = false;
+    cfg.prune = false;
+    let ldf = LuxDataFrame::with_config(df.clone(), Arc::new(cfg));
+    let _ = ldf.metadata();
+    let start = Instant::now();
+    let _ = ldf.recommendations();
+    start.elapsed().as_secs_f64()
+}
+
+/// Streaming all-opt print: returns (time-to-first-result, time-to-all).
+fn time_print_allopt(df: &lux_dataframe::DataFrame) -> (f64, f64) {
+    let mut cfg = LuxConfig::all_opt();
+    cfg.sample_cap = sample_cap_for(df.num_rows());
+    let ldf = LuxDataFrame::with_config(df.clone(), Arc::new(cfg));
+    let _ = ldf.metadata();
+    let start = Instant::now();
+    let run = ldf.recommendations_streaming();
+    let _first = run.next_result();
+    let first_at = start.elapsed().as_secs_f64();
+    let _rest = run.collect_all();
+    let all_at = start.elapsed().as_secs_f64();
+    (first_at, all_at)
+}
+
+fn main() {
+    let rows = width_rows();
+    let widths = width_scales();
+    println!("# RQ2: effect of dataframe width ({rows} rows, paper uses 100k; sample cap {})", sample_cap_for(rows));
+
+    let mut table_rows = Vec::new();
+    let mut xs = Vec::new();
+    let mut noopt_ys = Vec::new();
+    let mut allopt_ys = Vec::new();
+    for &w in &widths {
+        eprintln!("  width {w}...");
+        let df = synthetic_wide(w, rows, 7);
+        let noopt = time_print_exact(&df);
+        let (first, total) = time_print_allopt(&df);
+        xs.push(w as f64);
+        noopt_ys.push(noopt.max(1e-9));
+        allopt_ys.push(first.max(1e-9));
+        table_rows.push(vec![
+            w.to_string(),
+            fmt_secs(noopt),
+            fmt_secs(first),
+            fmt_secs(total),
+            format!("{:.1}x", noopt / first.max(1e-9)),
+        ]);
+    }
+
+    println!("\n## Figure 12 (left): single print time vs number of columns");
+    print_table(
+        &["columns", "no-opt", "all-opt (interactive)", "all-opt (complete)", "speedup"],
+        &table_rows,
+    );
+
+    let (_, b_noopt) = fit_power(&xs, &noopt_ys);
+    let (_, b_allopt) = fit_power(&xs, &allopt_ys);
+    println!("\npower-law fit (runtime ~ columns^power):");
+    println!("  no-opt  power = {b_noopt:.2}   (paper: 2.53, superlinear from the quadratic Correlation space)");
+    println!("  all-opt power = {b_allopt:.2}   (paper: 1.07, near-linear after prune+async)");
+    if b_noopt > b_allopt + 0.2 {
+        println!("  shape holds: all-opt scales with a clearly smaller exponent than no-opt");
+    } else {
+        println!("  WARNING: expected no-opt to scale with a larger exponent");
+    }
+}

@@ -1,0 +1,136 @@
+//! Regenerates **Table 2**: the mapping from visualization type to its
+//! primary relational operation, with the measured processing time of each
+//! operation on a reference frame — validating that the cost model's
+//! relative coefficients reflect reality (selections cheapest, 2D
+//! bin+count+group-by most expensive).
+
+use std::time::Instant;
+
+use lux_bench::{env_scales, fmt_secs, full_scale, print_table};
+use lux_dataframe::prelude::*;
+use lux_engine::{CostModel, SemanticType};
+use lux_vis::{process, Channel, Encoding, Mark, ProcessOptions, VisSpec};
+use lux_workloads::airbnb;
+
+fn spec_for(vis_type: &str) -> VisSpec {
+    let q = SemanticType::Quantitative;
+    let n = SemanticType::Nominal;
+    match vis_type {
+        "Scatterplot" => VisSpec::new(
+            Mark::Scatter,
+            vec![
+                Encoding::new("price", q, Channel::X),
+                Encoding::new("number_of_reviews", q, Channel::Y),
+            ],
+            vec![],
+        ),
+        "Color Scatterplot" => VisSpec::new(
+            Mark::Scatter,
+            vec![
+                Encoding::new("price", q, Channel::X),
+                Encoding::new("number_of_reviews", q, Channel::Y),
+                Encoding::new("room_type", n, Channel::Color),
+            ],
+            vec![],
+        ),
+        "Line/Bar" => VisSpec::new(
+            Mark::Bar,
+            vec![
+                Encoding::new("neighbourhood_group", n, Channel::X),
+                Encoding::new("price", q, Channel::Y).with_aggregation(Agg::Mean),
+            ],
+            vec![],
+        ),
+        "Colored Line/Bar" => VisSpec::new(
+            Mark::Bar,
+            vec![
+                Encoding::new("neighbourhood_group", n, Channel::X),
+                Encoding::new("price", q, Channel::Y).with_aggregation(Agg::Mean),
+                Encoding::new("room_type", n, Channel::Color),
+            ],
+            vec![],
+        ),
+        "Histogram" => VisSpec::new(
+            Mark::Histogram,
+            vec![
+                Encoding::new("price", q, Channel::X).with_bin(10),
+                Encoding::synthetic_count(Channel::Y),
+            ],
+            vec![],
+        ),
+        "Heatmap" => VisSpec::new(
+            Mark::Heatmap,
+            vec![
+                Encoding::new("price", q, Channel::X).with_bin(20),
+                Encoding::new("number_of_reviews", q, Channel::Y).with_bin(20),
+            ],
+            vec![],
+        ),
+        "Color Heatmap" => VisSpec::new(
+            Mark::Heatmap,
+            vec![
+                Encoding::new("price", q, Channel::X).with_bin(20),
+                Encoding::new("number_of_reviews", q, Channel::Y).with_bin(20),
+                Encoding::new("availability_365", q, Channel::Color),
+            ],
+            vec![],
+        ),
+        other => panic!("unknown vis type {other}"),
+    }
+}
+
+fn main() {
+    let rows = if full_scale() {
+        env_scales("LUX_TABLE2_ROWS", &[1_000_000])[0]
+    } else {
+        env_scales("LUX_TABLE2_ROWS", &[100_000])[0]
+    };
+    println!("# Table 2: relational operations per visualization type ({rows} rows)");
+    let df = airbnb(rows, 3);
+    let opts = ProcessOptions::default();
+    let model = CostModel::default();
+
+    let vis_types = [
+        "Scatterplot",
+        "Color Scatterplot",
+        "Line/Bar",
+        "Colored Line/Bar",
+        "Histogram",
+        "Heatmap",
+        "Color Heatmap",
+    ];
+
+    let mut out = Vec::new();
+    let mut measured: Vec<(String, f64)> = Vec::new();
+    for vt in vis_types {
+        let spec = spec_for(vt);
+        let class = spec.op_class();
+        // warm + measure best-of-3
+        let mut best = f64::MAX;
+        for _ in 0..3 {
+            let start = Instant::now();
+            let data = process(&spec, &df, &opts).expect("processing succeeds");
+            let dt = start.elapsed().as_secs_f64();
+            best = best.min(dt);
+            std::hint::black_box(data.num_rows());
+        }
+        let est = model.vis_cost(class, rows, 16);
+        measured.push((vt.to_string(), best));
+        out.push(vec![
+            vt.to_string(),
+            class.name().to_string(),
+            fmt_secs(best),
+            format!("{est:.0}"),
+        ]);
+    }
+    print_table(&["Vis Type", "Relational Operation", "measured", "model est."], &out);
+
+    // Shape check: group-by family should cost more than plain selection.
+    let get = |name: &str| measured.iter().find(|m| m.0 == name).unwrap().1;
+    let ok = get("Scatterplot") <= get("Colored Line/Bar")
+        && get("Histogram") <= get("Color Heatmap");
+    println!(
+        "\nordering check (selection <= 2D group-by, bin <= colored 2D bin): {}",
+        if ok { "holds" } else { "VIOLATED" }
+    );
+}

@@ -1,0 +1,77 @@
+//! Reproduces the paper's **headline claim** (abstract / §9.1): "Lux adds
+//! no more than two seconds of overhead on top of pandas for over 98% of
+//! datasets in the UCI repository."
+//!
+//! We draw a population of dataset shapes modeled on the UCI catalog
+//! (log-uniform rows and columns, numeric-majority type mix), measure the
+//! all-opt print overhead over the plain table rendering for each, and
+//! report the overhead distribution against the threshold. At reduced
+//! scale the population and the threshold shrink together; with
+//! LUX_BENCH_FULL=1 the population spans the paper's upper limits and the
+//! threshold is the paper's 2 s.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use lux_bench::{env_scales, fmt_secs, full_scale, print_table};
+use lux_core::prelude::*;
+use lux_workloads::{materialize, shape_population};
+
+fn main() {
+    let (n, row_max, col_max, threshold) = if full_scale() {
+        (100usize, 1_000_000usize, 128usize, 2.0f64)
+    } else {
+        (60, 50_000, 64, 0.5)
+    };
+    let n = env_scales("LUX_UCI_DATASETS", &[n])[0];
+    println!("# Headline claim: print overhead across a UCI-shaped population");
+    println!("({n} datasets, rows up to {row_max}, columns up to {col_max}, threshold {threshold}s)\n");
+
+    let shapes = shape_population(n, 50, row_max, col_max, 2026);
+    let mut overheads: Vec<(usize, usize, f64)> = Vec::new();
+    for (i, shape) in shapes.iter().enumerate() {
+        let df = materialize(*shape, 1000 + i as u64);
+        // pandas-equivalent cost: render the table only
+        let start = Instant::now();
+        std::hint::black_box(df.to_table_string(10).len());
+        let pandas = start.elapsed().as_secs_f64();
+        // all-opt print (cold: metadata + recommendations)
+        let mut cfg = LuxConfig::all_opt();
+        cfg.sample_cap = (shape.rows / 10).max(500).min(30_000);
+        let ldf = LuxDataFrame::with_config(df, Arc::new(cfg));
+        let start = Instant::now();
+        std::hint::black_box(ldf.print().results().len());
+        let lux = start.elapsed().as_secs_f64();
+        overheads.push((shape.rows, shape.columns, (lux - pandas).max(0.0)));
+        if (i + 1) % 10 == 0 {
+            eprintln!("  measured {}/{n}", i + 1);
+        }
+    }
+
+    let mut sorted: Vec<f64> = overheads.iter().map(|o| o.2).collect();
+    sorted.sort_by(f64::total_cmp);
+    let pct = |p: f64| sorted[((sorted.len() - 1) as f64 * p) as usize];
+    let under = sorted.iter().filter(|o| **o <= threshold).count();
+    let frac = 100.0 * under as f64 / sorted.len() as f64;
+
+    let worst: Vec<Vec<String>> = {
+        let mut by_overhead = overheads.clone();
+        by_overhead.sort_by(|a, b| b.2.partial_cmp(&a.2).unwrap());
+        by_overhead
+            .iter()
+            .take(5)
+            .map(|(r, c, o)| vec![r.to_string(), c.to_string(), fmt_secs(*o)])
+            .collect()
+    };
+
+    println!("overhead percentiles: p50 {}  p90 {}  p98 {}  max {}",
+        fmt_secs(pct(0.5)), fmt_secs(pct(0.9)), fmt_secs(pct(0.98)), fmt_secs(sorted[sorted.len()-1]));
+    println!("\nwithin the {threshold}s threshold: {under}/{} = {frac:.1}%  (paper: >98% within 2s)", sorted.len());
+    println!("\nheaviest datasets:");
+    print_table(&["rows", "columns", "overhead"], &worst);
+    if frac >= 98.0 {
+        println!("\nheadline claim holds at this scale");
+    } else {
+        println!("\nWARNING: headline fraction below 98% at this scale");
+    }
+}

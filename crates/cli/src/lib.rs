@@ -1,0 +1,11 @@
+//! # lux-cli
+//!
+//! The interactive shell — this reproduction's stand-in for the paper's
+//! Jupyter frontend. A `lux-shell` session alternates dataframe operations
+//! with always-on prints, exactly the workflow the paper studies, but in a
+//! terminal: `demo airbnb`, `print`, `intent price, room_type`, `filter
+//! price<=500`, `export Correlation 0`, `save-report out.html`.
+
+pub mod commands;
+
+pub use commands::{parse_command, Command, Shell, HELP};

@@ -1,0 +1,38 @@
+//! The `lux-shell` binary: a line-oriented REPL over [`lux_cli::Shell`].
+//!
+//! ```sh
+//! lux-shell [csv-file ...]    # each file is loaded as a session frame
+//! ```
+
+use std::io::{BufRead, Write};
+
+use lux_cli::{parse_command, Command, Shell};
+
+fn main() {
+    let mut shell = Shell::new();
+    for (i, arg) in std::env::args().skip(1).enumerate() {
+        let name = if i == 0 { "df".to_string() } else { format!("df{}", i + 1) };
+        match shell.execute(Command::Load { path: arg.clone(), name }) {
+            Ok(Some(msg)) => println!("{msg}"),
+            Ok(None) => {}
+            Err(e) => eprintln!("error loading {arg}: {e}"),
+        }
+    }
+    println!("lux-shell — always-on visualization recommendations. Type 'help'.");
+
+    let stdin = std::io::stdin();
+    let mut lines = stdin.lock().lines();
+    loop {
+        print!("lux{}> ", shell.current_name().map(|n| format!("[{n}]")).unwrap_or_default());
+        let _ = std::io::stdout().flush();
+        let Some(Ok(line)) = lines.next() else { break };
+        if line.trim().is_empty() {
+            continue;
+        }
+        match parse_command(&line).and_then(|cmd| shell.execute(cmd)) {
+            Ok(Some(output)) => println!("{output}"),
+            Ok(None) => break, // quit
+            Err(e) => eprintln!("error: {e}"),
+        }
+    }
+}

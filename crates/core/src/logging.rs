@@ -1,0 +1,194 @@
+//! Usage logging — the reproduction of the paper's `lux-logger` extension.
+//!
+//! The paper instruments widget interactions and notebook actions to study
+//! usage ("based on 514 collected logs of Lux usage...", §9 fn. 2; "logged
+//! via a custom extension", §10.1). [`SessionLogger`] records the analogous
+//! events here — prints, intent changes, exports, derived operations — as
+//! JSON-lines, either in memory or to a file, so deployments can analyze
+//! real workflows the same way.
+
+use std::fmt;
+use std::io::Write;
+use std::sync::Arc;
+use std::time::{SystemTime, UNIX_EPOCH};
+
+use parking_lot::Mutex;
+
+/// The kinds of events the paper's study cares about.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EventKind {
+    /// A dataframe or series print (the always-on trigger).
+    Print,
+    /// The user set or cleared an intent.
+    IntentChanged,
+    /// A visualization was exported from the widget.
+    Export,
+    /// A derived-frame operation (filter, groupby, ...).
+    Operation,
+}
+
+impl EventKind {
+    pub fn name(self) -> &'static str {
+        match self {
+            EventKind::Print => "print",
+            EventKind::IntentChanged => "intent",
+            EventKind::Export => "export",
+            EventKind::Operation => "operation",
+        }
+    }
+}
+
+impl fmt::Display for EventKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One logged event.
+#[derive(Debug, Clone)]
+pub struct LogEvent {
+    /// Seconds since the Unix epoch at record time.
+    pub timestamp: f64,
+    pub kind: EventKind,
+    /// Free-form detail (`"print df 1000x12"`, `"intent = \[price\]"`).
+    pub detail: String,
+    /// Wall seconds the event took, when measurable (prints).
+    pub elapsed: Option<f64>,
+}
+
+impl LogEvent {
+    fn to_json(&self) -> String {
+        let esc = |s: &str| s.replace('\\', "\\\\").replace('"', "\\\"").replace('\n', "\\n");
+        let elapsed = self
+            .elapsed
+            .map(|e| format!(", \"elapsed\": {e}"))
+            .unwrap_or_default();
+        format!(
+            "{{\"ts\": {:.3}, \"kind\": \"{}\", \"detail\": \"{}\"{elapsed}}}",
+            self.timestamp,
+            self.kind,
+            esc(&self.detail)
+        )
+    }
+}
+
+enum Sink {
+    Memory,
+    File(std::fs::File),
+}
+
+/// Collects usage events; clone the `Arc` into every wrapper that should
+/// report to the same session log.
+pub struct SessionLogger {
+    events: Mutex<Vec<LogEvent>>,
+    sink: Mutex<Sink>,
+}
+
+impl SessionLogger {
+    /// An in-memory logger (inspect with [`SessionLogger::events`]).
+    pub fn in_memory() -> Arc<SessionLogger> {
+        Arc::new(SessionLogger { events: Mutex::new(Vec::new()), sink: Mutex::new(Sink::Memory) })
+    }
+
+    /// A logger that appends JSON-lines to `path` (and keeps the in-memory
+    /// copy for inspection).
+    pub fn to_file(path: &std::path::Path) -> std::io::Result<Arc<SessionLogger>> {
+        let file = std::fs::OpenOptions::new().create(true).append(true).open(path)?;
+        Ok(Arc::new(SessionLogger {
+            events: Mutex::new(Vec::new()),
+            sink: Mutex::new(Sink::File(file)),
+        }))
+    }
+
+    /// Record one event.
+    pub fn log(&self, kind: EventKind, detail: impl Into<String>, elapsed: Option<f64>) {
+        let event = LogEvent {
+            timestamp: SystemTime::now()
+                .duration_since(UNIX_EPOCH)
+                .map(|d| d.as_secs_f64())
+                .unwrap_or(0.0),
+            kind,
+            detail: detail.into(),
+            elapsed,
+        };
+        if let Sink::File(f) = &mut *self.sink.lock() {
+            let _ = writeln!(f, "{}", event.to_json());
+        }
+        self.events.lock().push(event);
+    }
+
+    /// Snapshot of the recorded events.
+    pub fn events(&self) -> Vec<LogEvent> {
+        self.events.lock().clone()
+    }
+
+    /// Count of events of one kind.
+    pub fn count_of(&self, kind: EventKind) -> usize {
+        self.events.lock().iter().filter(|e| e.kind == kind).count()
+    }
+
+    /// The full JSONL rendering of the session so far.
+    pub fn to_jsonl(&self) -> String {
+        self.events
+            .lock()
+            .iter()
+            .map(LogEvent::to_json)
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+
+    /// Seconds between consecutive prints — the paper's "think time"
+    /// distribution (fn. 2: median 2.8 s between showing the table and
+    /// toggling to the Lux view).
+    pub fn think_times(&self) -> Vec<f64> {
+        let events = self.events.lock();
+        let prints: Vec<f64> = events
+            .iter()
+            .filter(|e| e.kind == EventKind::Print)
+            .map(|e| e.timestamp)
+            .collect();
+        prints.windows(2).map(|w| w[1] - w[0]).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_counts_events() {
+        let log = SessionLogger::in_memory();
+        log.log(EventKind::Print, "print df", Some(0.01));
+        log.log(EventKind::IntentChanged, "intent = [price]", None);
+        log.log(EventKind::Print, "print df", Some(0.02));
+        assert_eq!(log.events().len(), 3);
+        assert_eq!(log.count_of(EventKind::Print), 2);
+        assert_eq!(log.think_times().len(), 1);
+    }
+
+    #[test]
+    fn jsonl_is_escaped_and_line_per_event() {
+        let log = SessionLogger::in_memory();
+        log.log(EventKind::Export, "vis \"quoted\"\nnewline", None);
+        let jsonl = log.to_jsonl();
+        assert_eq!(jsonl.lines().count(), 1);
+        assert!(jsonl.contains("\\\"quoted\\\""));
+        assert!(jsonl.contains("\\n"));
+    }
+
+    #[test]
+    fn file_sink_appends() {
+        let dir = std::env::temp_dir().join("lux_logger_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("session.jsonl");
+        let _ = std::fs::remove_file(&path);
+        {
+            let log = SessionLogger::to_file(&path).unwrap();
+            log.log(EventKind::Print, "a", None);
+            log.log(EventKind::Operation, "b", None);
+        }
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(content.lines().count(), 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

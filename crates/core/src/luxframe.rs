@@ -1,0 +1,709 @@
+//! [`LuxDataFrame`]: the always-on wrapper (paper §7).
+//!
+//! `LuxDataFrame` wraps a [`DataFrame`] and mirrors its operations while
+//! storing the extra state Lux needs — intent, semantic-type overrides, the
+//! action registry, and the WFLOW cache. The WFLOW optimization (§8.2) is
+//! implemented here:
+//!
+//! - **lazy**: metadata and recommendations are computed only at
+//!   [`LuxDataFrame::print`] time;
+//! - **expiry**: every data-changing operation derives a *new* wrapper with
+//!   an empty cache, so stale results can never be shown;
+//! - **memoization**: repeated prints of an unmodified frame reuse the
+//!   cached metadata, sample, and recommendations.
+//!
+//! When `config.wflow` is off (the paper's `no-opt` baseline), every wrapped
+//! operation eagerly recomputes metadata and recommendations, reproducing a
+//! naive always-on implementation.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use lux_dataframe::prelude::*;
+use lux_engine::{CachedSample, FrameMeta, LuxConfig, SemanticType};
+use lux_intent::{Clause, Diagnostic};
+use lux_recs::{ActionContext, ActionRegistry, ActionResult};
+use lux_vis::{Vis, VisSpec};
+use parking_lot::Mutex;
+
+use crate::logging::{EventKind, SessionLogger};
+use crate::widget::Widget;
+
+/// Cached per-frame state for the WFLOW optimization.
+#[derive(Default)]
+struct WflowCache {
+    meta: Option<Arc<FrameMeta>>,
+    recommendations: Option<Arc<Vec<ActionResult>>>,
+}
+
+/// A pandas-style dataframe with always-on visualization recommendations.
+pub struct LuxDataFrame {
+    df: DataFrame,
+    intent: Vec<Clause>,
+    config: Arc<LuxConfig>,
+    registry: Arc<ActionRegistry>,
+    overrides: HashMap<String, SemanticType>,
+    cache: Mutex<WflowCache>,
+    sample: CachedSample,
+    exported: Mutex<Vec<Vis>>,
+    logger: Option<Arc<SessionLogger>>,
+}
+
+impl LuxDataFrame {
+    /// Wrap an existing frame with the default config and actions.
+    pub fn new(df: DataFrame) -> LuxDataFrame {
+        Self::with_config(df, Arc::new(LuxConfig::default()))
+    }
+
+    /// Wrap with an explicit config (used by the benchmark conditions).
+    pub fn with_config(df: DataFrame, config: Arc<LuxConfig>) -> LuxDataFrame {
+        Self::assemble(df, Vec::new(), config, Arc::new(ActionRegistry::with_defaults()), HashMap::new())
+    }
+
+    /// Read a CSV file into a wrapped frame.
+    pub fn read_csv(path: &std::path::Path) -> Result<LuxDataFrame> {
+        Ok(Self::new(lux_dataframe::csv::read_csv_path(path)?))
+    }
+
+    /// Parse CSV text into a wrapped frame.
+    pub fn read_csv_str(text: &str) -> Result<LuxDataFrame> {
+        Ok(Self::new(lux_dataframe::csv::read_csv_str(text)?))
+    }
+
+    fn assemble(
+        df: DataFrame,
+        intent: Vec<Clause>,
+        config: Arc<LuxConfig>,
+        registry: Arc<ActionRegistry>,
+        overrides: HashMap<String, SemanticType>,
+    ) -> LuxDataFrame {
+        let sample = CachedSample::new(config.sample_cap, config.sample_seed);
+        let ldf = LuxDataFrame {
+            df,
+            intent,
+            config,
+            registry,
+            overrides,
+            cache: Mutex::new(WflowCache::default()),
+            sample,
+            exported: Mutex::new(Vec::new()),
+            logger: None,
+        };
+        if !ldf.config.wflow {
+            // no-opt baseline: recompute everything eagerly on every
+            // operation that produces a frame.
+            let _ = ldf.compute_recommendations();
+        }
+        ldf
+    }
+
+    /// Derive a wrapper around a transformed frame: intent, config, registry,
+    /// overrides and logger propagate; the cache starts empty (metadata
+    /// expired). The derived operation is logged.
+    fn wrap(&self, df: DataFrame) -> LuxDataFrame {
+        let mut derived = Self::assemble(
+            df,
+            self.intent.clone(),
+            Arc::clone(&self.config),
+            Arc::clone(&self.registry),
+            self.overrides.clone(),
+        );
+        derived.logger = self.logger.clone();
+        if let (Some(log), Some(event)) = (&self.logger, derived.df.history().last()) {
+            log.log(EventKind::Operation, event.detail.clone(), None);
+        }
+        derived
+    }
+
+    /// Attach a usage logger (the paper's lux-logger analogue); propagated
+    /// to every frame derived from this one.
+    pub fn attach_logger(&mut self, logger: Arc<SessionLogger>) {
+        self.logger = Some(logger);
+    }
+
+    // ------------------------------------------------------------------
+    // State accessors
+    // ------------------------------------------------------------------
+
+    /// The wrapped dataframe.
+    pub fn data(&self) -> &DataFrame {
+        &self.df
+    }
+
+    pub fn num_rows(&self) -> usize {
+        self.df.num_rows()
+    }
+
+    pub fn num_columns(&self) -> usize {
+        self.df.num_columns()
+    }
+
+    pub fn column_names(&self) -> &[String] {
+        self.df.column_names()
+    }
+
+    /// The active config.
+    pub fn config(&self) -> &LuxConfig {
+        &self.config
+    }
+
+    /// The current intent.
+    pub fn intent(&self) -> &[Clause] {
+        &self.intent
+    }
+
+    /// Set the intent from parsed clauses. Expires cached recommendations
+    /// but not metadata (the data did not change).
+    pub fn set_intent(&mut self, intent: Vec<Clause>) {
+        if let Some(log) = &self.logger {
+            log.log(EventKind::IntentChanged, format!("{} clause(s)", intent.len()), None);
+        }
+        self.intent = intent;
+        self.cache.lock().recommendations = None;
+    }
+
+    /// Set the intent from strings (`df.intent = ["Age", "Dept=Sales"]`).
+    pub fn set_intent_strs<S: AsRef<str>, I: IntoIterator<Item = S>>(
+        &mut self,
+        intent: I,
+    ) -> Result<()> {
+        self.set_intent(lux_intent::parse_intent(intent)?);
+        Ok(())
+    }
+
+    /// Clear the intent.
+    pub fn clear_intent(&mut self) {
+        self.set_intent(Vec::new());
+    }
+
+    /// Override the inferred semantic type of a column (§8.1). Expires both
+    /// metadata and recommendations.
+    pub fn set_data_type(&mut self, column: &str, semantic: SemanticType) -> Result<()> {
+        if !self.df.has_column(column) {
+            return Err(Error::ColumnNotFound(column.to_string()));
+        }
+        self.overrides.insert(column.to_string(), semantic);
+        let mut cache = self.cache.lock();
+        cache.meta = None;
+        cache.recommendations = None;
+        Ok(())
+    }
+
+    /// Register a custom action (paper §7.2). Expires recommendations.
+    pub fn register_action<A: lux_recs::Action + 'static>(&mut self, action: A) {
+        let mut registry = ActionRegistry::new();
+        for a in self.registry.actions() {
+            registry.register_arc(Arc::clone(a));
+        }
+        registry.register(action);
+        self.registry = Arc::new(registry);
+        self.cache.lock().recommendations = None;
+    }
+
+    /// Remove an action by name. Expires recommendations.
+    pub fn remove_action(&mut self, name: &str) -> bool {
+        let mut registry = ActionRegistry::new();
+        for a in self.registry.actions() {
+            registry.register_arc(Arc::clone(a));
+        }
+        let removed = registry.remove(name);
+        self.registry = Arc::new(registry);
+        if removed {
+            self.cache.lock().recommendations = None;
+        }
+        removed
+    }
+
+    // ------------------------------------------------------------------
+    // Metadata & recommendations (the WFLOW-managed state)
+    // ------------------------------------------------------------------
+
+    /// The frame's metadata, computed on first use and memoized (when
+    /// `wflow` is on).
+    pub fn metadata(&self) -> Arc<FrameMeta> {
+        if self.config.wflow {
+            let mut cache = self.cache.lock();
+            if let Some(meta) = &cache.meta {
+                return Arc::clone(meta);
+            }
+            let meta = Arc::new(FrameMeta::compute(&self.df, &self.overrides));
+            cache.meta = Some(Arc::clone(&meta));
+            meta
+        } else {
+            Arc::new(FrameMeta::compute(&self.df, &self.overrides))
+        }
+    }
+
+    /// True when memoized recommendations are available.
+    pub fn is_fresh(&self) -> bool {
+        self.cache.lock().recommendations.is_some()
+    }
+
+    /// Validate the current intent against the frame.
+    pub fn validate_intent(&self) -> Vec<Diagnostic> {
+        lux_intent::validate(&self.intent, &self.metadata())
+    }
+
+    /// Compile the current intent into complete specs. Invalid intents
+    /// compile to no specs (the widget shows the diagnostics instead).
+    pub fn compiled_intent(&self) -> Vec<VisSpec> {
+        let meta = self.metadata();
+        let diags = lux_intent::validate(&self.intent, &meta);
+        if self.intent.is_empty() || lux_intent::has_errors(&diags) {
+            return Vec::new();
+        }
+        let opts = lux_intent::CompileOptions {
+            max_filter_expansions: self.config.max_filter_expansions,
+            histogram_bins: self.config.histogram_bins,
+            ..Default::default()
+        };
+        lux_intent::compile(&self.intent, &meta, &opts).unwrap_or_default()
+    }
+
+    fn compute_recommendations(&self) -> Arc<Vec<ActionResult>> {
+        let meta = self.metadata();
+        let specs = self.compiled_intent();
+        let ctx = ActionContext {
+            df: &self.df,
+            meta: &meta,
+            intent: &self.intent,
+            intent_specs: &specs,
+            config: &self.config,
+        };
+        let sample_arc;
+        let sample: Option<&DataFrame> = if self.config.prune {
+            sample_arc = self.sample.get(&self.df);
+            Some(&sample_arc)
+        } else {
+            None
+        };
+        Arc::new(lux_recs::run_actions(&self.registry, &ctx, sample, None))
+    }
+
+    /// The ranked recommendations, computed lazily and memoized under WFLOW.
+    pub fn recommendations(&self) -> Arc<Vec<ActionResult>> {
+        if self.config.wflow {
+            let cache = self.cache.lock();
+            if let Some(recs) = &cache.recommendations {
+                return Arc::clone(recs);
+            }
+            drop(cache); // release while computing (compute re-takes for meta)
+            let recs = self.compute_recommendations();
+            self.cache.lock().recommendations = Some(Arc::clone(&recs));
+            recs
+        } else {
+            self.compute_recommendations()
+        }
+    }
+
+    /// Begin a streaming recommendation run: dispatches every applicable
+    /// action onto background workers (cheapest first) and returns
+    /// immediately — the ASYNC experience of §8.2, where "recommendation
+    /// results can be streamed into the frontend widget as the computation
+    /// for each action completes". Bypasses the WFLOW memo (results go to
+    /// the caller, not the cache).
+    pub fn recommendations_streaming(&self) -> lux_recs::generate::StreamingRun {
+        let meta = self.metadata();
+        let specs = self.compiled_intent();
+        let sample = self.config.prune.then(|| self.sample.get(&self.df));
+        let owned = lux_recs::generate::OwnedContext {
+            df: Arc::new(self.df.clone()),
+            meta,
+            intent: Arc::new(self.intent.clone()),
+            intent_specs: Arc::new(specs),
+            config: Arc::clone(&self.config),
+            sample,
+        };
+        lux_recs::generate::run_actions_streaming(&self.registry, owned)
+    }
+
+    /// "Print" the dataframe: the always-on entry point. Returns the widget
+    /// holding the table view, the recommendation tabs, and any intent
+    /// diagnostics. Never fails — internal errors degrade to the plain
+    /// table (§10.3 fail-safe behavior).
+    pub fn print(&self) -> Widget {
+        let start = std::time::Instant::now();
+        let table = self.df.to_table_string(10);
+        let diagnostics = self.validate_intent();
+        let results = self.recommendations();
+        if let Some(log) = &self.logger {
+            log.log(
+                EventKind::Print,
+                format!("print {}x{}", self.df.num_rows(), self.df.num_columns()),
+                Some(start.elapsed().as_secs_f64()),
+            );
+        }
+        Widget::new(table, results, diagnostics, self.df.num_rows(), self.df.num_columns())
+    }
+
+    /// One-shot dataset profile: the metadata overview actions plus a
+    /// per-column summary, independent of any intent (the pandas-profiling
+    /// / sweetviz-style report the related-work tools produce on demand —
+    /// here it is just a convenience over the always-on machinery).
+    pub fn profile(&self) -> String {
+        let meta = self.metadata();
+        let mut out = String::new();
+        out.push_str(&format!(
+            "# Profile: {} rows x {} columns\n\n",
+            self.num_rows(),
+            self.num_columns()
+        ));
+        out.push_str("column                 type         semantic      cardinality  nulls  min..max\n");
+        for cm in &meta.columns {
+            let range = match (cm.min, cm.max) {
+                (Some(lo), Some(hi)) => format!("{lo:.4}..{hi:.4}"),
+                _ => "-".to_string(),
+            };
+            out.push_str(&format!(
+                "{:<22} {:<12} {:<13} {:>11}  {:>5}  {}\n",
+                cm.name,
+                cm.dtype.name(),
+                cm.semantic.name(),
+                cm.cardinality,
+                cm.null_count,
+                range
+            ));
+        }
+        out.push('\n');
+        out.push_str(&self.print().render_lux_view(1));
+        out
+    }
+
+    // ------------------------------------------------------------------
+    // Export (paper §3: widget -> Vis -> code)
+    // ------------------------------------------------------------------
+
+    /// Export a visualization from the printed widget, by action name and
+    /// rank. Accessible afterwards via [`LuxDataFrame::exported`].
+    pub fn export(&self, action: &str, rank: usize) -> Result<Vis> {
+        let recs = self.recommendations();
+        let result = recs
+            .iter()
+            .find(|r| r.action.eq_ignore_ascii_case(action))
+            .ok_or_else(|| Error::InvalidArgument(format!("no action named {action:?}")))?;
+        let vis = result
+            .vislist
+            .visualizations
+            .get(rank)
+            .ok_or_else(|| {
+                Error::InvalidArgument(format!(
+                    "action {action:?} has {} visualizations, rank {rank} out of range",
+                    result.vislist.len()
+                ))
+            })?
+            .clone();
+        self.exported.lock().push(vis.clone());
+        if let Some(log) = &self.logger {
+            log.log(EventKind::Export, vis.spec.describe(), None);
+        }
+        Ok(vis)
+    }
+
+    /// Visualizations exported so far.
+    pub fn exported(&self) -> Vec<Vis> {
+        self.exported.lock().clone()
+    }
+
+    // ------------------------------------------------------------------
+    // Wrapped dataframe operations (instrumented; cache expires via wrap)
+    // ------------------------------------------------------------------
+
+    pub fn filter(&self, column: &str, op: FilterOp, value: &Value) -> Result<LuxDataFrame> {
+        Ok(self.wrap(self.df.filter(column, op, value)?))
+    }
+
+    pub fn head(&self, n: usize) -> LuxDataFrame {
+        self.wrap(self.df.head(n))
+    }
+
+    pub fn tail(&self, n: usize) -> LuxDataFrame {
+        self.wrap(self.df.tail(n))
+    }
+
+    pub fn sample(&self, n: usize, seed: u64) -> LuxDataFrame {
+        self.wrap(self.df.sample(n, seed))
+    }
+
+    pub fn select(&self, names: &[&str]) -> Result<LuxDataFrame> {
+        Ok(self.wrap(self.df.select(names)?))
+    }
+
+    pub fn drop_columns(&self, names: &[&str]) -> Result<LuxDataFrame> {
+        Ok(self.wrap(self.df.drop_columns(names)?))
+    }
+
+    pub fn sort_by(&self, columns: &[&str], ascending: bool) -> Result<LuxDataFrame> {
+        Ok(self.wrap(self.df.sort_by(columns, ascending)?))
+    }
+
+    pub fn with_column(&self, name: &str, column: Column) -> Result<LuxDataFrame> {
+        Ok(self.wrap(self.df.with_column(name, column)?))
+    }
+
+    pub fn with_column_from<F>(&self, name: &str, source: &str, f: F) -> Result<LuxDataFrame>
+    where
+        F: Fn(&Value) -> Value,
+    {
+        Ok(self.wrap(self.df.with_column_from(name, source, f)?))
+    }
+
+    pub fn rename(&self, mapping: &[(&str, &str)]) -> Result<LuxDataFrame> {
+        Ok(self.wrap(self.df.rename(mapping)?))
+    }
+
+    pub fn dropna(&self) -> LuxDataFrame {
+        self.wrap(self.df.dropna())
+    }
+
+    pub fn fillna(&self, column: &str, value: &Value) -> Result<LuxDataFrame> {
+        Ok(self.wrap(self.df.fillna(column, value)?))
+    }
+
+    pub fn cut(&self, column: &str, labels: &[&str], out: &str) -> Result<LuxDataFrame> {
+        Ok(self.wrap(self.df.cut(column, labels, out)?))
+    }
+
+    pub fn groupby_agg(&self, keys: &[&str], specs: &[(&str, Agg)]) -> Result<LuxDataFrame> {
+        Ok(self.wrap(self.df.groupby(keys)?.agg(specs)?))
+    }
+
+    pub fn groupby_count(&self, keys: &[&str]) -> Result<LuxDataFrame> {
+        Ok(self.wrap(self.df.groupby(keys)?.count()?))
+    }
+
+    pub fn pivot(&self, index: &str, columns: &str, values: &str, agg: Agg) -> Result<LuxDataFrame> {
+        Ok(self.wrap(self.df.pivot(index, columns, values, agg)?))
+    }
+
+    pub fn crosstab(&self, rows: &str, columns: &str) -> Result<LuxDataFrame> {
+        Ok(self.wrap(self.df.crosstab(rows, columns)?))
+    }
+
+    pub fn join(
+        &self,
+        other: &LuxDataFrame,
+        left_on: &str,
+        right_on: &str,
+        kind: JoinKind,
+    ) -> Result<LuxDataFrame> {
+        Ok(self.wrap(self.df.join(&other.df, left_on, right_on, kind)?))
+    }
+
+    pub fn concat(&self, other: &LuxDataFrame) -> Result<LuxDataFrame> {
+        Ok(self.wrap(self.df.concat(&other.df)?))
+    }
+
+    pub fn describe(&self) -> Result<LuxDataFrame> {
+        Ok(self.wrap(self.df.describe()?))
+    }
+
+    pub fn value_counts(&self, column: &str) -> Result<LuxDataFrame> {
+        Ok(self.wrap(self.df.value_counts(column)?))
+    }
+
+    /// Extract a column as a wrapped series.
+    pub fn series(&self, column: &str) -> Result<crate::luxseries::LuxSeries> {
+        Ok(crate::luxseries::LuxSeries::from_parts(
+            self.df.series(column)?,
+            Arc::clone(&self.config),
+            Arc::clone(&self.registry),
+        ))
+    }
+}
+
+impl std::fmt::Display for LuxDataFrame {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.print())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lux_recs::ActionClass;
+
+    fn sample_ldf() -> LuxDataFrame {
+        let df = DataFrameBuilder::new()
+            .float("life", (0..40).map(|i| 60.0 + (i % 20) as f64))
+            .float("inequality", (0..40).map(|i| 50.0 - (i % 20) as f64))
+            .str("region", (0..40).map(|i| ["EU", "AF", "AS", "NA"][i % 4]))
+            .str("tier", (0..40).map(|i| if i % 3 == 0 { "high" } else { "low" }))
+            .build()
+            .unwrap();
+        LuxDataFrame::new(df)
+    }
+
+    #[test]
+    fn print_produces_table_and_recommendations() {
+        let ldf = sample_ldf();
+        let w = ldf.print();
+        assert!(w.table().contains("life"));
+        let names: Vec<&str> = w.results().iter().map(|r| r.action.as_str()).collect();
+        assert!(names.contains(&"Correlation"));
+        assert!(names.contains(&"Distribution"));
+        assert!(names.contains(&"Occurrence")); // "tier" is nominal
+        assert!(names.contains(&"Geographic")); // "region" matches the geo heuristic
+    }
+
+    #[test]
+    fn wflow_memoizes_until_modified() {
+        let ldf = sample_ldf();
+        assert!(!ldf.is_fresh());
+        let _ = ldf.print();
+        assert!(ldf.is_fresh());
+        let r1 = ldf.recommendations();
+        let r2 = ldf.recommendations();
+        assert!(Arc::ptr_eq(&r1, &r2), "second print must reuse the cache");
+        // deriving a frame starts with an expired cache
+        let filtered = ldf.filter("region", FilterOp::Eq, &Value::str("EU")).unwrap();
+        assert!(!filtered.is_fresh());
+    }
+
+    #[test]
+    fn set_intent_expires_recs_but_not_metadata() {
+        let mut ldf = sample_ldf();
+        let _ = ldf.print();
+        let meta_before = ldf.metadata();
+        ldf.set_intent_strs(["life"]).unwrap();
+        assert!(!ldf.is_fresh());
+        let meta_after = ldf.metadata();
+        assert!(Arc::ptr_eq(&meta_before, &meta_after));
+    }
+
+    #[test]
+    fn intent_drives_intent_actions() {
+        let mut ldf = sample_ldf();
+        ldf.set_intent_strs(["life", "inequality"]).unwrap();
+        let w = ldf.print();
+        let names: Vec<&str> = w.results().iter().map(|r| r.action.as_str()).collect();
+        assert!(names.contains(&"Current Vis"));
+        assert!(names.contains(&"Enhance"));
+        assert!(names.contains(&"Filter"));
+        assert!(!names.contains(&"Correlation")); // metadata overviews replaced
+    }
+
+    #[test]
+    fn invalid_intent_falls_back_to_table_with_diagnostics() {
+        let mut ldf = sample_ldf();
+        ldf.set_intent_strs(["lyfe"]).unwrap();
+        let w = ldf.print();
+        assert!(!w.diagnostics().is_empty());
+        assert!(w.diagnostics()[0].suggestion.as_deref() == Some("life"));
+        // no intent actions, but the table still renders
+        assert!(w.table().contains("life"));
+    }
+
+    #[test]
+    fn type_override_changes_recommendations() {
+        let df = DataFrameBuilder::new()
+            .int("code", (0..50).map(|i| i % 30))
+            .float("v", (0..50).map(|i| i as f64))
+            .build()
+            .unwrap();
+        let mut ldf = LuxDataFrame::new(df);
+        assert_eq!(
+            ldf.metadata().column("code").unwrap().semantic,
+            SemanticType::Quantitative
+        );
+        ldf.set_data_type("code", SemanticType::Nominal).unwrap();
+        assert_eq!(ldf.metadata().column("code").unwrap().semantic, SemanticType::Nominal);
+        assert!(ldf.set_data_type("nope", SemanticType::Nominal).is_err());
+    }
+
+    #[test]
+    fn groupby_result_triggers_structure_actions() {
+        let ldf = sample_ldf();
+        let agg = ldf.groupby_agg(&["region"], &[("life", Agg::Mean)]).unwrap();
+        let w = agg.print();
+        let classes: Vec<ActionClass> = w.results().iter().map(|r| r.class).collect();
+        assert!(classes.contains(&ActionClass::Structure));
+        assert!(classes.contains(&ActionClass::History));
+    }
+
+    #[test]
+    fn head_triggers_prefilter() {
+        let ldf = sample_ldf();
+        let small = ldf.head(3);
+        let w = small.print();
+        let names: Vec<&str> = w.results().iter().map(|r| r.action.as_str()).collect();
+        assert!(names.contains(&"Pre-filter"), "got {names:?}");
+    }
+
+    #[test]
+    fn export_records_vis() {
+        let ldf = sample_ldf();
+        let _ = ldf.print();
+        let vis = ldf.export("Correlation", 0).unwrap();
+        assert_eq!(vis.spec.mark, lux_vis::Mark::Scatter);
+        assert_eq!(ldf.exported().len(), 1);
+        assert!(ldf.export("Correlation", 99).is_err());
+        assert!(ldf.export("Nope", 0).is_err());
+    }
+
+    #[test]
+    fn custom_action_registration() {
+        let mut ldf = sample_ldf();
+        ldf.register_action(lux_recs::CustomAction::new(
+            "Always",
+            |_ctx: &ActionContext<'_>| true,
+            |ctx: &ActionContext<'_>| {
+                Ok(vec![lux_recs::Candidate::new(
+                    lux_recs::structure_actions::univariate_spec(
+                        &ctx.meta.columns[0].name,
+                        ctx.meta.columns[0].semantic,
+                        10,
+                    ),
+                )])
+            },
+        ));
+        let w = ldf.print();
+        assert!(w.results().iter().any(|r| r.action == "Always"));
+        assert!(ldf.remove_action("Always"));
+        let w = ldf.print();
+        assert!(!w.results().iter().any(|r| r.action == "Always"));
+    }
+
+    #[test]
+    fn no_opt_mode_recomputes_every_time() {
+        let df = DataFrameBuilder::new().float("x", (0..20).map(|i| i as f64)).build().unwrap();
+        let ldf = LuxDataFrame::with_config(df, Arc::new(LuxConfig::no_opt()));
+        let r1 = ldf.recommendations();
+        let r2 = ldf.recommendations();
+        assert!(!Arc::ptr_eq(&r1, &r2), "no-opt must not memoize");
+    }
+
+    #[test]
+    fn profile_summarizes_columns_and_charts() {
+        let ldf = sample_ldf();
+        let p = ldf.profile();
+        assert!(p.contains("40 rows x 4 columns"));
+        assert!(p.contains("quantitative"));
+        assert!(p.contains("=== ")); // action sections present
+    }
+
+    #[test]
+    fn logger_records_workflow_events() {
+        let mut ldf = sample_ldf();
+        let log = crate::logging::SessionLogger::in_memory();
+        ldf.attach_logger(Arc::clone(&log));
+        let _ = ldf.print();
+        ldf.set_intent_strs(["life"]).unwrap();
+        let _ = ldf.print();
+        let filtered = ldf.filter("tier", FilterOp::Eq, &Value::str("low")).unwrap();
+        let _ = filtered.print(); // derived frames inherit the logger
+        let _ = ldf.export("Current Vis", 0).unwrap();
+        use crate::logging::EventKind;
+        assert_eq!(log.count_of(EventKind::Print), 3);
+        assert_eq!(log.count_of(EventKind::IntentChanged), 1);
+        assert_eq!(log.count_of(EventKind::Operation), 1);
+        assert_eq!(log.count_of(EventKind::Export), 1);
+        assert!(log.to_jsonl().lines().count() >= 6);
+    }
+
+    #[test]
+    fn csv_roundtrip() {
+        let ldf = LuxDataFrame::read_csv_str("a,b\n1,x\n2,y\n").unwrap();
+        assert_eq!(ldf.num_rows(), 2);
+        assert_eq!(ldf.column_names(), &["a", "b"]);
+    }
+}

@@ -1,0 +1,115 @@
+//! [`LuxSeries`]: the wrapped single-column view.
+//!
+//! The paper treats Series as one-column dataframes and reuses the same
+//! visualization machinery (§6, Series visualizations); printing a series
+//! costs far less than printing a frame because the search space is a
+//! single column — the effect measured in Table 3's "Print Series" rows.
+
+use std::sync::Arc;
+
+use lux_dataframe::prelude::*;
+use lux_engine::LuxConfig;
+use lux_recs::ActionRegistry;
+
+use crate::luxframe::LuxDataFrame;
+use crate::widget::Widget;
+
+/// A single named column with always-on visualization support.
+pub struct LuxSeries {
+    series: Series,
+    config: Arc<LuxConfig>,
+    registry: Arc<ActionRegistry>,
+}
+
+impl LuxSeries {
+    pub fn new(series: Series) -> LuxSeries {
+        LuxSeries {
+            series,
+            config: Arc::new(LuxConfig::default()),
+            registry: Arc::new(ActionRegistry::with_defaults()),
+        }
+    }
+
+    pub(crate) fn from_parts(
+        series: Series,
+        config: Arc<LuxConfig>,
+        registry: Arc<ActionRegistry>,
+    ) -> LuxSeries {
+        LuxSeries { series, config, registry }
+    }
+
+    pub fn name(&self) -> &str {
+        self.series.name()
+    }
+
+    pub fn len(&self) -> usize {
+        self.series.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.series.is_empty()
+    }
+
+    pub fn dtype(&self) -> DType {
+        self.series.dtype()
+    }
+
+    /// The underlying series.
+    pub fn data(&self) -> &Series {
+        &self.series
+    }
+
+    /// View as a one-column LuxDataFrame (shares config and actions).
+    pub fn to_frame(&self) -> LuxDataFrame {
+        // custom actions registered on the parent frame stay available
+        let _ = &self.registry;
+        LuxDataFrame::with_config(self.series.to_frame(), Arc::clone(&self.config))
+    }
+
+    /// Print the series: a one-column frame print, which exercises only the
+    /// Series structure action (single-column search space).
+    pub fn print(&self) -> Widget {
+        self.to_frame().print()
+    }
+}
+
+impl std::fmt::Display for LuxSeries {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.print())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::luxframe::LuxDataFrame;
+
+    #[test]
+    fn series_print_shows_univariate_vis() {
+        let df = DataFrameBuilder::new()
+            .float("pay", (0..30).map(|i| i as f64))
+            .str("dept", (0..30).map(|i| if i % 2 == 0 { "S" } else { "E" }))
+            .build()
+            .unwrap();
+        let ldf = LuxDataFrame::new(df);
+        let s = ldf.series("pay").unwrap();
+        assert_eq!(s.name(), "pay");
+        assert_eq!(s.len(), 30);
+        let w = s.print();
+        let names: Vec<&str> = w.results().iter().map(|r| r.action.as_str()).collect();
+        assert!(names.contains(&"Series"), "got {names:?}");
+    }
+
+    #[test]
+    fn nominal_series_gets_bar() {
+        let df = DataFrameBuilder::new()
+            .str("dept", ["S", "E", "S"])
+            .build()
+            .unwrap();
+        let ldf = LuxDataFrame::new(df);
+        let s = ldf.series("dept").unwrap();
+        let w = s.print();
+        let series_result = w.results().iter().find(|r| r.action == "Series").unwrap();
+        assert_eq!(series_result.vislist.visualizations[0].spec.mark, lux_vis::Mark::Bar);
+    }
+}

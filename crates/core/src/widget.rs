@@ -1,0 +1,233 @@
+//! The "widget": what printing a LuxDataFrame produces.
+//!
+//! The paper's widget is an ipywidgets HTML element with a toggle between
+//! the pandas table and tabs of recommended visualizations. Headless here:
+//! the widget holds the table text, the ranked [`ActionResult`] tabs, and
+//! any intent diagnostics, and renders them as text, Vega-Lite JSON, or a
+//! standalone HTML report (the paper's §10.3 export path).
+
+use std::sync::Arc;
+
+use lux_intent::{Diagnostic, Severity};
+use lux_recs::ActionResult;
+use lux_vis::render::{ascii, vega};
+
+/// The output of [`crate::LuxDataFrame::print`].
+pub struct Widget {
+    table: String,
+    results: Arc<Vec<ActionResult>>,
+    diagnostics: Vec<Diagnostic>,
+    num_rows: usize,
+    num_columns: usize,
+}
+
+impl Widget {
+    pub(crate) fn new(
+        table: String,
+        results: Arc<Vec<ActionResult>>,
+        diagnostics: Vec<Diagnostic>,
+        num_rows: usize,
+        num_columns: usize,
+    ) -> Widget {
+        Widget { table, results, diagnostics, num_rows, num_columns }
+    }
+
+    /// The plain table view (the pandas-equivalent default display).
+    pub fn table(&self) -> &str {
+        &self.table
+    }
+
+    /// The recommendation tabs, cheapest action first.
+    pub fn results(&self) -> &[ActionResult] {
+        &self.results
+    }
+
+    /// Intent diagnostics (empty when the intent validates cleanly).
+    pub fn diagnostics(&self) -> &[Diagnostic] {
+        &self.diagnostics
+    }
+
+    /// Tab names, in display order.
+    pub fn tabs(&self) -> Vec<&str> {
+        self.results.iter().map(|r| r.action.as_str()).collect()
+    }
+
+    /// Render the "Lux view": every tab with its top visualizations drawn
+    /// as terminal charts. `per_tab` caps how many charts each tab shows.
+    pub fn render_lux_view(&self, per_tab: usize) -> String {
+        let mut out = String::new();
+        for d in &self.diagnostics {
+            let tag = match d.severity {
+                Severity::Error => "error",
+                Severity::Warning => "warning",
+            };
+            out.push_str(&format!("[{tag}] {}", d.message));
+            if let Some(s) = &d.suggestion {
+                out.push_str(&format!(" (did you mean {s:?}?)"));
+            }
+            out.push('\n');
+        }
+        if self.results.is_empty() {
+            out.push_str("(no recommendations: showing table view)\n");
+            out.push_str(&self.table);
+            return out;
+        }
+        for r in self.results.iter() {
+            out.push_str(&format!(
+                "\n=== {} [{}] ({} vis, est. cost {:.0}) ===\n",
+                r.action,
+                r.class.name(),
+                r.vislist.len(),
+                r.estimated_cost
+            ));
+            for vis in r.vislist.iter().take(per_tab) {
+                out.push_str(&ascii::render(vis));
+                out.push_str(&format!("score: {:.3}\n", vis.score));
+            }
+        }
+        out
+    }
+
+    /// Full Vega-Lite JSON for every recommended visualization, grouped by
+    /// action — the machine-readable export.
+    pub fn to_vega_lite(&self) -> String {
+        let mut parts = Vec::new();
+        for r in self.results.iter() {
+            let specs: Vec<String> =
+                r.vislist.iter().map(vega::to_vega_lite).collect();
+            parts.push(format!(
+                "{{\"action\": \"{}\", \"charts\": [{}]}}",
+                r.action,
+                specs.join(", ")
+            ));
+        }
+        format!("[{}]", parts.join(", "))
+    }
+
+    /// A standalone HTML report embedding the Vega-Lite charts (paper
+    /// §10.3: "various options for export, from static HTML reports...").
+    pub fn to_html(&self) -> String {
+        let mut body = String::new();
+        body.push_str(&format!(
+            "<h2>Dataframe: {} rows × {} columns</h2>\n<pre>{}</pre>\n",
+            self.num_rows,
+            self.num_columns,
+            html_escape(&self.table)
+        ));
+        for r in self.results.iter() {
+            body.push_str(&format!("<h3>{}</h3>\n", html_escape(&r.action)));
+            for (i, vis) in r.vislist.iter().enumerate() {
+                let div = format!("vis_{}_{}", sanitize(&r.action), i);
+                body.push_str(&format!(
+                    "<div id=\"{div}\"></div>\n<script>vegaEmbed('#{div}', {});</script>\n",
+                    vega::to_vega_lite(vis)
+                ));
+            }
+        }
+        format!(
+            "<!DOCTYPE html>\n<html><head>\n<script src=\"https://cdn.jsdelivr.net/npm/vega@5\"></script>\n<script src=\"https://cdn.jsdelivr.net/npm/vega-lite@5\"></script>\n<script src=\"https://cdn.jsdelivr.net/npm/vega-embed@6\"></script>\n</head><body>\n{body}</body></html>\n"
+        )
+    }
+}
+
+impl Widget {
+    /// Write the standalone HTML report to a file (§10.3 downstream
+    /// reporting: "various options for export, from static HTML reports").
+    pub fn save_html(&self, path: &std::path::Path) -> std::io::Result<()> {
+        std::fs::write(path, self.to_html())
+    }
+
+    /// Write the grouped Vega-Lite JSON to a file.
+    pub fn save_vega_lite(&self, path: &std::path::Path) -> std::io::Result<()> {
+        std::fs::write(path, self.to_vega_lite())
+    }
+}
+
+impl std::fmt::Display for Widget {
+    /// Default display: the table view plus a hint line — mirroring the
+    /// paper's default-to-table behavior with a toggle to the Lux view.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.table)?;
+        if !self.results.is_empty() {
+            writeln!(
+                f,
+                "[{} recommendation tab(s): {}]",
+                self.results.len(),
+                self.tabs().join(", ")
+            )?;
+        }
+        Ok(())
+    }
+}
+
+fn html_escape(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+fn sanitize(s: &str) -> String {
+    s.chars().map(|c| if c.is_ascii_alphanumeric() { c } else { '_' }).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::luxframe::LuxDataFrame;
+    use lux_dataframe::prelude::*;
+
+    fn widget() -> crate::widget::Widget {
+        let df = DataFrameBuilder::new()
+            .float("a", (0..20).map(|i| i as f64))
+            .float("b", (0..20).map(|i| (20 - i) as f64))
+            .str("g", (0..20).map(|i| if i % 2 == 0 { "x" } else { "y" }))
+            .build()
+            .unwrap();
+        LuxDataFrame::new(df).print()
+    }
+
+    #[test]
+    fn tabs_and_lux_view() {
+        let w = widget();
+        assert!(w.tabs().contains(&"Correlation"));
+        let view = w.render_lux_view(1);
+        assert!(view.contains("=== Correlation"));
+        assert!(view.contains("score:"));
+    }
+
+    #[test]
+    fn display_defaults_to_table() {
+        let w = widget();
+        let s = w.to_string();
+        assert!(s.contains("rows x"));
+        assert!(s.contains("recommendation tab(s)"));
+    }
+
+    #[test]
+    fn vega_export_is_valid_shape() {
+        let w = widget();
+        let json = w.to_vega_lite();
+        assert!(json.starts_with('[') && json.ends_with(']'));
+        assert!(json.contains("\"$schema\""));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn save_report_writes_files() {
+        let w = widget();
+        let dir = std::env::temp_dir().join("lux_widget_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let html = dir.join("report.html");
+        let json = dir.join("charts.json");
+        w.save_html(&html).unwrap();
+        w.save_vega_lite(&json).unwrap();
+        assert!(std::fs::read_to_string(&html).unwrap().contains("vegaEmbed"));
+        assert!(std::fs::read_to_string(&json).unwrap().contains("$schema"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn html_report_embeds_charts() {
+        let w = widget();
+        let html = w.to_html();
+        assert!(html.contains("vegaEmbed"));
+        assert!(html.contains("<h3>Correlation</h3>"));
+    }
+}

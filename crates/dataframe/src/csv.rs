@@ -1,0 +1,280 @@
+//! CSV reading and writing with type inference.
+//!
+//! Hand-rolled (no external dependency): supports quoted fields, embedded
+//! commas/newlines/escaped quotes, and per-column type inference over
+//! int -> float -> datetime -> bool -> string, with empty fields as nulls.
+
+use std::io::{BufRead, Write};
+
+use crate::column::Column;
+use crate::error::{Error, Result};
+use crate::frame::DataFrame;
+use crate::value::{parse_datetime, Value};
+
+/// Parse CSV text into a dataframe. The first record is the header.
+pub fn read_csv_str(text: &str) -> Result<DataFrame> {
+    let records = parse_records(text)?;
+    let mut it = records.into_iter();
+    let header = it.next().ok_or_else(|| Error::Parse("empty CSV input".into()))?;
+    let ncols = header.len();
+    let mut raw: Vec<Vec<Option<String>>> = vec![Vec::new(); ncols];
+    for (line_no, rec) in it.enumerate() {
+        if rec.len() != ncols {
+            return Err(Error::Parse(format!(
+                "record {} has {} fields, expected {ncols}",
+                line_no + 2,
+                rec.len()
+            )));
+        }
+        for (c, field) in rec.into_iter().enumerate() {
+            raw[c].push(if field.is_empty() { None } else { Some(field) });
+        }
+    }
+
+    let cols: Vec<(String, Column)> = header
+        .into_iter()
+        .zip(raw)
+        .map(|(name, fields)| (name, infer_column(&fields)))
+        .collect();
+    DataFrame::from_columns(cols)
+}
+
+/// Read CSV from any buffered reader.
+pub fn read_csv<R: BufRead>(mut reader: R) -> Result<DataFrame> {
+    let mut text = String::new();
+    reader
+        .read_to_string(&mut text)
+        .map_err(|e| Error::Parse(format!("io error: {e}")))?;
+    read_csv_str(&text)
+}
+
+/// Read CSV from a file path.
+pub fn read_csv_path(path: &std::path::Path) -> Result<DataFrame> {
+    let file = std::fs::File::open(path).map_err(|e| Error::Parse(format!("open {path:?}: {e}")))?;
+    read_csv(std::io::BufReader::new(file))
+}
+
+/// Serialize a dataframe as CSV (header + rows; nulls as empty fields).
+pub fn write_csv<W: Write>(df: &DataFrame, out: &mut W) -> std::io::Result<()> {
+    let header: Vec<String> = df.column_names().iter().map(|n| quote(n)).collect();
+    writeln!(out, "{}", header.join(","))?;
+    for r in 0..df.num_rows() {
+        let row: Vec<String> = (0..df.num_columns())
+            .map(|c| {
+                let v = df.column_at(c).value(r);
+                if v.is_null() {
+                    String::new()
+                } else {
+                    quote(&v.to_string())
+                }
+            })
+            .collect();
+        writeln!(out, "{}", row.join(","))?;
+    }
+    Ok(())
+}
+
+fn quote(s: &str) -> String {
+    if s.contains([',', '"', '\n', '\r']) {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+/// Split CSV text into records of fields, honoring quotes.
+fn parse_records(text: &str) -> Result<Vec<Vec<String>>> {
+    let mut records = Vec::new();
+    let mut record = Vec::new();
+    let mut field = String::new();
+    let mut chars = text.chars().peekable();
+    let mut in_quotes = false;
+    let mut saw_any = false;
+
+    while let Some(ch) = chars.next() {
+        saw_any = true;
+        if in_quotes {
+            match ch {
+                '"' => {
+                    if chars.peek() == Some(&'"') {
+                        chars.next();
+                        field.push('"');
+                    } else {
+                        in_quotes = false;
+                    }
+                }
+                _ => field.push(ch),
+            }
+        } else {
+            match ch {
+                '"' => in_quotes = true,
+                ',' => {
+                    record.push(std::mem::take(&mut field));
+                }
+                '\r' => {
+                    if chars.peek() == Some(&'\n') {
+                        chars.next();
+                    }
+                    record.push(std::mem::take(&mut field));
+                    records.push(std::mem::take(&mut record));
+                }
+                '\n' => {
+                    record.push(std::mem::take(&mut field));
+                    records.push(std::mem::take(&mut record));
+                }
+                _ => field.push(ch),
+            }
+        }
+    }
+    if in_quotes {
+        return Err(Error::Parse("unterminated quoted field".into()));
+    }
+    if !field.is_empty() || !record.is_empty() {
+        record.push(field);
+        records.push(record);
+    }
+    if !saw_any {
+        return Err(Error::Parse("empty CSV input".into()));
+    }
+    // Drop a trailing fully-empty record produced by a final newline.
+    if records.last().is_some_and(|r| r.len() == 1 && r[0].is_empty()) {
+        records.pop();
+    }
+    Ok(records)
+}
+
+/// Infer the best column type for the raw string fields.
+fn infer_column(fields: &[Option<String>]) -> Column {
+    let mut all_int = true;
+    let mut all_float = true;
+    let mut all_datetime = true;
+    let mut all_bool = true;
+    let mut any_value = false;
+    for f in fields.iter().flatten() {
+        any_value = true;
+        let t = f.trim();
+        if all_int && t.parse::<i64>().is_err() {
+            all_int = false;
+        }
+        if all_float && t.parse::<f64>().is_err() {
+            all_float = false;
+        }
+        if all_datetime && parse_datetime(t).is_none() {
+            all_datetime = false;
+        }
+        if all_bool && !matches!(t.to_ascii_lowercase().as_str(), "true" | "false") {
+            all_bool = false;
+        }
+        if !all_int && !all_float && !all_datetime && !all_bool {
+            break;
+        }
+    }
+    if !any_value {
+        // all nulls: default to string
+        let mut col = Column::empty(crate::value::DType::Str);
+        for _ in fields {
+            col.push_value(&Value::Null).unwrap();
+        }
+        return col;
+    }
+
+    let values: Vec<Value> = fields
+        .iter()
+        .map(|f| match f {
+            None => Value::Null,
+            Some(s) => {
+                let t = s.trim();
+                if all_int {
+                    Value::Int(t.parse().unwrap())
+                } else if all_float {
+                    Value::Float(t.parse().unwrap())
+                } else if all_datetime {
+                    Value::DateTime(parse_datetime(t).unwrap())
+                } else if all_bool {
+                    Value::Bool(t.eq_ignore_ascii_case("true"))
+                } else {
+                    Value::str(s)
+                }
+            }
+        })
+        .collect();
+    Column::from_values(&values).expect("inferred values are homogeneous")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::DType;
+
+    #[test]
+    fn basic_read_with_inference() {
+        let df = read_csv_str("a,b,c,d\n1,2.5,x,2020-01-01\n2,3.5,y,2020-01-02\n").unwrap();
+        assert_eq!(df.num_rows(), 2);
+        let types: Vec<DType> = df.schema().iter().map(|(_, t)| *t).collect();
+        assert_eq!(types, vec![DType::Int64, DType::Float64, DType::Str, DType::DateTime]);
+    }
+
+    #[test]
+    fn empty_fields_are_nulls() {
+        let df = read_csv_str("a,b\n1,\n,2\n").unwrap();
+        assert_eq!(df.column("a").unwrap().null_count(), 1);
+        assert_eq!(df.column("b").unwrap().null_count(), 1);
+        assert_eq!(df.schema()[0].1, DType::Int64);
+    }
+
+    #[test]
+    fn quoted_fields_with_commas_and_quotes() {
+        let df = read_csv_str("name,msg\nAl,\"hello, \"\"world\"\"\"\nBo,plain\n").unwrap();
+        assert_eq!(df.value(0, "msg").unwrap(), Value::str("hello, \"world\""));
+    }
+
+    #[test]
+    fn quoted_field_with_newline() {
+        let df = read_csv_str("a,b\n\"line1\nline2\",x\n").unwrap();
+        assert_eq!(df.num_rows(), 1);
+        assert_eq!(df.value(0, "a").unwrap(), Value::str("line1\nline2"));
+    }
+
+    #[test]
+    fn mixed_types_fall_back_to_string() {
+        let df = read_csv_str("a\n1\nfoo\n").unwrap();
+        assert_eq!(df.schema()[0].1, DType::Str);
+    }
+
+    #[test]
+    fn int_and_float_mix_becomes_float() {
+        let df = read_csv_str("a\n1\n2.5\n").unwrap();
+        assert_eq!(df.schema()[0].1, DType::Float64);
+    }
+
+    #[test]
+    fn bool_inference() {
+        let df = read_csv_str("a\ntrue\nFalse\n").unwrap();
+        assert_eq!(df.schema()[0].1, DType::Bool);
+        assert_eq!(df.value(1, "a").unwrap(), Value::Bool(false));
+    }
+
+    #[test]
+    fn ragged_record_errors() {
+        assert!(read_csv_str("a,b\n1\n").is_err());
+        assert!(read_csv_str("").is_err());
+        assert!(read_csv_str("a\n\"unterminated\n").is_err());
+    }
+
+    #[test]
+    fn crlf_line_endings() {
+        let df = read_csv_str("a,b\r\n1,2\r\n3,4\r\n").unwrap();
+        assert_eq!(df.num_rows(), 2);
+    }
+
+    #[test]
+    fn roundtrip_write_read() {
+        let df = read_csv_str("a,b\n1,\"x,y\"\n,plain\n").unwrap();
+        let mut buf = Vec::new();
+        write_csv(&df, &mut buf).unwrap();
+        let df2 = read_csv_str(std::str::from_utf8(&buf).unwrap()).unwrap();
+        assert_eq!(df2.num_rows(), df.num_rows());
+        assert_eq!(df2.value(0, "b").unwrap(), Value::str("x,y"));
+        assert!(df2.value(1, "a").unwrap().is_null());
+    }
+}

@@ -1,0 +1,76 @@
+//! Error types for the dataframe engine.
+
+use std::fmt;
+
+/// Errors produced by dataframe operations.
+///
+/// Every fallible operation in this crate returns [`Result<T>`]. The variants
+/// are deliberately coarse: callers in the Lux layers above either surface the
+/// message to the user or fall back to the plain table display, so the main
+/// requirement is a readable message, not programmatic dispatch on fine
+/// distinctions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// A referenced column does not exist in the frame.
+    ColumnNotFound(String),
+    /// A column with this name already exists where a fresh name was required.
+    DuplicateColumn(String),
+    /// Two columns (or a column and an index) disagree on length.
+    LengthMismatch { expected: usize, got: usize },
+    /// The operation is not defined for the column's data type.
+    TypeMismatch { column: String, expected: &'static str, got: &'static str },
+    /// CSV or value parsing failed.
+    Parse(String),
+    /// The operation's arguments are invalid (empty key list, zero bins, ...).
+    InvalidArgument(String),
+    /// An aggregation is not defined for the given column type.
+    UnsupportedAggregation { agg: &'static str, dtype: &'static str },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::ColumnNotFound(name) => write!(f, "column not found: {name:?}"),
+            Error::DuplicateColumn(name) => write!(f, "duplicate column name: {name:?}"),
+            Error::LengthMismatch { expected, got } => {
+                write!(f, "length mismatch: expected {expected}, got {got}")
+            }
+            Error::TypeMismatch { column, expected, got } => {
+                write!(f, "type mismatch on column {column:?}: expected {expected}, got {got}")
+            }
+            Error::Parse(msg) => write!(f, "parse error: {msg}"),
+            Error::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+            Error::UnsupportedAggregation { agg, dtype } => {
+                write!(f, "aggregation {agg} is not supported for {dtype} columns")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, Error>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = Error::ColumnNotFound("Age".into());
+        assert!(e.to_string().contains("Age"));
+        let e = Error::LengthMismatch { expected: 3, got: 5 };
+        assert!(e.to_string().contains('3') && e.to_string().contains('5'));
+        let e = Error::TypeMismatch { column: "x".into(), expected: "f64", got: "str" };
+        assert!(e.to_string().contains("f64"));
+        let e = Error::UnsupportedAggregation { agg: "mean", dtype: "str" };
+        assert!(e.to_string().contains("mean"));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(Error::Parse("x".into()), Error::Parse("x".into()));
+        assert_ne!(Error::Parse("x".into()), Error::Parse("y".into()));
+    }
+}

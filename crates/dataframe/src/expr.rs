@@ -1,0 +1,216 @@
+//! Boolean predicate expressions over dataframe columns.
+//!
+//! A small combinator AST for multi-condition filters — the kind of
+//! `df[(df.a > 1) & (df.b == "x")]` expression pandas users write between
+//! prints. Expressions evaluate to a [`Bitmap`] mask in one pass and plug
+//! into [`DataFrame::filter_expr`].
+//!
+//! ```
+//! use lux_dataframe::prelude::*;
+//! use lux_dataframe::expr::col;
+//!
+//! let df = DataFrameBuilder::new()
+//!     .int("age", [25, 32, 47])
+//!     .str("dept", ["Sales", "Eng", "Sales"])
+//!     .build()
+//!     .unwrap();
+//! let filtered = df
+//!     .filter_expr(&col("age").gt(30).and(col("dept").eq("Sales")))
+//!     .unwrap();
+//! assert_eq!(filtered.num_rows(), 1);
+//! ```
+
+use crate::bitmap::Bitmap;
+use crate::error::Result;
+use crate::frame::DataFrame;
+use crate::history::{Event, OpKind};
+use crate::ops::FilterOp;
+use crate::value::Value;
+
+/// A boolean predicate over the rows of a frame.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// `column OP value`
+    Compare { column: String, op: FilterOp, value: Value },
+    /// String membership: true when the column's string contains `needle`.
+    Contains { column: String, needle: String },
+    /// Null test.
+    IsNull { column: String },
+    And(Box<Expr>, Box<Expr>),
+    Or(Box<Expr>, Box<Expr>),
+    Not(Box<Expr>),
+}
+
+/// Start an expression from a column reference.
+pub fn col(name: impl Into<String>) -> ColumnRef {
+    ColumnRef { name: name.into() }
+}
+
+/// A column reference awaiting a comparison.
+#[derive(Debug, Clone)]
+pub struct ColumnRef {
+    name: String,
+}
+
+impl ColumnRef {
+    pub fn eq(self, v: impl Into<Value>) -> Expr {
+        Expr::Compare { column: self.name, op: FilterOp::Eq, value: v.into() }
+    }
+
+    pub fn ne(self, v: impl Into<Value>) -> Expr {
+        Expr::Compare { column: self.name, op: FilterOp::Ne, value: v.into() }
+    }
+
+    pub fn gt(self, v: impl Into<Value>) -> Expr {
+        Expr::Compare { column: self.name, op: FilterOp::Gt, value: v.into() }
+    }
+
+    pub fn lt(self, v: impl Into<Value>) -> Expr {
+        Expr::Compare { column: self.name, op: FilterOp::Lt, value: v.into() }
+    }
+
+    pub fn ge(self, v: impl Into<Value>) -> Expr {
+        Expr::Compare { column: self.name, op: FilterOp::Ge, value: v.into() }
+    }
+
+    pub fn le(self, v: impl Into<Value>) -> Expr {
+        Expr::Compare { column: self.name, op: FilterOp::Le, value: v.into() }
+    }
+
+    pub fn contains(self, needle: impl Into<String>) -> Expr {
+        Expr::Contains { column: self.name, needle: needle.into() }
+    }
+
+    pub fn is_null(self) -> Expr {
+        Expr::IsNull { column: self.name }
+    }
+}
+
+impl Expr {
+    pub fn and(self, other: Expr) -> Expr {
+        Expr::And(Box::new(self), Box::new(other))
+    }
+
+    pub fn or(self, other: Expr) -> Expr {
+        Expr::Or(Box::new(self), Box::new(other))
+    }
+
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(self) -> Expr {
+        Expr::Not(Box::new(self))
+    }
+
+    /// Evaluate to a row mask against `df`.
+    pub fn evaluate(&self, df: &DataFrame) -> Result<Bitmap> {
+        match self {
+            Expr::Compare { column, op, value } => df.filter_mask(column, *op, value),
+            Expr::Contains { column, needle } => {
+                let c = df.column(column)?;
+                Ok(Bitmap::from_iter((0..c.len()).map(|i| match c.value(i) {
+                    Value::Str(s) => s.contains(needle.as_str()),
+                    _ => false,
+                })))
+            }
+            Expr::IsNull { column } => {
+                let c = df.column(column)?;
+                Ok(Bitmap::from_iter((0..c.len()).map(|i| !c.is_valid(i))))
+            }
+            Expr::And(a, b) => Ok(a.evaluate(df)?.and(&b.evaluate(df)?)),
+            Expr::Or(a, b) => {
+                let (ma, mb) = (a.evaluate(df)?, b.evaluate(df)?);
+                Ok(Bitmap::from_iter((0..ma.len()).map(|i| ma.get(i) || mb.get(i))))
+            }
+            Expr::Not(e) => {
+                let m = e.evaluate(df)?;
+                Ok(Bitmap::from_iter((0..m.len()).map(|i| !m.get(i))))
+            }
+        }
+    }
+
+    /// Human-readable rendering (used in history events).
+    pub fn describe(&self) -> String {
+        match self {
+            Expr::Compare { column, op, value } => format!("{column} {op} {value}"),
+            Expr::Contains { column, needle } => format!("{column} contains {needle:?}"),
+            Expr::IsNull { column } => format!("{column} is null"),
+            Expr::And(a, b) => format!("({} AND {})", a.describe(), b.describe()),
+            Expr::Or(a, b) => format!("({} OR {})", a.describe(), b.describe()),
+            Expr::Not(e) => format!("NOT ({})", e.describe()),
+        }
+    }
+}
+
+impl DataFrame {
+    /// Keep rows matching the predicate expression. Records a `Filter`
+    /// history event (with the expression text) and retains the parent
+    /// frame, like every other row-subsetting operation.
+    pub fn filter_expr(&self, expr: &Expr) -> Result<DataFrame> {
+        let mask = expr.evaluate(self)?;
+        let mut out = self.filter_rows(&mask)?;
+        out.record_event(Event::new(OpKind::Filter, format!("filter: {}", expr.describe())));
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::column::{Column, StrColumn};
+    use crate::frame::DataFrameBuilder;
+
+    fn df() -> DataFrame {
+        DataFrameBuilder::new()
+            .int("age", [25, 32, 47, 19])
+            .str("dept", ["Sales", "Engineering", "Sales", "HR"])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn conjunction_and_disjunction() {
+        let and = df().filter_expr(&col("age").gt(20).and(col("dept").eq("Sales"))).unwrap();
+        assert_eq!(and.num_rows(), 2);
+        let or = df().filter_expr(&col("age").lt(20).or(col("age").gt(40))).unwrap();
+        assert_eq!(or.num_rows(), 2);
+    }
+
+    #[test]
+    fn negation() {
+        let not = df().filter_expr(&col("dept").eq("Sales").not()).unwrap();
+        assert_eq!(not.num_rows(), 2);
+        // NOT over a null-bearing comparison includes null rows (mask semantics)
+        let mut c = crate::column::PrimitiveColumn::from_values(vec![1i64]);
+        c.push(None);
+        let d = DataFrame::from_columns(vec![("x".into(), Column::Int64(c))]).unwrap();
+        let kept = d.filter_expr(&col("x").eq(1).not()).unwrap();
+        assert_eq!(kept.num_rows(), 1);
+    }
+
+    #[test]
+    fn contains_and_is_null() {
+        let c = df().filter_expr(&col("dept").contains("eer")).unwrap();
+        assert_eq!(c.num_rows(), 1);
+        let s = Column::Str(StrColumn::from_options([Some("a"), None]));
+        let d = DataFrame::from_columns(vec![("s".into(), s)]).unwrap();
+        let nulls = d.filter_expr(&col("s").is_null()).unwrap();
+        assert_eq!(nulls.num_rows(), 1);
+    }
+
+    #[test]
+    fn describe_renders_tree() {
+        let e = col("a").ge(3).and(col("b").eq("x").not());
+        assert_eq!(e.describe(), "(a >= 3 AND NOT (b = x))");
+    }
+
+    #[test]
+    fn filter_expr_records_history() {
+        let f = df().filter_expr(&col("age").gt(30)).unwrap();
+        let events = f.history().events();
+        assert!(events.iter().any(|e| e.detail.contains("age > 30")));
+    }
+
+    #[test]
+    fn unknown_column_errors() {
+        assert!(df().filter_expr(&col("nope").eq(1)).is_err());
+    }
+}

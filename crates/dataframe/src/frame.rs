@@ -1,0 +1,374 @@
+//! The columnar [`DataFrame`].
+
+use std::fmt;
+use std::sync::Arc;
+
+use crate::column::Column;
+use crate::error::{Error, Result};
+use crate::history::{Event, History, OpKind};
+use crate::index::Index;
+use crate::value::{DType, Value};
+
+/// An immutable, columnar dataframe.
+///
+/// Columns are `Arc`-shared, so deriving frames (filter, select, assign, ...)
+/// is cheap: untouched columns are reference-counted rather than copied. All
+/// operations return *new* frames; the attached [`History`] records how each
+/// frame was derived, which is what powers Lux's history-based
+/// recommendations.
+#[derive(Debug, Clone)]
+pub struct DataFrame {
+    names: Vec<String>,
+    columns: Vec<Arc<Column>>,
+    index: Index,
+    history: History,
+}
+
+impl DataFrame {
+    /// An empty frame with no columns and no rows.
+    pub fn empty() -> DataFrame {
+        DataFrame { names: Vec::new(), columns: Vec::new(), index: Index::range(0), history: History::new() }
+    }
+
+    /// Build a frame from `(name, column)` pairs. All columns must share a
+    /// length and names must be distinct.
+    pub fn from_columns(cols: Vec<(String, Column)>) -> Result<DataFrame> {
+        let mut df = DataFrame::empty();
+        let nrows = cols.first().map_or(0, |(_, c)| c.len());
+        df.index = Index::range(nrows);
+        for (name, col) in cols {
+            if col.len() != nrows {
+                return Err(Error::LengthMismatch { expected: nrows, got: col.len() });
+            }
+            if df.names.iter().any(|n| n == &name) {
+                return Err(Error::DuplicateColumn(name));
+            }
+            df.names.push(name);
+            df.columns.push(Arc::new(col));
+        }
+        df.history.push(Event::new(OpKind::Load, "from_columns"));
+        Ok(df)
+    }
+
+    /// Number of rows.
+    pub fn num_rows(&self) -> usize {
+        self.columns.first().map_or(self.index.len(), |c| c.len())
+    }
+
+    /// Number of columns.
+    pub fn num_columns(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Column names, in order.
+    pub fn column_names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// True if a column with this name exists.
+    pub fn has_column(&self, name: &str) -> bool {
+        self.names.iter().any(|n| n == name)
+    }
+
+    /// Position of a column by name.
+    pub fn column_position(&self, name: &str) -> Option<usize> {
+        self.names.iter().position(|n| n == name)
+    }
+
+    /// A column by name.
+    pub fn column(&self, name: &str) -> Result<&Column> {
+        self.column_position(name)
+            .map(|i| self.columns[i].as_ref())
+            .ok_or_else(|| Error::ColumnNotFound(name.to_string()))
+    }
+
+    /// The shared handle for a column by name.
+    pub fn column_arc(&self, name: &str) -> Result<Arc<Column>> {
+        self.column_position(name)
+            .map(|i| Arc::clone(&self.columns[i]))
+            .ok_or_else(|| Error::ColumnNotFound(name.to_string()))
+    }
+
+    /// A column by position.
+    pub fn column_at(&self, i: usize) -> &Column {
+        &self.columns[i]
+    }
+
+    /// `(name, dtype)` pairs describing the schema.
+    pub fn schema(&self) -> Vec<(&str, DType)> {
+        self.names.iter().map(String::as_str).zip(self.columns.iter().map(|c| c.dtype())).collect()
+    }
+
+    /// The row index.
+    pub fn index(&self) -> &Index {
+        &self.index
+    }
+
+    /// The operation history.
+    pub fn history(&self) -> &History {
+        &self.history
+    }
+
+    /// The boxed value at `(row, column-name)`.
+    pub fn value(&self, row: usize, column: &str) -> Result<Value> {
+        Ok(self.column(column)?.value(row))
+    }
+
+    /// A full row as boxed values, in column order.
+    pub fn row(&self, row: usize) -> Vec<Value> {
+        self.columns.iter().map(|c| c.value(row)).collect()
+    }
+
+    // ------------------------------------------------------------------
+    // Internal construction helpers used by the ops modules.
+    // ------------------------------------------------------------------
+
+    /// Derive a new frame with the given parts, carrying this frame's history
+    /// plus `event`.
+    pub(crate) fn derive(
+        &self,
+        names: Vec<String>,
+        columns: Vec<Arc<Column>>,
+        index: Index,
+        event: Event,
+    ) -> DataFrame {
+        let mut history = self.history.clone();
+        history.push(event);
+        DataFrame { names, columns, index, history }
+    }
+
+    /// Derive a frame whose event retains `self` as parent (for history
+    /// actions that need the pre-operation frame).
+    pub(crate) fn derive_with_parent(
+        &self,
+        names: Vec<String>,
+        columns: Vec<Arc<Column>>,
+        index: Index,
+        event: Event,
+    ) -> DataFrame {
+        let parent = Arc::new(self.clone_without_parents());
+        self.derive(names, columns, index, event.with_parent(parent))
+    }
+
+    /// A clone whose history drops retained parent frames, so that storing it
+    /// as a parent does not chain ancestors indefinitely.
+    pub(crate) fn clone_without_parents(&self) -> DataFrame {
+        let mut df = self.clone();
+        let mut history = History::new();
+        for e in self.history.events() {
+            history.push(Event::new(e.op, e.detail.clone()).with_columns(e.columns.clone()));
+        }
+        df.history = history;
+        df
+    }
+
+    /// Record an extra event on this frame (used by wrappers that instrument
+    /// operations performed outside this crate).
+    pub fn record_event(&mut self, event: Event) {
+        self.history.push(event);
+    }
+
+    /// Replace the index (used by group-by style ops).
+    pub(crate) fn with_index(mut self, index: Index) -> DataFrame {
+        self.index = index;
+        self
+    }
+
+    /// Render at most `max_rows` rows as an aligned text table, pandas-style
+    /// (head and tail with an ellipsis row in between).
+    pub fn to_table_string(&self, max_rows: usize) -> String {
+        let nrows = self.num_rows();
+        let mut rows_to_show: Vec<Option<usize>> = Vec::new();
+        if nrows <= max_rows {
+            rows_to_show.extend((0..nrows).map(Some));
+        } else {
+            let half = max_rows / 2;
+            rows_to_show.extend((0..half).map(Some));
+            rows_to_show.push(None); // ellipsis
+            rows_to_show.extend((nrows - half..nrows).map(Some));
+        }
+
+        let mut headers: Vec<String> = vec![self.index.name().unwrap_or("").to_string()];
+        headers.extend(self.names.iter().cloned());
+        let mut table: Vec<Vec<String>> = vec![headers];
+        for r in &rows_to_show {
+            let row = match r {
+                Some(i) => {
+                    let mut cells = vec![self.index.label(*i).to_string()];
+                    cells.extend(self.columns.iter().map(|c| c.value(*i).to_string()));
+                    cells
+                }
+                None => vec!["...".to_string(); self.num_columns() + 1],
+            };
+            table.push(row);
+        }
+
+        let ncols = table[0].len();
+        let widths: Vec<usize> = (0..ncols)
+            .map(|c| table.iter().map(|row| row[c].len()).max().unwrap_or(0))
+            .collect();
+        let mut out = String::new();
+        for row in &table {
+            for (c, cell) in row.iter().enumerate() {
+                if c > 0 {
+                    out.push_str("  ");
+                }
+                out.push_str(&format!("{:>width$}", cell, width = widths[c]));
+            }
+            out.push('\n');
+        }
+        out.push_str(&format!("[{} rows x {} columns]\n", nrows, self.num_columns()));
+        out
+    }
+}
+
+impl fmt::Display for DataFrame {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_table_string(10))
+    }
+}
+
+/// Convenience constructor used heavily in tests and examples:
+/// `df![("a", [1,2,3]), ("b", ["x","y","z"])]`-style building via tuples.
+#[derive(Debug, Default)]
+pub struct DataFrameBuilder {
+    cols: Vec<(String, Column)>,
+}
+
+impl DataFrameBuilder {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add an i64 column.
+    pub fn int(mut self, name: &str, values: impl IntoIterator<Item = i64>) -> Self {
+        let col = Column::Int64(crate::column::PrimitiveColumn::from_values(values.into_iter().collect()));
+        self.cols.push((name.to_string(), col));
+        self
+    }
+
+    /// Add an f64 column.
+    pub fn float(mut self, name: &str, values: impl IntoIterator<Item = f64>) -> Self {
+        let col =
+            Column::Float64(crate::column::PrimitiveColumn::from_values(values.into_iter().collect()));
+        self.cols.push((name.to_string(), col));
+        self
+    }
+
+    /// Add a string column.
+    pub fn str(mut self, name: &str, values: impl IntoIterator<Item = impl AsRef<str>>) -> Self {
+        let col = Column::Str(crate::column::StrColumn::from_strings(values));
+        self.cols.push((name.to_string(), col));
+        self
+    }
+
+    /// Add a bool column.
+    pub fn bool(mut self, name: &str, values: impl IntoIterator<Item = bool>) -> Self {
+        let col = Column::Bool(crate::column::PrimitiveColumn::from_values(values.into_iter().collect()));
+        self.cols.push((name.to_string(), col));
+        self
+    }
+
+    /// Add a datetime column from `YYYY-MM-DD` strings. Panics on parse
+    /// failure — builder is for literals in tests/examples.
+    pub fn datetime(mut self, name: &str, values: impl IntoIterator<Item = impl AsRef<str>>) -> Self {
+        let vals: Vec<i64> = values
+            .into_iter()
+            .map(|s| crate::value::parse_datetime(s.as_ref()).expect("invalid datetime literal"))
+            .collect();
+        let col = Column::DateTime(crate::column::PrimitiveColumn::from_values(vals));
+        self.cols.push((name.to_string(), col));
+        self
+    }
+
+    /// Add an arbitrary column.
+    pub fn column(mut self, name: &str, col: Column) -> Self {
+        self.cols.push((name.to_string(), col));
+        self
+    }
+
+    pub fn build(self) -> Result<DataFrame> {
+        DataFrame::from_columns(self.cols)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> DataFrame {
+        DataFrameBuilder::new()
+            .int("age", [25, 32, 47])
+            .str("dept", ["Sales", "Eng", "Sales"])
+            .float("salary", [50.0, 80.0, 65.5])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn construction_and_shape() {
+        let df = sample();
+        assert_eq!(df.num_rows(), 3);
+        assert_eq!(df.num_columns(), 3);
+        assert_eq!(df.column_names(), &["age", "dept", "salary"]);
+    }
+
+    #[test]
+    fn schema_reports_types() {
+        let df = sample();
+        let schema = df.schema();
+        assert_eq!(schema[0], ("age", DType::Int64));
+        assert_eq!(schema[1], ("dept", DType::Str));
+        assert_eq!(schema[2], ("salary", DType::Float64));
+    }
+
+    #[test]
+    fn column_lookup() {
+        let df = sample();
+        assert!(df.column("age").is_ok());
+        assert!(matches!(df.column("nope"), Err(Error::ColumnNotFound(_))));
+        assert_eq!(df.value(1, "dept").unwrap(), Value::str("Eng"));
+    }
+
+    #[test]
+    fn mismatched_lengths_rejected() {
+        let r = DataFrameBuilder::new().int("a", [1, 2]).int("b", [1]).build();
+        assert!(matches!(r, Err(Error::LengthMismatch { .. })));
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let r = DataFrameBuilder::new().int("a", [1]).float("a", [1.0]).build();
+        assert!(matches!(r, Err(Error::DuplicateColumn(_))));
+    }
+
+    #[test]
+    fn construction_records_load_event() {
+        let df = sample();
+        assert!(df.history().contains(OpKind::Load));
+    }
+
+    #[test]
+    fn row_extraction() {
+        let df = sample();
+        let row = df.row(2);
+        assert_eq!(row, vec![Value::Int(47), Value::str("Sales"), Value::Float(65.5)]);
+    }
+
+    #[test]
+    fn table_string_truncates() {
+        let df = DataFrameBuilder::new().int("x", 0..100).build().unwrap();
+        let s = df.to_table_string(6);
+        assert!(s.contains("..."));
+        assert!(s.contains("[100 rows x 1 columns]"));
+        // head and tail present
+        assert!(s.contains('0') && s.contains("99"));
+    }
+
+    #[test]
+    fn empty_frame() {
+        let df = DataFrame::empty();
+        assert_eq!(df.num_rows(), 0);
+        assert_eq!(df.num_columns(), 0);
+    }
+}

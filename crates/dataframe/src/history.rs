@@ -1,0 +1,176 @@
+//! Per-frame operation history.
+//!
+//! The paper (§6, "History-based recommendations") instruments each dataframe
+//! operation and stores the log on the frame itself, propagating it to
+//! derived frames "so that the history is not lost". We do exactly that:
+//! every operation in [`crate::frame::DataFrame`] appends an [`Event`], and
+//! derived frames start from a clone of the parent's history. Filtering and
+//! aggregating events optionally retain an `Arc` of the parent frame so the
+//! Pre-filter / Pre-aggregate actions can visualize the pre-operation state;
+//! since columns are `Arc`-shared this retention is cheap.
+
+use std::fmt;
+use std::sync::Arc;
+
+use crate::frame::DataFrame;
+
+/// The kind of operation recorded in the history.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpKind {
+    /// Initial construction (from columns, CSV, ...).
+    Load,
+    /// Row subsetting: boolean filter, head, tail, sample.
+    Filter,
+    /// Group-by aggregation, pivot, crosstab, value_counts, describe.
+    Aggregate,
+    Join,
+    Sort,
+    /// Column added or overwritten.
+    Assign,
+    Rename,
+    /// Null handling: dropna / fillna.
+    NullHandling,
+    Bin,
+    Concat,
+    /// Anything else that derives a frame.
+    Other,
+}
+
+impl OpKind {
+    pub fn name(self) -> &'static str {
+        match self {
+            OpKind::Load => "load",
+            OpKind::Filter => "filter",
+            OpKind::Aggregate => "aggregate",
+            OpKind::Join => "join",
+            OpKind::Sort => "sort",
+            OpKind::Assign => "assign",
+            OpKind::Rename => "rename",
+            OpKind::NullHandling => "null-handling",
+            OpKind::Bin => "bin",
+            OpKind::Concat => "concat",
+            OpKind::Other => "other",
+        }
+    }
+}
+
+impl fmt::Display for OpKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One recorded operation.
+#[derive(Debug, Clone)]
+pub struct Event {
+    pub op: OpKind,
+    /// Human-readable detail, e.g. `"filter: Country == 'USA'"`.
+    pub detail: String,
+    /// Columns the operation touched (for column-targeted recommendations).
+    pub columns: Vec<String>,
+    /// The frame the operation was applied to, retained for Filter and
+    /// Aggregate events so history actions can show the pre-operation data.
+    pub parent: Option<Arc<DataFrame>>,
+}
+
+impl Event {
+    pub fn new(op: OpKind, detail: impl Into<String>) -> Event {
+        Event { op, detail: detail.into(), columns: Vec::new(), parent: None }
+    }
+
+    pub fn with_columns(mut self, columns: Vec<String>) -> Event {
+        self.columns = columns;
+        self
+    }
+
+    pub fn with_parent(mut self, parent: Arc<DataFrame>) -> Event {
+        self.parent = Some(parent);
+        self
+    }
+}
+
+/// The ordered operation log attached to a frame.
+#[derive(Debug, Clone, Default)]
+pub struct History {
+    events: Vec<Event>,
+}
+
+impl History {
+    pub fn new() -> History {
+        History::default()
+    }
+
+    pub fn push(&mut self, event: Event) {
+        self.events.push(event);
+    }
+
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The most recent event, if any.
+    pub fn last(&self) -> Option<&Event> {
+        self.events.last()
+    }
+
+    /// The most recent event of the given kind.
+    pub fn last_of(&self, op: OpKind) -> Option<&Event> {
+        self.events.iter().rev().find(|e| e.op == op)
+    }
+
+    /// True if any event of the given kind was recorded.
+    pub fn contains(&self, op: OpKind) -> bool {
+        self.events.iter().any(|e| e.op == op)
+    }
+
+    /// Events within the trailing window of `n` operations, newest last.
+    pub fn recent(&self, n: usize) -> &[Event] {
+        let start = self.events.len().saturating_sub(n);
+        &self.events[start..]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_query() {
+        let mut h = History::new();
+        h.push(Event::new(OpKind::Load, "load csv"));
+        h.push(Event::new(OpKind::Filter, "head(5)"));
+        h.push(Event::new(OpKind::Assign, "df['x'] = ..."));
+        assert_eq!(h.len(), 3);
+        assert_eq!(h.last().unwrap().op, OpKind::Assign);
+        assert_eq!(h.last_of(OpKind::Filter).unwrap().detail, "head(5)");
+        assert!(h.contains(OpKind::Load));
+        assert!(!h.contains(OpKind::Join));
+    }
+
+    #[test]
+    fn recent_window() {
+        let mut h = History::new();
+        for i in 0..5 {
+            h.push(Event::new(OpKind::Other, format!("op{i}")));
+        }
+        let r = h.recent(2);
+        assert_eq!(r.len(), 2);
+        assert_eq!(r[1].detail, "op4");
+        assert_eq!(h.recent(100).len(), 5);
+    }
+
+    #[test]
+    fn event_builders() {
+        let e = Event::new(OpKind::Rename, "rename").with_columns(vec!["a".into()]);
+        assert_eq!(e.columns, vec!["a".to_string()]);
+        assert!(e.parent.is_none());
+    }
+}

@@ -1,0 +1,125 @@
+//! Column assignment, renaming, and type overrides.
+
+use std::sync::Arc;
+
+use crate::column::Column;
+use crate::error::{Error, Result};
+use crate::frame::DataFrame;
+use crate::history::{Event, OpKind};
+use crate::value::Value;
+
+impl DataFrame {
+    /// Add or replace a column. Equivalent to `df["name"] = values` in
+    /// pandas; the paper's wflow optimization keys metadata expiry off this
+    /// operation, which is why it records an `Assign` event.
+    pub fn with_column(&self, name: &str, column: Column) -> Result<DataFrame> {
+        if column.len() != self.num_rows() && self.num_columns() > 0 {
+            return Err(Error::LengthMismatch { expected: self.num_rows(), got: column.len() });
+        }
+        let mut names = self.column_names().to_vec();
+        let mut cols: Vec<Arc<Column>> =
+            (0..self.num_columns()).map(|i| self.column_arc(&names[i]).unwrap()).collect();
+        match self.column_position(name) {
+            Some(pos) => cols[pos] = Arc::new(column),
+            None => {
+                names.push(name.to_string());
+                cols.push(Arc::new(column));
+            }
+        }
+        let event = Event::new(OpKind::Assign, format!("assign {name:?}"))
+            .with_columns(vec![name.to_string()]);
+        Ok(self.derive(names, cols, self.index().clone(), event))
+    }
+
+    /// Derive a new column by mapping each row's value from `source`.
+    pub fn with_column_from<F>(&self, name: &str, source: &str, f: F) -> Result<DataFrame>
+    where
+        F: Fn(&Value) -> Value,
+    {
+        let src = self.column(source)?;
+        let values: Vec<Value> = src.iter_values().map(|v| f(&v)).collect();
+        let col = Column::from_values(&values)?;
+        self.with_column(name, col)
+    }
+
+    /// Rename columns via `(old, new)` pairs.
+    pub fn rename(&self, mapping: &[(&str, &str)]) -> Result<DataFrame> {
+        let mut names = self.column_names().to_vec();
+        let mut touched = Vec::new();
+        for &(old, new) in mapping {
+            let pos = self
+                .column_position(old)
+                .ok_or_else(|| Error::ColumnNotFound(old.to_string()))?;
+            if names.iter().enumerate().any(|(i, n)| i != pos && n == new) {
+                return Err(Error::DuplicateColumn(new.to_string()));
+            }
+            names[pos] = new.to_string();
+            touched.push(new.to_string());
+        }
+        let cols: Vec<Arc<Column>> = (0..self.num_columns())
+            .map(|i| self.column_arc(&self.column_names()[i]).unwrap())
+            .collect();
+        let event =
+            Event::new(OpKind::Rename, format!("rename({mapping:?})")).with_columns(touched);
+        Ok(self.derive(names, cols, self.index().clone(), event))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::column::PrimitiveColumn;
+    use crate::frame::DataFrameBuilder;
+
+    fn df() -> DataFrame {
+        DataFrameBuilder::new().int("a", [1, 2]).str("b", ["x", "y"]).build().unwrap()
+    }
+
+    #[test]
+    fn with_column_adds() {
+        let c = Column::Float64(PrimitiveColumn::from_values(vec![0.5, 1.5]));
+        let d = df().with_column("c", c).unwrap();
+        assert_eq!(d.num_columns(), 3);
+        assert_eq!(d.value(1, "c").unwrap(), Value::Float(1.5));
+        assert!(d.history().contains(OpKind::Assign));
+    }
+
+    #[test]
+    fn with_column_replaces() {
+        let c = Column::Int64(PrimitiveColumn::from_values(vec![10, 20]));
+        let d = df().with_column("a", c).unwrap();
+        assert_eq!(d.num_columns(), 2);
+        assert_eq!(d.value(0, "a").unwrap(), Value::Int(10));
+    }
+
+    #[test]
+    fn with_column_length_checked() {
+        let c = Column::Int64(PrimitiveColumn::from_values(vec![1]));
+        assert!(df().with_column("c", c).is_err());
+    }
+
+    #[test]
+    fn with_column_from_maps() {
+        let d = df()
+            .with_column_from("a2", "a", |v| {
+                Value::Float(v.as_f64().unwrap_or(f64::NAN) * 2.0)
+            })
+            .unwrap();
+        assert_eq!(d.value(1, "a2").unwrap(), Value::Float(4.0));
+    }
+
+    #[test]
+    fn rename_works_and_checks() {
+        let d = df().rename(&[("a", "alpha")]).unwrap();
+        assert!(d.has_column("alpha") && !d.has_column("a"));
+        assert!(d.history().contains(OpKind::Rename));
+        assert!(df().rename(&[("zz", "w")]).is_err());
+        assert!(df().rename(&[("a", "b")]).is_err()); // collides with existing b
+    }
+
+    #[test]
+    fn rename_to_same_name_allowed() {
+        let d = df().rename(&[("a", "a")]).unwrap();
+        assert!(d.has_column("a"));
+    }
+}

@@ -1,0 +1,139 @@
+//! Numeric binning (`cut`) — the paper's example workflow bins `stringency`
+//! into a binary `stringency_level`, and the histogram vis type is
+//! "bin + count" (Table 2).
+
+use crate::column::{Column, StrColumn};
+use crate::error::{Error, Result};
+use crate::frame::DataFrame;
+use crate::history::{Event, OpKind};
+
+impl DataFrame {
+    /// Bin a numeric column into `labels.len()` equal-width categories over
+    /// its observed min/max, adding the result as a new string column named
+    /// `out`. Null and NaN inputs map to null outputs.
+    pub fn cut(&self, column: &str, labels: &[&str], out: &str) -> Result<DataFrame> {
+        if labels.is_empty() {
+            return Err(Error::InvalidArgument("cut requires at least one label".into()));
+        }
+        let col = self.column(column)?;
+        if !col.dtype().is_numeric() {
+            return Err(Error::TypeMismatch {
+                column: column.to_string(),
+                expected: "numeric",
+                got: col.dtype().name(),
+            });
+        }
+        let (lo, hi) = col
+            .min_max_f64()
+            .ok_or_else(|| Error::InvalidArgument(format!("column {column:?} has no valid values")))?;
+        let nbins = labels.len();
+        let width = if hi > lo { (hi - lo) / nbins as f64 } else { 1.0 };
+
+        let mut out_col = StrColumn::new();
+        for i in 0..col.len() {
+            match col.f64_at(i) {
+                Some(v) if !v.is_nan() => {
+                    let mut b = ((v - lo) / width) as usize;
+                    if b >= nbins {
+                        b = nbins - 1; // the max value falls in the last bin
+                    }
+                    out_col.push(Some(labels[b]));
+                }
+                _ => out_col.push(None),
+            }
+        }
+        let mut df = self.with_column(out, Column::Str(out_col))?;
+        df.record_event(
+            Event::new(OpKind::Bin, format!("cut({column} -> {out}, {nbins} bins)"))
+                .with_columns(vec![column.to_string(), out.to_string()]),
+        );
+        Ok(df)
+    }
+
+    /// Equal-width histogram of a numeric column: returns `(bin_edges,
+    /// counts)` with `bins + 1` edges. Nulls and NaNs are excluded.
+    pub fn histogram(&self, column: &str, bins: usize) -> Result<(Vec<f64>, Vec<u64>)> {
+        if bins == 0 {
+            return Err(Error::InvalidArgument("histogram requires bins >= 1".into()));
+        }
+        let col = self.column(column)?;
+        if !col.dtype().is_numeric() && col.dtype() != crate::value::DType::DateTime {
+            return Err(Error::TypeMismatch {
+                column: column.to_string(),
+                expected: "numeric",
+                got: col.dtype().name(),
+            });
+        }
+        let (lo, hi) = match col.min_max_f64() {
+            Some(mm) => mm,
+            None => return Ok((vec![0.0; bins + 1], vec![0; bins])),
+        };
+        let width = if hi > lo { (hi - lo) / bins as f64 } else { 1.0 };
+        let edges: Vec<f64> = (0..=bins).map(|b| lo + width * b as f64).collect();
+        let mut counts = vec![0u64; bins];
+        for i in 0..col.len() {
+            if let Some(v) = col.f64_at(i) {
+                if v.is_nan() {
+                    continue;
+                }
+                let mut b = ((v - lo) / width) as usize;
+                if b >= bins {
+                    b = bins - 1;
+                }
+                counts[b] += 1;
+            }
+        }
+        Ok((edges, counts))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::DataFrameBuilder;
+    use crate::value::Value;
+
+    #[test]
+    fn cut_two_bins() {
+        let df = DataFrameBuilder::new()
+            .float("stringency", [10.0, 90.0, 45.0, 55.0])
+            .build()
+            .unwrap();
+        let d = df.cut("stringency", &["Low", "High"], "stringency_level").unwrap();
+        assert_eq!(d.value(0, "stringency_level").unwrap(), Value::str("Low"));
+        assert_eq!(d.value(1, "stringency_level").unwrap(), Value::str("High"));
+        assert_eq!(d.value(2, "stringency_level").unwrap(), Value::str("Low"));
+        assert_eq!(d.value(3, "stringency_level").unwrap(), Value::str("High"));
+        assert!(d.history().contains(OpKind::Bin));
+    }
+
+    #[test]
+    fn cut_rejects_non_numeric_and_empty_labels() {
+        let df = DataFrameBuilder::new().str("s", ["a"]).build().unwrap();
+        assert!(df.cut("s", &["x"], "o").is_err());
+        let df = DataFrameBuilder::new().float("x", [1.0]).build().unwrap();
+        assert!(df.cut("x", &[], "o").is_err());
+    }
+
+    #[test]
+    fn histogram_counts_sum_to_valid_rows() {
+        let df = DataFrameBuilder::new().float("x", (0..100).map(|i| i as f64)).build().unwrap();
+        let (edges, counts) = df.histogram("x", 10).unwrap();
+        assert_eq!(edges.len(), 11);
+        assert_eq!(counts.iter().sum::<u64>(), 100);
+        assert_eq!(counts, vec![10; 10]);
+    }
+
+    #[test]
+    fn histogram_constant_column() {
+        let df = DataFrameBuilder::new().float("x", [5.0, 5.0, 5.0]).build().unwrap();
+        let (_, counts) = df.histogram("x", 4).unwrap();
+        assert_eq!(counts.iter().sum::<u64>(), 3);
+    }
+
+    #[test]
+    fn histogram_zero_bins_errors() {
+        let df = DataFrameBuilder::new().float("x", [1.0]).build().unwrap();
+        assert!(df.histogram("x", 0).is_err());
+    }
+}

@@ -1,0 +1,524 @@
+//! Group-by aggregation, `value_counts`, and `unique`.
+//!
+//! Group-by aggregation is the primary relational operation behind bar and
+//! line charts in the paper's Table 2, so the implementation avoids boxed
+//! values on the hot path: keys are hashed as compact [`KeyPart`]s (string
+//! keys compare dictionary codes, floats compare bit patterns) and numeric
+//! aggregations run over the typed buffers.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+use crate::column::Column;
+use crate::error::{Error, Result};
+use crate::frame::DataFrame;
+use crate::history::{Event, OpKind};
+use crate::index::Index;
+use crate::value::{DType, Value};
+
+/// Aggregation functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Agg {
+    Count,
+    Sum,
+    Mean,
+    Min,
+    Max,
+    Var,
+    Std,
+    Median,
+    First,
+}
+
+impl Agg {
+    pub fn name(self) -> &'static str {
+        match self {
+            Agg::Count => "count",
+            Agg::Sum => "sum",
+            Agg::Mean => "mean",
+            Agg::Min => "min",
+            Agg::Max => "max",
+            Agg::Var => "var",
+            Agg::Std => "std",
+            Agg::Median => "median",
+            Agg::First => "first",
+        }
+    }
+
+    /// True for aggregations defined only on numeric columns.
+    pub fn requires_numeric(self) -> bool {
+        matches!(self, Agg::Sum | Agg::Mean | Agg::Var | Agg::Std | Agg::Median)
+    }
+
+    /// Output type given an input type.
+    fn output_dtype(self, input: DType) -> DType {
+        match self {
+            Agg::Count => DType::Int64,
+            Agg::Sum => {
+                if input == DType::Int64 {
+                    DType::Int64
+                } else {
+                    DType::Float64
+                }
+            }
+            Agg::Mean | Agg::Var | Agg::Std | Agg::Median => DType::Float64,
+            Agg::Min | Agg::Max | Agg::First => input,
+        }
+    }
+}
+
+impl fmt::Display for Agg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Compact hashable group-key component.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum KeyPart {
+    Null,
+    Int(i64),
+    /// f64 bit pattern with NaN normalized to a single representation.
+    Bits(u64),
+    /// Dictionary code (valid within one column).
+    Code(u32),
+    Bool(bool),
+}
+
+fn key_part(col: &Column, row: usize) -> KeyPart {
+    match col {
+        Column::Int64(c) | Column::DateTime(c) => c.get(row).map_or(KeyPart::Null, KeyPart::Int),
+        Column::Float64(c) => c.get(row).map_or(KeyPart::Null, |v| {
+            KeyPart::Bits(if v.is_nan() { f64::NAN.to_bits() } else { v.to_bits() })
+        }),
+        Column::Bool(c) => c.get(row).map_or(KeyPart::Null, KeyPart::Bool),
+        Column::Str(c) => c.code(row).map_or(KeyPart::Null, KeyPart::Code),
+    }
+}
+
+/// A deferred group-by: created by [`DataFrame::groupby`], consumed by
+/// [`GroupBy::agg`] or [`GroupBy::count`].
+pub struct GroupBy<'a> {
+    df: &'a DataFrame,
+    keys: Vec<String>,
+    /// group id per row
+    group_of: Vec<u32>,
+    /// first row index of each group, in first-seen order
+    representatives: Vec<usize>,
+}
+
+impl DataFrame {
+    /// Start a group-by over the named key columns.
+    pub fn groupby(&self, keys: &[&str]) -> Result<GroupBy<'_>> {
+        if keys.is_empty() {
+            return Err(Error::InvalidArgument("groupby requires at least one key".into()));
+        }
+        let key_cols: Vec<&Column> = keys.iter().map(|k| self.column(k)).collect::<Result<_>>()?;
+        let nrows = self.num_rows();
+        let mut group_of = Vec::with_capacity(nrows);
+        let mut representatives = Vec::new();
+
+        if key_cols.len() == 1 {
+            let mut map: HashMap<KeyPart, u32> = HashMap::new();
+            let col = key_cols[0];
+            for row in 0..nrows {
+                let part = key_part(col, row);
+                let next = map.len() as u32;
+                let id = *map.entry(part).or_insert_with(|| {
+                    representatives.push(row);
+                    next
+                });
+                group_of.push(id);
+            }
+        } else {
+            let mut map: HashMap<Vec<KeyPart>, u32> = HashMap::new();
+            for row in 0..nrows {
+                let parts: Vec<KeyPart> = key_cols.iter().map(|c| key_part(c, row)).collect();
+                let next = map.len() as u32;
+                let id = *map.entry(parts).or_insert_with(|| {
+                    representatives.push(row);
+                    next
+                });
+                group_of.push(id);
+            }
+        }
+
+        Ok(GroupBy {
+            df: self,
+            keys: keys.iter().map(|s| s.to_string()).collect(),
+            group_of,
+            representatives,
+        })
+    }
+
+    /// Distinct values of a column, in first-seen order (nulls excluded).
+    pub fn unique(&self, column: &str) -> Result<Vec<Value>> {
+        let gb = self.groupby(&[column])?;
+        let col = self.column(column)?;
+        Ok(gb
+            .representatives
+            .iter()
+            .map(|&row| col.value(row))
+            .filter(|v| !v.is_null())
+            .collect())
+    }
+
+    /// Count of distinct non-null values.
+    pub fn cardinality(&self, column: &str) -> Result<usize> {
+        Ok(self.unique(column)?.len())
+    }
+
+    /// Frequency table of a column: columns `[column, "count"]`, sorted by
+    /// count descending, with a labeled index.
+    pub fn value_counts(&self, column: &str) -> Result<DataFrame> {
+        let counted = self.groupby(&[column])?.count()?;
+        counted.sort_by(&["count"], false)
+    }
+}
+
+impl GroupBy<'_> {
+    /// Number of groups.
+    pub fn num_groups(&self) -> usize {
+        self.representatives.len()
+    }
+
+    /// Group id for each row.
+    pub fn group_ids(&self) -> &[u32] {
+        &self.group_of
+    }
+
+    /// Count rows per group: output columns are the keys plus `"count"`.
+    pub fn count(&self) -> Result<DataFrame> {
+        let ngroups = self.num_groups();
+        let mut counts = vec![0i64; ngroups];
+        for &g in &self.group_of {
+            counts[g as usize] += 1;
+        }
+        let count_col = Column::Int64(crate::column::PrimitiveColumn::from_values(counts));
+        self.finish(vec![("count".to_string(), count_col)], "count")
+    }
+
+    /// Aggregate: one output column per `(source column, agg)` pair. Output
+    /// columns are named after the source column, or `"{column}_{agg}"` when
+    /// the same source appears more than once.
+    pub fn agg(&self, specs: &[(&str, Agg)]) -> Result<DataFrame> {
+        let mut out: Vec<(String, Column)> = Vec::with_capacity(specs.len());
+        for &(col_name, agg) in specs {
+            let source = self.df.column(col_name)?;
+            if agg.requires_numeric() && !source.dtype().is_numeric() {
+                return Err(Error::UnsupportedAggregation {
+                    agg: agg.name(),
+                    dtype: source.dtype().name(),
+                });
+            }
+            let duplicated = specs.iter().filter(|(c, _)| *c == col_name).count() > 1;
+            let name = if duplicated {
+                format!("{col_name}_{agg}")
+            } else {
+                col_name.to_string()
+            };
+            let column = self.aggregate_column(source, agg)?;
+            out.push((name, column));
+        }
+        let detail = specs
+            .iter()
+            .map(|(c, a)| format!("{c}:{a}"))
+            .collect::<Vec<_>>()
+            .join(",");
+        self.finish(out, &detail)
+    }
+
+    fn aggregate_column(&self, source: &Column, agg: Agg) -> Result<Column> {
+        let ngroups = self.num_groups();
+        match agg {
+            Agg::Count => {
+                let mut counts = vec![0i64; ngroups];
+                for (row, &g) in self.group_of.iter().enumerate() {
+                    if source.is_valid(row) {
+                        counts[g as usize] += 1;
+                    }
+                }
+                Ok(Column::Int64(crate::column::PrimitiveColumn::from_values(counts)))
+            }
+            Agg::Sum | Agg::Mean | Agg::Var | Agg::Std => {
+                // single Welford pass covers all four
+                let mut n = vec![0u64; ngroups];
+                let mut mean = vec![0f64; ngroups];
+                let mut m2 = vec![0f64; ngroups];
+                for (row, &g) in self.group_of.iter().enumerate() {
+                    if let Some(v) = source.f64_at(row) {
+                        let g = g as usize;
+                        n[g] += 1;
+                        let delta = v - mean[g];
+                        mean[g] += delta / n[g] as f64;
+                        m2[g] += delta * (v - mean[g]);
+                    }
+                }
+                let vals: Vec<Option<f64>> = (0..ngroups)
+                    .map(|g| {
+                        if n[g] == 0 {
+                            return None;
+                        }
+                        Some(match agg {
+                            Agg::Sum => mean[g] * n[g] as f64,
+                            Agg::Mean => mean[g],
+                            Agg::Var => {
+                                if n[g] > 1 {
+                                    m2[g] / (n[g] - 1) as f64
+                                } else {
+                                    0.0
+                                }
+                            }
+                            Agg::Std => {
+                                if n[g] > 1 {
+                                    (m2[g] / (n[g] - 1) as f64).sqrt()
+                                } else {
+                                    0.0
+                                }
+                            }
+                            _ => unreachable!(),
+                        })
+                    })
+                    .collect();
+                if agg == Agg::Sum && source.dtype() == DType::Int64 {
+                    let ints: Vec<Option<i64>> =
+                        vals.iter().map(|v| v.map(|x| x.round() as i64)).collect();
+                    Ok(Column::Int64(crate::column::PrimitiveColumn::from_options(ints)))
+                } else {
+                    Ok(Column::Float64(crate::column::PrimitiveColumn::from_options(vals)))
+                }
+            }
+            Agg::Median => {
+                let mut per_group: Vec<Vec<f64>> = vec![Vec::new(); ngroups];
+                for (row, &g) in self.group_of.iter().enumerate() {
+                    if let Some(v) = source.f64_at(row) {
+                        if !v.is_nan() {
+                            per_group[g as usize].push(v);
+                        }
+                    }
+                }
+                let vals: Vec<Option<f64>> = per_group
+                    .into_iter()
+                    .map(|mut vs| {
+                        if vs.is_empty() {
+                            return None;
+                        }
+                        vs.sort_by(f64::total_cmp);
+                        let mid = vs.len() / 2;
+                        Some(if vs.len() % 2 == 1 {
+                            vs[mid]
+                        } else {
+                            (vs[mid - 1] + vs[mid]) / 2.0
+                        })
+                    })
+                    .collect();
+                Ok(Column::Float64(crate::column::PrimitiveColumn::from_options(vals)))
+            }
+            Agg::Min | Agg::Max | Agg::First => {
+                let mut best: Vec<Value> = vec![Value::Null; ngroups];
+                for (row, &g) in self.group_of.iter().enumerate() {
+                    let v = source.value(row);
+                    if v.is_null() {
+                        continue;
+                    }
+                    let slot = &mut best[g as usize];
+                    let replace = match (agg, &*slot) {
+                        (_, Value::Null) => true,
+                        (Agg::First, _) => false,
+                        (Agg::Min, cur) => v.total_cmp(cur).is_lt(),
+                        (Agg::Max, cur) => v.total_cmp(cur).is_gt(),
+                        _ => unreachable!(),
+                    };
+                    if replace {
+                        *slot = v;
+                    }
+                }
+                // preserve the input dtype even when all groups are null
+                let mut col = Column::empty(agg.output_dtype(source.dtype()));
+                for v in &best {
+                    col.push_value(v)?;
+                }
+                Ok(col)
+            }
+        }
+    }
+
+    /// Assemble the result frame: key columns first (gathered from group
+    /// representatives), then aggregate columns; a single key also becomes
+    /// the labeled index, which is what marks the frame "pre-aggregated" for
+    /// Lux's structure-based recommendations.
+    fn finish(&self, aggs: Vec<(String, Column)>, detail: &str) -> Result<DataFrame> {
+        let mut names = Vec::with_capacity(self.keys.len() + aggs.len());
+        let mut cols: Vec<Arc<Column>> = Vec::with_capacity(self.keys.len() + aggs.len());
+        for key in &self.keys {
+            let source = self.df.column(key)?;
+            names.push(key.clone());
+            cols.push(Arc::new(source.take(&self.representatives)));
+        }
+        for (name, col) in aggs {
+            if names.contains(&name) {
+                return Err(Error::DuplicateColumn(name));
+            }
+            names.push(name);
+            cols.push(Arc::new(col));
+        }
+        let index = if self.keys.len() == 1 {
+            Index::labels(
+                Some(self.keys[0].clone()),
+                self.df.column(&self.keys[0])?.take(&self.representatives),
+            )
+        } else {
+            // Multi-key group-bys carry a multi-level index (the paper's
+            // future-work extension; see crate::index).
+            let levels: Vec<Column> = self
+                .keys
+                .iter()
+                .map(|k| Ok(self.df.column(k)?.take(&self.representatives)))
+                .collect::<Result<_>>()?;
+            Index::multi_labels(self.keys.iter().map(|k| Some(k.clone())).collect(), levels)
+        };
+        let event = Event::new(
+            OpKind::Aggregate,
+            format!("groupby({:?}).agg({detail})", self.keys),
+        )
+        .with_columns(self.keys.clone());
+        Ok(self.df.derive_with_parent(names, cols, index, event))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::DataFrameBuilder;
+
+    fn df() -> DataFrame {
+        DataFrameBuilder::new()
+            .str("dept", ["Sales", "Eng", "Sales", "Eng", "Sales"])
+            .int("age", [25, 32, 47, 28, 36])
+            .float("pay", [50.0, 80.0, 60.0, 90.0, 70.0])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn count_per_group() {
+        let c = df().groupby(&["dept"]).unwrap().count().unwrap();
+        assert_eq!(c.num_rows(), 2);
+        let sales = c.filter("dept", crate::ops::FilterOp::Eq, &Value::str("Sales")).unwrap();
+        assert_eq!(sales.value(0, "count").unwrap(), Value::Int(3));
+    }
+
+    #[test]
+    fn mean_sum_var_std() {
+        let df = df();
+        let g = df.groupby(&["dept"]).unwrap();
+        let a = g
+            .agg(&[("pay", Agg::Mean), ("age", Agg::Sum)])
+            .unwrap();
+        let eng = a.filter("dept", crate::ops::FilterOp::Eq, &Value::str("Eng")).unwrap();
+        assert_eq!(eng.value(0, "pay").unwrap(), Value::Float(85.0));
+        assert_eq!(eng.value(0, "age").unwrap(), Value::Int(60));
+        let v = g.agg(&[("pay", Agg::Var), ("pay", Agg::Std)]).unwrap();
+        assert!(v.has_column("pay_var") && v.has_column("pay_std"));
+        let eng = v.filter("dept", crate::ops::FilterOp::Eq, &Value::str("Eng")).unwrap();
+        assert_eq!(eng.value(0, "pay_var").unwrap(), Value::Float(50.0));
+    }
+
+    #[test]
+    fn min_max_first_median() {
+        let df = df();
+        let g = df.groupby(&["dept"]).unwrap();
+        let a = g
+            .agg(&[("age", Agg::Min), ("pay", Agg::Max)])
+            .unwrap();
+        let sales = a.filter("dept", crate::ops::FilterOp::Eq, &Value::str("Sales")).unwrap();
+        assert_eq!(sales.value(0, "age").unwrap(), Value::Int(25));
+        assert_eq!(sales.value(0, "pay").unwrap(), Value::Float(70.0));
+        let m = g.agg(&[("pay", Agg::Median)]).unwrap();
+        let sales = m.filter("dept", crate::ops::FilterOp::Eq, &Value::str("Sales")).unwrap();
+        assert_eq!(sales.value(0, "pay").unwrap(), Value::Float(60.0));
+        let f = g.agg(&[("age", Agg::First)]).unwrap();
+        let eng = f.filter("dept", crate::ops::FilterOp::Eq, &Value::str("Eng")).unwrap();
+        assert_eq!(eng.value(0, "age").unwrap(), Value::Int(32));
+    }
+
+    #[test]
+    fn numeric_agg_on_string_errors() {
+        let df = df();
+        let g = df.groupby(&["dept"]).unwrap();
+        assert!(matches!(
+            g.agg(&[("dept", Agg::Mean)]),
+            Err(Error::UnsupportedAggregation { .. })
+        ));
+    }
+
+    #[test]
+    fn single_key_result_has_labeled_index() {
+        let a = df().groupby(&["dept"]).unwrap().count().unwrap();
+        assert!(a.index().is_labeled());
+        assert_eq!(a.index().name(), Some("dept"));
+        assert!(a.history().contains(OpKind::Aggregate));
+    }
+
+    #[test]
+    fn multi_key_groupby() {
+        let df = DataFrameBuilder::new()
+            .str("a", ["x", "x", "y", "y"])
+            .int("b", [1, 1, 1, 2])
+            .float("v", [1.0, 2.0, 3.0, 4.0])
+            .build()
+            .unwrap();
+        let a = df.groupby(&["a", "b"]).unwrap().agg(&[("v", Agg::Sum)]).unwrap();
+        assert_eq!(a.num_rows(), 3);
+        assert!(a.index().is_labeled());
+        assert_eq!(a.index().num_levels(), 2);
+        assert_eq!(a.index().level_names(), vec![Some("a"), Some("b")]);
+    }
+
+    #[test]
+    fn null_keys_form_their_own_group() {
+        let col = Column::Str(crate::column::StrColumn::from_options([
+            Some("a"),
+            None,
+            Some("a"),
+            None,
+        ]));
+        let v = Column::Int64(crate::column::PrimitiveColumn::from_values(vec![1, 2, 3, 4]));
+        let df =
+            DataFrame::from_columns(vec![("k".into(), col), ("v".into(), v)]).unwrap();
+        let a = df.groupby(&["k"]).unwrap().count().unwrap();
+        assert_eq!(a.num_rows(), 2);
+    }
+
+    #[test]
+    fn unique_and_cardinality() {
+        let u = df().unique("dept").unwrap();
+        assert_eq!(u, vec![Value::str("Sales"), Value::str("Eng")]);
+        assert_eq!(df().cardinality("dept").unwrap(), 2);
+        assert_eq!(df().cardinality("age").unwrap(), 5);
+    }
+
+    #[test]
+    fn value_counts_sorted_desc() {
+        let vc = df().value_counts("dept").unwrap();
+        assert_eq!(vc.value(0, "dept").unwrap(), Value::str("Sales"));
+        assert_eq!(vc.value(0, "count").unwrap(), Value::Int(3));
+        assert_eq!(vc.value(1, "count").unwrap(), Value::Int(2));
+    }
+
+    #[test]
+    fn agg_count_skips_nulls() {
+        let k = Column::Str(crate::column::StrColumn::from_strings(["a", "a", "b"]));
+        let v = Column::Int64(crate::column::PrimitiveColumn::from_options(vec![
+            Some(1),
+            None,
+            Some(3),
+        ]));
+        let df =
+            DataFrame::from_columns(vec![("k".into(), k), ("v".into(), v)]).unwrap();
+        let a = df.groupby(&["k"]).unwrap().agg(&[("v", Agg::Count)]).unwrap();
+        let row_a = a.filter("k", crate::ops::FilterOp::Eq, &Value::str("a")).unwrap();
+        assert_eq!(row_a.value(0, "v").unwrap(), Value::Int(1));
+    }
+}

@@ -1,0 +1,240 @@
+//! Hash joins on a single key column.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use crate::column::Column;
+use crate::error::{Error, Result};
+use crate::frame::DataFrame;
+use crate::history::{Event, OpKind};
+use crate::index::Index;
+use crate::value::Value;
+
+/// Join semantics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JoinKind {
+    /// Keep only keys present on both sides.
+    Inner,
+    /// Keep every left row; unmatched right columns are null.
+    Left,
+}
+
+impl DataFrame {
+    /// Hash-join `self` (left) with `other` (right) on equality of
+    /// `left_on`/`right_on`. Right-side columns whose names collide get a
+    /// `"_right"` suffix. Null keys never match (SQL semantics). When a right
+    /// key matches multiple rows, the left row is duplicated per match.
+    pub fn join(
+        &self,
+        other: &DataFrame,
+        left_on: &str,
+        right_on: &str,
+        kind: JoinKind,
+    ) -> Result<DataFrame> {
+        let left_key = self.column(left_on)?;
+        let right_key = other.column(right_on)?;
+
+        // Build the hash table over the right side. Keys are boxed values;
+        // joins happen at dataframe-workflow frequency, not per-vis, so
+        // clarity beats a specialized key encoding here.
+        let mut table: HashMap<HashableValue, Vec<usize>> = HashMap::new();
+        for row in 0..other.num_rows() {
+            let v = right_key.value(row);
+            if v.is_null() {
+                continue;
+            }
+            table.entry(HashableValue(v)).or_default().push(row);
+        }
+
+        let mut left_rows: Vec<usize> = Vec::new();
+        let mut right_rows: Vec<Option<usize>> = Vec::new();
+        for row in 0..self.num_rows() {
+            let v = left_key.value(row);
+            let matches = if v.is_null() { None } else { table.get(&HashableValue(v)) };
+            match matches {
+                Some(rs) => {
+                    for &r in rs {
+                        left_rows.push(row);
+                        right_rows.push(Some(r));
+                    }
+                }
+                None => {
+                    if kind == JoinKind::Left {
+                        left_rows.push(row);
+                        right_rows.push(None);
+                    }
+                }
+            }
+        }
+
+        let mut names: Vec<String> = Vec::new();
+        let mut cols: Vec<Arc<Column>> = Vec::new();
+        for (i, name) in self.column_names().iter().enumerate() {
+            names.push(name.clone());
+            cols.push(Arc::new(self.column_at(i).take(&left_rows)));
+        }
+        for (i, name) in other.column_names().iter().enumerate() {
+            if name == right_on && left_on == right_on {
+                continue; // shared key column appears once
+            }
+            let out_name = if names.contains(name) {
+                let suffixed = format!("{name}_right");
+                if names.contains(&suffixed) {
+                    return Err(Error::DuplicateColumn(suffixed));
+                }
+                suffixed
+            } else {
+                name.clone()
+            };
+            names.push(out_name);
+            cols.push(Arc::new(gather_optional(other.column_at(i), &right_rows)?));
+        }
+
+        let index = Index::range(left_rows.len());
+        let event = Event::new(
+            OpKind::Join,
+            format!("join({left_on}={right_on}, {kind:?}, right={} rows)", other.num_rows()),
+        )
+        .with_columns(vec![left_on.to_string(), right_on.to_string()]);
+        Ok(self.derive(names, cols, index, event))
+    }
+}
+
+/// Gather rows where `None` produces a null.
+fn gather_optional(col: &Column, rows: &[Option<usize>]) -> Result<Column> {
+    let mut out = Column::empty(col.dtype());
+    for r in rows {
+        match r {
+            Some(i) => out.push_value(&col.value(*i))?,
+            None => out.push_value(&Value::Null)?,
+        }
+    }
+    Ok(out)
+}
+
+/// Wrapper giving `Value` the Eq+Hash needed for join keys. Floats hash by
+/// bit pattern (NaN normalized); cross-type numeric equality (1 == 1.0) is
+/// intentionally NOT applied here — join keys must match exactly by type.
+#[derive(PartialEq)]
+struct HashableValue(Value);
+
+impl Eq for HashableValue {}
+
+impl std::hash::Hash for HashableValue {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        match &self.0 {
+            Value::Null => 0u8.hash(state),
+            Value::Int(v) => {
+                1u8.hash(state);
+                v.hash(state);
+            }
+            Value::Float(v) => {
+                // hash ints and equal-valued floats identically so that
+                // PartialEq's numeric coercion stays consistent with Hash
+                if v.fract() == 0.0 && v.abs() < i64::MAX as f64 {
+                    1u8.hash(state);
+                    (*v as i64).hash(state);
+                } else {
+                    2u8.hash(state);
+                    let bits = if v.is_nan() { f64::NAN.to_bits() } else { v.to_bits() };
+                    bits.hash(state);
+                }
+            }
+            Value::Bool(v) => {
+                3u8.hash(state);
+                v.hash(state);
+            }
+            Value::Str(v) => {
+                4u8.hash(state);
+                v.hash(state);
+            }
+            Value::DateTime(v) => {
+                5u8.hash(state);
+                v.hash(state);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::DataFrameBuilder;
+
+    fn left() -> DataFrame {
+        DataFrameBuilder::new()
+            .str("country", ["USA", "France", "Chad"])
+            .float("hpi", [20.0, 30.0, 25.0])
+            .build()
+            .unwrap()
+    }
+
+    fn right() -> DataFrame {
+        DataFrameBuilder::new()
+            .str("country", ["USA", "France", "Japan"])
+            .float("stringency", [60.0, 80.0, 40.0])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn inner_join_intersects() {
+        let j = left().join(&right(), "country", "country", JoinKind::Inner).unwrap();
+        assert_eq!(j.num_rows(), 2);
+        assert_eq!(j.column_names(), &["country", "hpi", "stringency"]);
+        assert_eq!(j.value(0, "stringency").unwrap(), Value::Float(60.0));
+    }
+
+    #[test]
+    fn left_join_keeps_unmatched_with_nulls() {
+        let j = left().join(&right(), "country", "country", JoinKind::Left).unwrap();
+        assert_eq!(j.num_rows(), 3);
+        let chad = j.filter("country", crate::ops::FilterOp::Eq, &Value::str("Chad")).unwrap();
+        assert!(chad.value(0, "stringency").unwrap().is_null());
+    }
+
+    #[test]
+    fn duplicate_right_keys_multiply() {
+        let r = DataFrameBuilder::new()
+            .str("k", ["USA", "USA"])
+            .int("n", [1, 2])
+            .build()
+            .unwrap();
+        let j = left().join(&r, "country", "k", JoinKind::Inner).unwrap();
+        assert_eq!(j.num_rows(), 2);
+        assert!(j.has_column("k")); // different key names: both kept
+    }
+
+    #[test]
+    fn colliding_column_names_suffixed() {
+        let r = DataFrameBuilder::new()
+            .str("country", ["USA"])
+            .float("hpi", [99.0])
+            .build()
+            .unwrap();
+        let j = left().join(&r, "country", "country", JoinKind::Inner).unwrap();
+        assert!(j.has_column("hpi") && j.has_column("hpi_right"));
+    }
+
+    #[test]
+    fn join_records_event() {
+        let j = left().join(&right(), "country", "country", JoinKind::Inner).unwrap();
+        assert!(j.history().contains(OpKind::Join));
+    }
+
+    #[test]
+    fn null_keys_never_match() {
+        let l = DataFrame::from_columns(vec![(
+            "k".into(),
+            Column::Str(crate::column::StrColumn::from_options([Some("a"), None])),
+        )])
+        .unwrap();
+        let r = DataFrame::from_columns(vec![(
+            "k".into(),
+            Column::Str(crate::column::StrColumn::from_options([Some("a"), None])),
+        )])
+        .unwrap();
+        let j = l.join(&r, "k", "k", JoinKind::Inner).unwrap();
+        assert_eq!(j.num_rows(), 1);
+    }
+}

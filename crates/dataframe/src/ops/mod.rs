@@ -1,0 +1,24 @@
+//! Dataframe operations, split by family.
+//!
+//! Every operation derives a *new* frame and appends an event to the frame's
+//! history (see [`crate::history`]); operations that the paper's history
+//! actions care about (row subsetting, aggregation) additionally retain the
+//! parent frame on the event.
+
+mod assign;
+mod bin;
+mod concat;
+mod describe;
+mod filter;
+mod groupby;
+mod join;
+mod nulls;
+mod pivot;
+mod reshape;
+mod select;
+mod sort;
+
+pub use describe::DESCRIBE_STATS;
+pub use filter::FilterOp;
+pub use groupby::{Agg, GroupBy};
+pub use join::JoinKind;

@@ -1,0 +1,264 @@
+//! Column selection and row subsetting: `select`, `drop_columns`, `head`,
+//! `tail`, `take`, `sample`.
+
+use std::sync::Arc;
+
+use crate::error::{Error, Result};
+use crate::frame::DataFrame;
+use crate::history::{Event, OpKind};
+
+impl DataFrame {
+    /// Keep only the named columns, in the given order.
+    pub fn select(&self, names: &[&str]) -> Result<DataFrame> {
+        let mut out_names = Vec::with_capacity(names.len());
+        let mut out_cols = Vec::with_capacity(names.len());
+        for &name in names {
+            let pos = self
+                .column_position(name)
+                .ok_or_else(|| Error::ColumnNotFound(name.to_string()))?;
+            out_names.push(name.to_string());
+            out_cols.push(self.column_arc(self.column_names()[pos].as_str())?);
+        }
+        let event = Event::new(OpKind::Other, format!("select({names:?})"))
+            .with_columns(names.iter().map(|s| s.to_string()).collect());
+        Ok(self.derive(out_names, out_cols, self.index().clone(), event))
+    }
+
+    /// Drop the named columns (missing names are an error).
+    pub fn drop_columns(&self, names: &[&str]) -> Result<DataFrame> {
+        for &name in names {
+            if !self.has_column(name) {
+                return Err(Error::ColumnNotFound(name.to_string()));
+            }
+        }
+        let keep: Vec<&str> = self
+            .column_names()
+            .iter()
+            .filter(|n| !names.contains(&n.as_str()))
+            .map(String::as_str)
+            .collect();
+        let mut df = self.select(&keep)?;
+        df.record_event(Event::new(OpKind::Other, format!("drop_columns({names:?})")));
+        Ok(df)
+    }
+
+    /// The first `n` rows.
+    pub fn head(&self, n: usize) -> DataFrame {
+        let n = n.min(self.num_rows());
+        let indices: Vec<usize> = (0..n).collect();
+        self.take_rows_with_event(&indices, Event::new(OpKind::Filter, format!("head({n})")))
+    }
+
+    /// The last `n` rows.
+    pub fn tail(&self, n: usize) -> DataFrame {
+        let nrows = self.num_rows();
+        let n = n.min(nrows);
+        let indices: Vec<usize> = (nrows - n..nrows).collect();
+        self.take_rows_with_event(&indices, Event::new(OpKind::Filter, format!("tail({n})")))
+    }
+
+    /// Gather arbitrary rows by position.
+    pub fn take_rows(&self, indices: &[usize]) -> DataFrame {
+        self.take_rows_with_event(
+            indices,
+            Event::new(OpKind::Filter, format!("take({} rows)", indices.len())),
+        )
+    }
+
+    /// Deterministic sample of up to `n` rows using a seeded xorshift
+    /// permutation (no external RNG dependency in this crate).
+    pub fn sample(&self, n: usize, seed: u64) -> DataFrame {
+        let nrows = self.num_rows();
+        if n >= nrows {
+            return self.take_rows_with_event(
+                &(0..nrows).collect::<Vec<_>>(),
+                Event::new(OpKind::Filter, format!("sample({n})")),
+            );
+        }
+        // Partial Fisher-Yates with a xorshift64* generator.
+        let mut state = seed | 1;
+        let mut next = move || {
+            state ^= state >> 12;
+            state ^= state << 25;
+            state ^= state >> 27;
+            state.wrapping_mul(0x2545_F491_4F6C_DD1D)
+        };
+        let mut pool: Vec<usize> = (0..nrows).collect();
+        for i in 0..n {
+            let j = i + (next() as usize) % (nrows - i);
+            pool.swap(i, j);
+        }
+        let mut indices = pool[..n].to_vec();
+        indices.sort_unstable();
+        self.take_rows_with_event(&indices, Event::new(OpKind::Filter, format!("sample({n})")))
+    }
+
+    fn take_rows_with_event(&self, indices: &[usize], event: Event) -> DataFrame {
+        let names = self.column_names().to_vec();
+        let columns: Vec<Arc<crate::column::Column>> = (0..self.num_columns())
+            .map(|c| Arc::new(self.column_at(c).take(indices)))
+            .collect();
+        let index = self.index().take(indices);
+        self.derive_with_parent(names, columns, index, event)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::frame::DataFrameBuilder;
+    use crate::history::OpKind;
+    use crate::value::Value;
+
+    fn df() -> crate::frame::DataFrame {
+        DataFrameBuilder::new()
+            .int("a", [1, 2, 3, 4, 5])
+            .str("b", ["v", "w", "x", "y", "z"])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn select_reorders() {
+        let s = df().select(&["b", "a"]).unwrap();
+        assert_eq!(s.column_names(), &["b", "a"]);
+        assert_eq!(s.num_rows(), 5);
+    }
+
+    #[test]
+    fn select_missing_errors() {
+        assert!(df().select(&["nope"]).is_err());
+    }
+
+    #[test]
+    fn drop_columns_removes() {
+        let d = df().drop_columns(&["a"]).unwrap();
+        assert_eq!(d.column_names(), &["b"]);
+        assert!(df().drop_columns(&["zz"]).is_err());
+    }
+
+    #[test]
+    fn head_tail() {
+        let h = df().head(2);
+        assert_eq!(h.num_rows(), 2);
+        assert_eq!(h.value(1, "a").unwrap(), Value::Int(2));
+        let t = df().tail(2);
+        assert_eq!(t.value(0, "a").unwrap(), Value::Int(4));
+        // clamped
+        assert_eq!(df().head(99).num_rows(), 5);
+    }
+
+    #[test]
+    fn head_records_filter_event_with_parent() {
+        let h = df().head(2);
+        let e = h.history().last_of(OpKind::Filter).unwrap();
+        assert!(e.detail.contains("head"));
+        let parent = e.parent.as_ref().unwrap();
+        assert_eq!(parent.num_rows(), 5);
+    }
+
+    #[test]
+    fn sample_is_deterministic_and_sized() {
+        let s1 = df().sample(3, 42);
+        let s2 = df().sample(3, 42);
+        assert_eq!(s1.num_rows(), 3);
+        for i in 0..3 {
+            assert_eq!(s1.value(i, "a").unwrap(), s2.value(i, "a").unwrap());
+        }
+        let s3 = df().sample(10, 1);
+        assert_eq!(s3.num_rows(), 5);
+    }
+
+    #[test]
+    fn take_rows_gathers() {
+        let t = df().take_rows(&[4, 0]);
+        assert_eq!(t.value(0, "b").unwrap(), Value::str("z"));
+        assert_eq!(t.value(1, "b").unwrap(), Value::str("v"));
+    }
+}
+
+impl DataFrame {
+    /// Drop rows whose values in `subset` duplicate an earlier row (first
+    /// occurrence wins, pandas-style). An empty subset means all columns.
+    pub fn drop_duplicates(&self, subset: &[&str]) -> Result<DataFrame> {
+        let columns: Vec<&str> = if subset.is_empty() {
+            self.column_names().iter().map(String::as_str).collect()
+        } else {
+            subset.to_vec()
+        };
+        for c in &columns {
+            if !self.has_column(c) {
+                return Err(Error::ColumnNotFound(c.to_string()));
+            }
+        }
+        let gb = self.groupby(&columns)?;
+        let mut seen = vec![false; gb.num_groups()];
+        let mut keep = Vec::new();
+        for (row, &g) in gb.group_ids().iter().enumerate() {
+            if !seen[g as usize] {
+                seen[g as usize] = true;
+                keep.push(row);
+            }
+        }
+        let mut out = self.take_rows(&keep);
+        out.record_event(Event::new(OpKind::Filter, format!("drop_duplicates({columns:?})")));
+        Ok(out)
+    }
+
+    /// Keep rows whose `column` value is in `values` (null never matches).
+    pub fn isin(&self, column: &str, values: &[crate::value::Value]) -> Result<DataFrame> {
+        let col = self.column(column)?;
+        let mask = crate::bitmap::Bitmap::from_iter((0..col.len()).map(|i| {
+            let v = col.value(i);
+            !v.is_null() && values.contains(&v)
+        }));
+        let mut out = self.filter_rows(&mask)?;
+        out.record_event(
+            Event::new(OpKind::Filter, format!("isin({column}, {} values)", values.len()))
+                .with_columns(vec![column.to_string()]),
+        );
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod dedup_tests {
+    use crate::frame::DataFrameBuilder;
+    use crate::value::Value;
+
+    #[test]
+    fn drop_duplicates_keeps_first() {
+        let df = DataFrameBuilder::new()
+            .str("k", ["a", "b", "a", "c", "b"])
+            .int("v", [1, 2, 3, 4, 5])
+            .build()
+            .unwrap();
+        let d = df.drop_duplicates(&["k"]).unwrap();
+        assert_eq!(d.num_rows(), 3);
+        assert_eq!(d.value(0, "v").unwrap(), Value::Int(1)); // first "a"
+        assert_eq!(d.value(1, "v").unwrap(), Value::Int(2)); // first "b"
+    }
+
+    #[test]
+    fn drop_duplicates_all_columns_by_default() {
+        let df = DataFrameBuilder::new()
+            .str("k", ["a", "a", "a"])
+            .int("v", [1, 1, 2])
+            .build()
+            .unwrap();
+        let d = df.drop_duplicates(&[]).unwrap();
+        assert_eq!(d.num_rows(), 2);
+        assert!(df.drop_duplicates(&["zz"]).is_err());
+    }
+
+    #[test]
+    fn isin_filters_membership() {
+        let df = DataFrameBuilder::new()
+            .str("c", ["x", "y", "z", "x"])
+            .build()
+            .unwrap();
+        let d = df.isin("c", &[Value::str("x"), Value::str("z")]).unwrap();
+        assert_eq!(d.num_rows(), 3);
+        let none = df.isin("c", &[]).unwrap();
+        assert_eq!(none.num_rows(), 0);
+    }
+}

@@ -1,0 +1,350 @@
+//! SELECT evaluation over a dataframe.
+
+use std::collections::HashMap;
+
+use crate::column::Column;
+use crate::error::{Error, Result};
+use crate::frame::DataFrame;
+use crate::ops::FilterOp;
+use crate::value::Value;
+
+use super::parse::{AggFunc, BinOp, CmpOp, OrderKey, SelectStmt, SqlExpr};
+
+/// Execute a parsed SELECT against a frame.
+pub fn execute(stmt: &SelectStmt, df: &DataFrame) -> Result<DataFrame> {
+    // 1. WHERE
+    let rows: Vec<usize> = match &stmt.predicate {
+        Some(pred) => (0..df.num_rows())
+            .filter_map(|r| match eval_scalar(pred, df, r) {
+                Ok(v) => {
+                    if truthy(&v) {
+                        Some(Ok(r))
+                    } else {
+                        None
+                    }
+                }
+                Err(e) => Some(Err(e)),
+            })
+            .collect::<Result<_>>()?,
+        None => (0..df.num_rows()).collect(),
+    };
+
+    let any_agg = stmt.items.iter().any(|(e, _)| e.has_aggregate());
+    let mut out = if !stmt.group_by.is_empty() || any_agg {
+        execute_grouped(stmt, df, &rows)?
+    } else {
+        execute_projection(stmt, df, &rows)?
+    };
+
+    // ORDER BY output columns
+    if !stmt.order_by.is_empty() {
+        out = apply_order(&out, &stmt.order_by)?;
+    }
+    // LIMIT
+    if let Some(n) = stmt.limit {
+        if n < out.num_rows() {
+            out = out.head(n);
+        }
+    }
+    Ok(out)
+}
+
+/// Plain projection (no grouping).
+fn execute_projection(stmt: &SelectStmt, df: &DataFrame, rows: &[usize]) -> Result<DataFrame> {
+    let mut cols: Vec<(String, Column)> = Vec::with_capacity(stmt.items.len());
+    for (expr, name) in &stmt.items {
+        let values: Vec<Value> =
+            rows.iter().map(|&r| eval_scalar(expr, df, r)).collect::<Result<_>>()?;
+        cols.push((name.clone(), Column::from_values(&values)?));
+    }
+    DataFrame::from_columns(cols)
+}
+
+/// GROUP BY + aggregates (or global aggregates with no GROUP BY).
+fn execute_grouped(stmt: &SelectStmt, df: &DataFrame, rows: &[usize]) -> Result<DataFrame> {
+    // Group keys may reference select-item aliases (`GROUP BY bin` where
+    // `bin` aliases `FLOOR(...)`), standard SQL behavior: resolve them.
+    let resolved_keys: Vec<SqlExpr> = stmt
+        .group_by
+        .iter()
+        .map(|e| resolve_alias(e, stmt))
+        .collect();
+
+    let mut groups: Vec<(Vec<Value>, Vec<usize>)> = Vec::new();
+    if resolved_keys.is_empty() {
+        // global aggregation: one group of all rows
+        groups.push((Vec::new(), rows.to_vec()));
+    } else {
+        let mut lookup: HashMap<String, usize> = HashMap::new();
+        for &r in rows {
+            let key_vals: Vec<Value> = resolved_keys
+                .iter()
+                .map(|e| eval_scalar(e, df, r))
+                .collect::<Result<_>>()?;
+            let key_str = key_vals.iter().map(|v| format!("{v}\u{1}")).collect::<String>();
+            let idx = *lookup.entry(key_str).or_insert_with(|| {
+                groups.push((key_vals, Vec::new()));
+                groups.len() - 1
+            });
+            groups[idx].1.push(r);
+        }
+    }
+
+    let mut cols: Vec<(String, Column)> = Vec::with_capacity(stmt.items.len());
+    for (expr, name) in &stmt.items {
+        let resolved = resolve_alias(expr, stmt);
+        let values: Vec<Value> = groups
+            .iter()
+            .map(|(_, members)| eval_in_group(&resolved, df, members))
+            .collect::<Result<_>>()?;
+        cols.push((name.clone(), Column::from_values(&values)?));
+    }
+    DataFrame::from_columns(cols)
+}
+
+/// Substitute a bare column reference that names a select alias with the
+/// aliased expression (and leave real source columns untouched).
+fn resolve_alias(expr: &SqlExpr, stmt: &SelectStmt) -> SqlExpr {
+    if let SqlExpr::Column(name) = expr {
+        if let Some((aliased, _)) = stmt
+            .items
+            .iter()
+            .find(|(e, alias)| alias == name && !matches!(e, SqlExpr::Column(c) if c == name))
+        {
+            return aliased.clone();
+        }
+    }
+    expr.clone()
+}
+
+/// Evaluate a select item within one group: aggregates reduce over the
+/// group's rows; group-key expressions evaluate on the first member.
+fn eval_in_group(expr: &SqlExpr, df: &DataFrame, members: &[usize]) -> Result<Value> {
+    match expr {
+        SqlExpr::Agg(func, arg) => eval_aggregate(*func, arg.as_deref(), df, members),
+        SqlExpr::Arith(a, op, b) => {
+            let va = eval_in_group(a, df, members)?;
+            let vb = eval_in_group(b, df, members)?;
+            arith(&va, *op, &vb)
+        }
+        SqlExpr::Floor(e) => {
+            let v = eval_in_group(e, df, members)?;
+            Ok(v.as_f64().map_or(Value::Null, |f| Value::Float(f.floor())))
+        }
+        SqlExpr::Neg(e) => {
+            let v = eval_in_group(e, df, members)?;
+            Ok(v.as_f64().map_or(Value::Null, |f| Value::Float(-f)))
+        }
+        // non-aggregate: must be (part of) a group key; evaluate on the
+        // group's representative row
+        other => match members.first() {
+            Some(&r) => eval_scalar(other, df, r),
+            None => Ok(Value::Null),
+        },
+    }
+}
+
+fn eval_aggregate(
+    func: AggFunc,
+    arg: Option<&SqlExpr>,
+    df: &DataFrame,
+    members: &[usize],
+) -> Result<Value> {
+    match func {
+        AggFunc::Count => {
+            let n = match arg {
+                None => members.len(),
+                Some(e) => members
+                    .iter()
+                    .map(|&r| eval_scalar(e, df, r))
+                    .collect::<Result<Vec<_>>>()?
+                    .iter()
+                    .filter(|v| !v.is_null())
+                    .count(),
+            };
+            Ok(Value::Int(n as i64))
+        }
+        _ => {
+            let e = arg.ok_or_else(|| {
+                Error::Parse(format!("{func:?} requires an argument"))
+            })?;
+            let mut vals: Vec<f64> = Vec::new();
+            let mut raw: Vec<Value> = Vec::new();
+            for &r in members {
+                let v = eval_scalar(e, df, r)?;
+                if v.is_null() {
+                    continue;
+                }
+                raw.push(v.clone());
+                if let Some(f) = v.as_f64() {
+                    if !f.is_nan() {
+                        vals.push(f);
+                    }
+                }
+            }
+            Ok(match func {
+                AggFunc::Sum => {
+                    if vals.is_empty() {
+                        Value::Null
+                    } else {
+                        Value::Float(vals.iter().sum())
+                    }
+                }
+                AggFunc::Avg => {
+                    if vals.is_empty() {
+                        Value::Null
+                    } else {
+                        Value::Float(vals.iter().sum::<f64>() / vals.len() as f64)
+                    }
+                }
+                AggFunc::Min => raw
+                    .iter()
+                    .min_by(|a, b| a.total_cmp(b))
+                    .cloned()
+                    .unwrap_or(Value::Null),
+                AggFunc::Max => raw
+                    .iter()
+                    .max_by(|a, b| a.total_cmp(b))
+                    .cloned()
+                    .unwrap_or(Value::Null),
+                AggFunc::Count => unreachable!(),
+            })
+        }
+    }
+}
+
+/// Row-scalar evaluation.
+fn eval_scalar(expr: &SqlExpr, df: &DataFrame, row: usize) -> Result<Value> {
+    match expr {
+        SqlExpr::Column(name) => Ok(df.column(name)?.value(row)),
+        SqlExpr::Int(v) => Ok(Value::Int(*v)),
+        SqlExpr::Float(v) => Ok(Value::Float(*v)),
+        SqlExpr::Str(s) => Ok(Value::str(s)),
+        SqlExpr::Floor(e) => {
+            let v = eval_scalar(e, df, row)?;
+            Ok(v.as_f64().map_or(Value::Null, |f| Value::Float(f.floor())))
+        }
+        SqlExpr::Neg(e) => {
+            let v = eval_scalar(e, df, row)?;
+            Ok(v.as_f64().map_or(Value::Null, |f| Value::Float(-f)))
+        }
+        SqlExpr::Arith(a, op, b) => {
+            let va = eval_scalar(a, df, row)?;
+            let vb = eval_scalar(b, df, row)?;
+            arith(&va, *op, &vb)
+        }
+        SqlExpr::Cmp(a, op, b) => {
+            let va = eval_scalar(a, df, row)?;
+            let vb = eval_scalar(b, df, row)?;
+            let fop = match op {
+                CmpOp::Eq => FilterOp::Eq,
+                CmpOp::Ne => FilterOp::Ne,
+                CmpOp::Lt => FilterOp::Lt,
+                CmpOp::Le => FilterOp::Le,
+                CmpOp::Gt => FilterOp::Gt,
+                CmpOp::Ge => FilterOp::Ge,
+            };
+            Ok(Value::Bool(fop.eval(&va, &vb)))
+        }
+        SqlExpr::And(a, b) => Ok(Value::Bool(
+            truthy(&eval_scalar(a, df, row)?) && truthy(&eval_scalar(b, df, row)?),
+        )),
+        SqlExpr::Or(a, b) => Ok(Value::Bool(
+            truthy(&eval_scalar(a, df, row)?) || truthy(&eval_scalar(b, df, row)?),
+        )),
+        SqlExpr::Not(e) => Ok(Value::Bool(!truthy(&eval_scalar(e, df, row)?))),
+        SqlExpr::Agg(..) => Err(Error::Parse(
+            "aggregate used outside GROUP BY context".into(),
+        )),
+    }
+}
+
+fn truthy(v: &Value) -> bool {
+    matches!(v, Value::Bool(true))
+}
+
+fn arith(a: &Value, op: BinOp, b: &Value) -> Result<Value> {
+    let (Some(x), Some(y)) = (a.as_f64(), b.as_f64()) else {
+        return Ok(Value::Null);
+    };
+    let r = match op {
+        BinOp::Add => x + y,
+        BinOp::Sub => x - y,
+        BinOp::Mul => x * y,
+        BinOp::Div => {
+            if y == 0.0 {
+                return Ok(Value::Null);
+            }
+            x / y
+        }
+    };
+    Ok(Value::Float(r))
+}
+
+/// Sort the output frame by the ORDER BY keys.
+fn apply_order(df: &DataFrame, keys: &[OrderKey]) -> Result<DataFrame> {
+    // All keys must exist in the output; sort by each in reverse priority
+    // is incorrect for stable multi-key; instead sort once with a composite
+    // comparator via repeated stable sorts from last key to first.
+    let mut out = df.clone();
+    for key in keys.iter().rev() {
+        out = out.sort_by(&[key.column.as_str()], key.ascending)?;
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::query_frame;
+    use crate::frame::DataFrameBuilder;
+    use crate::value::Value;
+
+    #[test]
+    fn null_handling_in_aggregates() {
+        let df = crate::csv::read_csv_str("g,v\na,1\na,\nb,3\n").unwrap();
+        let r = query_frame("SELECT g, COUNT(v) AS n, AVG(v) AS m FROM t GROUP BY g ORDER BY g ASC", &df)
+            .unwrap();
+        assert_eq!(r.value(0, "n").unwrap(), Value::Int(1));
+        assert_eq!(r.value(0, "m").unwrap(), Value::Float(1.0));
+    }
+
+    #[test]
+    fn division_by_zero_is_null() {
+        let df = DataFrameBuilder::new().float("x", [1.0]).build().unwrap();
+        let r = query_frame("SELECT x / 0 AS d FROM t", &df).unwrap();
+        assert!(r.value(0, "d").unwrap().is_null());
+    }
+
+    #[test]
+    fn multi_key_order_by() {
+        let df = DataFrameBuilder::new()
+            .str("g", ["b", "a", "b", "a"])
+            .int("v", [2, 2, 1, 1])
+            .build()
+            .unwrap();
+        let r = query_frame("SELECT g, v FROM t ORDER BY g ASC, v DESC", &df).unwrap();
+        assert_eq!(r.value(0, "g").unwrap(), Value::str("a"));
+        assert_eq!(r.value(0, "v").unwrap(), Value::Int(2));
+        assert_eq!(r.value(2, "v").unwrap(), Value::Int(2));
+    }
+
+    #[test]
+    fn aggregate_outside_group_errors_when_scalar() {
+        let df = DataFrameBuilder::new().float("x", [1.0]).build().unwrap();
+        // aggregate in WHERE is invalid
+        assert!(query_frame("SELECT x FROM t WHERE SUM(x) > 1", &df).is_err());
+    }
+
+    #[test]
+    fn group_by_expression_key() {
+        let df = DataFrameBuilder::new().int("x", [1, 2, 3, 4, 5, 6]).build().unwrap();
+        let r = query_frame(
+            "SELECT FLOOR(x / 2) AS half, COUNT(*) AS n FROM t GROUP BY half ORDER BY half ASC",
+            &df,
+        )
+        .unwrap();
+        // halves: 0 (1), 1 (2,3), 2 (4,5), 3 (6)
+        assert_eq!(r.num_rows(), 4);
+        assert_eq!(r.value(1, "n").unwrap(), Value::Int(2));
+    }
+}

@@ -1,0 +1,319 @@
+//! Scalar values and data types.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::sync::Arc;
+
+/// The physical type of a column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DType {
+    Int64,
+    Float64,
+    Bool,
+    Str,
+    /// Seconds since the Unix epoch.
+    DateTime,
+}
+
+impl DType {
+    /// Short lowercase name, used in error messages and schema printing.
+    pub fn name(self) -> &'static str {
+        match self {
+            DType::Int64 => "int64",
+            DType::Float64 => "float64",
+            DType::Bool => "bool",
+            DType::Str => "str",
+            DType::DateTime => "datetime",
+        }
+    }
+
+    /// True for types on which arithmetic aggregations (mean, var, ...) are defined.
+    pub fn is_numeric(self) -> bool {
+        matches!(self, DType::Int64 | DType::Float64)
+    }
+}
+
+impl fmt::Display for DType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A single scalar cell value.
+///
+/// `Value` is the boxed, dynamically-typed view of a cell; hot kernels work on
+/// the typed column buffers directly and only materialize `Value`s at the
+/// edges (printing, filters specified by the user, row extraction).
+#[derive(Debug, Clone)]
+pub enum Value {
+    Null,
+    Int(i64),
+    Float(f64),
+    Bool(bool),
+    Str(Arc<str>),
+    /// Seconds since the Unix epoch.
+    DateTime(i64),
+}
+
+impl Value {
+    /// The type this value belongs to, or `None` for `Null`.
+    pub fn dtype(&self) -> Option<DType> {
+        match self {
+            Value::Null => None,
+            Value::Int(_) => Some(DType::Int64),
+            Value::Float(_) => Some(DType::Float64),
+            Value::Bool(_) => Some(DType::Bool),
+            Value::Str(_) => Some(DType::Str),
+            Value::DateTime(_) => Some(DType::DateTime),
+        }
+    }
+
+    /// True when the value is `Null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Numeric view of the value: ints, floats and bools coerce to `f64`.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(v) => Some(*v as f64),
+            Value::Float(v) => Some(*v),
+            Value::Bool(b) => Some(if *b { 1.0 } else { 0.0 }),
+            Value::DateTime(v) => Some(*v as f64),
+            _ => None,
+        }
+    }
+
+    /// String view, for `Str` values only.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Build a string value.
+    pub fn str(s: impl AsRef<str>) -> Value {
+        Value::Str(Arc::from(s.as_ref()))
+    }
+
+    /// Total ordering used for sorting: nulls sort first, then by value.
+    /// Cross-type comparisons order by type tag; NaN sorts after all other
+    /// floats so that sorting is total.
+    pub fn total_cmp(&self, other: &Value) -> Ordering {
+        use Value::*;
+        match (self, other) {
+            (Null, Null) => Ordering::Equal,
+            (Null, _) => Ordering::Less,
+            (_, Null) => Ordering::Greater,
+            (Int(a), Int(b)) => a.cmp(b),
+            (Float(a), Float(b)) => a.total_cmp(b),
+            (Int(a), Float(b)) => (*a as f64).total_cmp(b),
+            (Float(a), Int(b)) => a.total_cmp(&(*b as f64)),
+            (Bool(a), Bool(b)) => a.cmp(b),
+            (Str(a), Str(b)) => a.as_ref().cmp(b.as_ref()),
+            (DateTime(a), DateTime(b)) => a.cmp(b),
+            (a, b) => type_rank(a).cmp(&type_rank(b)),
+        }
+    }
+}
+
+fn type_rank(v: &Value) -> u8 {
+    match v {
+        Value::Null => 0,
+        Value::Bool(_) => 1,
+        Value::Int(_) => 2,
+        Value::Float(_) => 2, // ints and floats compare numerically, same rank
+        Value::DateTime(_) => 3,
+        Value::Str(_) => 4,
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        use Value::*;
+        match (self, other) {
+            (Null, Null) => true,
+            (Int(a), Int(b)) => a == b,
+            (Float(a), Float(b)) => a == b || (a.is_nan() && b.is_nan()),
+            (Int(a), Float(b)) | (Float(b), Int(a)) => (*a as f64) == *b,
+            (Bool(a), Bool(b)) => a == b,
+            (Str(a), Str(b)) => a == b,
+            (DateTime(a), DateTime(b)) => a == b,
+            _ => false,
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => f.write_str("null"),
+            Value::Int(v) => write!(f, "{v}"),
+            Value::Float(v) => {
+                if v.fract() == 0.0 && v.abs() < 1e15 {
+                    write!(f, "{v:.1}")
+                } else {
+                    write!(f, "{v}")
+                }
+            }
+            Value::Bool(v) => write!(f, "{v}"),
+            Value::Str(v) => f.write_str(v),
+            Value::DateTime(v) => write!(f, "{}", format_epoch(*v)),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::str(v)
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(Arc::from(v.as_str()))
+    }
+}
+
+/// Render an epoch-seconds timestamp as `YYYY-MM-DD HH:MM:SS` (UTC).
+pub fn format_epoch(secs: i64) -> String {
+    let (date, rem) = (secs.div_euclid(86_400), secs.rem_euclid(86_400));
+    let (h, m, s) = (rem / 3600, (rem % 3600) / 60, rem % 60);
+    let (y, mo, d) = civil_from_days(date);
+    if (h, m, s) == (0, 0, 0) {
+        format!("{y:04}-{mo:02}-{d:02}")
+    } else {
+        format!("{y:04}-{mo:02}-{d:02} {h:02}:{m:02}:{s:02}")
+    }
+}
+
+/// Parse `YYYY-MM-DD` (optionally with ` HH:MM:SS` or `THH:MM:SS`) into epoch seconds.
+pub fn parse_datetime(s: &str) -> Option<i64> {
+    let s = s.trim();
+    let (date_part, time_part) = match s.split_once([' ', 'T']) {
+        Some((d, t)) => (d, Some(t)),
+        None => (s, None),
+    };
+    let mut it = date_part.split('-');
+    let y: i64 = it.next()?.parse().ok()?;
+    let mo: u32 = it.next()?.parse().ok()?;
+    let d: u32 = it.next()?.parse().ok()?;
+    if it.next().is_some() || !(1..=12).contains(&mo) || !(1..=31).contains(&d) {
+        return None;
+    }
+    let days = days_from_civil(y, mo, d);
+    let mut secs = days * 86_400;
+    if let Some(t) = time_part {
+        let t = t.trim_end_matches('Z');
+        let mut it = t.split(':');
+        let h: i64 = it.next()?.parse().ok()?;
+        let mi: i64 = it.next()?.parse().ok()?;
+        let sec: f64 = it.next().map_or(Some(0.0), |v| v.parse().ok())?;
+        if !(0..24).contains(&h) || !(0..60).contains(&mi) {
+            return None;
+        }
+        secs += h * 3600 + mi * 60 + sec as i64;
+    }
+    Some(secs)
+}
+
+// Howard Hinnant's civil date algorithms.
+fn days_from_civil(y: i64, m: u32, d: u32) -> i64 {
+    let y = y - i64::from(m <= 2);
+    let era = if y >= 0 { y } else { y - 399 } / 400;
+    let yoe = (y - era * 400) as u64;
+    let doy = (153 * (if m > 2 { m - 3 } else { m + 9 }) as u64 + 2) / 5 + d as u64 - 1;
+    let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+    era * 146_097 + doe as i64 - 719_468
+}
+
+fn civil_from_days(z: i64) -> (i64, u32, u32) {
+    let z = z + 719_468;
+    let era = if z >= 0 { z } else { z - 146_096 } / 146_097;
+    let doe = (z - era * 146_097) as u64;
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+    let y = yoe as i64 + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = (doy - (153 * mp + 2) / 5 + 1) as u32;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 } as u32;
+    (y + i64::from(m <= 2), m, d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dtype_names() {
+        assert_eq!(DType::Int64.name(), "int64");
+        assert!(DType::Float64.is_numeric());
+        assert!(!DType::Str.is_numeric());
+    }
+
+    #[test]
+    fn value_equality_and_coercion() {
+        assert_eq!(Value::Int(3), Value::Float(3.0));
+        assert_eq!(Value::Float(f64::NAN), Value::Float(f64::NAN));
+        assert_ne!(Value::Int(3), Value::str("3"));
+        assert_eq!(Value::Null, Value::Null);
+    }
+
+    #[test]
+    fn as_f64_coerces() {
+        assert_eq!(Value::Bool(true).as_f64(), Some(1.0));
+        assert_eq!(Value::Int(7).as_f64(), Some(7.0));
+        assert_eq!(Value::str("x").as_f64(), None);
+        assert_eq!(Value::Null.as_f64(), None);
+    }
+
+    #[test]
+    fn total_cmp_nulls_first_nan_last() {
+        assert_eq!(Value::Null.total_cmp(&Value::Int(1)), Ordering::Less);
+        assert_eq!(Value::Float(f64::NAN).total_cmp(&Value::Float(1e300)), Ordering::Greater);
+        assert_eq!(Value::Int(2).total_cmp(&Value::Float(2.5)), Ordering::Less);
+        assert_eq!(Value::str("a").total_cmp(&Value::str("b")), Ordering::Less);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Value::Float(2.0).to_string(), "2.0");
+        assert_eq!(Value::Int(2).to_string(), "2");
+        assert_eq!(Value::Null.to_string(), "null");
+        assert_eq!(Value::str("hi").to_string(), "hi");
+    }
+
+    #[test]
+    fn datetime_roundtrip() {
+        for s in ["1970-01-01", "2020-03-11", "1969-12-31", "2021-11-30 23:59:59"] {
+            let secs = parse_datetime(s).unwrap();
+            assert_eq!(format_epoch(secs), s, "roundtrip {s}");
+        }
+        assert_eq!(parse_datetime("2020-03-11"), Some(18_332 * 86_400));
+        assert!(parse_datetime("not a date").is_none());
+        assert!(parse_datetime("2020-13-01").is_none());
+    }
+
+    #[test]
+    fn datetime_with_t_separator() {
+        assert_eq!(
+            parse_datetime("2020-03-11T06:00:00Z"),
+            Some(18_332 * 86_400 + 6 * 3600)
+        );
+    }
+}

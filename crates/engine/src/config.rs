@@ -1,0 +1,93 @@
+//! Runtime configuration for the Lux engine.
+
+/// Global knobs controlling recommendation generation and the three
+/// optimizations, matching the experimental conditions of the paper (§9.1):
+/// `no-opt`, `wflow`, `wflow+prune`, and `all-opt` are all expressible by
+/// toggling these flags.
+#[derive(Debug, Clone)]
+pub struct LuxConfig {
+    /// Top-k visualizations kept per action (paper uses k = 15).
+    pub top_k: usize,
+    /// Rows in the cached sample used for approximate scoring (paper: 30k).
+    pub sample_cap: usize,
+    /// Seed for deterministic sampling.
+    pub sample_seed: u64,
+    /// WFLOW: lazily compute metadata/recommendations on print, and memoize
+    /// them until the frame changes. When false, recompute eagerly after
+    /// every operation (the paper's `no-opt` baseline).
+    pub wflow: bool,
+    /// PRUNE: two-pass approximate scoring with the cost-model gate.
+    pub prune: bool,
+    /// ASYNC: cost-based cheapest-first action scheduling on worker threads.
+    pub r#async: bool,
+    /// Default number of histogram bins.
+    pub histogram_bins: usize,
+    /// Maximum filter-wildcard expansions per clause.
+    pub max_filter_expansions: usize,
+    /// Cardinality ceiling for bar-chart axes; beyond this the axis is
+    /// truncated to the top values by count.
+    pub max_bars: usize,
+    /// When true, visualization data is processed by translating to SQL and
+    /// running the in-crate SQL engine instead of the native kernels
+    /// (paper §7's relational-database execution path).
+    pub sql_backend: bool,
+}
+
+impl Default for LuxConfig {
+    fn default() -> Self {
+        LuxConfig {
+            top_k: 15,
+            sample_cap: crate::sample::DEFAULT_SAMPLE_CAP,
+            sample_seed: 0x1ab_cafe,
+            wflow: true,
+            prune: true,
+            r#async: true,
+            histogram_bins: 10,
+            max_filter_expansions: 24,
+            max_bars: 15,
+            sql_backend: false,
+        }
+    }
+}
+
+impl LuxConfig {
+    /// The paper's `no-opt` baseline: everything recomputed eagerly, no
+    /// approximation, no scheduling.
+    pub fn no_opt() -> LuxConfig {
+        LuxConfig { wflow: false, prune: false, r#async: false, ..LuxConfig::default() }
+    }
+
+    /// The paper's `wflow` condition.
+    pub fn wflow_only() -> LuxConfig {
+        LuxConfig { wflow: true, prune: false, r#async: false, ..LuxConfig::default() }
+    }
+
+    /// The paper's `wflow+prune` condition.
+    pub fn wflow_prune() -> LuxConfig {
+        LuxConfig { wflow: true, prune: true, r#async: false, ..LuxConfig::default() }
+    }
+
+    /// The paper's `all-opt` condition (the default).
+    pub fn all_opt() -> LuxConfig {
+        LuxConfig::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conditions_match_paper() {
+        let n = LuxConfig::no_opt();
+        assert!(!n.wflow && !n.prune && !n.r#async);
+        let w = LuxConfig::wflow_only();
+        assert!(w.wflow && !w.prune && !w.r#async);
+        let wp = LuxConfig::wflow_prune();
+        assert!(wp.wflow && wp.prune && !wp.r#async);
+        let all = LuxConfig::all_opt();
+        assert!(all.wflow && all.prune && all.r#async);
+        assert_eq!(all.top_k, 15);
+        assert_eq!(all.sample_cap, 30_000);
+    }
+}

@@ -1,0 +1,26 @@
+//! # lux-engine
+//!
+//! Low-level engine services for the Lux reproduction:
+//!
+//! - [`metadata`] — per-column statistics and semantic data type inference
+//!   (paper §8.1 "Metadata Computation");
+//! - [`cost`] — the per-visualization cost model of Table 2, used by the
+//!   ASYNC scheduler and the PRUNE gate (§8.2);
+//! - [`sample`] — cached, capped row samples for approximate scoring (§8.2);
+//! - [`config`] — the knobs that express the paper's experimental conditions
+//!   (`no-opt` / `wflow` / `wflow+prune` / `all-opt`).
+//!
+//! Higher layers (intent compilation, visualization processing, actions)
+//! build on these services; the WFLOW freshness cache lives with the
+//! `LuxDataFrame` wrapper in `lux-core` because it is keyed to the wrapper's
+//! operation instrumentation.
+
+pub mod config;
+pub mod cost;
+pub mod metadata;
+pub mod sample;
+
+pub use config::LuxConfig;
+pub use cost::{CostModel, OpClass};
+pub use metadata::{ColumnMeta, FrameMeta, SemanticType};
+pub use sample::{CachedSample, DEFAULT_SAMPLE_CAP};

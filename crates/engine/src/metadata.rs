@@ -1,0 +1,373 @@
+//! Dataframe metadata: per-column statistics and semantic data types.
+//!
+//! This is the paper's §8.1 "Metadata Computation": for each attribute Lux
+//! records the unique values, cardinality, and min/max; it then infers a
+//! *semantic* data type (nominal, quantitative, temporal, geographic) from
+//! the physical type, the cardinality, and name heuristics. The semantic
+//! type drives everything downstream — which actions apply, which mark a
+//! compiled visualization uses, how wildcards expand.
+
+use std::collections::HashMap;
+
+use lux_dataframe::prelude::*;
+
+/// Semantic data type of a column (paper §8.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SemanticType {
+    /// Categorical attribute (bar charts, color encodings, filters).
+    Nominal,
+    /// Continuous numeric attribute (histograms, scatterplots).
+    Quantitative,
+    /// Date/time attribute (line charts).
+    Temporal,
+    /// Geographic attribute (choropleth maps).
+    Geographic,
+    /// Identifier column: near-unique per row, excluded from recommendations.
+    Id,
+}
+
+impl SemanticType {
+    pub fn name(self) -> &'static str {
+        match self {
+            SemanticType::Nominal => "nominal",
+            SemanticType::Quantitative => "quantitative",
+            SemanticType::Temporal => "temporal",
+            SemanticType::Geographic => "geographic",
+            SemanticType::Id => "id",
+        }
+    }
+
+    /// Parse from the names accepted in intent constraints
+    /// (e.g. `lux.Clause("?", data_type="quantitative")`).
+    pub fn parse(s: &str) -> Option<SemanticType> {
+        match s.to_ascii_lowercase().as_str() {
+            "nominal" | "categorical" => Some(SemanticType::Nominal),
+            "quantitative" | "numeric" => Some(SemanticType::Quantitative),
+            "temporal" | "datetime" | "time" => Some(SemanticType::Temporal),
+            "geographic" | "geo" => Some(SemanticType::Geographic),
+            "id" => Some(SemanticType::Id),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for SemanticType {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// How many distinct values we materialize per column for wildcard
+/// enumeration and filter validation. Cardinality itself stays exact.
+pub const UNIQUE_VALUES_CAP: usize = 256;
+
+/// Integer columns at or below this distinct-count are treated as nominal
+/// (e.g. ratings 1-5, month numbers), mirroring Lux's cardinality heuristic.
+pub const NOMINAL_INT_CARDINALITY: usize = 20;
+
+/// Statistics and inferred type for one column.
+#[derive(Debug, Clone)]
+pub struct ColumnMeta {
+    pub name: String,
+    pub dtype: DType,
+    pub semantic: SemanticType,
+    /// Exact count of distinct non-null values.
+    pub cardinality: usize,
+    /// Up to [`UNIQUE_VALUES_CAP`] distinct values, first-seen order.
+    pub unique_values: Vec<Value>,
+    /// True when `unique_values` holds every distinct value.
+    pub unique_complete: bool,
+    /// Numeric min/max (ints, floats, bools, datetimes), nulls/NaN ignored.
+    pub min: Option<f64>,
+    pub max: Option<f64>,
+    pub null_count: usize,
+}
+
+/// Metadata for a whole frame.
+#[derive(Debug, Clone, Default)]
+pub struct FrameMeta {
+    pub columns: Vec<ColumnMeta>,
+    pub num_rows: usize,
+}
+
+impl FrameMeta {
+    /// Compute metadata for every column. `overrides` lets users correct a
+    /// misclassified semantic type (paper §8.1: "If the data type is
+    /// misclassified, users can override the automatically-inferred type").
+    pub fn compute(df: &DataFrame, overrides: &HashMap<String, SemanticType>) -> FrameMeta {
+        let columns = df
+            .column_names()
+            .iter()
+            .map(|name| {
+                let col = df.column(name).expect("name enumerated from frame");
+                compute_column_meta(name, col, df.num_rows(), overrides.get(name).copied())
+            })
+            .collect();
+        FrameMeta { columns, num_rows: df.num_rows() }
+    }
+
+    /// Metadata for a column by name.
+    pub fn column(&self, name: &str) -> Option<&ColumnMeta> {
+        self.columns.iter().find(|c| c.name == name)
+    }
+
+    /// Names of columns with the given semantic type.
+    pub fn columns_of(&self, semantic: SemanticType) -> Vec<&str> {
+        self.columns
+            .iter()
+            .filter(|c| c.semantic == semantic)
+            .map(|c| c.name.as_str())
+            .collect()
+    }
+}
+
+fn compute_column_meta(
+    name: &str,
+    col: &Column,
+    num_rows: usize,
+    override_type: Option<SemanticType>,
+) -> ColumnMeta {
+    let (cardinality, unique_values, unique_complete) = unique_stats(col);
+    let (min, max) = col.min_max_f64().map_or((None, None), |(a, b)| (Some(a), Some(b)));
+    let null_count = col.null_count();
+    let semantic = override_type
+        .unwrap_or_else(|| infer_semantic(name, col.dtype(), cardinality, num_rows));
+    ColumnMeta {
+        name: name.to_string(),
+        dtype: col.dtype(),
+        semantic,
+        cardinality,
+        unique_values,
+        unique_complete,
+        min,
+        max,
+        null_count,
+    }
+}
+
+/// Distinct non-null values: exact count, capped materialized list.
+fn unique_stats(col: &Column) -> (usize, Vec<Value>, bool) {
+    match col {
+        Column::Str(c) => {
+            let codes = c.used_codes();
+            let cardinality = codes.len();
+            let values: Vec<Value> = codes
+                .iter()
+                .take(UNIQUE_VALUES_CAP)
+                .map(|&code| Value::Str(c.dict()[code as usize].clone()))
+                .collect();
+            let complete = cardinality <= UNIQUE_VALUES_CAP;
+            (cardinality, values, complete)
+        }
+        _ => {
+            let mut seen: HashMap<u64, Value> = HashMap::new();
+            for i in 0..col.len() {
+                if !col.is_valid(i) {
+                    continue;
+                }
+                let v = col.value(i);
+                let key = match &v {
+                    Value::Int(x) | Value::DateTime(x) => *x as u64,
+                    Value::Float(x) => {
+                        if x.is_nan() {
+                            f64::NAN.to_bits()
+                        } else {
+                            x.to_bits()
+                        }
+                    }
+                    Value::Bool(b) => *b as u64,
+                    _ => 0,
+                };
+                seen.entry(key).or_insert(v);
+            }
+            let cardinality = seen.len();
+            let mut values: Vec<Value> = seen.into_values().take(UNIQUE_VALUES_CAP).collect();
+            values.sort_by(|a, b| a.total_cmp(b));
+            let complete = cardinality <= UNIQUE_VALUES_CAP;
+            (cardinality, values, complete)
+        }
+    }
+}
+
+/// Names that strongly suggest a geographic attribute.
+const GEO_NAMES: [&str; 12] = [
+    "country", "countries", "state", "states", "city", "cities", "county", "region",
+    "continent", "zipcode", "zip", "nation",
+];
+
+/// Names that suggest a temporal attribute even for non-datetime storage.
+const TEMPORAL_NAMES: [&str; 6] = ["date", "year", "month", "day", "time", "timestamp"];
+
+/// Rule-based semantic type inference from physical type + cardinality +
+/// column name, following the heuristics Lux ships.
+pub fn infer_semantic(
+    name: &str,
+    dtype: DType,
+    cardinality: usize,
+    num_rows: usize,
+) -> SemanticType {
+    let lower = name.to_ascii_lowercase();
+    let name_matches = |names: &[&str]| {
+        names.iter().any(|n| lower == *n || lower.ends_with(&format!("_{n}")) || lower.ends_with(&format!(" {n}")))
+    };
+
+    match dtype {
+        DType::DateTime => SemanticType::Temporal,
+        DType::Bool => SemanticType::Nominal,
+        DType::Str => {
+            if name_matches(&GEO_NAMES) {
+                SemanticType::Geographic
+            } else if (lower == "id" || lower.ends_with("_id") || lower.ends_with(" id"))
+                && num_rows > 0
+                && cardinality == num_rows
+            {
+                SemanticType::Id
+            } else {
+                SemanticType::Nominal
+            }
+        }
+        DType::Int64 => {
+            if name_matches(&TEMPORAL_NAMES) && lower != "day" {
+                // year/month columns stored as ints read as temporal
+                SemanticType::Temporal
+            } else if (lower == "id" || lower.ends_with("_id") || lower.ends_with(" id"))
+                && num_rows > 0
+                && cardinality as f64 >= 0.99 * num_rows as f64
+            {
+                SemanticType::Id
+            } else if cardinality <= NOMINAL_INT_CARDINALITY {
+                SemanticType::Nominal
+            } else {
+                SemanticType::Quantitative
+            }
+        }
+        DType::Float64 => SemanticType::Quantitative,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn meta_of(df: &DataFrame) -> FrameMeta {
+        FrameMeta::compute(df, &HashMap::new())
+    }
+
+    #[test]
+    fn quantitative_float() {
+        let df = DataFrameBuilder::new().float("pay", [1.0, 2.0, 3.0]).build().unwrap();
+        let m = meta_of(&df);
+        let c = m.column("pay").unwrap();
+        assert_eq!(c.semantic, SemanticType::Quantitative);
+        assert_eq!(c.cardinality, 3);
+        assert_eq!((c.min, c.max), (Some(1.0), Some(3.0)));
+    }
+
+    #[test]
+    fn low_cardinality_int_is_nominal() {
+        let df = DataFrameBuilder::new()
+            .int("rating", (0..100).map(|i| i % 5))
+            .int("salary", 0..100)
+            .build()
+            .unwrap();
+        let m = meta_of(&df);
+        assert_eq!(m.column("rating").unwrap().semantic, SemanticType::Nominal);
+        assert_eq!(m.column("salary").unwrap().semantic, SemanticType::Quantitative);
+    }
+
+    #[test]
+    fn geographic_by_name() {
+        let df = DataFrameBuilder::new()
+            .str("Country", ["USA", "France"])
+            .str("dept", ["a", "b"])
+            .build()
+            .unwrap();
+        let m = meta_of(&df);
+        assert_eq!(m.column("Country").unwrap().semantic, SemanticType::Geographic);
+        assert_eq!(m.column("dept").unwrap().semantic, SemanticType::Nominal);
+    }
+
+    #[test]
+    fn temporal_by_dtype_and_name() {
+        let df = DataFrameBuilder::new()
+            .datetime("when", ["2020-01-01", "2020-01-02"])
+            .int("Year", [1999, 2000])
+            .build()
+            .unwrap();
+        let m = meta_of(&df);
+        assert_eq!(m.column("when").unwrap().semantic, SemanticType::Temporal);
+        assert_eq!(m.column("Year").unwrap().semantic, SemanticType::Temporal);
+    }
+
+    #[test]
+    fn id_detection() {
+        let df = DataFrameBuilder::new()
+            .int("user_id", 0..50)
+            .int("value", (0..50).map(|i| i % 30))
+            .build()
+            .unwrap();
+        let m = meta_of(&df);
+        assert_eq!(m.column("user_id").unwrap().semantic, SemanticType::Id);
+        assert_eq!(m.column("value").unwrap().semantic, SemanticType::Quantitative);
+    }
+
+    #[test]
+    fn override_wins() {
+        let df = DataFrameBuilder::new().int("code", 0..100).build().unwrap();
+        let mut overrides = HashMap::new();
+        overrides.insert("code".to_string(), SemanticType::Nominal);
+        let m = FrameMeta::compute(&df, &overrides);
+        assert_eq!(m.column("code").unwrap().semantic, SemanticType::Nominal);
+    }
+
+    #[test]
+    fn unique_values_capped_but_cardinality_exact() {
+        let df = DataFrameBuilder::new().int("x", 0..1000).build().unwrap();
+        let m = meta_of(&df);
+        let c = m.column("x").unwrap();
+        assert_eq!(c.cardinality, 1000);
+        assert_eq!(c.unique_values.len(), UNIQUE_VALUES_CAP);
+        assert!(!c.unique_complete);
+    }
+
+    #[test]
+    fn string_uniques_after_filter_are_exact() {
+        let df = DataFrameBuilder::new().str("s", ["a", "b", "c", "c"]).build().unwrap();
+        let f = df.filter("s", FilterOp::Ne, &Value::str("a")).unwrap();
+        let m = meta_of(&f);
+        let c = m.column("s").unwrap();
+        assert_eq!(c.cardinality, 2); // "a" is gone even though still interned
+    }
+
+    #[test]
+    fn null_count_and_semantic_parse() {
+        let col = Column::Float64(PrimitiveColumn::from_options(vec![Some(1.0), None]));
+        let df = DataFrame::from_columns(vec![("x".into(), col)]).unwrap();
+        let m = meta_of(&df);
+        assert_eq!(m.column("x").unwrap().null_count, 1);
+        assert_eq!(SemanticType::parse("QUANTITATIVE"), Some(SemanticType::Quantitative));
+        assert_eq!(SemanticType::parse("geo"), Some(SemanticType::Geographic));
+        assert_eq!(SemanticType::parse("whatever"), None);
+    }
+
+    #[test]
+    fn columns_of_filters_by_type() {
+        let df = DataFrameBuilder::new()
+            .float("a", [1.0])
+            .float("b", [2.0])
+            .str("c", ["x"])
+            .build()
+            .unwrap();
+        let m = meta_of(&df);
+        assert_eq!(m.columns_of(SemanticType::Quantitative), vec!["a", "b"]);
+        assert_eq!(m.columns_of(SemanticType::Nominal), vec!["c"]);
+    }
+
+    #[test]
+    fn bool_is_nominal() {
+        let df = DataFrameBuilder::new().bool("flag", [true, false, true]).build().unwrap();
+        let m = meta_of(&df);
+        assert_eq!(m.column("flag").unwrap().semantic, SemanticType::Nominal);
+        assert_eq!(m.column("flag").unwrap().cardinality, 2);
+    }
+}

@@ -1,0 +1,107 @@
+//! Cached row samples for approximate scoring (the PRUNE optimization).
+//!
+//! The paper caps samples at 30k rows and *caches* them, so repeated prints
+//! of the same dataframe approximate against the same sample instead of
+//! re-sampling (§8.2: "Lux leverages a cached sample of the dataframe").
+
+use std::sync::Arc;
+
+use lux_dataframe::prelude::*;
+use parking_lot::Mutex;
+
+/// Default sample cap from the paper's experiments (§9.1).
+pub const DEFAULT_SAMPLE_CAP: usize = 30_000;
+
+/// A lazily-computed, cached sample of a dataframe.
+///
+/// The first call to [`CachedSample::get`] draws a deterministic sample of at
+/// most `cap` rows; subsequent calls return the same `Arc`. Frames at or
+/// under the cap are returned as-is (no sampling distortion when exact
+/// computation is already cheap).
+#[derive(Debug)]
+pub struct CachedSample {
+    cap: usize,
+    seed: u64,
+    cache: Mutex<Option<Arc<DataFrame>>>,
+}
+
+impl CachedSample {
+    pub fn new(cap: usize, seed: u64) -> CachedSample {
+        CachedSample { cap, seed, cache: Mutex::new(None) }
+    }
+
+    /// The sample cap.
+    pub fn cap(&self) -> usize {
+        self.cap
+    }
+
+    /// The cached sample of `df`, computing it on first use.
+    pub fn get(&self, df: &DataFrame) -> Arc<DataFrame> {
+        let mut guard = self.cache.lock();
+        if let Some(sample) = guard.as_ref() {
+            return Arc::clone(sample);
+        }
+        let sample = if df.num_rows() <= self.cap {
+            Arc::new(df.clone())
+        } else {
+            Arc::new(df.sample(self.cap, self.seed))
+        };
+        *guard = Some(Arc::clone(&sample));
+        sample
+    }
+
+    /// Drop the cached sample (called when the underlying frame changes).
+    pub fn invalidate(&self) {
+        *self.cache.lock() = None;
+    }
+
+    /// True when a sample has been materialized.
+    pub fn is_cached(&self) -> bool {
+        self.cache.lock().is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frame(rows: usize) -> DataFrame {
+        DataFrameBuilder::new().int("x", (0..rows as i64).collect::<Vec<_>>()).build().unwrap()
+    }
+
+    #[test]
+    fn small_frames_pass_through() {
+        let df = frame(100);
+        let s = CachedSample::new(1000, 7);
+        assert_eq!(s.get(&df).num_rows(), 100);
+    }
+
+    #[test]
+    fn large_frames_are_capped() {
+        let df = frame(5000);
+        let s = CachedSample::new(1000, 7);
+        assert_eq!(s.get(&df).num_rows(), 1000);
+    }
+
+    #[test]
+    fn sample_is_cached_and_stable() {
+        let df = frame(5000);
+        let s = CachedSample::new(100, 7);
+        assert!(!s.is_cached());
+        let a = s.get(&df);
+        assert!(s.is_cached());
+        let b = s.get(&df);
+        assert!(Arc::ptr_eq(&a, &b));
+    }
+
+    #[test]
+    fn invalidate_resamples() {
+        let df = frame(5000);
+        let s = CachedSample::new(100, 7);
+        let a = s.get(&df);
+        s.invalidate();
+        let b = s.get(&df);
+        assert!(!Arc::ptr_eq(&a, &b));
+        assert_eq!(b.num_rows(), 100);
+    }
+}

@@ -1,0 +1,212 @@
+//! String syntax for intents — the "syntactic sugar" of §5.2.
+//!
+//! Accepted forms (matching the Python API's string shorthands):
+//!
+//! | input                      | meaning                                  |
+//! |----------------------------|------------------------------------------|
+//! | `"Age"`                    | axis on attribute `Age`                  |
+//! | `"A\|B\|C"`                | axis on the union of `A`, `B`, `C`       |
+//! | `"?"`                      | wildcard axis                            |
+//! | `"?quantitative"`          | wildcard axis constrained by type        |
+//! | `"Department=Sales"`       | equality filter                          |
+//! | `"Age>=30"`                | comparison filter (numeric parse)        |
+//! | `"Department=Sales\|Eng"`  | filter over a union of values            |
+//! | `"Country=?"`              | filter enumerating every value           |
+
+use lux_dataframe::prelude::*;
+use lux_engine::SemanticType;
+
+use crate::clause::{AttributeSpec, Clause, ValueSpec};
+
+/// Parse one intent string into a [`Clause`].
+pub fn parse_clause(input: &str) -> Result<Clause> {
+    let s = input.trim();
+    if s.is_empty() {
+        return Err(Error::Parse("empty intent clause".into()));
+    }
+
+    // A filter is "attribute OP value" with the first operator occurrence
+    // splitting the string. Scan for the earliest operator symbol.
+    if let Some((attr, op, rest)) = split_filter(s) {
+        let attr = attr.trim();
+        if attr.is_empty() {
+            return Err(Error::Parse(format!("filter {s:?} is missing an attribute")));
+        }
+        let rest = rest.trim();
+        let value = if rest == "?" {
+            if op != FilterOp::Eq {
+                return Err(Error::Parse(format!(
+                    "wildcard filter values require '=', got {:?}",
+                    op.symbol()
+                )));
+            }
+            ValueSpec::Wildcard
+        } else if rest.contains('|') {
+            if op != FilterOp::Eq {
+                return Err(Error::Parse(format!(
+                    "union filter values require '=', got {:?}",
+                    op.symbol()
+                )));
+            }
+            ValueSpec::Union(rest.split('|').map(|p| parse_value(p.trim())).collect())
+        } else {
+            ValueSpec::One(parse_value(rest))
+        };
+        return Ok(Clause::Filter { attribute: attr.to_string(), op, value });
+    }
+
+    // Wildcard axis, optionally with a type constraint.
+    if let Some(rest) = s.strip_prefix('?') {
+        let constraint = if rest.trim().is_empty() {
+            None
+        } else {
+            Some(SemanticType::parse(rest.trim()).ok_or_else(|| {
+                Error::Parse(format!("unknown wildcard constraint {:?}", rest.trim()))
+            })?)
+        };
+        return Ok(Clause::Axis {
+            attribute: AttributeSpec::Wildcard { constraint },
+            channel: None,
+            aggregation: None,
+            bin_size: None,
+        });
+    }
+
+    // Axis: single attribute or union.
+    if s.contains('|') {
+        let names: Vec<String> = s.split('|').map(|p| p.trim().to_string()).collect();
+        if names.iter().any(String::is_empty) {
+            return Err(Error::Parse(format!("axis union {s:?} has an empty member")));
+        }
+        return Ok(Clause::axis_union(names));
+    }
+    Ok(Clause::axis(s))
+}
+
+/// Parse a whole intent from strings (the `df.intent = ["Age", "Dept=Sales"]`
+/// shorthand).
+pub fn parse_intent<S: AsRef<str>, I: IntoIterator<Item = S>>(inputs: I) -> Result<Vec<Clause>> {
+    inputs.into_iter().map(|s| parse_clause(s.as_ref())).collect()
+}
+
+/// Find the first filter operator in `s`, returning (lhs, op, rhs). `!=`,
+/// `>=`, `<=` are matched before their one-character prefixes.
+fn split_filter(s: &str) -> Option<(&str, FilterOp, &str)> {
+    for (i, _) in s.char_indices() {
+        if let Some((op, rest)) = FilterOp::parse_prefix(&s[i..]) {
+            return Some((&s[..i], op, rest));
+        }
+    }
+    None
+}
+
+/// Interpret a filter value string: int, then float, then bool, then date,
+/// falling back to a string value.
+pub fn parse_value(s: &str) -> Value {
+    let t = s.trim();
+    if let Ok(i) = t.parse::<i64>() {
+        return Value::Int(i);
+    }
+    if let Ok(f) = t.parse::<f64>() {
+        return Value::Float(f);
+    }
+    match t.to_ascii_lowercase().as_str() {
+        "true" => return Value::Bool(true),
+        "false" => return Value::Bool(false),
+        _ => {}
+    }
+    if t.len() >= 8 && t.chars().filter(|c| *c == '-').count() >= 2 {
+        if let Some(dt) = lux_dataframe::value::parse_datetime(t) {
+            return Value::DateTime(dt);
+        }
+    }
+    Value::str(t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plain_axis() {
+        assert_eq!(parse_clause("Age").unwrap(), Clause::axis("Age"));
+        assert_eq!(parse_clause("  Age  ").unwrap(), Clause::axis("Age"));
+    }
+
+    #[test]
+    fn axis_union() {
+        assert_eq!(
+            parse_clause("HourlyRate|DailyRate").unwrap(),
+            Clause::axis_union(["HourlyRate", "DailyRate"])
+        );
+        assert!(parse_clause("a||b").is_err());
+    }
+
+    #[test]
+    fn wildcards() {
+        assert_eq!(parse_clause("?").unwrap(), Clause::wildcard());
+        assert_eq!(
+            parse_clause("?quantitative").unwrap(),
+            Clause::wildcard_typed(SemanticType::Quantitative)
+        );
+        assert!(parse_clause("?bogus").is_err());
+    }
+
+    #[test]
+    fn equality_filter_with_string_value() {
+        let c = parse_clause("Department=Sales").unwrap();
+        assert_eq!(c, Clause::filter("Department", FilterOp::Eq, Value::str("Sales")));
+    }
+
+    #[test]
+    fn comparison_filters_parse_numbers() {
+        assert_eq!(
+            parse_clause("Age>=30").unwrap(),
+            Clause::filter("Age", FilterOp::Ge, Value::Int(30))
+        );
+        assert_eq!(
+            parse_clause("score<0.5").unwrap(),
+            Clause::filter("score", FilterOp::Lt, Value::Float(0.5))
+        );
+        assert_eq!(
+            parse_clause("flag!=true").unwrap(),
+            Clause::filter("flag", FilterOp::Ne, Value::Bool(true))
+        );
+    }
+
+    #[test]
+    fn filter_value_wildcard_and_union() {
+        assert_eq!(parse_clause("Country=?").unwrap(), Clause::filter_wildcard("Country"));
+        let c = parse_clause("dept=Sales|Eng").unwrap();
+        assert_eq!(
+            c,
+            Clause::filter_in("dept", [Value::str("Sales"), Value::str("Eng")])
+        );
+        // wildcard/union with non-equality operator is rejected
+        assert!(parse_clause("x>?").is_err());
+        assert!(parse_clause("x>1|2").is_err());
+    }
+
+    #[test]
+    fn date_values() {
+        let c = parse_clause("date=2020-03-11").unwrap();
+        match c {
+            Clause::Filter { value: ValueSpec::One(Value::DateTime(_)), .. } => {}
+            other => panic!("expected datetime filter, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_and_missing_parts_error() {
+        assert!(parse_clause("").is_err());
+        assert!(parse_clause("=Sales").is_err());
+    }
+
+    #[test]
+    fn parse_intent_batches() {
+        let intent = parse_intent(["Age", "Department=Sales"]).unwrap();
+        assert_eq!(intent.len(), 2);
+        assert!(intent[0].is_axis() && intent[1].is_filter());
+        assert!(parse_intent(["ok", ""]).is_err());
+    }
+}

@@ -1,0 +1,487 @@
+//! Recommendation generation: runs the applicable actions over a dataframe,
+//! applying the PRUNE optimization inside each action and the ASYNC
+//! cost-based schedule across actions (paper §8.2).
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use lux_dataframe::prelude::*;
+use lux_engine::{CostModel, FrameMeta};
+#[cfg(test)]
+use lux_engine::LuxConfig;
+use lux_vis::{Channel, Vis, VisList, VisSpec};
+
+use crate::action::{Action, ActionContext, ActionRegistry, ActionResult, Candidate};
+
+/// Estimate `(rows, groups)` for costing one spec against frame metadata.
+/// "Groups" is the output cardinality of the primary relational operation
+/// (Table 2): selections materialize no groups, binned ops produce one
+/// group per bin, and group-bys produce one group per key combination.
+fn estimate_spec(spec: &VisSpec, meta: &FrameMeta, num_rows: usize) -> (usize, usize) {
+    use lux_engine::OpClass;
+    let x_card = spec
+        .channel(Channel::X)
+        .and_then(|e| meta.column(&e.attribute))
+        .map(|c| c.cardinality.min(num_rows))
+        .unwrap_or(1);
+    let color_card = spec
+        .channel(Channel::Color)
+        .and_then(|e| meta.column(&e.attribute))
+        .map(|c| c.cardinality.min(num_rows))
+        .unwrap_or(1);
+    let bins = |e: Option<&lux_vis::Encoding>| e.and_then(|e| e.bin).unwrap_or(10);
+    let groups = match spec.op_class() {
+        OpClass::Selection2 | OpClass::Selection3 => 0,
+        OpClass::GroupAgg => x_card,
+        OpClass::GroupAgg2D => x_card.saturating_mul(color_card).min(num_rows),
+        OpClass::BinCount => bins(spec.channel(Channel::X)),
+        OpClass::BinCount2D | OpClass::BinCount2DGroup => {
+            bins(spec.channel(Channel::X)) * bins(spec.channel(Channel::Y))
+        }
+    };
+    (num_rows, groups)
+}
+
+/// Cost-model estimate for a whole action (sum over its candidates).
+fn estimate_action(
+    candidates: &[Candidate],
+    meta: &FrameMeta,
+    num_rows: usize,
+    model: &CostModel,
+) -> f64 {
+    model.action_cost(candidates.iter().map(|c| {
+        let rows = c.frame.as_ref().map_or(num_rows, |f| f.num_rows());
+        let (r, g) = estimate_spec(&c.spec, meta, rows);
+        (c.spec.op_class(), r, g)
+    }))
+}
+
+/// Execute one action end-to-end: generate, score (approximately when PRUNE
+/// applies), rank, keep top-k, and process the survivors exactly.
+pub fn execute_action(
+    action: &dyn Action,
+    ctx: &ActionContext<'_>,
+    sample: Option<&DataFrame>,
+    model: &CostModel,
+) -> Option<ActionResult> {
+    let start = Instant::now();
+    let opts = ctx.process_options();
+    let candidates = action.generate(ctx).ok()?;
+    if candidates.is_empty() {
+        return None;
+    }
+    let estimated_cost = estimate_action(&candidates, ctx.meta, ctx.df.num_rows(), model);
+    let k = ctx.config.top_k;
+
+    // PRUNE gate: approximate only when the cost model predicts a win and a
+    // genuinely smaller sample exists (paper: "apply prune for any action
+    // where the number of visualizations exceeds k", subject to the model).
+    let sample_rows = sample.map_or(usize::MAX, DataFrame::num_rows);
+    let rep_class = candidates[0].spec.op_class();
+    let (rep_rows, rep_groups) = estimate_spec(&candidates[0].spec, ctx.meta, ctx.df.num_rows());
+    let use_prune = ctx.config.prune
+        && sample.is_some()
+        && candidates.len() > k
+        && model.prune_worthwhile(candidates.len(), k, rep_class, rep_rows, sample_rows, rep_groups);
+
+    let mut scored: Vec<(Candidate, f64, bool)> = Vec::with_capacity(candidates.len());
+    for cand in candidates {
+        // Candidates pinned to their own frame (history/structure actions)
+        // are scored on that frame; others use the sample when pruning.
+        let (frame, approx): (&DataFrame, bool) = match (&cand.frame, use_prune) {
+            (Some(f), _) => (f, false),
+            (None, true) => (sample.expect("use_prune implies sample"), true),
+            (None, false) => (ctx.df, false),
+        };
+        let score = action.score(&cand.spec, frame, &opts);
+        scored.push((cand, score, approx));
+    }
+    scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+    scored.truncate(k);
+
+    // Second pass: recompute approximate scores exactly for the top-k.
+    let mut visses: Vec<Vis> = Vec::with_capacity(scored.len());
+    for (cand, score, approx) in scored {
+        let frame: &DataFrame = cand.frame.as_deref().unwrap_or(ctx.df);
+        let exact = if approx { action.score(&cand.spec, frame, &opts) } else { score };
+        let mut vis = Vis::new(cand.spec);
+        vis.score = exact;
+        vis.approximate = false;
+        if vis.process(frame, &opts).is_err() {
+            continue; // fail-safe: drop broken vis, keep the rest
+        }
+        visses.push(vis);
+    }
+    if visses.is_empty() {
+        return None;
+    }
+    let mut vislist = VisList::new(visses);
+    vislist.rank();
+
+    Some(ActionResult {
+        action: action.name().to_string(),
+        class: action.class(),
+        vislist,
+        estimated_cost,
+        elapsed: start.elapsed().as_secs_f64(),
+    })
+}
+
+/// Run every applicable action. With `config.async` the actions run on
+/// worker threads scheduled cheapest-first and `on_result` fires as each
+/// completes (streaming, as in the paper); otherwise they run sequentially
+/// cheapest-first. The returned list is ordered by estimated cost.
+pub fn run_actions(
+    registry: &ActionRegistry,
+    ctx: &ActionContext<'_>,
+    sample: Option<&DataFrame>,
+    mut on_result: Option<&mut dyn FnMut(&ActionResult)>,
+) -> Vec<ActionResult> {
+    let model = CostModel::default();
+    let actions = registry.applicable(ctx);
+    if actions.is_empty() {
+        return Vec::new();
+    }
+
+    // Pre-generate candidates once to estimate costs for scheduling.
+    // (Generation is cheap — it's metadata-only; processing dominates.)
+    let mut with_cost: Vec<(Arc<dyn Action>, f64)> = actions
+        .into_iter()
+        .map(|a| {
+            let cost = a
+                .generate(ctx)
+                .map(|c| estimate_action(&c, ctx.meta, ctx.df.num_rows(), &model))
+                .unwrap_or(f64::MAX);
+            (a, cost)
+        })
+        .collect();
+    with_cost.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
+
+    let mut results: Vec<ActionResult> = Vec::new();
+    if ctx.config.r#async && with_cost.len() > 1 {
+        // Cheapest-first dispatch onto scoped workers; results stream back
+        // in completion order (cheap actions come back while laggards run).
+        let (tx, rx) = crossbeam::channel::unbounded::<ActionResult>();
+        crossbeam::thread::scope(|scope| {
+            for (action, _) in &with_cost {
+                let tx = tx.clone();
+                let action = Arc::clone(action);
+                let model = &model;
+                scope.spawn(move |_| {
+                    if let Some(r) = execute_action(action.as_ref(), ctx, sample, model) {
+                        let _ = tx.send(r);
+                    }
+                });
+            }
+            drop(tx);
+            while let Ok(r) = rx.recv() {
+                if let Some(cb) = on_result.as_deref_mut() {
+                    cb(&r);
+                }
+                results.push(r);
+            }
+        })
+        .expect("action worker panicked");
+    } else {
+        for (action, _) in &with_cost {
+            if let Some(r) = execute_action(action.as_ref(), ctx, sample, &model) {
+                if let Some(cb) = on_result.as_deref_mut() {
+                    cb(&r);
+                }
+                results.push(r);
+            }
+        }
+    }
+
+    // Deterministic display order: cheapest action first.
+    results.sort_by(|a, b| {
+        a.estimated_cost
+            .partial_cmp(&b.estimated_cost)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    results
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::action::ActionClass;
+    use crate::metadata_actions::Correlation;
+    use std::collections::HashMap;
+
+    fn fixture(rows: usize) -> (DataFrame, FrameMeta, LuxConfig) {
+        let df = DataFrameBuilder::new()
+            .float("a", (0..rows).map(|i| i as f64))
+            .float("b", (0..rows).map(|i| (i * 2) as f64))
+            .float("c", (0..rows).map(|i| ((i * 7919) % 100) as f64))
+            .str("dept", (0..rows).map(|i| if i % 2 == 0 { "S" } else { "E" }))
+            .build()
+            .unwrap();
+        let meta = FrameMeta::compute(&df, &HashMap::new());
+        (df, meta, LuxConfig::default())
+    }
+
+    #[test]
+    fn execute_correlation_ranks_by_r() {
+        let (df, meta, config) = fixture(100);
+        let ctx = ActionContext { df: &df, meta: &meta, intent: &[], intent_specs: &[], config: &config };
+        let r = execute_action(&Correlation, &ctx, None, &CostModel::default()).unwrap();
+        assert_eq!(r.action, "Correlation");
+        // a-b are perfectly correlated; that pair must rank first.
+        let top = &r.vislist.visualizations[0];
+        let attrs = top.spec.attributes();
+        assert!(attrs.contains(&"a") && attrs.contains(&"b"));
+        assert!((top.score - 1.0).abs() < 1e-9);
+        assert!(top.data.is_some());
+    }
+
+    #[test]
+    fn run_actions_returns_all_classes_on_plain_frame() {
+        let (df, meta, config) = fixture(60);
+        let ctx = ActionContext { df: &df, meta: &meta, intent: &[], intent_specs: &[], config: &config };
+        let registry = ActionRegistry::with_defaults();
+        let results = run_actions(&registry, &ctx, None, None);
+        let names: Vec<&str> = results.iter().map(|r| r.action.as_str()).collect();
+        assert!(names.contains(&"Correlation"));
+        assert!(names.contains(&"Distribution"));
+        assert!(names.contains(&"Occurrence"));
+        // plain frame: no history/structure/intent actions fire
+        assert!(results.iter().all(|r| r.class == ActionClass::Metadata));
+    }
+
+    #[test]
+    fn async_and_sync_agree_on_content() {
+        let (df, meta, mut config) = fixture(80);
+        let registry = ActionRegistry::with_defaults();
+        config.r#async = false;
+        let ctx = ActionContext { df: &df, meta: &meta, intent: &[], intent_specs: &[], config: &config };
+        let sync = run_actions(&registry, &ctx, None, None);
+        let mut config2 = config.clone();
+        config2.r#async = true;
+        let ctx2 = ActionContext { df: &df, meta: &meta, intent: &[], intent_specs: &[], config: &config2 };
+        let asynced = run_actions(&registry, &ctx2, None, None);
+        let names = |rs: &[ActionResult]| {
+            rs.iter().map(|r| r.action.clone()).collect::<Vec<_>>()
+        };
+        assert_eq!(names(&sync), names(&asynced));
+        for (a, b) in sync.iter().zip(&asynced) {
+            assert_eq!(a.vislist.len(), b.vislist.len());
+            for (va, vb) in a.vislist.iter().zip(b.vislist.iter()) {
+                assert_eq!(va.spec, vb.spec);
+            }
+        }
+    }
+
+    #[test]
+    fn streaming_callback_fires_per_action() {
+        let (df, meta, config) = fixture(50);
+        let registry = ActionRegistry::with_defaults();
+        let ctx = ActionContext { df: &df, meta: &meta, intent: &[], intent_specs: &[], config: &config };
+        let mut seen = 0usize;
+        let mut cb = |_r: &ActionResult| seen += 1;
+        let results = run_actions(&registry, &ctx, None, Some(&mut cb));
+        assert_eq!(seen, results.len());
+        assert!(seen >= 3);
+    }
+
+    #[test]
+    fn top_k_truncation() {
+        let (df, meta, mut config) = fixture(30);
+        config.top_k = 2;
+        let ctx = ActionContext { df: &df, meta: &meta, intent: &[], intent_specs: &[], config: &config };
+        let r = execute_action(&Correlation, &ctx, None, &CostModel::default()).unwrap();
+        assert!(r.vislist.len() <= 2);
+    }
+
+    #[test]
+    fn prune_with_sample_keeps_top_pair() {
+        let (df, meta, mut config) = fixture(2000);
+        config.prune = true;
+        config.top_k = 1;
+        let sample = df.sample(100, 7);
+        let ctx = ActionContext { df: &df, meta: &meta, intent: &[], intent_specs: &[], config: &config };
+        let r = execute_action(&Correlation, &ctx, Some(&sample), &CostModel::default()).unwrap();
+        let attrs = r.vislist.visualizations[0].spec.attributes();
+        assert!(attrs.contains(&"a") && attrs.contains(&"b"));
+        // final scores are exact (recomputed), so the perfect pair scores 1
+        assert!((r.vislist.visualizations[0].score - 1.0).abs() < 1e-9);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Streaming (owned) execution — the ASYNC user experience
+// ---------------------------------------------------------------------
+
+/// Owned inputs for background execution (everything `Arc`'d so worker
+/// threads outlive the caller's borrows).
+pub struct OwnedContext {
+    pub df: Arc<DataFrame>,
+    pub meta: Arc<FrameMeta>,
+    pub intent: Arc<Vec<lux_intent::Clause>>,
+    pub intent_specs: Arc<Vec<VisSpec>>,
+    pub config: Arc<lux_engine::LuxConfig>,
+    pub sample: Option<Arc<DataFrame>>,
+}
+
+/// A recommendation run streaming results from background workers.
+///
+/// This is the ASYNC optimization as the user experiences it (paper §8.2):
+/// "recommendation results can be streamed into the frontend widget as the
+/// computation for each action completes ... instead of incurring a high
+/// wait time". Dropping the handle detaches the workers; they finish and
+/// their sends fail harmlessly.
+pub struct StreamingRun {
+    rx: crossbeam::channel::Receiver<ActionResult>,
+    expected: usize,
+}
+
+impl StreamingRun {
+    /// Receive the next completed action (blocks). `None` once all done.
+    pub fn next_result(&self) -> Option<ActionResult> {
+        self.rx.recv().ok()
+    }
+
+    /// Non-blocking poll.
+    pub fn try_next(&self) -> Option<ActionResult> {
+        self.rx.try_recv().ok()
+    }
+
+    /// How many actions were dispatched.
+    pub fn expected(&self) -> usize {
+        self.expected
+    }
+
+    /// Drain every remaining result (blocks until all workers finish).
+    pub fn collect_all(self) -> Vec<ActionResult> {
+        let mut out: Vec<ActionResult> = self.rx.iter().collect();
+        out.sort_by(|a, b| {
+            a.estimated_cost.partial_cmp(&b.estimated_cost).unwrap_or(std::cmp::Ordering::Equal)
+        });
+        out
+    }
+}
+
+/// Dispatch every applicable action onto detached worker threads,
+/// cheapest-first, returning immediately with a [`StreamingRun`]. Control
+/// returns to the caller as soon as dispatch completes; results arrive in
+/// completion order (cheap actions first by construction).
+pub fn run_actions_streaming(registry: &ActionRegistry, owned: OwnedContext) -> StreamingRun {
+    let model = CostModel::default();
+    // Estimate costs for the schedule (borrowing context briefly).
+    let specs_ref: &[VisSpec] = &owned.intent_specs;
+    let ctx = ActionContext {
+        df: &owned.df,
+        meta: &owned.meta,
+        intent: &owned.intent,
+        intent_specs: specs_ref,
+        config: &owned.config,
+    };
+    let mut with_cost: Vec<(Arc<dyn Action>, f64)> = registry
+        .applicable(&ctx)
+        .into_iter()
+        .map(|a| {
+            let cost = a
+                .generate(&ctx)
+                .map(|c| estimate_action(&c, &owned.meta, owned.df.num_rows(), &model))
+                .unwrap_or(f64::MAX);
+            (a, cost)
+        })
+        .collect();
+    with_cost.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
+
+    let expected = with_cost.len();
+    let (tx, rx) = crossbeam::channel::unbounded::<ActionResult>();
+    // A shared cheapest-first queue drained by a small worker pool: cheap
+    // actions are guaranteed to be picked up before laggards.
+    let queue = Arc::new(crossbeam::queue::SegQueue::new());
+    for pair in with_cost {
+        queue.push(pair);
+    }
+    let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4).min(expected.max(1));
+    for _ in 0..workers {
+        let queue = Arc::clone(&queue);
+        let tx = tx.clone();
+        let owned = OwnedContext {
+            df: Arc::clone(&owned.df),
+            meta: Arc::clone(&owned.meta),
+            intent: Arc::clone(&owned.intent),
+            intent_specs: Arc::clone(&owned.intent_specs),
+            config: Arc::clone(&owned.config),
+            sample: owned.sample.clone(),
+        };
+        std::thread::spawn(move || {
+            let model = CostModel::default();
+            while let Some((action, _)) = queue.pop() {
+                let ctx = ActionContext {
+                    df: &owned.df,
+                    meta: &owned.meta,
+                    intent: &owned.intent,
+                    intent_specs: &owned.intent_specs,
+                    config: &owned.config,
+                };
+                if let Some(r) =
+                    execute_action(action.as_ref(), &ctx, owned.sample.as_deref(), &model)
+                {
+                    if tx.send(r).is_err() {
+                        return; // receiver dropped: stop quietly
+                    }
+                }
+            }
+        });
+    }
+    StreamingRun { rx, expected }
+}
+
+#[cfg(test)]
+mod streaming_tests {
+    use super::*;
+    use crate::action::ActionRegistry;
+    use std::collections::HashMap;
+
+    #[test]
+    fn streaming_delivers_all_actions() {
+        let df = DataFrameBuilder::new()
+            .float("a", (0..200).map(|i| i as f64))
+            .float("b", (0..200).map(|i| (i * 3 % 17) as f64))
+            .str("g", (0..200).map(|i| if i % 2 == 0 { "x" } else { "y" }))
+            .build()
+            .unwrap();
+        let meta = FrameMeta::compute(&df, &HashMap::new());
+        let registry = ActionRegistry::with_defaults();
+        let owned = OwnedContext {
+            df: Arc::new(df),
+            meta: Arc::new(meta),
+            intent: Arc::new(vec![]),
+            intent_specs: Arc::new(vec![]),
+            config: Arc::new(LuxConfig::default()),
+            sample: None,
+        };
+        let run = run_actions_streaming(&registry, owned);
+        let expected = run.expected();
+        assert!(expected >= 3);
+        let all = run.collect_all();
+        assert_eq!(all.len(), expected);
+        // ordered by estimated cost after collect_all
+        for w in all.windows(2) {
+            assert!(w[0].estimated_cost <= w[1].estimated_cost);
+        }
+    }
+
+    #[test]
+    fn dropping_run_detaches_cleanly() {
+        let df = DataFrameBuilder::new().float("a", (0..50).map(|i| i as f64)).build().unwrap();
+        let meta = FrameMeta::compute(&df, &HashMap::new());
+        let registry = ActionRegistry::with_defaults();
+        let owned = OwnedContext {
+            df: Arc::new(df),
+            meta: Arc::new(meta),
+            intent: Arc::new(vec![]),
+            intent_specs: Arc::new(vec![]),
+            config: Arc::new(LuxConfig::default()),
+            sample: None,
+        };
+        let run = run_actions_streaming(&registry, owned);
+        let _first = run.next_result();
+        drop(run); // workers keep running; their sends fail silently
+    }
+}

@@ -1,0 +1,40 @@
+//! # lux-recs
+//!
+//! The recommendation layer: the action framework (paper §7.2), the four
+//! default action classes of Table 1, interestingness scoring, and the
+//! executor that applies PRUNE (approximate two-pass top-k) inside each
+//! action and ASYNC (cost-based cheapest-first scheduling) across actions.
+
+pub mod action;
+pub mod generate;
+pub mod history_actions;
+pub mod intent_actions;
+pub mod metadata_actions;
+pub mod score;
+pub mod structure_actions;
+
+use std::sync::Arc;
+
+pub use action::{
+    Action, ActionClass, ActionContext, ActionRegistry, ActionResult, Candidate, CustomAction,
+};
+pub use generate::{execute_action, run_actions};
+
+/// Every default action of Table 1, in taxonomy order.
+pub fn default_actions() -> Vec<Arc<dyn Action>> {
+    vec![
+        Arc::new(metadata_actions::Distribution),
+        Arc::new(metadata_actions::Occurrence),
+        Arc::new(metadata_actions::Temporal),
+        Arc::new(metadata_actions::Geographic),
+        Arc::new(metadata_actions::Correlation),
+        Arc::new(intent_actions::CurrentVis),
+        Arc::new(intent_actions::Enhance),
+        Arc::new(intent_actions::FilterAction),
+        Arc::new(intent_actions::Generalize),
+        Arc::new(structure_actions::SeriesVis),
+        Arc::new(structure_actions::IndexVis),
+        Arc::new(history_actions::PreFilter),
+        Arc::new(history_actions::PreAggregate),
+    ]
+}

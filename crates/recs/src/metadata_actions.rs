@@ -1,0 +1,296 @@
+//! Metadata-based actions (Table 1): Correlation, Distribution, Occurrence,
+//! Temporal, Geographic — the always-available univariate and bivariate
+//! overviews driven purely by column statistics.
+
+use lux_dataframe::prelude::*;
+use lux_engine::SemanticType;
+use lux_vis::{Channel, Encoding, Mark, VisSpec};
+
+use crate::action::{Action, ActionClass, ActionContext, Candidate};
+
+/// Bivariate scatterplots between all pairs of quantitative attributes,
+/// ranked by |Pearson's r|.
+pub struct Correlation;
+
+impl Action for Correlation {
+    fn name(&self) -> &str {
+        "Correlation"
+    }
+
+    fn class(&self) -> ActionClass {
+        ActionClass::Metadata
+    }
+
+    fn applies(&self, ctx: &ActionContext<'_>) -> bool {
+        ctx.intent.is_empty() && ctx.meta.columns_of(SemanticType::Quantitative).len() >= 2
+    }
+
+    fn generate(&self, ctx: &ActionContext<'_>) -> Result<Vec<Candidate>> {
+        let quant = ctx.meta.columns_of(SemanticType::Quantitative);
+        let mut out = Vec::new();
+        // Unordered pairs: the search space the paper's Q6 describes, with
+        // the symmetric duplicates removed.
+        for i in 0..quant.len() {
+            for j in i + 1..quant.len() {
+                out.push(Candidate::new(VisSpec::new(
+                    Mark::Scatter,
+                    vec![
+                        Encoding::new(quant[i], SemanticType::Quantitative, Channel::X),
+                        Encoding::new(quant[j], SemanticType::Quantitative, Channel::Y),
+                    ],
+                    vec![],
+                )));
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// Univariate histograms of quantitative attributes, ranked by |skewness|.
+pub struct Distribution;
+
+impl Action for Distribution {
+    fn name(&self) -> &str {
+        "Distribution"
+    }
+
+    fn class(&self) -> ActionClass {
+        ActionClass::Metadata
+    }
+
+    fn applies(&self, ctx: &ActionContext<'_>) -> bool {
+        ctx.intent.is_empty() && !ctx.meta.columns_of(SemanticType::Quantitative).is_empty()
+    }
+
+    fn generate(&self, ctx: &ActionContext<'_>) -> Result<Vec<Candidate>> {
+        Ok(ctx
+            .meta
+            .columns_of(SemanticType::Quantitative)
+            .into_iter()
+            .map(|name| {
+                Candidate::new(VisSpec::new(
+                    Mark::Histogram,
+                    vec![
+                        Encoding::new(name, SemanticType::Quantitative, Channel::X)
+                            .with_bin(ctx.config.histogram_bins),
+                        Encoding::synthetic_count(Channel::Y),
+                    ],
+                    vec![],
+                ))
+            })
+            .collect())
+    }
+}
+
+/// Univariate bar charts of categorical attributes, ranked by how uneven
+/// the category counts are.
+pub struct Occurrence;
+
+impl Action for Occurrence {
+    fn name(&self) -> &str {
+        "Occurrence"
+    }
+
+    fn class(&self) -> ActionClass {
+        ActionClass::Metadata
+    }
+
+    fn applies(&self, ctx: &ActionContext<'_>) -> bool {
+        ctx.intent.is_empty() && !ctx.meta.columns_of(SemanticType::Nominal).is_empty()
+    }
+
+    fn generate(&self, ctx: &ActionContext<'_>) -> Result<Vec<Candidate>> {
+        Ok(ctx
+            .meta
+            .columns_of(SemanticType::Nominal)
+            .into_iter()
+            .map(|name| {
+                Candidate::new(VisSpec::new(
+                    Mark::Bar,
+                    vec![
+                        Encoding::new(name, SemanticType::Nominal, Channel::X),
+                        Encoding::synthetic_count(Channel::Y),
+                    ],
+                    vec![],
+                ))
+            })
+            .collect())
+    }
+}
+
+/// Univariate line charts of temporal attributes (record counts over time).
+pub struct Temporal;
+
+impl Action for Temporal {
+    fn name(&self) -> &str {
+        "Temporal"
+    }
+
+    fn class(&self) -> ActionClass {
+        ActionClass::Metadata
+    }
+
+    fn applies(&self, ctx: &ActionContext<'_>) -> bool {
+        ctx.intent.is_empty() && !ctx.meta.columns_of(SemanticType::Temporal).is_empty()
+    }
+
+    fn generate(&self, ctx: &ActionContext<'_>) -> Result<Vec<Candidate>> {
+        Ok(ctx
+            .meta
+            .columns_of(SemanticType::Temporal)
+            .into_iter()
+            .map(|name| {
+                let semantic = ctx.meta.column(name).map(|c| c.semantic).unwrap_or(SemanticType::Temporal);
+                Candidate::new(VisSpec::new(
+                    Mark::Line,
+                    vec![
+                        Encoding::new(name, semantic, Channel::X),
+                        Encoding::synthetic_count(Channel::Y),
+                    ],
+                    vec![],
+                ))
+            })
+            .collect())
+    }
+}
+
+/// Choropleth maps: each geographic attribute against each quantitative
+/// measure (mean per region), ranked by how much the measure varies across
+/// regions.
+pub struct Geographic;
+
+impl Action for Geographic {
+    fn name(&self) -> &str {
+        "Geographic"
+    }
+
+    fn class(&self) -> ActionClass {
+        ActionClass::Metadata
+    }
+
+    fn applies(&self, ctx: &ActionContext<'_>) -> bool {
+        ctx.intent.is_empty() && !ctx.meta.columns_of(SemanticType::Geographic).is_empty()
+    }
+
+    fn generate(&self, ctx: &ActionContext<'_>) -> Result<Vec<Candidate>> {
+        let geos = ctx.meta.columns_of(SemanticType::Geographic);
+        let quants = ctx.meta.columns_of(SemanticType::Quantitative);
+        let mut out = Vec::new();
+        for g in &geos {
+            if quants.is_empty() {
+                out.push(Candidate::new(VisSpec::new(
+                    Mark::Choropleth,
+                    vec![
+                        Encoding::new(*g, SemanticType::Geographic, Channel::X),
+                        Encoding::synthetic_count(Channel::Y),
+                    ],
+                    vec![],
+                )));
+            }
+            for q in &quants {
+                out.push(Candidate::new(VisSpec::new(
+                    Mark::Choropleth,
+                    vec![
+                        Encoding::new(*g, SemanticType::Geographic, Channel::X),
+                        Encoding::new(*q, SemanticType::Quantitative, Channel::Y)
+                            .with_aggregation(Agg::Mean),
+                    ],
+                    vec![],
+                )));
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lux_engine::{FrameMeta, LuxConfig};
+    use std::collections::HashMap;
+
+    fn fixture() -> (DataFrame, FrameMeta, LuxConfig) {
+        let df = DataFrameBuilder::new()
+            .float("a", [1.0, 2.0, 3.0])
+            .float("b", [3.0, 2.0, 1.0])
+            .float("c", [1.0, 1.0, 9.0])
+            .str("dept", ["S", "E", "S"])
+            .str("country", ["US", "FR", "US"])
+            .datetime("date", ["2020-01-01", "2020-01-02", "2020-01-03"])
+            .build()
+            .unwrap();
+        let meta = FrameMeta::compute(&df, &HashMap::new());
+        (df, meta, LuxConfig::default())
+    }
+
+    macro_rules! ctx {
+        ($df:expr, $meta:expr, $cfg:expr) => {
+            ActionContext { df: &$df, meta: &$meta, intent: &[], intent_specs: &[], config: &$cfg }
+        };
+    }
+
+    #[test]
+    fn correlation_generates_unordered_pairs() {
+        let (df, meta, cfg) = fixture();
+        let ctx = ctx!(df, meta, cfg);
+        assert!(Correlation.applies(&ctx));
+        let c = Correlation.generate(&ctx).unwrap();
+        assert_eq!(c.len(), 3); // C(3,2) over a,b,c
+    }
+
+    #[test]
+    fn distribution_one_histogram_per_quant() {
+        let (df, meta, cfg) = fixture();
+        let ctx = ctx!(df, meta, cfg);
+        let c = Distribution.generate(&ctx).unwrap();
+        assert_eq!(c.len(), 3);
+        assert!(c.iter().all(|x| x.spec.mark == Mark::Histogram));
+    }
+
+    #[test]
+    fn occurrence_covers_nominal_only() {
+        let (df, meta, cfg) = fixture();
+        let ctx = ctx!(df, meta, cfg);
+        let c = Occurrence.generate(&ctx).unwrap();
+        // dept is nominal; country is geographic so excluded here
+        assert_eq!(c.len(), 1);
+        assert_eq!(c[0].spec.channel(Channel::X).unwrap().attribute, "dept");
+    }
+
+    #[test]
+    fn temporal_and_geographic() {
+        let (df, meta, cfg) = fixture();
+        let ctx = ctx!(df, meta, cfg);
+        assert_eq!(Temporal.generate(&ctx).unwrap().len(), 1);
+        let g = Geographic.generate(&ctx).unwrap();
+        assert_eq!(g.len(), 3); // country x {a,b,c}
+        assert!(g.iter().all(|x| x.spec.mark == Mark::Choropleth));
+    }
+
+    #[test]
+    fn actions_do_not_apply_when_intent_set() {
+        let (df, meta, cfg) = fixture();
+        let intent = vec![lux_intent::Clause::axis("a")];
+        let ctx = ActionContext {
+            df: &df,
+            meta: &meta,
+            intent: &intent,
+            intent_specs: &[],
+            config: &cfg,
+        };
+        assert!(!Correlation.applies(&ctx));
+        assert!(!Distribution.applies(&ctx));
+    }
+
+    #[test]
+    fn applicability_requires_matching_columns() {
+        let df = DataFrameBuilder::new().str("only", ["x"]).build().unwrap();
+        let meta = FrameMeta::compute(&df, &HashMap::new());
+        let cfg = LuxConfig::default();
+        let ctx = ctx!(df, meta, cfg);
+        assert!(!Correlation.applies(&ctx));
+        assert!(!Distribution.applies(&ctx));
+        assert!(Occurrence.applies(&ctx));
+        assert!(!Temporal.applies(&ctx));
+    }
+}

@@ -1,0 +1,513 @@
+//! Visualization data processing (paper §8.1 "Visualization Processing").
+//!
+//! Translates a complete [`VisSpec`] into the relational operations of
+//! Table 2 against a dataframe, producing a small result frame that is
+//! decoupled from the source data (the paper's WYSIWYG rule: recommendations
+//! are views, they never mutate the user's dataframe).
+
+use lux_dataframe::prelude::*;
+
+use crate::spec::{Channel, Mark, VisSpec};
+
+/// Which execution backend processes visualization data (paper §7: the
+/// engine runs "either as a series of dataframe operations ... or
+/// equivalently in SQL queries").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Backend {
+    /// Native columnar kernels (the default).
+    #[default]
+    Native,
+    /// Translate to SQL and run through the in-crate SQL engine.
+    Sql,
+}
+
+/// Limits applied during processing.
+#[derive(Debug, Clone)]
+pub struct ProcessOptions {
+    /// Bin count for histograms when the encoding does not specify one.
+    pub histogram_bins: usize,
+    /// Bar charts keep only this many highest bars.
+    pub max_bars: usize,
+    /// Scatterplots are downsampled beyond this many points.
+    pub max_points: usize,
+    /// Per-axis bins for heatmaps.
+    pub heatmap_bins: usize,
+    /// Seed for deterministic scatter downsampling.
+    pub seed: u64,
+    /// Execution backend.
+    pub backend: Backend,
+    /// Line charts over temporal axes with more distinct instants than this
+    /// are resampled into this many equal-width time buckets.
+    pub temporal_buckets: usize,
+}
+
+impl Default for ProcessOptions {
+    fn default() -> Self {
+        ProcessOptions {
+            histogram_bins: 10,
+            max_bars: 15,
+            max_points: 5_000,
+            heatmap_bins: 20,
+            seed: 7,
+            backend: Backend::Native,
+            temporal_buckets: 64,
+        }
+    }
+}
+
+/// Process the data for one visualization. The result is a small dataframe
+/// whose columns match the spec's channels (`x`, `y`, and optionally
+/// `color`-named after the source attributes, or `count` for synthetic
+/// count axes).
+pub fn process(spec: &VisSpec, df: &DataFrame, opts: &ProcessOptions) -> Result<DataFrame> {
+    if opts.backend == Backend::Sql {
+        return crate::sql::process_sql(spec, df, opts);
+    }
+    // 1. Apply the filter conjunction.
+    let mut filtered;
+    let mut frame = df;
+    if !spec.filters.is_empty() {
+        filtered = df.clone();
+        for f in &spec.filters {
+            filtered = filtered.filter(&f.attribute, f.op, &f.value)?;
+        }
+        frame = &filtered;
+    }
+
+    // 2. Mark-specific processing.
+    match spec.mark {
+        Mark::Scatter => process_scatter(spec, frame, opts),
+        Mark::Bar | Mark::Line | Mark::Choropleth => process_group_agg(spec, frame, opts),
+        Mark::Histogram => process_histogram(spec, frame, opts),
+        Mark::Heatmap => process_heatmap(spec, frame, opts),
+    }
+}
+
+fn x_attr(spec: &VisSpec) -> Result<&str> {
+    spec.channel(Channel::X)
+        .map(|e| e.attribute.as_str())
+        .ok_or_else(|| Error::InvalidArgument(format!("spec {spec} has no x encoding")))
+}
+
+fn process_scatter(spec: &VisSpec, df: &DataFrame, opts: &ProcessOptions) -> Result<DataFrame> {
+    let x = x_attr(spec)?;
+    let y = spec
+        .channel(Channel::Y)
+        .map(|e| e.attribute.as_str())
+        .ok_or_else(|| Error::InvalidArgument("scatter requires a y encoding".into()))?;
+    let mut cols = vec![x, y];
+    if let Some(c) = spec.channel(Channel::Color) {
+        if !cols.contains(&c.attribute.as_str()) {
+            cols.push(&c.attribute);
+        }
+    }
+    let selected = df.select(&cols)?;
+    if selected.num_rows() > opts.max_points {
+        Ok(selected.sample(opts.max_points, opts.seed))
+    } else {
+        Ok(selected)
+    }
+}
+
+/// Bar / line / choropleth: (1D or 2D) group-by aggregation.
+fn process_group_agg(spec: &VisSpec, df: &DataFrame, opts: &ProcessOptions) -> Result<DataFrame> {
+    let x = x_attr(spec)?;
+
+    // High-cardinality temporal axes get resampled into time buckets before
+    // grouping: a line chart over raw timestamps would emit one point per
+    // distinct instant (unreadable and as expensive as the raw data).
+    let resampled;
+    let df = if spec.mark == Mark::Line
+        && matches!(df.column(x)?.dtype(), lux_dataframe::DType::DateTime)
+    {
+        let distinct = df.cardinality(x)?;
+        if distinct > opts.temporal_buckets {
+            resampled = resample_temporal(df, x, opts.temporal_buckets)?;
+            &resampled
+        } else {
+            df
+        }
+    } else {
+        df
+    };
+
+    let color = spec.channel(Channel::Color).map(|e| e.attribute.as_str());
+    let mut keys = vec![x];
+    if let Some(c) = color {
+        if c != x {
+            keys.push(c);
+        }
+    }
+    let gb = df.groupby(&keys)?;
+
+    let y_enc = spec.channel(Channel::Y);
+    let grouped = match y_enc {
+        Some(e) if !e.synthetic => {
+            let agg = e.aggregation.unwrap_or(Agg::Mean);
+            gb.agg(&[(e.attribute.as_str(), agg)])?
+        }
+        _ => gb.count()?,
+    };
+    let y_col = match y_enc {
+        Some(e) if !e.synthetic => e.attribute.clone(),
+        _ => "count".to_string(),
+    };
+
+    match spec.mark {
+        Mark::Bar => {
+            // Rank bars by value and keep the top ones so high-cardinality
+            // axes stay readable (and bounded in cost).
+            let sorted = grouped.sort_by(&[y_col.as_str()], false)?;
+            Ok(sorted.head(opts.max_bars))
+        }
+        // Lines and maps read left-to-right / by region: sort by the axis.
+        _ => grouped.sort_by(&[x], true),
+    }
+}
+
+fn process_histogram(spec: &VisSpec, df: &DataFrame, opts: &ProcessOptions) -> Result<DataFrame> {
+    let x_enc = spec
+        .channel(Channel::X)
+        .ok_or_else(|| Error::InvalidArgument("histogram requires an x encoding".into()))?;
+    let bins = x_enc.bin.unwrap_or(opts.histogram_bins);
+    let (edges, counts) = df.histogram(&x_enc.attribute, bins)?;
+    let starts: Vec<f64> = edges[..edges.len() - 1].to_vec();
+    DataFrameBuilder::new()
+        .float(&x_enc.attribute, starts)
+        .int("count", counts.iter().map(|&c| c as i64).collect::<Vec<_>>())
+        .build()
+}
+
+/// 2D bin + count (+ group-by mean for the color channel).
+fn process_heatmap(spec: &VisSpec, df: &DataFrame, opts: &ProcessOptions) -> Result<DataFrame> {
+    let x_enc = spec
+        .channel(Channel::X)
+        .ok_or_else(|| Error::InvalidArgument("heatmap requires an x encoding".into()))?;
+    let y_enc = spec
+        .channel(Channel::Y)
+        .ok_or_else(|| Error::InvalidArgument("heatmap requires a y encoding".into()))?;
+    let xb = x_enc.bin.unwrap_or(opts.heatmap_bins);
+    let yb = y_enc.bin.unwrap_or(opts.heatmap_bins);
+    let xcol = df.column(&x_enc.attribute)?;
+    let ycol = df.column(&y_enc.attribute)?;
+    let color = spec.channel(Channel::Color).filter(|e| !e.synthetic);
+    let ccol = color.map(|e| df.column(&e.attribute)).transpose()?;
+
+    let (xlo, xhi) = xcol.min_max_f64().unwrap_or((0.0, 1.0));
+    let (ylo, yhi) = ycol.min_max_f64().unwrap_or((0.0, 1.0));
+    let xw = if xhi > xlo { (xhi - xlo) / xb as f64 } else { 1.0 };
+    let yw = if yhi > ylo { (yhi - ylo) / yb as f64 } else { 1.0 };
+
+    let mut counts = vec![0i64; xb * yb];
+    let mut sums = vec![0f64; xb * yb];
+    for i in 0..df.num_rows() {
+        let (Some(xv), Some(yv)) = (xcol.f64_at(i), ycol.f64_at(i)) else { continue };
+        if xv.is_nan() || yv.is_nan() {
+            continue;
+        }
+        let bx = (((xv - xlo) / xw) as usize).min(xb - 1);
+        let by = (((yv - ylo) / yw) as usize).min(yb - 1);
+        let cell = by * xb + bx;
+        counts[cell] += 1;
+        if let Some(c) = &ccol {
+            if let Some(cv) = c.f64_at(i) {
+                if !cv.is_nan() {
+                    sums[cell] += cv;
+                }
+            }
+        }
+    }
+
+    // Emit only non-empty cells.
+    let mut xs = Vec::new();
+    let mut ys = Vec::new();
+    let mut ns = Vec::new();
+    let mut cs = Vec::new();
+    for by in 0..yb {
+        for bx in 0..xb {
+            let cell = by * xb + bx;
+            if counts[cell] == 0 {
+                continue;
+            }
+            xs.push(xlo + xw * bx as f64);
+            ys.push(ylo + yw * by as f64);
+            ns.push(counts[cell]);
+            cs.push(sums[cell] / counts[cell] as f64);
+        }
+    }
+    let mut b = DataFrameBuilder::new()
+        .float(&x_enc.attribute, xs)
+        .float(&y_enc.attribute, ys)
+        .int("count", ns);
+    if let Some(e) = color {
+        b = b.float(&format!("mean_{}", e.attribute), cs);
+    }
+    b.build()
+}
+
+/// Replace a datetime column with its values floored to one of `buckets`
+/// equal-width time buckets (bucket-start timestamps).
+fn resample_temporal(df: &DataFrame, column: &str, buckets: usize) -> Result<DataFrame> {
+    let col = df.column(column)?;
+    let (lo, hi) = col.min_max_f64().unwrap_or((0.0, 1.0));
+    let width = ((hi - lo) / buckets.max(1) as f64).max(1.0);
+    let binned: Vec<Value> = (0..col.len())
+        .map(|i| match col.f64_at(i) {
+            Some(v) => {
+                let b = (((v - lo) / width) as usize).min(buckets - 1);
+                Value::DateTime((lo + b as f64 * width) as i64)
+            }
+            None => Value::Null,
+        })
+        .collect();
+    df.with_column(column, Column::from_values(&binned)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{Encoding, FilterSpec};
+    use lux_engine::SemanticType;
+
+    fn sample_df() -> DataFrame {
+        DataFrameBuilder::new()
+            .str("dept", ["Sales", "Eng", "Sales", "Eng", "HR"])
+            .float("pay", [50.0, 80.0, 60.0, 90.0, 55.0])
+            .float("age", [25.0, 32.0, 47.0, 28.0, 36.0])
+            .build()
+            .unwrap()
+    }
+
+    fn opts() -> ProcessOptions {
+        ProcessOptions::default()
+    }
+
+    #[test]
+    fn scatter_selects_columns() {
+        let spec = VisSpec::new(
+            Mark::Scatter,
+            vec![
+                Encoding::new("pay", SemanticType::Quantitative, Channel::X),
+                Encoding::new("age", SemanticType::Quantitative, Channel::Y),
+            ],
+            vec![],
+        );
+        let out = process(&spec, &sample_df(), &opts()).unwrap();
+        assert_eq!(out.column_names(), &["pay", "age"]);
+        assert_eq!(out.num_rows(), 5);
+    }
+
+    #[test]
+    fn scatter_downsamples() {
+        let df = DataFrameBuilder::new()
+            .float("a", (0..1000).map(|i| i as f64))
+            .float("b", (0..1000).map(|i| (i * 2) as f64))
+            .build()
+            .unwrap();
+        let spec = VisSpec::new(
+            Mark::Scatter,
+            vec![
+                Encoding::new("a", SemanticType::Quantitative, Channel::X),
+                Encoding::new("b", SemanticType::Quantitative, Channel::Y),
+            ],
+            vec![],
+        );
+        let o = ProcessOptions { max_points: 100, ..opts() };
+        let out = process(&spec, &df, &o).unwrap();
+        assert_eq!(out.num_rows(), 100);
+    }
+
+    #[test]
+    fn bar_groups_and_sorts_desc() {
+        let spec = VisSpec::new(
+            Mark::Bar,
+            vec![
+                Encoding::new("dept", SemanticType::Nominal, Channel::X),
+                Encoding::new("pay", SemanticType::Quantitative, Channel::Y)
+                    .with_aggregation(Agg::Mean),
+            ],
+            vec![],
+        );
+        let out = process(&spec, &sample_df(), &opts()).unwrap();
+        assert_eq!(out.num_rows(), 3);
+        // Eng has the highest mean pay (85), so it comes first.
+        assert_eq!(out.value(0, "dept").unwrap(), Value::str("Eng"));
+        assert_eq!(out.value(0, "pay").unwrap(), Value::Float(85.0));
+    }
+
+    #[test]
+    fn bar_count_when_no_measure() {
+        let spec = VisSpec::new(
+            Mark::Bar,
+            vec![
+                Encoding::new("dept", SemanticType::Nominal, Channel::X),
+                Encoding::synthetic_count(Channel::Y),
+            ],
+            vec![],
+        );
+        let out = process(&spec, &sample_df(), &opts()).unwrap();
+        assert!(out.has_column("count"));
+        assert_eq!(out.value(0, "count").unwrap(), Value::Int(2));
+    }
+
+    #[test]
+    fn bar_caps_at_max_bars() {
+        let df = DataFrameBuilder::new()
+            .str("k", (0..100).map(|i| format!("k{i}")))
+            .float("v", (0..100).map(|i| i as f64))
+            .build()
+            .unwrap();
+        let spec = VisSpec::new(
+            Mark::Bar,
+            vec![
+                Encoding::new("k", SemanticType::Nominal, Channel::X),
+                Encoding::new("v", SemanticType::Quantitative, Channel::Y)
+                    .with_aggregation(Agg::Mean),
+            ],
+            vec![],
+        );
+        let o = ProcessOptions { max_bars: 10, ..opts() };
+        let out = process(&spec, &df, &o).unwrap();
+        assert_eq!(out.num_rows(), 10);
+        assert_eq!(out.value(0, "k").unwrap(), Value::str("k99"));
+    }
+
+    #[test]
+    fn colored_bar_is_2d_group() {
+        let df = DataFrameBuilder::new()
+            .str("dept", ["S", "S", "E", "E"])
+            .str("level", ["jr", "sr", "jr", "sr"])
+            .float("pay", [1.0, 2.0, 3.0, 4.0])
+            .build()
+            .unwrap();
+        let spec = VisSpec::new(
+            Mark::Bar,
+            vec![
+                Encoding::new("dept", SemanticType::Nominal, Channel::X),
+                Encoding::new("pay", SemanticType::Quantitative, Channel::Y)
+                    .with_aggregation(Agg::Mean),
+                Encoding::new("level", SemanticType::Nominal, Channel::Color),
+            ],
+            vec![],
+        );
+        let out = process(&spec, &df, &opts()).unwrap();
+        assert_eq!(out.num_rows(), 4); // dept x level combinations
+        assert!(out.has_column("level"));
+    }
+
+    #[test]
+    fn histogram_bins_and_counts() {
+        let df = DataFrameBuilder::new().float("v", (0..100).map(|i| i as f64)).build().unwrap();
+        let spec = VisSpec::new(
+            Mark::Histogram,
+            vec![
+                Encoding::new("v", SemanticType::Quantitative, Channel::X).with_bin(5),
+                Encoding::synthetic_count(Channel::Y),
+            ],
+            vec![],
+        );
+        let out = process(&spec, &df, &opts()).unwrap();
+        assert_eq!(out.num_rows(), 5);
+        let total: i64 = (0..5)
+            .map(|i| out.value(i, "count").unwrap().as_f64().unwrap() as i64)
+            .sum();
+        assert_eq!(total, 100);
+    }
+
+    #[test]
+    fn filters_apply_before_processing() {
+        let spec = VisSpec::new(
+            Mark::Histogram,
+            vec![
+                Encoding::new("pay", SemanticType::Quantitative, Channel::X).with_bin(4),
+                Encoding::synthetic_count(Channel::Y),
+            ],
+            vec![FilterSpec::new("dept", FilterOp::Eq, Value::str("Sales"))],
+        );
+        let out = process(&spec, &sample_df(), &opts()).unwrap();
+        let total: i64 = (0..out.num_rows())
+            .map(|i| out.value(i, "count").unwrap().as_f64().unwrap() as i64)
+            .sum();
+        assert_eq!(total, 2); // only the two Sales rows
+    }
+
+    #[test]
+    fn heatmap_cells() {
+        let df = DataFrameBuilder::new()
+            .float("a", (0..100).map(|i| (i % 10) as f64))
+            .float("b", (0..100).map(|i| (i / 10) as f64))
+            .build()
+            .unwrap();
+        let spec = VisSpec::new(
+            Mark::Heatmap,
+            vec![
+                Encoding::new("a", SemanticType::Quantitative, Channel::X).with_bin(5),
+                Encoding::new("b", SemanticType::Quantitative, Channel::Y).with_bin(5),
+            ],
+            vec![],
+        );
+        let out = process(&spec, &df, &opts()).unwrap();
+        assert!(out.num_rows() <= 25);
+        let total: i64 = (0..out.num_rows())
+            .map(|i| out.value(i, "count").unwrap().as_f64().unwrap() as i64)
+            .sum();
+        assert_eq!(total, 100);
+    }
+
+    #[test]
+    fn line_sorts_by_x() {
+        let df = DataFrameBuilder::new()
+            .datetime("date", ["2020-03-03", "2020-01-01", "2020-02-02"])
+            .float("v", [3.0, 1.0, 2.0])
+            .build()
+            .unwrap();
+        let spec = VisSpec::new(
+            Mark::Line,
+            vec![
+                Encoding::new("date", SemanticType::Temporal, Channel::X),
+                Encoding::new("v", SemanticType::Quantitative, Channel::Y)
+                    .with_aggregation(Agg::Mean),
+            ],
+            vec![],
+        );
+        let out = process(&spec, &df, &opts()).unwrap();
+        assert_eq!(out.value(0, "v").unwrap(), Value::Float(1.0));
+        assert_eq!(out.value(2, "v").unwrap(), Value::Float(3.0));
+    }
+
+    #[test]
+    fn high_cardinality_temporal_line_is_resampled() {
+        // 1000 distinct timestamps -> resampled into <= temporal_buckets points
+        let base = 18_262i64 * 86_400;
+        let dates: Vec<i64> = (0..1000).map(|i| base + i * 3600).collect();
+        let df = DataFrame::from_columns(vec![
+            ("when".to_string(), Column::DateTime(PrimitiveColumn::from_values(dates))),
+            (
+                "v".to_string(),
+                Column::Float64(PrimitiveColumn::from_values(
+                    (0..1000).map(|i| i as f64).collect(),
+                )),
+            ),
+        ])
+        .unwrap();
+        let spec = VisSpec::new(
+            Mark::Line,
+            vec![
+                Encoding::new("when", lux_engine::SemanticType::Temporal, Channel::X),
+                Encoding::new("v", lux_engine::SemanticType::Quantitative, Channel::Y)
+                    .with_aggregation(Agg::Mean),
+            ],
+            vec![],
+        );
+        let o = ProcessOptions { temporal_buckets: 40, ..ProcessOptions::default() };
+        let out = process(&spec, &df, &o).unwrap();
+        assert!(out.num_rows() <= 40, "expected resampling, got {} rows", out.num_rows());
+        assert!(out.num_rows() >= 20);
+    }
+
+    #[test]
+    fn missing_encoding_errors() {
+        let spec = VisSpec::new(Mark::Scatter, vec![], vec![]);
+        assert!(process(&spec, &sample_df(), &opts()).is_err());
+    }
+}

@@ -1,0 +1,360 @@
+//! Terminal chart rendering for the examples and the "widget" display.
+//!
+//! Bar charts, histograms, line charts (as sparklines per series), scatter
+//! plots (as a dot grid), and choropleths (as a labeled value table) — enough
+//! to make `print()` output genuinely inspectable in a terminal.
+
+use lux_dataframe::prelude::*;
+
+use crate::spec::{Channel, Mark};
+use crate::vislist::Vis;
+
+const BAR_WIDTH: usize = 40;
+const GRID_W: usize = 50;
+const GRID_H: usize = 14;
+
+/// Render a processed [`Vis`] as text. Unprocessed visualizations render as
+/// their title only.
+pub fn render(vis: &Vis) -> String {
+    let mut out = format!("── {} ──\n", vis.title());
+    let Some(df) = &vis.data else {
+        out.push_str("(not processed)\n");
+        return out;
+    };
+    match vis.spec.mark {
+        Mark::Bar | Mark::Choropleth => out.push_str(&bar_chart(vis, df)),
+        Mark::Histogram => out.push_str(&histogram(vis, df)),
+        Mark::Line => out.push_str(&line_chart(vis, df)),
+        Mark::Scatter => out.push_str(&scatter(vis, df)),
+        Mark::Heatmap => out.push_str(&heatmap(df)),
+    }
+    out
+}
+
+fn y_column(vis: &Vis, df: &DataFrame) -> String {
+    vis.spec
+        .channel(Channel::Y)
+        .map(|e| e.attribute.clone())
+        .filter(|a| df.has_column(a))
+        .unwrap_or_else(|| "count".to_string())
+}
+
+/// Glyphs used to distinguish color-channel groups in grouped bar charts.
+const GROUP_GLYPHS: [char; 6] = ['█', '▓', '▒', '░', '◆', '●'];
+
+fn bar_chart(vis: &Vis, df: &DataFrame) -> String {
+    let x = match vis.spec.channel(Channel::X) {
+        Some(e) => e.attribute.clone(),
+        None => return "(no x encoding)\n".to_string(),
+    };
+    let y = y_column(vis, df);
+    let (Ok(xcol), Ok(ycol)) = (df.column(&x), df.column(&y)) else {
+        return "(missing columns)\n".to_string();
+    };
+    let max = (0..df.num_rows())
+        .filter_map(|i| ycol.f64_at(i))
+        .fold(f64::MIN, f64::max)
+        .max(1e-12);
+    let label_w = (0..df.num_rows())
+        .map(|i| xcol.value(i).to_string().len())
+        .max()
+        .unwrap_or(1)
+        .min(24);
+
+    // Grouped rendering when a (non-synthetic) color column is present in
+    // the processed data: per-group glyphs plus a legend line.
+    let color_col = vis
+        .spec
+        .channel(Channel::Color)
+        .filter(|e| !e.synthetic && e.attribute != x)
+        .and_then(|e| df.column(&e.attribute).ok().map(|c| (e.attribute.clone(), c)));
+
+    let mut out = String::new();
+    match color_col {
+        Some((color_name, ccol)) => {
+            // stable glyph per distinct color value, in first-seen order
+            let mut legend: Vec<String> = Vec::new();
+            let glyph_of = |legend: &mut Vec<String>, v: &str| -> char {
+                let idx = match legend.iter().position(|l| l == v) {
+                    Some(i) => i,
+                    None => {
+                        legend.push(v.to_string());
+                        legend.len() - 1
+                    }
+                };
+                GROUP_GLYPHS[idx % GROUP_GLYPHS.len()]
+            };
+            for i in 0..df.num_rows() {
+                let label = truncate(&xcol.value(i).to_string(), label_w);
+                let group = ccol.value(i).to_string();
+                let glyph = glyph_of(&mut legend, &group);
+                let v = ycol.f64_at(i).unwrap_or(0.0);
+                let n = ((v / max).max(0.0) * BAR_WIDTH as f64).round() as usize;
+                out.push_str(&format!(
+                    "{label:>label_w$} | {} {v:.2}\n",
+                    glyph.to_string().repeat(n)
+                ));
+            }
+            let entries: Vec<String> = legend
+                .iter()
+                .enumerate()
+                .map(|(i, l)| format!("{} {l}", GROUP_GLYPHS[i % GROUP_GLYPHS.len()]))
+                .collect();
+            out.push_str(&format!("{color_name}: {}\n", entries.join("  ")));
+        }
+        None => {
+            for i in 0..df.num_rows() {
+                let label = truncate(&xcol.value(i).to_string(), label_w);
+                let v = ycol.f64_at(i).unwrap_or(0.0);
+                let n = ((v / max).max(0.0) * BAR_WIDTH as f64).round() as usize;
+                out.push_str(&format!("{label:>label_w$} | {} {v:.2}\n", "█".repeat(n)));
+            }
+        }
+    }
+    out
+}
+
+fn histogram(vis: &Vis, df: &DataFrame) -> String {
+    let x = match vis.spec.channel(Channel::X) {
+        Some(e) => e.attribute.clone(),
+        None => return "(no x encoding)\n".to_string(),
+    };
+    let (Ok(xcol), Ok(ycol)) = (df.column(&x), df.column("count")) else {
+        return "(missing columns)\n".to_string();
+    };
+    let max = (0..df.num_rows())
+        .filter_map(|i| ycol.f64_at(i))
+        .fold(f64::MIN, f64::max)
+        .max(1e-12);
+    let mut out = String::new();
+    for i in 0..df.num_rows() {
+        let start = xcol.f64_at(i).unwrap_or(0.0);
+        let v = ycol.f64_at(i).unwrap_or(0.0);
+        let n = ((v / max) * BAR_WIDTH as f64).round() as usize;
+        out.push_str(&format!("{start:>10.2} | {} {v:.0}\n", "▇".repeat(n)));
+    }
+    out
+}
+
+const SPARK: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+
+fn line_chart(vis: &Vis, df: &DataFrame) -> String {
+    let y = y_column(vis, df);
+    let Ok(ycol) = df.column(&y) else {
+        return "(missing y column)\n".to_string();
+    };
+    let vals: Vec<f64> = (0..df.num_rows()).filter_map(|i| ycol.f64_at(i)).collect();
+    if vals.is_empty() {
+        return "(no data)\n".to_string();
+    }
+    let (lo, hi) = vals.iter().fold((f64::MAX, f64::MIN), |(a, b), &v| (a.min(v), b.max(v)));
+    let span = (hi - lo).max(1e-12);
+    let spark: String = vals
+        .iter()
+        .map(|&v| SPARK[(((v - lo) / span) * 7.0).round() as usize])
+        .collect();
+    format!("{spark}\nmin={lo:.2} max={hi:.2} n={}\n", vals.len())
+}
+
+fn scatter(vis: &Vis, df: &DataFrame) -> String {
+    let (Some(xe), Some(ye)) = (vis.spec.channel(Channel::X), vis.spec.channel(Channel::Y))
+    else {
+        return "(missing encodings)\n".to_string();
+    };
+    let (Ok(xcol), Ok(ycol)) = (df.column(&xe.attribute), df.column(&ye.attribute)) else {
+        return "(missing columns)\n".to_string();
+    };
+    let pts: Vec<(f64, f64)> = (0..df.num_rows())
+        .filter_map(|i| Some((xcol.f64_at(i)?, ycol.f64_at(i)?)))
+        .filter(|(a, b)| a.is_finite() && b.is_finite())
+        .collect();
+    if pts.is_empty() {
+        return "(no data)\n".to_string();
+    }
+    let (xlo, xhi) = pts.iter().fold((f64::MAX, f64::MIN), |(a, b), p| (a.min(p.0), b.max(p.0)));
+    let (ylo, yhi) = pts.iter().fold((f64::MAX, f64::MIN), |(a, b), p| (a.min(p.1), b.max(p.1)));
+    let xs = (xhi - xlo).max(1e-12);
+    let ys = (yhi - ylo).max(1e-12);
+    let mut grid = vec![vec![' '; GRID_W]; GRID_H];
+    for (x, y) in &pts {
+        let cx = (((x - xlo) / xs) * (GRID_W - 1) as f64) as usize;
+        let cy = (((y - ylo) / ys) * (GRID_H - 1) as f64) as usize;
+        grid[GRID_H - 1 - cy][cx] = '•';
+    }
+    let mut out = String::new();
+    for row in grid {
+        out.push('|');
+        out.extend(row);
+        out.push('\n');
+    }
+    out.push_str(&format!(
+        "x: {} [{xlo:.2}, {xhi:.2}]  y: {} [{ylo:.2}, {yhi:.2}]  n={}\n",
+        xe.attribute,
+        ye.attribute,
+        pts.len()
+    ));
+    out
+}
+
+fn heatmap(df: &DataFrame) -> String {
+    // Processed heatmap frames are (x, y, count[, mean_*]) triples; render
+    // the count magnitude per cell as shade characters.
+    let Ok(ncol) = df.column("count") else {
+        return "(missing count column)\n".to_string();
+    };
+    let max = (0..df.num_rows())
+        .filter_map(|i| ncol.f64_at(i))
+        .fold(f64::MIN, f64::max)
+        .max(1e-12);
+    const SHADES: [char; 5] = ['░', '▒', '▓', '█', '█'];
+    let mut out = String::new();
+    for i in 0..df.num_rows().min(60) {
+        let v = ncol.f64_at(i).unwrap_or(0.0);
+        let shade = SHADES[(((v / max) * 4.0) as usize).min(4)];
+        out.push(shade);
+        if (i + 1) % 20 == 0 {
+            out.push('\n');
+        }
+    }
+    if !out.ends_with('\n') {
+        out.push('\n');
+    }
+    out.push_str(&format!("{} non-empty cells, max count {max:.0}\n", df.num_rows()));
+    out
+}
+
+fn truncate(s: &str, w: usize) -> String {
+    if s.chars().count() <= w {
+        s.to_string()
+    } else {
+        let cut: String = s.chars().take(w.saturating_sub(1)).collect();
+        format!("{cut}…")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::ProcessOptions;
+    use crate::spec::{Encoding, Mark, VisSpec};
+    use lux_engine::SemanticType;
+
+    fn processed(mark: Mark, encs: Vec<Encoding>, df: &DataFrame) -> Vis {
+        let mut v = Vis::new(VisSpec::new(mark, encs, vec![]));
+        v.process(df, &ProcessOptions::default()).unwrap();
+        v
+    }
+
+    #[test]
+    fn bar_chart_renders_labels_and_bars() {
+        let df = DataFrameBuilder::new()
+            .str("dept", ["Sales", "Eng"])
+            .float("pay", [2.0, 4.0])
+            .build()
+            .unwrap();
+        let v = processed(
+            Mark::Bar,
+            vec![
+                Encoding::new("dept", SemanticType::Nominal, Channel::X),
+                Encoding::new("pay", SemanticType::Quantitative, Channel::Y)
+                    .with_aggregation(Agg::Mean),
+            ],
+            &df,
+        );
+        let s = render(&v);
+        assert!(s.contains("Sales"));
+        assert!(s.contains('█'));
+    }
+
+    #[test]
+    fn grouped_bar_renders_legend() {
+        let df = DataFrameBuilder::new()
+            .str("dept", ["S", "S", "E", "E"])
+            .str("level", ["jr", "sr", "jr", "sr"])
+            .float("pay", [1.0, 2.0, 3.0, 4.0])
+            .build()
+            .unwrap();
+        let v = processed(
+            Mark::Bar,
+            vec![
+                Encoding::new("dept", SemanticType::Nominal, Channel::X),
+                Encoding::new("pay", SemanticType::Quantitative, Channel::Y)
+                    .with_aggregation(Agg::Mean),
+                Encoding::new("level", SemanticType::Nominal, Channel::Color),
+            ],
+            &df,
+        );
+        let s = render(&v);
+        assert!(s.contains("level:"), "legend line expected: {s}");
+        assert!(s.contains("jr") && s.contains("sr"));
+        // at least two distinct glyphs used
+        assert!(s.contains('█') && s.contains('▓'));
+    }
+
+    #[test]
+    fn histogram_renders() {
+        let df = DataFrameBuilder::new().float("v", (0..50).map(|i| i as f64)).build().unwrap();
+        let v = processed(
+            Mark::Histogram,
+            vec![
+                Encoding::new("v", SemanticType::Quantitative, Channel::X).with_bin(5),
+                Encoding::synthetic_count(Channel::Y),
+            ],
+            &df,
+        );
+        let s = render(&v);
+        assert!(s.contains('▇'));
+    }
+
+    #[test]
+    fn scatter_renders_grid() {
+        let df = DataFrameBuilder::new()
+            .float("a", [0.0, 1.0, 2.0])
+            .float("b", [0.0, 1.0, 4.0])
+            .build()
+            .unwrap();
+        let v = processed(
+            Mark::Scatter,
+            vec![
+                Encoding::new("a", SemanticType::Quantitative, Channel::X),
+                Encoding::new("b", SemanticType::Quantitative, Channel::Y),
+            ],
+            &df,
+        );
+        let s = render(&v);
+        assert!(s.contains('•'));
+        assert!(s.contains("n=3"));
+    }
+
+    #[test]
+    fn unprocessed_renders_placeholder() {
+        let v = Vis::new(VisSpec::new(Mark::Bar, vec![], vec![]));
+        assert!(render(&v).contains("not processed"));
+    }
+
+    #[test]
+    fn line_renders_sparkline() {
+        let df = DataFrameBuilder::new()
+            .datetime("d", ["2020-01-01", "2020-01-02", "2020-01-03"])
+            .float("v", [1.0, 3.0, 2.0])
+            .build()
+            .unwrap();
+        let v = processed(
+            Mark::Line,
+            vec![
+                Encoding::new("d", SemanticType::Temporal, Channel::X),
+                Encoding::new("v", SemanticType::Quantitative, Channel::Y)
+                    .with_aggregation(Agg::Mean),
+            ],
+            &df,
+        );
+        let s = render(&v);
+        assert!(s.contains("min=1.00"));
+    }
+
+    #[test]
+    fn truncate_respects_width() {
+        assert_eq!(truncate("short", 10), "short");
+        assert_eq!(truncate("averylonglabel", 5), "aver…");
+    }
+}

@@ -1,0 +1,13 @@
+//! Headless renderers.
+//!
+//! The paper's measurements exclude frontend drawing time, and its export
+//! feature turns widget selections into visualization *code*. We mirror both:
+//! [`vega`] emits Vega-Lite JSON (the declarative target Lux compiles to via
+//! Altair), [`ascii`] draws terminal charts for the examples, and [`code`]
+//! exports a `Vis` back to reconstructable Rust source (the paper's
+//! "export as code" workflow from §3).
+
+pub mod ascii;
+pub mod code;
+pub mod imperative;
+pub mod vega;

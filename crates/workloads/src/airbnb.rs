@@ -1,0 +1,145 @@
+//! The Airbnb-shaped dataset (paper §9.1).
+//!
+//! The paper evaluates on the NYC Airbnb open dataset (12 columns), scaled
+//! by duplicating rows up to 10M. We can't redistribute the Kaggle file, so
+//! we generate a schema-faithful synthetic equivalent: the same column
+//! count, type mix (ids, names, a low-cardinality borough, a
+//! high-cardinality neighbourhood, lat/long coordinates, a 3-value room
+//! type, skewed prices, counts), with distributions shaped like the
+//! original. Since the paper itself scales by duplication, row-scaled
+//! synthetic data preserves the cost behaviour being measured.
+
+use lux_dataframe::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const BOROUGHS: [&str; 5] = ["Manhattan", "Brooklyn", "Queens", "Bronx", "Staten Island"];
+const ROOM_TYPES: [&str; 3] = ["Entire home/apt", "Private room", "Shared room"];
+const NEIGHBOURHOODS: usize = 220;
+
+/// Generate an Airbnb-shaped frame with `num_rows` rows (12 columns).
+pub fn airbnb(num_rows: usize, seed: u64) -> DataFrame {
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    let mut id = Vec::with_capacity(num_rows);
+    let mut host_id = Vec::with_capacity(num_rows);
+    let mut borough = StrColumn::new();
+    let mut neighbourhood = StrColumn::new();
+    let mut latitude = Vec::with_capacity(num_rows);
+    let mut longitude = Vec::with_capacity(num_rows);
+    let mut room_type = StrColumn::new();
+    let mut price = Vec::with_capacity(num_rows);
+    let mut minimum_nights = Vec::with_capacity(num_rows);
+    let mut number_of_reviews = Vec::with_capacity(num_rows);
+    let mut reviews_per_month = Vec::with_capacity(num_rows);
+    let mut availability_365 = Vec::with_capacity(num_rows);
+
+    for i in 0..num_rows {
+        id.push(i as i64 + 1);
+        host_id.push(rng.gen_range(0..(num_rows as i64 / 2 + 1)));
+        let b = weighted_choice(&mut rng, &[0.44, 0.41, 0.11, 0.02, 0.02]);
+        borough.push(Some(BOROUGHS[b]));
+        neighbourhood.push(Some(&format!("nbhd_{}", rng.gen_range(0..NEIGHBOURHOODS))));
+        latitude.push(40.5 + rng.gen_range(0.0..0.4));
+        longitude.push(-74.2 + rng.gen_range(0.0..0.5));
+        let rt = weighted_choice(&mut rng, &[0.52, 0.45, 0.03]);
+        room_type.push(Some(ROOM_TYPES[rt]));
+        // log-normal-ish skewed price, like the real listing data
+        let base: f64 = rng.gen_range(0.0f64..1.0).max(1e-6);
+        price.push(((-base.ln()) * 90.0 + 30.0).min(10_000.0).round() as i64);
+        minimum_nights.push(rng.gen_range(1..30));
+        let reviews = rng.gen_range(0..300);
+        number_of_reviews.push(reviews);
+        if reviews == 0 {
+            reviews_per_month.push(None);
+        } else {
+            reviews_per_month.push(Some(rng.gen_range(0.01..10.0)));
+        }
+        availability_365.push(rng.gen_range(0..366));
+    }
+
+    DataFrame::from_columns(vec![
+        ("id".into(), Column::Int64(PrimitiveColumn::from_values(id))),
+        ("host_id".into(), Column::Int64(PrimitiveColumn::from_values(host_id))),
+        ("neighbourhood_group".into(), Column::Str(borough)),
+        ("neighbourhood".into(), Column::Str(neighbourhood)),
+        ("latitude".into(), Column::Float64(PrimitiveColumn::from_values(latitude))),
+        ("longitude".into(), Column::Float64(PrimitiveColumn::from_values(longitude))),
+        ("room_type".into(), Column::Str(room_type)),
+        ("price".into(), Column::Int64(PrimitiveColumn::from_values(price))),
+        ("minimum_nights".into(), Column::Int64(PrimitiveColumn::from_values(minimum_nights))),
+        (
+            "number_of_reviews".into(),
+            Column::Int64(PrimitiveColumn::from_values(number_of_reviews)),
+        ),
+        (
+            "reviews_per_month".into(),
+            Column::Float64(PrimitiveColumn::from_options(reviews_per_month)),
+        ),
+        (
+            "availability_365".into(),
+            Column::Int64(PrimitiveColumn::from_values(availability_365)),
+        ),
+    ])
+    .expect("airbnb schema is consistent")
+}
+
+fn weighted_choice(rng: &mut StdRng, weights: &[f64]) -> usize {
+    let total: f64 = weights.iter().sum();
+    let mut draw = rng.gen_range(0.0..total);
+    for (i, w) in weights.iter().enumerate() {
+        if draw < *w {
+            return i;
+        }
+        draw -= w;
+    }
+    weights.len() - 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn twelve_columns() {
+        let df = airbnb(100, 1);
+        assert_eq!(df.num_columns(), 12);
+        assert_eq!(df.num_rows(), 100);
+    }
+
+    #[test]
+    fn schema_types() {
+        let df = airbnb(50, 1);
+        assert_eq!(df.column("price").unwrap().dtype(), DType::Int64);
+        assert_eq!(df.column("latitude").unwrap().dtype(), DType::Float64);
+        assert_eq!(df.column("room_type").unwrap().dtype(), DType::Str);
+    }
+
+    #[test]
+    fn borough_cardinality_small_neighbourhood_large() {
+        let df = airbnb(5000, 2);
+        assert!(df.cardinality("neighbourhood_group").unwrap() <= 5);
+        assert!(df.cardinality("neighbourhood").unwrap() > 100);
+    }
+
+    #[test]
+    fn prices_skew_right() {
+        let df = airbnb(5000, 3);
+        let prices = df.column("price").unwrap();
+        let (lo, hi) = prices.min_max_f64().unwrap();
+        assert!(lo >= 0.0 && hi > 300.0, "expected a long tail, got [{lo}, {hi}]");
+    }
+
+    #[test]
+    fn some_nulls_in_reviews_per_month() {
+        let df = airbnb(2000, 4);
+        assert!(df.column("reviews_per_month").unwrap().null_count() > 0);
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = airbnb(20, 9);
+        let b = airbnb(20, 9);
+        assert_eq!(a.value(7, "price").unwrap(), b.value(7, "price").unwrap());
+    }
+}

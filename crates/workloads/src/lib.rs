@@ -1,0 +1,24 @@
+//! # lux-workloads
+//!
+//! Workload and dataset generators for reproducing the paper's evaluation
+//! (§9): schema-faithful synthetic stand-ins for the Airbnb and Communities
+//! datasets, the RQ2 faker-style wide-frame generator, the RQ1 notebook
+//! replayer with per-cell timing under the five experimental conditions,
+//! and the Recall@k machinery for RQ3.
+
+pub mod airbnb;
+pub mod communities;
+pub mod notebook;
+pub mod recall;
+pub mod synth;
+pub mod uci;
+
+pub use airbnb::airbnb;
+pub use communities::communities;
+pub use notebook::{
+    airbnb_notebook, communities_notebook, Cell, CellKind, CellTiming, Condition, Notebook,
+    NotebookReport, Session,
+};
+pub use recall::{action_recall, ranked_keys, recall_at_k};
+pub use synth::synthetic_wide;
+pub use uci::{materialize, shape_population, DatasetShape};

@@ -1,0 +1,133 @@
+//! The RQ2 synthetic wide-dataframe generator.
+//!
+//! The paper (§9.3) generates dataframes with the faker library: 100k rows,
+//! 78% quantitative columns (half integers, half floats), 20% nominal
+//! columns of strings "with varying cardinalities chosen based on a
+//! geometric series between 1 to 10000", and 2% temporal. We reproduce that
+//! distribution deterministically.
+
+use lux_dataframe::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Column type proportions from the paper's RQ2 setup.
+const QUANT_FRACTION: f64 = 0.78;
+const NOMINAL_FRACTION: f64 = 0.20;
+
+/// Generate a synthetic dataframe with `num_cols` columns and `num_rows`
+/// rows following the paper's type mix. Deterministic in `seed`.
+pub fn synthetic_wide(num_cols: usize, num_rows: usize, seed: u64) -> DataFrame {
+    assert!(num_cols >= 1, "need at least one column");
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    let n_quant = ((num_cols as f64 * QUANT_FRACTION).round() as usize).clamp(1, num_cols);
+    let n_nominal =
+        ((num_cols as f64 * NOMINAL_FRACTION).round() as usize).min(num_cols - n_quant);
+    let n_temporal = num_cols - n_quant - n_nominal;
+
+    let mut cols: Vec<(String, Column)> = Vec::with_capacity(num_cols);
+
+    // Quantitative: half ints, half floats.
+    for i in 0..n_quant {
+        if i % 2 == 0 {
+            let values: Vec<i64> = (0..num_rows).map(|_| rng.gen_range(0..100_000)).collect();
+            cols.push((format!("int_{i}"), Column::Int64(PrimitiveColumn::from_values(values))));
+        } else {
+            let values: Vec<f64> = (0..num_rows).map(|_| rng.gen_range(0.0..1000.0)).collect();
+            cols.push((
+                format!("float_{i}"),
+                Column::Float64(PrimitiveColumn::from_values(values)),
+            ));
+        }
+    }
+
+    // Nominal: cardinalities on a geometric series in [1, 10000].
+    for i in 0..n_nominal {
+        let cardinality = geometric_cardinality(i, n_nominal);
+        let mut col = StrColumn::new();
+        for _ in 0..num_rows {
+            let v = rng.gen_range(0..cardinality);
+            col.push(Some(&format!("cat{i}_{v}")));
+        }
+        cols.push((format!("nominal_{i}"), Column::Str(col)));
+    }
+
+    // Temporal: dates across 2020.
+    for i in 0..n_temporal {
+        let base = 18_262i64 * 86_400; // 2020-01-01
+        let values: Vec<i64> =
+            (0..num_rows).map(|_| base + rng.gen_range(0..366) * 86_400).collect();
+        cols.push((format!("date_{i}"), Column::DateTime(PrimitiveColumn::from_values(values))));
+    }
+
+    DataFrame::from_columns(cols).expect("generated columns are consistent")
+}
+
+/// The i-th of n cardinalities on a geometric series between 1 and 10000.
+pub fn geometric_cardinality(i: usize, n: usize) -> usize {
+    if n <= 1 {
+        return 100;
+    }
+    let lo: f64 = 1.0;
+    let hi: f64 = 10_000.0;
+    let t = i as f64 / (n - 1) as f64;
+    (lo * (hi / lo).powf(t)).round().max(1.0) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_matches_request() {
+        let df = synthetic_wide(50, 200, 1);
+        assert_eq!(df.num_columns(), 50);
+        assert_eq!(df.num_rows(), 200);
+    }
+
+    #[test]
+    fn type_mix_approximates_paper() {
+        let df = synthetic_wide(100, 10, 2);
+        let quant = df
+            .schema()
+            .iter()
+            .filter(|(_, t)| matches!(t, DType::Int64 | DType::Float64))
+            .count();
+        let nominal = df.schema().iter().filter(|(_, t)| *t == DType::Str).count();
+        let temporal = df.schema().iter().filter(|(_, t)| *t == DType::DateTime).count();
+        assert_eq!(quant + nominal + temporal, 100);
+        assert!((76..=80).contains(&quant), "quant={quant}");
+        assert!((18..=22).contains(&nominal), "nominal={nominal}");
+        assert!((1..=4).contains(&temporal), "temporal={temporal}");
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let a = synthetic_wide(10, 50, 42);
+        let b = synthetic_wide(10, 50, 42);
+        for c in 0..10 {
+            for r in 0..50 {
+                assert_eq!(a.column_at(c).value(r), b.column_at(c).value(r));
+            }
+        }
+    }
+
+    #[test]
+    fn geometric_series_spans_range() {
+        let n = 20;
+        assert_eq!(geometric_cardinality(0, n), 1);
+        assert_eq!(geometric_cardinality(n - 1, n), 10_000);
+        // monotone non-decreasing
+        for i in 1..n {
+            assert!(geometric_cardinality(i, n) >= geometric_cardinality(i - 1, n));
+        }
+    }
+
+    #[test]
+    fn small_widths_still_work() {
+        let df = synthetic_wide(1, 10, 3);
+        assert_eq!(df.num_columns(), 1);
+        let df = synthetic_wide(5, 10, 3);
+        assert_eq!(df.num_columns(), 5);
+    }
+}

@@ -1,0 +1,100 @@
+//! Reproduces the paper's **Figure 7** workflow: "Row-wise index
+//! visualization displaying the normalized percentage of COVID-19 cases
+//! across different States" — a `pivot` produces a state × month grid with
+//! a labeled index, and printing it triggers the Index structure action,
+//! which charts each state's row as a time series.
+//!
+//! ```sh
+//! cargo run --example covid_pivot
+//! ```
+
+use lux::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Long-format case counts: one row per (state, month) with different wave
+/// timing per state, like the 2020 data the paper charts.
+fn case_data() -> DataFrame {
+    let states = ["NY", "CA", "TX", "FL", "WA"];
+    // wave peak month per state (NY early, TX/FL later — the real pattern)
+    let peaks = [3usize, 6, 7, 7, 4];
+    let mut rng = StdRng::seed_from_u64(2020);
+    let mut state_col = Vec::new();
+    let mut month_col = Vec::new();
+    let mut cases = Vec::new();
+    for (s, state) in states.iter().enumerate() {
+        for month in 1..=12usize {
+            // several daily reports per month roll up into the pivot
+            for _ in 0..4 {
+                let dist = (month as f64 - peaks[s] as f64).abs();
+                let level = (1000.0 * (-dist * dist / 8.0).exp()).max(10.0);
+                state_col.push(*state);
+                month_col.push(format!("2020-{month:02}-01"));
+                cases.push(level * rng.gen_range(0.7..1.3));
+            }
+        }
+    }
+    DataFrameBuilder::new()
+        .str("State", state_col)
+        .datetime("month", month_col)
+        .float("cases", cases)
+        .build()
+        .expect("covid schema")
+}
+
+fn main() -> Result<()> {
+    let df = LuxDataFrame::new(case_data());
+    println!("long format: {} rows", df.num_rows());
+
+    // Reshape exactly as the paper's workflow: pivot to a State x month grid.
+    let pivot = df.pivot("State", "month", "cases", Agg::Sum)?;
+    println!(
+        "pivot grid: {} states x {} months, labeled index = {:?}\n",
+        pivot.num_rows(),
+        pivot.num_columns(),
+        pivot.data().index().name()
+    );
+
+    // Normalize each row to percentages of its peak (the figure's y axis):
+    // rebuild each column as value / row-max * 100.
+    let mut normalized = pivot.data().clone();
+    let months: Vec<String> = normalized.column_names().to_vec();
+    let row_max: Vec<f64> = (0..normalized.num_rows())
+        .map(|r| {
+            months
+                .iter()
+                .filter_map(|m| normalized.value(r, m).ok().and_then(|v| v.as_f64()))
+                .fold(1e-12, f64::max)
+        })
+        .collect();
+    for m in &months {
+        let col = normalized.column(m)?;
+        let values: Vec<Value> = (0..col.len())
+            .map(|r| {
+                col.f64_at(r)
+                    .map_or(Value::Null, |v| Value::Float(v / row_max[r] * 100.0))
+            })
+            .collect();
+        normalized = normalized.with_column(m, Column::from_values(&values)?)?;
+    }
+    let normalized = LuxDataFrame::new(normalized);
+
+    // Printing the pre-aggregated grid triggers the Index action; the
+    // row-wise charts are the paper's Figure 7 (one line per state).
+    let widget = normalized.print();
+    println!("tabs: {:?}\n", widget.tabs());
+    let index = widget
+        .results()
+        .iter()
+        .find(|r| r.action == "Index")
+        .expect("index action fires on pivot results");
+    for vis in index.vislist.iter().filter(|v| {
+        v.spec
+            .channel(Channel::X)
+            .map(|e| e.attribute == "column")
+            .unwrap_or(false)
+    }) {
+        println!("{}", lux::vis::render::ascii::render(vis));
+    }
+    Ok(())
+}

@@ -1,0 +1,164 @@
+//! The paper's §3 example workflow, end to end: Alice, a public policy
+//! analyst, explores the relationship between world development indicators
+//! and early COVID-19 response stringency.
+//!
+//! Steps mirror the paper: (1) always-on overview of the HPI dataset,
+//! (2) intent on AvrgLifeExpectancy x Inequality, (3) join with the
+//! stringency dataset, (4) bin stringency into a binary level, (5) revisit
+//! the intent and find the separation, (6) filter down to the outliers,
+//! triggering the Pre-filter history action, (7) export the final chart.
+//!
+//! ```sh
+//! cargo run --example covid_policy
+//! ```
+
+use lux::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Build a Happy-Planet-Index-shaped dataset: country-level development
+/// indicators with a negative life-expectancy/inequality relationship and a
+/// few deliberate outlier countries (Afghanistan, Pakistan, Rwanda) that
+/// responded strictly despite limited resources — as in the paper's Fig. 4.
+fn hpi_dataset() -> DataFrame {
+    let regions = ["Europe", "Americas", "Asia Pacific", "Sub Saharan Africa", "Middle East"];
+    let mut rng = StdRng::seed_from_u64(2020);
+    let mut names: Vec<String> = Vec::new();
+    let mut region_col: Vec<&str> = Vec::new();
+    let mut life = Vec::new();
+    let mut inequality = Vec::new();
+    let mut wellbeing = Vec::new();
+    let mut g10 = Vec::new();
+    for i in 0..120 {
+        let region = regions[i % regions.len()];
+        names.push(format!("Country_{i:03}"));
+        region_col.push(region);
+        // Regions differ in baseline, and inequality moves against life
+        // expectancy (the §3 negative correlation).
+        let base: f64 = match region {
+            "Europe" => 80.0,
+            "Americas" => 75.0,
+            "Asia Pacific" => 74.0,
+            "Middle East" => 72.0,
+            _ => 62.0,
+        };
+        let ineq = (45.0 - (base - 60.0) * 1.2 + rng.gen_range(-6.0..6.0)).clamp(5.0, 60.0);
+        life.push(base + rng.gen_range(-4.0..4.0));
+        inequality.push(ineq);
+        wellbeing.push((base / 10.0 + rng.gen_range(-1.0..1.0)).clamp(2.0, 9.0));
+        g10.push(if region == "Europe" && i % 5 == 0 { "yes" } else { "no" });
+    }
+    // The three §3 outliers: low life expectancy + high inequality, but
+    // (later) strict early response.
+    for name in ["Afghanistan", "Pakistan", "Rwanda"] {
+        names.push(name.to_string());
+        region_col.push("Asia Pacific");
+        life.push(58.0);
+        inequality.push(48.0);
+        wellbeing.push(3.5);
+        g10.push("no");
+    }
+    DataFrameBuilder::new()
+        .str("country", names.iter().map(String::as_str))
+        .str("Region", region_col)
+        .float("AvrgLifeExpectancy", life)
+        .float("Inequality", inequality)
+        .float("Wellbeing", wellbeing)
+        .str("G10", g10)
+        .build()
+        .expect("hpi schema")
+}
+
+/// Oxford-tracker-shaped stringency data as of 2020-03-11: strict response
+/// correlates with development, except for the three outlier countries.
+fn stringency_dataset(hpi: &DataFrame) -> DataFrame {
+    let mut rng = StdRng::seed_from_u64(311);
+    let n = hpi.num_rows();
+    let mut countries = Vec::with_capacity(n);
+    let mut stringency = Vec::with_capacity(n);
+    for i in 0..n {
+        let country = hpi.value(i, "country").expect("country").to_string();
+        let life = hpi.value(i, "AvrgLifeExpectancy").expect("life").as_f64().unwrap();
+        let outlier = matches!(country.as_str(), "Afghanistan" | "Pakistan" | "Rwanda");
+        let s = if outlier {
+            85.0 + rng.gen_range(0.0..10.0) // praised early responders
+        } else {
+            // right-skewed: most countries responded weakly early on
+            ((life - 50.0) * 1.4 + rng.gen_range(-10.0..10.0)).clamp(0.0, 100.0) * 0.6
+        };
+        countries.push(country);
+        stringency.push(s);
+    }
+    DataFrameBuilder::new()
+        .str("country", countries.iter().map(String::as_str))
+        .float("stringency", stringency)
+        .build()
+        .expect("stringency schema")
+}
+
+fn main() -> Result<()> {
+    // (I) Load the HPI dataset and print: the always-on overview.
+    let mut df = LuxDataFrame::new(hpi_dataset());
+    println!("=== overview tabs: {:?}", df.print().tabs());
+
+    // The Correlation tab surfaces the negative life/inequality relation.
+    let corr = df.export("Correlation", 0)?;
+    println!("top correlation: {}", corr.spec.describe());
+
+    // (II) Steer: intent on the two indicators (paper Fig. 2).
+    df.set_intent_strs(["AvrgLifeExpectancy", "Inequality"])?;
+    let widget = df.print();
+    println!("\n=== with intent: {:?}", widget.tabs());
+    let enhance = widget
+        .results()
+        .iter()
+        .find(|r| r.action == "Enhance")
+        .expect("enhance action present");
+    println!("Enhance suggests coloring by:");
+    for vis in enhance.vislist.iter().take(3) {
+        println!("  - {}", vis.spec.describe());
+    }
+
+    // (III) Join the stringency data and inspect it.
+    let stringency = LuxDataFrame::new(stringency_dataset(df.data()));
+    let mut joined = df.join(&stringency, "country", "country", JoinKind::Inner)?;
+    joined.set_intent_strs(["stringency"])?;
+    let w = joined.print();
+    println!("\n=== stringency intent tabs: {:?}", w.tabs());
+    // The right-skewed histogram of early responses:
+    let current = joined.export("Current Vis", 0)?;
+    println!("{}", lux::vis::render::ascii::render(&current));
+
+    // Bin stringency into Low/High (paper step III).
+    let mut binned = joined.cut("stringency", &["Low", "High"], "stringency_level")?;
+
+    // Revisit the §3 intent: the Enhance action now includes the breakdown
+    // by stringency_level showing the separation.
+    binned.set_intent_strs(["AvrgLifeExpectancy", "Inequality"])?;
+    let w = binned.print();
+    let enhance = w.results().iter().find(|r| r.action == "Enhance").expect("enhance");
+    let by_level = enhance
+        .vislist
+        .iter()
+        .find(|v| v.spec.describe().contains("stringency_level"))
+        .expect("breakdown by stringency_level recommended");
+    println!("\n=== the paper's Fig. 4 chart ===");
+    println!("{}", lux::vis::render::ascii::render(by_level));
+
+    // Filter to the defiant outliers: low life expectancy AND high response.
+    let outliers = binned
+        .filter("stringency_level", FilterOp::Eq, &Value::str("High"))?
+        .filter("AvrgLifeExpectancy", FilterOp::Lt, &Value::Float(60.0))?;
+    println!("outlier countries (strict response despite limited resources):");
+    for i in 0..outliers.num_rows() {
+        println!("  - {}", outliers.data().value(i, "country")?);
+    }
+    // A small filtered frame triggers the Pre-filter history action.
+    let w = outliers.print();
+    println!("small-frame tabs: {:?}", w.tabs());
+
+    // Export the final chart as code to share with colleagues.
+    println!("\n=== export as code ===");
+    println!("{}", lux::vis::render::code::to_rust_code(&by_level.spec));
+    Ok(())
+}

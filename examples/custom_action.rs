@@ -1,0 +1,94 @@
+//! Custom actions (paper §7.2 and §10.2): register a user-defined action
+//! with a trigger predicate. This implements the action participant P3
+//! asked for — "the top ten dataframe columns with the most influence over
+//! a desired predictive variable" — as a correlation-with-target ranking.
+//!
+//! ```sh
+//! cargo run --example custom_action
+//! ```
+
+use lux::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const TARGET: &str = "churned";
+
+fn retail_dataset() -> DataFrame {
+    let mut rng = StdRng::seed_from_u64(99);
+    let n = 500;
+    let tenure: Vec<f64> = (0..n).map(|_| rng.gen_range(0.0..60.0)).collect();
+    let orders: Vec<f64> = tenure.iter().map(|t| t * 0.8 + rng.gen_range(0.0..10.0)).collect();
+    let accessories: Vec<f64> = orders.iter().map(|o| o * 0.3 + rng.gen_range(0.0..4.0)).collect();
+    let support_tickets: Vec<f64> = (0..n).map(|_| rng.gen_range(0.0..20.0)).collect();
+    let discount_rate: Vec<f64> = (0..n).map(|_| rng.gen_range(0.0..0.4)).collect();
+    // churn probability driven mostly by tenure (negatively) and tickets.
+    let churned: Vec<f64> = (0..n)
+        .map(|i| {
+            let p = 0.7 - tenure[i] / 100.0 + support_tickets[i] / 60.0;
+            if rng.gen_bool(p.clamp(0.02, 0.98)) {
+                1.0
+            } else {
+                0.0
+            }
+        })
+        .collect();
+    DataFrameBuilder::new()
+        .float("tenure_months", tenure)
+        .float("orders", orders)
+        .float("accessory_orders", accessories)
+        .float("support_tickets", support_tickets)
+        .float("discount_rate", discount_rate)
+        .float(TARGET, churned)
+        .build()
+        .expect("retail schema")
+}
+
+fn main() -> Result<()> {
+    let mut df = LuxDataFrame::new(retail_dataset());
+
+    // A custom action: triggered whenever the frame has the target column;
+    // generates one scatter per feature vs the target. The default scoring
+    // (|Pearson r| for scatterplots) already ranks by influence.
+    df.register_action(CustomAction::new(
+        "Influence",
+        |ctx: &ActionContext<'_>| ctx.df.has_column(TARGET),
+        |ctx: &ActionContext<'_>| {
+            let mut out = Vec::new();
+            for cm in &ctx.meta.columns {
+                if cm.name == TARGET || cm.semantic != SemanticType::Quantitative {
+                    continue;
+                }
+                let spec = VisSpec::new(
+                    Mark::Scatter,
+                    vec![
+                        Encoding::new(cm.name.clone(), cm.semantic, Channel::X),
+                        Encoding::new(TARGET, SemanticType::Quantitative, Channel::Y),
+                    ],
+                    vec![],
+                );
+                out.push(Candidate::new(spec));
+            }
+            Ok(out)
+        },
+    ));
+
+    let widget = df.print();
+    println!("tabs: {:?}\n", widget.tabs());
+    let influence = widget
+        .results()
+        .iter()
+        .find(|r| r.action == "Influence")
+        .expect("custom action ran");
+    println!("features ranked by influence over {TARGET:?}:");
+    for vis in influence.vislist.iter() {
+        let feature = vis.spec.attributes()[0].to_string();
+        println!("  {feature:<20} |r| = {:.3}", vis.score);
+    }
+
+    // The trigger really gates the action: a frame without the target
+    // column doesn't show the tab.
+    let without = df.drop_columns(&[TARGET])?;
+    assert!(!without.print().tabs().contains(&"Influence"));
+    println!("\n(dropping {TARGET:?} removes the Influence tab, as the trigger dictates)");
+    Ok(())
+}

@@ -1,0 +1,104 @@
+//! The intent-language tour: every query Q1-Q7 from the paper's §5, on an
+//! HR attrition dataset (the attribute names mirror the paper's examples).
+//!
+//! ```sh
+//! cargo run --example employee_attrition
+//! ```
+
+use lux::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn hr_dataset() -> DataFrame {
+    let mut rng = StdRng::seed_from_u64(7);
+    let departments = ["Sales", "Research", "HR"];
+    let education = ["HS", "Bachelors", "Masters", "PhD"];
+    let fields = ["STEM", "Business", "Arts"];
+    let countries = ["USA", "Japan", "Germany", "India"];
+    let n = 400;
+    let mut b = DataFrameBuilder::new();
+    let dept: Vec<&str> = (0..n).map(|_| departments[rng.gen_range(0..3)]).collect();
+    let edu: Vec<&str> = (0..n).map(|_| education[rng.gen_range(0..4)]).collect();
+    let field: Vec<&str> = (0..n).map(|_| fields[rng.gen_range(0..3)]).collect();
+    let country: Vec<&str> = (0..n).map(|_| countries[rng.gen_range(0..4)]).collect();
+    let age: Vec<f64> = (0..n).map(|_| rng.gen_range(21.0..65.0)).collect();
+    let income: Vec<f64> =
+        age.iter().map(|a| a * 120.0 + rng.gen_range(-800.0..2500.0)).collect();
+    let hourly: Vec<f64> = (0..n).map(|_| rng.gen_range(20.0..110.0)).collect();
+    let daily: Vec<f64> = hourly.iter().map(|h| h * 8.0 + rng.gen_range(-40.0..40.0)).collect();
+    let monthly: Vec<f64> = daily.iter().map(|d| d * 21.0 + rng.gen_range(-300.0..300.0)).collect();
+    let attrition: Vec<&str> =
+        age.iter().map(|a| if *a < 30.0 && rng.gen_bool(0.5) { "Yes" } else { "No" }).collect();
+    b = b
+        .str("Department", dept)
+        .str("Education", edu)
+        .str("EducationField", field)
+        .str("WorkCountry", country)
+        .float("Age", age)
+        .float("MonthlyIncome", income)
+        .float("HourlyRate", hourly)
+        .float("DailyRate", daily)
+        .float("MonthlyRate", monthly)
+        .str("Attrition", attrition);
+    b.build().expect("hr schema")
+}
+
+fn show(label: &str, vis: &Vis) {
+    println!("--- {label} ---");
+    println!("{}", lux::vis::render::ascii::render(vis));
+}
+
+fn main() -> Result<()> {
+    let mut df = LuxDataFrame::new(hr_dataset());
+
+    // Q1: set Age and Education as columns of interest.
+    df.set_intent(vec![Clause::axis("Age"), Clause::axis("Education")]);
+    println!("Q1 tabs with intent set: {:?}\n", df.print().tabs());
+
+    // ... or the string shorthand.
+    df.set_intent_strs(["Age", "Education"])?;
+
+    // Q2: Ages of employees in the Sales department (axis + filter).
+    df.set_intent_strs(["Age", "Department=Sales"])?;
+    let w = df.print();
+    let current = w.results().iter().find(|r| r.action == "Current Vis").expect("current vis");
+    show("Q2: Age distribution, Sales only", &current.vislist.visualizations[0]);
+
+    // Q3: compare average Age across Education levels, directly via Vis.
+    let q3 = LuxVis::new(vec![Clause::axis("Age"), Clause::axis("Education")], &df)?;
+    show("Q3: average Age by Education", q3.inner());
+
+    // Q4: variance of MonthlyIncome by Attrition (explicit aggregation).
+    let q4 = LuxVis::new(
+        vec![Clause::axis("MonthlyIncome").aggregate(Agg::Var), Clause::axis("Attrition")],
+        &df,
+    )?;
+    show("Q4: var(MonthlyIncome) by Attrition", q4.inner());
+
+    // Q5: compensation rates across EducationFields (union -> VisList).
+    let rates = Clause::axis_union(["HourlyRate", "DailyRate", "MonthlyRate"]);
+    let q5 = LuxVisList::new(vec![Clause::axis("EducationField"), rates], &df)?;
+    println!("Q5 produced {} charts:", q5.len());
+    for vis in q5.iter() {
+        println!("  - {}", vis.spec.describe());
+    }
+
+    // Q6: relationships between any two quantitative columns (wildcards).
+    let any = Clause::wildcard_typed(SemanticType::Quantitative);
+    let q6 = LuxVisList::new(vec![any.clone(), any], &df)?;
+    println!("\nQ6 explored {} scatterplots (the Correlation search space)", q6.len());
+
+    // Q7: Age distributions across each WorkCountry (filter wildcard).
+    let q7 = LuxVisList::from_strs(["Age", "WorkCountry=?"], &df)?;
+    println!("Q7 produced {} filtered histograms:", q7.len());
+    for vis in q7.iter() {
+        println!("  - {}", vis.spec.describe());
+    }
+
+    // Bonus: the validator catches typos with suggestions (§7.1.1).
+    df.set_intent_strs(["Aege"])?;
+    for d in df.validate_intent() {
+        println!("\nvalidator: {} (did you mean {:?}?)", d.message, d.suggestion);
+    }
+    Ok(())
+}

@@ -1,0 +1,48 @@
+//! Quickstart: the always-on experience in five steps.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use lux::prelude::*;
+
+fn main() -> Result<()> {
+    // 1. Load data — here a small inline CSV; `LuxDataFrame::read_csv`
+    //    reads files the same way.
+    let csv = "\
+name,country,life_expectancy,inequality,gdp_per_capita
+Norway,Norway,82.3,9.1,64800
+Chad,Chad,54.2,43.0,890
+Japan,Japan,84.6,15.7,40100
+Brazil,Brazil,75.9,38.9,8900
+Germany,Germany,81.2,13.1,46200
+Nigeria,Nigeria,54.7,39.0,2100
+Canada,Canada,82.4,12.8,43600
+India,India,69.7,35.4,2100
+France,France,82.7,14.1,41500
+Haiti,Haiti,64.0,41.1,780
+";
+    let mut df = LuxDataFrame::read_csv_str(csv)?;
+
+    // 2. Print the dataframe: the default table view, plus always-on
+    //    recommendation tabs.
+    let widget = df.print();
+    println!("{widget}");
+
+    // 3. Toggle to the Lux view: ranked charts per action.
+    println!("{}", widget.render_lux_view(1));
+
+    // 4. Steer with an intent — just name what you care about.
+    df.set_intent_strs(["life_expectancy", "inequality"])?;
+    let widget = df.print();
+    println!("--- with intent [life_expectancy, inequality] ---");
+    println!("{}", widget.render_lux_view(1));
+
+    // 5. Export the chart you liked as reusable artifacts.
+    let vis = df.export("Current Vis", 0)?;
+    println!("--- exported Vega-Lite ---");
+    println!("{}", lux::vis::render::vega::to_vega_lite(&vis));
+    println!("--- exported Rust code ---");
+    println!("{}", lux::vis::render::code::to_rust_code(&vis.spec));
+    Ok(())
+}

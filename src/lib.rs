@@ -1,0 +1,38 @@
+//! # lux
+//!
+//! The facade crate of **lux-rs**, a Rust reproduction of
+//! "Lux: Always-on Visualization Recommendations for Exploratory Dataframe
+//! Workflows" (VLDB 2022). It re-exports the full public API:
+//!
+//! - [`LuxDataFrame`] / [`LuxSeries`] — the always-on wrappers (print a
+//!   frame, get ranked visualization recommendations);
+//! - [`LuxVis`] / [`LuxVisList`] — direct visualization construction from
+//!   intents (the paper's `Vis([...], df)` API);
+//! - the intent language ([`Clause`], [`prelude::parse_intent`]), the action
+//!   framework, the dataframe substrate, and the workload generators used
+//!   by the benchmark harness.
+//!
+//! ```
+//! use lux::prelude::*;
+//!
+//! let df = DataFrameBuilder::new()
+//!     .str("dept", ["Sales", "Eng", "Sales", "HR"])
+//!     .float("pay", [50.0, 80.0, 60.0, 55.0])
+//!     .build()
+//!     .unwrap();
+//! let mut ldf = LuxDataFrame::new(df);
+//! let widget = ldf.print();                 // always-on recommendations
+//! assert!(!widget.tabs().is_empty());
+//! ldf.set_intent_strs(["pay"]).unwrap();    // steer with intent
+//! assert!(ldf.print().tabs().contains(&"Filter"));
+//! ```
+
+pub use lux_core::prelude;
+pub use lux_core::{LuxDataFrame, LuxSeries, LuxVis, LuxVisList, Widget};
+pub use lux_dataframe as dataframe;
+pub use lux_engine as engine;
+pub use lux_intent as intent;
+pub use lux_recs as recs;
+pub use lux_vis as vis;
+pub use lux_workloads as workloads;
+pub use lux_intent::Clause;

@@ -1,0 +1,141 @@
+//! Table 1 conformance: the four action classes with their default actions,
+//! and the frame states that trigger each.
+
+use lux::prelude::*;
+use lux::recs::{ActionClass, ActionRegistry};
+
+#[test]
+fn default_registry_covers_table1() {
+    let registry = ActionRegistry::with_defaults();
+    let by_class = |class: ActionClass| -> Vec<&str> {
+        registry
+            .actions()
+            .iter()
+            .filter(|a| a.class() == class)
+            .map(|a| a.name())
+            .collect()
+    };
+    // Metadata: Distribution, Occurrence, Temporal, Geographic, Correlation
+    let metadata = by_class(ActionClass::Metadata);
+    for name in ["Distribution", "Occurrence", "Temporal", "Geographic", "Correlation"] {
+        assert!(metadata.contains(&name), "missing metadata action {name}");
+    }
+    // Intent: Enhance, Filter, Generalize (+ Current Vis)
+    let intent = by_class(ActionClass::Intent);
+    for name in ["Enhance", "Filter", "Generalize", "Current Vis"] {
+        assert!(intent.contains(&name), "missing intent action {name}");
+    }
+    // Structure: Series, Index
+    let structure = by_class(ActionClass::Structure);
+    for name in ["Series", "Index"] {
+        assert!(structure.contains(&name), "missing structure action {name}");
+    }
+    // History: Pre-aggregate, Pre-filter
+    let history = by_class(ActionClass::History);
+    for name in ["Pre-aggregate", "Pre-filter"] {
+        assert!(history.contains(&name), "missing history action {name}");
+    }
+    assert_eq!(registry.len(), 13, "Table 1 lists 13 default actions");
+}
+
+fn mixed_frame() -> LuxDataFrame {
+    LuxDataFrame::new(
+        DataFrameBuilder::new()
+            .float("quant_a", (0..60).map(|i| i as f64))
+            .float("quant_b", (0..60).map(|i| ((i * 31) % 17) as f64))
+            .str("nominal", (0..60).map(|i| ["x", "y", "z"][i % 3]))
+            .str("country", (0..60).map(|i| ["USA", "Chad", "Japan"][i % 3]))
+            .datetime("date", (0..60).map(|i| format!("2020-01-{:02}", (i % 28) + 1)))
+            .build()
+            .unwrap(),
+    )
+}
+
+#[test]
+fn metadata_actions_fire_per_column_types() {
+    let tabs: Vec<String> =
+        mixed_frame().print().tabs().iter().map(|s| s.to_string()).collect();
+    for t in ["Correlation", "Distribution", "Occurrence", "Temporal", "Geographic"] {
+        assert!(tabs.contains(&t.to_string()), "missing {t} in {tabs:?}");
+    }
+    // no intent, no structure, no history triggers on a plain frame
+    for t in ["Enhance", "Filter", "Series", "Index", "Pre-filter", "Pre-aggregate"] {
+        assert!(!tabs.contains(&t.to_string()), "unexpected {t} in {tabs:?}");
+    }
+}
+
+#[test]
+fn intent_actions_replace_overviews() {
+    let mut df = mixed_frame();
+    df.set_intent_strs(["quant_a", "quant_b"]).unwrap();
+    let tabs: Vec<String> = df.print().tabs().iter().map(|s| s.to_string()).collect();
+    for t in ["Current Vis", "Enhance", "Filter"] {
+        assert!(tabs.contains(&t.to_string()), "missing {t} in {tabs:?}");
+    }
+    assert!(!tabs.contains(&"Correlation".to_string()));
+}
+
+#[test]
+fn generalize_needs_two_clauses() {
+    let mut df = mixed_frame();
+    df.set_intent_strs(["quant_a"]).unwrap();
+    assert!(!df.print().tabs().contains(&"Generalize"));
+    df.set_intent_strs(["quant_a", "nominal=x"]).unwrap();
+    assert!(df.print().tabs().contains(&"Generalize"));
+}
+
+#[test]
+fn structure_actions_on_shapes() {
+    // one-column frame -> Series action
+    let single = mixed_frame().select(&["quant_a"]).unwrap();
+    assert!(single.print().tabs().contains(&"Series"));
+
+    // pivot result -> Index action with row-wise series (Figure 7)
+    let pivot = mixed_frame().pivot("nominal", "country", "quant_a", Agg::Mean).unwrap();
+    let widget = pivot.print();
+    assert!(widget.tabs().contains(&"Index"));
+}
+
+#[test]
+fn history_actions_on_workflow_states() {
+    // head of a larger frame -> Pre-filter
+    let head = mixed_frame().head(4);
+    assert!(head.print().tabs().contains(&"Pre-filter"));
+
+    // groupby result -> Pre-aggregate (visualizing the parent's measures)
+    let agg = mixed_frame().groupby_agg(&["nominal"], &[("quant_a", Agg::Mean)]).unwrap();
+    let widget = agg.print();
+    let pre = widget.results().iter().find(|r| r.action == "Pre-aggregate").unwrap();
+    // charts are built over the 60-row parent, not the 3-row aggregate
+    let data_rows: usize =
+        pre.vislist.visualizations[0].data.as_ref().map(|d| d.num_rows()).unwrap_or(0);
+    assert!(data_rows <= 3, "processed bar chart groups by the key");
+    assert!(pre.vislist.iter().all(|v| v.spec.mark == Mark::Bar));
+}
+
+#[test]
+fn every_action_ranks_descending() {
+    let mut df = mixed_frame();
+    df.set_intent_strs(["quant_a"]).unwrap();
+    for result in df.print().results() {
+        let scores: Vec<f64> = result.vislist.iter().map(|v| v.score).collect();
+        for w in scores.windows(2) {
+            assert!(
+                w[0] >= w[1],
+                "action {} is not ranked descending: {scores:?}",
+                result.action
+            );
+        }
+    }
+}
+
+#[test]
+fn top_k_respected_everywhere() {
+    let df = LuxDataFrame::with_config(
+        lux::workloads::synthetic_wide(40, 300, 5),
+        std::sync::Arc::new(LuxConfig { top_k: 4, ..LuxConfig::default() }),
+    );
+    for result in df.print().results() {
+        assert!(result.vislist.len() <= 4, "action {} exceeded k", result.action);
+    }
+}

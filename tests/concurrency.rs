@@ -1,0 +1,79 @@
+//! Thread-safety of the always-on wrapper: concurrent prints of the same
+//! frame must be safe, converge on one memoized result, and never deadlock
+//! (the widget is meant to be shared with background streaming workers).
+
+use std::sync::Arc;
+
+use lux::prelude::*;
+
+fn frame() -> DataFrame {
+    DataFrameBuilder::new()
+        .float("a", (0..500).map(|i| i as f64))
+        .float("b", (0..500).map(|i| ((i * 31) % 97) as f64))
+        .str("g", (0..500).map(|i| ["x", "y", "z"][i % 3]))
+        .build()
+        .unwrap()
+}
+
+#[test]
+fn concurrent_prints_are_safe_and_converge() {
+    let ldf = Arc::new(LuxDataFrame::new(frame()));
+    let results: Vec<_> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let ldf = Arc::clone(&ldf);
+                scope.spawn(move || {
+                    let w = ldf.print();
+                    w.tabs().iter().map(|s| s.to_string()).collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("no panic")).collect()
+    });
+    for r in &results[1..] {
+        assert_eq!(r, &results[0], "all threads see the same tabs");
+    }
+    // afterwards the cache is warm and shared
+    let a = ldf.recommendations();
+    let b = ldf.recommendations();
+    assert!(Arc::ptr_eq(&a, &b));
+}
+
+#[test]
+fn concurrent_streaming_and_blocking_coexist() {
+    let ldf = Arc::new(LuxDataFrame::new(frame()));
+    std::thread::scope(|scope| {
+        let l1 = Arc::clone(&ldf);
+        let streamer = scope.spawn(move || l1.recommendations_streaming().collect_all().len());
+        let l2 = Arc::clone(&ldf);
+        let blocker = scope.spawn(move || l2.recommendations().len());
+        let s = streamer.join().expect("streamer ok");
+        let b = blocker.join().expect("blocker ok");
+        assert_eq!(s, b);
+    });
+}
+
+#[test]
+fn concurrent_derivations_do_not_interfere() {
+    let ldf = Arc::new(LuxDataFrame::new(frame()));
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                let ldf = Arc::clone(&ldf);
+                scope.spawn(move || {
+                    let d = ldf
+                        .filter("a", FilterOp::Ge, &Value::Float(t as f64 * 100.0))
+                        .expect("filter");
+                    (d.num_rows(), d.print().tabs().len())
+                })
+            })
+            .collect();
+        let outcomes: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        // each derived frame saw its own subset
+        assert_eq!(outcomes[0].0, 500);
+        assert_eq!(outcomes[3].0, 200);
+        assert!(outcomes.iter().all(|(_, tabs)| *tabs > 0));
+    });
+    // the base frame's data is untouched (WYSIWYG)
+    assert_eq!(ldf.num_rows(), 500);
+}

@@ -1,0 +1,150 @@
+//! End-to-end integration tests spanning every crate: CSV ingest ->
+//! metadata -> intent -> recommendations -> rendering/export, including a
+//! compressed version of the paper's §3 Alice workflow.
+
+use lux::prelude::*;
+
+fn world_csv() -> &'static str {
+    "country,Region,AvrgLifeExpectancy,Inequality,stringency\n\
+     Norway,Europe,82.3,9.1,28\n\
+     Chad,Sub Saharan Africa,54.2,43.0,15\n\
+     Japan,Asia Pacific,84.6,15.7,40\n\
+     Brazil,Americas,75.9,38.9,35\n\
+     Germany,Europe,81.2,13.1,30\n\
+     Nigeria,Sub Saharan Africa,54.7,39.0,12\n\
+     Canada,Americas,82.4,12.8,26\n\
+     India,Asia Pacific,69.7,35.4,52\n\
+     France,Europe,82.7,14.1,33\n\
+     Haiti,Americas,64.0,41.1,8\n\
+     Italy,Europe,83.1,13.9,88\n\
+     China,Asia Pacific,76.5,29.0,81\n\
+     Rwanda,Sub Saharan Africa,66.1,35.1,70\n\
+     Kenya,Sub Saharan Africa,61.5,40.8,20\n\
+     Spain,Europe,83.0,14.7,45\n\
+     Mexico,Americas,74.8,36.4,22\n"
+}
+
+#[test]
+fn csv_to_widget_pipeline() {
+    let df = LuxDataFrame::read_csv_str(world_csv()).unwrap();
+    assert_eq!(df.num_rows(), 16);
+    // type inference: country names trigger the geographic heuristic
+    let meta = df.metadata();
+    assert_eq!(meta.column("country").unwrap().semantic, SemanticType::Geographic);
+    assert_eq!(meta.column("Region").unwrap().semantic, SemanticType::Geographic);
+    assert_eq!(meta.column("Inequality").unwrap().semantic, SemanticType::Quantitative);
+
+    let widget = df.print();
+    assert!(widget.tabs().contains(&"Correlation"));
+    assert!(widget.tabs().contains(&"Distribution"));
+    assert!(widget.tabs().contains(&"Geographic"));
+    // rendering surfaces never panic and contain real content
+    assert!(widget.render_lux_view(2).contains("score:"));
+    assert!(widget.to_vega_lite().contains("$schema"));
+    assert!(widget.to_html().contains("vegaEmbed"));
+}
+
+#[test]
+fn alice_workflow_compressed() {
+    // (I) overview
+    let mut df = LuxDataFrame::read_csv_str(world_csv()).unwrap();
+    let tabs = df.print().tabs().iter().map(|s| s.to_string()).collect::<Vec<_>>();
+    assert!(tabs.contains(&"Correlation".to_string()));
+
+    // (II) intent on the two indicators
+    df.set_intent_strs(["AvrgLifeExpectancy", "Inequality"]).unwrap();
+    let widget = df.print();
+    let current = widget.results().iter().find(|r| r.action == "Current Vis").unwrap();
+    assert_eq!(current.vislist.visualizations[0].spec.mark, Mark::Scatter);
+    let enhance = widget.results().iter().find(|r| r.action == "Enhance").unwrap();
+    assert!(enhance.vislist.len() >= 2);
+
+    // (III) bin stringency, revisit intent: breakdown by level appears
+    let mut binned = df.cut("stringency", &["Low", "High"], "stringency_level").unwrap();
+    binned.set_intent_strs(["AvrgLifeExpectancy", "Inequality"]).unwrap();
+    let widget = binned.print();
+    let enhance = widget.results().iter().find(|r| r.action == "Enhance").unwrap();
+    assert!(
+        enhance.vislist.iter().any(|v| v.spec.describe().contains("stringency_level")),
+        "expected a breakdown by the binned level"
+    );
+
+    // filter to a small frame -> Pre-filter history action fires
+    let small = binned.filter("stringency_level", FilterOp::Eq, &Value::str("High")).unwrap().head(3);
+    let tabs = small.print().tabs().iter().map(|s| s.to_string()).collect::<Vec<_>>();
+    assert!(tabs.contains(&"Pre-filter".to_string()), "got {tabs:?}");
+
+    // export the chosen vis and turn it into code + vega
+    let vis = binned.export("Enhance", 0).unwrap();
+    assert_eq!(binned.exported().len(), 1);
+    let code = lux::vis::render::code::to_rust_code(&vis.spec);
+    assert!(code.contains("Clause::axis"));
+    let vega = lux::vis::render::vega::to_vega_lite(&vis);
+    assert!(vega.contains("\"data\""));
+}
+
+#[test]
+fn groupby_pivot_structure_pipeline() {
+    let df = LuxDataFrame::read_csv_str(world_csv()).unwrap();
+    let agg = df
+        .groupby_agg(&["Region"], &[("AvrgLifeExpectancy", Agg::Mean), ("Inequality", Agg::Mean)])
+        .unwrap();
+    let widget = agg.print();
+    let tabs = widget.tabs();
+    assert!(tabs.contains(&"Index"), "aggregated frame shows index vis: {tabs:?}");
+    assert!(tabs.contains(&"Pre-aggregate"), "history action fires: {tabs:?}");
+    // index-vis charts are grouped by the index label
+    let index = widget.results().iter().find(|r| r.action == "Index").unwrap();
+    assert!(index
+        .vislist
+        .iter()
+        .any(|v| v.spec.channel(Channel::X).map(|e| e.attribute == "Region").unwrap_or(false)));
+}
+
+#[test]
+fn series_pipeline() {
+    let df = LuxDataFrame::read_csv_str(world_csv()).unwrap();
+    let series = df.series("Inequality").unwrap();
+    let widget = series.print();
+    let result = widget.results().iter().find(|r| r.action == "Series").unwrap();
+    assert_eq!(result.vislist.visualizations[0].spec.mark, Mark::Histogram);
+}
+
+#[test]
+fn vis_and_vislist_pipeline() {
+    let df = LuxDataFrame::read_csv_str(world_csv()).unwrap();
+    let vis = LuxVis::from_strs(["AvrgLifeExpectancy", "Region"], &df).unwrap();
+    assert_eq!(vis.spec().mark, Mark::Choropleth); // Region is geographic
+    assert!(vis.data().is_some());
+
+    let list = LuxVisList::from_strs(["AvrgLifeExpectancy", "Region=?"], &df).unwrap();
+    assert_eq!(list.len(), 4, "one histogram per region");
+}
+
+#[test]
+fn streaming_matches_blocking_content() {
+    let df = LuxDataFrame::read_csv_str(world_csv()).unwrap();
+    let blocking = df.recommendations();
+    let streamed = df.recommendations_streaming().collect_all();
+    let names = |rs: &[ActionResult]| {
+        let mut v: Vec<String> = rs.iter().map(|r| r.action.clone()).collect();
+        v.sort();
+        v
+    };
+    assert_eq!(names(&blocking), names(&streamed));
+}
+
+#[test]
+fn join_then_recommend() {
+    let left = LuxDataFrame::read_csv_str(world_csv()).unwrap();
+    let right = LuxDataFrame::read_csv_str(
+        "country,happiness\nNorway,7.6\nJapan,5.9\nChad,4.4\nIndia,4.0\n",
+    )
+    .unwrap();
+    let joined = left.join(&right, "country", "country", JoinKind::Inner).unwrap();
+    assert_eq!(joined.num_rows(), 4);
+    let widget = joined.print();
+    assert!(!widget.results().is_empty());
+    // the join is in the frame's history
+    assert!(joined.data().history().contains(OpKind::Join));
+}

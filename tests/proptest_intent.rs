@@ -1,0 +1,134 @@
+//! Property-based tests over the intent language: parser totality, the
+//! expansion-count law (n1 x n2 x ... minus invalid combos), and compiler
+//! robustness against arbitrary clause combinations.
+
+use std::collections::HashMap;
+
+use lux::engine::FrameMeta;
+use lux::intent::{compile, parse_clause, CompileOptions};
+use lux::prelude::*;
+use proptest::prelude::*;
+
+fn meta_fixture() -> FrameMeta {
+    let df = DataFrameBuilder::new()
+        .float("alpha", (0..40).map(|i| i as f64))
+        .float("beta", (0..40).map(|i| ((i * 7) % 13) as f64))
+        .float("gamma", (0..40).map(|i| ((i * 3) % 5) as f64))
+        .str("dept", (0..40).map(|i| ["Sales", "Eng", "HR"][i % 3]))
+        .str("site", (0..40).map(|i| ["north", "south"][i % 2]))
+        .build()
+        .unwrap();
+    FrameMeta::compute(&df, &HashMap::new())
+}
+
+/// Strategy over column names known to the fixture (plus junk names).
+fn attr_strategy() -> impl Strategy<Value = String> {
+    prop_oneof![
+        4 => prop_oneof![
+            Just("alpha".to_string()),
+            Just("beta".to_string()),
+            Just("gamma".to_string()),
+            Just("dept".to_string()),
+            Just("site".to_string()),
+        ],
+        1 => "[a-z]{3,8}".prop_map(|s| s),
+    ]
+}
+
+fn clause_strategy() -> impl Strategy<Value = Clause> {
+    prop_oneof![
+        attr_strategy().prop_map(Clause::axis),
+        proptest::collection::vec(attr_strategy(), 1..4).prop_map(Clause::axis_union),
+        Just(Clause::wildcard_typed(SemanticType::Quantitative)),
+        Just(Clause::wildcard()),
+        (attr_strategy(), -50i64..50).prop_map(|(a, v)| Clause::filter(a, FilterOp::Eq, Value::Int(v))),
+        Just(Clause::filter_wildcard("dept")),
+        Just(Clause::filter("dept", FilterOp::Eq, Value::str("Sales"))),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn parser_is_total_on_arbitrary_strings(s in ".{0,40}") {
+        // must never panic; errors are fine
+        let _ = parse_clause(&s);
+    }
+
+    #[test]
+    fn parser_roundtrips_simple_axes(name in "[A-Za-z][A-Za-z0-9_]{0,12}") {
+        let c = parse_clause(&name).unwrap();
+        prop_assert_eq!(c, Clause::axis(name));
+    }
+
+    #[test]
+    fn parser_roundtrips_filters(name in "[A-Za-z][A-Za-z_]{0,8}", v in -999i64..999) {
+        let c = parse_clause(&format!("{name}>={v}")).unwrap();
+        prop_assert_eq!(c, Clause::filter(name, FilterOp::Ge, Value::Int(v)));
+    }
+
+    #[test]
+    fn compiler_never_panics(intent in proptest::collection::vec(clause_strategy(), 0..4)) {
+        let meta = meta_fixture();
+        let _ = compile(&intent, &meta, &CompileOptions::default());
+    }
+
+    #[test]
+    fn compiled_specs_reference_real_columns(intent in proptest::collection::vec(clause_strategy(), 1..3)) {
+        let meta = meta_fixture();
+        if let Ok(specs) = compile(&intent, &meta, &CompileOptions::default()) {
+            for spec in &specs {
+                for attr in spec.attributes() {
+                    prop_assert!(meta.column(attr).is_some(), "spec references unknown column {attr}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn expansion_never_exceeds_alternative_product(
+        names in proptest::collection::vec(attr_strategy(), 1..3),
+        with_filter in any::<bool>(),
+    ) {
+        let meta = meta_fixture();
+        let mut intent = vec![Clause::axis_union(names.clone())];
+        if with_filter {
+            intent.push(Clause::filter_wildcard("dept"));
+        }
+        let product: usize = intent
+            .iter()
+            .map(|c| c.alternatives(5).max(1))
+            .product();
+        if let Ok(specs) = compile(&intent, &meta, &CompileOptions::default()) {
+            prop_assert!(specs.len() <= product, "{} specs > product {product}", specs.len());
+        }
+    }
+
+    #[test]
+    fn validator_flags_every_unknown_attribute(junk in "[a-z]{9,14}") {
+        let meta = meta_fixture();
+        // the generated name is longer than any fixture column, so it cannot collide
+        let intent = vec![Clause::axis(junk)];
+        let diags = lux::intent::validate(&intent, &meta);
+        prop_assert!(lux::intent::has_errors(&diags));
+    }
+
+    #[test]
+    fn valid_intents_validate_cleanly(pick in 0usize..5) {
+        let meta = meta_fixture();
+        let names = ["alpha", "beta", "gamma", "dept", "site"];
+        let intent = vec![Clause::axis(names[pick])];
+        let diags = lux::intent::validate(&intent, &meta);
+        prop_assert!(!lux::intent::has_errors(&diags));
+    }
+}
+
+#[test]
+fn q6_expansion_count_is_exact() {
+    // 3 quantitative columns: ? x ? -> 3*3 minus 3 self-pairs = 6 specs.
+    let meta = meta_fixture();
+    let any = Clause::wildcard_typed(SemanticType::Quantitative);
+    let specs = compile(&[any.clone(), any], &meta, &CompileOptions::default()).unwrap();
+    assert_eq!(specs.len(), 6);
+}

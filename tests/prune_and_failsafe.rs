@@ -1,0 +1,144 @@
+//! PRUNE correctness (the approximate pass must not change what ships: the
+//! final top-k is recomputed exactly) and the §10.3 fail-safe guarantees
+//! (printing never panics, whatever the frame looks like).
+
+use std::sync::Arc;
+
+use lux::prelude::*;
+use lux::workloads::{communities, recall_at_k};
+
+#[test]
+fn prune_keeps_strong_signal_top_k() {
+    // Build a frame where the top pair is unambiguous.
+    let n = 4_000;
+    let base: Vec<f64> = (0..n).map(|i| i as f64).collect();
+    let mut b = DataFrameBuilder::new().float("x0", base.clone());
+    // x1 perfectly correlated with x0; the rest pseudo-random.
+    b = b.float("x1", base.iter().map(|v| v * 2.0 + 1.0).collect::<Vec<_>>());
+    for c in 2..10 {
+        b = b.float(
+            &format!("x{c}"),
+            (0..n).map(|i| ((i * (c * 2654435761usize + 1)) % 9973) as f64).collect::<Vec<_>>(),
+        );
+    }
+    let df = b.build().unwrap();
+
+    let run = |prune: bool, cap: usize| -> Vec<String> {
+        let cfg = LuxConfig { prune, sample_cap: cap, top_k: 3, ..LuxConfig::default() };
+        let ldf = LuxDataFrame::with_config(df.clone(), Arc::new(cfg));
+        let recs = ldf.recommendations();
+        let corr = recs.iter().find(|r| r.action == "Correlation").unwrap();
+        corr.vislist.iter().map(|v| v.spec.describe()).collect()
+    };
+
+    let exact = run(false, 100);
+    let pruned = run(true, 200);
+    assert_eq!(exact[0], pruned[0], "the unambiguous best pair survives pruning");
+    assert!(exact[0].contains("x0") && exact[0].contains("x1"));
+    // exact scores on the final list either way
+    let r = recall_at_k(&exact, &pruned, 3);
+    assert!(r >= 2.0 / 3.0, "pruned top-3 overlaps the exact top-3: {r}");
+}
+
+#[test]
+fn pruned_scores_are_recomputed_exactly() {
+    let df = communities(3_000, 1);
+    let cfg = LuxConfig { prune: true, sample_cap: 300, ..LuxConfig::default() };
+    let ldf = LuxDataFrame::with_config(df, Arc::new(cfg));
+    let recs = ldf.recommendations();
+    let corr = recs.iter().find(|r| r.action == "Correlation").unwrap();
+    for vis in corr.vislist.iter() {
+        assert!(!vis.approximate, "shipped scores must be exact (second pass)");
+        assert!((0.0..=1.0).contains(&vis.score));
+    }
+}
+
+// ---------------------------------------------------------------------
+// Fail-safe display (§10.3): "falling back ... to always ensure that Lux
+// provides at least the pandas table as the default display".
+// ---------------------------------------------------------------------
+
+fn assert_prints(df: DataFrame, label: &str) {
+    let ldf = LuxDataFrame::new(df);
+    let widget = ldf.print();
+    assert!(!widget.table().is_empty(), "{label}: table view must render");
+}
+
+#[test]
+fn printing_never_panics_on_odd_frames() {
+    // empty frame
+    assert_prints(DataFrame::empty(), "empty");
+    // zero rows, some columns
+    assert_prints(
+        DataFrameBuilder::new().float("x", Vec::<f64>::new()).str("s", Vec::<&str>::new()).build().unwrap(),
+        "zero rows",
+    );
+    // single row
+    assert_prints(
+        DataFrameBuilder::new().float("x", [1.0]).str("s", ["a"]).build().unwrap(),
+        "single row",
+    );
+    // all-null column
+    let mut null_col = PrimitiveColumn::from_values(Vec::<f64>::new());
+    for _ in 0..5 {
+        null_col.push(None);
+    }
+    assert_prints(
+        DataFrame::from_columns(vec![
+            ("nulls".into(), Column::Float64(null_col)),
+            ("k".into(), Column::Str(StrColumn::from_strings(["a", "b", "c", "d", "e"]))),
+        ])
+        .unwrap(),
+        "all-null column",
+    );
+    // constant column (degenerate histogram / zero-variance correlation)
+    assert_prints(
+        DataFrameBuilder::new()
+            .float("const", vec![5.0; 50])
+            .float("other", (0..50).map(|i| i as f64))
+            .build()
+            .unwrap(),
+        "constant column",
+    );
+    // NaN-heavy column
+    assert_prints(
+        DataFrameBuilder::new()
+            .float("nan", (0..20).map(|i| if i % 2 == 0 { f64::NAN } else { 1.0 }))
+            .float("v", (0..20).map(|i| i as f64))
+            .build()
+            .unwrap(),
+        "NaN-heavy",
+    );
+    // exotic strings
+    assert_prints(
+        DataFrameBuilder::new()
+            .str("s", ["", "\"quoted\"", "multi\nline", "emoji 🎉", "x"])
+            .float("v", [1.0, 2.0, 3.0, 4.0, 5.0])
+            .build()
+            .unwrap(),
+        "exotic strings",
+    );
+}
+
+#[test]
+fn invalid_intent_degrades_to_table_with_diagnostics() {
+    let mut ldf = LuxDataFrame::new(
+        DataFrameBuilder::new().float("x", (0..30).map(|i| i as f64)).build().unwrap(),
+    );
+    ldf.set_intent_strs(["nope", "x>abc"]).unwrap();
+    let widget = ldf.print();
+    assert!(!widget.diagnostics().is_empty());
+    assert!(!widget.table().is_empty());
+    // the lux view surfaces the diagnostics instead of panicking
+    let view = widget.render_lux_view(1);
+    assert!(view.contains("error") || view.contains("warning"));
+}
+
+#[test]
+fn export_surface_never_panics_on_unprocessed() {
+    use lux::vis::{Mark, Vis, VisSpec};
+    let vis = Vis::new(VisSpec::new(Mark::Bar, vec![], vec![]));
+    let _ = lux::vis::render::ascii::render(&vis);
+    let _ = lux::vis::render::vega::to_vega_lite(&vis);
+    let _ = lux::vis::render::code::to_rust_code(&vis.spec);
+}

@@ -1,0 +1,140 @@
+//! WFLOW invariants (paper §8.2): lazy computation, memoization, and expiry
+//! on exactly the operations the paper enumerates (in-place-style column
+//! updates, renames, and any data-changing op), plus the "zero overhead on
+//! non-print operations" claim.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use lux::prelude::*;
+
+fn frame(rows: usize) -> DataFrame {
+    DataFrameBuilder::new()
+        .float("a", (0..rows).map(|i| i as f64))
+        .float("b", (0..rows).map(|i| ((i * 37) % 101) as f64))
+        .str("g", (0..rows).map(|i| ["p", "q", "r"][i % 3]))
+        .build()
+        .unwrap()
+}
+
+#[test]
+fn lazy_no_work_before_print() {
+    let df = LuxDataFrame::new(frame(2_000));
+    // constructing + transforming never computes recommendations
+    let derived = df.filter("a", FilterOp::Gt, &Value::Float(10.0)).unwrap();
+    assert!(!df.is_fresh());
+    assert!(!derived.is_fresh());
+}
+
+#[test]
+fn memoized_reprint_reuses_results() {
+    let df = LuxDataFrame::new(frame(2_000));
+    let first = df.recommendations();
+    let second = df.recommendations();
+    assert!(Arc::ptr_eq(&first, &second));
+}
+
+#[test]
+fn every_mutating_op_expires_cache() {
+    let base = LuxDataFrame::new(frame(500));
+    let _ = base.print();
+    assert!(base.is_fresh());
+    let derived: Vec<(&str, LuxDataFrame)> = vec![
+        ("filter", base.filter("a", FilterOp::Gt, &Value::Float(5.0)).unwrap()),
+        ("head", base.head(10)),
+        ("tail", base.tail(10)),
+        ("sample", base.sample(10, 1)),
+        ("select", base.select(&["a", "g"]).unwrap()),
+        ("drop_columns", base.drop_columns(&["b"]).unwrap()),
+        ("sort_by", base.sort_by(&["a"], false).unwrap()),
+        ("with_column_from", base.with_column_from("a2", "a", |v| v.clone()).unwrap()),
+        ("rename", base.rename(&[("a", "alpha")]).unwrap()),
+        ("dropna", base.dropna()),
+        ("fillna", base.fillna("a", &Value::Float(0.0)).unwrap()),
+        ("cut", base.cut("a", &["lo", "hi"], "a_level").unwrap()),
+        ("groupby_agg", base.groupby_agg(&["g"], &[("a", Agg::Mean)]).unwrap()),
+        ("value_counts", base.value_counts("g").unwrap()),
+        ("describe", base.describe().unwrap()),
+    ];
+    for (op, d) in derived {
+        assert!(!d.is_fresh(), "operation {op} must start with an expired cache");
+    }
+    // the base frame itself stays fresh (operations derive, never mutate)
+    assert!(base.is_fresh());
+}
+
+#[test]
+fn intent_change_expires_recommendations_only() {
+    let mut df = LuxDataFrame::new(frame(500));
+    let _ = df.print();
+    let meta_before = df.metadata();
+    df.set_intent_strs(["a"]).unwrap();
+    assert!(!df.is_fresh());
+    assert!(Arc::ptr_eq(&meta_before, &df.metadata()), "metadata survives intent changes");
+}
+
+#[test]
+fn non_print_ops_pay_no_lux_cost() {
+    // Under wflow, transforming via Lux should cost ~ the same as
+    // transforming the raw dataframe: no hidden recompute on any op.
+    let raw = frame(50_000);
+
+    let start = Instant::now();
+    let mut r = raw.clone();
+    for _ in 0..5 {
+        r = r.filter("a", FilterOp::Gt, &Value::Float(100.0)).unwrap();
+        r = r.with_column_from("c", "a", |v| v.clone()).unwrap();
+    }
+    let raw_time = start.elapsed().as_secs_f64();
+
+    let ldf = LuxDataFrame::new(raw.clone());
+    let start = Instant::now();
+    let mut l = ldf.filter("a", FilterOp::Gt, &Value::Float(100.0)).unwrap();
+    l = l.with_column_from("c", "a", |v| v.clone()).unwrap();
+    for _ in 0..4 {
+        l = l.filter("a", FilterOp::Gt, &Value::Float(100.0)).unwrap();
+        l = l.with_column_from("c", "a", |v| v.clone()).unwrap();
+    }
+    let lux_time = start.elapsed().as_secs_f64();
+
+    // generous 5x bound: wrapping adds history events and Arc bookkeeping
+    // only, never metadata or recommendation computation.
+    assert!(
+        lux_time < raw_time * 5.0 + 0.05,
+        "lux non-print ops took {lux_time}s vs raw {raw_time}s"
+    );
+}
+
+#[test]
+fn no_opt_condition_is_eager() {
+    let df = LuxDataFrame::with_config(frame(300), Arc::new(LuxConfig::no_opt()));
+    let r1 = df.recommendations();
+    let r2 = df.recommendations();
+    assert!(!Arc::ptr_eq(&r1, &r2), "no-opt never memoizes");
+}
+
+#[test]
+fn derived_frames_propagate_intent_and_overrides() {
+    let mut df = LuxDataFrame::new(frame(300));
+    df.set_intent_strs(["a"]).unwrap();
+    df.set_data_type("b", SemanticType::Nominal).unwrap();
+    let derived = df.head(100);
+    assert_eq!(derived.intent().len(), 1, "intent propagates to derived frames");
+    assert_eq!(
+        derived.metadata().column("b").unwrap().semantic,
+        SemanticType::Nominal,
+        "type overrides propagate"
+    );
+}
+
+#[test]
+fn repeated_noncommittal_prints_hit_cache() {
+    // The paper's Figure 9 pattern: print, groupby-print, describe-print,
+    // then revisit the original frame -> memoized result is still there.
+    let df = LuxDataFrame::new(frame(1_000));
+    let original = df.recommendations();
+    let _ = df.groupby_agg(&["g"], &[("a", Agg::Mean)]).unwrap().print();
+    let _ = df.describe().unwrap().print();
+    let revisited = df.recommendations();
+    assert!(Arc::ptr_eq(&original, &revisited));
+}
