@@ -15,8 +15,10 @@ use lux_dataframe::sql::query_frame;
 /// A parsed shell command.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Command {
-    /// `load <path> [as <name>]` — read a CSV into the session.
-    Load { path: String, name: String },
+    /// `load <path> [as <name>] [--permissive]` — read a CSV into the
+    /// session; `--permissive` repairs malformed records instead of failing
+    /// and reports each repair.
+    Load { path: String, name: String, permissive: bool },
     /// `demo <airbnb|communities|wide> [rows] [as <name>]` — synth dataset.
     Demo { which: String, rows: usize, name: String },
     /// `print [name]` — the always-on print (table + Lux view).
@@ -25,6 +27,8 @@ pub enum Command {
     Table { name: Option<String> },
     /// `profile [name]` — metadata + overview charts.
     Profile { name: Option<String> },
+    /// `health [name]` — per-action health of the last recommendation pass.
+    Health { name: Option<String> },
     /// `intent <clause>, <clause>, ...` — set the intent on the current frame.
     Intent { clauses: Vec<String> },
     /// `clear-intent`
@@ -66,13 +70,15 @@ pub fn parse_command(line: &str) -> Result<Command> {
     match head.to_ascii_lowercase().as_str() {
         "" => Err(Error::Parse("empty command".into())),
         "load" => {
-            let parts = word(rest);
+            let mut parts = word(rest);
+            let permissive = parts.iter().any(|p| p == "--permissive");
+            parts.retain(|p| p != "--permissive");
             match parts.as_slice() {
-                [path] => Ok(Command::Load { path: path.clone(), name: "df".into() }),
+                [path] => Ok(Command::Load { path: path.clone(), name: "df".into(), permissive }),
                 [path, as_kw, name] if as_kw.eq_ignore_ascii_case("as") => {
-                    Ok(Command::Load { path: path.clone(), name: name.clone() })
+                    Ok(Command::Load { path: path.clone(), name: name.clone(), permissive })
                 }
-                _ => Err(Error::Parse("usage: load <path> [as <name>]".into())),
+                _ => Err(Error::Parse("usage: load <path> [as <name>] [--permissive]".into())),
             }
         }
         "demo" => {
@@ -97,6 +103,7 @@ pub fn parse_command(line: &str) -> Result<Command> {
         "print" => Ok(Command::Print { name: word(rest).first().cloned() }),
         "table" => Ok(Command::Table { name: word(rest).first().cloned() }),
         "profile" => Ok(Command::Profile { name: word(rest).first().cloned() }),
+        "health" => Ok(Command::Health { name: word(rest).first().cloned() }),
         "intent" => {
             let clauses: Vec<String> =
                 rest.split(',').map(|c| c.trim().to_string()).filter(|c| !c.is_empty()).collect();
@@ -204,11 +211,12 @@ fn parse_agg(s: &str) -> Result<Agg> {
 
 pub const HELP: &str = "\
 commands:
-  load <path> [as <name>]          read a CSV into the session
+  load <path> [as <name>] [--permissive]  read a CSV (--permissive repairs bad rows)
   demo <airbnb|communities|wide> [rows] [as <name>]
   print [name]                     always-on print (table + Lux view)
   table [name]                     table view only
   profile [name]                   per-column metadata + overview charts
+  health [name]                    per-action health (ok/degraded/failed/disabled)
   intent <clause>[, <clause>...]   e.g. intent price, room_type=?
   clear-intent
   vis <clause>[, <clause>...]      build one chart now
@@ -281,9 +289,23 @@ impl Shell {
         match cmd {
             Command::Quit => Ok(None),
             Command::Help => Ok(Some(HELP.to_string())),
-            Command::Load { path, name } => {
-                let df = LuxDataFrame::read_csv(Path::new(&path))?;
-                let shape = format!("loaded {name}: {} rows x {} cols", df.num_rows(), df.num_columns());
+            Command::Load { path, name, permissive } => {
+                let (df, repairs) = if permissive {
+                    let (df, report) = LuxDataFrame::read_csv_permissive(Path::new(&path))?;
+                    let repairs = if report.is_clean() {
+                        String::new()
+                    } else {
+                        format!("\n{}", report).trim_end().to_string()
+                    };
+                    (df, repairs)
+                } else {
+                    (LuxDataFrame::read_csv(Path::new(&path))?, String::new())
+                };
+                let shape = format!(
+                    "loaded {name}: {} rows x {} cols{repairs}",
+                    df.num_rows(),
+                    df.num_columns()
+                );
                 self.frames.insert(name.clone(), df);
                 self.current = Some(name);
                 Ok(Some(shape))
@@ -312,6 +334,17 @@ impl Shell {
             }
             Command::Table { name } => Ok(Some(self.resolve(&name)?.print().table().to_string())),
             Command::Profile { name } => Ok(Some(self.resolve(&name)?.profile())),
+            Command::Health { name } => {
+                let health = self.resolve(&name)?.action_health();
+                if health.is_empty() {
+                    return Ok(Some("all actions healthy (no health entries)".into()));
+                }
+                let mut out = String::from("action health:");
+                for h in health.iter() {
+                    out.push_str(&format!("\n  {h}"));
+                }
+                Ok(Some(out))
+            }
             Command::Intent { clauses } => {
                 let current = self
                     .current
@@ -439,7 +472,11 @@ mod tests {
     fn parse_basics() {
         assert_eq!(
             parse_command("load data.csv as hpi").unwrap(),
-            Command::Load { path: "data.csv".into(), name: "hpi".into() }
+            Command::Load { path: "data.csv".into(), name: "hpi".into(), permissive: false }
+        );
+        assert_eq!(
+            parse_command("load data.csv --permissive").unwrap(),
+            Command::Load { path: "data.csv".into(), name: "df".into(), permissive: true }
         );
         assert_eq!(parse_command("print").unwrap(), Command::Print { name: None });
         assert_eq!(
@@ -509,6 +546,17 @@ mod tests {
         assert!(shell.execute(parse_command("filter nope=1").unwrap()).is_err());
         // session still usable
         assert!(shell.execute(parse_command("table").unwrap()).unwrap().is_some());
+    }
+
+    #[test]
+    fn health_command_reports_action_status() {
+        assert_eq!(parse_command("health").unwrap(), Command::Health { name: None });
+        let mut shell = Shell::new();
+        shell.insert("df", sample());
+        let out = shell.execute(parse_command("health").unwrap()).unwrap().unwrap();
+        // healthy defaults: every entry reads "<action>: ok"
+        assert!(out.contains(": ok"), "got: {out}");
+        assert!(!out.contains("failed"));
     }
 
     #[test]

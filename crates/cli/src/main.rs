@@ -12,7 +12,7 @@ fn main() {
     let mut shell = Shell::new();
     for (i, arg) in std::env::args().skip(1).enumerate() {
         let name = if i == 0 { "df".to_string() } else { format!("df{}", i + 1) };
-        match shell.execute(Command::Load { path: arg.clone(), name }) {
+        match shell.execute(Command::Load { path: arg.clone(), name, permissive: false }) {
             Ok(Some(msg)) => println!("{msg}"),
             Ok(None) => {}
             Err(e) => eprintln!("error loading {arg}: {e}"),

@@ -10,9 +10,10 @@
 use std::fmt;
 use std::io::Write;
 use std::sync::Arc;
+use std::sync::Mutex;
 use std::time::{SystemTime, UNIX_EPOCH};
 
-use parking_lot::Mutex;
+use lux_engine::sync::lock_recover;
 
 /// The kinds of events the paper's study cares about.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -25,6 +26,9 @@ pub enum EventKind {
     Export,
     /// A derived-frame operation (filter, groupby, ...).
     Operation,
+    /// An action failed, degraded, or was disabled during a pass (see
+    /// `lux-recs::fault`); the detail carries the action name and reason.
+    ActionFault,
 }
 
 impl EventKind {
@@ -34,6 +38,7 @@ impl EventKind {
             EventKind::IntentChanged => "intent",
             EventKind::Export => "export",
             EventKind::Operation => "operation",
+            EventKind::ActionFault => "action-fault",
         }
     }
 }
@@ -111,26 +116,25 @@ impl SessionLogger {
             detail: detail.into(),
             elapsed,
         };
-        if let Sink::File(f) = &mut *self.sink.lock() {
+        if let Sink::File(f) = &mut *lock_recover(&self.sink) {
             let _ = writeln!(f, "{}", event.to_json());
         }
-        self.events.lock().push(event);
+        lock_recover(&self.events).push(event);
     }
 
     /// Snapshot of the recorded events.
     pub fn events(&self) -> Vec<LogEvent> {
-        self.events.lock().clone()
+        lock_recover(&self.events).clone()
     }
 
     /// Count of events of one kind.
     pub fn count_of(&self, kind: EventKind) -> usize {
-        self.events.lock().iter().filter(|e| e.kind == kind).count()
+        lock_recover(&self.events).iter().filter(|e| e.kind == kind).count()
     }
 
     /// The full JSONL rendering of the session so far.
     pub fn to_jsonl(&self) -> String {
-        self.events
-            .lock()
+        lock_recover(&self.events)
             .iter()
             .map(LogEvent::to_json)
             .collect::<Vec<_>>()
@@ -141,7 +145,7 @@ impl SessionLogger {
     /// distribution (fn. 2: median 2.8 s between showing the table and
     /// toggling to the Lux view).
     pub fn think_times(&self) -> Vec<f64> {
-        let events = self.events.lock();
+        let events = lock_recover(&self.events);
         let prints: Vec<f64> = events
             .iter()
             .filter(|e| e.kind == EventKind::Print)

@@ -19,12 +19,14 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
+use std::sync::Mutex;
+
 use lux_dataframe::prelude::*;
+use lux_engine::sync::lock_recover;
 use lux_engine::{CachedSample, FrameMeta, LuxConfig, SemanticType};
 use lux_intent::{Clause, Diagnostic};
-use lux_recs::{ActionContext, ActionRegistry, ActionResult};
+use lux_recs::{ActionContext, ActionHealth, ActionRegistry, ActionResult};
 use lux_vis::{Vis, VisSpec};
-use parking_lot::Mutex;
 
 use crate::logging::{EventKind, SessionLogger};
 use crate::widget::Widget;
@@ -34,11 +36,13 @@ use crate::widget::Widget;
 struct WflowCache {
     meta: Option<Arc<FrameMeta>>,
     recommendations: Option<Arc<Vec<ActionResult>>>,
+    /// Per-action health from the pass that produced `recommendations`.
+    health: Option<Arc<Vec<ActionHealth>>>,
 }
 
 /// A pandas-style dataframe with always-on visualization recommendations.
 pub struct LuxDataFrame {
-    df: DataFrame,
+    df: Arc<DataFrame>,
     intent: Vec<Clause>,
     config: Arc<LuxConfig>,
     registry: Arc<ActionRegistry>,
@@ -70,6 +74,25 @@ impl LuxDataFrame {
         Ok(Self::new(lux_dataframe::csv::read_csv_str(text)?))
     }
 
+    /// Read a CSV file leniently: malformed records are repaired (padded,
+    /// truncated, or quote-closed) instead of failing the whole load, and
+    /// every repair is listed in the returned
+    /// [`ParseReport`](lux_dataframe::csv::ParseReport).
+    pub fn read_csv_permissive(
+        path: &std::path::Path,
+    ) -> Result<(LuxDataFrame, lux_dataframe::csv::ParseReport)> {
+        let (df, report) = lux_dataframe::csv::read_csv_path_permissive(path)?;
+        Ok((Self::new(df), report))
+    }
+
+    /// Parse CSV text leniently; see [`LuxDataFrame::read_csv_permissive`].
+    pub fn read_csv_str_permissive(
+        text: &str,
+    ) -> Result<(LuxDataFrame, lux_dataframe::csv::ParseReport)> {
+        let (df, report) = lux_dataframe::csv::read_csv_str_permissive(text)?;
+        Ok((Self::new(df), report))
+    }
+
     fn assemble(
         df: DataFrame,
         intent: Vec<Clause>,
@@ -79,7 +102,7 @@ impl LuxDataFrame {
     ) -> LuxDataFrame {
         let sample = CachedSample::new(config.sample_cap, config.sample_seed);
         let ldf = LuxDataFrame {
-            df,
+            df: Arc::new(df),
             intent,
             config,
             registry,
@@ -159,7 +182,7 @@ impl LuxDataFrame {
             log.log(EventKind::IntentChanged, format!("{} clause(s)", intent.len()), None);
         }
         self.intent = intent;
-        self.cache.lock().recommendations = None;
+        self.expire_recommendations();
     }
 
     /// Set the intent from strings (`df.intent = ["Age", "Dept=Sales"]`).
@@ -183,9 +206,10 @@ impl LuxDataFrame {
             return Err(Error::ColumnNotFound(column.to_string()));
         }
         self.overrides.insert(column.to_string(), semantic);
-        let mut cache = self.cache.lock();
+        let mut cache = lock_recover(&self.cache);
         cache.meta = None;
         cache.recommendations = None;
+        cache.health = None;
         Ok(())
     }
 
@@ -197,7 +221,7 @@ impl LuxDataFrame {
         }
         registry.register(action);
         self.registry = Arc::new(registry);
-        self.cache.lock().recommendations = None;
+        self.expire_recommendations();
     }
 
     /// Remove an action by name. Expires recommendations.
@@ -209,7 +233,7 @@ impl LuxDataFrame {
         let removed = registry.remove(name);
         self.registry = Arc::new(registry);
         if removed {
-            self.cache.lock().recommendations = None;
+            self.expire_recommendations();
         }
         removed
     }
@@ -222,7 +246,7 @@ impl LuxDataFrame {
     /// `wflow` is on).
     pub fn metadata(&self) -> Arc<FrameMeta> {
         if self.config.wflow {
-            let mut cache = self.cache.lock();
+            let mut cache = lock_recover(&self.cache);
             if let Some(meta) = &cache.meta {
                 return Arc::clone(meta);
             }
@@ -236,7 +260,13 @@ impl LuxDataFrame {
 
     /// True when memoized recommendations are available.
     pub fn is_fresh(&self) -> bool {
-        self.cache.lock().recommendations.is_some()
+        lock_recover(&self.cache).recommendations.is_some()
+    }
+
+    fn expire_recommendations(&self) {
+        let mut cache = lock_recover(&self.cache);
+        cache.recommendations = None;
+        cache.health = None;
     }
 
     /// Validate the current intent against the frame.
@@ -260,40 +290,70 @@ impl LuxDataFrame {
         lux_intent::compile(&self.intent, &meta, &opts).unwrap_or_default()
     }
 
-    fn compute_recommendations(&self) -> Arc<Vec<ActionResult>> {
+    fn compute_recommendations(&self) -> (Arc<Vec<ActionResult>>, Arc<Vec<ActionHealth>>) {
         let meta = self.metadata();
         let specs = self.compiled_intent();
-        let ctx = ActionContext {
-            df: &self.df,
-            meta: &meta,
-            intent: &self.intent,
-            intent_specs: &specs,
-            config: &self.config,
-        };
-        let sample_arc;
-        let sample: Option<&DataFrame> = if self.config.prune {
-            sample_arc = self.sample.get(&self.df);
-            Some(&sample_arc)
+        let sample = self.config.prune.then(|| self.sample.get(&self.df));
+        let report = if self.config.r#async {
+            // Owned executor: the frame is shared by Arc with detached
+            // workers, which lets the collector abandon hung actions at the
+            // hard cutoff instead of waiting on them.
+            let owned = lux_recs::OwnedContext {
+                df: Arc::clone(&self.df),
+                meta,
+                intent: Arc::new(self.intent.clone()),
+                intent_specs: Arc::new(specs),
+                config: Arc::clone(&self.config),
+                sample,
+            };
+            lux_recs::run_actions_streaming(&self.registry, owned).collect_report()
         } else {
-            None
+            let ctx = ActionContext {
+                df: &self.df,
+                meta: &meta,
+                intent: &self.intent,
+                intent_specs: &specs,
+                config: &self.config,
+            };
+            lux_recs::run_actions_report(&self.registry, &ctx, sample.as_deref(), None)
         };
-        Arc::new(lux_recs::run_actions(&self.registry, &ctx, sample, None))
+        if let Some(log) = &self.logger {
+            for h in report.problems() {
+                log.log(EventKind::ActionFault, h.to_string(), None);
+            }
+        }
+        (Arc::new(report.results), Arc::new(report.health))
+    }
+
+    fn recommendations_with_health(&self) -> (Arc<Vec<ActionResult>>, Arc<Vec<ActionHealth>>) {
+        if self.config.wflow {
+            {
+                let cache = lock_recover(&self.cache);
+                if let (Some(recs), Some(health)) = (&cache.recommendations, &cache.health) {
+                    return (Arc::clone(recs), Arc::clone(health));
+                }
+            } // release while computing (compute re-takes for meta)
+            let (recs, health) = self.compute_recommendations();
+            let mut cache = lock_recover(&self.cache);
+            cache.recommendations = Some(Arc::clone(&recs));
+            cache.health = Some(Arc::clone(&health));
+            (recs, health)
+        } else {
+            self.compute_recommendations()
+        }
     }
 
     /// The ranked recommendations, computed lazily and memoized under WFLOW.
     pub fn recommendations(&self) -> Arc<Vec<ActionResult>> {
-        if self.config.wflow {
-            let cache = self.cache.lock();
-            if let Some(recs) = &cache.recommendations {
-                return Arc::clone(recs);
-            }
-            drop(cache); // release while computing (compute re-takes for meta)
-            let recs = self.compute_recommendations();
-            self.cache.lock().recommendations = Some(Arc::clone(&recs));
-            recs
-        } else {
-            self.compute_recommendations()
-        }
+        self.recommendations_with_health().0
+    }
+
+    /// Per-action health of the most recent recommendation pass (computing
+    /// one if needed): which actions served exact results, which degraded to
+    /// partial ones, which failed and why, and which the circuit breaker has
+    /// disabled. Memoized alongside the recommendations under WFLOW.
+    pub fn action_health(&self) -> Arc<Vec<ActionHealth>> {
+        self.recommendations_with_health().1
     }
 
     /// Begin a streaming recommendation run: dispatches every applicable
@@ -307,7 +367,7 @@ impl LuxDataFrame {
         let specs = self.compiled_intent();
         let sample = self.config.prune.then(|| self.sample.get(&self.df));
         let owned = lux_recs::generate::OwnedContext {
-            df: Arc::new(self.df.clone()),
+            df: Arc::clone(&self.df),
             meta,
             intent: Arc::new(self.intent.clone()),
             intent_specs: Arc::new(specs),
@@ -325,7 +385,7 @@ impl LuxDataFrame {
         let start = std::time::Instant::now();
         let table = self.df.to_table_string(10);
         let diagnostics = self.validate_intent();
-        let results = self.recommendations();
+        let (results, health) = self.recommendations_with_health();
         if let Some(log) = &self.logger {
             log.log(
                 EventKind::Print,
@@ -333,7 +393,7 @@ impl LuxDataFrame {
                 Some(start.elapsed().as_secs_f64()),
             );
         }
-        Widget::new(table, results, diagnostics, self.df.num_rows(), self.df.num_columns())
+        Widget::new(table, results, health, diagnostics, self.df.num_rows(), self.df.num_columns())
     }
 
     /// One-shot dataset profile: the metadata overview actions plus a
@@ -392,7 +452,7 @@ impl LuxDataFrame {
                 ))
             })?
             .clone();
-        self.exported.lock().push(vis.clone());
+        lock_recover(&self.exported).push(vis.clone());
         if let Some(log) = &self.logger {
             log.log(EventKind::Export, vis.spec.describe(), None);
         }
@@ -401,7 +461,7 @@ impl LuxDataFrame {
 
     /// Visualizations exported so far.
     pub fn exported(&self) -> Vec<Vis> {
-        self.exported.lock().clone()
+        lock_recover(&self.exported).clone()
     }
 
     // ------------------------------------------------------------------

@@ -9,13 +9,14 @@
 use std::sync::Arc;
 
 use lux_intent::{Diagnostic, Severity};
-use lux_recs::ActionResult;
+use lux_recs::{ActionHealth, ActionResult};
 use lux_vis::render::{ascii, vega};
 
 /// The output of [`crate::LuxDataFrame::print`].
 pub struct Widget {
     table: String,
     results: Arc<Vec<ActionResult>>,
+    health: Arc<Vec<ActionHealth>>,
     diagnostics: Vec<Diagnostic>,
     num_rows: usize,
     num_columns: usize,
@@ -25,11 +26,12 @@ impl Widget {
     pub(crate) fn new(
         table: String,
         results: Arc<Vec<ActionResult>>,
+        health: Arc<Vec<ActionHealth>>,
         diagnostics: Vec<Diagnostic>,
         num_rows: usize,
         num_columns: usize,
     ) -> Widget {
-        Widget { table, results, diagnostics, num_rows, num_columns }
+        Widget { table, results, health, diagnostics, num_rows, num_columns }
     }
 
     /// The plain table view (the pandas-equivalent default display).
@@ -45,6 +47,17 @@ impl Widget {
     /// Intent diagnostics (empty when the intent validates cleanly).
     pub fn diagnostics(&self) -> &[Diagnostic] {
         &self.diagnostics
+    }
+
+    /// Per-action health of the pass that produced these tabs: degraded,
+    /// failed, and breaker-disabled actions carry their reasons.
+    pub fn health(&self) -> &[ActionHealth] {
+        &self.health
+    }
+
+    /// Health entries that are not plain `ok`.
+    pub fn health_problems(&self) -> Vec<&ActionHealth> {
+        self.health.iter().filter(|h| !h.status.is_ok()).collect()
     }
 
     /// Tab names, in display order.
@@ -67,14 +80,18 @@ impl Widget {
             }
             out.push('\n');
         }
+        for h in self.health_problems() {
+            out.push_str(&format!("(!) action {h}\n"));
+        }
         if self.results.is_empty() {
             out.push_str("(no recommendations: showing table view)\n");
             out.push_str(&self.table);
             return out;
         }
         for r in self.results.iter() {
+            let degraded = if r.degraded { ", degraded" } else { "" };
             out.push_str(&format!(
-                "\n=== {} [{}] ({} vis, est. cost {:.0}) ===\n",
+                "\n=== {} [{}] ({} vis, est. cost {:.0}{degraded}) ===\n",
                 r.action,
                 r.class.name(),
                 r.vislist.len(),
@@ -155,6 +172,14 @@ impl std::fmt::Display for Widget {
                 self.results.len(),
                 self.tabs().join(", ")
             )?;
+        }
+        let problems = self.health_problems();
+        if !problems.is_empty() {
+            let notes: Vec<String> = problems
+                .iter()
+                .map(|h| format!("{}: {}", h.action, h.status.name()))
+                .collect();
+            writeln!(f, "[action health: {}]", notes.join(", "))?;
         }
         Ok(())
     }

@@ -3,13 +3,79 @@
 //! Hand-rolled (no external dependency): supports quoted fields, embedded
 //! commas/newlines/escaped quotes, and per-column type inference over
 //! int -> float -> datetime -> bool -> string, with empty fields as nulls.
+//!
+//! Two parsing modes:
+//! - **strict** (the default, [`read_csv_str`] and friends): any ragged
+//!   record or unterminated quote aborts the read with an error.
+//! - **permissive** ([`read_csv_str_permissive`] and friends): malformed
+//!   records are repaired — short records padded with nulls, long records
+//!   truncated, an unterminated quote closed at end of input — and every
+//!   repair is recorded in a [`ParseReport`] so callers can surface data
+//!   quality instead of losing the whole file to one bad row.
 
+use std::fmt;
 use std::io::{BufRead, Write};
 
 use crate::column::Column;
 use crate::error::{Error, Result};
 use crate::frame::DataFrame;
 use crate::value::{parse_datetime, Value};
+
+/// One recoverable defect found while reading CSV in permissive mode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseIssue {
+    /// 1-based record number in the file; the header is record 1, so the
+    /// dataframe row for a data-record issue is `row - 2`.
+    pub row: usize,
+    /// What was wrong and how it was repaired.
+    pub reason: String,
+}
+
+impl fmt::Display for ParseIssue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "record {}: {}", self.row, self.reason)
+    }
+}
+
+/// Every repair performed by a permissive CSV read. Empty means the file
+/// was clean and the permissive result is identical to a strict read.
+#[derive(Debug, Clone, Default)]
+pub struct ParseReport {
+    pub issues: Vec<ParseIssue>,
+}
+
+impl ParseReport {
+    /// True when no repairs were needed.
+    pub fn is_clean(&self) -> bool {
+        self.issues.is_empty()
+    }
+
+    /// Number of repaired records.
+    pub fn len(&self) -> usize {
+        self.issues.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.issues.is_empty()
+    }
+
+    fn push(&mut self, row: usize, reason: impl Into<String>) {
+        self.issues.push(ParseIssue { row, reason: reason.into() });
+    }
+}
+
+impl fmt::Display for ParseReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_clean() {
+            return f.write_str("clean parse (no issues)");
+        }
+        writeln!(f, "{} malformed record(s) repaired:", self.len())?;
+        for issue in &self.issues {
+            writeln!(f, "  {issue}")?;
+        }
+        Ok(())
+    }
+}
 
 /// Parse CSV text into a dataframe. The first record is the header.
 pub fn read_csv_str(text: &str) -> Result<DataFrame> {
@@ -31,6 +97,54 @@ pub fn read_csv_str(text: &str) -> Result<DataFrame> {
         }
     }
 
+    assemble(header, raw)
+}
+
+/// Parse CSV text leniently: malformed records are repaired instead of
+/// aborting the read. Short records are padded with nulls, long records
+/// truncated to the header width, and an unterminated quoted field is
+/// closed at end of input; each repair lands in the returned
+/// [`ParseReport`]. A clean file yields the same frame as [`read_csv_str`]
+/// with an empty report.
+pub fn read_csv_str_permissive(text: &str) -> Result<(DataFrame, ParseReport)> {
+    let scan = scan_records(text)?;
+    let mut report = ParseReport::default();
+    if scan.unterminated {
+        report.push(
+            scan.records.len(),
+            "unterminated quoted field; closed at end of input",
+        );
+    }
+    let mut it = scan.records.into_iter();
+    let header = it.next().ok_or_else(|| Error::Parse("empty CSV input".into()))?;
+    let ncols = header.len();
+    let mut raw: Vec<Vec<Option<String>>> = vec![Vec::new(); ncols];
+    for (line_no, mut rec) in it.enumerate() {
+        if rec.len() < ncols {
+            report.push(
+                line_no + 2,
+                format!("{} fields, expected {ncols}; missing fields read as nulls", rec.len()),
+            );
+            rec.resize(ncols, String::new());
+        } else if rec.len() > ncols {
+            report.push(
+                line_no + 2,
+                format!("{} fields, expected {ncols}; extra fields dropped", rec.len()),
+            );
+            rec.truncate(ncols);
+        }
+        for (c, field) in rec.into_iter().enumerate() {
+            raw[c].push(if field.is_empty() { None } else { Some(field) });
+        }
+    }
+    // The unterminated-quote issue is recorded before the per-record walk;
+    // present the report in file order.
+    report.issues.sort_by_key(|i| i.row);
+
+    Ok((assemble(header, raw)?, report))
+}
+
+fn assemble(header: Vec<String>, raw: Vec<Vec<Option<String>>>) -> Result<DataFrame> {
     let cols: Vec<(String, Column)> = header
         .into_iter()
         .zip(raw)
@@ -40,18 +154,36 @@ pub fn read_csv_str(text: &str) -> Result<DataFrame> {
 }
 
 /// Read CSV from any buffered reader.
-pub fn read_csv<R: BufRead>(mut reader: R) -> Result<DataFrame> {
-    let mut text = String::new();
-    reader
-        .read_to_string(&mut text)
-        .map_err(|e| Error::Parse(format!("io error: {e}")))?;
-    read_csv_str(&text)
+pub fn read_csv<R: BufRead>(reader: R) -> Result<DataFrame> {
+    read_csv_str(&slurp(reader)?)
+}
+
+/// Read CSV from any buffered reader in permissive mode.
+pub fn read_csv_permissive<R: BufRead>(reader: R) -> Result<(DataFrame, ParseReport)> {
+    read_csv_str_permissive(&slurp(reader)?)
 }
 
 /// Read CSV from a file path.
 pub fn read_csv_path(path: &std::path::Path) -> Result<DataFrame> {
+    read_csv(open(path)?)
+}
+
+/// Read CSV from a file path in permissive mode.
+pub fn read_csv_path_permissive(path: &std::path::Path) -> Result<(DataFrame, ParseReport)> {
+    read_csv_permissive(open(path)?)
+}
+
+fn open(path: &std::path::Path) -> Result<std::io::BufReader<std::fs::File>> {
     let file = std::fs::File::open(path).map_err(|e| Error::Parse(format!("open {path:?}: {e}")))?;
-    read_csv(std::io::BufReader::new(file))
+    Ok(std::io::BufReader::new(file))
+}
+
+fn slurp<R: BufRead>(mut reader: R) -> Result<String> {
+    let mut text = String::new();
+    reader
+        .read_to_string(&mut text)
+        .map_err(|e| Error::Parse(format!("io error: {e}")))?;
+    Ok(text)
 }
 
 /// Serialize a dataframe as CSV (header + rows; nulls as empty fields).
@@ -82,8 +214,26 @@ fn quote(s: &str) -> String {
     }
 }
 
-/// Split CSV text into records of fields, honoring quotes.
+/// Split CSV text into records of fields, honoring quotes. Strict: an
+/// unterminated quoted field is an error.
 fn parse_records(text: &str) -> Result<Vec<Vec<String>>> {
+    let scan = scan_records(text)?;
+    if scan.unterminated {
+        return Err(Error::Parse("unterminated quoted field".into()));
+    }
+    Ok(scan.records)
+}
+
+struct ScanOutcome {
+    records: Vec<Vec<String>>,
+    /// The last record ended inside an open quote (closed at end of input).
+    unterminated: bool,
+}
+
+/// The shared record scanner. Never fails on malformed quoting — it reports
+/// an open quote at end of input through [`ScanOutcome::unterminated`] and
+/// lets the strict/permissive wrappers decide whether that is fatal.
+fn scan_records(text: &str) -> Result<ScanOutcome> {
     let mut records = Vec::new();
     let mut record = Vec::new();
     let mut field = String::new();
@@ -126,21 +276,19 @@ fn parse_records(text: &str) -> Result<Vec<Vec<String>>> {
             }
         }
     }
-    if in_quotes {
-        return Err(Error::Parse("unterminated quoted field".into()));
+    if !saw_any {
+        return Err(Error::Parse("empty CSV input".into()));
     }
     if !field.is_empty() || !record.is_empty() {
         record.push(field);
         records.push(record);
     }
-    if !saw_any {
-        return Err(Error::Parse("empty CSV input".into()));
-    }
-    // Drop a trailing fully-empty record produced by a final newline.
-    if records.last().is_some_and(|r| r.len() == 1 && r[0].is_empty()) {
+    // Drop a trailing fully-empty record produced by a final newline (not
+    // one produced by closing an unterminated quote — that one is real).
+    if !in_quotes && records.last().is_some_and(|r| r.len() == 1 && r[0].is_empty()) {
         records.pop();
     }
-    Ok(records)
+    Ok(ScanOutcome { records, unterminated: in_quotes })
 }
 
 /// Infer the best column type for the raw string fields.
@@ -259,6 +407,62 @@ mod tests {
         assert!(read_csv_str("a,b\n1\n").is_err());
         assert!(read_csv_str("").is_err());
         assert!(read_csv_str("a\n\"unterminated\n").is_err());
+    }
+
+    #[test]
+    fn permissive_pads_short_records_with_nulls() {
+        let (df, report) = read_csv_str_permissive("a,b,c\n1,2,3\n4\n5,6,7\n").unwrap();
+        assert_eq!(df.num_rows(), 3);
+        assert_eq!(df.value(1, "a").unwrap(), Value::Int(4));
+        assert!(df.value(1, "b").unwrap().is_null());
+        assert!(df.value(1, "c").unwrap().is_null());
+        assert_eq!(report.len(), 1);
+        assert_eq!(report.issues[0].row, 3); // header is record 1
+        assert!(report.issues[0].reason.contains("1 fields, expected 3"));
+    }
+
+    #[test]
+    fn permissive_truncates_long_records() {
+        let (df, report) = read_csv_str_permissive("a,b\n1,2\n3,4,99,100\n").unwrap();
+        assert_eq!(df.num_rows(), 2);
+        assert_eq!(df.num_columns(), 2);
+        assert_eq!(df.value(1, "b").unwrap(), Value::Int(4));
+        assert_eq!(report.len(), 1);
+        assert!(report.issues[0].reason.contains("extra fields dropped"));
+    }
+
+    #[test]
+    fn permissive_closes_unterminated_quote() {
+        let (df, report) = read_csv_str_permissive("a,b\n1,\"unterminated\n").unwrap();
+        assert_eq!(df.num_rows(), 1);
+        assert_eq!(df.value(0, "b").unwrap(), Value::str("unterminated\n"));
+        assert_eq!(report.len(), 1);
+        assert!(report.issues[0].reason.contains("unterminated"));
+    }
+
+    #[test]
+    fn permissive_clean_file_matches_strict_with_empty_report() {
+        let text = "a,b\n1,x\n2,y\n";
+        let strict = read_csv_str(text).unwrap();
+        let (lenient, report) = read_csv_str_permissive(text).unwrap();
+        assert!(report.is_clean());
+        assert_eq!(format!("{report}"), "clean parse (no issues)");
+        assert_eq!(lenient.num_rows(), strict.num_rows());
+        assert_eq!(lenient.schema(), strict.schema());
+    }
+
+    #[test]
+    fn permissive_still_rejects_empty_input() {
+        assert!(read_csv_str_permissive("").is_err());
+    }
+
+    #[test]
+    fn report_display_lists_each_issue() {
+        let (_, report) = read_csv_str_permissive("a,b\n1\n2,3,4\n").unwrap();
+        let rendered = format!("{report}");
+        assert!(rendered.contains("2 malformed record(s)"));
+        assert!(rendered.contains("record 2:"));
+        assert!(rendered.contains("record 3:"));
     }
 
     #[test]

@@ -46,6 +46,7 @@ pub mod sql;
 pub mod value;
 
 pub use column::{Column, PrimitiveColumn, StrColumn};
+pub use csv::{ParseIssue, ParseReport};
 pub use error::{Error, Result};
 pub use expr::{col, Expr};
 pub use frame::{DataFrame, DataFrameBuilder};

@@ -1,5 +1,7 @@
 //! Runtime configuration for the Lux engine.
 
+use std::time::Duration;
+
 /// Global knobs controlling recommendation generation and the three
 /// optimizations, matching the experimental conditions of the paper (§9.1):
 /// `no-opt`, `wflow`, `wflow+prune`, and `all-opt` are all expressible by
@@ -31,6 +33,19 @@ pub struct LuxConfig {
     /// running the in-crate SQL engine instead of the native kernels
     /// (paper §7's relational-database execution path).
     pub sql_backend: bool,
+    /// Base wall-clock budget per action. The cost model scales it by the
+    /// action's estimated cost (`CostModel::time_budget`); expiry degrades
+    /// the action to sample-approximated partial results, and on the
+    /// streaming path a hard cutoff at `action_budget x
+    /// CostModel::HARD_CUTOFF_FACTOR` abandons hung workers. `None` disables
+    /// deadlines entirely.
+    pub action_budget: Option<Duration>,
+    /// Consecutive failures after which an action's circuit breaker opens
+    /// and the action is skipped.
+    pub breaker_threshold: u32,
+    /// Fresh recommendation frames an open breaker waits before half-open
+    /// re-probing the action.
+    pub breaker_cooldown: u64,
 }
 
 impl Default for LuxConfig {
@@ -46,6 +61,9 @@ impl Default for LuxConfig {
             max_filter_expansions: 24,
             max_bars: 15,
             sql_backend: false,
+            action_budget: Some(Duration::from_secs(2)),
+            breaker_threshold: 3,
+            breaker_cooldown: 2,
         }
     }
 }
@@ -89,5 +107,13 @@ mod tests {
         assert!(all.wflow && all.prune && all.r#async);
         assert_eq!(all.top_k, 15);
         assert_eq!(all.sample_cap, 30_000);
+    }
+
+    #[test]
+    fn fault_defaults_are_bounded() {
+        let c = LuxConfig::default();
+        assert!(c.action_budget.is_some());
+        assert!(c.breaker_threshold >= 1);
+        assert!(c.breaker_cooldown >= 1);
     }
 }

@@ -5,7 +5,11 @@
 //! coefficient times the number of input rows (plus a cardinality term for
 //! group-bys). The ASYNC optimization sums these per action to schedule the
 //! cheapest action first, and the PRUNE optimization uses the same model to
-//! decide whether two-pass approximation pays off.
+//! decide whether two-pass approximation pays off. The fault layer reuses
+//! the same estimates to set per-action wall-clock budgets
+//! ([`CostModel::time_budget`]).
+
+use std::time::Duration;
 
 /// The primary relational operation classes of Table 2.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -82,6 +86,29 @@ impl Default for CostModel {
 }
 
 impl CostModel {
+    /// Abstract cost treated as "one base budget's worth of work" when
+    /// converting estimates into wall-clock budgets: roughly one
+    /// full-sample-sized action (30k rows x ~15 candidates x ~2 cost units).
+    pub const REFERENCE_COST: f64 = 1_000_000.0;
+
+    /// Budget scale ceiling, and the multiple of the base budget at which
+    /// the streaming executor's hard cutoff abandons a hung worker.
+    pub const HARD_CUTOFF_FACTOR: u32 = 4;
+
+    /// Convert an action's abstract cost estimate into a wall-clock budget:
+    /// the base budget scaled linearly with estimated cost, clamped to
+    /// `[1, HARD_CUTOFF_FACTOR] x base` so cheap actions get the full base
+    /// and no cooperative deadline ever exceeds the hard cutoff.
+    pub fn time_budget(&self, estimated_cost: f64, base: Duration) -> Duration {
+        let scale = estimated_cost / Self::REFERENCE_COST;
+        let scale = if scale.is_finite() {
+            scale.clamp(1.0, Self::HARD_CUTOFF_FACTOR as f64)
+        } else {
+            Self::HARD_CUTOFF_FACTOR as f64
+        };
+        base.mul_f64(scale)
+    }
+
     /// Estimated cost of one visualization: `rows` input rows producing
     /// `groups` output rows (0 for selections).
     pub fn vis_cost(&self, class: OpClass, rows: usize, groups: usize) -> f64 {
@@ -156,6 +183,21 @@ mod tests {
         assert!(!m.prune_worthwhile(10, 15, OpClass::Selection2, 1_000_000, 30_000, 0));
         // sample as large as data: not worthwhile
         assert!(!m.prune_worthwhile(100, 15, OpClass::Selection2, 20_000, 30_000, 0));
+    }
+
+    #[test]
+    fn time_budget_scales_and_clamps() {
+        let m = CostModel::default();
+        let base = Duration::from_millis(100);
+        // cheap action: full base budget, never less
+        assert_eq!(m.time_budget(0.0, base), base);
+        assert_eq!(m.time_budget(CostModel::REFERENCE_COST / 10.0, base), base);
+        // double the reference cost: double the budget
+        assert_eq!(m.time_budget(2.0 * CostModel::REFERENCE_COST, base), 2 * base);
+        // clamped at the hard-cutoff multiple, even for absurd estimates
+        let max = base * CostModel::HARD_CUTOFF_FACTOR;
+        assert_eq!(m.time_budget(1e18, base), max);
+        assert_eq!(m.time_budget(f64::MAX, base), max);
     }
 
     #[test]

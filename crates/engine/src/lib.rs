@@ -19,8 +19,10 @@ pub mod config;
 pub mod cost;
 pub mod metadata;
 pub mod sample;
+pub mod sync;
 
 pub use config::LuxConfig;
 pub use cost::{CostModel, OpClass};
 pub use metadata::{ColumnMeta, FrameMeta, SemanticType};
 pub use sample::{CachedSample, DEFAULT_SAMPLE_CAP};
+pub use sync::lock_recover;

@@ -4,10 +4,11 @@
 //! of the same dataframe approximate against the same sample instead of
 //! re-sampling (§8.2: "Lux leverages a cached sample of the dataframe").
 
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 use lux_dataframe::prelude::*;
-use parking_lot::Mutex;
+
+use crate::sync::lock_recover;
 
 /// Default sample cap from the paper's experiments (§9.1).
 pub const DEFAULT_SAMPLE_CAP: usize = 30_000;
@@ -37,7 +38,7 @@ impl CachedSample {
 
     /// The cached sample of `df`, computing it on first use.
     pub fn get(&self, df: &DataFrame) -> Arc<DataFrame> {
-        let mut guard = self.cache.lock();
+        let mut guard = lock_recover(&self.cache);
         if let Some(sample) = guard.as_ref() {
             return Arc::clone(sample);
         }
@@ -52,12 +53,12 @@ impl CachedSample {
 
     /// Drop the cached sample (called when the underlying frame changes).
     pub fn invalidate(&self) {
-        *self.cache.lock() = None;
+        *lock_recover(&self.cache) = None;
     }
 
     /// True when a sample has been materialized.
     pub fn is_cached(&self) -> bool {
-        self.cache.lock().is_some()
+        lock_recover(&self.cache).is_some()
     }
 }
 

@@ -1,0 +1,38 @@
+//! Poison-tolerant locking helpers.
+//!
+//! The fault-tolerance layer (see `lux-recs::fault`) guarantees that a
+//! panicking action cannot take down a recommendation pass. Action panics
+//! are caught on the worker that raised them, but a panic elsewhere while a
+//! `std::sync::Mutex` is held would poison the lock and turn every later
+//! `.lock().unwrap()` into a cascading panic — exactly the failure
+//! amplification the fault model forbids. All engine/core state guarded by
+//! mutexes (WFLOW caches, cached samples, session logs, breaker state) is a
+//! plain value that is never left in a torn state across a panic point, so
+//! recovering the guard from a poisoned lock is sound here.
+
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+/// Acquire `m`, recovering the guard if a previous holder panicked.
+pub fn lock_recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    #[test]
+    fn recovers_after_poisoning_panic() {
+        let m = Mutex::new(7usize);
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _guard = m.lock().unwrap();
+            panic!("poison it");
+        }));
+        assert!(caught.is_err());
+        assert!(m.is_poisoned());
+        assert_eq!(*lock_recover(&m), 7);
+        *lock_recover(&m) = 8;
+        assert_eq!(*lock_recover(&m), 8);
+    }
+}

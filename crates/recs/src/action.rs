@@ -114,6 +114,11 @@ pub struct ActionResult {
     pub estimated_cost: f64,
     /// Wall time spent generating + processing, in seconds.
     pub elapsed: f64,
+    /// True when the action's deadline expired and these are partial,
+    /// sample-approximated results (see `lux-recs::fault`).
+    pub degraded: bool,
+    /// Why the result is degraded, when it is.
+    pub degraded_reason: Option<String>,
 }
 
 impl ActionResult {
@@ -129,6 +134,10 @@ impl ActionResult {
 #[derive(Default)]
 pub struct ActionRegistry {
     actions: Vec<Arc<dyn Action>>,
+    /// Per-action failure tracking shared by every pass over this registry
+    /// (and, via the `Arc`, by derived frames that clone the registry
+    /// handle). See `lux-recs::fault::CircuitBreaker`.
+    breaker: Arc<crate::fault::CircuitBreaker>,
 }
 
 impl ActionRegistry {
@@ -176,6 +185,11 @@ impl ActionRegistry {
     /// Actions whose trigger fires for the given context.
     pub fn applicable(&self, ctx: &ActionContext<'_>) -> Vec<Arc<dyn Action>> {
         self.actions.iter().filter(|a| a.applies(ctx)).cloned().collect()
+    }
+
+    /// The circuit breaker tracking this registry's action failures.
+    pub fn breaker(&self) -> &Arc<crate::fault::CircuitBreaker> {
+        &self.breaker
     }
 }
 

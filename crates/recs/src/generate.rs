@@ -1,7 +1,20 @@
 //! Recommendation generation: runs the applicable actions over a dataframe,
 //! applying the PRUNE optimization inside each action and the ASYNC
 //! cost-based schedule across actions (paper §8.2).
+//!
+//! Every action runs under the fault model of [`crate::fault`]: generation,
+//! scoring, and processing are panic-isolated; each action gets a wall-clock
+//! budget derived from its cost estimate (`LuxConfig::action_budget` scaled
+//! by `CostModel::time_budget`) with cooperative checks between steps and —
+//! on the owned/streaming path — a hard cutoff that abandons hung workers;
+//! and a per-action circuit breaker skips actions that keep failing, with a
+//! half-open re-probe after a cooldown of fresh frames. One misbehaving
+//! action can therefore never take down a recommendation pass: every healthy
+//! action's results are still served, and the per-action health ledger in
+//! [`RunReport`] says what happened to the rest.
 
+use std::collections::HashSet;
+use std::sync::mpsc;
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -12,6 +25,10 @@ use lux_engine::LuxConfig;
 use lux_vis::{Channel, Vis, VisList, VisSpec};
 
 use crate::action::{Action, ActionContext, ActionRegistry, ActionResult, Candidate};
+use crate::fault::{
+    isolate, ActionError, ActionHealth, ActionStatus, BreakerDecision, CircuitBreaker, Deadline,
+    RunReport,
+};
 
 /// Estimate `(rows, groups)` for costing one spec against frame metadata.
 /// "Groups" is the output cardinality of the primary relational operation
@@ -56,158 +73,331 @@ fn estimate_action(
     }))
 }
 
-/// Execute one action end-to-end: generate, score (approximately when PRUNE
-/// applies), rank, keep top-k, and process the survivors exactly.
+/// Run `action.generate` under panic isolation, folding generation errors
+/// into the [`ActionError`] taxonomy.
+fn generate_isolated(
+    action: &dyn Action,
+    ctx: &ActionContext<'_>,
+) -> std::result::Result<Vec<Candidate>, ActionError> {
+    match isolate(action.name(), || action.generate(ctx)) {
+        Ok(Ok(candidates)) => Ok(candidates),
+        Ok(Err(e)) => Err(ActionError::Generation(e.to_string())),
+        Err(panic) => Err(panic),
+    }
+}
+
+/// Score, rank, and process pre-generated candidates under the fault model:
+/// panic isolation around every call into the action, a cooperative deadline
+/// between scoring/processing steps, and the degraded path (sample-backed
+/// partial results, `degraded: true`) once the deadline expires.
+fn execute_prepared(
+    action: &dyn Action,
+    ctx: &ActionContext<'_>,
+    sample: Option<&DataFrame>,
+    model: &CostModel,
+    candidates: Vec<Candidate>,
+) -> std::result::Result<Option<ActionResult>, ActionError> {
+    let start = Instant::now();
+    if candidates.is_empty() {
+        return Ok(None);
+    }
+    let opts = ctx.process_options();
+    let estimated_cost = estimate_action(&candidates, ctx.meta, ctx.df.num_rows(), model);
+    let k = ctx.config.top_k;
+    let total = candidates.len();
+
+    // The budget is proportional to how expensive the cost model predicts
+    // this action to be — cheap actions get the base budget, heavyweight
+    // ones up to the hard-cutoff multiple of it.
+    let deadline = match ctx.config.action_budget {
+        Some(base) => Deadline::after(model.time_budget(estimated_cost, base)),
+        None => Deadline::none(),
+    };
+
+    // PRUNE gate: approximate only when the cost model predicts a win and a
+    // genuinely smaller sample exists (paper: "apply prune for any action
+    // where the number of visualizations exceeds k", subject to the model).
+    // The sample is bound in the same match that decides to prune, so the
+    // "prune without a sample" state is unrepresentable.
+    let rep_class = candidates[0].spec.op_class();
+    let (rep_rows, rep_groups) = estimate_spec(&candidates[0].spec, ctx.meta, ctx.df.num_rows());
+    let prune_sample: Option<&DataFrame> = match sample {
+        Some(s)
+            if ctx.config.prune
+                && total > k
+                && model.prune_worthwhile(total, k, rep_class, rep_rows, s.num_rows(), rep_groups) =>
+        {
+            Some(s)
+        }
+        _ => None,
+    };
+
+    // First pass: score every candidate (on the sample when PRUNE applies),
+    // checking the deadline cooperatively between candidates.
+    let mut scored: Vec<(Candidate, f64, bool)> = Vec::with_capacity(total);
+    let mut degraded_reason: Option<String> = None;
+    for cand in candidates {
+        if deadline.expired() {
+            degraded_reason = Some(format!(
+                "budget {:?} exhausted after scoring {}/{} candidates",
+                deadline.budget(),
+                scored.len(),
+                total
+            ));
+            break;
+        }
+        // Candidates pinned to their own frame (history/structure actions)
+        // are scored on that frame; others use the sample when pruning.
+        let (frame, approx): (&DataFrame, bool) = match (&cand.frame, prune_sample) {
+            (Some(f), _) => (f, false),
+            (None, Some(s)) => (s, true),
+            (None, None) => (ctx.df, false),
+        };
+        let score = isolate(action.name(), || action.score(&cand.spec, frame, &opts))?;
+        scored.push((cand, score, approx));
+    }
+    if scored.is_empty() {
+        // Deadline hit before anything was scored: nothing servable.
+        return Err(ActionError::TimedOut { budget: deadline.budget(), completed: 0, total });
+    }
+    scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+    scored.truncate(k);
+
+    // Second pass: recompute approximate scores exactly and process the
+    // top-k on the full frame — until the deadline expires, after which the
+    // remaining survivors are served degraded: approximate score kept,
+    // processed against the (cheap) sample so there is still data to draw.
+    let mut visses: Vec<Vis> = Vec::with_capacity(scored.len());
+    let mut last_processing_error: Option<String> = None;
+    for (cand, score, approx) in scored {
+        if degraded_reason.is_none() && deadline.expired() {
+            degraded_reason = Some(format!(
+                "budget {:?} exhausted during exact processing; remaining results are sample-approximated",
+                deadline.budget()
+            ));
+        }
+        let Candidate { spec, frame: pinned } = cand;
+        if degraded_reason.is_none() {
+            let frame: &DataFrame = pinned.as_deref().unwrap_or(ctx.df);
+            let processed = isolate(action.name(), || -> Result<Vis> {
+                let exact = if approx { action.score(&spec, frame, &opts) } else { score };
+                let mut vis = Vis::new(spec);
+                vis.score = exact;
+                vis.approximate = false;
+                vis.process(frame, &opts)?;
+                Ok(vis)
+            })?;
+            match processed {
+                Ok(vis) => visses.push(vis),
+                // fail-safe: drop the broken vis, keep the rest
+                Err(e) => last_processing_error = Some(e.to_string()),
+            }
+        } else {
+            // Degraded path: best-effort processing against the pinned
+            // frame or the sample; score-only (no data) when neither works.
+            let mut vis = Vis::new(spec);
+            vis.score = score;
+            vis.approximate = true;
+            if let Some(frame) = pinned.as_deref().or(sample) {
+                let _ = isolate(action.name(), || vis.process(frame, &opts));
+            }
+            visses.push(vis);
+        }
+    }
+    if visses.is_empty() {
+        return Err(ActionError::Processing(last_processing_error.unwrap_or_else(|| {
+            "every candidate failed processing".to_string()
+        })));
+    }
+    let mut vislist = VisList::new(visses);
+    vislist.rank();
+
+    Ok(Some(ActionResult {
+        action: action.name().to_string(),
+        class: action.class(),
+        vislist,
+        estimated_cost,
+        elapsed: start.elapsed().as_secs_f64(),
+        degraded: degraded_reason.is_some(),
+        degraded_reason,
+    }))
+}
+
+/// Execute one action end-to-end under the fault model: generate, score
+/// (approximately when PRUNE applies), rank, keep top-k, and process the
+/// survivors exactly. `Ok(None)` means the action generated no candidates
+/// (an invisible empty tab, not a fault).
+pub fn execute_action_guarded(
+    action: &dyn Action,
+    ctx: &ActionContext<'_>,
+    sample: Option<&DataFrame>,
+    model: &CostModel,
+) -> std::result::Result<Option<ActionResult>, ActionError> {
+    let candidates = generate_isolated(action, ctx)?;
+    execute_prepared(action, ctx, sample, model, candidates)
+}
+
+/// Fault-blind convenience wrapper around [`execute_action_guarded`]:
+/// failures of any kind collapse to `None`.
 pub fn execute_action(
     action: &dyn Action,
     ctx: &ActionContext<'_>,
     sample: Option<&DataFrame>,
     model: &CostModel,
 ) -> Option<ActionResult> {
-    let start = Instant::now();
-    let opts = ctx.process_options();
-    let candidates = action.generate(ctx).ok()?;
-    if candidates.is_empty() {
-        return None;
-    }
-    let estimated_cost = estimate_action(&candidates, ctx.meta, ctx.df.num_rows(), model);
-    let k = ctx.config.top_k;
-
-    // PRUNE gate: approximate only when the cost model predicts a win and a
-    // genuinely smaller sample exists (paper: "apply prune for any action
-    // where the number of visualizations exceeds k", subject to the model).
-    let sample_rows = sample.map_or(usize::MAX, DataFrame::num_rows);
-    let rep_class = candidates[0].spec.op_class();
-    let (rep_rows, rep_groups) = estimate_spec(&candidates[0].spec, ctx.meta, ctx.df.num_rows());
-    let use_prune = ctx.config.prune
-        && sample.is_some()
-        && candidates.len() > k
-        && model.prune_worthwhile(candidates.len(), k, rep_class, rep_rows, sample_rows, rep_groups);
-
-    let mut scored: Vec<(Candidate, f64, bool)> = Vec::with_capacity(candidates.len());
-    for cand in candidates {
-        // Candidates pinned to their own frame (history/structure actions)
-        // are scored on that frame; others use the sample when pruning.
-        let (frame, approx): (&DataFrame, bool) = match (&cand.frame, use_prune) {
-            (Some(f), _) => (f, false),
-            (None, true) => (sample.expect("use_prune implies sample"), true),
-            (None, false) => (ctx.df, false),
-        };
-        let score = action.score(&cand.spec, frame, &opts);
-        scored.push((cand, score, approx));
-    }
-    scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
-    scored.truncate(k);
-
-    // Second pass: recompute approximate scores exactly for the top-k.
-    let mut visses: Vec<Vis> = Vec::with_capacity(scored.len());
-    for (cand, score, approx) in scored {
-        let frame: &DataFrame = cand.frame.as_deref().unwrap_or(ctx.df);
-        let exact = if approx { action.score(&cand.spec, frame, &opts) } else { score };
-        let mut vis = Vis::new(cand.spec);
-        vis.score = exact;
-        vis.approximate = false;
-        if vis.process(frame, &opts).is_err() {
-            continue; // fail-safe: drop broken vis, keep the rest
-        }
-        visses.push(vis);
-    }
-    if visses.is_empty() {
-        return None;
-    }
-    let mut vislist = VisList::new(visses);
-    vislist.rank();
-
-    Some(ActionResult {
-        action: action.name().to_string(),
-        class: action.class(),
-        vislist,
-        estimated_cost,
-        elapsed: start.elapsed().as_secs_f64(),
-    })
+    execute_action_guarded(action, ctx, sample, model).ok().flatten()
 }
 
-/// Run every applicable action. With `config.async` the actions run on
-/// worker threads scheduled cheapest-first and `on_result` fires as each
-/// completes (streaming, as in the paper); otherwise they run sequentially
-/// cheapest-first. The returned list is ordered by estimated cost.
-pub fn run_actions(
+/// Fold one guarded-execution outcome into the report, the breaker, and the
+/// caller's streaming callback.
+fn absorb_outcome(
+    name: &str,
+    outcome: std::result::Result<Option<ActionResult>, ActionError>,
+    report: &mut RunReport,
+    breaker: &CircuitBreaker,
+    threshold: u32,
+    on_result: &mut Option<&mut dyn FnMut(&ActionResult)>,
+) {
+    match outcome {
+        Ok(Some(result)) => {
+            // Degraded still counts as delivery for the breaker: the action
+            // is healthy, the budget was just too tight for exact results.
+            breaker.record_success(name);
+            let status = match &result.degraded_reason {
+                Some(reason) if result.degraded => ActionStatus::Degraded(reason.clone()),
+                _ if result.degraded => ActionStatus::Degraded("partial results".to_string()),
+                _ => ActionStatus::Ok,
+            };
+            report.health.push(ActionHealth::new(name, status));
+            if let Some(cb) = on_result.as_deref_mut() {
+                cb(&result);
+            }
+            report.results.push(result);
+        }
+        // No candidates: not a fault, and (as before the fault layer) not a
+        // visible tab either — no health entry.
+        Ok(None) => breaker.record_success(name),
+        Err(err) => {
+            let reason = err.to_string();
+            breaker.record_failure(name, &reason, threshold);
+            report.health.push(ActionHealth::new(name, ActionStatus::Failed(reason)));
+        }
+    }
+}
+
+/// Run every applicable action under the fault model and return both the
+/// healthy results and the per-action health ledger.
+///
+/// With `config.async` the actions run on scoped worker threads scheduled
+/// cheapest-first and `on_result` fires as each completes (streaming, as in
+/// the paper); otherwise they run sequentially cheapest-first. Results are
+/// ordered by estimated cost. Note the scoped (borrowing) path has panic
+/// isolation and cooperative deadlines but no hard cutoff — an action that
+/// blocks inside one call can delay the pass; the owned path
+/// ([`run_actions_streaming`]) additionally abandons hung workers.
+pub fn run_actions_report(
     registry: &ActionRegistry,
     ctx: &ActionContext<'_>,
     sample: Option<&DataFrame>,
     mut on_result: Option<&mut dyn FnMut(&ActionResult)>,
-) -> Vec<ActionResult> {
+) -> RunReport {
     let model = CostModel::default();
-    let actions = registry.applicable(ctx);
-    if actions.is_empty() {
-        return Vec::new();
+    let breaker = registry.breaker();
+    breaker.begin_frame();
+    let threshold = ctx.config.breaker_threshold;
+    let mut report = RunReport::default();
+
+    // Breaker gate, then one isolated generation pass per action: the
+    // candidates drive both the cheapest-first schedule and execution (so
+    // generation runs exactly once per action per pass).
+    let mut prepared: Vec<(Arc<dyn Action>, Vec<Candidate>, f64)> = Vec::new();
+    for action in registry.applicable(ctx) {
+        match breaker.decision(action.name(), ctx.config.breaker_cooldown) {
+            BreakerDecision::Skip(reason) => {
+                report
+                    .health
+                    .push(ActionHealth::new(action.name(), ActionStatus::Disabled(reason)));
+                continue;
+            }
+            BreakerDecision::Run | BreakerDecision::Probe => {}
+        }
+        match generate_isolated(action.as_ref(), ctx) {
+            Ok(candidates) if candidates.is_empty() => breaker.record_success(action.name()),
+            Ok(candidates) => {
+                let cost = estimate_action(&candidates, ctx.meta, ctx.df.num_rows(), &model);
+                prepared.push((action, candidates, cost));
+            }
+            Err(err) => {
+                let reason = err.to_string();
+                breaker.record_failure(action.name(), &reason, threshold);
+                report.health.push(ActionHealth::new(action.name(), ActionStatus::Failed(reason)));
+            }
+        }
     }
+    prepared.sort_by(|a, b| a.2.partial_cmp(&b.2).unwrap_or(std::cmp::Ordering::Equal));
 
-    // Pre-generate candidates once to estimate costs for scheduling.
-    // (Generation is cheap — it's metadata-only; processing dominates.)
-    let mut with_cost: Vec<(Arc<dyn Action>, f64)> = actions
-        .into_iter()
-        .map(|a| {
-            let cost = a
-                .generate(ctx)
-                .map(|c| estimate_action(&c, ctx.meta, ctx.df.num_rows(), &model))
-                .unwrap_or(f64::MAX);
-            (a, cost)
-        })
-        .collect();
-    with_cost.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
-
-    let mut results: Vec<ActionResult> = Vec::new();
-    if ctx.config.r#async && with_cost.len() > 1 {
+    if ctx.config.r#async && prepared.len() > 1 {
         // Cheapest-first dispatch onto scoped workers; results stream back
         // in completion order (cheap actions come back while laggards run).
-        let (tx, rx) = crossbeam::channel::unbounded::<ActionResult>();
-        crossbeam::thread::scope(|scope| {
-            for (action, _) in &with_cost {
+        type Outcome = std::result::Result<Option<ActionResult>, ActionError>;
+        let (tx, rx) = mpsc::channel::<(String, Outcome)>();
+        let model_ref = &model;
+        std::thread::scope(|scope| {
+            for (action, candidates, _) in prepared {
                 let tx = tx.clone();
-                let action = Arc::clone(action);
-                let model = &model;
-                scope.spawn(move |_| {
-                    if let Some(r) = execute_action(action.as_ref(), ctx, sample, model) {
-                        let _ = tx.send(r);
-                    }
+                scope.spawn(move || {
+                    let outcome =
+                        execute_prepared(action.as_ref(), ctx, sample, model_ref, candidates);
+                    let _ = tx.send((action.name().to_string(), outcome));
                 });
             }
             drop(tx);
-            while let Ok(r) = rx.recv() {
-                if let Some(cb) = on_result.as_deref_mut() {
-                    cb(&r);
-                }
-                results.push(r);
+            while let Ok((name, outcome)) = rx.recv() {
+                absorb_outcome(&name, outcome, &mut report, breaker, threshold, &mut on_result);
             }
-        })
-        .expect("action worker panicked");
+        });
     } else {
-        for (action, _) in &with_cost {
-            if let Some(r) = execute_action(action.as_ref(), ctx, sample, &model) {
-                if let Some(cb) = on_result.as_deref_mut() {
-                    cb(&r);
-                }
-                results.push(r);
-            }
+        for (action, candidates, _) in prepared {
+            let outcome = execute_prepared(action.as_ref(), ctx, sample, &model, candidates);
+            absorb_outcome(
+                action.name(),
+                outcome,
+                &mut report,
+                breaker,
+                threshold,
+                &mut on_result,
+            );
         }
     }
 
     // Deterministic display order: cheapest action first.
-    results.sort_by(|a, b| {
+    report.results.sort_by(|a, b| {
         a.estimated_cost
             .partial_cmp(&b.estimated_cost)
             .unwrap_or(std::cmp::Ordering::Equal)
     });
-    results
+    report
+}
+
+/// Run every applicable action, returning only the healthy results (the
+/// pre-fault-layer surface; health is discarded).
+pub fn run_actions(
+    registry: &ActionRegistry,
+    ctx: &ActionContext<'_>,
+    sample: Option<&DataFrame>,
+    on_result: Option<&mut dyn FnMut(&ActionResult)>,
+) -> Vec<ActionResult> {
+    run_actions_report(registry, ctx, sample, on_result).results
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::action::ActionClass;
+    use crate::fault::{ChaosAction, ChaosMode};
     use crate::metadata_actions::Correlation;
     use std::collections::HashMap;
+    use std::time::Duration;
 
     fn fixture(rows: usize) -> (DataFrame, FrameMeta, LuxConfig) {
         let df = DataFrameBuilder::new()
@@ -233,6 +423,7 @@ mod tests {
         assert!(attrs.contains(&"a") && attrs.contains(&"b"));
         assert!((top.score - 1.0).abs() < 1e-9);
         assert!(top.data.is_some());
+        assert!(!r.degraded);
     }
 
     #[test]
@@ -306,6 +497,83 @@ mod tests {
         // final scores are exact (recomputed), so the perfect pair scores 1
         assert!((r.vislist.visualizations[0].score - 1.0).abs() < 1e-9);
     }
+
+    #[test]
+    fn panicking_action_becomes_failed_health_not_a_crash() {
+        let (df, meta, config) = fixture(40);
+        let ctx = ActionContext { df: &df, meta: &meta, intent: &[], intent_specs: &[], config: &config };
+        let mut registry = ActionRegistry::with_defaults();
+        registry.register(ChaosAction::new("Saboteur", ChaosMode::Panic));
+        let report = run_actions_report(&registry, &ctx, None, None);
+        assert!(report.results.iter().all(|r| r.action != "Saboteur"));
+        assert!(report.results.iter().any(|r| r.action == "Correlation"));
+        match report.status_of("Saboteur") {
+            Some(ActionStatus::Failed(reason)) => {
+                assert!(reason.contains("panicked"), "reason: {reason}")
+            }
+            other => panic!("expected Failed, got {other:?}"),
+        }
+        // healthy actions report Ok
+        assert!(matches!(report.status_of("Correlation"), Some(ActionStatus::Ok)));
+    }
+
+    #[test]
+    fn erroring_action_health_carries_generation_error() {
+        let (df, meta, config) = fixture(40);
+        let ctx = ActionContext { df: &df, meta: &meta, intent: &[], intent_specs: &[], config: &config };
+        let mut registry = ActionRegistry::new();
+        registry.register(ChaosAction::new("Erratic", ChaosMode::Error));
+        let report = run_actions_report(&registry, &ctx, None, None);
+        assert!(report.results.is_empty());
+        let status = report.status_of("Erratic").unwrap();
+        assert_eq!(status.name(), "failed");
+        assert!(status.reason().unwrap().contains("generation failed"));
+    }
+
+    #[test]
+    fn slow_action_times_out_degraded_with_partial_results() {
+        let (df, meta, mut config) = fixture(40);
+        config.action_budget = Some(Duration::from_millis(30));
+        config.r#async = false;
+        let ctx = ActionContext { df: &df, meta: &meta, intent: &[], intent_specs: &[], config: &config };
+        let mut registry = ActionRegistry::new();
+        registry.register(ChaosAction::new(
+            "Molasses",
+            ChaosMode::SlowScore { per_score: Duration::from_millis(10), candidates: 200 },
+        ));
+        let report = run_actions_report(&registry, &ctx, None, None);
+        let r = report.results.iter().find(|r| r.action == "Molasses").expect("partial results");
+        assert!(r.degraded);
+        assert!(r.degraded_reason.as_deref().unwrap().contains("budget"));
+        assert!(matches!(report.status_of("Molasses"), Some(ActionStatus::Degraded(_))));
+    }
+
+    #[test]
+    fn breaker_disables_repeat_offender_then_reprobes() {
+        let (df, meta, mut config) = fixture(20);
+        config.breaker_threshold = 2;
+        config.breaker_cooldown = 2;
+        config.r#async = false;
+        let ctx = ActionContext { df: &df, meta: &meta, intent: &[], intent_specs: &[], config: &config };
+        let mut registry = ActionRegistry::new();
+        // fails twice (tripping the breaker), then recovers
+        registry.register(ChaosAction::scripted(
+            "Flaky",
+            vec![ChaosMode::Panic, ChaosMode::Panic, ChaosMode::Healthy],
+        ));
+        // frames 1-2: failures
+        for _ in 0..2 {
+            let report = run_actions_report(&registry, &ctx, None, None);
+            assert_eq!(report.status_of("Flaky").unwrap().name(), "failed");
+        }
+        // frame 3: breaker open -> disabled without running
+        let report = run_actions_report(&registry, &ctx, None, None);
+        assert_eq!(report.status_of("Flaky").unwrap().name(), "disabled");
+        // frame 4: cooldown elapsed -> half-open probe runs and succeeds
+        let report = run_actions_report(&registry, &ctx, None, None);
+        assert_eq!(report.status_of("Flaky").unwrap().name(), "ok");
+        assert!(report.results.iter().any(|r| r.action == "Flaky"));
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -314,6 +582,7 @@ mod tests {
 
 /// Owned inputs for background execution (everything `Arc`'d so worker
 /// threads outlive the caller's borrows).
+#[derive(Clone)]
 pub struct OwnedContext {
     pub df: Arc<DataFrame>,
     pub meta: Arc<FrameMeta>,
@@ -323,120 +592,218 @@ pub struct OwnedContext {
     pub sample: Option<Arc<DataFrame>>,
 }
 
+impl OwnedContext {
+    fn action_context(&self) -> ActionContext<'_> {
+        ActionContext {
+            df: &self.df,
+            meta: &self.meta,
+            intent: &self.intent,
+            intent_specs: &self.intent_specs,
+            config: &self.config,
+        }
+    }
+}
+
 /// A recommendation run streaming results from background workers.
 ///
 /// This is the ASYNC optimization as the user experiences it (paper §8.2):
 /// "recommendation results can be streamed into the frontend widget as the
 /// computation for each action completes ... instead of incurring a high
-/// wait time". Dropping the handle detaches the workers; they finish and
-/// their sends fail harmlessly.
+/// wait time". Results arrive on one channel, per-action health on another;
+/// a collector thread enforces the hard wall-clock cutoff — workers that
+/// outlive it are abandoned (they finish on their own and their sends fail
+/// harmlessly) and reported as failed. Dropping the handle likewise
+/// detaches everything cleanly.
 pub struct StreamingRun {
-    rx: crossbeam::channel::Receiver<ActionResult>,
+    results: mpsc::Receiver<ActionResult>,
+    health: mpsc::Receiver<ActionHealth>,
     expected: usize,
 }
 
 impl StreamingRun {
     /// Receive the next completed action (blocks). `None` once all done.
     pub fn next_result(&self) -> Option<ActionResult> {
-        self.rx.recv().ok()
+        self.results.recv().ok()
     }
 
     /// Non-blocking poll.
     pub fn try_next(&self) -> Option<ActionResult> {
-        self.rx.try_recv().ok()
+        self.results.try_recv().ok()
     }
 
-    /// How many actions were dispatched.
+    /// Receive the next health entry (blocks; entries arrive as actions
+    /// settle). `None` once the run is complete.
+    pub fn next_health(&self) -> Option<ActionHealth> {
+        self.health.recv().ok()
+    }
+
+    /// Non-blocking health poll.
+    pub fn try_next_health(&self) -> Option<ActionHealth> {
+        self.health.try_recv().ok()
+    }
+
+    /// How many actions were dispatched (disabled actions are not).
     pub fn expected(&self) -> usize {
         self.expected
     }
 
-    /// Drain every remaining result (blocks until all workers finish).
-    pub fn collect_all(self) -> Vec<ActionResult> {
-        let mut out: Vec<ActionResult> = self.rx.iter().collect();
-        out.sort_by(|a, b| {
+    /// Drain everything (blocks until all workers finish or the hard cutoff
+    /// abandons them) and return results plus the health ledger.
+    pub fn collect_report(self) -> RunReport {
+        let mut results: Vec<ActionResult> = self.results.iter().collect();
+        results.sort_by(|a, b| {
             a.estimated_cost.partial_cmp(&b.estimated_cost).unwrap_or(std::cmp::Ordering::Equal)
         });
-        out
+        let health = self.health.iter().collect();
+        RunReport { results, health }
+    }
+
+    /// Drain every remaining result (blocks until all workers finish).
+    pub fn collect_all(self) -> Vec<ActionResult> {
+        self.collect_report().results
     }
 }
 
-/// Dispatch every applicable action onto detached worker threads,
-/// cheapest-first, returning immediately with a [`StreamingRun`]. Control
-/// returns to the caller as soon as dispatch completes; results arrive in
-/// completion order (cheap actions first by construction).
+/// Dispatch every applicable action onto its own detached worker thread,
+/// returning immediately with a [`StreamingRun`]. Results arrive in
+/// completion order — cheap actions naturally finish first, giving the
+/// paper's cheapest-first experience without blocking dispatch on a
+/// cost pre-pass (which would re-introduce a hang window: on this path even
+/// `generate` runs on the worker, so a hung action cannot stall the caller).
+///
+/// A detached collector enforces the hard cutoff at
+/// `action_budget × CostModel::HARD_CUTOFF_FACTOR`: actions still running
+/// then are abandoned, reported as failed, and charged to their breaker.
 pub fn run_actions_streaming(registry: &ActionRegistry, owned: OwnedContext) -> StreamingRun {
-    let model = CostModel::default();
-    // Estimate costs for the schedule (borrowing context briefly).
-    let specs_ref: &[VisSpec] = &owned.intent_specs;
-    let ctx = ActionContext {
-        df: &owned.df,
-        meta: &owned.meta,
-        intent: &owned.intent,
-        intent_specs: specs_ref,
-        config: &owned.config,
-    };
-    let mut with_cost: Vec<(Arc<dyn Action>, f64)> = registry
-        .applicable(&ctx)
-        .into_iter()
-        .map(|a| {
-            let cost = a
-                .generate(&ctx)
-                .map(|c| estimate_action(&c, &owned.meta, owned.df.num_rows(), &model))
-                .unwrap_or(f64::MAX);
-            (a, cost)
-        })
-        .collect();
-    with_cost.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
+    let breaker = Arc::clone(registry.breaker());
+    breaker.begin_frame();
+    let threshold = owned.config.breaker_threshold;
+    let hard_budget = owned
+        .config
+        .action_budget
+        .map(|base| base * CostModel::HARD_CUTOFF_FACTOR);
 
-    let expected = with_cost.len();
-    let (tx, rx) = crossbeam::channel::unbounded::<ActionResult>();
-    // A shared cheapest-first queue drained by a small worker pool: cheap
-    // actions are guaranteed to be picked up before laggards.
-    let queue = Arc::new(crossbeam::queue::SegQueue::new());
-    for pair in with_cost {
-        queue.push(pair);
+    // Applicability checks and the breaker gate run on the caller: both are
+    // metadata-only (no user compute) and must see the registry borrow.
+    let mut pre_health: Vec<ActionHealth> = Vec::new();
+    let mut runnable: Vec<Arc<dyn Action>> = Vec::new();
+    {
+        let ctx = owned.action_context();
+        for action in registry.applicable(&ctx) {
+            match breaker.decision(action.name(), owned.config.breaker_cooldown) {
+                BreakerDecision::Skip(reason) => {
+                    pre_health
+                        .push(ActionHealth::new(action.name(), ActionStatus::Disabled(reason)));
+                }
+                BreakerDecision::Run | BreakerDecision::Probe => runnable.push(action),
+            }
+        }
     }
-    let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4).min(expected.max(1));
-    for _ in 0..workers {
-        let queue = Arc::clone(&queue);
-        let tx = tx.clone();
-        let owned = OwnedContext {
-            df: Arc::clone(&owned.df),
-            meta: Arc::clone(&owned.meta),
-            intent: Arc::clone(&owned.intent),
-            intent_specs: Arc::clone(&owned.intent_specs),
-            config: Arc::clone(&owned.config),
-            sample: owned.sample.clone(),
-        };
+
+    type Outcome = std::result::Result<Option<ActionResult>, ActionError>;
+    let (worker_tx, worker_rx) = mpsc::channel::<(String, Outcome)>();
+    let (results_tx, results_rx) = mpsc::channel::<ActionResult>();
+    let (health_tx, health_rx) = mpsc::channel::<ActionHealth>();
+    let expected = runnable.len();
+    let mut outstanding: HashSet<String> = HashSet::new();
+
+    for action in runnable {
+        outstanding.insert(action.name().to_string());
+        let owned = owned.clone();
+        let worker_tx = worker_tx.clone();
         std::thread::spawn(move || {
             let model = CostModel::default();
-            while let Some((action, _)) = queue.pop() {
-                let ctx = ActionContext {
-                    df: &owned.df,
-                    meta: &owned.meta,
-                    intent: &owned.intent,
-                    intent_specs: &owned.intent_specs,
-                    config: &owned.config,
-                };
-                if let Some(r) =
-                    execute_action(action.as_ref(), &ctx, owned.sample.as_deref(), &model)
-                {
-                    if tx.send(r).is_err() {
-                        return; // receiver dropped: stop quietly
-                    }
-                }
-            }
+            let ctx = owned.action_context();
+            let outcome =
+                execute_action_guarded(action.as_ref(), &ctx, owned.sample.as_deref(), &model);
+            let _ = worker_tx.send((action.name().to_string(), outcome));
         });
     }
-    StreamingRun { rx, expected }
+    drop(worker_tx);
+
+    // The collector owns the breaker bookkeeping so health stays correct
+    // even when the consumer drops the StreamingRun without draining it.
+    std::thread::spawn(move || {
+        for h in pre_health {
+            let _ = health_tx.send(h);
+        }
+        let cutoff = hard_budget.map(|b| Instant::now() + b);
+        while !outstanding.is_empty() {
+            let received = match cutoff {
+                Some(at) => {
+                    let Some(left) = at.checked_duration_since(Instant::now()).filter(|d| !d.is_zero())
+                    else {
+                        break; // hard cutoff reached
+                    };
+                    match worker_rx.recv_timeout(left) {
+                        Ok(msg) => Some(msg),
+                        Err(mpsc::RecvTimeoutError::Timeout) => break,
+                        Err(mpsc::RecvTimeoutError::Disconnected) => None,
+                    }
+                }
+                None => worker_rx.recv().ok(),
+            };
+            let Some((name, outcome)) = received else {
+                // a worker died without reporting (should be unreachable:
+                // all action code is isolated) — fall through to cleanup
+                break;
+            };
+            outstanding.remove(&name);
+            match outcome {
+                Ok(Some(result)) => {
+                    breaker.record_success(&name);
+                    let status = match &result.degraded_reason {
+                        Some(reason) if result.degraded => ActionStatus::Degraded(reason.clone()),
+                        _ if result.degraded => {
+                            ActionStatus::Degraded("partial results".to_string())
+                        }
+                        _ => ActionStatus::Ok,
+                    };
+                    let _ = health_tx.send(ActionHealth::new(&name, status));
+                    let _ = results_tx.send(result);
+                }
+                Ok(None) => breaker.record_success(&name),
+                Err(err) => {
+                    let reason = err.to_string();
+                    breaker.record_failure(&name, &reason, threshold);
+                    let _ = health_tx.send(ActionHealth::new(&name, ActionStatus::Failed(reason)));
+                }
+            }
+        }
+        // Anything still outstanding was hung (or its worker died): abandon
+        // it, charge its breaker, and surface the failure.
+        for name in outstanding {
+            let reason = match hard_budget {
+                Some(b) => format!("exceeded hard deadline ({b:?}); worker abandoned"),
+                None => "worker terminated without reporting".to_string(),
+            };
+            breaker.record_failure(&name, &reason, threshold);
+            let _ = health_tx.send(ActionHealth::new(&name, ActionStatus::Failed(reason)));
+        }
+    });
+
+    StreamingRun { results: results_rx, health: health_rx, expected }
 }
 
 #[cfg(test)]
 mod streaming_tests {
     use super::*;
     use crate::action::ActionRegistry;
+    use crate::fault::{ChaosAction, ChaosMode};
     use std::collections::HashMap;
+    use std::time::Duration;
+
+    fn owned_fixture(df: DataFrame, config: LuxConfig) -> OwnedContext {
+        let meta = FrameMeta::compute(&df, &HashMap::new());
+        OwnedContext {
+            df: Arc::new(df),
+            meta: Arc::new(meta),
+            intent: Arc::new(vec![]),
+            intent_specs: Arc::new(vec![]),
+            config: Arc::new(config),
+            sample: None,
+        }
+    }
 
     #[test]
     fn streaming_delivers_all_actions() {
@@ -446,23 +813,15 @@ mod streaming_tests {
             .str("g", (0..200).map(|i| if i % 2 == 0 { "x" } else { "y" }))
             .build()
             .unwrap();
-        let meta = FrameMeta::compute(&df, &HashMap::new());
         let registry = ActionRegistry::with_defaults();
-        let owned = OwnedContext {
-            df: Arc::new(df),
-            meta: Arc::new(meta),
-            intent: Arc::new(vec![]),
-            intent_specs: Arc::new(vec![]),
-            config: Arc::new(LuxConfig::default()),
-            sample: None,
-        };
-        let run = run_actions_streaming(&registry, owned);
+        let run = run_actions_streaming(&registry, owned_fixture(df, LuxConfig::default()));
         let expected = run.expected();
         assert!(expected >= 3);
-        let all = run.collect_all();
-        assert_eq!(all.len(), expected);
-        // ordered by estimated cost after collect_all
-        for w in all.windows(2) {
+        let report = run.collect_report();
+        assert_eq!(report.results.len(), expected);
+        assert!(report.health.iter().all(|h| h.status.is_ok()));
+        // ordered by estimated cost after collect
+        for w in report.results.windows(2) {
             assert!(w[0].estimated_cost <= w[1].estimated_cost);
         }
     }
@@ -470,18 +829,27 @@ mod streaming_tests {
     #[test]
     fn dropping_run_detaches_cleanly() {
         let df = DataFrameBuilder::new().float("a", (0..50).map(|i| i as f64)).build().unwrap();
-        let meta = FrameMeta::compute(&df, &HashMap::new());
         let registry = ActionRegistry::with_defaults();
-        let owned = OwnedContext {
-            df: Arc::new(df),
-            meta: Arc::new(meta),
-            intent: Arc::new(vec![]),
-            intent_specs: Arc::new(vec![]),
-            config: Arc::new(LuxConfig::default()),
-            sample: None,
-        };
-        let run = run_actions_streaming(&registry, owned);
+        let run = run_actions_streaming(&registry, owned_fixture(df, LuxConfig::default()));
         let _first = run.next_result();
         drop(run); // workers keep running; their sends fail silently
+    }
+
+    #[test]
+    fn hung_action_is_abandoned_at_hard_cutoff() {
+        let df = DataFrameBuilder::new().float("a", (0..50).map(|i| i as f64)).build().unwrap();
+        let mut config = LuxConfig::default();
+        config.action_budget = Some(Duration::from_millis(40));
+        let mut registry = ActionRegistry::with_defaults();
+        registry.register(ChaosAction::new("Sleeper", ChaosMode::Hang(Duration::from_secs(30))));
+        let start = std::time::Instant::now();
+        let report = run_actions_streaming(&registry, owned_fixture(df, config)).collect_report();
+        // returned in ~hard-cutoff time, not the 30 s hang
+        assert!(start.elapsed() < Duration::from_secs(5));
+        assert!(report.results.iter().all(|r| r.action != "Sleeper"));
+        assert!(report.results.iter().any(|r| r.action == "Distribution"));
+        let status = report.status_of("Sleeper").expect("health entry for hung action");
+        assert_eq!(status.name(), "failed");
+        assert!(status.reason().unwrap().contains("hard deadline"));
     }
 }

@@ -6,6 +6,7 @@
 //! action and ASYNC (cost-based cheapest-first scheduling) across actions.
 
 pub mod action;
+pub mod fault;
 pub mod generate;
 pub mod history_actions;
 pub mod intent_actions;
@@ -18,7 +19,13 @@ use std::sync::Arc;
 pub use action::{
     Action, ActionClass, ActionContext, ActionRegistry, ActionResult, Candidate, CustomAction,
 };
-pub use generate::{execute_action, run_actions};
+pub use fault::{
+    ActionError, ActionHealth, ActionStatus, ChaosAction, ChaosMode, CircuitBreaker, RunReport,
+};
+pub use generate::{
+    execute_action, execute_action_guarded, run_actions, run_actions_report,
+    run_actions_streaming, OwnedContext, StreamingRun,
+};
 
 /// Every default action of Table 1, in taxonomy order.
 pub fn default_actions() -> Vec<Arc<dyn Action>> {

@@ -1,0 +1,166 @@
+//! Fault isolation and graceful degradation, end to end: a registry laced
+//! with panicking, hanging, erroring, and garbage-producing actions must
+//! still deliver every healthy action's recommendations, flag degraded
+//! results, disable repeat offenders through the circuit breaker, and
+//! surface all of it through the health ledger and the widget.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use lux::prelude::*;
+use lux::recs::{ChaosAction, ChaosMode};
+
+/// A small frame with enough shape for the default overview actions.
+fn frame() -> DataFrame {
+    let n = 80;
+    DataFrameBuilder::new()
+        .float("price", (0..n).map(|i| 10.0 + (i % 17) as f64).collect::<Vec<_>>())
+        .float("size", (0..n).map(|i| (i * 7 % 23) as f64).collect::<Vec<_>>())
+        .str("kind", (0..n).map(|i| ["a", "b", "c"][i % 3]).collect::<Vec<_>>())
+        .build()
+        .unwrap()
+}
+
+fn statuses(ldf: &LuxDataFrame) -> Vec<(String, String)> {
+    ldf.action_health()
+        .iter()
+        .map(|h| (h.action.clone(), h.status.name().to_string()))
+        .collect()
+}
+
+fn status_of(ldf: &LuxDataFrame, action: &str) -> Option<String> {
+    statuses(ldf).into_iter().find(|(a, _)| a == action).map(|(_, s)| s)
+}
+
+#[test]
+fn healthy_actions_survive_a_chaotic_registry() {
+    let mut ldf = LuxDataFrame::new(frame());
+    ldf.register_action(ChaosAction::new("Panicker", ChaosMode::Panic));
+    ldf.register_action(ChaosAction::new("Erratic", ChaosMode::Error));
+    ldf.register_action(ChaosAction::new("Garbler", ChaosMode::Garbage));
+
+    let widget = ldf.print(); // must not panic
+    let tabs = widget.tabs();
+    assert!(tabs.contains(&"Distribution"), "healthy action still served: {tabs:?}");
+    assert!(tabs.contains(&"Occurrence"), "healthy action still served: {tabs:?}");
+    assert!(!tabs.contains(&"Panicker") && !tabs.contains(&"Erratic"));
+
+    assert_eq!(status_of(&ldf, "Panicker").as_deref(), Some("failed"));
+    assert_eq!(status_of(&ldf, "Erratic").as_deref(), Some("failed"));
+    assert_eq!(status_of(&ldf, "Garbler").as_deref(), Some("failed"));
+    assert_eq!(status_of(&ldf, "Distribution").as_deref(), Some("ok"));
+}
+
+#[test]
+fn chaos_survives_both_executor_paths() {
+    for r#async in [false, true] {
+        let cfg = LuxConfig { r#async, ..LuxConfig::default() };
+        let mut ldf = LuxDataFrame::with_config(frame(), Arc::new(cfg));
+        ldf.register_action(ChaosAction::new("Panicker", ChaosMode::Panic));
+        let widget = ldf.print();
+        assert!(widget.tabs().contains(&"Distribution"), "async={async}");
+        assert_eq!(status_of(&ldf, "Panicker").as_deref(), Some("failed"), "async={async}");
+    }
+}
+
+#[test]
+fn slow_action_degrades_to_partial_results() {
+    let cfg = LuxConfig {
+        r#async: false,
+        action_budget: Some(Duration::from_millis(30)),
+        ..LuxConfig::default()
+    };
+    let mut ldf = LuxDataFrame::with_config(frame(), Arc::new(cfg));
+    ldf.register_action(ChaosAction::new(
+        "Sloth",
+        ChaosMode::SlowScore { per_score: Duration::from_millis(10), candidates: 400 },
+    ));
+
+    let recs = ldf.recommendations();
+    let sloth = recs.iter().find(|r| r.action == "Sloth").expect("partial results delivered");
+    assert!(sloth.degraded, "timeout mid-scoring must flag the result degraded");
+    assert!(!sloth.vislist.is_empty());
+    assert_eq!(status_of(&ldf, "Sloth").as_deref(), Some("degraded"));
+    // Healthy actions are unaffected.
+    assert_eq!(status_of(&ldf, "Distribution").as_deref(), Some("ok"));
+}
+
+#[test]
+fn hung_action_is_abandoned_at_the_hard_cutoff() {
+    let cfg = LuxConfig {
+        r#async: true, // the streaming executor owns the hard cutoff
+        action_budget: Some(Duration::from_millis(50)),
+        ..LuxConfig::default()
+    };
+    let mut ldf = LuxDataFrame::with_config(frame(), Arc::new(cfg));
+    ldf.register_action(ChaosAction::new("Sleeper", ChaosMode::Hang(Duration::from_secs(30))));
+
+    let start = Instant::now();
+    let widget = ldf.print();
+    assert!(
+        start.elapsed() < Duration::from_secs(10),
+        "print must not wait out a 30s hang: {:?}",
+        start.elapsed()
+    );
+    assert!(widget.tabs().contains(&"Distribution"), "healthy results still shipped");
+    let sleeper = status_of(&ldf, "Sleeper").expect("abandoned worker reported");
+    assert_eq!(sleeper, "failed");
+}
+
+#[test]
+fn breaker_disables_repeat_offender_then_reprobes() {
+    let cfg = LuxConfig {
+        wflow: false, // every call below is a fresh recommendation pass
+        r#async: false,
+        breaker_threshold: 2,
+        breaker_cooldown: 2,
+        ..LuxConfig::default()
+    };
+    let mut ldf = LuxDataFrame::with_config(frame(), Arc::new(cfg));
+    ldf.register_action(ChaosAction::scripted(
+        "Flaky",
+        vec![ChaosMode::Panic, ChaosMode::Panic, ChaosMode::Healthy],
+    ));
+
+    let mut seen = Vec::new();
+    for _ in 0..6 {
+        seen.push(status_of(&ldf, "Flaky").expect("Flaky always has a health entry"));
+    }
+    assert_eq!(seen[0], "failed");
+    assert_eq!(seen[1], "failed", "second consecutive failure trips the breaker");
+    assert_eq!(seen[2], "disabled", "open breaker skips the action");
+    assert!(
+        seen.iter().any(|s| s == "ok"),
+        "half-open probe must eventually re-admit the recovered action: {seen:?}"
+    );
+    let first_ok = seen.iter().position(|s| s == "ok").unwrap();
+    assert!(
+        seen[first_ok..].iter().all(|s| s == "ok"),
+        "once recovered, the action stays admitted: {seen:?}"
+    );
+}
+
+#[test]
+fn widget_surfaces_health_problems() {
+    let mut ldf = LuxDataFrame::new(frame());
+    ldf.register_action(ChaosAction::new("Panicker", ChaosMode::Panic));
+    let widget = ldf.print();
+    assert_eq!(widget.health_problems().len(), 1);
+    let rendered = widget.to_string();
+    assert!(rendered.contains("action health"), "display carries the health line:\n{rendered}");
+    assert!(rendered.contains("Panicker"));
+}
+
+#[test]
+fn permissive_csv_feeds_the_pipeline_despite_bad_rows() {
+    // Two ragged rows and an unterminated quote: strict refuses, permissive
+    // repairs and still produces an analyzable frame.
+    let text = "price,kind\n1.5,a\n2.5\n3.5,b,extra\n4.5,\"unterminated\n";
+    assert!(LuxDataFrame::read_csv_str(text).is_err());
+
+    let (ldf, report) = LuxDataFrame::read_csv_str_permissive(text).unwrap();
+    assert_eq!(ldf.num_rows(), 4);
+    assert_eq!(report.len(), 3, "every repair is accounted for: {report}");
+    let widget = ldf.print();
+    assert!(!widget.tabs().is_empty(), "repaired frame still gets recommendations");
+}

@@ -1,0 +1,225 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the API subset the workspace's benches use — `Criterion`,
+//! `benchmark_group`, `bench_function`, `bench_with_input`, `BenchmarkId`,
+//! `Bencher::iter`, and the `criterion_group!` / `criterion_main!` macros —
+//! with a simple wall-clock measurement loop instead of criterion's
+//! statistics engine. Each benchmark warms up briefly, then runs batches
+//! until a time budget is spent, and prints min / mean iteration time.
+
+use std::fmt;
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export of `std::hint::black_box` under criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Identifies one benchmark within a group.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId { label: format!("{}/{}", function_name.into(), parameter) }
+    }
+
+    pub fn from_parameter(parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId { label: parameter.to_string() }
+    }
+}
+
+/// Anything usable as a benchmark name.
+pub trait IntoBenchmarkId {
+    fn into_label(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_label(self) -> String {
+        self.label
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_label(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_label(self) -> String {
+        self
+    }
+}
+
+/// Passed to benchmark closures; `iter` runs and times the workload.
+pub struct Bencher<'a> {
+    samples: &'a mut Vec<Duration>,
+    budget: Duration,
+}
+
+impl Bencher<'_> {
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        // Warm-up: one untimed call (also primes caches/lazy statics).
+        std_black_box(f());
+        let started = Instant::now();
+        while started.elapsed() < self.budget {
+            let t = Instant::now();
+            std_black_box(f());
+            self.samples.push(t.elapsed());
+            if self.samples.len() >= 1000 {
+                break;
+            }
+        }
+    }
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    budget: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion { budget: Duration::from_millis(300) }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { parent: self, name: name.into(), budget: None }
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, f: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let budget = self.budget;
+        run_one(&id.into_label(), budget, f);
+        self
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    name: String,
+    budget: Option<Duration>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Criterion's `sample_size` maps onto the time budget here: smaller
+    /// sample counts mean the caller expects slow iterations, so give the
+    /// loop proportionally less wall time.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.budget = Some(Duration::from_millis((n as u64 * 30).clamp(100, 2_000)));
+        self
+    }
+
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.budget = Some(d);
+        self
+    }
+
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let label = format!("{}/{}", self.name, id.into_label());
+        run_one(&label, self.budget.unwrap_or(self.parent.budget), f);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Throughput annotations (accepted, ignored).
+pub enum Throughput {
+    Bytes(u64),
+    Elements(u64),
+}
+
+fn run_one<F: FnMut(&mut Bencher<'_>)>(label: &str, budget: Duration, mut f: F) {
+    let mut samples: Vec<Duration> = Vec::new();
+    let mut b = Bencher { samples: &mut samples, budget };
+    f(&mut b);
+    if samples.is_empty() {
+        println!("{label:<50} (no samples)");
+        return;
+    }
+    let min = samples.iter().min().expect("nonempty");
+    let total: Duration = samples.iter().sum();
+    let mean = total / samples.len() as u32;
+    println!(
+        "{label:<50} min {:>12?}  mean {:>12?}  ({} samples)",
+        min,
+        mean,
+        samples.len()
+    );
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+    (name = $group:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $cfg;
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runs_and_samples() {
+        let mut c = Criterion { budget: Duration::from_millis(20) };
+        let mut g = c.benchmark_group("g");
+        g.sample_size(10);
+        let mut ran = 0usize;
+        g.bench_function("noop", |b| {
+            b.iter(|| {
+                ran += 1;
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("with_input", 5), &5usize, |b, &n| {
+            b.iter(|| n * 2)
+        });
+        g.finish();
+        assert!(ran > 0);
+    }
+}

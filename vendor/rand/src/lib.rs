@@ -1,0 +1,225 @@
+//! Offline stand-in for the `rand` crate (0.8 API subset).
+//!
+//! The build environment has no access to crates.io, so the workspace vendors
+//! the small slice of `rand` it actually uses: `StdRng`, `SeedableRng::
+//! seed_from_u64`, and `Rng::{gen_range, gen_bool, gen}` over integer and
+//! float ranges. The generator is xoshiro256** seeded via SplitMix64 — the
+//! same construction rand's `SmallRng` family uses — so streams are
+//! high-quality and fully deterministic for a given seed, which is all the
+//! workload generators and benches require. Not cryptographically secure.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Seedable construction (subset of `rand::SeedableRng`).
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Uniform sampling over a range type (subset of `rand::distributions`).
+/// Implemented once, generically over [`SampleUniform`] element types —
+/// mirroring real rand's blanket impl so integer-literal ranges unify with
+/// the surrounding expression's type instead of falling back to `i32`.
+pub trait SampleRange<T> {
+    fn sample_from(&self, rng: &mut dyn RngCore) -> T;
+}
+
+/// Element types that can be drawn uniformly from a range.
+pub trait SampleUniform: PartialOrd + Copy {
+    fn sample_between(lo: Self, hi: Self, inclusive: bool, rng: &mut dyn RngCore) -> Self;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample_from(&self, rng: &mut dyn RngCore) -> T {
+        assert!(self.start < self.end, "gen_range: empty range");
+        T::sample_between(self.start, self.end, false, rng)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn sample_from(&self, rng: &mut dyn RngCore) -> T {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "gen_range: empty range");
+        T::sample_between(lo, hi, true, rng)
+    }
+}
+
+/// The raw entropy source.
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+}
+
+/// User-facing sampling methods (subset of `rand::Rng`).
+pub trait Rng: RngCore {
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        unit_f64(self.next_u64()) < p
+    }
+
+    /// `gen::<f64>()` — uniform in [0, 1). Only the float instantiation is
+    /// provided; that is the only one used in this workspace.
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::from_entropy(self.next_u64())
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+/// Marker for `Rng::gen` output types.
+pub trait Standard {
+    fn from_entropy(bits: u64) -> Self;
+}
+
+impl Standard for f64 {
+    fn from_entropy(bits: u64) -> f64 {
+        unit_f64(bits)
+    }
+}
+
+impl Standard for bool {
+    fn from_entropy(bits: u64) -> bool {
+        bits & 1 == 1
+    }
+}
+
+#[inline]
+fn unit_f64(bits: u64) -> f64 {
+    // 53 top bits -> [0, 1) with full double precision.
+    (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+macro_rules! int_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_between(lo: $t, hi: $t, inclusive: bool, rng: &mut dyn RngCore) -> $t {
+                let span = (hi as i128 - lo as i128) as u128 + inclusive as u128;
+                let v = (rng.next_u64() as u128) % span;
+                (lo as i128 + v as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_uniform!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+macro_rules! float_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_between(lo: $t, hi: $t, _inclusive: bool, rng: &mut dyn RngCore) -> $t {
+                lo + (hi - lo) * unit_f64(rng.next_u64()) as $t
+            }
+        }
+    )*};
+}
+
+float_uniform!(f32, f64);
+
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// xoshiro256** seeded through SplitMix64 (deterministic, fast, and
+    /// statistically strong for simulation workloads).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> StdRng {
+            // SplitMix64 expansion of the seed into the full state, as
+            // recommended by the xoshiro authors.
+            let mut sm = seed;
+            let mut next = || {
+                sm = sm.wrapping_add(0x9E3779B97F4A7C15);
+                let mut z = sm;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+                z ^ (z >> 31)
+            };
+            StdRng { s: [next(), next(), next(), next()] }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+/// A loosely-seeded generator for callers that don't need determinism.
+pub fn thread_rng() -> rngs::StdRng {
+    use std::time::{SystemTime, UNIX_EPOCH};
+    let nanos = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.subsec_nanos() as u64 ^ d.as_secs())
+        .unwrap_or(0x5EED);
+    rngs::StdRng::seed_from_u64(nanos)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_seed() {
+        let mut a = rngs::StdRng::seed_from_u64(42);
+        let mut b = rngs::StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = rngs::StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let i = rng.gen_range(-5i64..5);
+            assert!((-5..5).contains(&i));
+            let u = rng.gen_range(0usize..3);
+            assert!(u < 3);
+            let f = rng.gen_range(0.25f64..0.75);
+            assert!((0.25..0.75).contains(&f));
+            let inc = rng.gen_range(1i64..=3);
+            assert!((1..=3).contains(&inc));
+        }
+    }
+
+    #[test]
+    fn gen_bool_respects_probability_extremes() {
+        let mut rng = rngs::StdRng::seed_from_u64(9);
+        assert!(!(0..100).any(|_| rng.gen_bool(0.0)));
+        assert!((0..100).all(|_| rng.gen_bool(1.0)));
+    }
+
+    #[test]
+    fn distribution_is_roughly_uniform() {
+        let mut rng = rngs::StdRng::seed_from_u64(11);
+        let mut counts = [0usize; 10];
+        for _ in 0..10_000 {
+            counts[rng.gen_range(0usize..10)] += 1;
+        }
+        for c in counts {
+            assert!((700..1300).contains(&c), "bucket count {c} far from uniform");
+        }
+    }
+}
