@@ -44,18 +44,30 @@ fn ablation_prune(c: &mut Criterion) {
     g.sample_size(10);
     for (name, prune, sample_rows) in [("exact", false, 0usize), ("pruned_1k_sample", true, 1_000)]
     {
-        g.bench_with_input(BenchmarkId::new("correlation", name), &prune, |b, &prune| {
-            let config = LuxConfig { prune, ..LuxConfig::default() };
-            let ctx = ActionContext {
-                df: &df,
-                meta: &meta,
-                intent: &[],
-                intent_specs: &[],
-                config: &config,
-            };
-            let sample = (sample_rows > 0).then(|| df.sample(sample_rows, 9));
-            b.iter(|| execute_action(&Correlation, &ctx, sample.as_ref(), &model).unwrap().vislist.len())
-        });
+        g.bench_with_input(
+            BenchmarkId::new("correlation", name),
+            &prune,
+            |b, &prune| {
+                let config = LuxConfig {
+                    prune,
+                    ..LuxConfig::default()
+                };
+                let ctx = ActionContext {
+                    df: &df,
+                    meta: &meta,
+                    intent: &[],
+                    intent_specs: &[],
+                    config: &config,
+                };
+                let sample = (sample_rows > 0).then(|| df.sample(sample_rows, 9));
+                b.iter(|| {
+                    execute_action(&Correlation, &ctx, sample.as_ref(), &model)
+                        .unwrap()
+                        .vislist
+                        .len()
+                })
+            },
+        );
     }
     g.finish();
 }
@@ -69,7 +81,9 @@ fn ablation_sample_cache(c: &mut Criterion) {
         let _ = cache.get(&df);
         b.iter(|| cache.get(&df).num_rows())
     });
-    g.bench_function("fresh_each_time", |b| b.iter(|| df.sample(5_000, 7).num_rows()));
+    g.bench_function("fresh_each_time", |b| {
+        b.iter(|| df.sample(5_000, 7).num_rows())
+    });
     g.finish();
 }
 
@@ -82,7 +96,11 @@ fn ablation_async(c: &mut Criterion) {
     g.sample_size(10);
     for (name, is_async) in [("sequential", false), ("async_cheapest_first", true)] {
         g.bench_function(name, |b| {
-            let config = LuxConfig { r#async: is_async, prune: false, ..LuxConfig::default() };
+            let config = LuxConfig {
+                r#async: is_async,
+                prune: false,
+                ..LuxConfig::default()
+            };
             let ctx = ActionContext {
                 df: &df,
                 meta: &meta,
@@ -140,7 +158,10 @@ fn ablation_backend(c: &mut Criterion) {
     let mut g = c.benchmark_group("ablation_backend");
     for (name, spec) in &cases {
         for (backend_name, backend) in [("native", Backend::Native), ("sql", Backend::Sql)] {
-            let opts = ProcessOptions { backend, ..ProcessOptions::default() };
+            let opts = ProcessOptions {
+                backend,
+                ..ProcessOptions::default()
+            };
             g.bench_function(format!("{name}/{backend_name}"), |b| {
                 b.iter(|| process(spec, &df, &opts).unwrap().num_rows())
             });

@@ -66,7 +66,9 @@ fn bench_scoring(c: &mut Criterion) {
     let df = airbnb(50_000, 4);
     let x = df.data_column("price");
     let y = df.data_column("number_of_reviews");
-    c.bench_function("pearson_50k", |b| b.iter(|| lux_recs::score::pearson(&x, &y)));
+    c.bench_function("pearson_50k", |b| {
+        b.iter(|| lux_recs::score::pearson(&x, &y))
+    });
 }
 
 // helper to pull an owned column out of a frame for the scoring bench

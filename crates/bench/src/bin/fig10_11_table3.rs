@@ -23,7 +23,11 @@ fn sweep(make: impl Fn(usize) -> Notebook, scales: &[usize]) -> Vec<SweepResult>
         let nb = make(rows);
         // Paper: cap fixed at 30k against 100k-10M rows. At reduced scale,
         // shrink the cap proportionally so PRUNE still engages.
-        let cap = if lux_bench::full_scale() { 30_000 } else { (rows / 10).max(200) };
+        let cap = if lux_bench::full_scale() {
+            30_000
+        } else {
+            (rows / 10).max(200)
+        };
         let mut by_condition = Vec::new();
         for cond in Condition::ALL {
             let report = nb.run_with_sample_cap(cond, Some(cap));
@@ -43,20 +47,35 @@ fn sweep(make: impl Fn(usize) -> Notebook, scales: &[usize]) -> Vec<SweepResult>
 
 fn figure10(name: &str, results: &[SweepResult]) {
     println!("\n## Figure 10 ({name}): average notebook cell runtime");
-    let header: Vec<&str> =
-        std::iter::once("rows").chain(Condition::ALL.iter().map(|c| c.name())).collect();
+    let header: Vec<&str> = std::iter::once("rows")
+        .chain(Condition::ALL.iter().map(|c| c.name()))
+        .collect();
     let rows: Vec<Vec<String>> = results
         .iter()
         .map(|r| {
             let mut row = vec![r.rows.to_string()];
-            row.extend(r.by_condition.iter().map(|(_, mean, _, _, _)| fmt_secs(*mean)));
+            row.extend(
+                r.by_condition
+                    .iter()
+                    .map(|(_, mean, _, _, _)| fmt_secs(*mean)),
+            );
             row
         })
         .collect();
     print_table(&header, &rows);
     if let Some(last) = results.last() {
-        let noopt = last.by_condition.iter().find(|c| c.0 == Condition::NoOpt).unwrap().1;
-        let allopt = last.by_condition.iter().find(|c| c.0 == Condition::AllOpt).unwrap().1;
+        let noopt = last
+            .by_condition
+            .iter()
+            .find(|c| c.0 == Condition::NoOpt)
+            .unwrap()
+            .1;
+        let allopt = last
+            .by_condition
+            .iter()
+            .find(|c| c.0 == Condition::AllOpt)
+            .unwrap()
+            .1;
         if allopt > 0.0 {
             println!(
                 "speedup of all-opt over no-opt at {} rows: {:.1}x (paper: 11x Airbnb / 345x Communities)",
@@ -69,20 +88,35 @@ fn figure10(name: &str, results: &[SweepResult]) {
 
 fn figure11(name: &str, results: &[SweepResult]) {
     println!("\n## Figure 11 ({name}): average time for printing a single dataframe");
-    let header: Vec<&str> =
-        std::iter::once("rows").chain(Condition::ALL.iter().map(|c| c.name())).collect();
+    let header: Vec<&str> = std::iter::once("rows")
+        .chain(Condition::ALL.iter().map(|c| c.name()))
+        .collect();
     let rows: Vec<Vec<String>> = results
         .iter()
         .map(|r| {
             let mut row = vec![r.rows.to_string()];
-            row.extend(r.by_condition.iter().map(|(_, _, dfp, _, _)| fmt_secs(*dfp)));
+            row.extend(
+                r.by_condition
+                    .iter()
+                    .map(|(_, _, dfp, _, _)| fmt_secs(*dfp)),
+            );
             row
         })
         .collect();
     print_table(&header, &rows);
     if let Some(last) = results.last() {
-        let pandas = last.by_condition.iter().find(|c| c.0 == Condition::Pandas).unwrap().2;
-        let allopt = last.by_condition.iter().find(|c| c.0 == Condition::AllOpt).unwrap().2;
+        let pandas = last
+            .by_condition
+            .iter()
+            .find(|c| c.0 == Condition::Pandas)
+            .unwrap()
+            .2;
+        let allopt = last
+            .by_condition
+            .iter()
+            .find(|c| c.0 == Condition::AllOpt)
+            .unwrap()
+            .2;
         println!(
             "per-print overhead of all-opt vs pandas at {} rows: {} (paper: <=2s under 1M rows)",
             last.rows,
@@ -97,8 +131,16 @@ fn table3(name: &str, results: &[SweepResult], n_df: usize, n_series: usize, n_n
         "\n## Table 3 ({name}, {} rows): per-cell-type overhead of all-opt vs pandas",
         last.rows
     );
-    let pandas = last.by_condition.iter().find(|c| c.0 == Condition::Pandas).unwrap();
-    let allopt = last.by_condition.iter().find(|c| c.0 == Condition::AllOpt).unwrap();
+    let pandas = last
+        .by_condition
+        .iter()
+        .find(|c| c.0 == Condition::Pandas)
+        .unwrap();
+    let allopt = last
+        .by_condition
+        .iter()
+        .find(|c| c.0 == Condition::AllOpt)
+        .unwrap();
     let rows = vec![
         vec![
             "Print df".to_string(),

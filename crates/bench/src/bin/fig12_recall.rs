@@ -32,18 +32,22 @@ fn main() {
     // Rename one attribute as the analysis target and classify `state` as
     // nominal (it is a categorical code in the real dataset), so the
     // intent-based Filter action has a realistic subset space to enumerate.
-    let df = communities(rows, 11).rename(&[("attr_099", "target")]).expect("rename");
+    let df = communities(rows, 11)
+        .rename(&[("attr_099", "target")])
+        .expect("rename");
     let mut overrides = HashMap::new();
     overrides.insert("state".to_string(), SemanticType::Nominal);
     let meta = FrameMeta::compute(&df, &overrides);
-    let config = LuxConfig { max_filter_expansions: 48, ..LuxConfig::default() };
+    let config = LuxConfig {
+        max_filter_expansions: 48,
+        ..LuxConfig::default()
+    };
 
     // Metadata actions run intent-free; intent actions search around an
     // intent on the target attribute, as a user exploring it would.
     let empty_intent: Vec<Clause> = vec![];
     let intent = vec![Clause::axis("target".to_string())];
-    let intent_specs =
-        lux_intent::compile(&intent, &meta, &Default::default()).unwrap_or_default();
+    let intent_specs = lux_intent::compile(&intent, &meta, &Default::default()).unwrap_or_default();
 
     let metadata_actions: Vec<(&str, Box<dyn Action>)> = vec![
         ("Correlation", Box::new(metadata_actions::Correlation)),
@@ -56,34 +60,35 @@ fn main() {
     ];
 
     let mut rows_out: Vec<Vec<String>> = Vec::new();
-    let mut run_group = |actions: &[(&str, Box<dyn Action>)], intent: &[Clause], specs: &[lux_vis::VisSpec]| {
-        for (name, action) in actions {
-            let ctx = ActionContext {
-                df: &df,
-                meta: &meta,
-                intent,
-                intent_specs: specs,
-                config: &config,
-            };
-            if !action.applies(&ctx) {
-                eprintln!("  {name}: not applicable, skipped");
-                continue;
-            }
-            eprint!("  {name}:");
-            let mut row = vec![name.to_string()];
-            for &f in &fractions {
-                let mut total = 0.0;
-                for t in 0..trials {
-                    total += action_recall(action.as_ref(), &ctx, f, k, 100 + t);
+    let mut run_group =
+        |actions: &[(&str, Box<dyn Action>)], intent: &[Clause], specs: &[lux_vis::VisSpec]| {
+            for (name, action) in actions {
+                let ctx = ActionContext {
+                    df: &df,
+                    meta: &meta,
+                    intent,
+                    intent_specs: specs,
+                    config: &config,
+                };
+                if !action.applies(&ctx) {
+                    eprintln!("  {name}: not applicable, skipped");
+                    continue;
                 }
-                let mean = total / trials as f64;
-                eprint!(" {mean:.2}");
-                row.push(format!("{mean:.2}"));
+                eprint!("  {name}:");
+                let mut row = vec![name.to_string()];
+                for &f in &fractions {
+                    let mut total = 0.0;
+                    for t in 0..trials {
+                        total += action_recall(action.as_ref(), &ctx, f, k, 100 + t);
+                    }
+                    let mean = total / trials as f64;
+                    eprint!(" {mean:.2}");
+                    row.push(format!("{mean:.2}"));
+                }
+                eprintln!();
+                rows_out.push(row);
             }
-            eprintln!();
-            rows_out.push(row);
-        }
-    };
+        };
     run_group(&metadata_actions, &empty_intent, &[]);
     run_group(&intent_based, &intent, &intent_specs);
 

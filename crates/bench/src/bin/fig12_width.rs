@@ -63,7 +63,10 @@ fn time_print_allopt(df: &lux_dataframe::DataFrame) -> (f64, f64) {
 fn main() {
     let rows = width_rows();
     let widths = width_scales();
-    println!("# RQ2: effect of dataframe width ({rows} rows, paper uses 100k; sample cap {})", sample_cap_for(rows));
+    println!(
+        "# RQ2: effect of dataframe width ({rows} rows, paper uses 100k; sample cap {})",
+        sample_cap_for(rows)
+    );
 
     let mut table_rows = Vec::new();
     let mut xs = Vec::new();
@@ -88,7 +91,13 @@ fn main() {
 
     println!("\n## Figure 12 (left): single print time vs number of columns");
     print_table(
-        &["columns", "no-opt", "all-opt (interactive)", "all-opt (complete)", "speedup"],
+        &[
+            "columns",
+            "no-opt",
+            "all-opt (interactive)",
+            "all-opt (complete)",
+            "speedup",
+        ],
         &table_rows,
     );
 

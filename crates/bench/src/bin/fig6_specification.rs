@@ -42,7 +42,10 @@ let fig = Figure::new()
 println!("{}", fig.show());"#;
 
     println!("# Figure 6: specification required for Q3, per style\n");
-    println!("## Lux intent ({} chars, 1 line)\n{lux_code}\n", lux_code.len());
+    println!(
+        "## Lux intent ({} chars, 1 line)\n{lux_code}\n",
+        lux_code.len()
+    );
     println!(
         "## Vega-Lite ({} chars, {} lines)\n{vega_code}\n",
         vega_code.len(),

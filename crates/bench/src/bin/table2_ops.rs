@@ -123,12 +123,15 @@ fn main() {
             format!("{est:.0}"),
         ]);
     }
-    print_table(&["Vis Type", "Relational Operation", "measured", "model est."], &out);
+    print_table(
+        &["Vis Type", "Relational Operation", "measured", "model est."],
+        &out,
+    );
 
     // Shape check: group-by family should cost more than plain selection.
     let get = |name: &str| measured.iter().find(|m| m.0 == name).unwrap().1;
-    let ok = get("Scatterplot") <= get("Colored Line/Bar")
-        && get("Histogram") <= get("Color Heatmap");
+    let ok =
+        get("Scatterplot") <= get("Colored Line/Bar") && get("Histogram") <= get("Color Heatmap");
     println!(
         "\nordering check (selection <= 2D group-by, bin <= colored 2D bin): {}",
         if ok { "holds" } else { "VIOLATED" }

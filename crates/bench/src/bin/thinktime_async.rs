@@ -47,7 +47,14 @@ fn main() {
         rows_out.push(row);
     }
     print_table(
-        &["columns", "tabs", "all done", "ready@5ms", "ready@20ms", "ready@100ms"],
+        &[
+            "columns",
+            "tabs",
+            "all done",
+            "ready@5ms",
+            "ready@20ms",
+            "ready@100ms",
+        ],
         &rows_out,
     );
     println!("\n(shape: most tabs are ready well inside a human think-time budget even when");

@@ -1,0 +1,90 @@
+//! Per-stage breakdown of the print path, measured with the engine's own
+//! `PassTrace` spans rather than external stopwatches — the trace subsystem
+//! benchmarking itself.
+//!
+//! Runs repeated cold prints over the synthetic workload frame, pulls the
+//! stage totals (metadata / generate / score / process) out of each pass's
+//! span tree, times widget rendering around the same pass, and writes the
+//! medians to `BENCH_trace.json` next to the working directory, plus a
+//! human-readable table and the flame-style rendering of the median pass.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use lux_bench::{env_scales, full_scale, print_table};
+use lux_core::prelude::*;
+use lux_workloads::synthetic_wide;
+
+fn median(samples: &mut Vec<Duration>) -> Duration {
+    if samples.is_empty() {
+        return Duration::ZERO;
+    }
+    samples.sort();
+    samples[samples.len() / 2]
+}
+
+fn ms(d: Duration) -> String {
+    format!("{:.3}", d.as_secs_f64() * 1e3)
+}
+
+fn main() {
+    let (rows, cols, iters) = if full_scale() {
+        (100_000usize, 24usize, 30usize)
+    } else {
+        (8_000, 12, 15)
+    };
+    let rows = env_scales("LUX_TRACE_ROWS", &[rows])[0];
+    let iters = env_scales("LUX_TRACE_ITERS", &[iters])[0];
+    println!("# Print-path stage breakdown from PassTrace ({rows} rows x {cols} cols, {iters} cold prints)\n");
+
+    let stages = ["table", "metadata", "generate", "score", "process"];
+    let mut samples: Vec<Vec<Duration>> = vec![Vec::new(); stages.len()];
+    let mut renders: Vec<Duration> = Vec::new();
+    let mut totals: Vec<Duration> = Vec::new();
+    let mut traces: Vec<Arc<PassTrace>> = Vec::new();
+
+    for i in 0..iters {
+        // A fresh frame each iteration keeps the WFLOW memo cold, so every
+        // pass exercises the full metadata + recommendation pipeline.
+        let df = synthetic_wide(cols, rows, 7_000 + i as u64);
+        let ldf = LuxDataFrame::with_config(df, Arc::new(LuxConfig::all_opt()));
+        let widget = ldf.print();
+        let start = Instant::now();
+        std::hint::black_box(widget.render_lux_view(1).len());
+        renders.push(start.elapsed());
+        let trace = ldf.last_trace().expect("print records a trace");
+        for (slot, stage) in samples.iter_mut().zip(stages) {
+            slot.push(trace.stage_total(stage));
+        }
+        totals.push(trace.total());
+        traces.push(trace);
+    }
+
+    let mut rows_out: Vec<Vec<String>> = Vec::new();
+    let mut json = String::from("{\n");
+    for (slot, stage) in samples.iter_mut().zip(stages) {
+        let med = median(slot);
+        rows_out.push(vec![stage.to_string(), ms(med)]);
+        json.push_str(&format!("  \"{stage}_ms\": {},\n", ms(med)));
+    }
+    let render_med = median(&mut renders);
+    let total_med = median(&mut totals);
+    rows_out.push(vec!["render".into(), ms(render_med)]);
+    rows_out.push(vec!["total (pass)".into(), ms(total_med)]);
+    json.push_str(&format!("  \"render_ms\": {},\n", ms(render_med)));
+    json.push_str(&format!("  \"total_ms\": {},\n", ms(total_med)));
+    json.push_str(&format!(
+        "  \"rows\": {rows},\n  \"columns\": {cols},\n  \"iterations\": {iters}\n}}\n"
+    ));
+
+    print_table(&["stage", "median ms"], &rows_out);
+
+    // The pass whose total sits at the median, rendered flame-style.
+    let mut order: Vec<usize> = (0..traces.len()).collect();
+    order.sort_by_key(|&i| traces[i].total());
+    let median_trace = &traces[order[order.len() / 2]];
+    println!("\nmedian pass, flame view:\n{}", median_trace.render_text());
+
+    std::fs::write("BENCH_trace.json", &json).expect("write BENCH_trace.json");
+    println!("wrote BENCH_trace.json");
+}

@@ -25,7 +25,9 @@ fn main() {
     };
     let n = env_scales("LUX_UCI_DATASETS", &[n])[0];
     println!("# Headline claim: print overhead across a UCI-shaped population");
-    println!("({n} datasets, rows up to {row_max}, columns up to {col_max}, threshold {threshold}s)\n");
+    println!(
+        "({n} datasets, rows up to {row_max}, columns up to {col_max}, threshold {threshold}s)\n"
+    );
 
     let shapes = shape_population(n, 50, row_max, col_max, 2026);
     let mut overheads: Vec<(usize, usize, f64)> = Vec::new();
@@ -64,9 +66,17 @@ fn main() {
             .collect()
     };
 
-    println!("overhead percentiles: p50 {}  p90 {}  p98 {}  max {}",
-        fmt_secs(pct(0.5)), fmt_secs(pct(0.9)), fmt_secs(pct(0.98)), fmt_secs(sorted[sorted.len()-1]));
-    println!("\nwithin the {threshold}s threshold: {under}/{} = {frac:.1}%  (paper: >98% within 2s)", sorted.len());
+    println!(
+        "overhead percentiles: p50 {}  p90 {}  p98 {}  max {}",
+        fmt_secs(pct(0.5)),
+        fmt_secs(pct(0.9)),
+        fmt_secs(pct(0.98)),
+        fmt_secs(sorted[sorted.len() - 1])
+    );
+    println!(
+        "\nwithin the {threshold}s threshold: {under}/{} = {frac:.1}%  (paper: >98% within 2s)",
+        sorted.len()
+    );
     println!("\nheaviest datasets:");
     print_table(&["rows", "columns", "overhead"], &worst);
     if frac >= 98.0 {

@@ -22,7 +22,9 @@ pub fn env_scales(var: &str, default: &[usize]) -> Vec<usize> {
 
 /// True when the harness should run at the paper's full scales.
 pub fn full_scale() -> bool {
-    std::env::var("LUX_BENCH_FULL").map(|v| v == "1").unwrap_or(false)
+    std::env::var("LUX_BENCH_FULL")
+        .map(|v| v == "1")
+        .unwrap_or(false)
 }
 
 /// Row scales for the Airbnb sweeps (paper: 10k..10M).
@@ -108,7 +110,10 @@ pub fn print_table(header: &[&str], rows: &[Vec<String>]) {
             .collect::<Vec<_>>()
             .join("  ")
     };
-    println!("{}", fmt_row(&header.iter().map(|s| s.to_string()).collect::<Vec<_>>()));
+    println!(
+        "{}",
+        fmt_row(&header.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    );
     for row in rows {
         println!("{}", fmt_row(row));
     }
@@ -147,7 +152,10 @@ mod tests {
     #[test]
     fn env_scales_parse() {
         std::env::set_var("LUX_TEST_SCALES_XYZ", "1_000, 2000,abc,3000");
-        assert_eq!(env_scales("LUX_TEST_SCALES_XYZ", &[7]), vec![1000, 2000, 3000]);
+        assert_eq!(
+            env_scales("LUX_TEST_SCALES_XYZ", &[7]),
+            vec![1000, 2000, 3000]
+        );
         assert_eq!(env_scales("LUX_UNSET_VAR_XYZ", &[7]), vec![7]);
     }
 

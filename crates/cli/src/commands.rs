@@ -18,9 +18,17 @@ pub enum Command {
     /// `load <path> [as <name>] [--permissive]` — read a CSV into the
     /// session; `--permissive` repairs malformed records instead of failing
     /// and reports each repair.
-    Load { path: String, name: String, permissive: bool },
+    Load {
+        path: String,
+        name: String,
+        permissive: bool,
+    },
     /// `demo <airbnb|communities|wide> [rows] [as <name>]` — synth dataset.
-    Demo { which: String, rows: usize, name: String },
+    Demo {
+        which: String,
+        rows: usize,
+        name: String,
+    },
     /// `print [name]` — the always-on print (table + Lux view).
     Print { name: Option<String> },
     /// `table [name]` — just the table view.
@@ -29,6 +37,11 @@ pub enum Command {
     Profile { name: Option<String> },
     /// `health [name]` — per-action health of the last recommendation pass.
     Health { name: Option<String> },
+    /// `trace [last|save <path>]` — span tree of the last print pass
+    /// (flame-style text, or Chrome `trace_event` JSON written to a file).
+    Trace { save: Option<String> },
+    /// `stats` — process-wide engine metrics (counters + latency histograms).
+    Stats,
     /// `intent <clause>, <clause>, ...` — set the intent on the current frame.
     Intent { clauses: Vec<String> },
     /// `clear-intent`
@@ -36,15 +49,27 @@ pub enum Command {
     /// `vis <clause>, <clause>, ...` — build one chart immediately.
     Vis { clauses: Vec<String> },
     /// `filter <column> <op> <value>` — derive a filtered frame (becomes current).
-    Filter { column: String, op: FilterOp, value: String },
+    Filter {
+        column: String,
+        op: FilterOp,
+        value: String,
+    },
     /// `groupby <key> <agg> <column>` — derive an aggregated frame.
-    GroupBy { key: String, agg: Agg, column: String },
+    GroupBy {
+        key: String,
+        agg: Agg,
+        column: String,
+    },
     /// `head <n>`
     Head { n: usize },
     /// `sql <query>` — run SQL against the current frame (table `t`).
     Sql { query: String },
     /// `export <action> <rank> [<path>]` — export a vis as code (and vega to a file).
-    Export { action: String, rank: usize, path: Option<String> },
+    Export {
+        action: String,
+        rank: usize,
+        path: Option<String>,
+    },
     /// `save-report <path>` — write the HTML report of the current frame.
     SaveReport { path: String },
     /// `frames` — list session frames.
@@ -64,9 +89,7 @@ pub fn parse_command(line: &str) -> Result<Command> {
         Some((h, r)) => (h, r.trim()),
         None => (line, ""),
     };
-    let word = |s: &str| -> Vec<String> {
-        s.split_whitespace().map(|w| w.to_string()).collect()
-    };
+    let word = |s: &str| -> Vec<String> { s.split_whitespace().map(|w| w.to_string()).collect() };
     match head.to_ascii_lowercase().as_str() {
         "" => Err(Error::Parse("empty command".into())),
         "load" => {
@@ -74,18 +97,30 @@ pub fn parse_command(line: &str) -> Result<Command> {
             let permissive = parts.iter().any(|p| p == "--permissive");
             parts.retain(|p| p != "--permissive");
             match parts.as_slice() {
-                [path] => Ok(Command::Load { path: path.clone(), name: "df".into(), permissive }),
-                [path, as_kw, name] if as_kw.eq_ignore_ascii_case("as") => {
-                    Ok(Command::Load { path: path.clone(), name: name.clone(), permissive })
-                }
-                _ => Err(Error::Parse("usage: load <path> [as <name>] [--permissive]".into())),
+                [path] => Ok(Command::Load {
+                    path: path.clone(),
+                    name: "df".into(),
+                    permissive,
+                }),
+                [path, as_kw, name] if as_kw.eq_ignore_ascii_case("as") => Ok(Command::Load {
+                    path: path.clone(),
+                    name: name.clone(),
+                    permissive,
+                }),
+                _ => Err(Error::Parse(
+                    "usage: load <path> [as <name>] [--permissive]".into(),
+                )),
             }
         }
         "demo" => {
             let parts = word(rest);
             let (which, mut rows, mut name) = match parts.first() {
                 Some(w) => (w.clone(), 5_000usize, "df".to_string()),
-                None => return Err(Error::Parse("usage: demo <airbnb|communities|wide> [rows] [as <name>]".into())),
+                None => {
+                    return Err(Error::Parse(
+                        "usage: demo <airbnb|communities|wide> [rows] [as <name>]".into(),
+                    ))
+                }
             };
             let mut i = 1;
             if let Some(n) = parts.get(i).and_then(|p| p.parse::<usize>().ok()) {
@@ -100,22 +135,50 @@ pub fn parse_command(line: &str) -> Result<Command> {
             }
             Ok(Command::Demo { which, rows, name })
         }
-        "print" => Ok(Command::Print { name: word(rest).first().cloned() }),
-        "table" => Ok(Command::Table { name: word(rest).first().cloned() }),
-        "profile" => Ok(Command::Profile { name: word(rest).first().cloned() }),
-        "health" => Ok(Command::Health { name: word(rest).first().cloned() }),
+        "print" => Ok(Command::Print {
+            name: word(rest).first().cloned(),
+        }),
+        "table" => Ok(Command::Table {
+            name: word(rest).first().cloned(),
+        }),
+        "profile" => Ok(Command::Profile {
+            name: word(rest).first().cloned(),
+        }),
+        "health" => Ok(Command::Health {
+            name: word(rest).first().cloned(),
+        }),
+        "trace" => {
+            let parts = word(rest);
+            match parts.as_slice() {
+                [] => Ok(Command::Trace { save: None }),
+                [last] if last.eq_ignore_ascii_case("last") => Ok(Command::Trace { save: None }),
+                [save, path] if save.eq_ignore_ascii_case("save") => Ok(Command::Trace {
+                    save: Some(path.clone()),
+                }),
+                _ => Err(Error::Parse("usage: trace [last|save <path>]".into())),
+            }
+        }
+        "stats" => Ok(Command::Stats),
         "intent" => {
-            let clauses: Vec<String> =
-                rest.split(',').map(|c| c.trim().to_string()).filter(|c| !c.is_empty()).collect();
+            let clauses: Vec<String> = rest
+                .split(',')
+                .map(|c| c.trim().to_string())
+                .filter(|c| !c.is_empty())
+                .collect();
             if clauses.is_empty() {
-                return Err(Error::Parse("usage: intent <clause>[, <clause> ...]".into()));
+                return Err(Error::Parse(
+                    "usage: intent <clause>[, <clause> ...]".into(),
+                ));
             }
             Ok(Command::Intent { clauses })
         }
         "clear-intent" => Ok(Command::ClearIntent),
         "vis" => {
-            let clauses: Vec<String> =
-                rest.split(',').map(|c| c.trim().to_string()).filter(|c| !c.is_empty()).collect();
+            let clauses: Vec<String> = rest
+                .split(',')
+                .map(|c| c.trim().to_string())
+                .filter(|c| !c.is_empty())
+                .collect();
             if clauses.is_empty() {
                 return Err(Error::Parse("usage: vis <clause>[, <clause> ...]".into()));
             }
@@ -129,7 +192,11 @@ pub fn parse_command(line: &str) -> Result<Command> {
                     attribute,
                     op,
                     value: lux_intent::ValueSpec::One(v),
-                } => Ok(Command::Filter { column: attribute, op, value: v.to_string() }),
+                } => Ok(Command::Filter {
+                    column: attribute,
+                    op,
+                    value: v.to_string(),
+                }),
                 _ => Err(Error::Parse("usage: filter <column><op><value>".into())),
             }
         }
@@ -138,9 +205,15 @@ pub fn parse_command(line: &str) -> Result<Command> {
             match parts.as_slice() {
                 [key, agg, column] => {
                     let agg = parse_agg(agg)?;
-                    Ok(Command::GroupBy { key: key.clone(), agg, column: column.clone() })
+                    Ok(Command::GroupBy {
+                        key: key.clone(),
+                        agg,
+                        column: column.clone(),
+                    })
                 }
-                _ => Err(Error::Parse("usage: groupby <key> <mean|sum|count|...> <column>".into())),
+                _ => Err(Error::Parse(
+                    "usage: groupby <key> <mean|sum|count|...> <column>".into(),
+                )),
             }
         }
         "head" => {
@@ -154,22 +227,30 @@ pub fn parse_command(line: &str) -> Result<Command> {
             if rest.is_empty() {
                 return Err(Error::Parse("usage: sql <SELECT ...>".into()));
             }
-            Ok(Command::Sql { query: rest.to_string() })
+            Ok(Command::Sql {
+                query: rest.to_string(),
+            })
         }
         "export" => {
             let parts = word(rest);
             match parts.as_slice() {
                 [action, rank] => Ok(Command::Export {
                     action: action.clone(),
-                    rank: rank.parse().map_err(|_| Error::Parse("rank must be a number".into()))?,
+                    rank: rank
+                        .parse()
+                        .map_err(|_| Error::Parse("rank must be a number".into()))?,
                     path: None,
                 }),
                 [action, rank, path] => Ok(Command::Export {
                     action: action.clone(),
-                    rank: rank.parse().map_err(|_| Error::Parse("rank must be a number".into()))?,
+                    rank: rank
+                        .parse()
+                        .map_err(|_| Error::Parse("rank must be a number".into()))?,
                     path: Some(path.clone()),
                 }),
-                _ => Err(Error::Parse("usage: export <action> <rank> [<file.json>]".into())),
+                _ => Err(Error::Parse(
+                    "usage: export <action> <rank> [<file.json>]".into(),
+                )),
             }
         }
         "save-report" => {
@@ -217,6 +298,8 @@ commands:
   table [name]                     table view only
   profile [name]                   per-column metadata + overview charts
   health [name]                    per-action health (ok/degraded/failed/disabled)
+  trace [last|save <path>]         span tree of the last print (save = Chrome JSON)
+  stats                            process-wide engine metrics (counters, latencies)
   intent <clause>[, <clause>...]   e.g. intent price, room_type=?
   clear-intent
   vis <clause>[, <clause>...]      build one chart now
@@ -245,7 +328,11 @@ impl Default for Shell {
 
 impl Shell {
     pub fn new() -> Shell {
-        Shell { frames: HashMap::new(), current: None, derived_counter: 0 }
+        Shell {
+            frames: HashMap::new(),
+            current: None,
+            derived_counter: 0,
+        }
     }
 
     pub fn current_name(&self) -> Option<&str> {
@@ -289,7 +376,11 @@ impl Shell {
         match cmd {
             Command::Quit => Ok(None),
             Command::Help => Ok(Some(HELP.to_string())),
-            Command::Load { path, name, permissive } => {
+            Command::Load {
+                path,
+                name,
+                permissive,
+            } => {
                 let (df, repairs) = if permissive {
                     let (df, report) = LuxDataFrame::read_csv_permissive(Path::new(&path))?;
                     let repairs = if report.is_clean() {
@@ -322,8 +413,11 @@ impl Shell {
                     }
                 };
                 let ldf = LuxDataFrame::new(df);
-                let shape =
-                    format!("generated {name}: {} rows x {} cols", ldf.num_rows(), ldf.num_columns());
+                let shape = format!(
+                    "generated {name}: {} rows x {} cols",
+                    ldf.num_rows(),
+                    ldf.num_columns()
+                );
                 self.frames.insert(name.clone(), ldf);
                 self.current = Some(name);
                 Ok(Some(shape))
@@ -345,6 +439,23 @@ impl Shell {
                 }
                 Ok(Some(out))
             }
+            Command::Trace { save } => {
+                let frame = self.current_frame()?;
+                let trace = frame.last_trace().ok_or_else(|| {
+                    Error::InvalidArgument("no trace recorded yet (run 'print' first)".into())
+                })?;
+                match save {
+                    Some(path) => {
+                        std::fs::write(&path, trace.to_chrome_json())
+                            .map_err(|e| Error::InvalidArgument(format!("write {path:?}: {e}")))?;
+                        Ok(Some(format!(
+                            "chrome trace written to {path} (load in about://tracing or ui.perfetto.dev)"
+                        )))
+                    }
+                    None => Ok(Some(trace.render_text())),
+                }
+            }
+            Command::Stats => Ok(Some(MetricsRegistry::global().snapshot().render_text())),
             Command::Intent { clauses } => {
                 let current = self
                     .current
@@ -367,7 +478,10 @@ impl Shell {
                     .current
                     .clone()
                     .ok_or_else(|| Error::InvalidArgument("no frame loaded".into()))?;
-                self.frames.get_mut(&current).expect("current exists").clear_intent();
+                self.frames
+                    .get_mut(&current)
+                    .expect("current exists")
+                    .clear_intent();
                 Ok(Some("intent cleared".into()))
             }
             Command::Vis { clauses } => {
@@ -382,7 +496,9 @@ impl Shell {
                 Ok(Some(format!("-> {name}: {rows} rows (now current)")))
             }
             Command::GroupBy { key, agg, column } => {
-                let derived = self.current_frame()?.groupby_agg(&[&key], &[(&column, agg)])?;
+                let derived = self
+                    .current_frame()?
+                    .groupby_agg(&[&key], &[(&column, agg)])?;
                 let rows = derived.num_rows();
                 let name = self.adopt("grouped", derived);
                 Ok(Some(format!("-> {name}: {rows} groups (now current)")))
@@ -419,7 +535,11 @@ impl Shell {
                 let mut out = String::from("frames:");
                 for n in self.frame_names() {
                     let f = &self.frames[n];
-                    let marker = if Some(n) == self.current_name() { "*" } else { " " };
+                    let marker = if Some(n) == self.current_name() {
+                        "*"
+                    } else {
+                        " "
+                    };
                     out.push_str(&format!(
                         "\n {marker} {n}: {} rows x {} cols",
                         f.num_rows(),
@@ -451,7 +571,8 @@ impl Shell {
         df: lux_dataframe::DataFrame,
         config: Arc<LuxConfig>,
     ) {
-        self.frames.insert(name.to_string(), LuxDataFrame::with_config(df, config));
+        self.frames
+            .insert(name.to_string(), LuxDataFrame::with_config(df, config));
         self.current = Some(name.to_string());
     }
 }
@@ -472,28 +593,53 @@ mod tests {
     fn parse_basics() {
         assert_eq!(
             parse_command("load data.csv as hpi").unwrap(),
-            Command::Load { path: "data.csv".into(), name: "hpi".into(), permissive: false }
+            Command::Load {
+                path: "data.csv".into(),
+                name: "hpi".into(),
+                permissive: false
+            }
         );
         assert_eq!(
             parse_command("load data.csv --permissive").unwrap(),
-            Command::Load { path: "data.csv".into(), name: "df".into(), permissive: true }
+            Command::Load {
+                path: "data.csv".into(),
+                name: "df".into(),
+                permissive: true
+            }
         );
-        assert_eq!(parse_command("print").unwrap(), Command::Print { name: None });
+        assert_eq!(
+            parse_command("print").unwrap(),
+            Command::Print { name: None }
+        );
         assert_eq!(
             parse_command("demo airbnb 1000 as a").unwrap(),
-            Command::Demo { which: "airbnb".into(), rows: 1000, name: "a".into() }
+            Command::Demo {
+                which: "airbnb".into(),
+                rows: 1000,
+                name: "a".into()
+            }
         );
         assert_eq!(
             parse_command("intent pay, dept=Sales").unwrap(),
-            Command::Intent { clauses: vec!["pay".into(), "dept=Sales".into()] }
+            Command::Intent {
+                clauses: vec!["pay".into(), "dept=Sales".into()]
+            }
         );
         assert_eq!(
             parse_command("filter pay >= 55").unwrap(),
-            Command::Filter { column: "pay".into(), op: FilterOp::Ge, value: "55".into() }
+            Command::Filter {
+                column: "pay".into(),
+                op: FilterOp::Ge,
+                value: "55".into()
+            }
         );
         assert_eq!(
             parse_command("groupby dept mean pay").unwrap(),
-            Command::GroupBy { key: "dept".into(), agg: Agg::Mean, column: "pay".into() }
+            Command::GroupBy {
+                key: "dept".into(),
+                agg: Agg::Mean,
+                column: "pay".into()
+            }
         );
         assert_eq!(parse_command("quit").unwrap(), Command::Quit);
         assert!(parse_command("bogus").is_err());
@@ -505,19 +651,34 @@ mod tests {
         let mut shell = Shell::new();
         shell.insert("df", sample());
         // print works and shows tabs
-        let out = shell.execute(parse_command("print").unwrap()).unwrap().unwrap();
+        let out = shell
+            .execute(parse_command("print").unwrap())
+            .unwrap()
+            .unwrap();
         assert!(out.contains("recommendation tab"));
         // intent -> current vis
-        let out = shell.execute(parse_command("intent pay, dept").unwrap()).unwrap().unwrap();
+        let out = shell
+            .execute(parse_command("intent pay, dept").unwrap())
+            .unwrap()
+            .unwrap();
         assert!(out.contains("intent set"));
         // derive: filter becomes current
-        let out = shell.execute(parse_command("filter pay>=55").unwrap()).unwrap().unwrap();
+        let out = shell
+            .execute(parse_command("filter pay>=55").unwrap())
+            .unwrap()
+            .unwrap();
         assert!(out.contains("3 rows"));
         assert!(shell.current_name().unwrap().starts_with("filtered_"));
         // groupby
-        let out = shell.execute(parse_command("use df").unwrap()).unwrap().unwrap();
+        let out = shell
+            .execute(parse_command("use df").unwrap())
+            .unwrap()
+            .unwrap();
         assert!(out.contains("df"));
-        let out = shell.execute(parse_command("groupby dept mean pay").unwrap()).unwrap().unwrap();
+        let out = shell
+            .execute(parse_command("groupby dept mean pay").unwrap())
+            .unwrap()
+            .unwrap();
         assert!(out.contains("3 groups"));
         // frames listing shows everything
         let out = shell.execute(Command::Frames).unwrap().unwrap();
@@ -533,7 +694,10 @@ mod tests {
             .unwrap()
             .unwrap();
         assert!(out.contains("Sales"));
-        let out = shell.execute(parse_command("vis pay, dept").unwrap()).unwrap().unwrap();
+        let out = shell
+            .execute(parse_command("vis pay, dept").unwrap())
+            .unwrap()
+            .unwrap();
         assert!(out.contains('█'));
     }
 
@@ -543,17 +707,28 @@ mod tests {
         assert!(shell.execute(parse_command("print").unwrap()).is_err()); // no frame
         shell.insert("df", sample());
         assert!(shell.execute(parse_command("use nope").unwrap()).is_err());
-        assert!(shell.execute(parse_command("filter nope=1").unwrap()).is_err());
+        assert!(shell
+            .execute(parse_command("filter nope=1").unwrap())
+            .is_err());
         // session still usable
-        assert!(shell.execute(parse_command("table").unwrap()).unwrap().is_some());
+        assert!(shell
+            .execute(parse_command("table").unwrap())
+            .unwrap()
+            .is_some());
     }
 
     #[test]
     fn health_command_reports_action_status() {
-        assert_eq!(parse_command("health").unwrap(), Command::Health { name: None });
+        assert_eq!(
+            parse_command("health").unwrap(),
+            Command::Health { name: None }
+        );
         let mut shell = Shell::new();
         shell.insert("df", sample());
-        let out = shell.execute(parse_command("health").unwrap()).unwrap().unwrap();
+        let out = shell
+            .execute(parse_command("health").unwrap())
+            .unwrap()
+            .unwrap();
         // healthy defaults: every entry reads "<action>: ok"
         assert!(out.contains(": ok"), "got: {out}");
         assert!(!out.contains("failed"));
@@ -563,5 +738,59 @@ mod tests {
     fn quit_returns_none() {
         let mut shell = Shell::new();
         assert!(shell.execute(Command::Quit).unwrap().is_none());
+    }
+
+    #[test]
+    fn trace_command_parses_and_renders() {
+        assert_eq!(
+            parse_command("trace").unwrap(),
+            Command::Trace { save: None }
+        );
+        assert_eq!(
+            parse_command("trace last").unwrap(),
+            Command::Trace { save: None }
+        );
+        assert_eq!(
+            parse_command("trace save /tmp/t.json").unwrap(),
+            Command::Trace {
+                save: Some("/tmp/t.json".into())
+            }
+        );
+        assert!(parse_command("trace bogus").is_err());
+
+        let mut shell = Shell::new();
+        shell.insert("df", sample());
+        // before any print there is no trace
+        assert!(shell.execute(Command::Trace { save: None }).is_err());
+        let _ = shell.execute(parse_command("print").unwrap()).unwrap();
+        let out = shell
+            .execute(Command::Trace { save: None })
+            .unwrap()
+            .unwrap();
+        assert!(out.contains("print"), "{out}");
+        assert!(out.contains("actions"), "{out}");
+        // chrome export writes a JSON array
+        let dir = std::env::temp_dir().join("lux_cli_trace_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trace.json");
+        let cmd = Command::Trace {
+            save: Some(path.to_string_lossy().into_owned()),
+        };
+        let out = shell.execute(cmd).unwrap().unwrap();
+        assert!(out.contains("written"));
+        let json = std::fs::read_to_string(&path).unwrap();
+        assert!(json.trim_start().starts_with('[') && json.trim_end().ends_with(']'));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stats_command_reports_metrics() {
+        assert_eq!(parse_command("stats").unwrap(), Command::Stats);
+        let mut shell = Shell::new();
+        shell.insert("df", sample());
+        let _ = shell.execute(parse_command("print").unwrap()).unwrap();
+        let out = shell.execute(Command::Stats).unwrap().unwrap();
+        assert!(out.contains("lux.prints"), "{out}");
+        assert!(out.contains("lux.print.latency"), "{out}");
     }
 }

@@ -11,8 +11,16 @@ use lux_cli::{parse_command, Command, Shell};
 fn main() {
     let mut shell = Shell::new();
     for (i, arg) in std::env::args().skip(1).enumerate() {
-        let name = if i == 0 { "df".to_string() } else { format!("df{}", i + 1) };
-        match shell.execute(Command::Load { path: arg.clone(), name, permissive: false }) {
+        let name = if i == 0 {
+            "df".to_string()
+        } else {
+            format!("df{}", i + 1)
+        };
+        match shell.execute(Command::Load {
+            path: arg.clone(),
+            name,
+            permissive: false,
+        }) {
             Ok(Some(msg)) => println!("{msg}"),
             Ok(None) => {}
             Err(e) => eprintln!("error loading {arg}: {e}"),
@@ -23,7 +31,13 @@ fn main() {
     let stdin = std::io::stdin();
     let mut lines = stdin.lock().lines();
     loop {
-        print!("lux{}> ", shell.current_name().map(|n| format!("[{n}]")).unwrap_or_default());
+        print!(
+            "lux{}> ",
+            shell
+                .current_name()
+                .map(|n| format!("[{n}]"))
+                .unwrap_or_default()
+        );
         let _ = std::io::stdout().flush();
         let Some(Ok(line)) = lines.next() else { break };
         if line.trim().is_empty() {

@@ -29,12 +29,14 @@
 pub mod logging;
 pub mod luxframe;
 pub mod luxseries;
+pub mod perf;
 pub mod vis_api;
 pub mod widget;
 
 pub use logging::{EventKind, SessionLogger};
 pub use luxframe::LuxDataFrame;
 pub use luxseries::LuxSeries;
+pub use perf::PassSummary;
 pub use vis_api::{LuxVis, LuxVisList};
 pub use widget::Widget;
 
@@ -43,10 +45,13 @@ pub mod prelude {
     pub use crate::logging::{EventKind, SessionLogger};
     pub use crate::luxframe::LuxDataFrame;
     pub use crate::luxseries::LuxSeries;
+    pub use crate::perf::PassSummary;
     pub use crate::vis_api::{LuxVis, LuxVisList};
     pub use crate::widget::Widget;
     pub use lux_dataframe::prelude::*;
-    pub use lux_engine::{LuxConfig, SemanticType};
+    pub use lux_engine::{
+        LuxConfig, MetricsRegistry, MetricsSnapshot, PassTrace, SemanticType, TraceCollector,
+    };
     pub use lux_intent::{parse_clause, parse_intent, Clause};
     pub use lux_recs::{ActionContext, ActionRegistry, ActionResult, Candidate, CustomAction};
     pub use lux_vis::{Channel, Encoding, FilterSpec, Mark, Vis, VisList, VisSpec};

@@ -29,6 +29,10 @@ pub enum EventKind {
     /// An action failed, degraded, or was disabled during a pass (see
     /// `lux-recs::fault`); the detail carries the action name and reason.
     ActionFault,
+    /// Per-pass timing summary (see [`crate::perf::PassSummary`]); the
+    /// detail is its compact JSON payload, so session logs carry the same
+    /// stage/memo numbers the pass trace does.
+    PassSummary,
 }
 
 impl EventKind {
@@ -39,6 +43,20 @@ impl EventKind {
             EventKind::Export => "export",
             EventKind::Operation => "operation",
             EventKind::ActionFault => "action-fault",
+            EventKind::PassSummary => "pass-summary",
+        }
+    }
+
+    /// Inverse of [`EventKind::name`] (used when reloading JSONL logs).
+    pub fn parse(name: &str) -> Option<EventKind> {
+        match name {
+            "print" => Some(EventKind::Print),
+            "intent" => Some(EventKind::IntentChanged),
+            "export" => Some(EventKind::Export),
+            "operation" => Some(EventKind::Operation),
+            "action-fault" => Some(EventKind::ActionFault),
+            "pass-summary" => Some(EventKind::PassSummary),
+            _ => None,
         }
     }
 }
@@ -63,7 +81,8 @@ pub struct LogEvent {
 
 impl LogEvent {
     fn to_json(&self) -> String {
-        let esc = |s: &str| s.replace('\\', "\\\\").replace('"', "\\\"").replace('\n', "\\n");
+        // Full JSON string escaping — control characters (`\t`, `\r`, raw
+        // 0x00..0x1f) must not pass through, or the JSONL line is invalid.
         let elapsed = self
             .elapsed
             .map(|e| format!(", \"elapsed\": {e}"))
@@ -72,9 +91,113 @@ impl LogEvent {
             "{{\"ts\": {:.3}, \"kind\": \"{}\", \"detail\": \"{}\"{elapsed}}}",
             self.timestamp,
             self.kind,
-            esc(&self.detail)
+            lux_engine::trace::json_escape(&self.detail)
         )
     }
+
+    /// Parse one JSONL line previously written by `to_json`. Returns `None`
+    /// for lines in an unrecognized shape (foreign content is skipped, not
+    /// guessed at).
+    fn from_json(line: &str) -> Option<LogEvent> {
+        let pairs = parse_flat_object(line)?;
+        let get = |k: &str| {
+            pairs
+                .iter()
+                .find(|(key, _)| key == k)
+                .map(|(_, v)| v.as_str())
+        };
+        Some(LogEvent {
+            timestamp: get("ts")?.parse().ok()?,
+            kind: EventKind::parse(get("kind")?)?,
+            detail: get("detail")?.to_string(),
+            elapsed: get("elapsed").and_then(|v| v.parse().ok()),
+        })
+    }
+}
+
+/// Minimal parser for one flat JSON object of the shape this module emits
+/// (string and number values only). Returns key → decoded value pairs.
+fn parse_flat_object(line: &str) -> Option<Vec<(String, String)>> {
+    let s: Vec<char> = line.trim().chars().collect();
+    let skip_ws = |i: &mut usize| {
+        while *i < s.len() && s[*i].is_whitespace() {
+            *i += 1;
+        }
+    };
+    let mut i = 0usize;
+    if s.first() != Some(&'{') {
+        return None;
+    }
+    i += 1;
+    let mut pairs = Vec::new();
+    loop {
+        skip_ws(&mut i);
+        match s.get(i)? {
+            '}' => return Some(pairs),
+            ',' => {
+                i += 1;
+                continue;
+            }
+            '"' => {}
+            _ => return None,
+        }
+        let key = parse_json_string(&s, &mut i)?;
+        skip_ws(&mut i);
+        if s.get(i) != Some(&':') {
+            return None;
+        }
+        i += 1;
+        skip_ws(&mut i);
+        let value = match s.get(i)? {
+            '"' => parse_json_string(&s, &mut i)?,
+            _ => {
+                let start = i;
+                while i < s.len() && !matches!(s[i], ',' | '}') {
+                    i += 1;
+                }
+                s[start..i].iter().collect::<String>().trim().to_string()
+            }
+        };
+        pairs.push((key, value));
+    }
+}
+
+/// Decode a JSON string literal starting at `s[*i] == '"'`, advancing `i`
+/// past the closing quote.
+fn parse_json_string(s: &[char], i: &mut usize) -> Option<String> {
+    *i += 1;
+    let mut out = String::new();
+    while *i < s.len() {
+        match s[*i] {
+            '"' => {
+                *i += 1;
+                return Some(out);
+            }
+            '\\' => {
+                *i += 1;
+                match s.get(*i)? {
+                    '"' => out.push('"'),
+                    '\\' => out.push('\\'),
+                    '/' => out.push('/'),
+                    'n' => out.push('\n'),
+                    'r' => out.push('\r'),
+                    't' => out.push('\t'),
+                    'u' => {
+                        let hex: String = s.get(*i + 1..*i + 5)?.iter().collect();
+                        out.push(char::from_u32(u32::from_str_radix(&hex, 16).ok()?)?);
+                        *i += 4;
+                    }
+                    _ => return None,
+                }
+                *i += 1;
+            }
+            c => {
+                out.push(c);
+                *i += 1;
+            }
+        }
+    }
+    None
 }
 
 enum Sink {
@@ -92,15 +215,33 @@ pub struct SessionLogger {
 impl SessionLogger {
     /// An in-memory logger (inspect with [`SessionLogger::events`]).
     pub fn in_memory() -> Arc<SessionLogger> {
-        Arc::new(SessionLogger { events: Mutex::new(Vec::new()), sink: Mutex::new(Sink::Memory) })
+        Arc::new(SessionLogger {
+            events: Mutex::new(Vec::new()),
+            sink: Mutex::new(Sink::Memory),
+        })
     }
 
     /// A logger that appends JSON-lines to `path` (and keeps the in-memory
     /// copy for inspection).
+    ///
+    /// Reopening an existing session file **reloads** its events: every
+    /// parseable JSONL line becomes an in-memory [`LogEvent`] again, so
+    /// [`SessionLogger::count_of`] and [`SessionLogger::think_times`] see
+    /// the whole session history across reopens rather than silently
+    /// undercounting. Lines this module did not write (or corrupted ones)
+    /// are skipped, left untouched on disk, and not re-emitted.
     pub fn to_file(path: &std::path::Path) -> std::io::Result<Arc<SessionLogger>> {
-        let file = std::fs::OpenOptions::new().create(true).append(true).open(path)?;
+        let existing: Vec<LogEvent> = match std::fs::read_to_string(path) {
+            Ok(text) => text.lines().filter_map(LogEvent::from_json).collect(),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Vec::new(),
+            Err(e) => return Err(e),
+        };
+        let file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)?;
         Ok(Arc::new(SessionLogger {
-            events: Mutex::new(Vec::new()),
+            events: Mutex::new(existing),
             sink: Mutex::new(Sink::File(file)),
         }))
     }
@@ -129,7 +270,10 @@ impl SessionLogger {
 
     /// Count of events of one kind.
     pub fn count_of(&self, kind: EventKind) -> usize {
-        lock_recover(&self.events).iter().filter(|e| e.kind == kind).count()
+        lock_recover(&self.events)
+            .iter()
+            .filter(|e| e.kind == kind)
+            .count()
     }
 
     /// The full JSONL rendering of the session so far.
@@ -178,6 +322,70 @@ mod tests {
         assert_eq!(jsonl.lines().count(), 1);
         assert!(jsonl.contains("\\\"quoted\\\""));
         assert!(jsonl.contains("\\n"));
+    }
+
+    #[test]
+    fn control_characters_are_escaped() {
+        // Regression: raw \t, \r, and other control bytes used to pass
+        // through unescaped, producing invalid JSONL.
+        let log = SessionLogger::in_memory();
+        log.log(EventKind::Operation, "tab\there\rcr\u{1}ctrl", None);
+        let jsonl = log.to_jsonl();
+        assert_eq!(jsonl.lines().count(), 1);
+        assert!(jsonl.contains("tab\\there"), "{jsonl}");
+        assert!(jsonl.contains("\\rcr"), "{jsonl}");
+        assert!(jsonl.contains("\\u0001ctrl"), "{jsonl}");
+        assert!(!jsonl.contains('\t') && !jsonl.contains('\r'));
+        // and the line round-trips
+        let back = LogEvent::from_json(&jsonl).unwrap();
+        assert_eq!(back.detail, "tab\there\rcr\u{1}ctrl");
+    }
+
+    #[test]
+    fn from_json_roundtrips_every_field() {
+        let event = LogEvent {
+            timestamp: 1712.25,
+            kind: EventKind::PassSummary,
+            detail: "{\"total_ms\": 1.5, \"memo\": \"hit\"}".to_string(),
+            elapsed: Some(0.0015),
+        };
+        let back = LogEvent::from_json(&event.to_json()).unwrap();
+        assert_eq!(back.timestamp, event.timestamp);
+        assert_eq!(back.kind, event.kind);
+        assert_eq!(back.detail, event.detail);
+        assert_eq!(back.elapsed, event.elapsed);
+        // foreign / corrupted lines are rejected, not guessed at
+        assert!(LogEvent::from_json("not json").is_none());
+        assert!(
+            LogEvent::from_json("{\"ts\": 1.0, \"kind\": \"martian\", \"detail\": \"x\"}")
+                .is_none()
+        );
+    }
+
+    #[test]
+    fn reopened_file_logger_reloads_history() {
+        let dir = std::env::temp_dir().join("lux_logger_reload_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("session.jsonl");
+        let _ = std::fs::remove_file(&path);
+        {
+            let log = SessionLogger::to_file(&path).unwrap();
+            log.log(EventKind::Print, "print 10x2", Some(0.01));
+            log.log(EventKind::Print, "print 10x2", Some(0.01));
+            log.log(EventKind::Export, "vis", None);
+        }
+        let reopened = SessionLogger::to_file(&path).unwrap();
+        // history is visible again...
+        assert_eq!(reopened.events().len(), 3);
+        assert_eq!(reopened.count_of(EventKind::Print), 2);
+        assert_eq!(reopened.think_times().len(), 1);
+        // ...and new events append after it, on disk and in memory
+        reopened.log(EventKind::Print, "print 10x2", Some(0.02));
+        assert_eq!(reopened.count_of(EventKind::Print), 3);
+        assert_eq!(reopened.think_times().len(), 2);
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(content.lines().count(), 4);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

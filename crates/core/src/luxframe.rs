@@ -23,12 +23,16 @@ use std::sync::Mutex;
 
 use lux_dataframe::prelude::*;
 use lux_engine::sync::lock_recover;
-use lux_engine::{CachedSample, FrameMeta, LuxConfig, SemanticType};
+use lux_engine::trace::{
+    names as metric, MetricsRegistry, MetricsSnapshot, SpanId, TraceCollector,
+};
+use lux_engine::{CachedSample, FrameMeta, LuxConfig, PassTrace, SemanticType};
 use lux_intent::{Clause, Diagnostic};
 use lux_recs::{ActionContext, ActionHealth, ActionRegistry, ActionResult};
 use lux_vis::{Vis, VisSpec};
 
 use crate::logging::{EventKind, SessionLogger};
+use crate::perf::PassSummary;
 use crate::widget::Widget;
 
 /// Cached per-frame state for the WFLOW optimization.
@@ -51,6 +55,8 @@ pub struct LuxDataFrame {
     sample: CachedSample,
     exported: Mutex<Vec<Vis>>,
     logger: Option<Arc<SessionLogger>>,
+    /// Span tree of the most recent print pass on this frame.
+    last_trace: Mutex<Option<Arc<PassTrace>>>,
 }
 
 impl LuxDataFrame {
@@ -61,7 +67,13 @@ impl LuxDataFrame {
 
     /// Wrap with an explicit config (used by the benchmark conditions).
     pub fn with_config(df: DataFrame, config: Arc<LuxConfig>) -> LuxDataFrame {
-        Self::assemble(df, Vec::new(), config, Arc::new(ActionRegistry::with_defaults()), HashMap::new())
+        Self::assemble(
+            df,
+            Vec::new(),
+            config,
+            Arc::new(ActionRegistry::with_defaults()),
+            HashMap::new(),
+        )
     }
 
     /// Read a CSV file into a wrapped frame.
@@ -111,6 +123,7 @@ impl LuxDataFrame {
             sample,
             exported: Mutex::new(Vec::new()),
             logger: None,
+            last_trace: Mutex::new(None),
         };
         if !ldf.config.wflow {
             // no-opt baseline: recompute everything eagerly on every
@@ -179,7 +192,11 @@ impl LuxDataFrame {
     /// but not metadata (the data did not change).
     pub fn set_intent(&mut self, intent: Vec<Clause>) {
         if let Some(log) = &self.logger {
-            log.log(EventKind::IntentChanged, format!("{} clause(s)", intent.len()), None);
+            log.log(
+                EventKind::IntentChanged,
+                format!("{} clause(s)", intent.len()),
+                None,
+            );
         }
         self.intent = intent;
         self.expire_recommendations();
@@ -243,18 +260,42 @@ impl LuxDataFrame {
     // ------------------------------------------------------------------
 
     /// The frame's metadata, computed on first use and memoized (when
-    /// `wflow` is on).
+    /// `wflow` is on). Every access counts as a memo query in the
+    /// process-wide metrics (`lux.wflow.meta_memo_*`).
     pub fn metadata(&self) -> Arc<FrameMeta> {
+        self.metadata_traced(None)
+    }
+
+    /// [`LuxDataFrame::metadata`] recording per-column spans and the memo
+    /// hit/miss tag under `trace` when attached.
+    fn metadata_traced(&self, trace: Option<(&TraceCollector, SpanId)>) -> Arc<FrameMeta> {
+        let metrics = MetricsRegistry::global();
+        let tag_memo = |outcome: &str| {
+            if let Some((collector, id)) = trace {
+                collector.tag(id, "memo", outcome);
+            }
+        };
         if self.config.wflow {
             let mut cache = lock_recover(&self.cache);
             if let Some(meta) = &cache.meta {
+                metrics.incr(metric::META_MEMO_HIT);
+                tag_memo("hit");
                 return Arc::clone(meta);
             }
-            let meta = Arc::new(FrameMeta::compute(&self.df, &self.overrides));
+            metrics.incr(metric::META_MEMO_MISS);
+            tag_memo("miss");
+            let computed = std::time::Instant::now();
+            let meta = Arc::new(FrameMeta::compute_traced(&self.df, &self.overrides, trace));
+            metrics.observe(metric::METADATA_LATENCY, computed.elapsed());
             cache.meta = Some(Arc::clone(&meta));
             meta
         } else {
-            Arc::new(FrameMeta::compute(&self.df, &self.overrides))
+            metrics.incr(metric::META_MEMO_MISS);
+            tag_memo("off");
+            let computed = std::time::Instant::now();
+            let meta = Arc::new(FrameMeta::compute_traced(&self.df, &self.overrides, trace));
+            metrics.observe(metric::METADATA_LATENCY, computed.elapsed());
+            meta
         }
     }
 
@@ -291,8 +332,20 @@ impl LuxDataFrame {
     }
 
     fn compute_recommendations(&self) -> (Arc<Vec<ActionResult>>, Arc<Vec<ActionHealth>>) {
+        self.compute_recommendations_traced(None)
+    }
+
+    fn compute_recommendations_traced(
+        &self,
+        trace: Option<(&Arc<TraceCollector>, SpanId)>,
+    ) -> (Arc<Vec<ActionResult>>, Arc<Vec<ActionHealth>>) {
         let meta = self.metadata();
-        let specs = self.compiled_intent();
+        let specs = match trace {
+            Some((collector, parent)) => {
+                collector.time(Some(parent), "intent.compile", || self.compiled_intent())
+            }
+            None => self.compiled_intent(),
+        };
         let sample = self.config.prune.then(|| self.sample.get(&self.df));
         let report = if self.config.r#async {
             // Owned executor: the frame is shared by Arc with detached
@@ -305,6 +358,8 @@ impl LuxDataFrame {
                 intent_specs: Arc::new(specs),
                 config: Arc::clone(&self.config),
                 sample,
+                trace: trace
+                    .map(|(collector, span)| lux_recs::TraceCtx::new(Arc::clone(collector), span)),
             };
             lux_recs::run_actions_streaming(&self.registry, owned).collect_report()
         } else {
@@ -315,7 +370,13 @@ impl LuxDataFrame {
                 intent_specs: &specs,
                 config: &self.config,
             };
-            lux_recs::run_actions_report(&self.registry, &ctx, sample.as_deref(), None)
+            lux_recs::run_actions_report_traced(
+                &self.registry,
+                &ctx,
+                sample.as_deref(),
+                None,
+                trace,
+            )
         };
         if let Some(log) = &self.logger {
             for h in report.problems() {
@@ -326,20 +387,39 @@ impl LuxDataFrame {
     }
 
     fn recommendations_with_health(&self) -> (Arc<Vec<ActionResult>>, Arc<Vec<ActionHealth>>) {
+        self.recommendations_with_health_traced(None)
+    }
+
+    fn recommendations_with_health_traced(
+        &self,
+        trace: Option<(&Arc<TraceCollector>, SpanId)>,
+    ) -> (Arc<Vec<ActionResult>>, Arc<Vec<ActionHealth>>) {
+        let metrics = MetricsRegistry::global();
+        let tag_memo = |outcome: &str| {
+            if let Some((collector, id)) = trace {
+                collector.tag(id, "memo", outcome);
+            }
+        };
         if self.config.wflow {
             {
                 let cache = lock_recover(&self.cache);
                 if let (Some(recs), Some(health)) = (&cache.recommendations, &cache.health) {
+                    metrics.incr(metric::MEMO_HIT);
+                    tag_memo("hit");
                     return (Arc::clone(recs), Arc::clone(health));
                 }
             } // release while computing (compute re-takes for meta)
-            let (recs, health) = self.compute_recommendations();
+            metrics.incr(metric::MEMO_MISS);
+            tag_memo("miss");
+            let (recs, health) = self.compute_recommendations_traced(trace);
             let mut cache = lock_recover(&self.cache);
             cache.recommendations = Some(Arc::clone(&recs));
             cache.health = Some(Arc::clone(&health));
             (recs, health)
         } else {
-            self.compute_recommendations()
+            metrics.incr(metric::MEMO_MISS);
+            tag_memo("off");
+            self.compute_recommendations_traced(trace)
         }
     }
 
@@ -373,27 +453,77 @@ impl LuxDataFrame {
             intent_specs: Arc::new(specs),
             config: Arc::clone(&self.config),
             sample,
+            trace: None,
         };
         lux_recs::generate::run_actions_streaming(&self.registry, owned)
+    }
+
+    /// The full span tree of the most recent [`LuxDataFrame::print`] on this
+    /// frame, or `None` before the first print. Export with
+    /// [`PassTrace::to_chrome_json`] or inspect with
+    /// [`PassTrace::render_text`].
+    pub fn last_trace(&self) -> Option<Arc<PassTrace>> {
+        lock_recover(&self.last_trace).clone()
+    }
+
+    /// Point-in-time snapshot of the process-wide engine metrics: prints,
+    /// WFLOW memo hit rates, PRUNE activation, action latency percentiles,
+    /// and circuit-breaker trips (see `lux_engine::trace::names`).
+    pub fn metrics(&self) -> MetricsSnapshot {
+        MetricsRegistry::global().snapshot()
     }
 
     /// "Print" the dataframe: the always-on entry point. Returns the widget
     /// holding the table view, the recommendation tabs, and any intent
     /// diagnostics. Never fails — internal errors degrade to the plain
     /// table (§10.3 fail-safe behavior).
+    ///
+    /// Every print records a full [`PassTrace`] (kept on the frame, see
+    /// [`LuxDataFrame::last_trace`]) and updates the process-wide metrics.
     pub fn print(&self) -> Widget {
         let start = std::time::Instant::now();
-        let table = self.df.to_table_string(10);
-        let diagnostics = self.validate_intent();
-        let (results, health) = self.recommendations_with_health();
+        let collector = TraceCollector::new();
+        let root = collector.begin(None, "print");
+        let table = collector.time(Some(root), "table", || self.df.to_table_string(10));
+        // Metadata first (and traced): the validate/compile/action stages
+        // below all read it through the memo.
+        let meta_span = collector.begin(Some(root), "metadata");
+        let _ = self.metadata_traced(Some((collector.as_ref(), meta_span)));
+        collector.end(meta_span);
+        let diagnostics = collector.time(Some(root), "intent.validate", || self.validate_intent());
+        let actions_span = collector.begin(Some(root), "actions");
+        let (results, health) =
+            self.recommendations_with_health_traced(Some((&collector, actions_span)));
+        collector.end(actions_span);
+        collector.end(root);
+        let trace = Arc::new(collector.snapshot());
+
+        let elapsed = start.elapsed();
+        let metrics = MetricsRegistry::global();
+        metrics.incr(metric::PRINTS);
+        metrics.observe(metric::PRINT_LATENCY, elapsed);
         if let Some(log) = &self.logger {
             log.log(
                 EventKind::Print,
                 format!("print {}x{}", self.df.num_rows(), self.df.num_columns()),
-                Some(start.elapsed().as_secs_f64()),
+                Some(elapsed.as_secs_f64()),
+            );
+            log.log(
+                EventKind::PassSummary,
+                PassSummary::from_trace(&trace).to_compact_json(),
+                Some(elapsed.as_secs_f64()),
             );
         }
-        Widget::new(table, results, health, diagnostics, self.df.num_rows(), self.df.num_columns())
+        *lock_recover(&self.last_trace) = Some(Arc::clone(&trace));
+        Widget::new(
+            table,
+            results,
+            health,
+            diagnostics,
+            self.df.num_rows(),
+            self.df.num_columns(),
+            Some(trace),
+        )
     }
 
     /// One-shot dataset profile: the metadata overview actions plus a
@@ -408,7 +538,9 @@ impl LuxDataFrame {
             self.num_rows(),
             self.num_columns()
         ));
-        out.push_str("column                 type         semantic      cardinality  nulls  min..max\n");
+        out.push_str(
+            "column                 type         semantic      cardinality  nulls  min..max\n",
+        );
         for cm in &meta.columns {
             let range = match (cm.min, cm.max) {
                 (Some(lo), Some(hi)) => format!("{lo:.4}..{hi:.4}"),
@@ -531,7 +663,13 @@ impl LuxDataFrame {
         Ok(self.wrap(self.df.groupby(keys)?.count()?))
     }
 
-    pub fn pivot(&self, index: &str, columns: &str, values: &str, agg: Agg) -> Result<LuxDataFrame> {
+    pub fn pivot(
+        &self,
+        index: &str,
+        columns: &str,
+        values: &str,
+        agg: Agg,
+    ) -> Result<LuxDataFrame> {
         Ok(self.wrap(self.df.pivot(index, columns, values, agg)?))
     }
 
@@ -587,7 +725,10 @@ mod tests {
             .float("life", (0..40).map(|i| 60.0 + (i % 20) as f64))
             .float("inequality", (0..40).map(|i| 50.0 - (i % 20) as f64))
             .str("region", (0..40).map(|i| ["EU", "AF", "AS", "NA"][i % 4]))
-            .str("tier", (0..40).map(|i| if i % 3 == 0 { "high" } else { "low" }))
+            .str(
+                "tier",
+                (0..40).map(|i| if i % 3 == 0 { "high" } else { "low" }),
+            )
             .build()
             .unwrap();
         LuxDataFrame::new(df)
@@ -615,7 +756,9 @@ mod tests {
         let r2 = ldf.recommendations();
         assert!(Arc::ptr_eq(&r1, &r2), "second print must reuse the cache");
         // deriving a frame starts with an expired cache
-        let filtered = ldf.filter("region", FilterOp::Eq, &Value::str("EU")).unwrap();
+        let filtered = ldf
+            .filter("region", FilterOp::Eq, &Value::str("EU"))
+            .unwrap();
         assert!(!filtered.is_fresh());
     }
 
@@ -666,14 +809,19 @@ mod tests {
             SemanticType::Quantitative
         );
         ldf.set_data_type("code", SemanticType::Nominal).unwrap();
-        assert_eq!(ldf.metadata().column("code").unwrap().semantic, SemanticType::Nominal);
+        assert_eq!(
+            ldf.metadata().column("code").unwrap().semantic,
+            SemanticType::Nominal
+        );
         assert!(ldf.set_data_type("nope", SemanticType::Nominal).is_err());
     }
 
     #[test]
     fn groupby_result_triggers_structure_actions() {
         let ldf = sample_ldf();
-        let agg = ldf.groupby_agg(&["region"], &[("life", Agg::Mean)]).unwrap();
+        let agg = ldf
+            .groupby_agg(&["region"], &[("life", Agg::Mean)])
+            .unwrap();
         let w = agg.print();
         let classes: Vec<ActionClass> = w.results().iter().map(|r| r.class).collect();
         assert!(classes.contains(&ActionClass::Structure));
@@ -725,7 +873,10 @@ mod tests {
 
     #[test]
     fn no_opt_mode_recomputes_every_time() {
-        let df = DataFrameBuilder::new().float("x", (0..20).map(|i| i as f64)).build().unwrap();
+        let df = DataFrameBuilder::new()
+            .float("x", (0..20).map(|i| i as f64))
+            .build()
+            .unwrap();
         let ldf = LuxDataFrame::with_config(df, Arc::new(LuxConfig::no_opt()));
         let r1 = ldf.recommendations();
         let r2 = ldf.recommendations();
@@ -749,7 +900,9 @@ mod tests {
         let _ = ldf.print();
         ldf.set_intent_strs(["life"]).unwrap();
         let _ = ldf.print();
-        let filtered = ldf.filter("tier", FilterOp::Eq, &Value::str("low")).unwrap();
+        let filtered = ldf
+            .filter("tier", FilterOp::Eq, &Value::str("low"))
+            .unwrap();
         let _ = filtered.print(); // derived frames inherit the logger
         let _ = ldf.export("Current Vis", 0).unwrap();
         use crate::logging::EventKind;

@@ -35,7 +35,11 @@ impl LuxSeries {
         config: Arc<LuxConfig>,
         registry: Arc<ActionRegistry>,
     ) -> LuxSeries {
-        LuxSeries { series, config, registry }
+        LuxSeries {
+            series,
+            config,
+            registry,
+        }
     }
 
     pub fn name(&self) -> &str {
@@ -110,6 +114,9 @@ mod tests {
         let s = ldf.series("dept").unwrap();
         let w = s.print();
         let series_result = w.results().iter().find(|r| r.action == "Series").unwrap();
-        assert_eq!(series_result.vislist.visualizations[0].spec.mark, lux_vis::Mark::Bar);
+        assert_eq!(
+            series_result.vislist.visualizations[0].spec.mark,
+            lux_vis::Mark::Bar
+        );
     }
 }

@@ -1,0 +1,192 @@
+//! Per-pass performance summaries (DESIGN.md §7).
+//!
+//! Every [`crate::LuxDataFrame::print`] records a full
+//! [`PassTrace`](lux_engine::trace::PassTrace) span tree; [`PassSummary`]
+//! boils one down to the handful of numbers worth surfacing inline — stage
+//! durations, the WFLOW memo outcome, and per-action tallies. It feeds the
+//! widget's timing footer and the `PassSummary` session-log event, so the
+//! JSONL usage logs carry the same figures the trace does.
+
+use std::time::Duration;
+
+use lux_engine::trace::{json_escape, PassTrace};
+
+/// Compact per-pass numbers derived from a [`PassTrace`].
+#[derive(Debug, Clone)]
+pub struct PassSummary {
+    /// Wall-clock extent of the whole pass.
+    pub total: Duration,
+    /// Table rendering time.
+    pub table: Duration,
+    /// Metadata stage time (zero when served from the memo).
+    pub metadata: Duration,
+    /// Recommendation stage time (all actions, including scheduling).
+    pub actions: Duration,
+    /// WFLOW memo outcome for the recommendation stage:
+    /// `"hit"`, `"miss"`, `"off"`, or `"unknown"` (untagged trace).
+    pub memo: String,
+    pub actions_ok: usize,
+    pub actions_degraded: usize,
+    pub actions_failed: usize,
+    pub actions_disabled: usize,
+    /// The slowest executed action and its duration, when any ran.
+    pub slowest: Option<(String, Duration)>,
+}
+
+impl PassSummary {
+    /// Summarize a finished pass. Works on any trace shape: missing spans
+    /// simply summarize to zero, so partial traces stay representable.
+    pub fn from_trace(trace: &PassTrace) -> PassSummary {
+        let stage = |name: &str| trace.span(name).map(|s| s.duration()).unwrap_or_default();
+        let memo = trace
+            .span("actions")
+            .and_then(|s| s.tag("memo"))
+            .unwrap_or("unknown")
+            .to_string();
+        let (mut ok, mut degraded, mut failed, mut disabled) = (0, 0, 0, 0);
+        let mut slowest: Option<(String, Duration)> = None;
+        for span in trace.spans_prefixed("action:") {
+            let status = span.tag("status");
+            match status {
+                Some("ok") | Some("empty") => ok += 1,
+                Some("degraded") => degraded += 1,
+                Some("failed") | Some("abandoned") => failed += 1,
+                Some("disabled") => disabled += 1,
+                _ => {}
+            }
+            if status != Some("disabled")
+                && slowest.as_ref().map_or(true, |(_, d)| span.duration() > *d)
+            {
+                let name = span.name.trim_start_matches("action:").to_string();
+                slowest = Some((name, span.duration()));
+            }
+        }
+        PassSummary {
+            total: trace.total(),
+            table: stage("table"),
+            metadata: stage("metadata"),
+            actions: stage("actions"),
+            memo,
+            actions_ok: ok,
+            actions_degraded: degraded,
+            actions_failed: failed,
+            actions_disabled: disabled,
+            slowest,
+        }
+    }
+
+    fn action_tally(&self) -> String {
+        let mut parts = vec![format!("{} ok", self.actions_ok)];
+        if self.actions_degraded > 0 {
+            parts.push(format!("{} degraded", self.actions_degraded));
+        }
+        if self.actions_failed > 0 {
+            parts.push(format!("{} failed", self.actions_failed));
+        }
+        if self.actions_disabled > 0 {
+            parts.push(format!("{} disabled", self.actions_disabled));
+        }
+        parts.join(", ")
+    }
+
+    /// The one-line timing footer shown under the widget.
+    pub fn footer(&self) -> String {
+        format!(
+            "[pass {} | metadata {} | actions {} ({}) | memo {}]",
+            fmt_ms(self.total),
+            fmt_ms(self.metadata),
+            fmt_ms(self.actions),
+            self.action_tally(),
+            self.memo,
+        )
+    }
+
+    /// A compact JSON object — the detail payload of the `PassSummary`
+    /// session-log event.
+    pub fn to_compact_json(&self) -> String {
+        let slowest = match &self.slowest {
+            Some((name, d)) => format!(
+                ", \"slowest\": \"{}\", \"slowest_ms\": {:.3}",
+                json_escape(name),
+                d.as_secs_f64() * 1e3
+            ),
+            None => String::new(),
+        };
+        format!(
+            "{{\"total_ms\": {:.3}, \"table_ms\": {:.3}, \"metadata_ms\": {:.3}, \"actions_ms\": {:.3}, \"memo\": \"{}\", \"ok\": {}, \"degraded\": {}, \"failed\": {}, \"disabled\": {}{slowest}}}",
+            self.total.as_secs_f64() * 1e3,
+            self.table.as_secs_f64() * 1e3,
+            self.metadata.as_secs_f64() * 1e3,
+            self.actions.as_secs_f64() * 1e3,
+            json_escape(&self.memo),
+            self.actions_ok,
+            self.actions_degraded,
+            self.actions_failed,
+            self.actions_disabled,
+        )
+    }
+}
+
+fn fmt_ms(d: Duration) -> String {
+    let ms = d.as_secs_f64() * 1e3;
+    if ms >= 100.0 {
+        format!("{ms:.0}ms")
+    } else {
+        format!("{ms:.2}ms")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lux_engine::trace::TraceCollector;
+
+    fn traced_pass() -> PassTrace {
+        let c = TraceCollector::new();
+        let root = c.begin(None, "print");
+        c.time(Some(root), "table", || {});
+        c.time(Some(root), "metadata", || {});
+        let actions = c.begin(Some(root), "actions");
+        c.tag(actions, "memo", "miss");
+        let a1 = c.begin(Some(actions), "action:Correlation");
+        c.tag(a1, "status", "ok");
+        c.end(a1);
+        let a2 = c.begin(Some(actions), "action:Chaos");
+        c.tag(a2, "status", "failed");
+        c.end(a2);
+        c.end(actions);
+        c.end(root);
+        c.snapshot()
+    }
+
+    #[test]
+    fn summary_tallies_statuses_and_memo() {
+        let s = PassSummary::from_trace(&traced_pass());
+        assert_eq!(s.memo, "miss");
+        assert_eq!(s.actions_ok, 1);
+        assert_eq!(s.actions_failed, 1);
+        assert_eq!(s.actions_degraded, 0);
+        assert!(s.slowest.is_some());
+    }
+
+    #[test]
+    fn footer_and_json_render() {
+        let s = PassSummary::from_trace(&traced_pass());
+        let footer = s.footer();
+        assert!(footer.contains("memo miss"), "{footer}");
+        assert!(footer.contains("1 ok, 1 failed"), "{footer}");
+        let json = s.to_compact_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"memo\": \"miss\""));
+        assert!(json.contains("\"slowest\""));
+    }
+
+    #[test]
+    fn empty_trace_summarizes_to_zeroes() {
+        let s = PassSummary::from_trace(&PassTrace::default());
+        assert_eq!(s.total, Duration::ZERO);
+        assert_eq!(s.memo, "unknown");
+        assert_eq!(s.actions_ok, 0);
+        assert!(s.slowest.is_none());
+    }
+}

@@ -26,7 +26,9 @@ impl LuxVis {
                 "intent compiles to no visualization".into(),
             ));
         }
-        Ok(LuxVis { vis: list.visualizations.remove(0) })
+        Ok(LuxVis {
+            vis: list.visualizations.remove(0),
+        })
     }
 
     /// Parse string clauses and build (Q3 shorthand).
@@ -146,8 +148,14 @@ mod tests {
             .float("Age", (0..30).map(|i| 20.0 + i as f64))
             .float("HourlyRate", (0..30).map(|i| 10.0 + (i % 7) as f64))
             .float("DailyRate", (0..30).map(|i| 80.0 + (i % 11) as f64))
-            .str("EducationField", (0..30).map(|i| ["STEM", "Arts", "Business"][i % 3]))
-            .str("Country", (0..30).map(|i| ["USA", "Japan", "Germany"][i % 3]))
+            .str(
+                "EducationField",
+                (0..30).map(|i| ["STEM", "Arts", "Business"][i % 3]),
+            )
+            .str(
+                "Country",
+                (0..30).map(|i| ["USA", "Japan", "Germany"][i % 3]),
+            )
             .build()
             .unwrap();
         LuxDataFrame::new(df)
@@ -158,7 +166,10 @@ mod tests {
         let ldf = ldf();
         let v = LuxVis::from_strs(["Age", "EducationField"], &ldf).unwrap();
         assert_eq!(v.spec().mark, Mark::Bar);
-        assert_eq!(v.spec().channel(Channel::Y).unwrap().aggregation, Some(Agg::Mean));
+        assert_eq!(
+            v.spec().channel(Channel::Y).unwrap().aggregation,
+            Some(Agg::Mean)
+        );
         assert!(v.data().is_some());
         assert!(v.render_ascii().contains('█'));
     }
@@ -174,14 +185,16 @@ mod tests {
             &ldf,
         )
         .unwrap();
-        assert_eq!(v.spec().channel(Channel::Y).unwrap().aggregation, Some(Agg::Var));
+        assert_eq!(
+            v.spec().channel(Channel::Y).unwrap().aggregation,
+            Some(Agg::Var)
+        );
     }
 
     #[test]
     fn q5_union_vislist() {
         let ldf = ldf();
-        let list =
-            LuxVisList::from_strs(["EducationField", "HourlyRate|DailyRate"], &ldf).unwrap();
+        let list = LuxVisList::from_strs(["EducationField", "HourlyRate|DailyRate"], &ldf).unwrap();
         assert_eq!(list.len(), 2);
     }
 
@@ -205,7 +218,10 @@ mod tests {
         let ldf = ldf();
         let v = LuxVis::from_strs(["Age", "EducationField"], &ldf).unwrap();
         let code = v.to_code();
-        assert!(code.contains("Clause::axis(\"Age\")") || code.contains("Clause::axis(\"EducationField\")"));
+        assert!(
+            code.contains("Clause::axis(\"Age\")")
+                || code.contains("Clause::axis(\"EducationField\")")
+        );
         let json = v.to_vega_lite();
         assert!(json.contains("\"mark\": \"bar\""));
     }

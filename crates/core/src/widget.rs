@@ -8,9 +8,12 @@
 
 use std::sync::Arc;
 
+use lux_engine::PassTrace;
 use lux_intent::{Diagnostic, Severity};
 use lux_recs::{ActionHealth, ActionResult};
 use lux_vis::render::{ascii, vega};
+
+use crate::perf::PassSummary;
 
 /// The output of [`crate::LuxDataFrame::print`].
 pub struct Widget {
@@ -20,6 +23,7 @@ pub struct Widget {
     diagnostics: Vec<Diagnostic>,
     num_rows: usize,
     num_columns: usize,
+    trace: Option<Arc<PassTrace>>,
 }
 
 impl Widget {
@@ -30,8 +34,29 @@ impl Widget {
         diagnostics: Vec<Diagnostic>,
         num_rows: usize,
         num_columns: usize,
+        trace: Option<Arc<PassTrace>>,
     ) -> Widget {
-        Widget { table, results, health, diagnostics, num_rows, num_columns }
+        Widget {
+            table,
+            results,
+            health,
+            diagnostics,
+            num_rows,
+            num_columns,
+            trace,
+        }
+    }
+
+    /// The span tree of the pass that produced this widget.
+    pub fn trace(&self) -> Option<&Arc<PassTrace>> {
+        self.trace.as_ref()
+    }
+
+    /// The one-line per-pass timing footer (`None` for untraced widgets).
+    pub fn timing_footer(&self) -> Option<String> {
+        self.trace
+            .as_ref()
+            .map(|t| PassSummary::from_trace(t).footer())
     }
 
     /// The plain table view (the pandas-equivalent default display).
@@ -110,8 +135,7 @@ impl Widget {
     pub fn to_vega_lite(&self) -> String {
         let mut parts = Vec::new();
         for r in self.results.iter() {
-            let specs: Vec<String> =
-                r.vislist.iter().map(vega::to_vega_lite).collect();
+            let specs: Vec<String> = r.vislist.iter().map(vega::to_vega_lite).collect();
             parts.push(format!(
                 "{{\"action\": \"{}\", \"charts\": [{}]}}",
                 r.action,
@@ -181,16 +205,23 @@ impl std::fmt::Display for Widget {
                 .collect();
             writeln!(f, "[action health: {}]", notes.join(", "))?;
         }
+        if let Some(footer) = self.timing_footer() {
+            writeln!(f, "{footer}")?;
+        }
         Ok(())
     }
 }
 
 fn html_escape(s: &str) -> String {
-    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
 }
 
 fn sanitize(s: &str) -> String {
-    s.chars().map(|c| if c.is_ascii_alphanumeric() { c } else { '_' }).collect()
+    s.chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect()
 }
 
 #[cfg(test)]
@@ -243,7 +274,9 @@ mod tests {
         let json = dir.join("charts.json");
         w.save_html(&html).unwrap();
         w.save_vega_lite(&json).unwrap();
-        assert!(std::fs::read_to_string(&html).unwrap().contains("vegaEmbed"));
+        assert!(std::fs::read_to_string(&html)
+            .unwrap()
+            .contains("vegaEmbed"));
         assert!(std::fs::read_to_string(&json).unwrap().contains("$schema"));
         let _ = std::fs::remove_dir_all(&dir);
     }

@@ -21,7 +21,10 @@ impl Bitmap {
     pub fn filled(len: usize, value: bool) -> Self {
         let nwords = len.div_ceil(64);
         let word = if value { u64::MAX } else { 0 };
-        let mut bm = Bitmap { words: vec![word; nwords], len };
+        let mut bm = Bitmap {
+            words: vec![word; nwords],
+            len,
+        };
         bm.mask_tail();
         bm
     }
@@ -61,13 +64,21 @@ impl Bitmap {
     /// Read bit `i`. Panics if out of range.
     #[inline]
     pub fn get(&self, i: usize) -> bool {
-        assert!(i < self.len, "bit index {i} out of range for bitmap of {} bits", self.len);
+        assert!(
+            i < self.len,
+            "bit index {i} out of range for bitmap of {} bits",
+            self.len
+        );
         (self.words[i / 64] >> (i % 64)) & 1 == 1
     }
 
     /// Set bit `i`. Panics if out of range.
     pub fn set(&mut self, i: usize, value: bool) {
-        assert!(i < self.len, "bit index {i} out of range for bitmap of {} bits", self.len);
+        assert!(
+            i < self.len,
+            "bit index {i} out of range for bitmap of {} bits",
+            self.len
+        );
         let mask = 1u64 << (i % 64);
         if value {
             self.words[i / 64] |= mask;
@@ -99,8 +110,16 @@ impl Bitmap {
     /// Bitwise AND of two equal-length bitmaps.
     pub fn and(&self, other: &Bitmap) -> Bitmap {
         assert_eq!(self.len, other.len, "bitmap length mismatch in and()");
-        let words = self.words.iter().zip(&other.words).map(|(a, b)| a & b).collect();
-        Bitmap { words, len: self.len }
+        let words = self
+            .words
+            .iter()
+            .zip(&other.words)
+            .map(|(a, b)| a & b)
+            .collect();
+        Bitmap {
+            words,
+            len: self.len,
+        }
     }
 
     /// Gather the bits at `indices` into a new bitmap.
@@ -162,7 +181,10 @@ mod tests {
         let a = Bitmap::from_iter([true, true, false, false]);
         let b = Bitmap::from_iter([true, false, true, false]);
         let c = a.and(&b);
-        assert_eq!(c.iter().collect::<Vec<_>>(), vec![true, false, false, false]);
+        assert_eq!(
+            c.iter().collect::<Vec<_>>(),
+            vec![true, false, false, false]
+        );
     }
 
     #[test]

@@ -27,7 +27,10 @@ pub struct PrimitiveColumn<T> {
 impl<T: Copy + Default> PrimitiveColumn<T> {
     /// Build an all-valid column from raw values.
     pub fn from_values(values: Vec<T>) -> Self {
-        Self { values, validity: None }
+        Self {
+            values,
+            validity: None,
+        }
     }
 
     /// Build from options; `None` entries become nulls.
@@ -38,7 +41,10 @@ impl<T: Copy + Default> PrimitiveColumn<T> {
         }
         let validity = Bitmap::from_iter(values.iter().map(Option::is_some));
         let values = values.into_iter().map(Option::unwrap_or_default).collect();
-        Self { values, validity: Some(validity) }
+        Self {
+            values,
+            validity: Some(validity),
+        }
     }
 
     pub fn len(&self) -> usize {
@@ -131,7 +137,12 @@ impl Default for StrColumn {
 
 impl StrColumn {
     pub fn new() -> Self {
-        Self { codes: Vec::new(), dict: Vec::new(), lookup: HashMap::new(), validity: None }
+        Self {
+            codes: Vec::new(),
+            dict: Vec::new(),
+            lookup: HashMap::new(),
+            validity: None,
+        }
     }
 
     /// Build an all-valid column from strings.
@@ -245,14 +256,21 @@ impl StrColumn {
                 seen[c as usize] = true;
             }
         }
-        (0..self.dict.len() as u32).filter(|&c| seen[c as usize]).collect()
+        (0..self.dict.len() as u32)
+            .filter(|&c| seen[c as usize])
+            .collect()
     }
 
     /// Gather rows at `indices`. The dictionary is shared as-is.
     pub fn take(&self, indices: &[usize]) -> Self {
         let codes = indices.iter().map(|&i| self.codes[i]).collect();
         let validity = self.validity.as_ref().map(|b| b.take(indices));
-        Self { codes, dict: self.dict.clone(), lookup: self.lookup.clone(), validity }
+        Self {
+            codes,
+            dict: self.dict.clone(),
+            lookup: self.lookup.clone(),
+            validity,
+        }
     }
 
     /// Iterate as option-strings.
@@ -362,7 +380,10 @@ impl Column {
     /// Keep rows where `mask` is set. `mask.len()` must equal `self.len()`.
     pub fn filter(&self, mask: &Bitmap) -> Result<Column> {
         if mask.len() != self.len() {
-            return Err(Error::LengthMismatch { expected: self.len(), got: mask.len() });
+            return Err(Error::LengthMismatch {
+                expected: self.len(),
+                got: mask.len(),
+            });
         }
         let indices: Vec<usize> = (0..self.len()).filter(|&i| mask.get(i)).collect();
         Ok(self.take(&indices))

@@ -60,7 +60,10 @@ impl ParseReport {
     }
 
     fn push(&mut self, row: usize, reason: impl Into<String>) {
-        self.issues.push(ParseIssue { row, reason: reason.into() });
+        self.issues.push(ParseIssue {
+            row,
+            reason: reason.into(),
+        });
     }
 }
 
@@ -81,7 +84,9 @@ impl fmt::Display for ParseReport {
 pub fn read_csv_str(text: &str) -> Result<DataFrame> {
     let records = parse_records(text)?;
     let mut it = records.into_iter();
-    let header = it.next().ok_or_else(|| Error::Parse("empty CSV input".into()))?;
+    let header = it
+        .next()
+        .ok_or_else(|| Error::Parse("empty CSV input".into()))?;
     let ncols = header.len();
     let mut raw: Vec<Vec<Option<String>>> = vec![Vec::new(); ncols];
     for (line_no, rec) in it.enumerate() {
@@ -116,20 +121,28 @@ pub fn read_csv_str_permissive(text: &str) -> Result<(DataFrame, ParseReport)> {
         );
     }
     let mut it = scan.records.into_iter();
-    let header = it.next().ok_or_else(|| Error::Parse("empty CSV input".into()))?;
+    let header = it
+        .next()
+        .ok_or_else(|| Error::Parse("empty CSV input".into()))?;
     let ncols = header.len();
     let mut raw: Vec<Vec<Option<String>>> = vec![Vec::new(); ncols];
     for (line_no, mut rec) in it.enumerate() {
         if rec.len() < ncols {
             report.push(
                 line_no + 2,
-                format!("{} fields, expected {ncols}; missing fields read as nulls", rec.len()),
+                format!(
+                    "{} fields, expected {ncols}; missing fields read as nulls",
+                    rec.len()
+                ),
             );
             rec.resize(ncols, String::new());
         } else if rec.len() > ncols {
             report.push(
                 line_no + 2,
-                format!("{} fields, expected {ncols}; extra fields dropped", rec.len()),
+                format!(
+                    "{} fields, expected {ncols}; extra fields dropped",
+                    rec.len()
+                ),
             );
             rec.truncate(ncols);
         }
@@ -174,7 +187,8 @@ pub fn read_csv_path_permissive(path: &std::path::Path) -> Result<(DataFrame, Pa
 }
 
 fn open(path: &std::path::Path) -> Result<std::io::BufReader<std::fs::File>> {
-    let file = std::fs::File::open(path).map_err(|e| Error::Parse(format!("open {path:?}: {e}")))?;
+    let file =
+        std::fs::File::open(path).map_err(|e| Error::Parse(format!("open {path:?}: {e}")))?;
     Ok(std::io::BufReader::new(file))
 }
 
@@ -285,10 +299,17 @@ fn scan_records(text: &str) -> Result<ScanOutcome> {
     }
     // Drop a trailing fully-empty record produced by a final newline (not
     // one produced by closing an unterminated quote — that one is real).
-    if !in_quotes && records.last().is_some_and(|r| r.len() == 1 && r[0].is_empty()) {
+    if !in_quotes
+        && records
+            .last()
+            .is_some_and(|r| r.len() == 1 && r[0].is_empty())
+    {
         records.pop();
     }
-    Ok(ScanOutcome { records, unterminated: in_quotes })
+    Ok(ScanOutcome {
+        records,
+        unterminated: in_quotes,
+    })
 }
 
 /// Infer the best column type for the raw string fields.
@@ -359,7 +380,10 @@ mod tests {
         let df = read_csv_str("a,b,c,d\n1,2.5,x,2020-01-01\n2,3.5,y,2020-01-02\n").unwrap();
         assert_eq!(df.num_rows(), 2);
         let types: Vec<DType> = df.schema().iter().map(|(_, t)| *t).collect();
-        assert_eq!(types, vec![DType::Int64, DType::Float64, DType::Str, DType::DateTime]);
+        assert_eq!(
+            types,
+            vec![DType::Int64, DType::Float64, DType::Str, DType::DateTime]
+        );
     }
 
     #[test]

@@ -18,13 +18,20 @@ pub enum Error {
     /// Two columns (or a column and an index) disagree on length.
     LengthMismatch { expected: usize, got: usize },
     /// The operation is not defined for the column's data type.
-    TypeMismatch { column: String, expected: &'static str, got: &'static str },
+    TypeMismatch {
+        column: String,
+        expected: &'static str,
+        got: &'static str,
+    },
     /// CSV or value parsing failed.
     Parse(String),
     /// The operation's arguments are invalid (empty key list, zero bins, ...).
     InvalidArgument(String),
     /// An aggregation is not defined for the given column type.
-    UnsupportedAggregation { agg: &'static str, dtype: &'static str },
+    UnsupportedAggregation {
+        agg: &'static str,
+        dtype: &'static str,
+    },
 }
 
 impl fmt::Display for Error {
@@ -35,8 +42,15 @@ impl fmt::Display for Error {
             Error::LengthMismatch { expected, got } => {
                 write!(f, "length mismatch: expected {expected}, got {got}")
             }
-            Error::TypeMismatch { column, expected, got } => {
-                write!(f, "type mismatch on column {column:?}: expected {expected}, got {got}")
+            Error::TypeMismatch {
+                column,
+                expected,
+                got,
+            } => {
+                write!(
+                    f,
+                    "type mismatch on column {column:?}: expected {expected}, got {got}"
+                )
             }
             Error::Parse(msg) => write!(f, "parse error: {msg}"),
             Error::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
@@ -60,11 +74,21 @@ mod tests {
     fn display_messages_are_informative() {
         let e = Error::ColumnNotFound("Age".into());
         assert!(e.to_string().contains("Age"));
-        let e = Error::LengthMismatch { expected: 3, got: 5 };
+        let e = Error::LengthMismatch {
+            expected: 3,
+            got: 5,
+        };
         assert!(e.to_string().contains('3') && e.to_string().contains('5'));
-        let e = Error::TypeMismatch { column: "x".into(), expected: "f64", got: "str" };
+        let e = Error::TypeMismatch {
+            column: "x".into(),
+            expected: "f64",
+            got: "str",
+        };
         assert!(e.to_string().contains("f64"));
-        let e = Error::UnsupportedAggregation { agg: "mean", dtype: "str" };
+        let e = Error::UnsupportedAggregation {
+            agg: "mean",
+            dtype: "str",
+        };
         assert!(e.to_string().contains("mean"));
     }
 

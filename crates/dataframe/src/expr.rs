@@ -31,11 +31,20 @@ use crate::value::Value;
 #[derive(Debug, Clone, PartialEq)]
 pub enum Expr {
     /// `column OP value`
-    Compare { column: String, op: FilterOp, value: Value },
+    Compare {
+        column: String,
+        op: FilterOp,
+        value: Value,
+    },
     /// String membership: true when the column's string contains `needle`.
-    Contains { column: String, needle: String },
+    Contains {
+        column: String,
+        needle: String,
+    },
     /// Null test.
-    IsNull { column: String },
+    IsNull {
+        column: String,
+    },
     And(Box<Expr>, Box<Expr>),
     Or(Box<Expr>, Box<Expr>),
     Not(Box<Expr>),
@@ -54,31 +63,58 @@ pub struct ColumnRef {
 
 impl ColumnRef {
     pub fn eq(self, v: impl Into<Value>) -> Expr {
-        Expr::Compare { column: self.name, op: FilterOp::Eq, value: v.into() }
+        Expr::Compare {
+            column: self.name,
+            op: FilterOp::Eq,
+            value: v.into(),
+        }
     }
 
     pub fn ne(self, v: impl Into<Value>) -> Expr {
-        Expr::Compare { column: self.name, op: FilterOp::Ne, value: v.into() }
+        Expr::Compare {
+            column: self.name,
+            op: FilterOp::Ne,
+            value: v.into(),
+        }
     }
 
     pub fn gt(self, v: impl Into<Value>) -> Expr {
-        Expr::Compare { column: self.name, op: FilterOp::Gt, value: v.into() }
+        Expr::Compare {
+            column: self.name,
+            op: FilterOp::Gt,
+            value: v.into(),
+        }
     }
 
     pub fn lt(self, v: impl Into<Value>) -> Expr {
-        Expr::Compare { column: self.name, op: FilterOp::Lt, value: v.into() }
+        Expr::Compare {
+            column: self.name,
+            op: FilterOp::Lt,
+            value: v.into(),
+        }
     }
 
     pub fn ge(self, v: impl Into<Value>) -> Expr {
-        Expr::Compare { column: self.name, op: FilterOp::Ge, value: v.into() }
+        Expr::Compare {
+            column: self.name,
+            op: FilterOp::Ge,
+            value: v.into(),
+        }
     }
 
     pub fn le(self, v: impl Into<Value>) -> Expr {
-        Expr::Compare { column: self.name, op: FilterOp::Le, value: v.into() }
+        Expr::Compare {
+            column: self.name,
+            op: FilterOp::Le,
+            value: v.into(),
+        }
     }
 
     pub fn contains(self, needle: impl Into<String>) -> Expr {
-        Expr::Contains { column: self.name, needle: needle.into() }
+        Expr::Contains {
+            column: self.name,
+            needle: needle.into(),
+        }
     }
 
     pub fn is_null(self) -> Expr {
@@ -118,7 +154,9 @@ impl Expr {
             Expr::And(a, b) => Ok(a.evaluate(df)?.and(&b.evaluate(df)?)),
             Expr::Or(a, b) => {
                 let (ma, mb) = (a.evaluate(df)?, b.evaluate(df)?);
-                Ok(Bitmap::from_iter((0..ma.len()).map(|i| ma.get(i) || mb.get(i))))
+                Ok(Bitmap::from_iter(
+                    (0..ma.len()).map(|i| ma.get(i) || mb.get(i)),
+                ))
             }
             Expr::Not(e) => {
                 let m = e.evaluate(df)?;
@@ -147,7 +185,10 @@ impl DataFrame {
     pub fn filter_expr(&self, expr: &Expr) -> Result<DataFrame> {
         let mask = expr.evaluate(self)?;
         let mut out = self.filter_rows(&mask)?;
-        out.record_event(Event::new(OpKind::Filter, format!("filter: {}", expr.describe())));
+        out.record_event(Event::new(
+            OpKind::Filter,
+            format!("filter: {}", expr.describe()),
+        ));
         Ok(out)
     }
 }
@@ -168,9 +209,13 @@ mod tests {
 
     #[test]
     fn conjunction_and_disjunction() {
-        let and = df().filter_expr(&col("age").gt(20).and(col("dept").eq("Sales"))).unwrap();
+        let and = df()
+            .filter_expr(&col("age").gt(20).and(col("dept").eq("Sales")))
+            .unwrap();
         assert_eq!(and.num_rows(), 2);
-        let or = df().filter_expr(&col("age").lt(20).or(col("age").gt(40))).unwrap();
+        let or = df()
+            .filter_expr(&col("age").lt(20).or(col("age").gt(40)))
+            .unwrap();
         assert_eq!(or.num_rows(), 2);
     }
 

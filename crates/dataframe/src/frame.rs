@@ -27,7 +27,12 @@ pub struct DataFrame {
 impl DataFrame {
     /// An empty frame with no columns and no rows.
     pub fn empty() -> DataFrame {
-        DataFrame { names: Vec::new(), columns: Vec::new(), index: Index::range(0), history: History::new() }
+        DataFrame {
+            names: Vec::new(),
+            columns: Vec::new(),
+            index: Index::range(0),
+            history: History::new(),
+        }
     }
 
     /// Build a frame from `(name, column)` pairs. All columns must share a
@@ -38,7 +43,10 @@ impl DataFrame {
         df.index = Index::range(nrows);
         for (name, col) in cols {
             if col.len() != nrows {
-                return Err(Error::LengthMismatch { expected: nrows, got: col.len() });
+                return Err(Error::LengthMismatch {
+                    expected: nrows,
+                    got: col.len(),
+                });
             }
             if df.names.iter().any(|n| n == &name) {
                 return Err(Error::DuplicateColumn(name));
@@ -96,7 +104,11 @@ impl DataFrame {
 
     /// `(name, dtype)` pairs describing the schema.
     pub fn schema(&self) -> Vec<(&str, DType)> {
-        self.names.iter().map(String::as_str).zip(self.columns.iter().map(|c| c.dtype())).collect()
+        self.names
+            .iter()
+            .map(String::as_str)
+            .zip(self.columns.iter().map(|c| c.dtype()))
+            .collect()
     }
 
     /// The row index.
@@ -134,7 +146,12 @@ impl DataFrame {
     ) -> DataFrame {
         let mut history = self.history.clone();
         history.push(event);
-        DataFrame { names, columns, index, history }
+        DataFrame {
+            names,
+            columns,
+            index,
+            history,
+        }
     }
 
     /// Derive a frame whose event retains `self` as parent (for history
@@ -217,7 +234,11 @@ impl DataFrame {
             }
             out.push('\n');
         }
-        out.push_str(&format!("[{} rows x {} columns]\n", nrows, self.num_columns()));
+        out.push_str(&format!(
+            "[{} rows x {} columns]\n",
+            nrows,
+            self.num_columns()
+        ));
         out
     }
 }
@@ -242,15 +263,18 @@ impl DataFrameBuilder {
 
     /// Add an i64 column.
     pub fn int(mut self, name: &str, values: impl IntoIterator<Item = i64>) -> Self {
-        let col = Column::Int64(crate::column::PrimitiveColumn::from_values(values.into_iter().collect()));
+        let col = Column::Int64(crate::column::PrimitiveColumn::from_values(
+            values.into_iter().collect(),
+        ));
         self.cols.push((name.to_string(), col));
         self
     }
 
     /// Add an f64 column.
     pub fn float(mut self, name: &str, values: impl IntoIterator<Item = f64>) -> Self {
-        let col =
-            Column::Float64(crate::column::PrimitiveColumn::from_values(values.into_iter().collect()));
+        let col = Column::Float64(crate::column::PrimitiveColumn::from_values(
+            values.into_iter().collect(),
+        ));
         self.cols.push((name.to_string(), col));
         self
     }
@@ -264,14 +288,20 @@ impl DataFrameBuilder {
 
     /// Add a bool column.
     pub fn bool(mut self, name: &str, values: impl IntoIterator<Item = bool>) -> Self {
-        let col = Column::Bool(crate::column::PrimitiveColumn::from_values(values.into_iter().collect()));
+        let col = Column::Bool(crate::column::PrimitiveColumn::from_values(
+            values.into_iter().collect(),
+        ));
         self.cols.push((name.to_string(), col));
         self
     }
 
     /// Add a datetime column from `YYYY-MM-DD` strings. Panics on parse
     /// failure — builder is for literals in tests/examples.
-    pub fn datetime(mut self, name: &str, values: impl IntoIterator<Item = impl AsRef<str>>) -> Self {
+    pub fn datetime(
+        mut self,
+        name: &str,
+        values: impl IntoIterator<Item = impl AsRef<str>>,
+    ) -> Self {
         let vals: Vec<i64> = values
             .into_iter()
             .map(|s| crate::value::parse_datetime(s.as_ref()).expect("invalid datetime literal"))
@@ -332,13 +362,19 @@ mod tests {
 
     #[test]
     fn mismatched_lengths_rejected() {
-        let r = DataFrameBuilder::new().int("a", [1, 2]).int("b", [1]).build();
+        let r = DataFrameBuilder::new()
+            .int("a", [1, 2])
+            .int("b", [1])
+            .build();
         assert!(matches!(r, Err(Error::LengthMismatch { .. })));
     }
 
     #[test]
     fn duplicate_names_rejected() {
-        let r = DataFrameBuilder::new().int("a", [1]).float("a", [1.0]).build();
+        let r = DataFrameBuilder::new()
+            .int("a", [1])
+            .float("a", [1.0])
+            .build();
         assert!(matches!(r, Err(Error::DuplicateColumn(_))));
     }
 
@@ -352,7 +388,10 @@ mod tests {
     fn row_extraction() {
         let df = sample();
         let row = df.row(2);
-        assert_eq!(row, vec![Value::Int(47), Value::str("Sales"), Value::Float(65.5)]);
+        assert_eq!(
+            row,
+            vec![Value::Int(47), Value::str("Sales"), Value::Float(65.5)]
+        );
     }
 
     #[test]

@@ -75,7 +75,12 @@ pub struct Event {
 
 impl Event {
     pub fn new(op: OpKind, detail: impl Into<String>) -> Event {
-        Event { op, detail: detail.into(), columns: Vec::new(), parent: None }
+        Event {
+            op,
+            detail: detail.into(),
+            columns: Vec::new(),
+            parent: None,
+        }
     }
 
     pub fn with_columns(mut self, columns: Vec<String>) -> Event {

@@ -42,17 +42,29 @@ impl Index {
 
     /// A labeled index over `values`.
     pub fn labels(name: Option<String>, values: Column) -> Index {
-        Index::Labels { name, values: Arc::new(values) }
+        Index::Labels {
+            name,
+            values: Arc::new(values),
+        }
     }
 
     /// A multi-level index. Panics if levels are empty or disagree on
     /// length (construction-time invariant, internal call sites only).
     pub fn multi_labels(names: Vec<Option<String>>, levels: Vec<Column>) -> Index {
-        assert!(!levels.is_empty(), "multi-level index needs at least one level");
+        assert!(
+            !levels.is_empty(),
+            "multi-level index needs at least one level"
+        );
         assert_eq!(names.len(), levels.len(), "one name per level");
         let len = levels[0].len();
-        assert!(levels.iter().all(|l| l.len() == len), "level lengths must agree");
-        Index::MultiLabels { names, levels: levels.into_iter().map(Arc::new).collect() }
+        assert!(
+            levels.iter().all(|l| l.len() == len),
+            "level lengths must agree"
+        );
+        Index::MultiLabels {
+            names,
+            levels: levels.into_iter().map(Arc::new).collect(),
+        }
     }
 
     pub fn len(&self) -> usize {
@@ -107,8 +119,7 @@ impl Index {
             Index::Range(_) => Value::Int(i as i64),
             Index::Labels { values, .. } => values.value(i),
             Index::MultiLabels { levels, .. } => {
-                let parts: Vec<String> =
-                    levels.iter().map(|l| l.value(i).to_string()).collect();
+                let parts: Vec<String> = levels.iter().map(|l| l.value(i).to_string()).collect();
                 Value::str(format!("({})", parts.join(", ")))
             }
         }
@@ -200,10 +211,7 @@ mod tests {
     fn multi_level_basics() {
         let l0 = Column::Str(StrColumn::from_strings(["x", "x", "y"]));
         let l1 = Column::Int64(PrimitiveColumn::from_values(vec![1, 2, 1]));
-        let idx = Index::multi_labels(
-            vec![Some("g".into()), Some("sub".into())],
-            vec![l0, l1],
-        );
+        let idx = Index::multi_labels(vec![Some("g".into()), Some("sub".into())], vec![l0, l1]);
         assert!(idx.is_labeled());
         assert_eq!(idx.num_levels(), 2);
         assert_eq!(idx.name(), Some("g"));

@@ -14,11 +14,15 @@ impl DataFrame {
     /// operation, which is why it records an `Assign` event.
     pub fn with_column(&self, name: &str, column: Column) -> Result<DataFrame> {
         if column.len() != self.num_rows() && self.num_columns() > 0 {
-            return Err(Error::LengthMismatch { expected: self.num_rows(), got: column.len() });
+            return Err(Error::LengthMismatch {
+                expected: self.num_rows(),
+                got: column.len(),
+            });
         }
         let mut names = self.column_names().to_vec();
-        let mut cols: Vec<Arc<Column>> =
-            (0..self.num_columns()).map(|i| self.column_arc(&names[i]).unwrap()).collect();
+        let mut cols: Vec<Arc<Column>> = (0..self.num_columns())
+            .map(|i| self.column_arc(&names[i]).unwrap())
+            .collect();
         match self.column_position(name) {
             Some(pos) => cols[pos] = Arc::new(column),
             None => {
@@ -72,7 +76,11 @@ mod tests {
     use crate::frame::DataFrameBuilder;
 
     fn df() -> DataFrame {
-        DataFrameBuilder::new().int("a", [1, 2]).str("b", ["x", "y"]).build().unwrap()
+        DataFrameBuilder::new()
+            .int("a", [1, 2])
+            .str("b", ["x", "y"])
+            .build()
+            .unwrap()
     }
 
     #[test]

@@ -13,7 +13,9 @@ impl DataFrame {
     /// `out`. Null and NaN inputs map to null outputs.
     pub fn cut(&self, column: &str, labels: &[&str], out: &str) -> Result<DataFrame> {
         if labels.is_empty() {
-            return Err(Error::InvalidArgument("cut requires at least one label".into()));
+            return Err(Error::InvalidArgument(
+                "cut requires at least one label".into(),
+            ));
         }
         let col = self.column(column)?;
         if !col.dtype().is_numeric() {
@@ -23,11 +25,15 @@ impl DataFrame {
                 got: col.dtype().name(),
             });
         }
-        let (lo, hi) = col
-            .min_max_f64()
-            .ok_or_else(|| Error::InvalidArgument(format!("column {column:?} has no valid values")))?;
+        let (lo, hi) = col.min_max_f64().ok_or_else(|| {
+            Error::InvalidArgument(format!("column {column:?} has no valid values"))
+        })?;
         let nbins = labels.len();
-        let width = if hi > lo { (hi - lo) / nbins as f64 } else { 1.0 };
+        let width = if hi > lo {
+            (hi - lo) / nbins as f64
+        } else {
+            1.0
+        };
 
         let mut out_col = StrColumn::new();
         for i in 0..col.len() {
@@ -54,7 +60,9 @@ impl DataFrame {
     /// counts)` with `bins + 1` edges. Nulls and NaNs are excluded.
     pub fn histogram(&self, column: &str, bins: usize) -> Result<(Vec<f64>, Vec<u64>)> {
         if bins == 0 {
-            return Err(Error::InvalidArgument("histogram requires bins >= 1".into()));
+            return Err(Error::InvalidArgument(
+                "histogram requires bins >= 1".into(),
+            ));
         }
         let col = self.column(column)?;
         if !col.dtype().is_numeric() && col.dtype() != crate::value::DType::DateTime {
@@ -68,7 +76,11 @@ impl DataFrame {
             Some(mm) => mm,
             None => return Ok((vec![0.0; bins + 1], vec![0; bins])),
         };
-        let width = if hi > lo { (hi - lo) / bins as f64 } else { 1.0 };
+        let width = if hi > lo {
+            (hi - lo) / bins as f64
+        } else {
+            1.0
+        };
         let edges: Vec<f64> = (0..=bins).map(|b| lo + width * b as f64).collect();
         let mut counts = vec![0u64; bins];
         for i in 0..col.len() {
@@ -99,7 +111,9 @@ mod tests {
             .float("stringency", [10.0, 90.0, 45.0, 55.0])
             .build()
             .unwrap();
-        let d = df.cut("stringency", &["Low", "High"], "stringency_level").unwrap();
+        let d = df
+            .cut("stringency", &["Low", "High"], "stringency_level")
+            .unwrap();
         assert_eq!(d.value(0, "stringency_level").unwrap(), Value::str("Low"));
         assert_eq!(d.value(1, "stringency_level").unwrap(), Value::str("High"));
         assert_eq!(d.value(2, "stringency_level").unwrap(), Value::str("Low"));
@@ -117,7 +131,10 @@ mod tests {
 
     #[test]
     fn histogram_counts_sum_to_valid_rows() {
-        let df = DataFrameBuilder::new().float("x", (0..100).map(|i| i as f64)).build().unwrap();
+        let df = DataFrameBuilder::new()
+            .float("x", (0..100).map(|i| i as f64))
+            .build()
+            .unwrap();
         let (edges, counts) = df.histogram("x", 10).unwrap();
         assert_eq!(edges.len(), 11);
         assert_eq!(counts.iter().sum::<u64>(), 100);
@@ -126,7 +143,10 @@ mod tests {
 
     #[test]
     fn histogram_constant_column() {
-        let df = DataFrameBuilder::new().float("x", [5.0, 5.0, 5.0]).build().unwrap();
+        let df = DataFrameBuilder::new()
+            .float("x", [5.0, 5.0, 5.0])
+            .build()
+            .unwrap();
         let (_, counts) = df.histogram("x", 4).unwrap();
         assert_eq!(counts.iter().sum::<u64>(), 3);
     }

@@ -36,7 +36,10 @@ impl DataFrame {
             cols.push(Arc::new(merged));
         }
         let index = Index::range(self.num_rows() + other.num_rows());
-        let event = Event::new(OpKind::Concat, format!("concat(+{} rows)", other.num_rows()));
+        let event = Event::new(
+            OpKind::Concat,
+            format!("concat(+{} rows)", other.num_rows()),
+        );
         Ok(self.derive(names, cols, index, event))
     }
 }
@@ -49,8 +52,16 @@ mod tests {
 
     #[test]
     fn concat_stacks_rows() {
-        let a = DataFrameBuilder::new().int("x", [1, 2]).str("y", ["a", "b"]).build().unwrap();
-        let b = DataFrameBuilder::new().int("x", [3]).str("y", ["c"]).build().unwrap();
+        let a = DataFrameBuilder::new()
+            .int("x", [1, 2])
+            .str("y", ["a", "b"])
+            .build()
+            .unwrap();
+        let b = DataFrameBuilder::new()
+            .int("x", [3])
+            .str("y", ["c"])
+            .build()
+            .unwrap();
         let c = a.concat(&b).unwrap();
         assert_eq!(c.num_rows(), 3);
         assert_eq!(c.value(2, "y").unwrap(), Value::str("c"));

@@ -34,7 +34,11 @@ impl DataFrame {
                 .collect();
             vals.sort_by(f64::total_cmp);
             let n = vals.len();
-            let mean = if n > 0 { vals.iter().sum::<f64>() / n as f64 } else { f64::NAN };
+            let mean = if n > 0 {
+                vals.iter().sum::<f64>() / n as f64
+            } else {
+                f64::NAN
+            };
             let std = if n > 1 {
                 (vals.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / (n - 1) as f64).sqrt()
             } else {
@@ -61,11 +65,15 @@ impl DataFrame {
                 if n > 0 { vals[n - 1] } else { f64::NAN },
             ];
             names.push(name.to_string());
-            cols.push(Arc::new(Column::Float64(PrimitiveColumn::from_values(stats))));
+            cols.push(Arc::new(Column::Float64(PrimitiveColumn::from_values(
+                stats,
+            ))));
         }
 
-        let index =
-            Index::labels(Some("statistic".into()), Column::Str(StrColumn::from_strings(DESCRIBE_STATS)));
+        let index = Index::labels(
+            Some("statistic".into()),
+            Column::Str(StrColumn::from_strings(DESCRIBE_STATS)),
+        );
         let event = Event::new(OpKind::Aggregate, "describe()");
         Ok(self.derive_with_parent(names, cols, index, event))
     }

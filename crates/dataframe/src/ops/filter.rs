@@ -105,12 +105,16 @@ impl DataFrame {
         columns: Vec<String>,
     ) -> Result<DataFrame> {
         if mask.len() != self.num_rows() {
-            return Err(Error::LengthMismatch { expected: self.num_rows(), got: mask.len() });
+            return Err(Error::LengthMismatch {
+                expected: self.num_rows(),
+                got: mask.len(),
+            });
         }
         let indices: Vec<usize> = (0..self.num_rows()).filter(|&i| mask.get(i)).collect();
         let names = self.column_names().to_vec();
-        let cols: Vec<Arc<Column>> =
-            (0..self.num_columns()).map(|c| Arc::new(self.column_at(c).take(&indices))).collect();
+        let cols: Vec<Arc<Column>> = (0..self.num_columns())
+            .map(|c| Arc::new(self.column_at(c).take(&indices)))
+            .collect();
         let index = self.index().take(&indices);
         let event = Event::new(OpKind::Filter, detail).with_columns(columns);
         Ok(self.derive_with_parent(names, cols, index, event))
@@ -130,9 +134,9 @@ fn build_mask(col: &Column, op: FilterOp, value: &Value) -> Bitmap {
                     })
                 })),
                 // Value not in dictionary: Eq matches nothing, Ne matches all valid rows.
-                None => Bitmap::from_iter((0..c.len()).map(|i| {
-                    matches!(op, FilterOp::Ne) && c.is_valid(i)
-                })),
+                None => Bitmap::from_iter(
+                    (0..c.len()).map(|i| matches!(op, FilterOp::Ne) && c.is_valid(i)),
+                ),
             }
         }
         (Column::Int64(c), v) | (Column::DateTime(c), v) => {
@@ -146,7 +150,9 @@ fn build_mask(col: &Column, op: FilterOp, value: &Value) -> Bitmap {
         }
         (Column::Float64(c), v) => {
             if let Some(rhs) = v.as_f64() {
-                Bitmap::from_iter((0..c.len()).map(|i| c.get(i).is_some_and(|x| eval_f64(op, x, rhs))))
+                Bitmap::from_iter(
+                    (0..c.len()).map(|i| c.get(i).is_some_and(|x| eval_f64(op, x, rhs))),
+                )
             } else {
                 boxed_mask(col, op, value)
             }
@@ -196,20 +202,30 @@ mod tests {
     fn numeric_filters() {
         let f = df().filter("age", FilterOp::Gt, &Value::Int(30)).unwrap();
         assert_eq!(f.num_rows(), 2);
-        let f = df().filter("age", FilterOp::Le, &Value::Float(25.0)).unwrap();
+        let f = df()
+            .filter("age", FilterOp::Le, &Value::Float(25.0))
+            .unwrap();
         assert_eq!(f.num_rows(), 2);
     }
 
     #[test]
     fn string_equality_uses_dictionary() {
-        let f = df().filter("dept", FilterOp::Eq, &Value::str("Sales")).unwrap();
+        let f = df()
+            .filter("dept", FilterOp::Eq, &Value::str("Sales"))
+            .unwrap();
         assert_eq!(f.num_rows(), 2);
-        let f = df().filter("dept", FilterOp::Ne, &Value::str("Sales")).unwrap();
+        let f = df()
+            .filter("dept", FilterOp::Ne, &Value::str("Sales"))
+            .unwrap();
         assert_eq!(f.num_rows(), 2);
         // value not present in dictionary
-        let f = df().filter("dept", FilterOp::Eq, &Value::str("Nope")).unwrap();
+        let f = df()
+            .filter("dept", FilterOp::Eq, &Value::str("Nope"))
+            .unwrap();
         assert_eq!(f.num_rows(), 0);
-        let f = df().filter("dept", FilterOp::Ne, &Value::str("Nope")).unwrap();
+        let f = df()
+            .filter("dept", FilterOp::Ne, &Value::str("Nope"))
+            .unwrap();
         assert_eq!(f.num_rows(), 4);
     }
 
@@ -224,7 +240,9 @@ mod tests {
 
     #[test]
     fn filter_records_history_with_parent() {
-        let f = df().filter("dept", FilterOp::Eq, &Value::str("Eng")).unwrap();
+        let f = df()
+            .filter("dept", FilterOp::Eq, &Value::str("Eng"))
+            .unwrap();
         let e = f.history().last_of(OpKind::Filter).unwrap();
         assert!(e.detail.contains("dept"));
         assert_eq!(e.parent.as_ref().unwrap().num_rows(), 4);

@@ -48,7 +48,10 @@ impl Agg {
 
     /// True for aggregations defined only on numeric columns.
     pub fn requires_numeric(self) -> bool {
-        matches!(self, Agg::Sum | Agg::Mean | Agg::Var | Agg::Std | Agg::Median)
+        matches!(
+            self,
+            Agg::Sum | Agg::Mean | Agg::Var | Agg::Std | Agg::Median
+        )
     }
 
     /// Output type given an input type.
@@ -90,7 +93,11 @@ fn key_part(col: &Column, row: usize) -> KeyPart {
     match col {
         Column::Int64(c) | Column::DateTime(c) => c.get(row).map_or(KeyPart::Null, KeyPart::Int),
         Column::Float64(c) => c.get(row).map_or(KeyPart::Null, |v| {
-            KeyPart::Bits(if v.is_nan() { f64::NAN.to_bits() } else { v.to_bits() })
+            KeyPart::Bits(if v.is_nan() {
+                f64::NAN.to_bits()
+            } else {
+                v.to_bits()
+            })
         }),
         Column::Bool(c) => c.get(row).map_or(KeyPart::Null, KeyPart::Bool),
         Column::Str(c) => c.code(row).map_or(KeyPart::Null, KeyPart::Code),
@@ -112,7 +119,9 @@ impl DataFrame {
     /// Start a group-by over the named key columns.
     pub fn groupby(&self, keys: &[&str]) -> Result<GroupBy<'_>> {
         if keys.is_empty() {
-            return Err(Error::InvalidArgument("groupby requires at least one key".into()));
+            return Err(Error::InvalidArgument(
+                "groupby requires at least one key".into(),
+            ));
         }
         let key_cols: Vec<&Column> = keys.iter().map(|k| self.column(k)).collect::<Result<_>>()?;
         let nrows = self.num_rows();
@@ -239,7 +248,9 @@ impl GroupBy<'_> {
                         counts[g as usize] += 1;
                     }
                 }
-                Ok(Column::Int64(crate::column::PrimitiveColumn::from_values(counts)))
+                Ok(Column::Int64(crate::column::PrimitiveColumn::from_values(
+                    counts,
+                )))
             }
             Agg::Sum | Agg::Mean | Agg::Var | Agg::Std => {
                 // single Welford pass covers all four
@@ -284,9 +295,13 @@ impl GroupBy<'_> {
                 if agg == Agg::Sum && source.dtype() == DType::Int64 {
                     let ints: Vec<Option<i64>> =
                         vals.iter().map(|v| v.map(|x| x.round() as i64)).collect();
-                    Ok(Column::Int64(crate::column::PrimitiveColumn::from_options(ints)))
+                    Ok(Column::Int64(crate::column::PrimitiveColumn::from_options(
+                        ints,
+                    )))
                 } else {
-                    Ok(Column::Float64(crate::column::PrimitiveColumn::from_options(vals)))
+                    Ok(Column::Float64(
+                        crate::column::PrimitiveColumn::from_options(vals),
+                    ))
                 }
             }
             Agg::Median => {
@@ -313,7 +328,9 @@ impl GroupBy<'_> {
                         })
                     })
                     .collect();
-                Ok(Column::Float64(crate::column::PrimitiveColumn::from_options(vals)))
+                Ok(Column::Float64(
+                    crate::column::PrimitiveColumn::from_options(vals),
+                ))
             }
             Agg::Min | Agg::Max | Agg::First => {
                 let mut best: Vec<Value> = vec![Value::Null; ngroups];
@@ -405,7 +422,9 @@ mod tests {
     fn count_per_group() {
         let c = df().groupby(&["dept"]).unwrap().count().unwrap();
         assert_eq!(c.num_rows(), 2);
-        let sales = c.filter("dept", crate::ops::FilterOp::Eq, &Value::str("Sales")).unwrap();
+        let sales = c
+            .filter("dept", crate::ops::FilterOp::Eq, &Value::str("Sales"))
+            .unwrap();
         assert_eq!(sales.value(0, "count").unwrap(), Value::Int(3));
     }
 
@@ -413,15 +432,17 @@ mod tests {
     fn mean_sum_var_std() {
         let df = df();
         let g = df.groupby(&["dept"]).unwrap();
-        let a = g
-            .agg(&[("pay", Agg::Mean), ("age", Agg::Sum)])
+        let a = g.agg(&[("pay", Agg::Mean), ("age", Agg::Sum)]).unwrap();
+        let eng = a
+            .filter("dept", crate::ops::FilterOp::Eq, &Value::str("Eng"))
             .unwrap();
-        let eng = a.filter("dept", crate::ops::FilterOp::Eq, &Value::str("Eng")).unwrap();
         assert_eq!(eng.value(0, "pay").unwrap(), Value::Float(85.0));
         assert_eq!(eng.value(0, "age").unwrap(), Value::Int(60));
         let v = g.agg(&[("pay", Agg::Var), ("pay", Agg::Std)]).unwrap();
         assert!(v.has_column("pay_var") && v.has_column("pay_std"));
-        let eng = v.filter("dept", crate::ops::FilterOp::Eq, &Value::str("Eng")).unwrap();
+        let eng = v
+            .filter("dept", crate::ops::FilterOp::Eq, &Value::str("Eng"))
+            .unwrap();
         assert_eq!(eng.value(0, "pay_var").unwrap(), Value::Float(50.0));
     }
 
@@ -429,17 +450,21 @@ mod tests {
     fn min_max_first_median() {
         let df = df();
         let g = df.groupby(&["dept"]).unwrap();
-        let a = g
-            .agg(&[("age", Agg::Min), ("pay", Agg::Max)])
+        let a = g.agg(&[("age", Agg::Min), ("pay", Agg::Max)]).unwrap();
+        let sales = a
+            .filter("dept", crate::ops::FilterOp::Eq, &Value::str("Sales"))
             .unwrap();
-        let sales = a.filter("dept", crate::ops::FilterOp::Eq, &Value::str("Sales")).unwrap();
         assert_eq!(sales.value(0, "age").unwrap(), Value::Int(25));
         assert_eq!(sales.value(0, "pay").unwrap(), Value::Float(70.0));
         let m = g.agg(&[("pay", Agg::Median)]).unwrap();
-        let sales = m.filter("dept", crate::ops::FilterOp::Eq, &Value::str("Sales")).unwrap();
+        let sales = m
+            .filter("dept", crate::ops::FilterOp::Eq, &Value::str("Sales"))
+            .unwrap();
         assert_eq!(sales.value(0, "pay").unwrap(), Value::Float(60.0));
         let f = g.agg(&[("age", Agg::First)]).unwrap();
-        let eng = f.filter("dept", crate::ops::FilterOp::Eq, &Value::str("Eng")).unwrap();
+        let eng = f
+            .filter("dept", crate::ops::FilterOp::Eq, &Value::str("Eng"))
+            .unwrap();
         assert_eq!(eng.value(0, "age").unwrap(), Value::Int(32));
     }
 
@@ -469,7 +494,11 @@ mod tests {
             .float("v", [1.0, 2.0, 3.0, 4.0])
             .build()
             .unwrap();
-        let a = df.groupby(&["a", "b"]).unwrap().agg(&[("v", Agg::Sum)]).unwrap();
+        let a = df
+            .groupby(&["a", "b"])
+            .unwrap()
+            .agg(&[("v", Agg::Sum)])
+            .unwrap();
         assert_eq!(a.num_rows(), 3);
         assert!(a.index().is_labeled());
         assert_eq!(a.index().num_levels(), 2);
@@ -484,9 +513,10 @@ mod tests {
             Some("a"),
             None,
         ]));
-        let v = Column::Int64(crate::column::PrimitiveColumn::from_values(vec![1, 2, 3, 4]));
-        let df =
-            DataFrame::from_columns(vec![("k".into(), col), ("v".into(), v)]).unwrap();
+        let v = Column::Int64(crate::column::PrimitiveColumn::from_values(vec![
+            1, 2, 3, 4,
+        ]));
+        let df = DataFrame::from_columns(vec![("k".into(), col), ("v".into(), v)]).unwrap();
         let a = df.groupby(&["k"]).unwrap().count().unwrap();
         assert_eq!(a.num_rows(), 2);
     }
@@ -515,10 +545,15 @@ mod tests {
             None,
             Some(3),
         ]));
-        let df =
-            DataFrame::from_columns(vec![("k".into(), k), ("v".into(), v)]).unwrap();
-        let a = df.groupby(&["k"]).unwrap().agg(&[("v", Agg::Count)]).unwrap();
-        let row_a = a.filter("k", crate::ops::FilterOp::Eq, &Value::str("a")).unwrap();
+        let df = DataFrame::from_columns(vec![("k".into(), k), ("v".into(), v)]).unwrap();
+        let a = df
+            .groupby(&["k"])
+            .unwrap()
+            .agg(&[("v", Agg::Count)])
+            .unwrap();
+        let row_a = a
+            .filter("k", crate::ops::FilterOp::Eq, &Value::str("a"))
+            .unwrap();
         assert_eq!(row_a.value(0, "v").unwrap(), Value::Int(1));
     }
 }

@@ -50,7 +50,11 @@ impl DataFrame {
         let mut right_rows: Vec<Option<usize>> = Vec::new();
         for row in 0..self.num_rows() {
             let v = left_key.value(row);
-            let matches = if v.is_null() { None } else { table.get(&HashableValue(v)) };
+            let matches = if v.is_null() {
+                None
+            } else {
+                table.get(&HashableValue(v))
+            };
             match matches {
                 Some(rs) => {
                     for &r in rs {
@@ -93,7 +97,10 @@ impl DataFrame {
         let index = Index::range(left_rows.len());
         let event = Event::new(
             OpKind::Join,
-            format!("join({left_on}={right_on}, {kind:?}, right={} rows)", other.num_rows()),
+            format!(
+                "join({left_on}={right_on}, {kind:?}, right={} rows)",
+                other.num_rows()
+            ),
         )
         .with_columns(vec![left_on.to_string(), right_on.to_string()]);
         Ok(self.derive(names, cols, index, event))
@@ -136,7 +143,11 @@ impl std::hash::Hash for HashableValue {
                     (*v as i64).hash(state);
                 } else {
                     2u8.hash(state);
-                    let bits = if v.is_nan() { f64::NAN.to_bits() } else { v.to_bits() };
+                    let bits = if v.is_nan() {
+                        f64::NAN.to_bits()
+                    } else {
+                        v.to_bits()
+                    };
                     bits.hash(state);
                 }
             }
@@ -179,7 +190,9 @@ mod tests {
 
     #[test]
     fn inner_join_intersects() {
-        let j = left().join(&right(), "country", "country", JoinKind::Inner).unwrap();
+        let j = left()
+            .join(&right(), "country", "country", JoinKind::Inner)
+            .unwrap();
         assert_eq!(j.num_rows(), 2);
         assert_eq!(j.column_names(), &["country", "hpi", "stringency"]);
         assert_eq!(j.value(0, "stringency").unwrap(), Value::Float(60.0));
@@ -187,9 +200,13 @@ mod tests {
 
     #[test]
     fn left_join_keeps_unmatched_with_nulls() {
-        let j = left().join(&right(), "country", "country", JoinKind::Left).unwrap();
+        let j = left()
+            .join(&right(), "country", "country", JoinKind::Left)
+            .unwrap();
         assert_eq!(j.num_rows(), 3);
-        let chad = j.filter("country", crate::ops::FilterOp::Eq, &Value::str("Chad")).unwrap();
+        let chad = j
+            .filter("country", crate::ops::FilterOp::Eq, &Value::str("Chad"))
+            .unwrap();
         assert!(chad.value(0, "stringency").unwrap().is_null());
     }
 
@@ -212,13 +229,17 @@ mod tests {
             .float("hpi", [99.0])
             .build()
             .unwrap();
-        let j = left().join(&r, "country", "country", JoinKind::Inner).unwrap();
+        let j = left()
+            .join(&r, "country", "country", JoinKind::Inner)
+            .unwrap();
         assert!(j.has_column("hpi") && j.has_column("hpi_right"));
     }
 
     #[test]
     fn join_records_event() {
-        let j = left().join(&right(), "country", "country", JoinKind::Inner).unwrap();
+        let j = left()
+            .join(&right(), "country", "country", JoinKind::Inner)
+            .unwrap();
         assert!(j.history().contains(OpKind::Join));
     }
 

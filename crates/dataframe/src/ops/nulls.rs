@@ -22,8 +22,10 @@ impl DataFrame {
 
     /// Drop rows with a null in any of the named columns.
     pub fn dropna_subset(&self, columns: &[&str]) -> Result<DataFrame> {
-        let cols: Vec<&crate::column::Column> =
-            columns.iter().map(|c| self.column(c)).collect::<Result<_>>()?;
+        let cols: Vec<&crate::column::Column> = columns
+            .iter()
+            .map(|c| self.column(c))
+            .collect::<Result<_>>()?;
         let mask =
             Bitmap::from_iter((0..self.num_rows()).map(|i| cols.iter().all(|c| c.is_valid(i))));
         let mut out = self.filter_rows(&mask)?;

@@ -37,8 +37,7 @@ impl DataFrame {
         let row_pos = |v: &Value| row_labels.iter().position(|r| r == v);
         let col_pos = |v: &Value| col_labels.iter().position(|c| c == v);
 
-        let mut grid: Vec<Vec<Value>> =
-            vec![vec![Value::Null; row_labels.len()]; col_labels.len()];
+        let mut grid: Vec<Vec<Value>> = vec![vec![Value::Null; row_labels.len()]; col_labels.len()];
         let a_idx = agged.column(index)?;
         let a_col = agged.column(columns)?;
         let a_val = agged.column(values)?;
@@ -61,7 +60,11 @@ impl DataFrame {
             OpKind::Aggregate,
             format!("pivot(index={index}, columns={columns}, values={values}, agg={agg})"),
         )
-        .with_columns(vec![index.to_string(), columns.to_string(), values.to_string()]);
+        .with_columns(vec![
+            index.to_string(),
+            columns.to_string(),
+            values.to_string(),
+        ]);
         Ok(self.derive_with_parent(names, cols, out_index, event))
     }
 

@@ -17,10 +17,14 @@ impl DataFrame {
     /// var). All `value_vars` must share a dtype.
     pub fn melt(&self, id_vars: &[&str], value_vars: &[&str]) -> Result<DataFrame> {
         if value_vars.is_empty() {
-            return Err(Error::InvalidArgument("melt requires at least one value var".into()));
+            return Err(Error::InvalidArgument(
+                "melt requires at least one value var".into(),
+            ));
         }
-        let val_cols: Vec<&Column> =
-            value_vars.iter().map(|v| self.column(v)).collect::<Result<_>>()?;
+        let val_cols: Vec<&Column> = value_vars
+            .iter()
+            .map(|v| self.column(v))
+            .collect::<Result<_>>()?;
         let dtype = val_cols[0].dtype();
         for (name, col) in value_vars.iter().zip(&val_cols) {
             if col.dtype() != dtype {
@@ -31,7 +35,10 @@ impl DataFrame {
                 });
             }
         }
-        let id_cols: Vec<&Column> = id_vars.iter().map(|v| self.column(v)).collect::<Result<_>>()?;
+        let id_cols: Vec<&Column> = id_vars
+            .iter()
+            .map(|v| self.column(v))
+            .collect::<Result<_>>()?;
 
         let nrows = self.num_rows();
         let out_len = nrows * value_vars.len();
@@ -59,8 +66,11 @@ impl DataFrame {
 
         let names: Vec<String> = out.iter().map(|(n, _)| n.clone()).collect();
         let cols: Vec<Arc<Column>> = out.into_iter().map(|(_, c)| Arc::new(c)).collect();
-        let event = Event::new(OpKind::Other, format!("melt(id={id_vars:?}, value={value_vars:?})"))
-            .with_columns(value_vars.iter().map(|s| s.to_string()).collect());
+        let event = Event::new(
+            OpKind::Other,
+            format!("melt(id={id_vars:?}, value={value_vars:?})"),
+        )
+        .with_columns(value_vars.iter().map(|s| s.to_string()).collect());
         Ok(self.derive(names, cols, Index::range(out_len), event))
     }
 
@@ -118,7 +128,9 @@ impl DataFrame {
     /// interpolation, ignoring nulls/NaN.
     pub fn quantile(&self, column: &str, q: f64) -> Result<Option<f64>> {
         if !(0.0..=1.0).contains(&q) {
-            return Err(Error::InvalidArgument(format!("quantile {q} outside [0, 1]")));
+            return Err(Error::InvalidArgument(format!(
+                "quantile {q} outside [0, 1]"
+            )));
         }
         let col = self.column(column)?;
         let mut vals: Vec<f64> = (0..col.len())
@@ -167,9 +179,14 @@ impl DataFrame {
                     }
                 }
             }
-            result.push(if count > 0 { Some(sum / count as f64) } else { None });
+            result.push(if count > 0 {
+                Some(sum / count as f64)
+            } else {
+                None
+            });
         }
-        let mut df = self.with_column(out, Column::Float64(PrimitiveColumn::from_options(result)))?;
+        let mut df =
+            self.with_column(out, Column::Float64(PrimitiveColumn::from_options(result)))?;
         df.record_event(
             Event::new(OpKind::Other, format!("rolling_mean({column}, {window})"))
                 .with_columns(vec![column.to_string(), out.to_string()]),
@@ -234,9 +251,7 @@ fn cast_value(v: &Value, dtype: DType) -> Value {
         DType::Str => Value::str(v.to_string()),
         DType::DateTime => match v {
             Value::DateTime(d) => Value::DateTime(*d),
-            Value::Str(s) => {
-                crate::value::parse_datetime(s).map_or(Value::Null, Value::DateTime)
-            }
+            Value::Str(s) => crate::value::parse_datetime(s).map_or(Value::Null, Value::DateTime),
             Value::Int(i) => Value::DateTime(*i),
             _ => Value::Null,
         },
@@ -286,7 +301,10 @@ mod tests {
         let d = df().astype("jan", DType::Str).unwrap();
         assert_eq!(d.value(0, "jan").unwrap(), Value::str("10.0"));
         // string -> float parses, junk becomes null
-        let s = DataFrameBuilder::new().str("x", ["1.5", "oops"]).build().unwrap();
+        let s = DataFrameBuilder::new()
+            .str("x", ["1.5", "oops"])
+            .build()
+            .unwrap();
         let d = s.astype("x", DType::Float64).unwrap();
         assert_eq!(d.value(0, "x").unwrap(), Value::Float(1.5));
         assert!(d.value(1, "x").unwrap().is_null());
@@ -294,12 +312,18 @@ mod tests {
 
     #[test]
     fn astype_bool_and_datetime() {
-        let s = DataFrameBuilder::new().str("b", ["yes", "0", "maybe"]).build().unwrap();
+        let s = DataFrameBuilder::new()
+            .str("b", ["yes", "0", "maybe"])
+            .build()
+            .unwrap();
         let d = s.astype("b", DType::Bool).unwrap();
         assert_eq!(d.value(0, "b").unwrap(), Value::Bool(true));
         assert_eq!(d.value(1, "b").unwrap(), Value::Bool(false));
         assert!(d.value(2, "b").unwrap().is_null());
-        let s = DataFrameBuilder::new().str("d", ["2020-01-02", "junk"]).build().unwrap();
+        let s = DataFrameBuilder::new()
+            .str("d", ["2020-01-02", "junk"])
+            .build()
+            .unwrap();
         let d = s.astype("d", DType::DateTime).unwrap();
         assert!(matches!(d.value(0, "d").unwrap(), Value::DateTime(_)));
         assert!(d.value(1, "d").unwrap().is_null());
@@ -315,18 +339,27 @@ mod tests {
 
     #[test]
     fn quantile_interpolates() {
-        let d = DataFrameBuilder::new().float("x", [0.0, 10.0, 20.0, 30.0]).build().unwrap();
+        let d = DataFrameBuilder::new()
+            .float("x", [0.0, 10.0, 20.0, 30.0])
+            .build()
+            .unwrap();
         assert_eq!(d.quantile("x", 0.5).unwrap(), Some(15.0));
         assert_eq!(d.quantile("x", 0.0).unwrap(), Some(0.0));
         assert_eq!(d.quantile("x", 1.0).unwrap(), Some(30.0));
         assert!(d.quantile("x", 1.5).is_err());
-        let empty = DataFrameBuilder::new().float("x", Vec::<f64>::new()).build().unwrap();
+        let empty = DataFrameBuilder::new()
+            .float("x", Vec::<f64>::new())
+            .build()
+            .unwrap();
         assert_eq!(empty.quantile("x", 0.5).unwrap(), None);
     }
 
     #[test]
     fn rolling_mean_trailing_window() {
-        let d = DataFrameBuilder::new().float("x", [1.0, 2.0, 3.0, 4.0]).build().unwrap();
+        let d = DataFrameBuilder::new()
+            .float("x", [1.0, 2.0, 3.0, 4.0])
+            .build()
+            .unwrap();
         let r = d.rolling_mean("x", 2, "x_ma").unwrap();
         assert!(r.value(0, "x_ma").unwrap().is_null());
         assert_eq!(r.value(1, "x_ma").unwrap(), Value::Float(1.5));
@@ -336,9 +369,15 @@ mod tests {
 
     #[test]
     fn rank_dense_with_ties() {
-        let d = DataFrameBuilder::new().float("x", [3.0, 1.0, 3.0, 2.0]).build().unwrap();
+        let d = DataFrameBuilder::new()
+            .float("x", [3.0, 1.0, 3.0, 2.0])
+            .build()
+            .unwrap();
         let r = d.rank("x", "r").unwrap();
         let ranks: Vec<Value> = (0..4).map(|i| r.value(i, "r").unwrap()).collect();
-        assert_eq!(ranks, vec![Value::Int(3), Value::Int(1), Value::Int(3), Value::Int(2)]);
+        assert_eq!(
+            ranks,
+            vec![Value::Int(3), Value::Int(1), Value::Int(3), Value::Int(2)]
+        );
     }
 }

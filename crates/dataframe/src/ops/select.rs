@@ -38,7 +38,10 @@ impl DataFrame {
             .map(String::as_str)
             .collect();
         let mut df = self.select(&keep)?;
-        df.record_event(Event::new(OpKind::Other, format!("drop_columns({names:?})")));
+        df.record_event(Event::new(
+            OpKind::Other,
+            format!("drop_columns({names:?})"),
+        ));
         Ok(df)
     }
 
@@ -200,7 +203,10 @@ impl DataFrame {
             }
         }
         let mut out = self.take_rows(&keep);
-        out.record_event(Event::new(OpKind::Filter, format!("drop_duplicates({columns:?})")));
+        out.record_event(Event::new(
+            OpKind::Filter,
+            format!("drop_duplicates({columns:?})"),
+        ));
         Ok(out)
     }
 
@@ -213,8 +219,11 @@ impl DataFrame {
         }));
         let mut out = self.filter_rows(&mask)?;
         out.record_event(
-            Event::new(OpKind::Filter, format!("isin({column}, {} values)", values.len()))
-                .with_columns(vec![column.to_string()]),
+            Event::new(
+                OpKind::Filter,
+                format!("isin({column}, {} values)", values.len()),
+            )
+            .with_columns(vec![column.to_string()]),
         );
         Ok(out)
     }

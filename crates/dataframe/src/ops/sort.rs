@@ -12,8 +12,10 @@ impl DataFrame {
     /// Sort rows by one or more columns. `ascending` applies to all keys.
     /// The sort is stable; nulls sort first in ascending order.
     pub fn sort_by(&self, columns: &[&str], ascending: bool) -> Result<DataFrame> {
-        let keys: Vec<&Column> =
-            columns.iter().map(|c| self.column(c)).collect::<Result<_>>()?;
+        let keys: Vec<&Column> = columns
+            .iter()
+            .map(|c| self.column(c))
+            .collect::<Result<_>>()?;
         let mut indices: Vec<usize> = (0..self.num_rows()).collect();
         indices.sort_by(|&a, &b| {
             for key in &keys {
@@ -25,11 +27,15 @@ impl DataFrame {
             Ordering::Equal
         });
         let names = self.column_names().to_vec();
-        let cols: Vec<Arc<Column>> =
-            (0..self.num_columns()).map(|c| Arc::new(self.column_at(c).take(&indices))).collect();
+        let cols: Vec<Arc<Column>> = (0..self.num_columns())
+            .map(|c| Arc::new(self.column_at(c).take(&indices)))
+            .collect();
         let index = self.index().take(&indices);
-        let event = Event::new(OpKind::Sort, format!("sort_by({columns:?}, asc={ascending})"))
-            .with_columns(columns.iter().map(|s| s.to_string()).collect());
+        let event = Event::new(
+            OpKind::Sort,
+            format!("sort_by({columns:?}, asc={ascending})"),
+        )
+        .with_columns(columns.iter().map(|s| s.to_string()).collect());
         Ok(self.derive(names, cols, index, event))
     }
 }
@@ -62,8 +68,9 @@ mod tests {
             .build()
             .unwrap();
         let s = df.sort_by(&["g", "v"], true).unwrap();
-        let gs: Vec<String> =
-            (0..4).map(|i| s.value(i, "g").unwrap().to_string()).collect();
+        let gs: Vec<String> = (0..4)
+            .map(|i| s.value(i, "g").unwrap().to_string())
+            .collect();
         assert_eq!(gs, vec!["a", "a", "b", "b"]);
         assert_eq!(s.value(0, "v").unwrap(), Value::Int(1));
         assert_eq!(s.value(2, "v").unwrap(), Value::Int(0));

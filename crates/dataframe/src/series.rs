@@ -24,13 +24,21 @@ impl Series {
     /// Build a series from a name and column with a fresh positional index.
     pub fn new(name: impl Into<String>, column: Column) -> Series {
         let index = Index::range(column.len());
-        Series { name: name.into(), column: Arc::new(column), index }
+        Series {
+            name: name.into(),
+            column: Arc::new(column),
+            index,
+        }
     }
 
     /// Extract a column of a dataframe as a series, carrying the frame's index.
     pub fn from_frame(df: &DataFrame, column: &str) -> Result<Series> {
         let col = df.column_arc(column)?;
-        Ok(Series { name: column.to_string(), column: col, index: df.index().clone() })
+        Ok(Series {
+            name: column.to_string(),
+            column: col,
+            index: df.index().clone(),
+        })
     }
 
     pub fn name(&self) -> &str {
@@ -128,7 +136,10 @@ mod tests {
     }
 
     fn df_series() -> Series {
-        let df = DataFrameBuilder::new().float("x", [1.0, 2.0, 3.0]).build().unwrap();
+        let df = DataFrameBuilder::new()
+            .float("x", [1.0, 2.0, 3.0])
+            .build()
+            .unwrap();
         df.series("x").unwrap()
     }
 

@@ -53,8 +53,10 @@ pub fn execute(stmt: &SelectStmt, df: &DataFrame) -> Result<DataFrame> {
 fn execute_projection(stmt: &SelectStmt, df: &DataFrame, rows: &[usize]) -> Result<DataFrame> {
     let mut cols: Vec<(String, Column)> = Vec::with_capacity(stmt.items.len());
     for (expr, name) in &stmt.items {
-        let values: Vec<Value> =
-            rows.iter().map(|&r| eval_scalar(expr, df, r)).collect::<Result<_>>()?;
+        let values: Vec<Value> = rows
+            .iter()
+            .map(|&r| eval_scalar(expr, df, r))
+            .collect::<Result<_>>()?;
         cols.push((name.clone(), Column::from_values(&values)?));
     }
     DataFrame::from_columns(cols)
@@ -81,7 +83,10 @@ fn execute_grouped(stmt: &SelectStmt, df: &DataFrame, rows: &[usize]) -> Result<
                 .iter()
                 .map(|e| eval_scalar(e, df, r))
                 .collect::<Result<_>>()?;
-            let key_str = key_vals.iter().map(|v| format!("{v}\u{1}")).collect::<String>();
+            let key_str = key_vals
+                .iter()
+                .map(|v| format!("{v}\u{1}"))
+                .collect::<String>();
             let idx = *lookup.entry(key_str).or_insert_with(|| {
                 groups.push((key_vals, Vec::new()));
                 groups.len() - 1
@@ -165,9 +170,7 @@ fn eval_aggregate(
             Ok(Value::Int(n as i64))
         }
         _ => {
-            let e = arg.ok_or_else(|| {
-                Error::Parse(format!("{func:?} requires an argument"))
-            })?;
+            let e = arg.ok_or_else(|| Error::Parse(format!("{func:?} requires an argument")))?;
             let mut vals: Vec<f64> = Vec::new();
             let mut raw: Vec<Value> = Vec::new();
             for &r in members {
@@ -302,8 +305,11 @@ mod tests {
     #[test]
     fn null_handling_in_aggregates() {
         let df = crate::csv::read_csv_str("g,v\na,1\na,\nb,3\n").unwrap();
-        let r = query_frame("SELECT g, COUNT(v) AS n, AVG(v) AS m FROM t GROUP BY g ORDER BY g ASC", &df)
-            .unwrap();
+        let r = query_frame(
+            "SELECT g, COUNT(v) AS n, AVG(v) AS m FROM t GROUP BY g ORDER BY g ASC",
+            &df,
+        )
+        .unwrap();
         assert_eq!(r.value(0, "n").unwrap(), Value::Int(1));
         assert_eq!(r.value(0, "m").unwrap(), Value::Float(1.0));
     }
@@ -337,7 +343,10 @@ mod tests {
 
     #[test]
     fn group_by_expression_key() {
-        let df = DataFrameBuilder::new().int("x", [1, 2, 3, 4, 5, 6]).build().unwrap();
+        let df = DataFrameBuilder::new()
+            .int("x", [1, 2, 3, 4, 5, 6])
+            .build()
+            .unwrap();
         let r = query_frame(
             "SELECT FLOOR(x / 2) AS half, COUNT(*) AS n FROM t GROUP BY half ORDER BY half ASC",
             &df,

@@ -42,7 +42,13 @@ pub fn query(sql: &str, tables: &dyn Fn(&str) -> Option<DataFrame>) -> Result<Da
 /// Convenience: run a query against a single frame registered as `t`.
 pub fn query_frame(sql: &str, df: &DataFrame) -> Result<DataFrame> {
     let df_clone = df.clone();
-    query(sql, &move |name| if name == "t" { Some(df_clone.clone()) } else { None })
+    query(sql, &move |name| {
+        if name == "t" {
+            Some(df_clone.clone())
+        } else {
+            None
+        }
+    })
 }
 
 #[cfg(test)]

@@ -71,9 +71,10 @@ impl SqlExpr {
         match self {
             SqlExpr::Agg(..) => true,
             SqlExpr::Floor(e) | SqlExpr::Not(e) | SqlExpr::Neg(e) => e.has_aggregate(),
-            SqlExpr::Arith(a, _, b) | SqlExpr::Cmp(a, _, b) | SqlExpr::And(a, b) | SqlExpr::Or(a, b) => {
-                a.has_aggregate() || b.has_aggregate()
-            }
+            SqlExpr::Arith(a, _, b)
+            | SqlExpr::Cmp(a, _, b)
+            | SqlExpr::And(a, b)
+            | SqlExpr::Or(a, b) => a.has_aggregate() || b.has_aggregate(),
             _ => false,
         }
     }
@@ -104,7 +105,10 @@ pub fn parse_select(sql: &str) -> Result<SelectStmt> {
     let mut p = Parser { tokens, pos: 0 };
     let stmt = p.select()?;
     if p.pos != p.tokens.len() {
-        return Err(Error::Parse(format!("trailing tokens after statement: {:?}", &p.tokens[p.pos..])));
+        return Err(Error::Parse(format!(
+            "trailing tokens after statement: {:?}",
+            &p.tokens[p.pos..]
+        )));
     }
     Ok(stmt)
 }
@@ -176,7 +180,11 @@ impl Parser {
         }
         self.expect_kw("FROM")?;
         let table = self.ident()?;
-        let predicate = if self.eat_kw("WHERE") { Some(self.expr()?) } else { None };
+        let predicate = if self.eat_kw("WHERE") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
         let mut group_by = Vec::new();
         if self.eat_kw("GROUP") {
             self.expect_kw("BY")?;
@@ -212,7 +220,14 @@ impl Parser {
         } else {
             None
         };
-        Ok(SelectStmt { items, table, predicate, group_by, order_by, limit })
+        Ok(SelectStmt {
+            items,
+            table,
+            predicate,
+            group_by,
+            order_by,
+            limit,
+        })
     }
 
     // expression precedence: OR < AND < NOT < comparison < add < mul < unary
@@ -376,7 +391,13 @@ mod tests {
         assert_eq!(s.table, "t");
         assert!(s.predicate.is_some());
         assert_eq!(s.group_by.len(), 1);
-        assert_eq!(s.order_by, vec![OrderKey { column: "p".into(), ascending: false }]);
+        assert_eq!(
+            s.order_by,
+            vec![OrderKey {
+                column: "p".into(),
+                ascending: false
+            }]
+        );
         assert_eq!(s.limit, Some(5));
     }
 

@@ -159,11 +159,13 @@ pub fn tokenize(sql: &str) -> Result<Vec<Token>> {
                 }
                 if is_float {
                     out.push(Token::Float(
-                        s.parse().map_err(|_| Error::Parse(format!("bad number {s:?}")))?,
+                        s.parse()
+                            .map_err(|_| Error::Parse(format!("bad number {s:?}")))?,
                     ));
                 } else {
                     out.push(Token::Int(
-                        s.parse().map_err(|_| Error::Parse(format!("bad number {s:?}")))?,
+                        s.parse()
+                            .map_err(|_| Error::Parse(format!("bad number {s:?}")))?,
                     ));
                 }
             }
@@ -180,7 +182,9 @@ pub fn tokenize(sql: &str) -> Result<Vec<Token>> {
                 out.push(Token::Ident(s));
             }
             other => {
-                return Err(Error::Parse(format!("unexpected character {other:?} in SQL")));
+                return Err(Error::Parse(format!(
+                    "unexpected character {other:?} in SQL"
+                )));
             }
         }
     }

@@ -285,7 +285,10 @@ mod tests {
     #[test]
     fn total_cmp_nulls_first_nan_last() {
         assert_eq!(Value::Null.total_cmp(&Value::Int(1)), Ordering::Less);
-        assert_eq!(Value::Float(f64::NAN).total_cmp(&Value::Float(1e300)), Ordering::Greater);
+        assert_eq!(
+            Value::Float(f64::NAN).total_cmp(&Value::Float(1e300)),
+            Ordering::Greater
+        );
         assert_eq!(Value::Int(2).total_cmp(&Value::Float(2.5)), Ordering::Less);
         assert_eq!(Value::str("a").total_cmp(&Value::str("b")), Ordering::Less);
     }
@@ -300,7 +303,12 @@ mod tests {
 
     #[test]
     fn datetime_roundtrip() {
-        for s in ["1970-01-01", "2020-03-11", "1969-12-31", "2021-11-30 23:59:59"] {
+        for s in [
+            "1970-01-01",
+            "2020-03-11",
+            "1969-12-31",
+            "2021-11-30 23:59:59",
+        ] {
             let secs = parse_datetime(s).unwrap();
             assert_eq!(format_epoch(secs), s, "roundtrip {s}");
         }

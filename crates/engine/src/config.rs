@@ -72,17 +72,32 @@ impl LuxConfig {
     /// The paper's `no-opt` baseline: everything recomputed eagerly, no
     /// approximation, no scheduling.
     pub fn no_opt() -> LuxConfig {
-        LuxConfig { wflow: false, prune: false, r#async: false, ..LuxConfig::default() }
+        LuxConfig {
+            wflow: false,
+            prune: false,
+            r#async: false,
+            ..LuxConfig::default()
+        }
     }
 
     /// The paper's `wflow` condition.
     pub fn wflow_only() -> LuxConfig {
-        LuxConfig { wflow: true, prune: false, r#async: false, ..LuxConfig::default() }
+        LuxConfig {
+            wflow: true,
+            prune: false,
+            r#async: false,
+            ..LuxConfig::default()
+        }
     }
 
     /// The paper's `wflow+prune` condition.
     pub fn wflow_prune() -> LuxConfig {
-        LuxConfig { wflow: true, prune: true, r#async: false, ..LuxConfig::default() }
+        LuxConfig {
+            wflow: true,
+            prune: true,
+            r#async: false,
+            ..LuxConfig::default()
+        }
     }
 
     /// The paper's `all-opt` condition (the default).

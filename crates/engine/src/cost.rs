@@ -112,7 +112,10 @@ impl CostModel {
     /// Estimated cost of one visualization: `rows` input rows producing
     /// `groups` output rows (0 for selections).
     pub fn vis_cost(&self, class: OpClass, rows: usize, groups: usize) -> f64 {
-        let idx = OpClass::ALL.iter().position(|c| *c == class).expect("class in ALL");
+        let idx = OpClass::ALL
+            .iter()
+            .position(|c| *c == class)
+            .expect("class in ALL");
         self.coefficients[idx] * rows as f64 + self.group_coefficient * groups as f64
     }
 
@@ -120,7 +123,10 @@ impl CostModel {
     /// (paper §8.2: "we estimate the cost of the action as the sum of the
     /// visualization costs in the VisList").
     pub fn action_cost<I: IntoIterator<Item = (OpClass, usize, usize)>>(&self, specs: I) -> f64 {
-        specs.into_iter().map(|(c, r, g)| self.vis_cost(c, r, g)).sum()
+        specs
+            .into_iter()
+            .map(|(c, r, g)| self.vis_cost(c, r, g))
+            .sum()
     }
 
     /// The PRUNE gate (paper §8.2): approximate-then-recompute pays off when
@@ -193,7 +199,10 @@ mod tests {
         assert_eq!(m.time_budget(0.0, base), base);
         assert_eq!(m.time_budget(CostModel::REFERENCE_COST / 10.0, base), base);
         // double the reference cost: double the budget
-        assert_eq!(m.time_budget(2.0 * CostModel::REFERENCE_COST, base), 2 * base);
+        assert_eq!(
+            m.time_budget(2.0 * CostModel::REFERENCE_COST, base),
+            2 * base
+        );
         // clamped at the hard-cutoff multiple, even for absurd estimates
         let max = base * CostModel::HARD_CUTOFF_FACTOR;
         assert_eq!(m.time_budget(1e18, base), max);

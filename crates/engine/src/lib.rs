@@ -8,7 +8,10 @@
 //!   ASYNC scheduler and the PRUNE gate (§8.2);
 //! - [`sample`] — cached, capped row samples for approximate scoring (§8.2);
 //! - [`config`] — the knobs that express the paper's experimental conditions
-//!   (`no-opt` / `wflow` / `wflow+prune` / `all-opt`).
+//!   (`no-opt` / `wflow` / `wflow+prune` / `all-opt`);
+//! - [`trace`] — the always-on span/metrics subsystem: every print pass
+//!   records a [`PassTrace`] span tree and feeds the process-wide
+//!   [`MetricsRegistry`] (see DESIGN.md §7).
 //!
 //! Higher layers (intent compilation, visualization processing, actions)
 //! build on these services; the WFLOW freshness cache lives with the
@@ -20,9 +23,14 @@ pub mod cost;
 pub mod metadata;
 pub mod sample;
 pub mod sync;
+pub mod trace;
 
 pub use config::LuxConfig;
 pub use cost::{CostModel, OpClass};
 pub use metadata::{ColumnMeta, FrameMeta, SemanticType};
 pub use sample::{CachedSample, DEFAULT_SAMPLE_CAP};
 pub use sync::lock_recover;
+pub use trace::{
+    Histogram, HistogramSummary, MetricsRegistry, MetricsSnapshot, PassTrace, SpanId, SpanRecord,
+    TraceCollector,
+};

@@ -95,15 +95,38 @@ impl FrameMeta {
     /// misclassified semantic type (paper §8.1: "If the data type is
     /// misclassified, users can override the automatically-inferred type").
     pub fn compute(df: &DataFrame, overrides: &HashMap<String, SemanticType>) -> FrameMeta {
+        Self::compute_traced(df, overrides, None)
+    }
+
+    /// [`FrameMeta::compute`] with per-column timing spans recorded under
+    /// `parent` when a trace collector is supplied: each column gets a
+    /// `column:<name>` span tagged with its cardinality and inferred type.
+    pub fn compute_traced(
+        df: &DataFrame,
+        overrides: &HashMap<String, SemanticType>,
+        trace: Option<(&crate::trace::TraceCollector, crate::trace::SpanId)>,
+    ) -> FrameMeta {
         let columns = df
             .column_names()
             .iter()
             .map(|name| {
                 let col = df.column(name).expect("name enumerated from frame");
-                compute_column_meta(name, col, df.num_rows(), overrides.get(name).copied())
+                let span =
+                    trace.map(|(c, parent)| (c, c.begin(Some(parent), format!("column:{name}"))));
+                let meta =
+                    compute_column_meta(name, col, df.num_rows(), overrides.get(name).copied());
+                if let Some((c, id)) = span {
+                    c.tag(id, "cardinality", meta.cardinality.to_string());
+                    c.tag(id, "semantic", meta.semantic.name());
+                    c.end(id);
+                }
+                meta
             })
             .collect();
-        FrameMeta { columns, num_rows: df.num_rows() }
+        FrameMeta {
+            columns,
+            num_rows: df.num_rows(),
+        }
     }
 
     /// Metadata for a column by name.
@@ -128,10 +151,12 @@ fn compute_column_meta(
     override_type: Option<SemanticType>,
 ) -> ColumnMeta {
     let (cardinality, unique_values, unique_complete) = unique_stats(col);
-    let (min, max) = col.min_max_f64().map_or((None, None), |(a, b)| (Some(a), Some(b)));
+    let (min, max) = col
+        .min_max_f64()
+        .map_or((None, None), |(a, b)| (Some(a), Some(b)));
     let null_count = col.null_count();
-    let semantic = override_type
-        .unwrap_or_else(|| infer_semantic(name, col.dtype(), cardinality, num_rows));
+    let semantic =
+        override_type.unwrap_or_else(|| infer_semantic(name, col.dtype(), cardinality, num_rows));
     ColumnMeta {
         name: name.to_string(),
         dtype: col.dtype(),
@@ -191,8 +216,18 @@ fn unique_stats(col: &Column) -> (usize, Vec<Value>, bool) {
 
 /// Names that strongly suggest a geographic attribute.
 const GEO_NAMES: [&str; 12] = [
-    "country", "countries", "state", "states", "city", "cities", "county", "region",
-    "continent", "zipcode", "zip", "nation",
+    "country",
+    "countries",
+    "state",
+    "states",
+    "city",
+    "cities",
+    "county",
+    "region",
+    "continent",
+    "zipcode",
+    "zip",
+    "nation",
 ];
 
 /// Names that suggest a temporal attribute even for non-datetime storage.
@@ -208,7 +243,9 @@ pub fn infer_semantic(
 ) -> SemanticType {
     let lower = name.to_ascii_lowercase();
     let name_matches = |names: &[&str]| {
-        names.iter().any(|n| lower == *n || lower.ends_with(&format!("_{n}")) || lower.ends_with(&format!(" {n}")))
+        names.iter().any(|n| {
+            lower == *n || lower.ends_with(&format!("_{n}")) || lower.ends_with(&format!(" {n}"))
+        })
     };
 
     match dtype {
@@ -255,7 +292,10 @@ mod tests {
 
     #[test]
     fn quantitative_float() {
-        let df = DataFrameBuilder::new().float("pay", [1.0, 2.0, 3.0]).build().unwrap();
+        let df = DataFrameBuilder::new()
+            .float("pay", [1.0, 2.0, 3.0])
+            .build()
+            .unwrap();
         let m = meta_of(&df);
         let c = m.column("pay").unwrap();
         assert_eq!(c.semantic, SemanticType::Quantitative);
@@ -272,7 +312,10 @@ mod tests {
             .unwrap();
         let m = meta_of(&df);
         assert_eq!(m.column("rating").unwrap().semantic, SemanticType::Nominal);
-        assert_eq!(m.column("salary").unwrap().semantic, SemanticType::Quantitative);
+        assert_eq!(
+            m.column("salary").unwrap().semantic,
+            SemanticType::Quantitative
+        );
     }
 
     #[test]
@@ -283,7 +326,10 @@ mod tests {
             .build()
             .unwrap();
         let m = meta_of(&df);
-        assert_eq!(m.column("Country").unwrap().semantic, SemanticType::Geographic);
+        assert_eq!(
+            m.column("Country").unwrap().semantic,
+            SemanticType::Geographic
+        );
         assert_eq!(m.column("dept").unwrap().semantic, SemanticType::Nominal);
     }
 
@@ -308,7 +354,10 @@ mod tests {
             .unwrap();
         let m = meta_of(&df);
         assert_eq!(m.column("user_id").unwrap().semantic, SemanticType::Id);
-        assert_eq!(m.column("value").unwrap().semantic, SemanticType::Quantitative);
+        assert_eq!(
+            m.column("value").unwrap().semantic,
+            SemanticType::Quantitative
+        );
     }
 
     #[test]
@@ -332,7 +381,10 @@ mod tests {
 
     #[test]
     fn string_uniques_after_filter_are_exact() {
-        let df = DataFrameBuilder::new().str("s", ["a", "b", "c", "c"]).build().unwrap();
+        let df = DataFrameBuilder::new()
+            .str("s", ["a", "b", "c", "c"])
+            .build()
+            .unwrap();
         let f = df.filter("s", FilterOp::Ne, &Value::str("a")).unwrap();
         let m = meta_of(&f);
         let c = m.column("s").unwrap();
@@ -345,7 +397,10 @@ mod tests {
         let df = DataFrame::from_columns(vec![("x".into(), col)]).unwrap();
         let m = meta_of(&df);
         assert_eq!(m.column("x").unwrap().null_count, 1);
-        assert_eq!(SemanticType::parse("QUANTITATIVE"), Some(SemanticType::Quantitative));
+        assert_eq!(
+            SemanticType::parse("QUANTITATIVE"),
+            Some(SemanticType::Quantitative)
+        );
         assert_eq!(SemanticType::parse("geo"), Some(SemanticType::Geographic));
         assert_eq!(SemanticType::parse("whatever"), None);
     }
@@ -365,7 +420,10 @@ mod tests {
 
     #[test]
     fn bool_is_nominal() {
-        let df = DataFrameBuilder::new().bool("flag", [true, false, true]).build().unwrap();
+        let df = DataFrameBuilder::new()
+            .bool("flag", [true, false, true])
+            .build()
+            .unwrap();
         let m = meta_of(&df);
         assert_eq!(m.column("flag").unwrap().semantic, SemanticType::Nominal);
         assert_eq!(m.column("flag").unwrap().cardinality, 2);

@@ -28,7 +28,11 @@ pub struct CachedSample {
 
 impl CachedSample {
     pub fn new(cap: usize, seed: u64) -> CachedSample {
-        CachedSample { cap, seed, cache: Mutex::new(None) }
+        CachedSample {
+            cap,
+            seed,
+            cache: Mutex::new(None),
+        }
     }
 
     /// The sample cap.
@@ -67,7 +71,10 @@ mod tests {
     use super::*;
 
     fn frame(rows: usize) -> DataFrame {
-        DataFrameBuilder::new().int("x", (0..rows as i64).collect::<Vec<_>>()).build().unwrap()
+        DataFrameBuilder::new()
+            .int("x", (0..rows as i64).collect::<Vec<_>>())
+            .build()
+            .unwrap()
     }
 
     #[test]

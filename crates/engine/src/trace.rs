@@ -1,0 +1,771 @@
+//! Always-on pass tracing and process-wide metrics.
+//!
+//! The paper's "always-on" claim rests on three optimizations — WFLOW
+//! memoization, PRUNE approximate scoring, ASYNC scheduling — whose
+//! effectiveness is invisible without telemetry: "why was this print slow?"
+//! and "did PRUNE actually fire?" must be answerable at runtime. This module
+//! is the zero-dependency instrumentation backbone:
+//!
+//! - [`TraceCollector`] — a thread-safe span recorder every print pass
+//!   carries. Spans form a tree (metadata → per-column, actions →
+//!   generate/score/process) and carry free-form tags (memo hit/miss, PRUNE
+//!   decision, deadline margin, scheduling order).
+//! - [`PassTrace`] — the finished, immutable span tree of one pass, with a
+//!   Chrome `trace_event` JSON exporter (loadable in `about://tracing` /
+//!   Perfetto) and a human-readable flame-style text renderer.
+//! - [`MetricsRegistry`] — process-wide counters and log-scale latency
+//!   histograms (prints, memo hit rate, prune activation rate, action
+//!   latency p50/p95, circuit-breaker trips) recorded with cheap atomics.
+//!
+//! Tracing is always on: collectors are allocated per pass, recording is a
+//! handful of mutex pushes per span (tens of spans per pass), and the
+//! registry is lock-free on the record path once a handle is resolved.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::{Duration, Instant};
+
+use crate::sync::lock_recover;
+
+// ---------------------------------------------------------------------
+// Spans
+// ---------------------------------------------------------------------
+
+/// Identifier of one span within its [`TraceCollector`] (index order = begin
+/// order).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SpanId(pub u32);
+
+/// One recorded span: a named, timed interval within a pass, optionally
+/// nested under a parent and annotated with string tags.
+#[derive(Debug, Clone)]
+pub struct SpanRecord {
+    pub id: SpanId,
+    pub parent: Option<SpanId>,
+    pub name: String,
+    /// Nanoseconds since the collector's origin.
+    pub start_ns: u64,
+    /// Span duration in nanoseconds (set at `end`; for spans still open at
+    /// snapshot time, the time elapsed so far, with an `unfinished` tag).
+    pub dur_ns: u64,
+    /// Small sequential number identifying the recording thread (becomes the
+    /// Chrome trace `tid`, so parallel actions render on separate rows).
+    pub tid: u64,
+    pub tags: Vec<(String, String)>,
+}
+
+impl SpanRecord {
+    /// End of the span relative to the collector origin, in nanoseconds.
+    pub fn end_ns(&self) -> u64 {
+        self.start_ns + self.dur_ns
+    }
+
+    /// The value of a tag, if set.
+    pub fn tag(&self, key: &str) -> Option<&str> {
+        self.tags
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    pub fn duration(&self) -> Duration {
+        Duration::from_nanos(self.dur_ns)
+    }
+}
+
+struct CollectorInner {
+    spans: Vec<SpanRecord>,
+    /// Open spans: span index -> begin instant (for duration on `end`).
+    open: HashMap<u32, Instant>,
+    /// Thread -> small sequential tid for the Chrome export.
+    threads: HashMap<std::thread::ThreadId, u64>,
+}
+
+/// Thread-safe span recorder for one recommendation pass. Cheap to share:
+/// workers clone the `Arc` and record concurrently; ids are stable across
+/// threads, so a span begun on the dispatching thread can be ended by the
+/// collector thread that absorbs the worker's outcome.
+pub struct TraceCollector {
+    origin: Instant,
+    inner: Mutex<CollectorInner>,
+}
+
+impl TraceCollector {
+    pub fn new() -> Arc<TraceCollector> {
+        Arc::new(TraceCollector {
+            origin: Instant::now(),
+            inner: Mutex::new(CollectorInner {
+                spans: Vec::with_capacity(32),
+                open: HashMap::new(),
+                threads: HashMap::new(),
+            }),
+        })
+    }
+
+    fn now_ns(&self) -> u64 {
+        self.origin.elapsed().as_nanos() as u64
+    }
+
+    /// Open a new span under `parent` (`None` = a root). Returns its id;
+    /// close it with [`TraceCollector::end`].
+    pub fn begin(&self, parent: Option<SpanId>, name: impl Into<String>) -> SpanId {
+        let start = Instant::now();
+        let start_ns = start.saturating_duration_since(self.origin).as_nanos() as u64;
+        let mut inner = lock_recover(&self.inner);
+        let next_tid = inner.threads.len() as u64;
+        let tid = *inner
+            .threads
+            .entry(std::thread::current().id())
+            .or_insert(next_tid);
+        let id = SpanId(inner.spans.len() as u32);
+        inner.spans.push(SpanRecord {
+            id,
+            parent,
+            name: name.into(),
+            start_ns,
+            dur_ns: 0,
+            tid,
+            tags: Vec::new(),
+        });
+        inner.open.insert(id.0, start);
+        id
+    }
+
+    /// Close an open span, fixing its duration. Ending twice is a no-op.
+    pub fn end(&self, id: SpanId) {
+        let mut inner = lock_recover(&self.inner);
+        if let Some(started) = inner.open.remove(&id.0) {
+            if let Some(span) = inner.spans.get_mut(id.0 as usize) {
+                span.dur_ns = started.elapsed().as_nanos() as u64;
+            }
+        }
+    }
+
+    /// Attach a tag to a span (open or closed).
+    pub fn tag(&self, id: SpanId, key: impl Into<String>, value: impl Into<String>) {
+        let mut inner = lock_recover(&self.inner);
+        if let Some(span) = inner.spans.get_mut(id.0 as usize) {
+            span.tags.push((key.into(), value.into()));
+        }
+    }
+
+    /// Time a closure as a complete child span.
+    pub fn time<R>(&self, parent: Option<SpanId>, name: &str, f: impl FnOnce() -> R) -> R {
+        let id = self.begin(parent, name);
+        let out = f();
+        self.end(id);
+        out
+    }
+
+    /// Freeze the current state into a [`PassTrace`]. Spans still open (e.g.
+    /// an abandoned hung worker) are reported with their elapsed-so-far
+    /// duration and an `unfinished` tag; the collector remains usable.
+    pub fn snapshot(&self) -> PassTrace {
+        let now = self.now_ns();
+        let inner = lock_recover(&self.inner);
+        let mut spans = inner.spans.clone();
+        for span in &mut spans {
+            if inner.open.contains_key(&span.id.0) {
+                span.dur_ns = now.saturating_sub(span.start_ns);
+                span.tags
+                    .push(("unfinished".to_string(), "true".to_string()));
+            }
+        }
+        let total_ns = spans.iter().map(SpanRecord::end_ns).max().unwrap_or(0);
+        PassTrace { spans, total_ns }
+    }
+}
+
+// ---------------------------------------------------------------------
+// PassTrace: the finished span tree
+// ---------------------------------------------------------------------
+
+/// The immutable span tree of one print pass: what ran, when, for how long,
+/// and with which optimization decisions (as tags). Produced by
+/// [`TraceCollector::snapshot`] at the end of every print.
+#[derive(Debug, Clone, Default)]
+pub struct PassTrace {
+    pub spans: Vec<SpanRecord>,
+    /// Latest span end, relative to the pass origin (nanoseconds).
+    pub total_ns: u64,
+}
+
+impl PassTrace {
+    /// Wall-clock extent of the pass.
+    pub fn total(&self) -> Duration {
+        Duration::from_nanos(self.total_ns)
+    }
+
+    /// The first root (parentless) span — the `print` span on the print path.
+    pub fn root(&self) -> Option<&SpanRecord> {
+        self.spans.iter().find(|s| s.parent.is_none())
+    }
+
+    /// First span with this exact name.
+    pub fn span(&self, name: &str) -> Option<&SpanRecord> {
+        self.spans.iter().find(|s| s.name == name)
+    }
+
+    /// Every span with this exact name (e.g. all `generate` phases).
+    pub fn spans_named(&self, name: &str) -> Vec<&SpanRecord> {
+        self.spans.iter().filter(|s| s.name == name).collect()
+    }
+
+    /// Every span whose name starts with `prefix` (e.g. `action:`).
+    pub fn spans_prefixed(&self, prefix: &str) -> Vec<&SpanRecord> {
+        self.spans
+            .iter()
+            .filter(|s| s.name.starts_with(prefix))
+            .collect()
+    }
+
+    /// Direct children of a span, in begin order.
+    pub fn children(&self, id: SpanId) -> Vec<&SpanRecord> {
+        self.spans.iter().filter(|s| s.parent == Some(id)).collect()
+    }
+
+    /// Sum of durations across all spans with this name.
+    pub fn stage_total(&self, name: &str) -> Duration {
+        Duration::from_nanos(self.spans_named(name).iter().map(|s| s.dur_ns).sum())
+    }
+
+    /// Structural consistency check: every span must lie within the pass
+    /// extent, every child must start no earlier than its parent, and the
+    /// summed duration of same-thread children must not exceed the parent's
+    /// duration (plus `slack`). Returns the first violation found.
+    pub fn validate(&self, slack: Duration) -> Result<(), String> {
+        let slack_ns = slack.as_nanos() as u64;
+        for span in &self.spans {
+            if span.end_ns() > self.total_ns + slack_ns {
+                return Err(format!(
+                    "span {:?} ends at {}ns, beyond the pass total {}ns",
+                    span.name,
+                    span.end_ns(),
+                    self.total_ns
+                ));
+            }
+            if let Some(pid) = span.parent {
+                let parent = &self.spans[pid.0 as usize];
+                if span.start_ns + slack_ns < parent.start_ns {
+                    return Err(format!(
+                        "span {:?} starts before its parent {:?}",
+                        span.name, parent.name
+                    ));
+                }
+            }
+        }
+        for parent in &self.spans {
+            let sequential_sum: u64 = self
+                .children(parent.id)
+                .iter()
+                .filter(|c| c.tid == parent.tid)
+                .map(|c| c.dur_ns)
+                .sum();
+            if sequential_sum > parent.dur_ns + slack_ns {
+                return Err(format!(
+                    "children of {:?} sum to {}ns, exceeding the parent's {}ns",
+                    parent.name, sequential_sum, parent.dur_ns
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Chrome `trace_event` JSON: an array of complete (`"ph": "X"`) events,
+    /// loadable in `about://tracing` and Perfetto. Timestamps are
+    /// microseconds; each recording thread renders as its own track.
+    pub fn to_chrome_json(&self) -> String {
+        let mut events = Vec::with_capacity(self.spans.len());
+        for span in &self.spans {
+            let mut args = String::new();
+            for (i, (k, v)) in span.tags.iter().enumerate() {
+                if i > 0 {
+                    args.push_str(", ");
+                }
+                let _ = write!(args, "\"{}\": \"{}\"", json_escape(k), json_escape(v));
+            }
+            events.push(format!(
+                "{{\"name\": \"{}\", \"cat\": \"lux\", \"ph\": \"X\", \"ts\": {:.3}, \"dur\": {:.3}, \"pid\": 0, \"tid\": {}, \"args\": {{{args}}}}}",
+                json_escape(&span.name),
+                span.start_ns as f64 / 1_000.0,
+                span.dur_ns as f64 / 1_000.0,
+                span.tid,
+            ));
+        }
+        format!("[{}]", events.join(",\n "))
+    }
+
+    /// Flame-style indented text rendering: one line per span with duration,
+    /// share of the pass, and tags.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        let total = (self.total_ns as f64).max(1.0);
+        let mut roots: Vec<&SpanRecord> =
+            self.spans.iter().filter(|s| s.parent.is_none()).collect();
+        roots.sort_by_key(|s| s.start_ns);
+        for root in roots {
+            self.render_span(&mut out, root, 0, total);
+        }
+        out
+    }
+
+    fn render_span(&self, out: &mut String, span: &SpanRecord, depth: usize, total_ns: f64) {
+        let pct = span.dur_ns as f64 / total_ns * 100.0;
+        let tags = if span.tags.is_empty() {
+            String::new()
+        } else {
+            let parts: Vec<String> = span.tags.iter().map(|(k, v)| format!("{k}={v}")).collect();
+            format!("  [{}]", parts.join(" "))
+        };
+        let _ = writeln!(
+            out,
+            "{:indent$}{:<width$} {:>9} {:>5.1}%{}",
+            "",
+            span.name,
+            fmt_ns(span.dur_ns),
+            pct,
+            tags,
+            indent = depth * 2,
+            width = 28usize.saturating_sub(depth * 2),
+        );
+        let mut kids = self.children(span.id);
+        kids.sort_by_key(|s| s.start_ns);
+        for child in kids {
+            self.render_span(out, child, depth + 1, total_ns);
+        }
+    }
+}
+
+fn fmt_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.2}s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.2}ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.1}us", ns as f64 / 1e3)
+    }
+}
+
+/// Escape a string for inclusion inside a JSON string literal.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
+// Metric names
+// ---------------------------------------------------------------------
+
+/// Canonical metric names (see DESIGN.md §7 for the catalogue).
+pub mod names {
+    /// Counter: total print passes.
+    pub const PRINTS: &str = "lux.prints";
+    /// Counter: recommendation passes served from the WFLOW memo.
+    pub const MEMO_HIT: &str = "lux.wflow.memo_hit";
+    /// Counter: recommendation passes that had to compute.
+    pub const MEMO_MISS: &str = "lux.wflow.memo_miss";
+    /// Counter: metadata served from the WFLOW memo.
+    pub const META_MEMO_HIT: &str = "lux.wflow.meta_memo_hit";
+    /// Counter: metadata recomputed.
+    pub const META_MEMO_MISS: &str = "lux.wflow.meta_memo_miss";
+    /// Counter: actions where the PRUNE gate engaged approximation.
+    pub const PRUNE_ENGAGED: &str = "lux.prune.engaged";
+    /// Counter: actions where PRUNE was considered but the cost model
+    /// declined (candidate pool or sample ratio too small).
+    pub const PRUNE_SKIPPED: &str = "lux.prune.skipped";
+    /// Counter: circuit-breaker trips (a failure that left a breaker open).
+    pub const BREAKER_TRIPS: &str = "lux.breaker.trips";
+    /// Counters: per-pass action terminal statuses.
+    pub const ACTIONS_OK: &str = "lux.actions.ok";
+    pub const ACTIONS_DEGRADED: &str = "lux.actions.degraded";
+    pub const ACTIONS_FAILED: &str = "lux.actions.failed";
+    pub const ACTIONS_DISABLED: &str = "lux.actions.disabled";
+    /// Histogram: end-to-end print latency.
+    pub const PRINT_LATENCY: &str = "lux.print.latency";
+    /// Histogram: per-action execution latency.
+    pub const ACTION_LATENCY: &str = "lux.action.latency";
+    /// Histogram: metadata computation latency (misses only).
+    pub const METADATA_LATENCY: &str = "lux.metadata.latency";
+}
+
+// ---------------------------------------------------------------------
+// Histograms
+// ---------------------------------------------------------------------
+
+const HIST_BUCKETS: usize = 48;
+
+/// Lock-free log₂-bucketed latency histogram: bucket `i` covers
+/// `[2^i, 2^(i+1))` nanoseconds, which spans 1 ns to ~3.9 days in 48
+/// buckets. Quantiles are estimated at the geometric midpoint of the
+/// containing bucket — plenty for p50/p95 dashboards.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; HIST_BUCKETS],
+    count: AtomicU64,
+    sum_ns: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum_ns: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Histogram {
+    fn bucket_index(ns: u64) -> usize {
+        (63 - ns.max(1).leading_zeros() as usize).min(HIST_BUCKETS - 1)
+    }
+
+    pub fn observe(&self, d: Duration) {
+        self.observe_ns(d.as_nanos() as u64);
+    }
+
+    pub fn observe_ns(&self, ns: u64) {
+        self.buckets[Self::bucket_index(ns)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_ns.fetch_add(ns, Ordering::Relaxed);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    pub fn mean_ns(&self) -> u64 {
+        let n = self.count();
+        if n == 0 {
+            0
+        } else {
+            self.sum_ns.load(Ordering::Relaxed) / n
+        }
+    }
+
+    /// Estimated `q`-quantile (0.0..=1.0) in nanoseconds.
+    pub fn quantile_ns(&self, q: f64) -> u64 {
+        let n = self.count();
+        if n == 0 {
+            return 0;
+        }
+        let target = ((q.clamp(0.0, 1.0) * n as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= target {
+                // geometric midpoint of [2^i, 2^(i+1))
+                return (((1u128 << i) as f64) * std::f64::consts::SQRT_2) as u64;
+            }
+        }
+        1u64 << (HIST_BUCKETS - 1)
+    }
+
+    pub fn summary(&self) -> HistogramSummary {
+        HistogramSummary {
+            count: self.count(),
+            mean_ns: self.mean_ns(),
+            p50_ns: self.quantile_ns(0.50),
+            p95_ns: self.quantile_ns(0.95),
+        }
+    }
+}
+
+/// Point-in-time digest of one histogram.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistogramSummary {
+    pub count: u64,
+    pub mean_ns: u64,
+    pub p50_ns: u64,
+    pub p95_ns: u64,
+}
+
+// ---------------------------------------------------------------------
+// MetricsRegistry
+// ---------------------------------------------------------------------
+
+/// Process-wide named counters and histograms. The name table is behind a
+/// mutex (touched once per metric per record call, on a cold path of a few
+/// dozen records per print); the values themselves are plain atomics.
+/// [`MetricsRegistry::global`] is the instance the whole engine records to.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    counters: Mutex<HashMap<String, Arc<AtomicU64>>>,
+    histograms: Mutex<HashMap<String, Arc<Histogram>>>,
+}
+
+impl MetricsRegistry {
+    /// The process-wide registry.
+    pub fn global() -> &'static MetricsRegistry {
+        static GLOBAL: OnceLock<MetricsRegistry> = OnceLock::new();
+        GLOBAL.get_or_init(MetricsRegistry::default)
+    }
+
+    /// Handle to a counter (create-on-first-use). Callers on hot paths can
+    /// cache the `Arc` and `fetch_add` directly.
+    pub fn counter_handle(&self, name: &str) -> Arc<AtomicU64> {
+        let mut counters = lock_recover(&self.counters);
+        Arc::clone(counters.entry(name.to_string()).or_default())
+    }
+
+    /// Handle to a histogram (create-on-first-use).
+    pub fn histogram_handle(&self, name: &str) -> Arc<Histogram> {
+        let mut hists = lock_recover(&self.histograms);
+        Arc::clone(hists.entry(name.to_string()).or_default())
+    }
+
+    /// Increment a counter by 1.
+    pub fn incr(&self, name: &str) {
+        self.add(name, 1);
+    }
+
+    /// Increment a counter by `n`.
+    pub fn add(&self, name: &str, n: u64) {
+        self.counter_handle(name).fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value of a counter (0 if never recorded).
+    pub fn counter(&self, name: &str) -> u64 {
+        lock_recover(&self.counters)
+            .get(name)
+            .map_or(0, |c| c.load(Ordering::Relaxed))
+    }
+
+    /// Record one latency observation.
+    pub fn observe(&self, name: &str, d: Duration) {
+        self.histogram_handle(name).observe(d);
+    }
+
+    /// Point-in-time snapshot of every counter and histogram, sorted by name.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let mut counters: Vec<(String, u64)> = lock_recover(&self.counters)
+            .iter()
+            .map(|(k, v)| (k.clone(), v.load(Ordering::Relaxed)))
+            .collect();
+        counters.sort();
+        let mut histograms: Vec<(String, HistogramSummary)> = lock_recover(&self.histograms)
+            .iter()
+            .map(|(k, v)| (k.clone(), v.summary()))
+            .collect();
+        histograms.sort_by(|a, b| a.0.cmp(&b.0));
+        MetricsSnapshot {
+            counters,
+            histograms,
+        }
+    }
+}
+
+/// Point-in-time view of the registry, safe to hold and diff.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsSnapshot {
+    pub counters: Vec<(String, u64)>,
+    pub histograms: Vec<(String, HistogramSummary)>,
+}
+
+impl MetricsSnapshot {
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .find(|(k, _)| k == name)
+            .map_or(0, |(_, v)| *v)
+    }
+
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSummary> {
+        self.histograms
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v)
+    }
+
+    /// `hits / (hits + misses)`, or `None` when neither was recorded.
+    pub fn hit_rate(&self, hit: &str, miss: &str) -> Option<f64> {
+        let h = self.counter(hit);
+        let m = self.counter(miss);
+        if h + m == 0 {
+            None
+        } else {
+            Some(h as f64 / (h + m) as f64)
+        }
+    }
+
+    /// Human-readable rendering (the REPL `stats` command).
+    pub fn render_text(&self) -> String {
+        let mut out = String::from("counters:\n");
+        if self.counters.is_empty() {
+            out.push_str("  (none recorded)\n");
+        }
+        for (name, value) in &self.counters {
+            let _ = writeln!(out, "  {name:<28} {value}");
+        }
+        if let Some(rate) = self.hit_rate(names::MEMO_HIT, names::MEMO_MISS) {
+            let _ = writeln!(out, "  {:<28} {:.1}%", "memo hit rate", rate * 100.0);
+        }
+        if let Some(rate) = self.hit_rate(names::PRUNE_ENGAGED, names::PRUNE_SKIPPED) {
+            let _ = writeln!(
+                out,
+                "  {:<28} {:.1}%",
+                "prune activation rate",
+                rate * 100.0
+            );
+        }
+        out.push_str("latencies (count / mean / p50 / p95):\n");
+        if self.histograms.is_empty() {
+            out.push_str("  (none recorded)\n");
+        }
+        for (name, h) in &self.histograms {
+            let _ = writeln!(
+                out,
+                "  {name:<28} {:>6}  {:>9}  {:>9}  {:>9}",
+                h.count,
+                fmt_ns(h.mean_ns),
+                fmt_ns(h.p50_ns),
+                fmt_ns(h.p95_ns)
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_tree_records_nesting_and_tags() {
+        let c = TraceCollector::new();
+        let root = c.begin(None, "print");
+        let meta = c.begin(Some(root), "metadata");
+        c.tag(meta, "memo", "miss");
+        std::thread::sleep(Duration::from_millis(2));
+        c.end(meta);
+        c.end(root);
+        let trace = c.snapshot();
+        assert_eq!(trace.root().unwrap().name, "print");
+        let meta = trace.span("metadata").unwrap();
+        assert_eq!(meta.tag("memo"), Some("miss"));
+        assert!(
+            meta.dur_ns >= 1_000_000,
+            "slept 2ms, recorded {}",
+            meta.dur_ns
+        );
+        assert_eq!(trace.children(trace.root().unwrap().id).len(), 1);
+        trace.validate(Duration::from_millis(1)).unwrap();
+    }
+
+    #[test]
+    fn snapshot_closes_abandoned_spans() {
+        let c = TraceCollector::new();
+        let root = c.begin(None, "print");
+        let _hung = c.begin(Some(root), "action:Sleeper");
+        c.end(root);
+        let trace = c.snapshot();
+        let hung = trace.span("action:Sleeper").unwrap();
+        assert_eq!(hung.tag("unfinished"), Some("true"));
+    }
+
+    #[test]
+    fn chrome_export_is_valid_event_array() {
+        let c = TraceCollector::new();
+        let root = c.begin(None, "print");
+        let child = c.begin(Some(root), "meta\"quoted\"");
+        c.tag(child, "note", "line\nbreak");
+        c.end(child);
+        c.end(root);
+        let json = c.snapshot().to_chrome_json();
+        assert!(json.starts_with('[') && json.ends_with(']'));
+        assert_eq!(json.matches("\"ph\": \"X\"").count(), 2);
+        assert!(json.contains("meta\\\"quoted\\\""));
+        assert!(json.contains("line\\nbreak"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn render_text_is_indented_with_percentages() {
+        let c = TraceCollector::new();
+        let root = c.begin(None, "print");
+        let a = c.begin(Some(root), "actions");
+        std::thread::sleep(Duration::from_millis(1));
+        c.end(a);
+        c.end(root);
+        let text = c.snapshot().render_text();
+        assert!(text.contains("print"));
+        assert!(text.contains("  actions"));
+        assert!(text.contains('%'));
+    }
+
+    #[test]
+    fn cross_thread_spans_get_distinct_tids() {
+        let c = TraceCollector::new();
+        let root = c.begin(None, "print");
+        let c2 = Arc::clone(&c);
+        std::thread::spawn(move || {
+            let s = c2.begin(Some(root), "worker");
+            c2.end(s);
+        })
+        .join()
+        .unwrap();
+        c.end(root);
+        let trace = c.snapshot();
+        let worker = trace.span("worker").unwrap();
+        assert_ne!(worker.tid, trace.root().unwrap().tid);
+    }
+
+    #[test]
+    fn histogram_quantiles_bracket_observations() {
+        let h = Histogram::default();
+        for ms in [1u64, 2, 3, 4, 100] {
+            h.observe(Duration::from_millis(ms));
+        }
+        assert_eq!(h.count(), 5);
+        let p50 = h.quantile_ns(0.5);
+        assert!((1_000_000..8_000_000).contains(&p50), "p50={p50}");
+        let p95 = h.quantile_ns(0.95);
+        assert!(p95 > 50_000_000, "p95={p95}");
+        assert!(h.mean_ns() > 10_000_000);
+    }
+
+    #[test]
+    fn registry_counters_and_snapshot() {
+        let r = MetricsRegistry::default();
+        r.incr("lux.test.a");
+        r.add("lux.test.a", 2);
+        r.observe("lux.test.lat", Duration::from_millis(5));
+        assert_eq!(r.counter("lux.test.a"), 3);
+        let snap = r.snapshot();
+        assert_eq!(snap.counter("lux.test.a"), 3);
+        assert_eq!(snap.histogram("lux.test.lat").unwrap().count, 1);
+        assert!(snap.render_text().contains("lux.test.a"));
+    }
+
+    #[test]
+    fn hit_rate_math() {
+        let r = MetricsRegistry::default();
+        r.add(names::MEMO_HIT, 3);
+        r.add(names::MEMO_MISS, 1);
+        let snap = r.snapshot();
+        assert_eq!(snap.hit_rate(names::MEMO_HIT, names::MEMO_MISS), Some(0.75));
+        assert_eq!(snap.hit_rate("lux.none.a", "lux.none.b"), None);
+    }
+
+    #[test]
+    fn json_escape_covers_control_chars() {
+        assert_eq!(json_escape("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(json_escape("x\ty\r\n"), "x\\ty\\r\\n");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+}

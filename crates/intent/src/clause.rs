@@ -100,7 +100,9 @@ impl Clause {
     /// (Q6: `lux.Clause("?", data_type="quantitative")`).
     pub fn wildcard_typed(constraint: SemanticType) -> Clause {
         Clause::Axis {
-            attribute: AttributeSpec::Wildcard { constraint: Some(constraint) },
+            attribute: AttributeSpec::Wildcard {
+                constraint: Some(constraint),
+            },
             channel: None,
             aggregation: None,
             bin_size: None,
@@ -109,7 +111,11 @@ impl Clause {
 
     /// A concrete filter (Q2: `"Department=Sales"`).
     pub fn filter(attribute: impl Into<String>, op: FilterOp, value: Value) -> Clause {
-        Clause::Filter { attribute: attribute.into(), op, value: ValueSpec::One(value) }
+        Clause::Filter {
+            attribute: attribute.into(),
+            op,
+            value: ValueSpec::One(value),
+        }
     }
 
     /// A filter over a union of values.
@@ -169,11 +175,26 @@ impl Clause {
     /// cross-product, given how many candidates a wildcard would match.
     pub fn alternatives(&self, wildcard_candidates: usize) -> usize {
         match self {
-            Clause::Axis { attribute: AttributeSpec::Named(names), .. } => names.len(),
-            Clause::Axis { attribute: AttributeSpec::Wildcard { .. }, .. } => wildcard_candidates,
-            Clause::Filter { value: ValueSpec::One(_), .. } => 1,
-            Clause::Filter { value: ValueSpec::Union(vs), .. } => vs.len(),
-            Clause::Filter { value: ValueSpec::Wildcard, .. } => wildcard_candidates,
+            Clause::Axis {
+                attribute: AttributeSpec::Named(names),
+                ..
+            } => names.len(),
+            Clause::Axis {
+                attribute: AttributeSpec::Wildcard { .. },
+                ..
+            } => wildcard_candidates,
+            Clause::Filter {
+                value: ValueSpec::One(_),
+                ..
+            } => 1,
+            Clause::Filter {
+                value: ValueSpec::Union(vs),
+                ..
+            } => vs.len(),
+            Clause::Filter {
+                value: ValueSpec::Wildcard,
+                ..
+            } => wildcard_candidates,
         }
     }
 }
@@ -187,9 +208,17 @@ mod tests {
 
     #[test]
     fn builders_produce_expected_shapes() {
-        let a = Clause::axis("Age").aggregate(Agg::Var).bin(5).on_channel(Channel::Y);
+        let a = Clause::axis("Age")
+            .aggregate(Agg::Var)
+            .bin(5)
+            .on_channel(Channel::Y);
         match a {
-            Clause::Axis { attribute, channel, aggregation, bin_size } => {
+            Clause::Axis {
+                attribute,
+                channel,
+                aggregation,
+                bin_size,
+            } => {
                 assert_eq!(attribute, AttributeSpec::one("Age"));
                 assert_eq!(channel, Some(Channel::Y));
                 assert_eq!(aggregation, Some(Agg::Var));
@@ -204,7 +233,13 @@ mod tests {
         let f = Clause::filter("dept", FilterOp::Eq, Value::str("Sales"));
         assert!(f.is_filter());
         let w = Clause::filter_wildcard("Country");
-        assert!(matches!(w, Clause::Filter { value: ValueSpec::Wildcard, .. }));
+        assert!(matches!(
+            w,
+            Clause::Filter {
+                value: ValueSpec::Wildcard,
+                ..
+            }
+        ));
         let u = Clause::filter_in("x", [Value::Int(1), Value::Int(2)]);
         assert_eq!(u.alternatives(99), 2);
     }

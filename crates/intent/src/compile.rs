@@ -106,7 +106,12 @@ fn expand_clause(
     opts: &CompileOptions,
 ) -> Result<Vec<ConcreteClause>> {
     match clause {
-        Clause::Axis { attribute, channel, aggregation, bin_size } => {
+        Clause::Axis {
+            attribute,
+            channel,
+            aggregation,
+            bin_size,
+        } => {
             let names: Vec<String> = match attribute {
                 AttributeSpec::Named(names) => names.clone(),
                 AttributeSpec::Wildcard { constraint } => meta
@@ -134,14 +139,18 @@ fn expand_clause(
                 })
                 .collect())
         }
-        Clause::Filter { attribute, op, value } => {
+        Clause::Filter {
+            attribute,
+            op,
+            value,
+        } => {
             let values: Vec<Value> = match value {
                 ValueSpec::One(v) => vec![v.clone()],
                 ValueSpec::Union(vs) => vs.clone(),
                 ValueSpec::Wildcard => {
-                    let cm = meta.column(attribute).ok_or_else(|| {
-                        Error::ColumnNotFound(attribute.clone())
-                    })?;
+                    let cm = meta
+                        .column(attribute)
+                        .ok_or_else(|| Error::ColumnNotFound(attribute.clone()))?;
                     cm.unique_values
                         .iter()
                         .take(opts.max_filter_expansions)
@@ -269,7 +278,8 @@ fn infer_bivariate(
 ) -> Option<VisSpec> {
     let (a, b) = (&axes[0], &axes[1]);
     let (sa, sb) = (semantics[0], semantics[1]);
-    let both_measures = is_measure(a, sa) && is_measure(b, sb)
+    let both_measures = is_measure(a, sa)
+        && is_measure(b, sb)
         && a.aggregation.is_none()
         && b.aggregation.is_none();
 
@@ -285,10 +295,17 @@ fn infer_bivariate(
             Mark::Scatter
         };
         let (xa, ya) = order_by_channel(a, b);
-        let (sx, sy) = if std::ptr::eq(xa, a) { (sa, sb) } else { (sb, sa) };
+        let (sx, sy) = if std::ptr::eq(xa, a) {
+            (sa, sb)
+        } else {
+            (sb, sa)
+        };
         return Some(VisSpec::new(
             mark,
-            vec![encoding_of(xa, sx, Channel::X), encoding_of(ya, sy, Channel::Y)],
+            vec![
+                encoding_of(xa, sx, Channel::X),
+                encoding_of(ya, sy, Channel::Y),
+            ],
             filters,
         ));
     }
@@ -334,9 +351,7 @@ fn infer_trivariate(
     let color_i = axes
         .iter()
         .position(|a| a.channel == Some(Channel::Color))
-        .or_else(|| {
-            (0..3).rev().find(|&i| !is_measure(&axes[i], semantics[i]))
-        })
+        .or_else(|| (0..3).rev().find(|&i| !is_measure(&axes[i], semantics[i])))
         .unwrap_or(2);
     let rest: Vec<usize> = (0..3).filter(|&i| i != color_i).collect();
     let base_axes = vec![axes[rest[0]].clone(), axes[rest[1]].clone()];
@@ -417,7 +432,10 @@ mod tests {
     #[test]
     fn single_temporal_line_and_geo_map() {
         assert_eq!(compile_one(&[Clause::axis("Date")]).mark, Mark::Line);
-        assert_eq!(compile_one(&[Clause::axis("Country")]).mark, Mark::Choropleth);
+        assert_eq!(
+            compile_one(&[Clause::axis("Country")]).mark,
+            Mark::Choropleth
+        );
     }
 
     #[test]
@@ -437,7 +455,10 @@ mod tests {
             Clause::axis("Income").aggregate(Agg::Var),
             Clause::axis("Education"),
         ]);
-        assert_eq!(spec.channel(Channel::Y).unwrap().aggregation, Some(Agg::Var));
+        assert_eq!(
+            spec.channel(Channel::Y).unwrap().aggregation,
+            Some(Agg::Var)
+        );
     }
 
     #[test]
@@ -472,7 +493,10 @@ mod tests {
     #[test]
     fn q5_union_fans_out() {
         let specs = compile(
-            &[Clause::axis("Education"), Clause::axis_union(["Age", "Income"])],
+            &[
+                Clause::axis("Education"),
+                Clause::axis_union(["Age", "Income"]),
+            ],
             &meta(),
             &CompileOptions::default(),
         )
@@ -498,7 +522,9 @@ mod tests {
         let intent = vec![Clause::axis("Age"), Clause::filter_wildcard("Country")];
         let specs = compile(&intent, &meta(), &CompileOptions::default()).unwrap();
         assert_eq!(specs.len(), 3); // USA, France, Japan
-        assert!(specs.iter().all(|s| s.mark == Mark::Histogram && s.filters.len() == 1));
+        assert!(specs
+            .iter()
+            .all(|s| s.mark == Mark::Histogram && s.filters.len() == 1));
     }
 
     #[test]
@@ -522,12 +548,28 @@ mod tests {
 
     #[test]
     fn large_frames_switch_scatter_to_heatmap() {
-        let opts = CompileOptions { scatter_row_threshold: 2, ..CompileOptions::default() };
-        let specs = compile(&[Clause::axis("Age"), Clause::axis("Income")], &meta(), &opts).unwrap();
+        let opts = CompileOptions {
+            scatter_row_threshold: 2,
+            ..CompileOptions::default()
+        };
+        let specs = compile(
+            &[Clause::axis("Age"), Clause::axis("Income")],
+            &meta(),
+            &opts,
+        )
+        .unwrap();
         assert_eq!(specs[0].mark, Mark::Heatmap); // fixture has 3 rows > 2
-        // small threshold not crossed -> scatter
-        let opts = CompileOptions { scatter_row_threshold: 100, ..CompileOptions::default() };
-        let specs = compile(&[Clause::axis("Age"), Clause::axis("Income")], &meta(), &opts).unwrap();
+                                                  // small threshold not crossed -> scatter
+        let opts = CompileOptions {
+            scatter_row_threshold: 100,
+            ..CompileOptions::default()
+        };
+        let specs = compile(
+            &[Clause::axis("Age"), Clause::axis("Income")],
+            &meta(),
+            &opts,
+        )
+        .unwrap();
         assert_eq!(specs[0].mark, Mark::Scatter);
     }
 
@@ -539,14 +581,16 @@ mod tests {
 
     #[test]
     fn unknown_column_yields_no_specs() {
-        let specs =
-            compile(&[Clause::axis("Nope")], &meta(), &CompileOptions::default()).unwrap();
+        let specs = compile(&[Clause::axis("Nope")], &meta(), &CompileOptions::default()).unwrap();
         assert!(specs.is_empty());
     }
 
     #[test]
     fn expansion_cap_enforced() {
-        let opts = CompileOptions { max_visualizations: 2, ..CompileOptions::default() };
+        let opts = CompileOptions {
+            max_visualizations: 2,
+            ..CompileOptions::default()
+        };
         let intent = vec![Clause::wildcard(), Clause::wildcard()];
         assert!(compile(&intent, &meta(), &opts).is_err());
     }

@@ -30,7 +30,9 @@ pub fn parse_clause(input: &str) -> Result<Clause> {
     if let Some((attr, op, rest)) = split_filter(s) {
         let attr = attr.trim();
         if attr.is_empty() {
-            return Err(Error::Parse(format!("filter {s:?} is missing an attribute")));
+            return Err(Error::Parse(format!(
+                "filter {s:?} is missing an attribute"
+            )));
         }
         let rest = rest.trim();
         let value = if rest == "?" {
@@ -52,7 +54,11 @@ pub fn parse_clause(input: &str) -> Result<Clause> {
         } else {
             ValueSpec::One(parse_value(rest))
         };
-        return Ok(Clause::Filter { attribute: attr.to_string(), op, value });
+        return Ok(Clause::Filter {
+            attribute: attr.to_string(),
+            op,
+            value,
+        });
     }
 
     // Wildcard axis, optionally with a type constraint.
@@ -76,7 +82,9 @@ pub fn parse_clause(input: &str) -> Result<Clause> {
     if s.contains('|') {
         let names: Vec<String> = s.split('|').map(|p| p.trim().to_string()).collect();
         if names.iter().any(String::is_empty) {
-            return Err(Error::Parse(format!("axis union {s:?} has an empty member")));
+            return Err(Error::Parse(format!(
+                "axis union {s:?} has an empty member"
+            )));
         }
         return Ok(Clause::axis_union(names));
     }
@@ -86,7 +94,10 @@ pub fn parse_clause(input: &str) -> Result<Clause> {
 /// Parse a whole intent from strings (the `df.intent = ["Age", "Dept=Sales"]`
 /// shorthand).
 pub fn parse_intent<S: AsRef<str>, I: IntoIterator<Item = S>>(inputs: I) -> Result<Vec<Clause>> {
-    inputs.into_iter().map(|s| parse_clause(s.as_ref())).collect()
+    inputs
+        .into_iter()
+        .map(|s| parse_clause(s.as_ref()))
+        .collect()
 }
 
 /// Find the first filter operator in `s`, returning (lhs, op, rhs). `!=`,
@@ -155,7 +166,10 @@ mod tests {
     #[test]
     fn equality_filter_with_string_value() {
         let c = parse_clause("Department=Sales").unwrap();
-        assert_eq!(c, Clause::filter("Department", FilterOp::Eq, Value::str("Sales")));
+        assert_eq!(
+            c,
+            Clause::filter("Department", FilterOp::Eq, Value::str("Sales"))
+        );
     }
 
     #[test]
@@ -176,7 +190,10 @@ mod tests {
 
     #[test]
     fn filter_value_wildcard_and_union() {
-        assert_eq!(parse_clause("Country=?").unwrap(), Clause::filter_wildcard("Country"));
+        assert_eq!(
+            parse_clause("Country=?").unwrap(),
+            Clause::filter_wildcard("Country")
+        );
         let c = parse_clause("dept=Sales|Eng").unwrap();
         assert_eq!(
             c,
@@ -191,7 +208,10 @@ mod tests {
     fn date_values() {
         let c = parse_clause("date=2020-03-11").unwrap();
         match c {
-            Clause::Filter { value: ValueSpec::One(Value::DateTime(_)), .. } => {}
+            Clause::Filter {
+                value: ValueSpec::One(Value::DateTime(_)),
+                ..
+            } => {}
             other => panic!("expected datetime filter, got {other:?}"),
         }
     }

@@ -28,11 +28,19 @@ pub struct Diagnostic {
 
 impl Diagnostic {
     fn error(message: String, suggestion: Option<String>) -> Diagnostic {
-        Diagnostic { severity: Severity::Error, message, suggestion }
+        Diagnostic {
+            severity: Severity::Error,
+            message,
+            suggestion,
+        }
     }
 
     fn warning(message: String, suggestion: Option<String>) -> Diagnostic {
-        Diagnostic { severity: Severity::Warning, message, suggestion }
+        Diagnostic {
+            severity: Severity::Warning,
+            message,
+            suggestion,
+        }
     }
 }
 
@@ -42,7 +50,12 @@ pub fn validate(intent: &[Clause], meta: &FrameMeta) -> Vec<Diagnostic> {
     let mut out = Vec::new();
     for clause in intent {
         match clause {
-            Clause::Axis { attribute, aggregation, bin_size, .. } => {
+            Clause::Axis {
+                attribute,
+                aggregation,
+                bin_size,
+                ..
+            } => {
                 if let AttributeSpec::Named(names) = attribute {
                     for name in names {
                         match meta.column(name) {
@@ -82,7 +95,11 @@ pub fn validate(intent: &[Clause], meta: &FrameMeta) -> Vec<Diagnostic> {
                     }
                 }
             }
-            Clause::Filter { attribute, op, value } => match meta.column(attribute) {
+            Clause::Filter {
+                attribute,
+                op,
+                value,
+            } => match meta.column(attribute) {
                 None => out.push(unknown_attribute(attribute, meta)),
                 Some(cm) => {
                     let check_value = |v: &Value, out: &mut Vec<Diagnostic>| {
@@ -93,9 +110,9 @@ pub fn validate(intent: &[Clause], meta: &FrameMeta) -> Vec<Diagnostic> {
                             && !v.is_null()
                             && !cm.unique_values.iter().any(|u| u == v)
                         {
-                            let suggestion = v
-                                .as_str()
-                                .and_then(|s| nearest(s, cm.unique_values.iter().filter_map(|u| u.as_str())));
+                            let suggestion = v.as_str().and_then(|s| {
+                                nearest(s, cm.unique_values.iter().filter_map(|u| u.as_str()))
+                            });
                             out.push(Diagnostic::warning(
                                 format!(
                                     "value {v} does not occur in column {attribute:?}; the filter will match nothing"
@@ -104,9 +121,7 @@ pub fn validate(intent: &[Clause], meta: &FrameMeta) -> Vec<Diagnostic> {
                             ));
                         }
                         // comparisons on string columns are suspicious
-                        if !matches!(op, FilterOp::Eq | FilterOp::Ne)
-                            && cm.dtype == DType::Str
-                        {
+                        if !matches!(op, FilterOp::Eq | FilterOp::Ne) && cm.dtype == DType::Str {
                             out.push(Diagnostic::warning(
                                 format!(
                                     "ordered comparison on string column {attribute:?} uses lexicographic order"

@@ -78,7 +78,10 @@ impl Candidate {
     }
 
     pub fn on_frame(spec: VisSpec, frame: Arc<DataFrame>) -> Candidate {
-        Candidate { spec, frame: Some(frame) }
+        Candidate {
+            spec,
+            frame: Some(frame),
+        }
     }
 }
 
@@ -184,7 +187,11 @@ impl ActionRegistry {
 
     /// Actions whose trigger fires for the given context.
     pub fn applicable(&self, ctx: &ActionContext<'_>) -> Vec<Arc<dyn Action>> {
-        self.actions.iter().filter(|a| a.applies(ctx)).cloned().collect()
+        self.actions
+            .iter()
+            .filter(|a| a.applies(ctx))
+            .cloned()
+            .collect()
     }
 
     /// The circuit breaker tracking this registry's action failures.
@@ -211,7 +218,11 @@ where
     T: Fn(&ActionContext<'_>) -> bool + Send + Sync,
 {
     pub fn new(name: impl Into<String>, trigger: T, generate: G) -> Self {
-        CustomAction { name: name.into(), generate, trigger }
+        CustomAction {
+            name: name.into(),
+            generate,
+            trigger,
+        }
     }
 }
 
@@ -243,7 +254,10 @@ mod tests {
     use std::collections::HashMap;
 
     fn context_fixture() -> (DataFrame, FrameMeta, LuxConfig) {
-        let df = DataFrameBuilder::new().float("x", [1.0, 2.0]).build().unwrap();
+        let df = DataFrameBuilder::new()
+            .float("x", [1.0, 2.0])
+            .build()
+            .unwrap();
         let meta = FrameMeta::compute(&df, &HashMap::new());
         (df, meta, LuxConfig::default())
     }
@@ -272,7 +286,13 @@ mod tests {
     #[test]
     fn custom_action_trigger_gates_applicability() {
         let (df, meta, config) = context_fixture();
-        let ctx = ActionContext { df: &df, meta: &meta, intent: &[], intent_specs: &[], config: &config };
+        let ctx = ActionContext {
+            df: &df,
+            meta: &meta,
+            intent: &[],
+            intent_specs: &[],
+            config: &config,
+        };
         let on = CustomAction::new("on", |_| true, |_| Ok(vec![]));
         let off = CustomAction::new("off", |_| false, |_| Ok(vec![]));
         assert!(on.applies(&ctx));

@@ -51,7 +51,11 @@ pub enum ActionError {
     Panicked { payload: String },
     /// The action exceeded its wall-clock budget before producing anything
     /// servable. (`completed` of `total` candidates were scored.)
-    TimedOut { budget: Duration, completed: usize, total: usize },
+    TimedOut {
+        budget: Duration,
+        completed: usize,
+        total: usize,
+    },
     /// Candidate generation returned an error.
     Generation(String),
     /// Every candidate that survived ranking failed during processing.
@@ -74,7 +78,11 @@ impl fmt::Display for ActionError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ActionError::Panicked { payload } => write!(f, "panicked: {payload}"),
-            ActionError::TimedOut { budget, completed, total } => write!(
+            ActionError::TimedOut {
+                budget,
+                completed,
+                total,
+            } => write!(
                 f,
                 "timed out after {budget:?} ({completed}/{total} candidates scored)"
             ),
@@ -146,7 +154,10 @@ pub struct ActionHealth {
 
 impl ActionHealth {
     pub fn new(action: impl Into<String>, status: ActionStatus) -> ActionHealth {
-        ActionHealth { action: action.into(), status }
+        ActionHealth {
+            action: action.into(),
+            status,
+        }
     }
 }
 
@@ -169,7 +180,10 @@ pub struct RunReport {
 impl RunReport {
     /// The status recorded for `action`, if any.
     pub fn status_of(&self, action: &str) -> Option<&ActionStatus> {
-        self.health.iter().find(|h| h.action == action).map(|h| &h.status)
+        self.health
+            .iter()
+            .find(|h| h.action == action)
+            .map(|h| &h.status)
     }
 
     /// Health entries that are not plain `Ok` (what UIs surface).
@@ -191,11 +205,17 @@ pub struct Deadline {
 
 impl Deadline {
     pub fn none() -> Deadline {
-        Deadline { at: None, budget: Duration::ZERO }
+        Deadline {
+            at: None,
+            budget: Duration::ZERO,
+        }
     }
 
     pub fn after(budget: Duration) -> Deadline {
-        Deadline { at: Some(Instant::now() + budget), budget }
+        Deadline {
+            at: Some(Instant::now() + budget),
+            budget,
+        }
     }
 
     pub fn expired(&self) -> bool {
@@ -392,8 +412,8 @@ impl CircuitBreaker {
         let entry = entries.entry(action.to_string()).or_default();
         entry.consecutive_failures += 1;
         entry.last_reason = reason.to_string();
-        let reopen = entry.state == BreakerState::HalfOpen
-            || entry.consecutive_failures >= threshold.max(1);
+        let reopen =
+            entry.state == BreakerState::HalfOpen || entry.consecutive_failures >= threshold.max(1);
         if reopen {
             entry.state = BreakerState::Open { since_frame: now };
         }
@@ -410,7 +430,9 @@ impl CircuitBreaker {
 
     /// The action's current consecutive-failure streak.
     pub fn consecutive_failures(&self, action: &str) -> u32 {
-        lock_recover(&self.entries).get(action).map_or(0, |e| e.consecutive_failures)
+        lock_recover(&self.entries)
+            .get(action)
+            .map_or(0, |e| e.consecutive_failures)
     }
 }
 
@@ -432,7 +454,10 @@ pub enum ChaosMode {
     Hang(Duration),
     /// Produce `candidates` candidates and sleep `per_score` inside each
     /// `score` call — a runaway action the cooperative deadline can catch.
-    SlowScore { per_score: Duration, candidates: usize },
+    SlowScore {
+        per_score: Duration,
+        candidates: usize,
+    },
     /// Produce candidates whose specs reference a column that does not
     /// exist, so every one of them fails processing.
     Garbage,
@@ -457,7 +482,10 @@ impl ChaosAction {
     /// An action that walks `script` one mode per invocation, repeating the
     /// final mode once the script is exhausted.
     pub fn scripted(name: impl Into<String>, script: Vec<ChaosMode>) -> ChaosAction {
-        assert!(!script.is_empty(), "chaos script must have at least one mode");
+        assert!(
+            !script.is_empty(),
+            "chaos script must have at least one mode"
+        );
         ChaosAction {
             name: name.into(),
             script,
@@ -511,16 +539,19 @@ impl Action for ChaosAction {
         match mode {
             ChaosMode::Healthy => Ok(Self::healthy_candidates(ctx)),
             ChaosMode::Panic => panic!("chaos: injected panic from {}", self.name),
-            ChaosMode::Error => {
-                Err(Error::InvalidArgument(format!("chaos: injected error from {}", self.name)))
-            }
+            ChaosMode::Error => Err(Error::InvalidArgument(format!(
+                "chaos: injected error from {}",
+                self.name
+            ))),
             ChaosMode::Hang(d) => {
                 std::thread::sleep(d);
                 Ok(Self::healthy_candidates(ctx))
             }
             ChaosMode::SlowScore { candidates, .. } => {
                 let base = Self::healthy_candidates(ctx);
-                let Some(first) = base.first() else { return Ok(vec![]) };
+                let Some(first) = base.first() else {
+                    return Ok(vec![]);
+                };
                 Ok((0..candidates.max(1))
                     .map(|_| Candidate::new(first.spec.clone()))
                     .collect())
@@ -555,7 +586,10 @@ mod tests {
         match &err {
             ActionError::Panicked { payload } => {
                 assert!(payload.contains("boom 42"), "payload: {payload}");
-                assert!(payload.contains("fault.rs"), "panic site captured: {payload}");
+                assert!(
+                    payload.contains("fault.rs"),
+                    "panic site captured: {payload}"
+                );
             }
             other => panic!("expected Panicked, got {other:?}"),
         }
@@ -579,7 +613,10 @@ mod tests {
         assert_eq!(b.decision("A", 2), BreakerDecision::Run);
         assert!(!b.record_failure("A", "panicked: x", 3));
         assert!(!b.record_failure("A", "panicked: x", 3));
-        assert!(b.record_failure("A", "panicked: x", 3), "third failure opens");
+        assert!(
+            b.record_failure("A", "panicked: x", 3),
+            "third failure opens"
+        );
         assert!(b.is_open("A"));
 
         // cooldown of 2 frames: skipped on the next frame...

@@ -13,15 +13,16 @@
 //! action's results are still served, and the per-action health ledger in
 //! [`RunReport`] says what happened to the rest.
 
-use std::collections::HashSet;
+use std::collections::HashMap;
 use std::sync::mpsc;
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use lux_dataframe::prelude::*;
-use lux_engine::{CostModel, FrameMeta};
+use lux_engine::trace::{names as metric, MetricsRegistry, SpanId, TraceCollector};
 #[cfg(test)]
 use lux_engine::LuxConfig;
+use lux_engine::{CostModel, FrameMeta};
 use lux_vis::{Channel, Vis, VisList, VisSpec};
 
 use crate::action::{Action, ActionContext, ActionRegistry, ActionResult, Candidate};
@@ -29,6 +30,30 @@ use crate::fault::{
     isolate, ActionError, ActionHealth, ActionStatus, BreakerDecision, CircuitBreaker, Deadline,
     RunReport,
 };
+
+/// Trace attachment for one executing action: the shared pass collector plus
+/// the action's own span, under which the executor records `generate` /
+/// `score` / `process` phase spans and the PRUNE/deadline decision tags.
+/// Cloneable so detached workers can carry it across threads.
+#[derive(Clone)]
+pub struct TraceCtx {
+    pub collector: Arc<TraceCollector>,
+    pub span: SpanId,
+}
+
+impl TraceCtx {
+    pub fn new(collector: Arc<TraceCollector>, span: SpanId) -> TraceCtx {
+        TraceCtx { collector, span }
+    }
+
+    fn child(&self, name: &str) -> SpanId {
+        self.collector.begin(Some(self.span), name)
+    }
+
+    fn tag(&self, key: &str, value: impl Into<String>) {
+        self.collector.tag(self.span, key, value);
+    }
+}
 
 /// Estimate `(rows, groups)` for costing one spec against frame metadata.
 /// "Groups" is the output cardinality of the primary relational operation
@@ -96,6 +121,7 @@ fn execute_prepared(
     sample: Option<&DataFrame>,
     model: &CostModel,
     candidates: Vec<Candidate>,
+    trace: Option<&TraceCtx>,
 ) -> std::result::Result<Option<ActionResult>, ActionError> {
     let start = Instant::now();
     if candidates.is_empty() {
@@ -105,6 +131,10 @@ fn execute_prepared(
     let estimated_cost = estimate_action(&candidates, ctx.meta, ctx.df.num_rows(), model);
     let k = ctx.config.top_k;
     let total = candidates.len();
+    if let Some(t) = trace {
+        t.tag("candidates", total.to_string());
+        t.tag("cost.estimated", format!("{estimated_cost:.0}"));
+    }
 
     // The budget is proportional to how expensive the cost model predicts
     // this action to be — cheap actions get the base budget, heavyweight
@@ -125,15 +155,48 @@ fn execute_prepared(
         Some(s)
             if ctx.config.prune
                 && total > k
-                && model.prune_worthwhile(total, k, rep_class, rep_rows, s.num_rows(), rep_groups) =>
+                && model.prune_worthwhile(
+                    total,
+                    k,
+                    rep_class,
+                    rep_rows,
+                    s.num_rows(),
+                    rep_groups,
+                ) =>
         {
             Some(s)
         }
         _ => None,
     };
+    // PRUNE observability: when approximation was a live question (PRUNE on
+    // and a sample available), record whether the cost-model gate engaged.
+    if ctx.config.prune && sample.is_some() {
+        MetricsRegistry::global().incr(if prune_sample.is_some() {
+            metric::PRUNE_ENGAGED
+        } else {
+            metric::PRUNE_SKIPPED
+        });
+    }
+    if let Some(t) = trace {
+        t.tag(
+            "prune",
+            match (ctx.config.prune, prune_sample.is_some()) {
+                (true, true) => "engaged",
+                (true, false) => "skipped",
+                (false, _) => "off",
+            },
+        );
+        if deadline.is_bounded() {
+            t.tag(
+                "deadline.budget_ms",
+                format!("{:.1}", deadline.budget().as_secs_f64() * 1e3),
+            );
+        }
+    }
 
     // First pass: score every candidate (on the sample when PRUNE applies),
     // checking the deadline cooperatively between candidates.
+    let score_span = trace.map(|t| t.child("score"));
     let mut scored: Vec<(Candidate, f64, bool)> = Vec::with_capacity(total);
     let mut degraded_reason: Option<String> = None;
     for cand in candidates {
@@ -153,12 +216,32 @@ fn execute_prepared(
             (None, Some(s)) => (s, true),
             (None, None) => (ctx.df, false),
         };
-        let score = isolate(action.name(), || action.score(&cand.spec, frame, &opts))?;
+        let score = match isolate(action.name(), || action.score(&cand.spec, frame, &opts)) {
+            Ok(s) => s,
+            Err(e) => {
+                if let (Some(t), Some(id)) = (trace, score_span) {
+                    t.collector.tag(id, "panicked", "true");
+                    t.collector.end(id);
+                }
+                return Err(e);
+            }
+        };
         scored.push((cand, score, approx));
+    }
+    if let (Some(t), Some(id)) = (trace, score_span) {
+        t.collector
+            .tag(id, "scored", format!("{}/{total}", scored.len()));
+        t.collector
+            .tag(id, "approximate", prune_sample.is_some().to_string());
+        t.collector.end(id);
     }
     if scored.is_empty() {
         // Deadline hit before anything was scored: nothing servable.
-        return Err(ActionError::TimedOut { budget: deadline.budget(), completed: 0, total });
+        return Err(ActionError::TimedOut {
+            budget: deadline.budget(),
+            completed: 0,
+            total,
+        });
     }
     scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
     scored.truncate(k);
@@ -167,6 +250,7 @@ fn execute_prepared(
     // top-k on the full frame — until the deadline expires, after which the
     // remaining survivors are served degraded: approximate score kept,
     // processed against the (cheap) sample so there is still data to draw.
+    let process_span = trace.map(|t| t.child("process"));
     let mut visses: Vec<Vis> = Vec::with_capacity(scored.len());
     let mut last_processing_error: Option<String> = None;
     for (cand, score, approx) in scored {
@@ -176,17 +260,33 @@ fn execute_prepared(
                 deadline.budget()
             ));
         }
-        let Candidate { spec, frame: pinned } = cand;
+        let Candidate {
+            spec,
+            frame: pinned,
+        } = cand;
         if degraded_reason.is_none() {
             let frame: &DataFrame = pinned.as_deref().unwrap_or(ctx.df);
-            let processed = isolate(action.name(), || -> Result<Vis> {
-                let exact = if approx { action.score(&spec, frame, &opts) } else { score };
+            let processed = match isolate(action.name(), || -> Result<Vis> {
+                let exact = if approx {
+                    action.score(&spec, frame, &opts)
+                } else {
+                    score
+                };
                 let mut vis = Vis::new(spec);
                 vis.score = exact;
                 vis.approximate = false;
                 vis.process(frame, &opts)?;
                 Ok(vis)
-            })?;
+            }) {
+                Ok(r) => r,
+                Err(e) => {
+                    if let (Some(t), Some(id)) = (trace, process_span) {
+                        t.collector.tag(id, "panicked", "true");
+                        t.collector.end(id);
+                    }
+                    return Err(e);
+                }
+            };
             match processed {
                 Ok(vis) => visses.push(vis),
                 // fail-safe: drop the broken vis, keep the rest
@@ -204,10 +304,17 @@ fn execute_prepared(
             visses.push(vis);
         }
     }
+    if let (Some(t), Some(id)) = (trace, process_span) {
+        t.collector.tag(id, "processed", visses.len().to_string());
+        t.collector
+            .tag(id, "degraded", degraded_reason.is_some().to_string());
+        t.collector.end(id);
+    }
     if visses.is_empty() {
-        return Err(ActionError::Processing(last_processing_error.unwrap_or_else(|| {
-            "every candidate failed processing".to_string()
-        })));
+        return Err(ActionError::Processing(
+            last_processing_error
+                .unwrap_or_else(|| "every candidate failed processing".to_string()),
+        ));
     }
     let mut vislist = VisList::new(visses);
     vislist.rank();
@@ -233,8 +340,33 @@ pub fn execute_action_guarded(
     sample: Option<&DataFrame>,
     model: &CostModel,
 ) -> std::result::Result<Option<ActionResult>, ActionError> {
-    let candidates = generate_isolated(action, ctx)?;
-    execute_prepared(action, ctx, sample, model, candidates)
+    execute_action_traced(action, ctx, sample, model, None)
+}
+
+/// [`execute_action_guarded`] with an optional trace attachment: records a
+/// `generate` phase span plus the score/process spans and decision tags of
+/// [`execute_prepared`] under the action's span.
+pub fn execute_action_traced(
+    action: &dyn Action,
+    ctx: &ActionContext<'_>,
+    sample: Option<&DataFrame>,
+    model: &CostModel,
+    trace: Option<&TraceCtx>,
+) -> std::result::Result<Option<ActionResult>, ActionError> {
+    let candidates = match trace {
+        Some(t) => {
+            let gen_span = t.child("generate");
+            let generated = generate_isolated(action, ctx);
+            match &generated {
+                Ok(c) => t.collector.tag(gen_span, "candidates", c.len().to_string()),
+                Err(_) => t.collector.tag(gen_span, "failed", "true"),
+            }
+            t.collector.end(gen_span);
+            generated?
+        }
+        None => generate_isolated(action, ctx)?,
+    };
+    execute_prepared(action, ctx, sample, model, candidates, trace)
 }
 
 /// Fault-blind convenience wrapper around [`execute_action_guarded`]:
@@ -245,11 +377,77 @@ pub fn execute_action(
     sample: Option<&DataFrame>,
     model: &CostModel,
 ) -> Option<ActionResult> {
-    execute_action_guarded(action, ctx, sample, model).ok().flatten()
+    execute_action_guarded(action, ctx, sample, model)
+        .ok()
+        .flatten()
 }
 
-/// Fold one guarded-execution outcome into the report, the breaker, and the
-/// caller's streaming callback.
+/// Derive the health status for a delivered result.
+fn delivery_status(result: &ActionResult) -> ActionStatus {
+    match &result.degraded_reason {
+        Some(reason) if result.degraded => ActionStatus::Degraded(reason.clone()),
+        _ if result.degraded => ActionStatus::Degraded("partial results".to_string()),
+        _ => ActionStatus::Ok,
+    }
+}
+
+/// Record the always-on metrics and (when attached) the closing span tags
+/// for one settled action. Shared by the borrowing and streaming paths so
+/// counters agree regardless of execution mode. `tripped` is whether the
+/// failure left the circuit breaker open.
+fn settle_observability(
+    outcome: &std::result::Result<Option<ActionResult>, ActionError>,
+    tripped: bool,
+    span: Option<(&TraceCollector, SpanId)>,
+) {
+    let metrics = MetricsRegistry::global();
+    match outcome {
+        Ok(Some(result)) => {
+            metrics.incr(if result.degraded {
+                metric::ACTIONS_DEGRADED
+            } else {
+                metric::ACTIONS_OK
+            });
+            metrics.observe(
+                metric::ACTION_LATENCY,
+                Duration::from_secs_f64(result.elapsed),
+            );
+            if let Some((collector, id)) = span {
+                collector.tag(
+                    id,
+                    "status",
+                    if result.degraded { "degraded" } else { "ok" },
+                );
+                collector.tag(id, "cost.actual_ms", format!("{:.2}", result.elapsed * 1e3));
+                if let Some(reason) = &result.degraded_reason {
+                    collector.tag(id, "degraded.reason", reason.clone());
+                }
+                collector.end(id);
+            }
+        }
+        Ok(None) => {
+            metrics.incr(metric::ACTIONS_OK);
+            if let Some((collector, id)) = span {
+                collector.tag(id, "status", "empty");
+                collector.end(id);
+            }
+        }
+        Err(err) => {
+            metrics.incr(metric::ACTIONS_FAILED);
+            if tripped {
+                metrics.incr(metric::BREAKER_TRIPS);
+            }
+            if let Some((collector, id)) = span {
+                collector.tag(id, "status", "failed");
+                collector.tag(id, "error", err.to_string());
+                collector.end(id);
+            }
+        }
+    }
+}
+
+/// Fold one guarded-execution outcome into the report, the breaker, the
+/// metrics registry/trace, and the caller's streaming callback.
 fn absorb_outcome(
     name: &str,
     outcome: std::result::Result<Option<ActionResult>, ActionError>,
@@ -257,18 +455,23 @@ fn absorb_outcome(
     breaker: &CircuitBreaker,
     threshold: u32,
     on_result: &mut Option<&mut dyn FnMut(&ActionResult)>,
+    span: Option<(&TraceCollector, SpanId)>,
 ) {
+    let tripped = match &outcome {
+        // Degraded still counts as delivery for the breaker: the action
+        // is healthy, the budget was just too tight for exact results.
+        Ok(_) => {
+            breaker.record_success(name);
+            false
+        }
+        Err(err) => breaker.record_failure(name, &err.to_string(), threshold),
+    };
+    settle_observability(&outcome, tripped, span);
     match outcome {
         Ok(Some(result)) => {
-            // Degraded still counts as delivery for the breaker: the action
-            // is healthy, the budget was just too tight for exact results.
-            breaker.record_success(name);
-            let status = match &result.degraded_reason {
-                Some(reason) if result.degraded => ActionStatus::Degraded(reason.clone()),
-                _ if result.degraded => ActionStatus::Degraded("partial results".to_string()),
-                _ => ActionStatus::Ok,
-            };
-            report.health.push(ActionHealth::new(name, status));
+            report
+                .health
+                .push(ActionHealth::new(name, delivery_status(&result)));
             if let Some(cb) = on_result.as_deref_mut() {
                 cb(&result);
             }
@@ -276,11 +479,12 @@ fn absorb_outcome(
         }
         // No candidates: not a fault, and (as before the fault layer) not a
         // visible tab either — no health entry.
-        Ok(None) => breaker.record_success(name),
+        Ok(None) => {}
         Err(err) => {
-            let reason = err.to_string();
-            breaker.record_failure(name, &reason, threshold);
-            report.health.push(ActionHealth::new(name, ActionStatus::Failed(reason)));
+            report.health.push(ActionHealth::new(
+                name,
+                ActionStatus::Failed(err.to_string()),
+            ));
         }
     }
 }
@@ -299,42 +503,98 @@ pub fn run_actions_report(
     registry: &ActionRegistry,
     ctx: &ActionContext<'_>,
     sample: Option<&DataFrame>,
+    on_result: Option<&mut dyn FnMut(&ActionResult)>,
+) -> RunReport {
+    run_actions_report_traced(registry, ctx, sample, on_result, None)
+}
+
+/// [`run_actions_report`] with an optional trace attachment: every action
+/// gets an `action:<name>` span under the given parent — begun when the
+/// action is queued for generation, ended when its outcome settles — that
+/// carries the generate/score/process phase spans, the PRUNE/deadline
+/// decision tags, and the cheapest-first `sched.order` index.
+pub fn run_actions_report_traced(
+    registry: &ActionRegistry,
+    ctx: &ActionContext<'_>,
+    sample: Option<&DataFrame>,
     mut on_result: Option<&mut dyn FnMut(&ActionResult)>,
+    trace: Option<(&Arc<TraceCollector>, SpanId)>,
 ) -> RunReport {
     let model = CostModel::default();
     let breaker = registry.breaker();
     breaker.begin_frame();
     let threshold = ctx.config.breaker_threshold;
     let mut report = RunReport::default();
+    let span_ref = |s: Option<SpanId>| {
+        trace.and_then(|(c, _)| s.map(|id| (c.as_ref() as &TraceCollector, id)))
+    };
 
     // Breaker gate, then one isolated generation pass per action: the
     // candidates drive both the cheapest-first schedule and execution (so
     // generation runs exactly once per action per pass).
-    let mut prepared: Vec<(Arc<dyn Action>, Vec<Candidate>, f64)> = Vec::new();
+    let mut prepared: Vec<(Arc<dyn Action>, Vec<Candidate>, f64, Option<SpanId>)> = Vec::new();
     for action in registry.applicable(ctx) {
         match breaker.decision(action.name(), ctx.config.breaker_cooldown) {
             BreakerDecision::Skip(reason) => {
-                report
-                    .health
-                    .push(ActionHealth::new(action.name(), ActionStatus::Disabled(reason)));
+                MetricsRegistry::global().incr(metric::ACTIONS_DISABLED);
+                if let Some((collector, parent)) = trace {
+                    let id = collector.begin(Some(parent), &format!("action:{}", action.name()));
+                    collector.tag(id, "status", "disabled");
+                    collector.end(id);
+                }
+                report.health.push(ActionHealth::new(
+                    action.name(),
+                    ActionStatus::Disabled(reason),
+                ));
                 continue;
             }
             BreakerDecision::Run | BreakerDecision::Probe => {}
         }
-        match generate_isolated(action.as_ref(), ctx) {
-            Ok(candidates) if candidates.is_empty() => breaker.record_success(action.name()),
+        let span = trace.map(|(collector, parent)| {
+            collector.begin(Some(parent), &format!("action:{}", action.name()))
+        });
+        let gen_span =
+            span.and_then(|s| trace.map(|(collector, _)| collector.begin(Some(s), "generate")));
+        let generated = generate_isolated(action.as_ref(), ctx);
+        if let (Some((collector, _)), Some(g)) = (trace, gen_span) {
+            if let Ok(candidates) = &generated {
+                collector.tag(g, "candidates", candidates.len().to_string());
+            }
+            collector.end(g);
+        }
+        match generated {
+            Ok(candidates) if candidates.is_empty() => absorb_outcome(
+                action.name(),
+                Ok(None),
+                &mut report,
+                breaker,
+                threshold,
+                &mut on_result,
+                span_ref(span),
+            ),
             Ok(candidates) => {
                 let cost = estimate_action(&candidates, ctx.meta, ctx.df.num_rows(), &model);
-                prepared.push((action, candidates, cost));
+                prepared.push((action, candidates, cost, span));
             }
-            Err(err) => {
-                let reason = err.to_string();
-                breaker.record_failure(action.name(), &reason, threshold);
-                report.health.push(ActionHealth::new(action.name(), ActionStatus::Failed(reason)));
-            }
+            Err(err) => absorb_outcome(
+                action.name(),
+                Err(err),
+                &mut report,
+                breaker,
+                threshold,
+                &mut on_result,
+                span_ref(span),
+            ),
         }
     }
     prepared.sort_by(|a, b| a.2.partial_cmp(&b.2).unwrap_or(std::cmp::Ordering::Equal));
+    if let Some((collector, _)) = trace {
+        for (order, (_, _, _, span)) in prepared.iter().enumerate() {
+            if let Some(id) = span {
+                collector.tag(*id, "sched.order", order.to_string());
+            }
+        }
+    }
 
     if ctx.config.r#async && prepared.len() > 1 {
         // Cheapest-first dispatch onto scoped workers; results stream back
@@ -342,23 +602,59 @@ pub fn run_actions_report(
         type Outcome = std::result::Result<Option<ActionResult>, ActionError>;
         let (tx, rx) = mpsc::channel::<(String, Outcome)>();
         let model_ref = &model;
+        let mut spans: HashMap<String, SpanId> = HashMap::new();
         std::thread::scope(|scope| {
-            for (action, candidates, _) in prepared {
+            for (action, candidates, _, span) in prepared {
+                if let Some(id) = span {
+                    spans.insert(action.name().to_string(), id);
+                }
+                let tctx = match (trace, span) {
+                    (Some((collector, _)), Some(id)) => {
+                        Some(TraceCtx::new(Arc::clone(collector), id))
+                    }
+                    _ => None,
+                };
                 let tx = tx.clone();
                 scope.spawn(move || {
-                    let outcome =
-                        execute_prepared(action.as_ref(), ctx, sample, model_ref, candidates);
+                    let outcome = execute_prepared(
+                        action.as_ref(),
+                        ctx,
+                        sample,
+                        model_ref,
+                        candidates,
+                        tctx.as_ref(),
+                    );
                     let _ = tx.send((action.name().to_string(), outcome));
                 });
             }
             drop(tx);
             while let Ok((name, outcome)) = rx.recv() {
-                absorb_outcome(&name, outcome, &mut report, breaker, threshold, &mut on_result);
+                let span = span_ref(spans.get(&name).copied());
+                absorb_outcome(
+                    &name,
+                    outcome,
+                    &mut report,
+                    breaker,
+                    threshold,
+                    &mut on_result,
+                    span,
+                );
             }
         });
     } else {
-        for (action, candidates, _) in prepared {
-            let outcome = execute_prepared(action.as_ref(), ctx, sample, &model, candidates);
+        for (action, candidates, _, span) in prepared {
+            let tctx = match (trace, span) {
+                (Some((collector, _)), Some(id)) => Some(TraceCtx::new(Arc::clone(collector), id)),
+                _ => None,
+            };
+            let outcome = execute_prepared(
+                action.as_ref(),
+                ctx,
+                sample,
+                &model,
+                candidates,
+                tctx.as_ref(),
+            );
             absorb_outcome(
                 action.name(),
                 outcome,
@@ -366,6 +662,7 @@ pub fn run_actions_report(
                 breaker,
                 threshold,
                 &mut on_result,
+                span_ref(span),
             );
         }
     }
@@ -404,7 +701,10 @@ mod tests {
             .float("a", (0..rows).map(|i| i as f64))
             .float("b", (0..rows).map(|i| (i * 2) as f64))
             .float("c", (0..rows).map(|i| ((i * 7919) % 100) as f64))
-            .str("dept", (0..rows).map(|i| if i % 2 == 0 { "S" } else { "E" }))
+            .str(
+                "dept",
+                (0..rows).map(|i| if i % 2 == 0 { "S" } else { "E" }),
+            )
             .build()
             .unwrap();
         let meta = FrameMeta::compute(&df, &HashMap::new());
@@ -414,7 +714,13 @@ mod tests {
     #[test]
     fn execute_correlation_ranks_by_r() {
         let (df, meta, config) = fixture(100);
-        let ctx = ActionContext { df: &df, meta: &meta, intent: &[], intent_specs: &[], config: &config };
+        let ctx = ActionContext {
+            df: &df,
+            meta: &meta,
+            intent: &[],
+            intent_specs: &[],
+            config: &config,
+        };
         let r = execute_action(&Correlation, &ctx, None, &CostModel::default()).unwrap();
         assert_eq!(r.action, "Correlation");
         // a-b are perfectly correlated; that pair must rank first.
@@ -429,7 +735,13 @@ mod tests {
     #[test]
     fn run_actions_returns_all_classes_on_plain_frame() {
         let (df, meta, config) = fixture(60);
-        let ctx = ActionContext { df: &df, meta: &meta, intent: &[], intent_specs: &[], config: &config };
+        let ctx = ActionContext {
+            df: &df,
+            meta: &meta,
+            intent: &[],
+            intent_specs: &[],
+            config: &config,
+        };
         let registry = ActionRegistry::with_defaults();
         let results = run_actions(&registry, &ctx, None, None);
         let names: Vec<&str> = results.iter().map(|r| r.action.as_str()).collect();
@@ -445,15 +757,25 @@ mod tests {
         let (df, meta, mut config) = fixture(80);
         let registry = ActionRegistry::with_defaults();
         config.r#async = false;
-        let ctx = ActionContext { df: &df, meta: &meta, intent: &[], intent_specs: &[], config: &config };
+        let ctx = ActionContext {
+            df: &df,
+            meta: &meta,
+            intent: &[],
+            intent_specs: &[],
+            config: &config,
+        };
         let sync = run_actions(&registry, &ctx, None, None);
         let mut config2 = config.clone();
         config2.r#async = true;
-        let ctx2 = ActionContext { df: &df, meta: &meta, intent: &[], intent_specs: &[], config: &config2 };
-        let asynced = run_actions(&registry, &ctx2, None, None);
-        let names = |rs: &[ActionResult]| {
-            rs.iter().map(|r| r.action.clone()).collect::<Vec<_>>()
+        let ctx2 = ActionContext {
+            df: &df,
+            meta: &meta,
+            intent: &[],
+            intent_specs: &[],
+            config: &config2,
         };
+        let asynced = run_actions(&registry, &ctx2, None, None);
+        let names = |rs: &[ActionResult]| rs.iter().map(|r| r.action.clone()).collect::<Vec<_>>();
         assert_eq!(names(&sync), names(&asynced));
         for (a, b) in sync.iter().zip(&asynced) {
             assert_eq!(a.vislist.len(), b.vislist.len());
@@ -467,7 +789,13 @@ mod tests {
     fn streaming_callback_fires_per_action() {
         let (df, meta, config) = fixture(50);
         let registry = ActionRegistry::with_defaults();
-        let ctx = ActionContext { df: &df, meta: &meta, intent: &[], intent_specs: &[], config: &config };
+        let ctx = ActionContext {
+            df: &df,
+            meta: &meta,
+            intent: &[],
+            intent_specs: &[],
+            config: &config,
+        };
         let mut seen = 0usize;
         let mut cb = |_r: &ActionResult| seen += 1;
         let results = run_actions(&registry, &ctx, None, Some(&mut cb));
@@ -479,7 +807,13 @@ mod tests {
     fn top_k_truncation() {
         let (df, meta, mut config) = fixture(30);
         config.top_k = 2;
-        let ctx = ActionContext { df: &df, meta: &meta, intent: &[], intent_specs: &[], config: &config };
+        let ctx = ActionContext {
+            df: &df,
+            meta: &meta,
+            intent: &[],
+            intent_specs: &[],
+            config: &config,
+        };
         let r = execute_action(&Correlation, &ctx, None, &CostModel::default()).unwrap();
         assert!(r.vislist.len() <= 2);
     }
@@ -490,7 +824,13 @@ mod tests {
         config.prune = true;
         config.top_k = 1;
         let sample = df.sample(100, 7);
-        let ctx = ActionContext { df: &df, meta: &meta, intent: &[], intent_specs: &[], config: &config };
+        let ctx = ActionContext {
+            df: &df,
+            meta: &meta,
+            intent: &[],
+            intent_specs: &[],
+            config: &config,
+        };
         let r = execute_action(&Correlation, &ctx, Some(&sample), &CostModel::default()).unwrap();
         let attrs = r.vislist.visualizations[0].spec.attributes();
         assert!(attrs.contains(&"a") && attrs.contains(&"b"));
@@ -501,7 +841,13 @@ mod tests {
     #[test]
     fn panicking_action_becomes_failed_health_not_a_crash() {
         let (df, meta, config) = fixture(40);
-        let ctx = ActionContext { df: &df, meta: &meta, intent: &[], intent_specs: &[], config: &config };
+        let ctx = ActionContext {
+            df: &df,
+            meta: &meta,
+            intent: &[],
+            intent_specs: &[],
+            config: &config,
+        };
         let mut registry = ActionRegistry::with_defaults();
         registry.register(ChaosAction::new("Saboteur", ChaosMode::Panic));
         let report = run_actions_report(&registry, &ctx, None, None);
@@ -514,13 +860,22 @@ mod tests {
             other => panic!("expected Failed, got {other:?}"),
         }
         // healthy actions report Ok
-        assert!(matches!(report.status_of("Correlation"), Some(ActionStatus::Ok)));
+        assert!(matches!(
+            report.status_of("Correlation"),
+            Some(ActionStatus::Ok)
+        ));
     }
 
     #[test]
     fn erroring_action_health_carries_generation_error() {
         let (df, meta, config) = fixture(40);
-        let ctx = ActionContext { df: &df, meta: &meta, intent: &[], intent_specs: &[], config: &config };
+        let ctx = ActionContext {
+            df: &df,
+            meta: &meta,
+            intent: &[],
+            intent_specs: &[],
+            config: &config,
+        };
         let mut registry = ActionRegistry::new();
         registry.register(ChaosAction::new("Erratic", ChaosMode::Error));
         let report = run_actions_report(&registry, &ctx, None, None);
@@ -535,17 +890,33 @@ mod tests {
         let (df, meta, mut config) = fixture(40);
         config.action_budget = Some(Duration::from_millis(30));
         config.r#async = false;
-        let ctx = ActionContext { df: &df, meta: &meta, intent: &[], intent_specs: &[], config: &config };
+        let ctx = ActionContext {
+            df: &df,
+            meta: &meta,
+            intent: &[],
+            intent_specs: &[],
+            config: &config,
+        };
         let mut registry = ActionRegistry::new();
         registry.register(ChaosAction::new(
             "Molasses",
-            ChaosMode::SlowScore { per_score: Duration::from_millis(10), candidates: 200 },
+            ChaosMode::SlowScore {
+                per_score: Duration::from_millis(10),
+                candidates: 200,
+            },
         ));
         let report = run_actions_report(&registry, &ctx, None, None);
-        let r = report.results.iter().find(|r| r.action == "Molasses").expect("partial results");
+        let r = report
+            .results
+            .iter()
+            .find(|r| r.action == "Molasses")
+            .expect("partial results");
         assert!(r.degraded);
         assert!(r.degraded_reason.as_deref().unwrap().contains("budget"));
-        assert!(matches!(report.status_of("Molasses"), Some(ActionStatus::Degraded(_))));
+        assert!(matches!(
+            report.status_of("Molasses"),
+            Some(ActionStatus::Degraded(_))
+        ));
     }
 
     #[test]
@@ -554,7 +925,13 @@ mod tests {
         config.breaker_threshold = 2;
         config.breaker_cooldown = 2;
         config.r#async = false;
-        let ctx = ActionContext { df: &df, meta: &meta, intent: &[], intent_specs: &[], config: &config };
+        let ctx = ActionContext {
+            df: &df,
+            meta: &meta,
+            intent: &[],
+            intent_specs: &[],
+            config: &config,
+        };
         let mut registry = ActionRegistry::new();
         // fails twice (tripping the breaker), then recovers
         registry.register(ChaosAction::scripted(
@@ -590,6 +967,9 @@ pub struct OwnedContext {
     pub intent_specs: Arc<Vec<VisSpec>>,
     pub config: Arc<lux_engine::LuxConfig>,
     pub sample: Option<Arc<DataFrame>>,
+    /// Trace attachment for the pass (the span is the parent under which
+    /// per-action spans are recorded); `None` runs untraced.
+    pub trace: Option<TraceCtx>,
 }
 
 impl OwnedContext {
@@ -652,7 +1032,9 @@ impl StreamingRun {
     pub fn collect_report(self) -> RunReport {
         let mut results: Vec<ActionResult> = self.results.iter().collect();
         results.sort_by(|a, b| {
-            a.estimated_cost.partial_cmp(&b.estimated_cost).unwrap_or(std::cmp::Ordering::Equal)
+            a.estimated_cost
+                .partial_cmp(&b.estimated_cost)
+                .unwrap_or(std::cmp::Ordering::Equal)
         });
         let health = self.health.iter().collect();
         RunReport { results, health }
@@ -692,8 +1074,18 @@ pub fn run_actions_streaming(registry: &ActionRegistry, owned: OwnedContext) -> 
         for action in registry.applicable(&ctx) {
             match breaker.decision(action.name(), owned.config.breaker_cooldown) {
                 BreakerDecision::Skip(reason) => {
-                    pre_health
-                        .push(ActionHealth::new(action.name(), ActionStatus::Disabled(reason)));
+                    MetricsRegistry::global().incr(metric::ACTIONS_DISABLED);
+                    if let Some(t) = &owned.trace {
+                        let id = t
+                            .collector
+                            .begin(Some(t.span), &format!("action:{}", action.name()));
+                        t.collector.tag(id, "status", "disabled");
+                        t.collector.end(id);
+                    }
+                    pre_health.push(ActionHealth::new(
+                        action.name(),
+                        ActionStatus::Disabled(reason),
+                    ));
                 }
                 BreakerDecision::Run | BreakerDecision::Probe => runnable.push(action),
             }
@@ -705,17 +1097,35 @@ pub fn run_actions_streaming(registry: &ActionRegistry, owned: OwnedContext) -> 
     let (results_tx, results_rx) = mpsc::channel::<ActionResult>();
     let (health_tx, health_rx) = mpsc::channel::<ActionHealth>();
     let expected = runnable.len();
-    let mut outstanding: HashSet<String> = HashSet::new();
+    // name → per-action span (queued at dispatch; ended when the collector
+    // settles the action, or tagged abandoned at the hard cutoff).
+    let mut outstanding: HashMap<String, Option<SpanId>> = HashMap::new();
+    let trace_collector = owned.trace.as_ref().map(|t| Arc::clone(&t.collector));
 
-    for action in runnable {
-        outstanding.insert(action.name().to_string());
+    for (order, action) in runnable.into_iter().enumerate() {
+        let action_trace = owned.trace.as_ref().map(|t| {
+            let id = t
+                .collector
+                .begin(Some(t.span), &format!("action:{}", action.name()));
+            t.collector.tag(id, "sched.order", order.to_string());
+            TraceCtx::new(Arc::clone(&t.collector), id)
+        });
+        outstanding.insert(
+            action.name().to_string(),
+            action_trace.as_ref().map(|t| t.span),
+        );
         let owned = owned.clone();
         let worker_tx = worker_tx.clone();
         std::thread::spawn(move || {
             let model = CostModel::default();
             let ctx = owned.action_context();
-            let outcome =
-                execute_action_guarded(action.as_ref(), &ctx, owned.sample.as_deref(), &model);
+            let outcome = execute_action_traced(
+                action.as_ref(),
+                &ctx,
+                owned.sample.as_deref(),
+                &model,
+                action_trace.as_ref(),
+            );
             let _ = worker_tx.send((action.name().to_string(), outcome));
         });
     }
@@ -731,7 +1141,9 @@ pub fn run_actions_streaming(registry: &ActionRegistry, owned: OwnedContext) -> 
         while !outstanding.is_empty() {
             let received = match cutoff {
                 Some(at) => {
-                    let Some(left) = at.checked_duration_since(Instant::now()).filter(|d| !d.is_zero())
+                    let Some(left) = at
+                        .checked_duration_since(Instant::now())
+                        .filter(|d| !d.is_zero())
                     else {
                         break; // hard cutoff reached
                     };
@@ -748,41 +1160,62 @@ pub fn run_actions_streaming(registry: &ActionRegistry, owned: OwnedContext) -> 
                 // all action code is isolated) — fall through to cleanup
                 break;
             };
-            outstanding.remove(&name);
+            let span = outstanding.remove(&name).flatten();
+            let tripped = match &outcome {
+                Ok(_) => {
+                    breaker.record_success(&name);
+                    false
+                }
+                Err(err) => breaker.record_failure(&name, &err.to_string(), threshold),
+            };
+            settle_observability(
+                &outcome,
+                tripped,
+                trace_collector
+                    .as_deref()
+                    .and_then(|c| span.map(|id| (c, id))),
+            );
             match outcome {
                 Ok(Some(result)) => {
-                    breaker.record_success(&name);
-                    let status = match &result.degraded_reason {
-                        Some(reason) if result.degraded => ActionStatus::Degraded(reason.clone()),
-                        _ if result.degraded => {
-                            ActionStatus::Degraded("partial results".to_string())
-                        }
-                        _ => ActionStatus::Ok,
-                    };
-                    let _ = health_tx.send(ActionHealth::new(&name, status));
+                    let _ = health_tx.send(ActionHealth::new(&name, delivery_status(&result)));
                     let _ = results_tx.send(result);
                 }
-                Ok(None) => breaker.record_success(&name),
+                Ok(None) => {}
                 Err(err) => {
-                    let reason = err.to_string();
-                    breaker.record_failure(&name, &reason, threshold);
-                    let _ = health_tx.send(ActionHealth::new(&name, ActionStatus::Failed(reason)));
+                    let _ = health_tx.send(ActionHealth::new(
+                        &name,
+                        ActionStatus::Failed(err.to_string()),
+                    ));
                 }
             }
         }
         // Anything still outstanding was hung (or its worker died): abandon
         // it, charge its breaker, and surface the failure.
-        for name in outstanding {
+        for (name, span) in outstanding {
             let reason = match hard_budget {
                 Some(b) => format!("exceeded hard deadline ({b:?}); worker abandoned"),
                 None => "worker terminated without reporting".to_string(),
             };
-            breaker.record_failure(&name, &reason, threshold);
+            let tripped = breaker.record_failure(&name, &reason, threshold);
+            let metrics = MetricsRegistry::global();
+            metrics.incr(metric::ACTIONS_FAILED);
+            if tripped {
+                metrics.incr(metric::BREAKER_TRIPS);
+            }
+            if let (Some(collector), Some(id)) = (trace_collector.as_deref(), span) {
+                collector.tag(id, "status", "abandoned");
+                collector.tag(id, "error", reason.clone());
+                collector.end(id);
+            }
             let _ = health_tx.send(ActionHealth::new(&name, ActionStatus::Failed(reason)));
         }
     });
 
-    StreamingRun { results: results_rx, health: health_rx, expected }
+    StreamingRun {
+        results: results_rx,
+        health: health_rx,
+        expected,
+    }
 }
 
 #[cfg(test)]
@@ -802,6 +1235,7 @@ mod streaming_tests {
             intent_specs: Arc::new(vec![]),
             config: Arc::new(config),
             sample: None,
+            trace: None,
         }
     }
 
@@ -828,7 +1262,10 @@ mod streaming_tests {
 
     #[test]
     fn dropping_run_detaches_cleanly() {
-        let df = DataFrameBuilder::new().float("a", (0..50).map(|i| i as f64)).build().unwrap();
+        let df = DataFrameBuilder::new()
+            .float("a", (0..50).map(|i| i as f64))
+            .build()
+            .unwrap();
         let registry = ActionRegistry::with_defaults();
         let run = run_actions_streaming(&registry, owned_fixture(df, LuxConfig::default()));
         let _first = run.next_result();
@@ -837,18 +1274,26 @@ mod streaming_tests {
 
     #[test]
     fn hung_action_is_abandoned_at_hard_cutoff() {
-        let df = DataFrameBuilder::new().float("a", (0..50).map(|i| i as f64)).build().unwrap();
+        let df = DataFrameBuilder::new()
+            .float("a", (0..50).map(|i| i as f64))
+            .build()
+            .unwrap();
         let mut config = LuxConfig::default();
         config.action_budget = Some(Duration::from_millis(40));
         let mut registry = ActionRegistry::with_defaults();
-        registry.register(ChaosAction::new("Sleeper", ChaosMode::Hang(Duration::from_secs(30))));
+        registry.register(ChaosAction::new(
+            "Sleeper",
+            ChaosMode::Hang(Duration::from_secs(30)),
+        ));
         let start = std::time::Instant::now();
         let report = run_actions_streaming(&registry, owned_fixture(df, config)).collect_report();
         // returned in ~hard-cutoff time, not the 30 s hang
         assert!(start.elapsed() < Duration::from_secs(5));
         assert!(report.results.iter().all(|r| r.action != "Sleeper"));
         assert!(report.results.iter().any(|r| r.action == "Distribution"));
-        let status = report.status_of("Sleeper").expect("health entry for hung action");
+        let status = report
+            .status_of("Sleeper")
+            .expect("health entry for hung action");
         assert_eq!(status.name(), "failed");
         assert!(status.reason().unwrap().contains("hard deadline"));
     }

@@ -41,12 +41,18 @@ impl Action for PreFilter {
 
     fn applies(&self, ctx: &ActionContext<'_>) -> bool {
         ctx.df.num_rows() <= SMALL_FRAME_ROWS
-            && ctx.df.history().last().is_some_and(|e| e.op == OpKind::Filter)
+            && ctx
+                .df
+                .history()
+                .last()
+                .is_some_and(|e| e.op == OpKind::Filter)
             && Self::parent_of(ctx).is_some()
     }
 
     fn generate(&self, ctx: &ActionContext<'_>) -> Result<Vec<Candidate>> {
-        let Some(parent) = Self::parent_of(ctx) else { return Ok(vec![]) };
+        let Some(parent) = Self::parent_of(ctx) else {
+            return Ok(vec![]);
+        };
         let parent_meta = meta_for(&parent);
         let mut out = Vec::new();
         for cm in &parent_meta.columns {
@@ -66,7 +72,9 @@ impl Action for PreFilter {
 pub struct PreAggregate;
 
 impl PreAggregate {
-    fn last_agg<'a>(ctx: &'a ActionContext<'_>) -> Option<(&'a lux_dataframe::Event, Arc<DataFrame>)> {
+    fn last_agg<'a>(
+        ctx: &'a ActionContext<'_>,
+    ) -> Option<(&'a lux_dataframe::Event, Arc<DataFrame>)> {
         let event = ctx.df.history().last_of(OpKind::Aggregate)?;
         let parent = event.parent.as_ref()?;
         Some((event, Arc::clone(parent)))
@@ -90,13 +98,17 @@ impl Action for PreAggregate {
     }
 
     fn generate(&self, ctx: &ActionContext<'_>) -> Result<Vec<Candidate>> {
-        let Some((event, parent)) = Self::last_agg(ctx) else { return Ok(vec![]) };
+        let Some((event, parent)) = Self::last_agg(ctx) else {
+            return Ok(vec![]);
+        };
         let key = match event.columns.first() {
             Some(k) => k.clone(),
             None => return Ok(vec![]),
         };
         let parent_meta = meta_for(&parent);
-        let Some(key_meta) = parent_meta.column(&key) else { return Ok(vec![]) };
+        let Some(key_meta) = parent_meta.column(&key) else {
+            return Ok(vec![]);
+        };
         let mark = match key_meta.semantic {
             SemanticType::Temporal => Mark::Line,
             SemanticType::Geographic => Mark::Choropleth,
@@ -133,7 +145,13 @@ mod tests {
         let df = Box::leak(Box::new(df.clone()));
         let meta = Box::leak(Box::new(meta));
         let cfg = Box::leak(Box::new(LuxConfig::default()));
-        ActionContext { df, meta, intent: &[], intent_specs: &[], config: cfg }
+        ActionContext {
+            df,
+            meta,
+            intent: &[],
+            intent_specs: &[],
+            config: cfg,
+        }
     }
 
     fn base() -> DataFrame {
@@ -163,14 +181,21 @@ mod tests {
 
     #[test]
     fn prefilter_requires_filter_as_last_op() {
-        let df = base().head(5).with_column_from("pay2", "pay", |v| v.clone()).unwrap();
+        let df = base()
+            .head(5)
+            .with_column_from("pay2", "pay", |v| v.clone())
+            .unwrap();
         // last op is Assign, not Filter
         assert!(!PreFilter.applies(&ctx_for(&df)));
     }
 
     #[test]
     fn preaggregate_uses_recorded_keys() {
-        let agg = base().groupby(&["dept"]).unwrap().agg(&[("pay", Agg::Mean)]).unwrap();
+        let agg = base()
+            .groupby(&["dept"])
+            .unwrap()
+            .agg(&[("pay", Agg::Mean)])
+            .unwrap();
         let ctx = ctx_for(&agg);
         assert!(PreAggregate.applies(&ctx));
         let c = PreAggregate.generate(&ctx).unwrap();

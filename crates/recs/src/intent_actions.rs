@@ -31,7 +31,10 @@ fn intent_attributes(intent: &[Clause]) -> Vec<&str> {
     let mut out = Vec::new();
     for c in intent {
         match c {
-            Clause::Axis { attribute: lux_intent::AttributeSpec::Named(names), .. } => {
+            Clause::Axis {
+                attribute: lux_intent::AttributeSpec::Named(names),
+                ..
+            } => {
                 out.extend(names.iter().map(String::as_str));
             }
             Clause::Filter { attribute, .. } => out.push(attribute),
@@ -62,7 +65,12 @@ impl Action for CurrentVis {
     }
 
     fn generate(&self, ctx: &ActionContext<'_>) -> Result<Vec<Candidate>> {
-        Ok(ctx.intent_specs.iter().cloned().map(Candidate::new).collect())
+        Ok(ctx
+            .intent_specs
+            .iter()
+            .cloned()
+            .map(Candidate::new)
+            .collect())
     }
 
     /// The current vis is shown as specified, not ranked by a statistic.
@@ -125,13 +133,23 @@ impl Action for FilterAction {
 
         match existing_filter {
             // "change its value": enumerate sibling values of the filtered column.
-            Some(Clause::Filter { attribute, op, value }) => {
-                let Some(cm) = ctx.meta.column(attribute) else { return Ok(out) };
+            Some(Clause::Filter {
+                attribute,
+                op,
+                value,
+            }) => {
+                let Some(cm) = ctx.meta.column(attribute) else {
+                    return Ok(out);
+                };
                 let current = match value {
                     ValueSpec::One(v) => Some(v.clone()),
                     _ => None,
                 };
-                for v in cm.unique_values.iter().take(ctx.config.max_filter_expansions) {
+                for v in cm
+                    .unique_values
+                    .iter()
+                    .take(ctx.config.max_filter_expansions)
+                {
                     if current.as_ref() == Some(v) {
                         continue;
                     }
@@ -237,7 +255,13 @@ mod tests {
             let meta = FrameMeta::compute(&df, &HashMap::new());
             let config = LuxConfig::default();
             let specs = lux_intent::compile(&intent, &meta, &Default::default()).unwrap();
-            Fixture { df, meta, config, intent, specs }
+            Fixture {
+                df,
+                meta,
+                config,
+                intent,
+                specs,
+            }
         }
 
         fn ctx(&self) -> ActionContext<'_> {
@@ -298,7 +322,9 @@ mod tests {
         ]);
         let c = FilterAction.generate(&f.ctx()).unwrap();
         assert_eq!(c.len(), 2); // AF, AS
-        assert!(c.iter().all(|x| x.spec.filters[0].value != Value::str("EU")));
+        assert!(c
+            .iter()
+            .all(|x| x.spec.filters[0].value != Value::str("EU")));
     }
 
     #[test]
@@ -313,7 +339,9 @@ mod tests {
         // drop inequality -> filtered histogram of life;
         // drop filter -> scatter.
         assert_eq!(c.len(), 3);
-        assert!(c.iter().any(|x| x.spec.mark == Mark::Scatter && x.spec.filters.is_empty()));
+        assert!(c
+            .iter()
+            .any(|x| x.spec.mark == Mark::Scatter && x.spec.filters.is_empty()));
     }
 
     #[test]

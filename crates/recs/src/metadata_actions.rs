@@ -140,7 +140,11 @@ impl Action for Temporal {
             .columns_of(SemanticType::Temporal)
             .into_iter()
             .map(|name| {
-                let semantic = ctx.meta.column(name).map(|c| c.semantic).unwrap_or(SemanticType::Temporal);
+                let semantic = ctx
+                    .meta
+                    .column(name)
+                    .map(|c| c.semantic)
+                    .unwrap_or(SemanticType::Temporal);
                 Candidate::new(VisSpec::new(
                     Mark::Line,
                     vec![
@@ -225,7 +229,13 @@ mod tests {
 
     macro_rules! ctx {
         ($df:expr, $meta:expr, $cfg:expr) => {
-            ActionContext { df: &$df, meta: &$meta, intent: &[], intent_specs: &[], config: &$cfg }
+            ActionContext {
+                df: &$df,
+                meta: &$meta,
+                intent: &[],
+                intent_specs: &[],
+                config: &$cfg,
+            }
         };
     }
 

@@ -21,7 +21,9 @@ pub fn pearson(x: &Column, y: &Column) -> f64 {
     let mut count = 0usize;
     let (mut sx, mut sy, mut sxx, mut syy, mut sxy) = (0.0, 0.0, 0.0, 0.0, 0.0);
     for i in 0..n {
-        let (Some(a), Some(b)) = (x.f64_at(i), y.f64_at(i)) else { continue };
+        let (Some(a), Some(b)) = (x.f64_at(i), y.f64_at(i)) else {
+            continue;
+        };
         if a.is_nan() || b.is_nan() {
             continue;
         }
@@ -90,10 +92,7 @@ pub fn deviation_from_uniform(weights: &[f64]) -> f64 {
 
 /// L2 distance between two normalized distributions aligned by label.
 /// Labels present on one side only contribute their full mass.
-pub fn distribution_deviation(
-    a: &[(Value, f64)],
-    b: &[(Value, f64)],
-) -> f64 {
+pub fn distribution_deviation(a: &[(Value, f64)], b: &[(Value, f64)]) -> f64 {
     let ta: f64 = a.iter().map(|(_, w)| w.max(0.0)).sum();
     let tb: f64 = b.iter().map(|(_, w)| w.max(0.0)).sum();
     if ta <= 0.0 || tb <= 0.0 {
@@ -335,7 +334,9 @@ mod tests {
             vec![],
         );
         let mut filtered = base.clone();
-        filtered.filters.push(FilterSpec::new("country", FilterOp::Eq, Value::str("US")));
+        filtered
+            .filters
+            .push(FilterSpec::new("country", FilterOp::Eq, Value::str("US")));
         let s = interestingness(&filtered, &df, &ProcessOptions::default());
         assert!(s > 0.3, "US subset is all-Sales, far from overall: {s}");
     }

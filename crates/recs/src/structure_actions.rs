@@ -72,11 +72,17 @@ impl Action for SeriesVis {
     }
 
     fn generate(&self, ctx: &ActionContext<'_>) -> Result<Vec<Candidate>> {
-        let Some(cm) = ctx.meta.columns.first() else { return Ok(vec![]) };
+        let Some(cm) = ctx.meta.columns.first() else {
+            return Ok(vec![]);
+        };
         if cm.semantic == SemanticType::Id {
             return Ok(vec![]);
         }
-        Ok(vec![Candidate::new(univariate_spec(&cm.name, cm.semantic, ctx.config.histogram_bins))])
+        Ok(vec![Candidate::new(univariate_spec(
+            &cm.name,
+            cm.semantic,
+            ctx.config.histogram_bins,
+        ))])
     }
 }
 
@@ -103,7 +109,9 @@ impl IndexVis {
     /// Column-wise: each numeric column charted against the index labels.
     fn column_wise(ctx: &ActionContext<'_>) -> Result<Vec<Candidate>> {
         let df = ctx.df;
-        let Some(labels) = df.index().values() else { return Ok(vec![]) };
+        let Some(labels) = df.index().values() else {
+            return Ok(vec![]);
+        };
         let index_name = df.index().name().unwrap_or("index").to_string();
         let semantic = label_semantic(labels, df.index().name());
         let mark = match semantic {
@@ -142,7 +150,9 @@ impl IndexVis {
     /// of them (a pivot grid); capped at top-k rows.
     fn row_wise(ctx: &ActionContext<'_>) -> Result<Vec<Candidate>> {
         let df = ctx.df;
-        let Some(labels) = df.index().values() else { return Ok(vec![]) };
+        let Some(labels) = df.index().values() else {
+            return Ok(vec![]);
+        };
         if df.num_columns() < 2
             || !(0..df.num_columns()).all(|i| df.column_at(i).dtype().is_numeric())
         {
@@ -172,10 +182,17 @@ impl IndexVis {
             };
             let synth = DataFrame::from_columns(vec![
                 ("column".to_string(), x_col),
-                (label.clone(), Column::Float64(PrimitiveColumn::from_values(values))),
+                (
+                    label.clone(),
+                    Column::Float64(PrimitiveColumn::from_values(values)),
+                ),
             ])?;
             let spec = VisSpec::new(
-                if x_sem == SemanticType::Temporal { Mark::Line } else { Mark::Bar },
+                if x_sem == SemanticType::Temporal {
+                    Mark::Line
+                } else {
+                    Mark::Bar
+                },
                 vec![
                     Encoding::new("column", x_sem, Channel::X),
                     Encoding::new(label, SemanticType::Quantitative, Channel::Y)
@@ -195,13 +212,22 @@ impl IndexVis {
     /// color channel — a 2D group-by aggregate shape.
     fn multi_level(ctx: &ActionContext<'_>) -> Result<Vec<Candidate>> {
         let df = ctx.df;
-        let (Some(l0), Some(l1)) = (df.index().level_values(0), df.index().level_values(1))
-        else {
+        let (Some(l0), Some(l1)) = (df.index().level_values(0), df.index().level_values(1)) else {
             return Ok(vec![]);
         };
         let names = df.index().level_names();
-        let n0 = names.first().copied().flatten().unwrap_or("level_0").to_string();
-        let n1 = names.get(1).copied().flatten().unwrap_or("level_1").to_string();
+        let n0 = names
+            .first()
+            .copied()
+            .flatten()
+            .unwrap_or("level_0")
+            .to_string();
+        let n1 = names
+            .get(1)
+            .copied()
+            .flatten()
+            .unwrap_or("level_1")
+            .to_string();
         let sem0 = label_semantic(l0, Some(&n0));
         let sem1 = label_semantic(l1, Some(&n1));
         let mark = match sem0 {
@@ -276,12 +302,21 @@ mod tests {
         let df = Box::leak(Box::new(df.clone()));
         let meta = Box::leak(Box::new(meta.clone()));
         let cfg = Box::leak(Box::new(cfg.clone()));
-        ActionContext { df, meta, intent: &[], intent_specs: &[], config: cfg }
+        ActionContext {
+            df,
+            meta,
+            intent: &[],
+            intent_specs: &[],
+            config: cfg,
+        }
     }
 
     #[test]
     fn series_vis_on_single_column() {
-        let df = DataFrameBuilder::new().float("x", [1.0, 2.0, 3.0]).build().unwrap();
+        let df = DataFrameBuilder::new()
+            .float("x", [1.0, 2.0, 3.0])
+            .build()
+            .unwrap();
         let meta = meta_for(&df);
         let cfg = LuxConfig::default();
         let ctx = ctx_for(&df, &meta, &cfg);
@@ -293,7 +328,11 @@ mod tests {
 
     #[test]
     fn series_vis_rejects_multicolumn() {
-        let df = DataFrameBuilder::new().float("x", [1.0]).float("y", [1.0]).build().unwrap();
+        let df = DataFrameBuilder::new()
+            .float("x", [1.0])
+            .float("y", [1.0])
+            .build()
+            .unwrap();
         let meta = meta_for(&df);
         let cfg = LuxConfig::default();
         assert!(!SeriesVis.applies(&ctx_for(&df, &meta, &cfg)));
@@ -306,7 +345,11 @@ mod tests {
             .float("pay", [1.0, 2.0, 3.0, 4.0])
             .build()
             .unwrap();
-        let agg = df.groupby(&["dept"]).unwrap().agg(&[("pay", Agg::Mean)]).unwrap();
+        let agg = df
+            .groupby(&["dept"])
+            .unwrap()
+            .agg(&[("pay", Agg::Mean)])
+            .unwrap();
         let meta = meta_for(&agg);
         let cfg = LuxConfig::default();
         let ctx = ctx_for(&agg, &meta, &cfg);
@@ -323,7 +366,10 @@ mod tests {
         // Figure 7 shape: states x months grid.
         let df = DataFrameBuilder::new()
             .str("state", ["CA", "CA", "NY", "NY"])
-            .str("month", ["2020-01-01", "2020-02-01", "2020-01-01", "2020-02-01"])
+            .str(
+                "month",
+                ["2020-01-01", "2020-02-01", "2020-01-01", "2020-02-01"],
+            )
             .float("cases", [1.0, 2.0, 3.0, 4.0])
             .build()
             .unwrap();
@@ -335,7 +381,12 @@ mod tests {
         // 2 column-wise + 2 row-wise (CA, NY)
         let row_wise: Vec<_> = c
             .iter()
-            .filter(|x| x.spec.channel(Channel::X).map(|e| e.attribute == "column").unwrap_or(false))
+            .filter(|x| {
+                x.spec
+                    .channel(Channel::X)
+                    .map(|e| e.attribute == "column")
+                    .unwrap_or(false)
+            })
             .collect();
         assert_eq!(row_wise.len(), 2);
         // month names parse as dates -> temporal line charts
@@ -350,7 +401,11 @@ mod tests {
             .float("pay", [1.0, 2.0, 3.0, 4.0])
             .build()
             .unwrap();
-        let agg = df.groupby(&["dept", "level"]).unwrap().agg(&[("pay", Agg::Mean)]).unwrap();
+        let agg = df
+            .groupby(&["dept", "level"])
+            .unwrap()
+            .agg(&[("pay", Agg::Mean)])
+            .unwrap();
         assert_eq!(agg.index().num_levels(), 2);
         let meta = meta_for(&agg);
         let cfg = LuxConfig::default();

@@ -174,7 +174,10 @@ fn process_histogram(spec: &VisSpec, df: &DataFrame, opts: &ProcessOptions) -> R
     let starts: Vec<f64> = edges[..edges.len() - 1].to_vec();
     DataFrameBuilder::new()
         .float(&x_enc.attribute, starts)
-        .int("count", counts.iter().map(|&c| c as i64).collect::<Vec<_>>())
+        .int(
+            "count",
+            counts.iter().map(|&c| c as i64).collect::<Vec<_>>(),
+        )
         .build()
 }
 
@@ -195,13 +198,23 @@ fn process_heatmap(spec: &VisSpec, df: &DataFrame, opts: &ProcessOptions) -> Res
 
     let (xlo, xhi) = xcol.min_max_f64().unwrap_or((0.0, 1.0));
     let (ylo, yhi) = ycol.min_max_f64().unwrap_or((0.0, 1.0));
-    let xw = if xhi > xlo { (xhi - xlo) / xb as f64 } else { 1.0 };
-    let yw = if yhi > ylo { (yhi - ylo) / yb as f64 } else { 1.0 };
+    let xw = if xhi > xlo {
+        (xhi - xlo) / xb as f64
+    } else {
+        1.0
+    };
+    let yw = if yhi > ylo {
+        (yhi - ylo) / yb as f64
+    } else {
+        1.0
+    };
 
     let mut counts = vec![0i64; xb * yb];
     let mut sums = vec![0f64; xb * yb];
     for i in 0..df.num_rows() {
-        let (Some(xv), Some(yv)) = (xcol.f64_at(i), ycol.f64_at(i)) else { continue };
+        let (Some(xv), Some(yv)) = (xcol.f64_at(i), ycol.f64_at(i)) else {
+            continue;
+        };
         if xv.is_nan() || yv.is_nan() {
             continue;
         }
@@ -312,7 +325,10 @@ mod tests {
             ],
             vec![],
         );
-        let o = ProcessOptions { max_points: 100, ..opts() };
+        let o = ProcessOptions {
+            max_points: 100,
+            ..opts()
+        };
         let out = process(&spec, &df, &o).unwrap();
         assert_eq!(out.num_rows(), 100);
     }
@@ -366,7 +382,10 @@ mod tests {
             ],
             vec![],
         );
-        let o = ProcessOptions { max_bars: 10, ..opts() };
+        let o = ProcessOptions {
+            max_bars: 10,
+            ..opts()
+        };
         let out = process(&spec, &df, &o).unwrap();
         assert_eq!(out.num_rows(), 10);
         assert_eq!(out.value(0, "k").unwrap(), Value::str("k99"));
@@ -397,7 +416,10 @@ mod tests {
 
     #[test]
     fn histogram_bins_and_counts() {
-        let df = DataFrameBuilder::new().float("v", (0..100).map(|i| i as f64)).build().unwrap();
+        let df = DataFrameBuilder::new()
+            .float("v", (0..100).map(|i| i as f64))
+            .build()
+            .unwrap();
         let spec = VisSpec::new(
             Mark::Histogram,
             vec![
@@ -481,7 +503,10 @@ mod tests {
         let base = 18_262i64 * 86_400;
         let dates: Vec<i64> = (0..1000).map(|i| base + i * 3600).collect();
         let df = DataFrame::from_columns(vec![
-            ("when".to_string(), Column::DateTime(PrimitiveColumn::from_values(dates))),
+            (
+                "when".to_string(),
+                Column::DateTime(PrimitiveColumn::from_values(dates)),
+            ),
             (
                 "v".to_string(),
                 Column::Float64(PrimitiveColumn::from_values(
@@ -499,9 +524,16 @@ mod tests {
             ],
             vec![],
         );
-        let o = ProcessOptions { temporal_buckets: 40, ..ProcessOptions::default() };
+        let o = ProcessOptions {
+            temporal_buckets: 40,
+            ..ProcessOptions::default()
+        };
         let out = process(&spec, &df, &o).unwrap();
-        assert!(out.num_rows() <= 40, "expected resampling, got {} rows", out.num_rows());
+        assert!(
+            out.num_rows() <= 40,
+            "expected resampling, got {} rows",
+            out.num_rows()
+        );
         assert!(out.num_rows() >= 20);
     }
 

@@ -13,6 +13,6 @@ pub mod sql;
 pub mod vislist;
 
 pub use data::{process, Backend, ProcessOptions};
-pub use sql::{process_sql, to_sql};
 pub use spec::{Channel, Encoding, FilterSpec, Mark, VisSpec};
+pub use sql::{process_sql, to_sql};
 pub use vislist::{Vis, VisList};

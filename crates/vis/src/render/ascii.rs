@@ -67,7 +67,11 @@ fn bar_chart(vis: &Vis, df: &DataFrame) -> String {
         .spec
         .channel(Channel::Color)
         .filter(|e| !e.synthetic && e.attribute != x)
-        .and_then(|e| df.column(&e.attribute).ok().map(|c| (e.attribute.clone(), c)));
+        .and_then(|e| {
+            df.column(&e.attribute)
+                .ok()
+                .map(|c| (e.attribute.clone(), c))
+        });
 
     let mut out = String::new();
     match color_col {
@@ -147,7 +151,9 @@ fn line_chart(vis: &Vis, df: &DataFrame) -> String {
     if vals.is_empty() {
         return "(no data)\n".to_string();
     }
-    let (lo, hi) = vals.iter().fold((f64::MAX, f64::MIN), |(a, b), &v| (a.min(v), b.max(v)));
+    let (lo, hi) = vals
+        .iter()
+        .fold((f64::MAX, f64::MIN), |(a, b), &v| (a.min(v), b.max(v)));
     let span = (hi - lo).max(1e-12);
     let spark: String = vals
         .iter()
@@ -157,8 +163,7 @@ fn line_chart(vis: &Vis, df: &DataFrame) -> String {
 }
 
 fn scatter(vis: &Vis, df: &DataFrame) -> String {
-    let (Some(xe), Some(ye)) = (vis.spec.channel(Channel::X), vis.spec.channel(Channel::Y))
-    else {
+    let (Some(xe), Some(ye)) = (vis.spec.channel(Channel::X), vis.spec.channel(Channel::Y)) else {
         return "(missing encodings)\n".to_string();
     };
     let (Ok(xcol), Ok(ycol)) = (df.column(&xe.attribute), df.column(&ye.attribute)) else {
@@ -171,8 +176,12 @@ fn scatter(vis: &Vis, df: &DataFrame) -> String {
     if pts.is_empty() {
         return "(no data)\n".to_string();
     }
-    let (xlo, xhi) = pts.iter().fold((f64::MAX, f64::MIN), |(a, b), p| (a.min(p.0), b.max(p.0)));
-    let (ylo, yhi) = pts.iter().fold((f64::MAX, f64::MIN), |(a, b), p| (a.min(p.1), b.max(p.1)));
+    let (xlo, xhi) = pts
+        .iter()
+        .fold((f64::MAX, f64::MIN), |(a, b), p| (a.min(p.0), b.max(p.0)));
+    let (ylo, yhi) = pts
+        .iter()
+        .fold((f64::MAX, f64::MIN), |(a, b), p| (a.min(p.1), b.max(p.1)));
     let xs = (xhi - xlo).max(1e-12);
     let ys = (yhi - ylo).max(1e-12);
     let mut grid = vec![vec![' '; GRID_W]; GRID_H];
@@ -219,7 +228,10 @@ fn heatmap(df: &DataFrame) -> String {
     if !out.ends_with('\n') {
         out.push('\n');
     }
-    out.push_str(&format!("{} non-empty cells, max count {max:.0}\n", df.num_rows()));
+    out.push_str(&format!(
+        "{} non-empty cells, max count {max:.0}\n",
+        df.num_rows()
+    ));
     out
 }
 
@@ -293,7 +305,10 @@ mod tests {
 
     #[test]
     fn histogram_renders() {
-        let df = DataFrameBuilder::new().float("v", (0..50).map(|i| i as f64)).build().unwrap();
+        let df = DataFrameBuilder::new()
+            .float("v", (0..50).map(|i| i as f64))
+            .build()
+            .unwrap();
         let v = processed(
             Mark::Histogram,
             vec![

@@ -18,9 +18,18 @@ use lux_dataframe::prelude::*;
 /// with the graphical elements").
 #[derive(Debug, Clone)]
 enum Layer {
-    Bar { labels: Vec<String>, heights: Vec<f64> },
-    Scatter { xs: Vec<f64>, ys: Vec<f64> },
-    Line { xs: Vec<f64>, ys: Vec<f64> },
+    Bar {
+        labels: Vec<String>,
+        heights: Vec<f64>,
+    },
+    Scatter {
+        xs: Vec<f64>,
+        ys: Vec<f64>,
+    },
+    Line {
+        xs: Vec<f64>,
+        ys: Vec<f64>,
+    },
 }
 
 /// An imperative figure under construction.
@@ -41,7 +50,10 @@ impl Figure {
     /// the caller has already aggregated the data.
     pub fn bar(mut self, labels: Vec<String>, heights: Vec<f64>) -> Result<Figure> {
         if labels.len() != heights.len() {
-            return Err(Error::LengthMismatch { expected: labels.len(), got: heights.len() });
+            return Err(Error::LengthMismatch {
+                expected: labels.len(),
+                got: heights.len(),
+            });
         }
         self.layers.push(Layer::Bar { labels, heights });
         Ok(self)
@@ -50,7 +62,10 @@ impl Figure {
     /// Add a scatter layer from raw coordinates.
     pub fn scatter(mut self, xs: Vec<f64>, ys: Vec<f64>) -> Result<Figure> {
         if xs.len() != ys.len() {
-            return Err(Error::LengthMismatch { expected: xs.len(), got: ys.len() });
+            return Err(Error::LengthMismatch {
+                expected: xs.len(),
+                got: ys.len(),
+            });
         }
         self.layers.push(Layer::Scatter { xs, ys });
         Ok(self)
@@ -59,7 +74,10 @@ impl Figure {
     /// Add a line layer from raw coordinates (sorted by the caller).
     pub fn line(mut self, xs: Vec<f64>, ys: Vec<f64>) -> Result<Figure> {
         if xs.len() != ys.len() {
-            return Err(Error::LengthMismatch { expected: xs.len(), got: ys.len() });
+            return Err(Error::LengthMismatch {
+                expected: xs.len(),
+                got: ys.len(),
+            });
         }
         self.layers.push(Layer::Line { xs, ys });
         Ok(self)
@@ -181,7 +199,10 @@ mod tests {
 
     #[test]
     fn show_renders_scatter_count_and_labels() {
-        let fig = Figure::new().scatter(vec![1.0, 2.0], vec![3.0, 4.0]).unwrap().xlabel("a");
+        let fig = Figure::new()
+            .scatter(vec![1.0, 2.0], vec![3.0, 4.0])
+            .unwrap()
+            .xlabel("a");
         let s = fig.show();
         assert!(s.contains("(2 points)"));
         assert!(s.contains("x: a"));

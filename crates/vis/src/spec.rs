@@ -130,7 +130,11 @@ pub struct FilterSpec {
 
 impl FilterSpec {
     pub fn new(attribute: impl Into<String>, op: FilterOp, value: Value) -> FilterSpec {
-        FilterSpec { attribute: attribute.into(), op, value }
+        FilterSpec {
+            attribute: attribute.into(),
+            op,
+            value,
+        }
     }
 }
 
@@ -150,7 +154,11 @@ pub struct VisSpec {
 
 impl VisSpec {
     pub fn new(mark: Mark, encodings: Vec<Encoding>, filters: Vec<FilterSpec>) -> VisSpec {
-        VisSpec { mark, encodings, filters }
+        VisSpec {
+            mark,
+            encodings,
+            filters,
+        }
     }
 
     /// The encoding on a given channel, if any.

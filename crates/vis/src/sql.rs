@@ -86,7 +86,11 @@ pub fn to_sql(spec: &VisSpec, df: &DataFrame, opts: &ProcessOptions) -> Result<S
             if let Some(c) = spec.channel(Channel::Color) {
                 cols.push(ident(&c.attribute));
             }
-            Ok(format!("SELECT {} FROM t{wher} LIMIT {}", cols.join(", "), opts.max_points))
+            Ok(format!(
+                "SELECT {} FROM t{wher} LIMIT {}",
+                cols.join(", "),
+                opts.max_points
+            ))
         }
         Mark::Bar | Mark::Line | Mark::Choropleth => {
             let x = spec
@@ -105,7 +109,10 @@ pub fn to_sql(spec: &VisSpec, df: &DataFrame, opts: &ProcessOptions) -> Result<S
             let (measure, y_name) = match y {
                 Some(e) if !e.synthetic => {
                     let agg = e.aggregation.unwrap_or(Agg::Mean);
-                    (format!("{} AS {}", agg_sql(agg, &e.attribute)?, ident(&e.attribute)), e.attribute.clone())
+                    (
+                        format!("{} AS {}", agg_sql(agg, &e.attribute)?, ident(&e.attribute)),
+                        e.attribute.clone(),
+                    )
                 }
                 _ => ("COUNT(*) AS count".to_string(), "count".to_string()),
             };
@@ -135,7 +142,11 @@ pub fn to_sql(spec: &VisSpec, df: &DataFrame, opts: &ProcessOptions) -> Result<S
                 .ok_or_else(|| Error::InvalidArgument("histogram needs x".into()))?;
             let bins = x.bin.unwrap_or(opts.histogram_bins).max(1);
             let (lo, hi) = filtered_min_max(spec, df, &x.attribute)?;
-            let width = if hi > lo { (hi - lo) / bins as f64 } else { 1.0 };
+            let width = if hi > lo {
+                (hi - lo) / bins as f64
+            } else {
+                1.0
+            };
             Ok(format!(
                 "SELECT FLOOR(({col} - {lo:?}) / {width:?}) AS bin, COUNT(*) AS count FROM t{wher} GROUP BY bin ORDER BY bin ASC",
                 col = ident(&x.attribute)
@@ -152,15 +163,27 @@ pub fn to_sql(spec: &VisSpec, df: &DataFrame, opts: &ProcessOptions) -> Result<S
             let yb = y.bin.unwrap_or(opts.heatmap_bins).max(1);
             let (xlo, xhi) = filtered_min_max(spec, df, &x.attribute)?;
             let (ylo, yhi) = filtered_min_max(spec, df, &y.attribute)?;
-            let xw = if xhi > xlo { (xhi - xlo) / xb as f64 } else { 1.0 };
-            let yw = if yhi > ylo { (yhi - ylo) / yb as f64 } else { 1.0 };
+            let xw = if xhi > xlo {
+                (xhi - xlo) / xb as f64
+            } else {
+                1.0
+            };
+            let yw = if yhi > ylo {
+                (yhi - ylo) / yb as f64
+            } else {
+                1.0
+            };
             let mut select = format!(
                 "FLOOR(({x} - {xlo:?}) / {xw:?}) AS xbin, FLOOR(({y} - {ylo:?}) / {yw:?}) AS ybin, COUNT(*) AS count",
                 x = ident(&x.attribute),
                 y = ident(&y.attribute),
             );
             if let Some(c) = spec.channel(Channel::Color).filter(|e| !e.synthetic) {
-                select.push_str(&format!(", AVG({}) AS mean_{}", ident(&c.attribute), c.attribute));
+                select.push_str(&format!(
+                    ", AVG({}) AS mean_{}",
+                    ident(&c.attribute),
+                    c.attribute
+                ));
             }
             Ok(format!(
                 "SELECT {select} FROM t{wher} GROUP BY xbin, ybin ORDER BY ybin ASC, xbin ASC"
@@ -173,7 +196,10 @@ pub fn to_sql(spec: &VisSpec, df: &DataFrame, opts: &ProcessOptions) -> Result<S
 /// mirroring how a relational backend would plan the histogram).
 fn filtered_min_max(spec: &VisSpec, df: &DataFrame, attr: &str) -> Result<(f64, f64)> {
     let wher = where_clause(spec);
-    let q = format!("SELECT MIN({c}) AS lo, MAX({c}) AS hi FROM t{wher}", c = ident(attr));
+    let q = format!(
+        "SELECT MIN({c}) AS lo, MAX({c}) AS hi FROM t{wher}",
+        c = ident(attr)
+    );
     let r = query_frame(&q, df)?;
     let lo = r.value(0, "lo")?.as_f64().unwrap_or(0.0);
     let hi = r.value(0, "hi")?.as_f64().unwrap_or(1.0);
@@ -194,7 +220,11 @@ pub fn process_sql(spec: &VisSpec, df: &DataFrame, opts: &ProcessOptions) -> Res
         let x = spec.channel(Channel::X).expect("checked in to_sql");
         let bins = x.bin.unwrap_or(opts.histogram_bins).max(1);
         let (lo, hi) = filtered_min_max(spec, df, &x.attribute)?;
-        let width = if hi > lo { (hi - lo) / bins as f64 } else { 1.0 };
+        let width = if hi > lo {
+            (hi - lo) / bins as f64
+        } else {
+            1.0
+        };
         let mut counts = vec![0i64; bins];
         for r in 0..out.num_rows() {
             let idx = out.value(r, "bin")?.as_f64().unwrap_or(0.0).max(0.0) as usize;
@@ -257,8 +287,14 @@ mod tests {
         let sql = process_sql(&spec, &df(), &opts).unwrap();
         assert_eq!(native.num_rows(), sql.num_rows());
         for i in 0..native.num_rows() {
-            assert_eq!(native.value(i, "dept").unwrap(), sql.value(i, "dept").unwrap());
-            assert_eq!(native.value(i, "pay").unwrap(), sql.value(i, "pay").unwrap());
+            assert_eq!(
+                native.value(i, "dept").unwrap(),
+                sql.value(i, "dept").unwrap()
+            );
+            assert_eq!(
+                native.value(i, "pay").unwrap(),
+                sql.value(i, "pay").unwrap()
+            );
         }
     }
 
@@ -280,7 +316,9 @@ mod tests {
         let native = crate::data::process(&spec, &big, &opts).unwrap();
         let sql = process_sql(&spec, &big, &opts).unwrap();
         let total = |d: &DataFrame| -> i64 {
-            (0..d.num_rows()).map(|i| d.value(i, "count").unwrap().as_f64().unwrap() as i64).sum()
+            (0..d.num_rows())
+                .map(|i| d.value(i, "count").unwrap().as_f64().unwrap() as i64)
+                .sum()
         };
         assert_eq!(total(&native), total(&sql));
         assert_eq!(sql.num_rows(), 5);

@@ -23,7 +23,12 @@ pub struct Vis {
 
 impl Vis {
     pub fn new(spec: VisSpec) -> Vis {
-        Vis { spec, data: None, score: 0.0, approximate: false }
+        Vis {
+            spec,
+            data: None,
+            score: 0.0,
+            approximate: false,
+        }
     }
 
     /// Process this visualization's data against `df`.
@@ -50,7 +55,9 @@ impl VisList {
     }
 
     pub fn from_specs(specs: Vec<VisSpec>) -> VisList {
-        VisList { visualizations: specs.into_iter().map(Vis::new).collect() }
+        VisList {
+            visualizations: specs.into_iter().map(Vis::new).collect(),
+        }
     }
 
     pub fn len(&self) -> usize {
@@ -67,8 +74,11 @@ impl VisList {
 
     /// Sort by score descending (stable, so spec order breaks ties).
     pub fn rank(&mut self) {
-        self.visualizations
-            .sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap_or(std::cmp::Ordering::Equal));
+        self.visualizations.sort_by(|a, b| {
+            b.score
+                .partial_cmp(&a.score)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
     }
 
     /// Keep the top `k` by current order.
@@ -81,13 +91,14 @@ impl VisList {
     /// fail-safe display behavior).
     pub fn process_all(&mut self, df: &DataFrame, opts: &ProcessOptions) -> usize {
         let mut dropped = 0;
-        self.visualizations.retain_mut(|v| match v.process(df, opts) {
-            Ok(()) => true,
-            Err(_) => {
-                dropped += 1;
-                false
-            }
-        });
+        self.visualizations
+            .retain_mut(|v| match v.process(df, opts) {
+                Ok(()) => true,
+                Err(_) => {
+                    dropped += 1;
+                    false
+                }
+            });
         dropped
     }
 }
@@ -118,7 +129,11 @@ mod tests {
     }
 
     fn df() -> DataFrame {
-        DataFrameBuilder::new().float("a", [1.0, 2.0]).float("b", [3.0, 4.0]).build().unwrap()
+        DataFrameBuilder::new()
+            .float("a", [1.0, 2.0])
+            .float("b", [3.0, 4.0])
+            .build()
+            .unwrap()
     }
 
     #[test]

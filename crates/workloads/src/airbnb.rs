@@ -60,14 +60,29 @@ pub fn airbnb(num_rows: usize, seed: u64) -> DataFrame {
 
     DataFrame::from_columns(vec![
         ("id".into(), Column::Int64(PrimitiveColumn::from_values(id))),
-        ("host_id".into(), Column::Int64(PrimitiveColumn::from_values(host_id))),
+        (
+            "host_id".into(),
+            Column::Int64(PrimitiveColumn::from_values(host_id)),
+        ),
         ("neighbourhood_group".into(), Column::Str(borough)),
         ("neighbourhood".into(), Column::Str(neighbourhood)),
-        ("latitude".into(), Column::Float64(PrimitiveColumn::from_values(latitude))),
-        ("longitude".into(), Column::Float64(PrimitiveColumn::from_values(longitude))),
+        (
+            "latitude".into(),
+            Column::Float64(PrimitiveColumn::from_values(latitude)),
+        ),
+        (
+            "longitude".into(),
+            Column::Float64(PrimitiveColumn::from_values(longitude)),
+        ),
         ("room_type".into(), Column::Str(room_type)),
-        ("price".into(), Column::Int64(PrimitiveColumn::from_values(price))),
-        ("minimum_nights".into(), Column::Int64(PrimitiveColumn::from_values(minimum_nights))),
+        (
+            "price".into(),
+            Column::Int64(PrimitiveColumn::from_values(price)),
+        ),
+        (
+            "minimum_nights".into(),
+            Column::Int64(PrimitiveColumn::from_values(minimum_nights)),
+        ),
         (
             "number_of_reviews".into(),
             Column::Int64(PrimitiveColumn::from_values(number_of_reviews)),
@@ -127,7 +142,10 @@ mod tests {
         let df = airbnb(5000, 3);
         let prices = df.column("price").unwrap();
         let (lo, hi) = prices.min_max_f64().unwrap();
-        assert!(lo >= 0.0 && hi > 300.0, "expected a long tail, got [{lo}, {hi}]");
+        assert!(
+            lo >= 0.0 && hi > 300.0,
+            "expected a long tail, got [{lo}, {hi}]"
+        );
     }
 
     #[test]

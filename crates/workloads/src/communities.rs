@@ -32,10 +32,19 @@ pub fn communities(num_rows: usize, seed: u64) -> DataFrame {
         name.push(Some(&format!("community_{}", i % 2000)));
         pop.push(rng.gen_range(0.0..1.0));
     }
-    cols.push(("state".into(), Column::Int64(PrimitiveColumn::from_values(state))));
-    cols.push(("fold".into(), Column::Int64(PrimitiveColumn::from_values(fold))));
+    cols.push((
+        "state".into(),
+        Column::Int64(PrimitiveColumn::from_values(state)),
+    ));
+    cols.push((
+        "fold".into(),
+        Column::Int64(PrimitiveColumn::from_values(fold)),
+    ));
     cols.push(("communityname".into(), Column::Str(name)));
-    cols.push(("population".into(), Column::Float64(PrimitiveColumn::from_values(pop))));
+    cols.push((
+        "population".into(),
+        Column::Float64(PrimitiveColumn::from_values(pop)),
+    ));
 
     // 124 normalized quantitative attributes. Each column mixes a shared
     // latent factor (distinct loading per column) and gets a distinct

@@ -30,8 +30,13 @@ pub enum Condition {
 }
 
 impl Condition {
-    pub const ALL: [Condition; 5] =
-        [Condition::Pandas, Condition::NoOpt, Condition::Wflow, Condition::WflowPrune, Condition::AllOpt];
+    pub const ALL: [Condition; 5] = [
+        Condition::Pandas,
+        Condition::NoOpt,
+        Condition::Wflow,
+        Condition::WflowPrune,
+        Condition::AllOpt,
+    ];
 
     pub fn name(self) -> &'static str {
         match self {
@@ -97,7 +102,11 @@ impl Session {
             }
             Arc::new(c)
         });
-        Session { condition, config, frames: HashMap::new() }
+        Session {
+            condition,
+            config,
+            frames: HashMap::new(),
+        }
     }
 
     /// Bind a raw dataframe under a name, wrapping per the condition.
@@ -112,11 +121,15 @@ impl Session {
     }
 
     pub fn frame(&self, name: &str) -> &LuxDataFrame {
-        self.frames.get(name).unwrap_or_else(|| panic!("no frame named {name:?}"))
+        self.frames
+            .get(name)
+            .unwrap_or_else(|| panic!("no frame named {name:?}"))
     }
 
     pub fn frame_mut(&mut self, name: &str) -> &mut LuxDataFrame {
-        self.frames.get_mut(name).unwrap_or_else(|| panic!("no frame named {name:?}"))
+        self.frames
+            .get_mut(name)
+            .unwrap_or_else(|| panic!("no frame named {name:?}"))
     }
 
     pub fn store(&mut self, name: &str, frame: LuxDataFrame) {
@@ -167,7 +180,11 @@ impl Cell {
         kind: CellKind,
         run: impl Fn(&mut Session) + 'static,
     ) -> Cell {
-        Cell { label: label.into(), kind, run: Box::new(run) }
+        Cell {
+            label: label.into(),
+            kind,
+            run: Box::new(run),
+        }
     }
 }
 
@@ -197,8 +214,12 @@ impl NotebookReport {
 
     /// Mean runtime of cells of one kind (Figure 11 / Table 3 metrics).
     pub fn mean_seconds_of(&self, kind: CellKind) -> f64 {
-        let xs: Vec<f64> =
-            self.timings.iter().filter(|t| t.kind == kind).map(|t| t.seconds).collect();
+        let xs: Vec<f64> = self
+            .timings
+            .iter()
+            .filter(|t| t.kind == kind)
+            .map(|t| t.seconds)
+            .collect();
         if xs.is_empty() {
             return 0.0;
         }
@@ -207,7 +228,11 @@ impl NotebookReport {
 
     /// Total runtime of cells of one kind.
     pub fn total_seconds_of(&self, kind: CellKind) -> f64 {
-        self.timings.iter().filter(|t| t.kind == kind).map(|t| t.seconds).sum()
+        self.timings
+            .iter()
+            .filter(|t| t.kind == kind)
+            .map(|t| t.seconds)
+            .sum()
     }
 
     /// Cell count per kind.
@@ -267,9 +292,13 @@ pub fn airbnb_notebook(num_rows: usize, seed: u64) -> Notebook {
     macro_rules! print_df {
         ($name:expr) => {
             df_prints += 1;
-            cells.push(Cell::new(format!("print {}", $name), PrintDataFrame, move |s| {
-                s.print_frame($name);
-            }));
+            cells.push(Cell::new(
+                format!("print {}", $name),
+                PrintDataFrame,
+                move |s| {
+                    s.print_frame($name);
+                },
+            ));
         };
     }
     macro_rules! print_series {
@@ -286,7 +315,8 @@ pub fn airbnb_notebook(num_rows: usize, seed: u64) -> Notebook {
     }
 
     // --- load & first look -------------------------------------------- (cells 1-6)
-    op!("load csv", move |s: &mut Session| s.load("df", crate::airbnb::airbnb(num_rows, seed)));
+    op!("load csv", move |s: &mut Session| s
+        .load("df", crate::airbnb::airbnb(num_rows, seed)));
     print_df!("df");
     op!("describe", |s: &mut Session| {
         let d = s.frame("df").describe().expect("describe");
@@ -298,16 +328,25 @@ pub fn airbnb_notebook(num_rows: usize, seed: u64) -> Notebook {
 
     // --- cleaning ------------------------------------------------------
     op!("fillna reviews_per_month", |s: &mut Session| {
-        let d = s.frame("df").fillna("reviews_per_month", &Value::Float(0.0)).expect("fillna");
+        let d = s
+            .frame("df")
+            .fillna("reviews_per_month", &Value::Float(0.0))
+            .expect("fillna");
         s.store("df", d);
     });
     op!("drop id columns", |s: &mut Session| {
-        let d = s.frame("df").drop_columns(&["id", "host_id"]).expect("drop");
+        let d = s
+            .frame("df")
+            .drop_columns(&["id", "host_id"])
+            .expect("drop");
         s.store("df", d);
     });
     print_df!("df");
     op!("filter price outliers", |s: &mut Session| {
-        let d = s.frame("df").filter("price", FilterOp::Le, &Value::Int(1000)).expect("filter");
+        let d = s
+            .frame("df")
+            .filter("price", FilterOp::Le, &Value::Int(1000))
+            .expect("filter");
         s.store("df", d);
     });
     print_df!("df");
@@ -327,13 +366,20 @@ pub fn airbnb_notebook(num_rows: usize, seed: u64) -> Notebook {
     op!("bin availability", |s: &mut Session| {
         let d = s
             .frame("df")
-            .cut("availability_365", &["rare", "seasonal", "frequent", "always"], "availability_level")
+            .cut(
+                "availability_365",
+                &["rare", "seasonal", "frequent", "always"],
+                "availability_level",
+            )
             .expect("cut");
         s.store("df", d);
     });
     print_df!("df");
     op!("rename columns", |s: &mut Session| {
-        let d = s.frame("df").rename(&[("neighbourhood_group", "borough")]).expect("rename");
+        let d = s
+            .frame("df")
+            .rename(&[("neighbourhood_group", "borough")])
+            .expect("rename");
         s.store("df", d);
     });
     print_df!("df");
@@ -342,13 +388,19 @@ pub fn airbnb_notebook(num_rows: usize, seed: u64) -> Notebook {
     op!("groupby borough mean price", |s: &mut Session| {
         let d = s
             .frame("df")
-            .groupby_agg(&["borough"], &[("price", Agg::Mean), ("number_of_reviews", Agg::Mean)])
+            .groupby_agg(
+                &["borough"],
+                &[("price", Agg::Mean), ("number_of_reviews", Agg::Mean)],
+            )
             .expect("groupby");
         s.store("by_borough", d);
     });
     print_df!("by_borough");
     op!("groupby room_type", |s: &mut Session| {
-        let d = s.frame("df").groupby_count(&["room_type"]).expect("groupby");
+        let d = s
+            .frame("df")
+            .groupby_count(&["room_type"])
+            .expect("groupby");
         s.store("by_room", d);
     });
     print_df!("by_room");
@@ -366,23 +418,35 @@ pub fn airbnb_notebook(num_rows: usize, seed: u64) -> Notebook {
 
     // --- intent-steered exploration ---------------------------------------
     op!("set intent price x reviews", |s: &mut Session| {
-        s.frame_mut("df").set_intent_strs(["price", "number_of_reviews"]).expect("intent");
+        s.frame_mut("df")
+            .set_intent_strs(["price", "number_of_reviews"])
+            .expect("intent");
     });
     print_df!("df");
     op!("set intent price by borough", |s: &mut Session| {
-        s.frame_mut("df").set_intent_strs(["price", "borough"]).expect("intent");
+        s.frame_mut("df")
+            .set_intent_strs(["price", "borough"])
+            .expect("intent");
     });
     print_df!("df");
     // --- modeling-prep non-Lux tail ---------------------------------------
     op!("sample train", |s: &mut Session| {
         s.frame_mut("df").clear_intent();
-        let d = s.frame("df").sample(s.frame("df").num_rows() / 2, 11).dropna();
+        let d = s
+            .frame("df")
+            .sample(s.frame("df").num_rows() / 2, 11)
+            .dropna();
         s.store("train", d);
     });
     op!("select features", |s: &mut Session| {
         let d = s
             .frame("train")
-            .select(&["price", "minimum_nights", "number_of_reviews", "availability_365"])
+            .select(&[
+                "price",
+                "minimum_nights",
+                "number_of_reviews",
+                "availability_365",
+            ])
             .expect("select");
         s.store("features", d);
     });
@@ -390,7 +454,10 @@ pub fn airbnb_notebook(num_rows: usize, seed: u64) -> Notebook {
     print_series!("features", "price");
     print_series!("features", "number_of_reviews");
     op!("crosstab borough room", |s: &mut Session| {
-        let d = s.frame("df").crosstab("borough", "room_type").expect("crosstab");
+        let d = s
+            .frame("df")
+            .crosstab("borough", "room_type")
+            .expect("crosstab");
         s.store("ct", d);
     });
     print_df!("ct");
@@ -398,7 +465,10 @@ pub fn airbnb_notebook(num_rows: usize, seed: u64) -> Notebook {
     debug_assert_eq!(df_prints, 14, "Table 3 says 14 df prints for Airbnb");
     debug_assert_eq!(series_prints, 7, "Table 3 says 7 series prints for Airbnb");
     let _ = (df_prints, series_prints);
-    Notebook { name: "airbnb".into(), cells }
+    Notebook {
+        name: "airbnb".into(),
+        cells,
+    }
 }
 
 /// The Communities exploratory notebook (Table 3: 14 df prints, 4 series
@@ -417,9 +487,13 @@ pub fn communities_notebook(num_rows: usize, seed: u64) -> Notebook {
     macro_rules! print_df {
         ($name:expr) => {
             df_prints += 1;
-            cells.push(Cell::new(format!("print {}", $name), PrintDataFrame, move |s| {
-                s.print_frame($name);
-            }));
+            cells.push(Cell::new(
+                format!("print {}", $name),
+                PrintDataFrame,
+                move |s| {
+                    s.print_frame($name);
+                },
+            ));
         };
     }
     macro_rules! print_series {
@@ -447,8 +521,9 @@ pub fn communities_notebook(num_rows: usize, seed: u64) -> Notebook {
     // column cleanup: drop a band of attributes, like the Kaggle notebooks do
     for band in 0..4 {
         op!(format!("drop attr band {band}"), move |s: &mut Session| {
-            let names: Vec<String> =
-                (0..4).map(|i| format!("attr_{:03}", 100 + band * 4 + i)).collect();
+            let names: Vec<String> = (0..4)
+                .map(|i| format!("attr_{:03}", 100 + band * 4 + i))
+                .collect();
             let refs: Vec<&str> = names.iter().map(String::as_str).collect();
             let d = s.frame("df").drop_columns(&refs).expect("drop");
             s.store("df", d);
@@ -457,7 +532,10 @@ pub fn communities_notebook(num_rows: usize, seed: u64) -> Notebook {
     print_df!("df");
     print_series!("df", "attr_000");
     op!("rename target", |s: &mut Session| {
-        let d = s.frame("df").rename(&[("attr_099", "target")]).expect("rename");
+        let d = s
+            .frame("df")
+            .rename(&[("attr_099", "target")])
+            .expect("rename");
         s.store("df", d);
     });
     print_df!("df");
@@ -477,20 +555,29 @@ pub fn communities_notebook(num_rows: usize, seed: u64) -> Notebook {
     print_df!("df");
     print_series!("df", "feat_0");
     op!("filter high target", |s: &mut Session| {
-        let d = s.frame("df").filter("target", FilterOp::Ge, &Value::Float(0.5)).expect("filter");
+        let d = s
+            .frame("df")
+            .filter("target", FilterOp::Ge, &Value::Float(0.5))
+            .expect("filter");
         s.store("high", d);
     });
     print_df!("high");
     op!("groupby state", |s: &mut Session| {
         let d = s
             .frame("df")
-            .groupby_agg(&["state"], &[("target", Agg::Mean), ("population", Agg::Mean)])
+            .groupby_agg(
+                &["state"],
+                &[("target", Agg::Mean), ("population", Agg::Mean)],
+            )
             .expect("groupby");
         s.store("by_state", d);
     });
     print_df!("by_state");
     op!("sort by target", |s: &mut Session| {
-        let d = s.frame("by_state").sort_by(&["target"], false).expect("sort");
+        let d = s
+            .frame("by_state")
+            .sort_by(&["target"], false)
+            .expect("sort");
         s.store("by_state", d);
     });
     print_df!("by_state");
@@ -500,27 +587,38 @@ pub fn communities_notebook(num_rows: usize, seed: u64) -> Notebook {
     });
     print_df!("top_states");
     op!("set intent target", |s: &mut Session| {
-        s.frame_mut("df").set_intent_strs(["target"]).expect("intent");
+        s.frame_mut("df")
+            .set_intent_strs(["target"])
+            .expect("intent");
     });
     print_df!("df");
     op!("set intent target x population", |s: &mut Session| {
-        s.frame_mut("df").set_intent_strs(["target", "population"]).expect("intent");
+        s.frame_mut("df")
+            .set_intent_strs(["target", "population"])
+            .expect("intent");
     });
     print_df!("df");
-    op!("clear intent", |s: &mut Session| s.frame_mut("df").clear_intent());
+    op!("clear intent", |s: &mut Session| s
+        .frame_mut("df")
+        .clear_intent());
     print_df!("df");
     print_series!("df", "target");
     print_series!("df", "population");
     // modeling prep tail of non-Lux cells
     for i in 0..5 {
         op!(format!("model prep {i}"), move |s: &mut Session| {
-            let d = s.frame("df").sample(s.frame("df").num_rows().max(2) / 2, 100 + i);
+            let d = s
+                .frame("df")
+                .sample(s.frame("df").num_rows().max(2) / 2, 100 + i);
             s.store("fold_frame", d);
         });
     }
     print_df!("fold_frame");
     op!("final select", |s: &mut Session| {
-        let d = s.frame("df").select(&["target", "population", "feat_0"]).expect("select");
+        let d = s
+            .frame("df")
+            .select(&["target", "population", "feat_0"])
+            .expect("select");
         s.store("final", d);
     });
     print_df!("final");
@@ -529,9 +627,15 @@ pub fn communities_notebook(num_rows: usize, seed: u64) -> Notebook {
     });
 
     debug_assert_eq!(df_prints, 14, "Table 3 says 14 df prints for Communities");
-    debug_assert_eq!(series_prints, 4, "Table 3 says 4 series prints for Communities");
+    debug_assert_eq!(
+        series_prints, 4,
+        "Table 3 says 4 series prints for Communities"
+    );
     let _ = (df_prints, series_prints);
-    Notebook { name: "communities".into(), cells }
+    Notebook {
+        name: "communities".into(),
+        cells,
+    }
 }
 
 #[cfg(test)]
@@ -570,10 +674,14 @@ mod tests {
     fn report_aggregations() {
         let nb = airbnb_notebook(100, 3);
         let r = nb.run(Condition::AllOpt);
-        let total: f64 = [CellKind::PrintDataFrame, CellKind::PrintSeries, CellKind::NonLux]
-            .iter()
-            .map(|k| r.total_seconds_of(*k))
-            .sum();
+        let total: f64 = [
+            CellKind::PrintDataFrame,
+            CellKind::PrintSeries,
+            CellKind::NonLux,
+        ]
+        .iter()
+        .map(|k| r.total_seconds_of(*k))
+        .sum();
         let overall: f64 = r.timings.iter().map(|t| t.seconds).sum();
         assert!((total - overall).abs() < 1e-9);
     }

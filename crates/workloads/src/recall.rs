@@ -20,7 +20,11 @@ pub fn recall_at_k<T: Eq + std::hash::Hash + Clone>(truth: &[T], approx: &[T], k
         return 1.0;
     }
     let truth_set: HashSet<&T> = truth.iter().take(k).collect();
-    let hits = approx.iter().take(k).filter(|x| truth_set.contains(x)).count();
+    let hits = approx
+        .iter()
+        .take(k)
+        .filter(|x| truth_set.contains(x))
+        .count();
     hits as f64 / k as f64
 }
 
@@ -67,7 +71,9 @@ pub fn action_recall(
     if truth.is_empty() {
         return 1.0;
     }
-    let n = ((ctx.df.num_rows() as f64) * sample_fraction).round().max(1.0) as usize;
+    let n = ((ctx.df.num_rows() as f64) * sample_fraction)
+        .round()
+        .max(1.0) as usize;
     let sample = ctx.df.sample(n, seed);
     let approx = ranked_keys(action, ctx, &sample, &opts);
     recall_at_k(&truth, &approx, k)
@@ -96,7 +102,13 @@ mod tests {
         let df = crate::communities::communities(400, 5);
         let meta = FrameMeta::compute(&df, &HashMap::new());
         let config = LuxConfig::default();
-        let ctx = ActionContext { df: &df, meta: &meta, intent: &[], intent_specs: &[], config: &config };
+        let ctx = ActionContext {
+            df: &df,
+            meta: &meta,
+            intent: &[],
+            intent_specs: &[],
+            config: &config,
+        };
         let r = action_recall(&Correlation, &ctx, 1.0, 15, 7);
         assert_eq!(r, 1.0);
     }
@@ -106,10 +118,19 @@ mod tests {
         let df = crate::communities::communities(500, 6);
         let meta = FrameMeta::compute(&df, &HashMap::new());
         let config = LuxConfig::default();
-        let ctx = ActionContext { df: &df, meta: &meta, intent: &[], intent_specs: &[], config: &config };
+        let ctx = ActionContext {
+            df: &df,
+            meta: &meta,
+            intent: &[],
+            intent_specs: &[],
+            config: &config,
+        };
         let tiny = action_recall(&Correlation, &ctx, 0.02, 15, 7);
         let big = action_recall(&Correlation, &ctx, 0.5, 15, 7);
         assert!((0.0..=1.0).contains(&tiny));
-        assert!(big >= tiny - 0.2, "larger samples should not be much worse: {big} vs {tiny}");
+        assert!(
+            big >= tiny - 0.2,
+            "larger samples should not be much worse: {big} vs {tiny}"
+        );
     }
 }

@@ -21,8 +21,7 @@ pub fn synthetic_wide(num_cols: usize, num_rows: usize, seed: u64) -> DataFrame 
     let mut rng = StdRng::seed_from_u64(seed);
 
     let n_quant = ((num_cols as f64 * QUANT_FRACTION).round() as usize).clamp(1, num_cols);
-    let n_nominal =
-        ((num_cols as f64 * NOMINAL_FRACTION).round() as usize).min(num_cols - n_quant);
+    let n_nominal = ((num_cols as f64 * NOMINAL_FRACTION).round() as usize).min(num_cols - n_quant);
     let n_temporal = num_cols - n_quant - n_nominal;
 
     let mut cols: Vec<(String, Column)> = Vec::with_capacity(num_cols);
@@ -31,7 +30,10 @@ pub fn synthetic_wide(num_cols: usize, num_rows: usize, seed: u64) -> DataFrame 
     for i in 0..n_quant {
         if i % 2 == 0 {
             let values: Vec<i64> = (0..num_rows).map(|_| rng.gen_range(0..100_000)).collect();
-            cols.push((format!("int_{i}"), Column::Int64(PrimitiveColumn::from_values(values))));
+            cols.push((
+                format!("int_{i}"),
+                Column::Int64(PrimitiveColumn::from_values(values)),
+            ));
         } else {
             let values: Vec<f64> = (0..num_rows).map(|_| rng.gen_range(0.0..1000.0)).collect();
             cols.push((
@@ -55,9 +57,13 @@ pub fn synthetic_wide(num_cols: usize, num_rows: usize, seed: u64) -> DataFrame 
     // Temporal: dates across 2020.
     for i in 0..n_temporal {
         let base = 18_262i64 * 86_400; // 2020-01-01
-        let values: Vec<i64> =
-            (0..num_rows).map(|_| base + rng.gen_range(0..366) * 86_400).collect();
-        cols.push((format!("date_{i}"), Column::DateTime(PrimitiveColumn::from_values(values))));
+        let values: Vec<i64> = (0..num_rows)
+            .map(|_| base + rng.gen_range(0..366) * 86_400)
+            .collect();
+        cols.push((
+            format!("date_{i}"),
+            Column::DateTime(PrimitiveColumn::from_values(values)),
+        ));
     }
 
     DataFrame::from_columns(cols).expect("generated columns are consistent")
@@ -94,7 +100,11 @@ mod tests {
             .filter(|(_, t)| matches!(t, DType::Int64 | DType::Float64))
             .count();
         let nominal = df.schema().iter().filter(|(_, t)| *t == DType::Str).count();
-        let temporal = df.schema().iter().filter(|(_, t)| *t == DType::DateTime).count();
+        let temporal = df
+            .schema()
+            .iter()
+            .filter(|(_, t)| *t == DType::DateTime)
+            .count();
         assert_eq!(quant + nominal + temporal, 100);
         assert!((76..=80).contains(&quant), "quant={quant}");
         assert!((18..=22).contains(&nominal), "nominal={nominal}");

@@ -52,19 +52,25 @@ pub fn shape_population(
 /// column machinery with the shape's type mix).
 pub fn materialize(shape: DatasetShape, seed: u64) -> DataFrame {
     let mut rng = StdRng::seed_from_u64(seed);
-    let n_quant =
-        ((shape.columns as f64 * shape.quantitative_fraction).round() as usize).clamp(1, shape.columns);
+    let n_quant = ((shape.columns as f64 * shape.quantitative_fraction).round() as usize)
+        .clamp(1, shape.columns);
     let n_rest = shape.columns - n_quant;
     let n_temporal = usize::from(n_rest > 2);
     let n_nominal = n_rest - n_temporal;
 
     let mut cols: Vec<(String, Column)> = Vec::with_capacity(shape.columns);
     for i in 0..n_quant {
-        let values: Vec<f64> = (0..shape.rows).map(|_| rng.gen_range(0.0..1000.0)).collect();
-        cols.push((format!("q{i}"), Column::Float64(PrimitiveColumn::from_values(values))));
+        let values: Vec<f64> = (0..shape.rows)
+            .map(|_| rng.gen_range(0.0..1000.0))
+            .collect();
+        cols.push((
+            format!("q{i}"),
+            Column::Float64(PrimitiveColumn::from_values(values)),
+        ));
     }
     for i in 0..n_nominal {
-        let cardinality = crate::synth::geometric_cardinality(i, n_nominal.max(2)).min(shape.rows.max(1));
+        let cardinality =
+            crate::synth::geometric_cardinality(i, n_nominal.max(2)).min(shape.rows.max(1));
         let mut col = StrColumn::new();
         for _ in 0..shape.rows {
             col.push(Some(&format!("v{}", rng.gen_range(0..cardinality.max(1)))));
@@ -73,9 +79,13 @@ pub fn materialize(shape: DatasetShape, seed: u64) -> DataFrame {
     }
     for i in 0..n_temporal {
         let base = 18_262i64 * 86_400;
-        let values: Vec<i64> =
-            (0..shape.rows).map(|_| base + rng.gen_range(0..366) * 86_400).collect();
-        cols.push((format!("t{i}"), Column::DateTime(PrimitiveColumn::from_values(values))));
+        let values: Vec<i64> = (0..shape.rows)
+            .map(|_| base + rng.gen_range(0..366) * 86_400)
+            .collect();
+        cols.push((
+            format!("t{i}"),
+            Column::DateTime(PrimitiveColumn::from_values(values)),
+        ));
     }
     DataFrame::from_columns(cols).expect("generated columns are consistent")
 }
@@ -107,7 +117,11 @@ mod tests {
 
     #[test]
     fn materialize_matches_shape() {
-        let shape = DatasetShape { rows: 50, columns: 10, quantitative_fraction: 0.6 };
+        let shape = DatasetShape {
+            rows: 50,
+            columns: 10,
+            quantitative_fraction: 0.6,
+        };
         let df = materialize(shape, 3);
         assert_eq!(df.num_rows(), 50);
         assert_eq!(df.num_columns(), 10);

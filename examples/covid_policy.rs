@@ -21,7 +21,13 @@ use rand::{Rng, SeedableRng};
 /// few deliberate outlier countries (Afghanistan, Pakistan, Rwanda) that
 /// responded strictly despite limited resources — as in the paper's Fig. 4.
 fn hpi_dataset() -> DataFrame {
-    let regions = ["Europe", "Americas", "Asia Pacific", "Sub Saharan Africa", "Middle East"];
+    let regions = [
+        "Europe",
+        "Americas",
+        "Asia Pacific",
+        "Sub Saharan Africa",
+        "Middle East",
+    ];
     let mut rng = StdRng::seed_from_u64(2020);
     let mut names: Vec<String> = Vec::new();
     let mut region_col: Vec<&str> = Vec::new();
@@ -46,7 +52,11 @@ fn hpi_dataset() -> DataFrame {
         life.push(base + rng.gen_range(-4.0..4.0));
         inequality.push(ineq);
         wellbeing.push((base / 10.0 + rng.gen_range(-1.0..1.0)).clamp(2.0, 9.0));
-        g10.push(if region == "Europe" && i % 5 == 0 { "yes" } else { "no" });
+        g10.push(if region == "Europe" && i % 5 == 0 {
+            "yes"
+        } else {
+            "no"
+        });
     }
     // The three §3 outliers: low life expectancy + high inequality, but
     // (later) strict early response.
@@ -78,7 +88,11 @@ fn stringency_dataset(hpi: &DataFrame) -> DataFrame {
     let mut stringency = Vec::with_capacity(n);
     for i in 0..n {
         let country = hpi.value(i, "country").expect("country").to_string();
-        let life = hpi.value(i, "AvrgLifeExpectancy").expect("life").as_f64().unwrap();
+        let life = hpi
+            .value(i, "AvrgLifeExpectancy")
+            .expect("life")
+            .as_f64()
+            .unwrap();
         let outlier = matches!(country.as_str(), "Afghanistan" | "Pakistan" | "Rwanda");
         let s = if outlier {
             85.0 + rng.gen_range(0.0..10.0) // praised early responders
@@ -136,7 +150,11 @@ fn main() -> Result<()> {
     // by stringency_level showing the separation.
     binned.set_intent_strs(["AvrgLifeExpectancy", "Inequality"])?;
     let w = binned.print();
-    let enhance = w.results().iter().find(|r| r.action == "Enhance").expect("enhance");
+    let enhance = w
+        .results()
+        .iter()
+        .find(|r| r.action == "Enhance")
+        .expect("enhance");
     let by_level = enhance
         .vislist
         .iter()

@@ -17,8 +17,14 @@ fn retail_dataset() -> DataFrame {
     let mut rng = StdRng::seed_from_u64(99);
     let n = 500;
     let tenure: Vec<f64> = (0..n).map(|_| rng.gen_range(0.0..60.0)).collect();
-    let orders: Vec<f64> = tenure.iter().map(|t| t * 0.8 + rng.gen_range(0.0..10.0)).collect();
-    let accessories: Vec<f64> = orders.iter().map(|o| o * 0.3 + rng.gen_range(0.0..4.0)).collect();
+    let orders: Vec<f64> = tenure
+        .iter()
+        .map(|t| t * 0.8 + rng.gen_range(0.0..10.0))
+        .collect();
+    let accessories: Vec<f64> = orders
+        .iter()
+        .map(|o| o * 0.3 + rng.gen_range(0.0..4.0))
+        .collect();
     let support_tickets: Vec<f64> = (0..n).map(|_| rng.gen_range(0.0..20.0)).collect();
     let discount_rate: Vec<f64> = (0..n).map(|_| rng.gen_range(0.0..0.4)).collect();
     // churn probability driven mostly by tenure (negatively) and tickets.

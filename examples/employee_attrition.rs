@@ -22,13 +22,29 @@ fn hr_dataset() -> DataFrame {
     let field: Vec<&str> = (0..n).map(|_| fields[rng.gen_range(0..3)]).collect();
     let country: Vec<&str> = (0..n).map(|_| countries[rng.gen_range(0..4)]).collect();
     let age: Vec<f64> = (0..n).map(|_| rng.gen_range(21.0..65.0)).collect();
-    let income: Vec<f64> =
-        age.iter().map(|a| a * 120.0 + rng.gen_range(-800.0..2500.0)).collect();
+    let income: Vec<f64> = age
+        .iter()
+        .map(|a| a * 120.0 + rng.gen_range(-800.0..2500.0))
+        .collect();
     let hourly: Vec<f64> = (0..n).map(|_| rng.gen_range(20.0..110.0)).collect();
-    let daily: Vec<f64> = hourly.iter().map(|h| h * 8.0 + rng.gen_range(-40.0..40.0)).collect();
-    let monthly: Vec<f64> = daily.iter().map(|d| d * 21.0 + rng.gen_range(-300.0..300.0)).collect();
-    let attrition: Vec<&str> =
-        age.iter().map(|a| if *a < 30.0 && rng.gen_bool(0.5) { "Yes" } else { "No" }).collect();
+    let daily: Vec<f64> = hourly
+        .iter()
+        .map(|h| h * 8.0 + rng.gen_range(-40.0..40.0))
+        .collect();
+    let monthly: Vec<f64> = daily
+        .iter()
+        .map(|d| d * 21.0 + rng.gen_range(-300.0..300.0))
+        .collect();
+    let attrition: Vec<&str> = age
+        .iter()
+        .map(|a| {
+            if *a < 30.0 && rng.gen_bool(0.5) {
+                "Yes"
+            } else {
+                "No"
+            }
+        })
+        .collect();
     b = b
         .str("Department", dept)
         .str("Education", edu)
@@ -61,8 +77,15 @@ fn main() -> Result<()> {
     // Q2: Ages of employees in the Sales department (axis + filter).
     df.set_intent_strs(["Age", "Department=Sales"])?;
     let w = df.print();
-    let current = w.results().iter().find(|r| r.action == "Current Vis").expect("current vis");
-    show("Q2: Age distribution, Sales only", &current.vislist.visualizations[0]);
+    let current = w
+        .results()
+        .iter()
+        .find(|r| r.action == "Current Vis")
+        .expect("current vis");
+    show(
+        "Q2: Age distribution, Sales only",
+        &current.vislist.visualizations[0],
+    );
 
     // Q3: compare average Age across Education levels, directly via Vis.
     let q3 = LuxVis::new(vec![Clause::axis("Age"), Clause::axis("Education")], &df)?;
@@ -70,7 +93,10 @@ fn main() -> Result<()> {
 
     // Q4: variance of MonthlyIncome by Attrition (explicit aggregation).
     let q4 = LuxVis::new(
-        vec![Clause::axis("MonthlyIncome").aggregate(Agg::Var), Clause::axis("Attrition")],
+        vec![
+            Clause::axis("MonthlyIncome").aggregate(Agg::Var),
+            Clause::axis("Attrition"),
+        ],
         &df,
     )?;
     show("Q4: var(MonthlyIncome) by Attrition", q4.inner());
@@ -86,7 +112,10 @@ fn main() -> Result<()> {
     // Q6: relationships between any two quantitative columns (wildcards).
     let any = Clause::wildcard_typed(SemanticType::Quantitative);
     let q6 = LuxVisList::new(vec![any.clone(), any], &df)?;
-    println!("\nQ6 explored {} scatterplots (the Correlation search space)", q6.len());
+    println!(
+        "\nQ6 explored {} scatterplots (the Correlation search space)",
+        q6.len()
+    );
 
     // Q7: Age distributions across each WorkCountry (filter wildcard).
     let q7 = LuxVisList::from_strs(["Age", "WorkCountry=?"], &df)?;
@@ -98,7 +127,10 @@ fn main() -> Result<()> {
     // Bonus: the validator catches typos with suggestions (§7.1.1).
     df.set_intent_strs(["Aege"])?;
     for d in df.validate_intent() {
-        println!("\nvalidator: {} (did you mean {:?}?)", d.message, d.suggestion);
+        println!(
+            "\nvalidator: {} (did you mean {:?}?)",
+            d.message, d.suggestion
+        );
     }
     Ok(())
 }

@@ -30,7 +30,11 @@ fn main() -> Result<()> {
                     Encoding::new("price", q, Channel::X),
                     Encoding::new("number_of_reviews", q, Channel::Y),
                 ],
-                vec![FilterSpec::new("room_type", FilterOp::Eq, Value::str("Private room"))],
+                vec![FilterSpec::new(
+                    "room_type",
+                    FilterOp::Eq,
+                    Value::str("Private room"),
+                )],
             ),
         ),
         (
@@ -62,7 +66,10 @@ fn main() -> Result<()> {
     }
 
     // 2. A full always-on print, entirely through the SQL backend.
-    let cfg = LuxConfig { sql_backend: true, ..LuxConfig::default() };
+    let cfg = LuxConfig {
+        sql_backend: true,
+        ..LuxConfig::default()
+    };
     let ldf = LuxDataFrame::with_config(df.clone(), Arc::new(cfg));
     let widget = ldf.print();
     println!("print via SQL backend -> tabs: {:?}\n", widget.tabs());

@@ -22,7 +22,11 @@ fn main() {
     println!("blocking print (all actions complete before control returns):");
     let start = Instant::now();
     let recs = ldf.recommendations();
-    println!("  returned after {:?} with {} tabs\n", start.elapsed(), recs.len());
+    println!(
+        "  returned after {:?} with {} tabs\n",
+        start.elapsed(),
+        recs.len()
+    );
 
     println!("streaming print (results arrive as each action completes):");
     let start = Instant::now();

@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Repo hygiene gate: formatting, build, tests, and a grep lint that pins the
+# number of `unwrap()` calls in the engine/recs/core crates to a recorded
+# baseline — new code in the print path must handle errors (or use
+# `expect` with a message), never add bare unwraps. Lower the baseline when
+# you remove some.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check"
+cargo fmt --all --check
+
+echo "== cargo build --workspace"
+cargo build --workspace --quiet
+
+echo "== cargo test --workspace"
+cargo test --workspace --quiet
+
+echo "== unwrap() lint (crates/{engine,recs,core}/src)"
+BASELINE=147
+count=$(grep -rho 'unwrap()' crates/engine/src crates/recs/src crates/core/src | wc -l | tr -d ' ')
+if [ "$count" -gt "$BASELINE" ]; then
+    echo "error: $count unwrap() calls (baseline $BASELINE) — new unwrap() in the print path is denied"
+    exit 1
+fi
+if [ "$count" -lt "$BASELINE" ]; then
+    echo "note: $count unwrap() calls, below baseline $BASELINE — consider lowering BASELINE in scripts/check.sh"
+fi
+echo "ok: $count unwrap() calls (baseline $BASELINE)"
+
+echo "all checks passed"

@@ -32,7 +32,7 @@ pub use lux_core::{LuxDataFrame, LuxSeries, LuxVis, LuxVisList, Widget};
 pub use lux_dataframe as dataframe;
 pub use lux_engine as engine;
 pub use lux_intent as intent;
+pub use lux_intent::Clause;
 pub use lux_recs as recs;
 pub use lux_vis as vis;
 pub use lux_workloads as workloads;
-pub use lux_intent::Clause;

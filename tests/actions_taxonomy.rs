@@ -17,7 +17,13 @@ fn default_registry_covers_table1() {
     };
     // Metadata: Distribution, Occurrence, Temporal, Geographic, Correlation
     let metadata = by_class(ActionClass::Metadata);
-    for name in ["Distribution", "Occurrence", "Temporal", "Geographic", "Correlation"] {
+    for name in [
+        "Distribution",
+        "Occurrence",
+        "Temporal",
+        "Geographic",
+        "Correlation",
+    ] {
         assert!(metadata.contains(&name), "missing metadata action {name}");
     }
     // Intent: Enhance, Filter, Generalize (+ Current Vis)
@@ -45,7 +51,10 @@ fn mixed_frame() -> LuxDataFrame {
             .float("quant_b", (0..60).map(|i| ((i * 31) % 17) as f64))
             .str("nominal", (0..60).map(|i| ["x", "y", "z"][i % 3]))
             .str("country", (0..60).map(|i| ["USA", "Chad", "Japan"][i % 3]))
-            .datetime("date", (0..60).map(|i| format!("2020-01-{:02}", (i % 28) + 1)))
+            .datetime(
+                "date",
+                (0..60).map(|i| format!("2020-01-{:02}", (i % 28) + 1)),
+            )
             .build()
             .unwrap(),
     )
@@ -53,13 +62,30 @@ fn mixed_frame() -> LuxDataFrame {
 
 #[test]
 fn metadata_actions_fire_per_column_types() {
-    let tabs: Vec<String> =
-        mixed_frame().print().tabs().iter().map(|s| s.to_string()).collect();
-    for t in ["Correlation", "Distribution", "Occurrence", "Temporal", "Geographic"] {
+    let tabs: Vec<String> = mixed_frame()
+        .print()
+        .tabs()
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    for t in [
+        "Correlation",
+        "Distribution",
+        "Occurrence",
+        "Temporal",
+        "Geographic",
+    ] {
         assert!(tabs.contains(&t.to_string()), "missing {t} in {tabs:?}");
     }
     // no intent, no structure, no history triggers on a plain frame
-    for t in ["Enhance", "Filter", "Series", "Index", "Pre-filter", "Pre-aggregate"] {
+    for t in [
+        "Enhance",
+        "Filter",
+        "Series",
+        "Index",
+        "Pre-filter",
+        "Pre-aggregate",
+    ] {
         assert!(!tabs.contains(&t.to_string()), "unexpected {t} in {tabs:?}");
     }
 }
@@ -91,7 +117,9 @@ fn structure_actions_on_shapes() {
     assert!(single.print().tabs().contains(&"Series"));
 
     // pivot result -> Index action with row-wise series (Figure 7)
-    let pivot = mixed_frame().pivot("nominal", "country", "quant_a", Agg::Mean).unwrap();
+    let pivot = mixed_frame()
+        .pivot("nominal", "country", "quant_a", Agg::Mean)
+        .unwrap();
     let widget = pivot.print();
     assert!(widget.tabs().contains(&"Index"));
 }
@@ -103,12 +131,21 @@ fn history_actions_on_workflow_states() {
     assert!(head.print().tabs().contains(&"Pre-filter"));
 
     // groupby result -> Pre-aggregate (visualizing the parent's measures)
-    let agg = mixed_frame().groupby_agg(&["nominal"], &[("quant_a", Agg::Mean)]).unwrap();
+    let agg = mixed_frame()
+        .groupby_agg(&["nominal"], &[("quant_a", Agg::Mean)])
+        .unwrap();
     let widget = agg.print();
-    let pre = widget.results().iter().find(|r| r.action == "Pre-aggregate").unwrap();
+    let pre = widget
+        .results()
+        .iter()
+        .find(|r| r.action == "Pre-aggregate")
+        .unwrap();
     // charts are built over the 60-row parent, not the 3-row aggregate
-    let data_rows: usize =
-        pre.vislist.visualizations[0].data.as_ref().map(|d| d.num_rows()).unwrap_or(0);
+    let data_rows: usize = pre.vislist.visualizations[0]
+        .data
+        .as_ref()
+        .map(|d| d.num_rows())
+        .unwrap_or(0);
     assert!(data_rows <= 3, "processed bar chart groups by the key");
     assert!(pre.vislist.iter().all(|v| v.spec.mark == Mark::Bar));
 }
@@ -133,9 +170,16 @@ fn every_action_ranks_descending() {
 fn top_k_respected_everywhere() {
     let df = LuxDataFrame::with_config(
         lux::workloads::synthetic_wide(40, 300, 5),
-        std::sync::Arc::new(LuxConfig { top_k: 4, ..LuxConfig::default() }),
+        std::sync::Arc::new(LuxConfig {
+            top_k: 4,
+            ..LuxConfig::default()
+        }),
     );
     for result in df.print().results() {
-        assert!(result.vislist.len() <= 4, "action {} exceeded k", result.action);
+        assert!(
+            result.vislist.len() <= 4,
+            "action {} exceeded k",
+            result.action
+        );
     }
 }

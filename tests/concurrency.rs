@@ -28,7 +28,10 @@ fn concurrent_prints_are_safe_and_converge() {
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("no panic")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("no panic"))
+            .collect()
     });
     for r in &results[1..] {
         assert_eq!(r, &results[0], "all threads see the same tabs");

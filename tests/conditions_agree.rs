@@ -15,7 +15,10 @@ fn fixture() -> DataFrame {
         .float("b", (0..120).map(|i| ((i * 17) % 31) as f64))
         .float("c", (0..120).map(|i| (120 - i) as f64))
         .str("g", (0..120).map(|i| ["p", "q", "r"][i % 3]))
-        .datetime("d", (0..120).map(|i| format!("2020-{:02}-{:02}", (i % 12) + 1, (i % 28) + 1)))
+        .datetime(
+            "d",
+            (0..120).map(|i| format!("2020-{:02}-{:02}", (i % 12) + 1, (i % 28) + 1)),
+        )
         .build()
         .unwrap()
 }
@@ -26,7 +29,10 @@ fn signature(recs: &[ActionResult]) -> Vec<(String, Vec<String>)> {
     let mut out: Vec<(String, Vec<String>)> = recs
         .iter()
         .map(|r| {
-            (r.action.clone(), r.vislist.iter().map(|v| v.spec.describe()).collect())
+            (
+                r.action.clone(),
+                r.vislist.iter().map(|v| v.spec.describe()).collect(),
+            )
         })
         .collect();
     out.sort();
@@ -37,7 +43,12 @@ fn signature(recs: &[ActionResult]) -> Vec<(String, Vec<String>)> {
 fn all_conditions_produce_identical_recommendations() {
     let df = fixture();
     let mut signatures = Vec::new();
-    for cond in [Condition::NoOpt, Condition::Wflow, Condition::WflowPrune, Condition::AllOpt] {
+    for cond in [
+        Condition::NoOpt,
+        Condition::Wflow,
+        Condition::WflowPrune,
+        Condition::AllOpt,
+    ] {
         let mut cfg = cond.config().expect("lux condition");
         // sample covers the frame -> prune is exactness-preserving here
         cfg.sample_cap = 10_000;
@@ -77,14 +88,26 @@ fn scores_are_identical_across_conditions() {
             .map(|r| {
                 (
                     r.action.clone(),
-                    r.vislist.iter().map(|v| format!("{:.12}", v.score)).collect(),
+                    r.vislist
+                        .iter()
+                        .map(|v| format!("{:.12}", v.score))
+                        .collect(),
                 )
             })
             .collect()
     };
-    let mut a = scores(LuxConfig { sample_cap: 10_000, ..LuxConfig::no_opt() });
-    let mut b = scores(LuxConfig { sample_cap: 10_000, ..LuxConfig::all_opt() });
+    let mut a = scores(LuxConfig {
+        sample_cap: 10_000,
+        ..LuxConfig::no_opt()
+    });
+    let mut b = scores(LuxConfig {
+        sample_cap: 10_000,
+        ..LuxConfig::all_opt()
+    });
     a.sort();
     b.sort();
-    assert_eq!(a, b, "final scores must be exact regardless of optimizations");
+    assert_eq!(
+        a, b,
+        "final scores must be exact regardless of optimizations"
+    );
 }

@@ -30,9 +30,18 @@ fn csv_to_widget_pipeline() {
     assert_eq!(df.num_rows(), 16);
     // type inference: country names trigger the geographic heuristic
     let meta = df.metadata();
-    assert_eq!(meta.column("country").unwrap().semantic, SemanticType::Geographic);
-    assert_eq!(meta.column("Region").unwrap().semantic, SemanticType::Geographic);
-    assert_eq!(meta.column("Inequality").unwrap().semantic, SemanticType::Quantitative);
+    assert_eq!(
+        meta.column("country").unwrap().semantic,
+        SemanticType::Geographic
+    );
+    assert_eq!(
+        meta.column("Region").unwrap().semantic,
+        SemanticType::Geographic
+    );
+    assert_eq!(
+        meta.column("Inequality").unwrap().semantic,
+        SemanticType::Quantitative
+    );
 
     let widget = df.print();
     assert!(widget.tabs().contains(&"Correlation"));
@@ -48,30 +57,63 @@ fn csv_to_widget_pipeline() {
 fn alice_workflow_compressed() {
     // (I) overview
     let mut df = LuxDataFrame::read_csv_str(world_csv()).unwrap();
-    let tabs = df.print().tabs().iter().map(|s| s.to_string()).collect::<Vec<_>>();
+    let tabs = df
+        .print()
+        .tabs()
+        .iter()
+        .map(|s| s.to_string())
+        .collect::<Vec<_>>();
     assert!(tabs.contains(&"Correlation".to_string()));
 
     // (II) intent on the two indicators
-    df.set_intent_strs(["AvrgLifeExpectancy", "Inequality"]).unwrap();
+    df.set_intent_strs(["AvrgLifeExpectancy", "Inequality"])
+        .unwrap();
     let widget = df.print();
-    let current = widget.results().iter().find(|r| r.action == "Current Vis").unwrap();
+    let current = widget
+        .results()
+        .iter()
+        .find(|r| r.action == "Current Vis")
+        .unwrap();
     assert_eq!(current.vislist.visualizations[0].spec.mark, Mark::Scatter);
-    let enhance = widget.results().iter().find(|r| r.action == "Enhance").unwrap();
+    let enhance = widget
+        .results()
+        .iter()
+        .find(|r| r.action == "Enhance")
+        .unwrap();
     assert!(enhance.vislist.len() >= 2);
 
     // (III) bin stringency, revisit intent: breakdown by level appears
-    let mut binned = df.cut("stringency", &["Low", "High"], "stringency_level").unwrap();
-    binned.set_intent_strs(["AvrgLifeExpectancy", "Inequality"]).unwrap();
+    let mut binned = df
+        .cut("stringency", &["Low", "High"], "stringency_level")
+        .unwrap();
+    binned
+        .set_intent_strs(["AvrgLifeExpectancy", "Inequality"])
+        .unwrap();
     let widget = binned.print();
-    let enhance = widget.results().iter().find(|r| r.action == "Enhance").unwrap();
+    let enhance = widget
+        .results()
+        .iter()
+        .find(|r| r.action == "Enhance")
+        .unwrap();
     assert!(
-        enhance.vislist.iter().any(|v| v.spec.describe().contains("stringency_level")),
+        enhance
+            .vislist
+            .iter()
+            .any(|v| v.spec.describe().contains("stringency_level")),
         "expected a breakdown by the binned level"
     );
 
     // filter to a small frame -> Pre-filter history action fires
-    let small = binned.filter("stringency_level", FilterOp::Eq, &Value::str("High")).unwrap().head(3);
-    let tabs = small.print().tabs().iter().map(|s| s.to_string()).collect::<Vec<_>>();
+    let small = binned
+        .filter("stringency_level", FilterOp::Eq, &Value::str("High"))
+        .unwrap()
+        .head(3);
+    let tabs = small
+        .print()
+        .tabs()
+        .iter()
+        .map(|s| s.to_string())
+        .collect::<Vec<_>>();
     assert!(tabs.contains(&"Pre-filter".to_string()), "got {tabs:?}");
 
     // export the chosen vis and turn it into code + vega
@@ -87,18 +129,32 @@ fn alice_workflow_compressed() {
 fn groupby_pivot_structure_pipeline() {
     let df = LuxDataFrame::read_csv_str(world_csv()).unwrap();
     let agg = df
-        .groupby_agg(&["Region"], &[("AvrgLifeExpectancy", Agg::Mean), ("Inequality", Agg::Mean)])
+        .groupby_agg(
+            &["Region"],
+            &[("AvrgLifeExpectancy", Agg::Mean), ("Inequality", Agg::Mean)],
+        )
         .unwrap();
     let widget = agg.print();
     let tabs = widget.tabs();
-    assert!(tabs.contains(&"Index"), "aggregated frame shows index vis: {tabs:?}");
-    assert!(tabs.contains(&"Pre-aggregate"), "history action fires: {tabs:?}");
+    assert!(
+        tabs.contains(&"Index"),
+        "aggregated frame shows index vis: {tabs:?}"
+    );
+    assert!(
+        tabs.contains(&"Pre-aggregate"),
+        "history action fires: {tabs:?}"
+    );
     // index-vis charts are grouped by the index label
-    let index = widget.results().iter().find(|r| r.action == "Index").unwrap();
-    assert!(index
-        .vislist
+    let index = widget
+        .results()
         .iter()
-        .any(|v| v.spec.channel(Channel::X).map(|e| e.attribute == "Region").unwrap_or(false)));
+        .find(|r| r.action == "Index")
+        .unwrap();
+    assert!(index.vislist.iter().any(|v| v
+        .spec
+        .channel(Channel::X)
+        .map(|e| e.attribute == "Region")
+        .unwrap_or(false)));
 }
 
 #[test]
@@ -106,7 +162,11 @@ fn series_pipeline() {
     let df = LuxDataFrame::read_csv_str(world_csv()).unwrap();
     let series = df.series("Inequality").unwrap();
     let widget = series.print();
-    let result = widget.results().iter().find(|r| r.action == "Series").unwrap();
+    let result = widget
+        .results()
+        .iter()
+        .find(|r| r.action == "Series")
+        .unwrap();
     assert_eq!(result.vislist.visualizations[0].spec.mark, Mark::Histogram);
 }
 
@@ -141,7 +201,9 @@ fn join_then_recommend() {
         "country,happiness\nNorway,7.6\nJapan,5.9\nChad,4.4\nIndia,4.0\n",
     )
     .unwrap();
-    let joined = left.join(&right, "country", "country", JoinKind::Inner).unwrap();
+    let joined = left
+        .join(&right, "country", "country", JoinKind::Inner)
+        .unwrap();
     assert_eq!(joined.num_rows(), 4);
     let widget = joined.print();
     assert!(!widget.results().is_empty());

@@ -14,9 +14,18 @@ use lux::recs::{ChaosAction, ChaosMode};
 fn frame() -> DataFrame {
     let n = 80;
     DataFrameBuilder::new()
-        .float("price", (0..n).map(|i| 10.0 + (i % 17) as f64).collect::<Vec<_>>())
-        .float("size", (0..n).map(|i| (i * 7 % 23) as f64).collect::<Vec<_>>())
-        .str("kind", (0..n).map(|i| ["a", "b", "c"][i % 3]).collect::<Vec<_>>())
+        .float(
+            "price",
+            (0..n).map(|i| 10.0 + (i % 17) as f64).collect::<Vec<_>>(),
+        )
+        .float(
+            "size",
+            (0..n).map(|i| (i * 7 % 23) as f64).collect::<Vec<_>>(),
+        )
+        .str(
+            "kind",
+            (0..n).map(|i| ["a", "b", "c"][i % 3]).collect::<Vec<_>>(),
+        )
         .build()
         .unwrap()
 }
@@ -29,7 +38,10 @@ fn statuses(ldf: &LuxDataFrame) -> Vec<(String, String)> {
 }
 
 fn status_of(ldf: &LuxDataFrame, action: &str) -> Option<String> {
-    statuses(ldf).into_iter().find(|(a, _)| a == action).map(|(_, s)| s)
+    statuses(ldf)
+        .into_iter()
+        .find(|(a, _)| a == action)
+        .map(|(_, s)| s)
 }
 
 #[test]
@@ -41,8 +53,14 @@ fn healthy_actions_survive_a_chaotic_registry() {
 
     let widget = ldf.print(); // must not panic
     let tabs = widget.tabs();
-    assert!(tabs.contains(&"Distribution"), "healthy action still served: {tabs:?}");
-    assert!(tabs.contains(&"Occurrence"), "healthy action still served: {tabs:?}");
+    assert!(
+        tabs.contains(&"Distribution"),
+        "healthy action still served: {tabs:?}"
+    );
+    assert!(
+        tabs.contains(&"Occurrence"),
+        "healthy action still served: {tabs:?}"
+    );
     assert!(!tabs.contains(&"Panicker") && !tabs.contains(&"Erratic"));
 
     assert_eq!(status_of(&ldf, "Panicker").as_deref(), Some("failed"));
@@ -54,12 +72,19 @@ fn healthy_actions_survive_a_chaotic_registry() {
 #[test]
 fn chaos_survives_both_executor_paths() {
     for r#async in [false, true] {
-        let cfg = LuxConfig { r#async, ..LuxConfig::default() };
+        let cfg = LuxConfig {
+            r#async,
+            ..LuxConfig::default()
+        };
         let mut ldf = LuxDataFrame::with_config(frame(), Arc::new(cfg));
         ldf.register_action(ChaosAction::new("Panicker", ChaosMode::Panic));
         let widget = ldf.print();
         assert!(widget.tabs().contains(&"Distribution"), "async={async}");
-        assert_eq!(status_of(&ldf, "Panicker").as_deref(), Some("failed"), "async={async}");
+        assert_eq!(
+            status_of(&ldf, "Panicker").as_deref(),
+            Some("failed"),
+            "async={async}"
+        );
     }
 }
 
@@ -73,12 +98,21 @@ fn slow_action_degrades_to_partial_results() {
     let mut ldf = LuxDataFrame::with_config(frame(), Arc::new(cfg));
     ldf.register_action(ChaosAction::new(
         "Sloth",
-        ChaosMode::SlowScore { per_score: Duration::from_millis(10), candidates: 400 },
+        ChaosMode::SlowScore {
+            per_score: Duration::from_millis(10),
+            candidates: 400,
+        },
     ));
 
     let recs = ldf.recommendations();
-    let sloth = recs.iter().find(|r| r.action == "Sloth").expect("partial results delivered");
-    assert!(sloth.degraded, "timeout mid-scoring must flag the result degraded");
+    let sloth = recs
+        .iter()
+        .find(|r| r.action == "Sloth")
+        .expect("partial results delivered");
+    assert!(
+        sloth.degraded,
+        "timeout mid-scoring must flag the result degraded"
+    );
     assert!(!sloth.vislist.is_empty());
     assert_eq!(status_of(&ldf, "Sloth").as_deref(), Some("degraded"));
     // Healthy actions are unaffected.
@@ -93,7 +127,10 @@ fn hung_action_is_abandoned_at_the_hard_cutoff() {
         ..LuxConfig::default()
     };
     let mut ldf = LuxDataFrame::with_config(frame(), Arc::new(cfg));
-    ldf.register_action(ChaosAction::new("Sleeper", ChaosMode::Hang(Duration::from_secs(30))));
+    ldf.register_action(ChaosAction::new(
+        "Sleeper",
+        ChaosMode::Hang(Duration::from_secs(30)),
+    ));
 
     let start = Instant::now();
     let widget = ldf.print();
@@ -102,7 +139,10 @@ fn hung_action_is_abandoned_at_the_hard_cutoff() {
         "print must not wait out a 30s hang: {:?}",
         start.elapsed()
     );
-    assert!(widget.tabs().contains(&"Distribution"), "healthy results still shipped");
+    assert!(
+        widget.tabs().contains(&"Distribution"),
+        "healthy results still shipped"
+    );
     let sleeper = status_of(&ldf, "Sleeper").expect("abandoned worker reported");
     assert_eq!(sleeper, "failed");
 }
@@ -127,7 +167,10 @@ fn breaker_disables_repeat_offender_then_reprobes() {
         seen.push(status_of(&ldf, "Flaky").expect("Flaky always has a health entry"));
     }
     assert_eq!(seen[0], "failed");
-    assert_eq!(seen[1], "failed", "second consecutive failure trips the breaker");
+    assert_eq!(
+        seen[1], "failed",
+        "second consecutive failure trips the breaker"
+    );
     assert_eq!(seen[2], "disabled", "open breaker skips the action");
     assert!(
         seen.iter().any(|s| s == "ok"),
@@ -147,7 +190,10 @@ fn widget_surfaces_health_problems() {
     let widget = ldf.print();
     assert_eq!(widget.health_problems().len(), 1);
     let rendered = widget.to_string();
-    assert!(rendered.contains("action health"), "display carries the health line:\n{rendered}");
+    assert!(
+        rendered.contains("action health"),
+        "display carries the health line:\n{rendered}"
+    );
     assert!(rendered.contains("Panicker"));
 }
 
@@ -162,5 +208,8 @@ fn permissive_csv_feeds_the_pipeline_despite_bad_rows() {
     assert_eq!(ldf.num_rows(), 4);
     assert_eq!(report.len(), 3, "every repair is accounted for: {report}");
     let widget = ldf.print();
-    assert!(!widget.tabs().is_empty(), "repaired frame still gets recommendations");
+    assert!(
+        !widget.tabs().is_empty(),
+        "repaired frame still gets recommendations"
+    );
 }

@@ -13,8 +13,7 @@ fn frame_strategy() -> impl Strategy<Value = DataFrame> {
             .prop_map(|(nums, cats)| {
                 let labels = ["a", "b", "c", "d"];
                 let num_col = Column::Int64(PrimitiveColumn::from_options(nums));
-                let cat_col =
-                    Column::Str(StrColumn::from_strings(cats.iter().map(|&c| labels[c])));
+                let cat_col = Column::Str(StrColumn::from_strings(cats.iter().map(|&c| labels[c])));
                 DataFrame::from_columns(vec![
                     ("n".to_string(), num_col),
                     ("c".to_string(), cat_col),

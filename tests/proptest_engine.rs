@@ -135,6 +135,10 @@ fn scaled_benchmark_frames_keep_types() {
         FrameMeta::compute(&large, &HashMap::new()),
     );
     for (a, b) in ms.columns.iter().zip(&ml.columns) {
-        assert_eq!(a.semantic, b.semantic, "airbnb column {} type unstable across scales", a.name);
+        assert_eq!(
+            a.semantic, b.semantic,
+            "airbnb column {} type unstable across scales",
+            a.name
+        );
     }
 }

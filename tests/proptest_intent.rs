@@ -41,7 +41,11 @@ fn clause_strategy() -> impl Strategy<Value = Clause> {
         proptest::collection::vec(attr_strategy(), 1..4).prop_map(Clause::axis_union),
         Just(Clause::wildcard_typed(SemanticType::Quantitative)),
         Just(Clause::wildcard()),
-        (attr_strategy(), -50i64..50).prop_map(|(a, v)| Clause::filter(a, FilterOp::Eq, Value::Int(v))),
+        (attr_strategy(), -50i64..50).prop_map(|(a, v)| Clause::filter(
+            a,
+            FilterOp::Eq,
+            Value::Int(v)
+        )),
         Just(Clause::filter_wildcard("dept")),
         Just(Clause::filter("dept", FilterOp::Eq, Value::str("Sales"))),
     ]

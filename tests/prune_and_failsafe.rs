@@ -18,13 +18,20 @@ fn prune_keeps_strong_signal_top_k() {
     for c in 2..10 {
         b = b.float(
             &format!("x{c}"),
-            (0..n).map(|i| ((i * (c * 2654435761usize + 1)) % 9973) as f64).collect::<Vec<_>>(),
+            (0..n)
+                .map(|i| ((i * (c * 2654435761usize + 1)) % 9973) as f64)
+                .collect::<Vec<_>>(),
         );
     }
     let df = b.build().unwrap();
 
     let run = |prune: bool, cap: usize| -> Vec<String> {
-        let cfg = LuxConfig { prune, sample_cap: cap, top_k: 3, ..LuxConfig::default() };
+        let cfg = LuxConfig {
+            prune,
+            sample_cap: cap,
+            top_k: 3,
+            ..LuxConfig::default()
+        };
         let ldf = LuxDataFrame::with_config(df.clone(), Arc::new(cfg));
         let recs = ldf.recommendations();
         let corr = recs.iter().find(|r| r.action == "Correlation").unwrap();
@@ -33,7 +40,10 @@ fn prune_keeps_strong_signal_top_k() {
 
     let exact = run(false, 100);
     let pruned = run(true, 200);
-    assert_eq!(exact[0], pruned[0], "the unambiguous best pair survives pruning");
+    assert_eq!(
+        exact[0], pruned[0],
+        "the unambiguous best pair survives pruning"
+    );
     assert!(exact[0].contains("x0") && exact[0].contains("x1"));
     // exact scores on the final list either way
     let r = recall_at_k(&exact, &pruned, 3);
@@ -43,12 +53,19 @@ fn prune_keeps_strong_signal_top_k() {
 #[test]
 fn pruned_scores_are_recomputed_exactly() {
     let df = communities(3_000, 1);
-    let cfg = LuxConfig { prune: true, sample_cap: 300, ..LuxConfig::default() };
+    let cfg = LuxConfig {
+        prune: true,
+        sample_cap: 300,
+        ..LuxConfig::default()
+    };
     let ldf = LuxDataFrame::with_config(df, Arc::new(cfg));
     let recs = ldf.recommendations();
     let corr = recs.iter().find(|r| r.action == "Correlation").unwrap();
     for vis in corr.vislist.iter() {
-        assert!(!vis.approximate, "shipped scores must be exact (second pass)");
+        assert!(
+            !vis.approximate,
+            "shipped scores must be exact (second pass)"
+        );
         assert!((0.0..=1.0).contains(&vis.score));
     }
 }
@@ -61,7 +78,10 @@ fn pruned_scores_are_recomputed_exactly() {
 fn assert_prints(df: DataFrame, label: &str) {
     let ldf = LuxDataFrame::new(df);
     let widget = ldf.print();
-    assert!(!widget.table().is_empty(), "{label}: table view must render");
+    assert!(
+        !widget.table().is_empty(),
+        "{label}: table view must render"
+    );
 }
 
 #[test]
@@ -70,12 +90,20 @@ fn printing_never_panics_on_odd_frames() {
     assert_prints(DataFrame::empty(), "empty");
     // zero rows, some columns
     assert_prints(
-        DataFrameBuilder::new().float("x", Vec::<f64>::new()).str("s", Vec::<&str>::new()).build().unwrap(),
+        DataFrameBuilder::new()
+            .float("x", Vec::<f64>::new())
+            .str("s", Vec::<&str>::new())
+            .build()
+            .unwrap(),
         "zero rows",
     );
     // single row
     assert_prints(
-        DataFrameBuilder::new().float("x", [1.0]).str("s", ["a"]).build().unwrap(),
+        DataFrameBuilder::new()
+            .float("x", [1.0])
+            .str("s", ["a"])
+            .build()
+            .unwrap(),
         "single row",
     );
     // all-null column
@@ -86,7 +114,10 @@ fn printing_never_panics_on_odd_frames() {
     assert_prints(
         DataFrame::from_columns(vec![
             ("nulls".into(), Column::Float64(null_col)),
-            ("k".into(), Column::Str(StrColumn::from_strings(["a", "b", "c", "d", "e"]))),
+            (
+                "k".into(),
+                Column::Str(StrColumn::from_strings(["a", "b", "c", "d", "e"])),
+            ),
         ])
         .unwrap(),
         "all-null column",
@@ -103,7 +134,10 @@ fn printing_never_panics_on_odd_frames() {
     // NaN-heavy column
     assert_prints(
         DataFrameBuilder::new()
-            .float("nan", (0..20).map(|i| if i % 2 == 0 { f64::NAN } else { 1.0 }))
+            .float(
+                "nan",
+                (0..20).map(|i| if i % 2 == 0 { f64::NAN } else { 1.0 }),
+            )
             .float("v", (0..20).map(|i| i as f64))
             .build()
             .unwrap(),
@@ -123,7 +157,10 @@ fn printing_never_panics_on_odd_frames() {
 #[test]
 fn invalid_intent_degrades_to_table_with_diagnostics() {
     let mut ldf = LuxDataFrame::new(
-        DataFrameBuilder::new().float("x", (0..30).map(|i| i as f64)).build().unwrap(),
+        DataFrameBuilder::new()
+            .float("x", (0..30).map(|i| i as f64))
+            .build()
+            .unwrap(),
     );
     ldf.set_intent_strs(["nope", "x>abc"]).unwrap();
     let widget = ldf.print();

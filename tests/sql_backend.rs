@@ -10,7 +10,10 @@ use lux::vis::{process, Backend, ProcessOptions};
 
 fn fixture() -> DataFrame {
     DataFrameBuilder::new()
-        .str("dept", (0..200).map(|i| ["Sales", "Eng", "HR", "Legal"][i % 4]))
+        .str(
+            "dept",
+            (0..200).map(|i| ["Sales", "Eng", "HR", "Legal"][i % 4]),
+        )
         .str("level", (0..200).map(|i| ["jr", "sr"][i % 2]))
         .float("pay", (0..200).map(|i| 40.0 + ((i * 13) % 70) as f64))
         .float("age", (0..200).map(|i| 22.0 + ((i * 7) % 40) as f64))
@@ -19,12 +22,23 @@ fn fixture() -> DataFrame {
 }
 
 fn opts(backend: Backend) -> ProcessOptions {
-    ProcessOptions { backend, ..ProcessOptions::default() }
+    ProcessOptions {
+        backend,
+        ..ProcessOptions::default()
+    }
 }
 
 fn assert_frames_equal(native: &DataFrame, sql: &DataFrame, label: &str) {
-    assert_eq!(native.num_rows(), sql.num_rows(), "{label}: row counts differ");
-    assert_eq!(native.column_names(), sql.column_names(), "{label}: schemas differ");
+    assert_eq!(
+        native.num_rows(),
+        sql.num_rows(),
+        "{label}: row counts differ"
+    );
+    assert_eq!(
+        native.column_names(),
+        sql.column_names(),
+        "{label}: schemas differ"
+    );
     for r in 0..native.num_rows() {
         for c in native.column_names() {
             let (a, b) = (native.value(r, c).unwrap(), sql.value(r, c).unwrap());
@@ -151,14 +165,19 @@ fn heatmap_total_counts_agree() {
     let native = process(&spec, &df, &opts(Backend::Native)).unwrap();
     let sql = process(&spec, &df, &opts(Backend::Sql)).unwrap();
     let total = |d: &DataFrame| -> i64 {
-        (0..d.num_rows()).map(|i| d.value(i, "count").unwrap().as_f64().unwrap() as i64).sum()
+        (0..d.num_rows())
+            .map(|i| d.value(i, "count").unwrap().as_f64().unwrap() as i64)
+            .sum()
     };
     assert_eq!(total(&native), total(&sql));
 }
 
 #[test]
 fn full_print_runs_on_sql_backend() {
-    let cfg = LuxConfig { sql_backend: true, ..LuxConfig::default() };
+    let cfg = LuxConfig {
+        sql_backend: true,
+        ..LuxConfig::default()
+    };
     let ldf = LuxDataFrame::with_config(fixture(), Arc::new(cfg));
     let widget = ldf.print();
     assert!(widget.tabs().contains(&"Correlation"));
@@ -175,11 +194,19 @@ fn full_print_runs_on_sql_backend() {
 fn sql_and_native_prints_rank_identically() {
     let native = LuxDataFrame::with_config(
         fixture(),
-        Arc::new(LuxConfig { sql_backend: false, r#async: false, ..LuxConfig::default() }),
+        Arc::new(LuxConfig {
+            sql_backend: false,
+            r#async: false,
+            ..LuxConfig::default()
+        }),
     );
     let sql = LuxDataFrame::with_config(
         fixture(),
-        Arc::new(LuxConfig { sql_backend: true, r#async: false, ..LuxConfig::default() }),
+        Arc::new(LuxConfig {
+            sql_backend: true,
+            r#async: false,
+            ..LuxConfig::default()
+        }),
     );
     let (rn, rs) = (native.recommendations(), sql.recommendations());
     assert_eq!(rn.len(), rs.len());

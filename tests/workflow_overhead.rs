@@ -40,24 +40,36 @@ fn every_mutating_op_expires_cache() {
     let _ = base.print();
     assert!(base.is_fresh());
     let derived: Vec<(&str, LuxDataFrame)> = vec![
-        ("filter", base.filter("a", FilterOp::Gt, &Value::Float(5.0)).unwrap()),
+        (
+            "filter",
+            base.filter("a", FilterOp::Gt, &Value::Float(5.0)).unwrap(),
+        ),
         ("head", base.head(10)),
         ("tail", base.tail(10)),
         ("sample", base.sample(10, 1)),
         ("select", base.select(&["a", "g"]).unwrap()),
         ("drop_columns", base.drop_columns(&["b"]).unwrap()),
         ("sort_by", base.sort_by(&["a"], false).unwrap()),
-        ("with_column_from", base.with_column_from("a2", "a", |v| v.clone()).unwrap()),
+        (
+            "with_column_from",
+            base.with_column_from("a2", "a", |v| v.clone()).unwrap(),
+        ),
         ("rename", base.rename(&[("a", "alpha")]).unwrap()),
         ("dropna", base.dropna()),
         ("fillna", base.fillna("a", &Value::Float(0.0)).unwrap()),
         ("cut", base.cut("a", &["lo", "hi"], "a_level").unwrap()),
-        ("groupby_agg", base.groupby_agg(&["g"], &[("a", Agg::Mean)]).unwrap()),
+        (
+            "groupby_agg",
+            base.groupby_agg(&["g"], &[("a", Agg::Mean)]).unwrap(),
+        ),
         ("value_counts", base.value_counts("g").unwrap()),
         ("describe", base.describe().unwrap()),
     ];
     for (op, d) in derived {
-        assert!(!d.is_fresh(), "operation {op} must start with an expired cache");
+        assert!(
+            !d.is_fresh(),
+            "operation {op} must start with an expired cache"
+        );
     }
     // the base frame itself stays fresh (operations derive, never mutate)
     assert!(base.is_fresh());
@@ -70,7 +82,10 @@ fn intent_change_expires_recommendations_only() {
     let meta_before = df.metadata();
     df.set_intent_strs(["a"]).unwrap();
     assert!(!df.is_fresh());
-    assert!(Arc::ptr_eq(&meta_before, &df.metadata()), "metadata survives intent changes");
+    assert!(
+        Arc::ptr_eq(&meta_before, &df.metadata()),
+        "metadata survives intent changes"
+    );
 }
 
 #[test]
@@ -119,7 +134,11 @@ fn derived_frames_propagate_intent_and_overrides() {
     df.set_intent_strs(["a"]).unwrap();
     df.set_data_type("b", SemanticType::Nominal).unwrap();
     let derived = df.head(100);
-    assert_eq!(derived.intent().len(), 1, "intent propagates to derived frames");
+    assert_eq!(
+        derived.intent().len(),
+        1,
+        "intent propagates to derived frames"
+    );
     assert_eq!(
         derived.metadata().column("b").unwrap().semantic,
         SemanticType::Nominal,

@@ -23,11 +23,15 @@ pub struct BenchmarkId {
 
 impl BenchmarkId {
     pub fn new(function_name: impl Into<String>, parameter: impl fmt::Display) -> BenchmarkId {
-        BenchmarkId { label: format!("{}/{}", function_name.into(), parameter) }
+        BenchmarkId {
+            label: format!("{}/{}", function_name.into(), parameter),
+        }
     }
 
     pub fn from_parameter(parameter: impl fmt::Display) -> BenchmarkId {
-        BenchmarkId { label: parameter.to_string() }
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
     }
 }
 
@@ -83,13 +87,19 @@ pub struct Criterion {
 
 impl Default for Criterion {
     fn default() -> Criterion {
-        Criterion { budget: Duration::from_millis(300) }
+        Criterion {
+            budget: Duration::from_millis(300),
+        }
     }
 }
 
 impl Criterion {
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
-        BenchmarkGroup { parent: self, name: name.into(), budget: None }
+        BenchmarkGroup {
+            parent: self,
+            name: name.into(),
+            budget: None,
+        }
     }
 
     pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, f: F) -> &mut Criterion
@@ -159,7 +169,10 @@ pub enum Throughput {
 
 fn run_one<F: FnMut(&mut Bencher<'_>)>(label: &str, budget: Duration, mut f: F) {
     let mut samples: Vec<Duration> = Vec::new();
-    let mut b = Bencher { samples: &mut samples, budget };
+    let mut b = Bencher {
+        samples: &mut samples,
+        budget,
+    };
     f(&mut b);
     if samples.is_empty() {
         println!("{label:<50} (no samples)");
@@ -207,7 +220,9 @@ mod tests {
 
     #[test]
     fn runs_and_samples() {
-        let mut c = Criterion { budget: Duration::from_millis(20) };
+        let mut c = Criterion {
+            budget: Duration::from_millis(20),
+        };
         let mut g = c.benchmark_group("g");
         g.sample_size(10);
         let mut ran = 0usize;

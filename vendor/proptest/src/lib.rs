@@ -90,7 +90,11 @@ pub trait Strategy {
         Self: Sized,
         F: Fn(&Self::Value) -> bool,
     {
-        Filter { inner: self, f, reason }
+        Filter {
+            inner: self,
+            f,
+            reason,
+        }
     }
 
     /// Erase the concrete type (used by `prop_oneof!`).
@@ -98,7 +102,9 @@ pub trait Strategy {
     where
         Self: Sized + 'static,
     {
-        BoxedStrategy { gen: std::rc::Rc::new(move |rng| self.new_value(rng)) }
+        BoxedStrategy {
+            gen: std::rc::Rc::new(move |rng| self.new_value(rng)),
+        }
     }
 }
 
@@ -144,7 +150,10 @@ impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
                 return v;
             }
         }
-        panic!("prop_filter: gave up generating a value satisfying {:?}", self.reason);
+        panic!(
+            "prop_filter: gave up generating a value satisfying {:?}",
+            self.reason
+        );
     }
 }
 
@@ -155,7 +164,9 @@ pub struct BoxedStrategy<T> {
 
 impl<T> Clone for BoxedStrategy<T> {
     fn clone(&self) -> Self {
-        BoxedStrategy { gen: std::rc::Rc::clone(&self.gen) }
+        BoxedStrategy {
+            gen: std::rc::Rc::clone(&self.gen),
+        }
     }
 }
 
@@ -384,11 +395,10 @@ impl Strategy for &'static str {
             for _ in 0..count {
                 let c = match &piece.atom {
                     Atom::Literal(c) => *c,
-                    Atom::Dot => {
-                        (PRINTABLE.0 as u32 + rng.below((PRINTABLE.1 as u64) - (PRINTABLE.0 as u64) + 1) as u32)
-                            .try_into()
-                            .expect("printable ascii")
-                    }
+                    Atom::Dot => (PRINTABLE.0 as u32
+                        + rng.below((PRINTABLE.1 as u64) - (PRINTABLE.0 as u64) + 1) as u32)
+                        .try_into()
+                        .expect("printable ascii"),
                     Atom::Class(ranges) => {
                         let (lo, hi) = ranges[rng.below(ranges.len() as u64) as usize];
                         (lo as u32 + rng.below(hi as u64 - lo as u64 + 1) as u32)

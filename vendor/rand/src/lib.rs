@@ -147,7 +147,9 @@ pub mod rngs {
                 z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
                 z ^ (z >> 31)
             };
-            StdRng { s: [next(), next(), next(), next()] }
+            StdRng {
+                s: [next(), next(), next(), next()],
+            }
         }
     }
 
@@ -219,7 +221,10 @@ mod tests {
             counts[rng.gen_range(0usize..10)] += 1;
         }
         for c in counts {
-            assert!((700..1300).contains(&c), "bucket count {c} far from uniform");
+            assert!(
+                (700..1300).contains(&c),
+                "bucket count {c} far from uniform"
+            );
         }
     }
 }
