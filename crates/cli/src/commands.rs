@@ -741,6 +741,24 @@ mod tests {
     }
 
     #[test]
+    fn tight_budget_surfaces_governor_marker() {
+        let mut shell = Shell::new();
+        let mut config = LuxConfig::default();
+        config.budget.max_bytes = 1; // everything over budget from byte one
+        shell.insert_with_config("df", sample(), Arc::new(config));
+        let out = shell
+            .execute(parse_command("print").unwrap())
+            .unwrap()
+            .unwrap();
+        // the pass completes (no panic, tabs still render) and the widget
+        // carries the degradation marker
+        assert!(out.contains("governor"), "got: {out}");
+        // the always-on metrics picked the degradations up too
+        let stats = shell.execute(Command::Stats).unwrap().unwrap();
+        assert!(stats.contains("lux.governor"), "{stats}");
+    }
+
+    #[test]
     fn trace_command_parses_and_renders() {
         assert_eq!(
             parse_command("trace").unwrap(),

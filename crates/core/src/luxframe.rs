@@ -26,7 +26,7 @@ use lux_engine::sync::lock_recover;
 use lux_engine::trace::{
     names as metric, MetricsRegistry, MetricsSnapshot, SpanId, TraceCollector,
 };
-use lux_engine::{CachedSample, FrameMeta, LuxConfig, PassTrace, SemanticType};
+use lux_engine::{BudgetHandle, CachedSample, FrameMeta, LuxConfig, PassTrace, SemanticType};
 use lux_intent::{Clause, Diagnostic};
 use lux_recs::{ActionContext, ActionHealth, ActionRegistry, ActionResult};
 use lux_vis::{Vis, VisSpec};
@@ -263,12 +263,17 @@ impl LuxDataFrame {
     /// `wflow` is on). Every access counts as a memo query in the
     /// process-wide metrics (`lux.wflow.meta_memo_*`).
     pub fn metadata(&self) -> Arc<FrameMeta> {
-        self.metadata_traced(None)
+        self.metadata_traced(None, None)
     }
 
     /// [`LuxDataFrame::metadata`] recording per-column spans and the memo
-    /// hit/miss tag under `trace` when attached.
-    fn metadata_traced(&self, trace: Option<(&TraceCollector, SpanId)>) -> Arc<FrameMeta> {
+    /// hit/miss tag under `trace` when attached, and charging the pass
+    /// governor for its scans when one is attached.
+    fn metadata_traced(
+        &self,
+        trace: Option<(&TraceCollector, SpanId)>,
+        governor: Option<&BudgetHandle>,
+    ) -> Arc<FrameMeta> {
         let metrics = MetricsRegistry::global();
         let tag_memo = |outcome: &str| {
             if let Some((collector, id)) = trace {
@@ -285,7 +290,12 @@ impl LuxDataFrame {
             metrics.incr(metric::META_MEMO_MISS);
             tag_memo("miss");
             let computed = std::time::Instant::now();
-            let meta = Arc::new(FrameMeta::compute_traced(&self.df, &self.overrides, trace));
+            let meta = Arc::new(FrameMeta::compute_governed(
+                &self.df,
+                &self.overrides,
+                trace,
+                governor,
+            ));
             metrics.observe(metric::METADATA_LATENCY, computed.elapsed());
             cache.meta = Some(Arc::clone(&meta));
             meta
@@ -293,7 +303,12 @@ impl LuxDataFrame {
             metrics.incr(metric::META_MEMO_MISS);
             tag_memo("off");
             let computed = std::time::Instant::now();
-            let meta = Arc::new(FrameMeta::compute_traced(&self.df, &self.overrides, trace));
+            let meta = Arc::new(FrameMeta::compute_governed(
+                &self.df,
+                &self.overrides,
+                trace,
+                governor,
+            ));
             metrics.observe(metric::METADATA_LATENCY, computed.elapsed());
             meta
         }
@@ -332,12 +347,13 @@ impl LuxDataFrame {
     }
 
     fn compute_recommendations(&self) -> (Arc<Vec<ActionResult>>, Arc<Vec<ActionHealth>>) {
-        self.compute_recommendations_traced(None)
+        self.compute_recommendations_traced(None, None)
     }
 
     fn compute_recommendations_traced(
         &self,
         trace: Option<(&Arc<TraceCollector>, SpanId)>,
+        governor: Option<&Arc<BudgetHandle>>,
     ) -> (Arc<Vec<ActionResult>>, Arc<Vec<ActionHealth>>) {
         let meta = self.metadata();
         let specs = match trace {
@@ -360,6 +376,7 @@ impl LuxDataFrame {
                 sample,
                 trace: trace
                     .map(|(collector, span)| lux_recs::TraceCtx::new(Arc::clone(collector), span)),
+                governor: governor.cloned(),
             };
             lux_recs::run_actions_streaming(&self.registry, owned).collect_report()
         } else {
@@ -370,12 +387,13 @@ impl LuxDataFrame {
                 intent_specs: &specs,
                 config: &self.config,
             };
-            lux_recs::run_actions_report_traced(
+            lux_recs::run_actions_report_governed(
                 &self.registry,
                 &ctx,
                 sample.as_deref(),
                 None,
                 trace,
+                governor,
             )
         };
         if let Some(log) = &self.logger {
@@ -387,12 +405,13 @@ impl LuxDataFrame {
     }
 
     fn recommendations_with_health(&self) -> (Arc<Vec<ActionResult>>, Arc<Vec<ActionHealth>>) {
-        self.recommendations_with_health_traced(None)
+        self.recommendations_with_health_traced(None, None)
     }
 
     fn recommendations_with_health_traced(
         &self,
         trace: Option<(&Arc<TraceCollector>, SpanId)>,
+        governor: Option<&Arc<BudgetHandle>>,
     ) -> (Arc<Vec<ActionResult>>, Arc<Vec<ActionHealth>>) {
         let metrics = MetricsRegistry::global();
         let tag_memo = |outcome: &str| {
@@ -411,7 +430,7 @@ impl LuxDataFrame {
             } // release while computing (compute re-takes for meta)
             metrics.incr(metric::MEMO_MISS);
             tag_memo("miss");
-            let (recs, health) = self.compute_recommendations_traced(trace);
+            let (recs, health) = self.compute_recommendations_traced(trace, governor);
             let mut cache = lock_recover(&self.cache);
             cache.recommendations = Some(Arc::clone(&recs));
             cache.health = Some(Arc::clone(&health));
@@ -419,7 +438,7 @@ impl LuxDataFrame {
         } else {
             metrics.incr(metric::MEMO_MISS);
             tag_memo("off");
-            self.compute_recommendations_traced(trace)
+            self.compute_recommendations_traced(trace, governor)
         }
     }
 
@@ -454,6 +473,8 @@ impl LuxDataFrame {
             config: Arc::clone(&self.config),
             sample,
             trace: None,
+            // Each streaming run is its own pass; open a fresh budget.
+            governor: Some(Arc::new(BudgetHandle::new(self.config.budget.clone()))),
         };
         lux_recs::generate::run_actions_streaming(&self.registry, owned)
     }
@@ -482,19 +503,37 @@ impl LuxDataFrame {
     /// [`LuxDataFrame::last_trace`]) and updates the process-wide metrics.
     pub fn print(&self) -> Widget {
         let start = std::time::Instant::now();
+        // One budget per pass: every allocation-heavy step below (metadata
+        // scans, candidate enumeration, group-by/bin processing) charges
+        // this handle and degrades along the ladder instead of exhausting
+        // memory (DESIGN.md §8).
+        let governor = Arc::new(BudgetHandle::new(self.config.budget.clone()));
         let collector = TraceCollector::new();
         let root = collector.begin(None, "print");
         let table = collector.time(Some(root), "table", || self.df.to_table_string(10));
         // Metadata first (and traced): the validate/compile/action stages
         // below all read it through the memo.
         let meta_span = collector.begin(Some(root), "metadata");
-        let _ = self.metadata_traced(Some((collector.as_ref(), meta_span)));
+        let _ = self.metadata_traced(
+            Some((collector.as_ref(), meta_span)),
+            Some(governor.as_ref()),
+        );
         collector.end(meta_span);
         let diagnostics = collector.time(Some(root), "intent.validate", || self.validate_intent());
         let actions_span = collector.begin(Some(root), "actions");
-        let (results, health) =
-            self.recommendations_with_health_traced(Some((&collector, actions_span)));
+        let (results, health) = self
+            .recommendations_with_health_traced(Some((&collector, actions_span)), Some(&governor));
         collector.end(actions_span);
+        collector.tag(
+            root,
+            "governor.degrades",
+            governor.event_count().to_string(),
+        );
+        collector.tag(root, "governor.breached", governor.breached().to_string());
+        let governor_note = governor.summary();
+        if let Some(note) = &governor_note {
+            collector.tag(root, "governor.summary", note.clone());
+        }
         collector.end(root);
         let trace = Arc::new(collector.snapshot());
 
@@ -523,6 +562,7 @@ impl LuxDataFrame {
             self.df.num_rows(),
             self.df.num_columns(),
             Some(trace),
+            governor_note,
         )
     }
 

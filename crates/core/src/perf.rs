@@ -31,6 +31,11 @@ pub struct PassSummary {
     pub actions_disabled: usize,
     /// The slowest executed action and its duration, when any ran.
     pub slowest: Option<(String, Duration)>,
+    /// Degradation events recorded by the pass's resource governor
+    /// (0 when the pass ran entirely exact).
+    pub governor_degrades: usize,
+    /// Whether the pass memory budget was breached.
+    pub governor_breached: bool,
 }
 
 impl PassSummary {
@@ -61,6 +66,11 @@ impl PassSummary {
                 slowest = Some((name, span.duration()));
             }
         }
+        let root_tag = |key: &str| trace.span("print").and_then(|s| s.tag(key));
+        let governor_degrades = root_tag("governor.degrades")
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0);
+        let governor_breached = root_tag("governor.breached") == Some("true");
         PassSummary {
             total: trace.total(),
             table: stage("table"),
@@ -72,6 +82,8 @@ impl PassSummary {
             actions_failed: failed,
             actions_disabled: disabled,
             slowest,
+            governor_degrades,
+            governor_breached,
         }
     }
 
@@ -91,8 +103,21 @@ impl PassSummary {
 
     /// The one-line timing footer shown under the widget.
     pub fn footer(&self) -> String {
+        let governor = if self.governor_breached || self.governor_degrades > 0 {
+            format!(
+                " | governor {} degrade(s){}",
+                self.governor_degrades,
+                if self.governor_breached {
+                    ", budget breached"
+                } else {
+                    ""
+                }
+            )
+        } else {
+            String::new()
+        };
         format!(
-            "[pass {} | metadata {} | actions {} ({}) | memo {}]",
+            "[pass {} | metadata {} | actions {} ({}) | memo {}{governor}]",
             fmt_ms(self.total),
             fmt_ms(self.metadata),
             fmt_ms(self.actions),
@@ -113,7 +138,7 @@ impl PassSummary {
             None => String::new(),
         };
         format!(
-            "{{\"total_ms\": {:.3}, \"table_ms\": {:.3}, \"metadata_ms\": {:.3}, \"actions_ms\": {:.3}, \"memo\": \"{}\", \"ok\": {}, \"degraded\": {}, \"failed\": {}, \"disabled\": {}{slowest}}}",
+            "{{\"total_ms\": {:.3}, \"table_ms\": {:.3}, \"metadata_ms\": {:.3}, \"actions_ms\": {:.3}, \"memo\": \"{}\", \"ok\": {}, \"degraded\": {}, \"failed\": {}, \"disabled\": {}, \"governor_degrades\": {}, \"governor_breached\": {}{slowest}}}",
             self.total.as_secs_f64() * 1e3,
             self.table.as_secs_f64() * 1e3,
             self.metadata.as_secs_f64() * 1e3,
@@ -123,6 +148,8 @@ impl PassSummary {
             self.actions_degraded,
             self.actions_failed,
             self.actions_disabled,
+            self.governor_degrades,
+            self.governor_breached,
         )
     }
 }
@@ -179,6 +206,28 @@ mod tests {
         assert!(json.starts_with('{') && json.ends_with('}'));
         assert!(json.contains("\"memo\": \"miss\""));
         assert!(json.contains("\"slowest\""));
+    }
+
+    #[test]
+    fn governor_tags_flow_into_summary_and_footer() {
+        let c = TraceCollector::new();
+        let root = c.begin(None, "print");
+        c.tag(root, "governor.degrades", "3");
+        c.tag(root, "governor.breached", "true");
+        c.end(root);
+        let s = PassSummary::from_trace(&c.snapshot());
+        assert_eq!(s.governor_degrades, 3);
+        assert!(s.governor_breached);
+        let footer = s.footer();
+        assert!(
+            footer.contains("governor 3 degrade(s), budget breached"),
+            "{footer}"
+        );
+        let json = s.to_compact_json();
+        assert!(json.contains("\"governor_degrades\": 3"), "{json}");
+        // an exact pass keeps the footer clean
+        let clean = PassSummary::from_trace(&traced_pass()).footer();
+        assert!(!clean.contains("governor"), "{clean}");
     }
 
     #[test]

@@ -24,9 +24,13 @@ pub struct Widget {
     num_rows: usize,
     num_columns: usize,
     trace: Option<Arc<PassTrace>>,
+    /// One-line summary of resource-governor degradations during the pass
+    /// (`None` when everything ran exact within budget).
+    governor_note: Option<String>,
 }
 
 impl Widget {
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn new(
         table: String,
         results: Arc<Vec<ActionResult>>,
@@ -35,6 +39,7 @@ impl Widget {
         num_rows: usize,
         num_columns: usize,
         trace: Option<Arc<PassTrace>>,
+        governor_note: Option<String>,
     ) -> Widget {
         Widget {
             table,
@@ -44,12 +49,19 @@ impl Widget {
             num_rows,
             num_columns,
             trace,
+            governor_note,
         }
     }
 
     /// The span tree of the pass that produced this widget.
     pub fn trace(&self) -> Option<&Arc<PassTrace>> {
         self.trace.as_ref()
+    }
+
+    /// The resource-governor marker for this pass: which steps degraded and
+    /// why, or `None` when the pass ran entirely exact within its budget.
+    pub fn governor_note(&self) -> Option<&str> {
+        self.governor_note.as_deref()
     }
 
     /// The one-line per-pass timing footer (`None` for untraced widgets).
@@ -107,6 +119,9 @@ impl Widget {
         }
         for h in self.health_problems() {
             out.push_str(&format!("(!) action {h}\n"));
+        }
+        if let Some(note) = &self.governor_note {
+            out.push_str(&format!("(~) {note}\n"));
         }
         if self.results.is_empty() {
             out.push_str("(no recommendations: showing table view)\n");
@@ -204,6 +219,9 @@ impl std::fmt::Display for Widget {
                 .map(|h| format!("{}: {}", h.action, h.status.name()))
                 .collect();
             writeln!(f, "[action health: {}]", notes.join(", "))?;
+        }
+        if let Some(note) = &self.governor_note {
+            writeln!(f, "[{note}]")?;
         }
         if let Some(footer) = self.timing_footer() {
             writeln!(f, "{footer}")?;

@@ -483,6 +483,25 @@ impl Column {
         }
         mm
     }
+
+    /// Minimum and maximum over the numeric view, ignoring nulls, NaN, and
+    /// ±inf. Binning needs finite edges; an infinite endpoint would collapse
+    /// every value into one bin (or produce NaN widths).
+    pub fn min_max_finite(&self) -> Option<(f64, f64)> {
+        let mut mm: Option<(f64, f64)> = None;
+        for i in 0..self.len() {
+            if let Some(v) = self.f64_at(i) {
+                if !v.is_finite() {
+                    continue;
+                }
+                mm = Some(match mm {
+                    None => (v, v),
+                    Some((lo, hi)) => (lo.min(v), hi.max(v)),
+                });
+            }
+        }
+        mm
+    }
 }
 
 #[cfg(test)]

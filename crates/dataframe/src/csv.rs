@@ -105,12 +105,17 @@ pub fn read_csv_str(text: &str) -> Result<DataFrame> {
     assemble(header, raw)
 }
 
+/// Longest cell a permissive read will ingest, in bytes. Cells beyond this
+/// are truncated (at a char boundary) and reported — a single megabyte-long
+/// field must not become an unbounded string in every downstream clone.
+pub const MAX_CELL_BYTES: usize = 4096;
+
 /// Parse CSV text leniently: malformed records are repaired instead of
 /// aborting the read. Short records are padded with nulls, long records
-/// truncated to the header width, and an unterminated quoted field is
-/// closed at end of input; each repair lands in the returned
-/// [`ParseReport`]. A clean file yields the same frame as [`read_csv_str`]
-/// with an empty report.
+/// truncated to the header width, over-long cells truncated to
+/// [`MAX_CELL_BYTES`], and an unterminated quoted field is closed at end of
+/// input; each repair lands in the returned [`ParseReport`]. A clean file
+/// yields the same frame as [`read_csv_str`] with an empty report.
 pub fn read_csv_str_permissive(text: &str) -> Result<(DataFrame, ParseReport)> {
     let scan = scan_records(text)?;
     let mut report = ParseReport::default();
@@ -121,9 +126,12 @@ pub fn read_csv_str_permissive(text: &str) -> Result<(DataFrame, ParseReport)> {
         );
     }
     let mut it = scan.records.into_iter();
-    let header = it
+    let mut header = it
         .next()
         .ok_or_else(|| Error::Parse("empty CSV input".into()))?;
+    for field in &mut header {
+        cap_cell(field, 1, &mut report);
+    }
     let ncols = header.len();
     let mut raw: Vec<Vec<Option<String>>> = vec![Vec::new(); ncols];
     for (line_no, mut rec) in it.enumerate() {
@@ -146,7 +154,8 @@ pub fn read_csv_str_permissive(text: &str) -> Result<(DataFrame, ParseReport)> {
             );
             rec.truncate(ncols);
         }
-        for (c, field) in rec.into_iter().enumerate() {
+        for (c, mut field) in rec.into_iter().enumerate() {
+            cap_cell(&mut field, line_no + 2, &mut report);
             raw[c].push(if field.is_empty() { None } else { Some(field) });
         }
     }
@@ -155,6 +164,24 @@ pub fn read_csv_str_permissive(text: &str) -> Result<(DataFrame, ParseReport)> {
     report.issues.sort_by_key(|i| i.row);
 
     Ok((assemble(header, raw)?, report))
+}
+
+/// Truncate `field` to [`MAX_CELL_BYTES`] at a char boundary, recording the
+/// truncation against record `row`.
+fn cap_cell(field: &mut String, row: usize, report: &mut ParseReport) {
+    if field.len() <= MAX_CELL_BYTES {
+        return;
+    }
+    let mut cut = MAX_CELL_BYTES;
+    while !field.is_char_boundary(cut) {
+        cut -= 1;
+    }
+    let dropped = field.len() - cut;
+    field.truncate(cut);
+    report.push(
+        row,
+        format!("cell longer than {MAX_CELL_BYTES} bytes; truncated ({dropped} bytes dropped)"),
+    );
 }
 
 fn assemble(header: Vec<String>, raw: Vec<Vec<Option<String>>>) -> Result<DataFrame> {
@@ -473,6 +500,32 @@ mod tests {
         assert_eq!(format!("{report}"), "clean parse (no issues)");
         assert_eq!(lenient.num_rows(), strict.num_rows());
         assert_eq!(lenient.schema(), strict.schema());
+    }
+
+    #[test]
+    fn permissive_caps_huge_cells() {
+        let huge = "x".repeat(MAX_CELL_BYTES * 3);
+        let text = format!("a,b\n1,{huge}\n2,ok\n");
+        let (df, report) = read_csv_str_permissive(&text).unwrap();
+        let v = df.value(0, "b").unwrap();
+        assert_eq!(v.to_string().len(), MAX_CELL_BYTES);
+        assert_eq!(report.len(), 1);
+        assert_eq!(report.issues[0].row, 2);
+        assert!(report.issues[0].reason.contains("truncated"));
+        // strict mode is untouched
+        assert!(read_csv_str(&text).is_ok());
+    }
+
+    #[test]
+    fn cell_cap_respects_char_boundaries() {
+        // 3-byte chars straddling the cap must not split mid-char
+        let huge = "é".repeat(MAX_CELL_BYTES); // 2 bytes each
+        let text = format!("a\n{huge}\n");
+        let (df, report) = read_csv_str_permissive(&text).unwrap();
+        let v = df.value(0, "a").unwrap().to_string();
+        assert!(v.len() <= MAX_CELL_BYTES);
+        assert!(v.chars().all(|c| c == 'é'));
+        assert_eq!(report.len(), 1);
     }
 
     #[test]

@@ -25,25 +25,16 @@ impl DataFrame {
                 got: col.dtype().name(),
             });
         }
-        let (lo, hi) = col.min_max_f64().ok_or_else(|| {
-            Error::InvalidArgument(format!("column {column:?} has no valid values"))
+        let (lo, hi) = col.min_max_finite().ok_or_else(|| {
+            Error::InvalidArgument(format!("column {column:?} has no finite values"))
         })?;
         let nbins = labels.len();
-        let width = if hi > lo {
-            (hi - lo) / nbins as f64
-        } else {
-            1.0
-        };
 
         let mut out_col = StrColumn::new();
         for i in 0..col.len() {
             match col.f64_at(i) {
-                Some(v) if !v.is_nan() => {
-                    let mut b = ((v - lo) / width) as usize;
-                    if b >= nbins {
-                        b = nbins - 1; // the max value falls in the last bin
-                    }
-                    out_col.push(Some(labels[b]));
+                Some(v) if v.is_finite() => {
+                    out_col.push(Some(labels[bin_of(v, lo, hi, nbins)]));
                 }
                 _ => out_col.push(None),
             }
@@ -72,31 +63,41 @@ impl DataFrame {
                 got: col.dtype().name(),
             });
         }
-        let (lo, hi) = match col.min_max_f64() {
+        let (lo, hi) = match col.min_max_finite() {
             Some(mm) => mm,
             None => return Ok((vec![0.0; bins + 1], vec![0; bins])),
         };
-        let width = if hi > lo {
-            (hi - lo) / bins as f64
-        } else {
-            1.0
-        };
-        let edges: Vec<f64> = (0..=bins).map(|b| lo + width * b as f64).collect();
+        let edges: Vec<f64> = (0..=bins).map(|b| edge_of(b, lo, hi, bins)).collect();
         let mut counts = vec![0u64; bins];
         for i in 0..col.len() {
             if let Some(v) = col.f64_at(i) {
-                if v.is_nan() {
+                if !v.is_finite() {
                     continue;
                 }
-                let mut b = ((v - lo) / width) as usize;
-                if b >= bins {
-                    b = bins - 1;
-                }
-                counts[b] += 1;
+                counts[bin_of(v, lo, hi, bins)] += 1;
             }
         }
         Ok((edges, counts))
     }
+}
+
+/// Equal-width bin index of a finite `v` in `[lo, hi]`, overflow-safe: the
+/// half-span `hi/2 - lo/2` stays finite even when `hi - lo` would overflow
+/// (e.g. `lo = -f64::MAX`, `hi = f64::MAX`).
+pub(crate) fn bin_of(v: f64, lo: f64, hi: f64, nbins: usize) -> usize {
+    let half_span = hi * 0.5 - lo * 0.5;
+    if !(half_span > 0.0) {
+        return 0; // degenerate range: everything lands in the first bin
+    }
+    let pos = ((v * 0.5 - lo * 0.5) / half_span).clamp(0.0, 1.0);
+    ((pos * nbins as f64) as usize).min(nbins - 1)
+}
+
+/// Edge `b` of `nbins` equal-width bins over `[lo, hi]`, computed as a convex
+/// combination so extreme-magnitude endpoints never overflow to inf.
+pub(crate) fn edge_of(b: usize, lo: f64, hi: f64, nbins: usize) -> f64 {
+    let t = b as f64 / nbins as f64;
+    lo * (1.0 - t) + hi * t
 }
 
 #[cfg(test)]
@@ -149,6 +150,31 @@ mod tests {
             .unwrap();
         let (_, counts) = df.histogram("x", 4).unwrap();
         assert_eq!(counts.iter().sum::<u64>(), 3);
+    }
+
+    #[test]
+    fn histogram_ignores_non_finite_values() {
+        let df = DataFrameBuilder::new()
+            .float(
+                "x",
+                [f64::NEG_INFINITY, 1.0, 2.0, 3.0, f64::INFINITY, f64::NAN],
+            )
+            .build()
+            .unwrap();
+        let (edges, counts) = df.histogram("x", 4).unwrap();
+        assert!(edges.iter().all(|e| e.is_finite()), "{edges:?}");
+        assert_eq!(counts.iter().sum::<u64>(), 3);
+    }
+
+    #[test]
+    fn cut_extreme_range_does_not_overflow() {
+        let df = DataFrameBuilder::new()
+            .float("x", [-f64::MAX, 0.0, f64::MAX])
+            .build()
+            .unwrap();
+        let d = df.cut("x", &["lo", "hi"], "level").unwrap();
+        assert_eq!(d.value(0, "level").unwrap(), Value::str("lo"));
+        assert_eq!(d.value(2, "level").unwrap(), Value::str("hi"));
     }
 
     #[test]

@@ -54,18 +54,21 @@ impl DataFrame {
                 let frac = rank - lo as f64;
                 vals[lo] * (1.0 - frac) + vals[hi] * frac
             };
+            // Undefined or non-finite aggregates become nulls, never NaN:
+            // NaN would poison any ranking/sort consuming the describe frame.
+            let fin = |v: f64| v.is_finite().then_some(v);
             let stats = vec![
-                n as f64,
-                mean,
-                std,
-                if n > 0 { vals[0] } else { f64::NAN },
-                q(0.25),
-                q(0.50),
-                q(0.75),
-                if n > 0 { vals[n - 1] } else { f64::NAN },
+                Some(n as f64),
+                fin(mean),
+                fin(std),
+                if n > 0 { fin(vals[0]) } else { None },
+                fin(q(0.25)),
+                fin(q(0.50)),
+                fin(q(0.75)),
+                if n > 0 { fin(vals[n - 1]) } else { None },
             ];
             names.push(name.to_string());
-            cols.push(Arc::new(Column::Float64(PrimitiveColumn::from_values(
+            cols.push(Arc::new(Column::Float64(PrimitiveColumn::from_options(
                 stats,
             ))));
         }
@@ -108,6 +111,34 @@ mod tests {
         let d = df.describe().unwrap();
         assert_eq!(d.value(4, "x").unwrap(), Value::Float(2.5)); // 25%
         assert_eq!(d.value(6, "x").unwrap(), Value::Float(7.5)); // 75%
+    }
+
+    #[test]
+    fn describe_never_emits_nan() {
+        let df = DataFrameBuilder::new()
+            .float("empty", [f64::NAN, f64::NAN, f64::NAN])
+            .float("inf", [f64::INFINITY, 1.0, 2.0])
+            .float("single", [3.0, f64::NAN, f64::NAN])
+            .build()
+            .unwrap();
+        let d = df.describe().unwrap();
+        for name in ["empty", "inf", "single"] {
+            let col = d.column(name).unwrap();
+            for i in 0..col.len() {
+                if let Some(v) = col.f64_at(i) {
+                    assert!(v.is_finite(), "{name} row {i} produced {v}");
+                }
+            }
+        }
+        // NaN-only column: count is 0, every other stat is null.
+        assert_eq!(d.value(0, "empty").unwrap(), Value::Float(0.0));
+        assert_eq!(d.value(1, "empty").unwrap(), Value::Null);
+        // inf poisons mean/max but the count survives.
+        assert_eq!(d.value(0, "inf").unwrap(), Value::Float(3.0));
+        assert_eq!(d.value(1, "inf").unwrap(), Value::Null);
+        // single value: std undefined -> null, min/max defined.
+        assert_eq!(d.value(2, "single").unwrap(), Value::Null);
+        assert_eq!(d.value(3, "single").unwrap(), Value::Float(3.0));
     }
 
     #[test]

@@ -93,8 +93,12 @@ fn key_part(col: &Column, row: usize) -> KeyPart {
     match col {
         Column::Int64(c) | Column::DateTime(c) => c.get(row).map_or(KeyPart::Null, KeyPart::Int),
         Column::Float64(c) => c.get(row).map_or(KeyPart::Null, |v| {
+            // Normalize NaN to one bit pattern and -0.0 to +0.0 so values
+            // that compare equal always land in the same group.
             KeyPart::Bits(if v.is_nan() {
                 f64::NAN.to_bits()
+            } else if v == 0.0 {
+                0f64.to_bits()
             } else {
                 v.to_bits()
             })
@@ -113,11 +117,27 @@ pub struct GroupBy<'a> {
     group_of: Vec<u32>,
     /// first row index of each group, in first-seen order
     representatives: Vec<usize>,
+    /// Overflow group id when a cardinality cap cut enumeration short: every
+    /// key first seen after the cap folds into this group, rendered as
+    /// `"(other)"` (string keys) or null in the result.
+    overflow: Option<u32>,
 }
 
 impl DataFrame {
     /// Start a group-by over the named key columns.
     pub fn groupby(&self, keys: &[&str]) -> Result<GroupBy<'_>> {
+        self.groupby_impl(keys, usize::MAX)
+    }
+
+    /// Start a group-by that enumerates at most `max_groups` distinct keys;
+    /// any further distinct keys fold into a single overflow group ("top-K +
+    /// other"). This bounds the output cardinality — and therefore memory —
+    /// no matter how pathological the key column is.
+    pub fn groupby_capped(&self, keys: &[&str], max_groups: usize) -> Result<GroupBy<'_>> {
+        self.groupby_impl(keys, max_groups.max(1))
+    }
+
+    fn groupby_impl(&self, keys: &[&str], max_groups: usize) -> Result<GroupBy<'_>> {
         if keys.is_empty() {
             return Err(Error::InvalidArgument(
                 "groupby requires at least one key".into(),
@@ -127,28 +147,47 @@ impl DataFrame {
         let nrows = self.num_rows();
         let mut group_of = Vec::with_capacity(nrows);
         let mut representatives = Vec::new();
+        let mut overflow: Option<u32> = None;
 
         if key_cols.len() == 1 {
             let mut map: HashMap<KeyPart, u32> = HashMap::new();
             let col = key_cols[0];
             for row in 0..nrows {
                 let part = key_part(col, row);
-                let next = map.len() as u32;
-                let id = *map.entry(part).or_insert_with(|| {
-                    representatives.push(row);
-                    next
-                });
+                let id = match map.get(&part) {
+                    Some(&id) => id,
+                    None if map.len() < max_groups => {
+                        let next = representatives.len() as u32;
+                        representatives.push(row);
+                        map.insert(part, next);
+                        next
+                    }
+                    None => *overflow.get_or_insert_with(|| {
+                        let next = representatives.len() as u32;
+                        representatives.push(row);
+                        next
+                    }),
+                };
                 group_of.push(id);
             }
         } else {
             let mut map: HashMap<Vec<KeyPart>, u32> = HashMap::new();
             for row in 0..nrows {
                 let parts: Vec<KeyPart> = key_cols.iter().map(|c| key_part(c, row)).collect();
-                let next = map.len() as u32;
-                let id = *map.entry(parts).or_insert_with(|| {
-                    representatives.push(row);
-                    next
-                });
+                let id = match map.get(&parts) {
+                    Some(&id) => id,
+                    None if map.len() < max_groups => {
+                        let next = representatives.len() as u32;
+                        representatives.push(row);
+                        map.insert(parts, next);
+                        next
+                    }
+                    None => *overflow.get_or_insert_with(|| {
+                        let next = representatives.len() as u32;
+                        representatives.push(row);
+                        next
+                    }),
+                };
                 group_of.push(id);
             }
         }
@@ -158,6 +197,7 @@ impl DataFrame {
             keys: keys.iter().map(|s| s.to_string()).collect(),
             group_of,
             representatives,
+            overflow,
         })
     }
 
@@ -184,6 +224,13 @@ impl DataFrame {
         let counted = self.groupby(&[column])?.count()?;
         counted.sort_by(&["count"], false)
     }
+
+    /// [`DataFrame::value_counts`] with at most `max_groups` output rows:
+    /// values beyond the cap are folded into an `"(other)"` row.
+    pub fn value_counts_capped(&self, column: &str, max_groups: usize) -> Result<DataFrame> {
+        let counted = self.groupby_capped(&[column], max_groups)?.count()?;
+        counted.sort_by(&["count"], false)
+    }
 }
 
 impl GroupBy<'_> {
@@ -195,6 +242,11 @@ impl GroupBy<'_> {
     /// Group id for each row.
     pub fn group_ids(&self) -> &[u32] {
         &self.group_of
+    }
+
+    /// True when the `max_groups` cap fired and an overflow group exists.
+    pub fn is_capped(&self) -> bool {
+        self.overflow.is_some()
     }
 
     /// Count rows per group: output columns are the keys plus `"count"`.
@@ -366,12 +418,21 @@ impl GroupBy<'_> {
     /// the labeled index, which is what marks the frame "pre-aggregated" for
     /// Lux's structure-based recommendations.
     fn finish(&self, aggs: Vec<(String, Column)>, detail: &str) -> Result<DataFrame> {
+        // The overflow group's representative row carries an arbitrary key;
+        // patch it to "(other)" (string keys) or null so the fold is visible.
+        let gather = |source: &Column| -> Result<Column> {
+            let taken = source.take(&self.representatives);
+            match self.overflow {
+                Some(ov) => patch_row(&taken, ov as usize),
+                None => Ok(taken),
+            }
+        };
         let mut names = Vec::with_capacity(self.keys.len() + aggs.len());
         let mut cols: Vec<Arc<Column>> = Vec::with_capacity(self.keys.len() + aggs.len());
         for key in &self.keys {
             let source = self.df.column(key)?;
             names.push(key.clone());
-            cols.push(Arc::new(source.take(&self.representatives)));
+            cols.push(Arc::new(gather(source)?));
         }
         for (name, col) in aggs {
             if names.contains(&name) {
@@ -383,7 +444,7 @@ impl GroupBy<'_> {
         let index = if self.keys.len() == 1 {
             Index::labels(
                 Some(self.keys[0].clone()),
-                self.df.column(&self.keys[0])?.take(&self.representatives),
+                gather(self.df.column(&self.keys[0])?)?,
             )
         } else {
             // Multi-key group-bys carry a multi-level index (the paper's
@@ -391,7 +452,7 @@ impl GroupBy<'_> {
             let levels: Vec<Column> = self
                 .keys
                 .iter()
-                .map(|k| Ok(self.df.column(k)?.take(&self.representatives)))
+                .map(|k| gather(self.df.column(k)?))
                 .collect::<Result<_>>()?;
             Index::multi_labels(self.keys.iter().map(|k| Some(k.clone())).collect(), levels)
         };
@@ -402,6 +463,25 @@ impl GroupBy<'_> {
         .with_columns(self.keys.clone());
         Ok(self.df.derive_with_parent(names, cols, index, event))
     }
+}
+
+/// Rebuild `col` with row `row` replaced by `"(other)"` for string columns
+/// or null otherwise. O(len), and only ever applied to the (already capped)
+/// group-key gather, never to full-height data.
+fn patch_row(col: &Column, row: usize) -> Result<Column> {
+    let replacement = match col {
+        Column::Str(_) => Value::str("(other)"),
+        _ => Value::Null,
+    };
+    let mut out = Column::empty(col.dtype());
+    for i in 0..col.len() {
+        if i == row {
+            out.push_value(&replacement)?;
+        } else {
+            out.push_value(&col.value(i))?;
+        }
+    }
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -535,6 +615,62 @@ mod tests {
         assert_eq!(vc.value(0, "dept").unwrap(), Value::str("Sales"));
         assert_eq!(vc.value(0, "count").unwrap(), Value::Int(3));
         assert_eq!(vc.value(1, "count").unwrap(), Value::Int(2));
+    }
+
+    #[test]
+    fn capped_groupby_folds_overflow_into_other() {
+        let df = DataFrameBuilder::new()
+            .str("k", (0..100).map(|i| format!("key{i}")))
+            .int("v", 0..100)
+            .build()
+            .unwrap();
+        let g = df.groupby_capped(&["k"], 10).unwrap();
+        assert!(g.is_capped());
+        assert_eq!(g.num_groups(), 11); // 10 kept + "(other)"
+        let c = g.count().unwrap();
+        assert_eq!(c.num_rows(), 11);
+        let other = c
+            .filter("k", crate::ops::FilterOp::Eq, &Value::str("(other)"))
+            .unwrap();
+        assert_eq!(other.value(0, "count").unwrap(), Value::Int(90));
+        // counts still cover every input row
+        let total: i64 = (0..c.num_rows())
+            .map(|r| match c.value(r, "count").unwrap() {
+                Value::Int(n) => n,
+                _ => 0,
+            })
+            .sum();
+        assert_eq!(total, 100);
+        // the index label is patched too
+        assert!((0..11).any(|r| c.index().label(r) == Value::str("(other)")));
+    }
+
+    #[test]
+    fn capped_groupby_below_cap_is_exact() {
+        let df = df();
+        let g = df.groupby_capped(&["dept"], 10).unwrap();
+        assert!(!g.is_capped());
+        assert_eq!(g.num_groups(), 2);
+    }
+
+    #[test]
+    fn value_counts_capped_bounds_rows() {
+        let df = DataFrameBuilder::new().int("k", 0..50).build().unwrap();
+        let vc = df.value_counts_capped("k", 5).unwrap();
+        assert_eq!(vc.num_rows(), 6);
+        // numeric overflow key renders as null
+        assert!((0..6).any(|r| vc.value(r, "k").unwrap() == Value::Null));
+        assert_eq!(vc.value(0, "count").unwrap(), Value::Int(45)); // "(other)" sorts first
+    }
+
+    #[test]
+    fn negative_zero_groups_with_positive_zero() {
+        let df = DataFrameBuilder::new()
+            .float("x", [0.0, -0.0, 1.0])
+            .build()
+            .unwrap();
+        assert_eq!(df.groupby(&["x"]).unwrap().num_groups(), 2);
+        assert_eq!(df.cardinality("x").unwrap(), 2);
     }
 
     #[test]

@@ -2,6 +2,8 @@
 
 use std::time::Duration;
 
+use crate::governor::ResourceBudget;
+
 /// Global knobs controlling recommendation generation and the three
 /// optimizations, matching the experimental conditions of the paper (§9.1):
 /// `no-opt`, `wflow`, `wflow+prune`, and `all-opt` are all expressible by
@@ -46,6 +48,11 @@ pub struct LuxConfig {
     /// Fresh recommendation frames an open breaker waits before half-open
     /// re-probing the action.
     pub breaker_cooldown: u64,
+    /// Per-pass resource ceilings (memory, candidate count, group
+    /// cardinality, cell width). Each print pass opens one
+    /// [`crate::governor::BudgetHandle`] over this budget; see
+    /// DESIGN.md §8 for the degradation ladder it drives.
+    pub budget: ResourceBudget,
 }
 
 impl Default for LuxConfig {
@@ -64,6 +71,7 @@ impl Default for LuxConfig {
             action_budget: Some(Duration::from_secs(2)),
             breaker_threshold: 3,
             breaker_cooldown: 2,
+            budget: ResourceBudget::default(),
         }
     }
 }
@@ -130,5 +138,13 @@ mod tests {
         assert!(c.action_budget.is_some());
         assert!(c.breaker_threshold >= 1);
         assert!(c.breaker_cooldown >= 1);
+    }
+
+    #[test]
+    fn budget_defaults_are_finite() {
+        let c = LuxConfig::default();
+        assert!(c.budget.max_bytes < u64::MAX);
+        assert!(c.budget.max_candidates >= c.top_k);
+        assert!(c.budget.max_group_cardinality >= c.max_bars);
     }
 }

@@ -9,6 +9,10 @@
 //! - [`sample`] — cached, capped row samples for approximate scoring (§8.2);
 //! - [`config`] — the knobs that express the paper's experimental conditions
 //!   (`no-opt` / `wflow` / `wflow+prune` / `all-opt`);
+//! - [`governor`] — per-pass resource budgets and the degradation ladder
+//!   (exact → sampled → capped-cardinality → skipped) that keep the
+//!   always-on print path bounded in memory as well as latency
+//!   (DESIGN.md §8);
 //! - [`trace`] — the always-on span/metrics subsystem: every print pass
 //!   records a [`PassTrace`] span tree and feeds the process-wide
 //!   [`MetricsRegistry`] (see DESIGN.md §7).
@@ -20,6 +24,7 @@
 
 pub mod config;
 pub mod cost;
+pub mod governor;
 pub mod metadata;
 pub mod sample;
 pub mod sync;
@@ -27,6 +32,9 @@ pub mod trace;
 
 pub use config::LuxConfig;
 pub use cost::{CostModel, OpClass};
+pub use governor::{
+    cmp_cost_asc, cmp_score_desc, BudgetHandle, DegradeLevel, GovernorEvent, ResourceBudget,
+};
 pub use metadata::{ColumnMeta, FrameMeta, SemanticType};
 pub use sample::{CachedSample, DEFAULT_SAMPLE_CAP};
 pub use sync::lock_recover;

@@ -11,6 +11,8 @@ use std::collections::HashMap;
 
 use lux_dataframe::prelude::*;
 
+use crate::governor::{BudgetHandle, DegradeLevel};
+
 /// Semantic data type of a column (paper §8.1).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum SemanticType {
@@ -61,6 +63,16 @@ impl std::fmt::Display for SemanticType {
 /// enumeration and filter validation. Cardinality itself stays exact.
 pub const UNIQUE_VALUES_CAP: usize = 256;
 
+/// Ceiling on the distinct-value hash map built while scanning a non-string
+/// column. Below it, cardinality is exact; past it the scan stops and
+/// cardinality is extrapolated from the prefix density, so a near-unique
+/// numeric column of any height costs O(cap) memory, not O(rows).
+pub const UNIQUE_SCAN_CAP: usize = 65_536;
+
+/// Scan ceiling once a pass's memory budget is already breached (the
+/// governor's "sampled" rung for metadata).
+const DEGRADED_SCAN_CAP: usize = 4_096;
+
 /// Integer columns at or below this distinct-count are treated as nominal
 /// (e.g. ratings 1-5, month numbers), mirroring Lux's cardinality heuristic.
 pub const NOMINAL_INT_CARDINALITY: usize = 20;
@@ -71,7 +83,9 @@ pub struct ColumnMeta {
     pub name: String,
     pub dtype: DType,
     pub semantic: SemanticType,
-    /// Exact count of distinct non-null values.
+    /// Count of distinct non-null values. Exact for string columns and for
+    /// columns under [`UNIQUE_SCAN_CAP`] distinct values; extrapolated from
+    /// the scanned prefix beyond that (see [`unique_stats`]' cap).
     pub cardinality: usize,
     /// Up to [`UNIQUE_VALUES_CAP`] distinct values, first-seen order.
     pub unique_values: Vec<Value>,
@@ -106,6 +120,19 @@ impl FrameMeta {
         overrides: &HashMap<String, SemanticType>,
         trace: Option<(&crate::trace::TraceCollector, crate::trace::SpanId)>,
     ) -> FrameMeta {
+        Self::compute_governed(df, overrides, trace, None)
+    }
+
+    /// [`FrameMeta::compute_traced`] under a pass budget: per-column scans
+    /// charge the governor before allocating, shrink their distinct-value
+    /// scan when the byte budget is exhausted, and record every downgrade
+    /// as a [`crate::governor::GovernorEvent`].
+    pub fn compute_governed(
+        df: &DataFrame,
+        overrides: &HashMap<String, SemanticType>,
+        trace: Option<(&crate::trace::TraceCollector, crate::trace::SpanId)>,
+        governor: Option<&BudgetHandle>,
+    ) -> FrameMeta {
         let columns = df
             .column_names()
             .iter()
@@ -113,8 +140,13 @@ impl FrameMeta {
                 let col = df.column(name).expect("name enumerated from frame");
                 let span =
                     trace.map(|(c, parent)| (c, c.begin(Some(parent), format!("column:{name}"))));
-                let meta =
-                    compute_column_meta(name, col, df.num_rows(), overrides.get(name).copied());
+                let meta = compute_column_meta(
+                    name,
+                    col,
+                    df.num_rows(),
+                    overrides.get(name).copied(),
+                    governor,
+                );
                 if let Some((c, id)) = span {
                     c.tag(id, "cardinality", meta.cardinality.to_string());
                     c.tag(id, "semantic", meta.semantic.name());
@@ -149,8 +181,9 @@ fn compute_column_meta(
     col: &Column,
     num_rows: usize,
     override_type: Option<SemanticType>,
+    governor: Option<&BudgetHandle>,
 ) -> ColumnMeta {
-    let (cardinality, unique_values, unique_complete) = unique_stats(col);
+    let (cardinality, unique_values, unique_complete) = unique_stats(col, name, governor);
     let (min, max) = col
         .min_max_f64()
         .map_or((None, None), |(a, b)| (Some(a), Some(b)));
@@ -170,10 +203,22 @@ fn compute_column_meta(
     }
 }
 
-/// Distinct non-null values: exact count, capped materialized list.
-fn unique_stats(col: &Column) -> (usize, Vec<Value>, bool) {
+/// Distinct non-null values: exact count when it fits the scan cap, capped
+/// materialized list. With a governor, the scan charges its map allocation
+/// up front and shrinks to [`DEGRADED_SCAN_CAP`] once the pass byte budget
+/// is exhausted.
+fn unique_stats(
+    col: &Column,
+    name: &str,
+    governor: Option<&BudgetHandle>,
+) -> (usize, Vec<Value>, bool) {
     match col {
         Column::Str(c) => {
+            // Exact and already bounded: distinct values come from the
+            // dictionary, not a per-row map. Charge the code-set allocation.
+            if let Some(g) = governor {
+                g.try_charge(c.dict().len() as u64 * 4);
+            }
             let codes = c.used_codes();
             let cardinality = codes.len();
             let values: Vec<Value> = codes
@@ -185,17 +230,39 @@ fn unique_stats(col: &Column) -> (usize, Vec<Value>, bool) {
             (cardinality, values, complete)
         }
         _ => {
+            let mut scan_cap = UNIQUE_SCAN_CAP;
+            if let Some(g) = governor {
+                // ~48 bytes per occupied map slot (key + boxed value + load
+                // factor). Charged before allocating; on refusal the scan
+                // degrades to the sampled rung instead of allocating anyway.
+                let est = (col.len().min(scan_cap) as u64) * 48;
+                if !g.try_charge(est) {
+                    scan_cap = DEGRADED_SCAN_CAP;
+                    g.record(
+                        format!("metadata:{name}"),
+                        DegradeLevel::Sampled,
+                        "pass memory budget exhausted; distinct scan shrunk",
+                    );
+                }
+            }
             let mut seen: HashMap<u64, Value> = HashMap::new();
+            let mut valid_scanned = 0usize;
+            let mut capped = false;
             for i in 0..col.len() {
                 if !col.is_valid(i) {
                     continue;
                 }
+                valid_scanned += 1;
                 let v = col.value(i);
                 let key = match &v {
                     Value::Int(x) | Value::DateTime(x) => *x as u64,
                     Value::Float(x) => {
+                        // NaN to one pattern, -0.0 to +0.0: equal values
+                        // must count as one distinct value.
                         if x.is_nan() {
                             f64::NAN.to_bits()
+                        } else if *x == 0.0 {
+                            0f64.to_bits()
                         } else {
                             x.to_bits()
                         }
@@ -203,12 +270,36 @@ fn unique_stats(col: &Column) -> (usize, Vec<Value>, bool) {
                     Value::Bool(b) => *b as u64,
                     _ => 0,
                 };
+                if seen.len() >= scan_cap && !seen.contains_key(&key) {
+                    capped = true;
+                    break;
+                }
                 seen.entry(key).or_insert(v);
             }
-            let cardinality = seen.len();
+            let cardinality = if capped {
+                // Extrapolate from the scanned prefix's distinct density so
+                // near-unique columns still read as near-unique (Id
+                // detection depends on cardinality ≈ rows).
+                let total_valid = col.len() - col.null_count();
+                let density = seen.len() as f64 / valid_scanned.max(1) as f64;
+                ((density * total_valid as f64).round() as usize).clamp(seen.len(), total_valid)
+            } else {
+                seen.len()
+            };
+            if capped {
+                if let Some(g) = governor {
+                    g.record(
+                        format!("metadata:{name}"),
+                        DegradeLevel::CappedCardinality,
+                        format!(
+                            "distinct values exceed scan cap {scan_cap}; cardinality estimated"
+                        ),
+                    );
+                }
+            }
             let mut values: Vec<Value> = seen.into_values().take(UNIQUE_VALUES_CAP).collect();
             values.sort_by(|a, b| a.total_cmp(b));
-            let complete = cardinality <= UNIQUE_VALUES_CAP;
+            let complete = !capped && cardinality <= UNIQUE_VALUES_CAP;
             (cardinality, values, complete)
         }
     }
@@ -377,6 +468,55 @@ mod tests {
         assert_eq!(c.cardinality, 1000);
         assert_eq!(c.unique_values.len(), UNIQUE_VALUES_CAP);
         assert!(!c.unique_complete);
+    }
+
+    #[test]
+    fn negative_zero_counts_as_one_distinct_value() {
+        let df = DataFrameBuilder::new()
+            .float("x", [0.0, -0.0, 1.0])
+            .build()
+            .expect("build");
+        assert_eq!(meta_of(&df).column("x").expect("col").cardinality, 2);
+    }
+
+    #[test]
+    fn near_unique_scan_caps_but_extrapolates_cardinality() {
+        let n = UNIQUE_SCAN_CAP as i64 * 2;
+        let df = DataFrameBuilder::new()
+            .int("user_id", 0..n)
+            .build()
+            .expect("build");
+        let c = meta_of(&df);
+        let c = c.column("user_id").expect("col");
+        assert!(!c.unique_complete);
+        assert!(
+            c.cardinality as i64 > n * 9 / 10,
+            "extrapolated cardinality {} too far from true {}",
+            c.cardinality,
+            n
+        );
+        // Id detection still fires on the estimated near-unique cardinality.
+        assert_eq!(c.semantic, SemanticType::Id);
+    }
+
+    #[test]
+    fn governed_scan_degrades_and_records_events() {
+        use crate::governor::{BudgetHandle, ResourceBudget};
+        let df = DataFrameBuilder::new()
+            .int("x", 0..10_000)
+            .build()
+            .expect("build");
+        let h = BudgetHandle::new(ResourceBudget {
+            max_bytes: 1,
+            ..ResourceBudget::default()
+        });
+        let m = FrameMeta::compute_governed(&df, &HashMap::new(), None, Some(&h));
+        assert!(h.breached());
+        assert!(h.event_count() >= 1, "no governor events recorded");
+        // the degraded scan still produces usable metadata
+        let c = m.column("x").expect("col");
+        assert!(c.cardinality > 0);
+        assert_eq!(c.semantic, SemanticType::Quantitative);
     }
 
     #[test]

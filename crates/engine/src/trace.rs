@@ -395,6 +395,12 @@ pub mod names {
     pub const ACTIONS_DEGRADED: &str = "lux.actions.degraded";
     pub const ACTIONS_FAILED: &str = "lux.actions.failed";
     pub const ACTIONS_DISABLED: &str = "lux.actions.disabled";
+    /// Counter: resource-governor degradations (any rung below exact).
+    pub const GOVERNOR_DEGRADES: &str = "lux.governor.degrades";
+    /// Counter: steps the governor skipped outright (bottom rung).
+    pub const GOVERNOR_SKIPS: &str = "lux.governor.skips";
+    /// Counter: memory-budget breaches (a charge that crossed the byte cap).
+    pub const GOVERNOR_BREACHES: &str = "lux.governor.breaches";
     /// Histogram: end-to-end print latency.
     pub const PRINT_LATENCY: &str = "lux.print.latency";
     /// Histogram: per-action execution latency.

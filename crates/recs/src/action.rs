@@ -59,6 +59,7 @@ impl ActionContext<'_> {
             } else {
                 lux_vis::Backend::Native
             },
+            max_group_cardinality: self.config.budget.max_group_cardinality,
             ..ProcessOptions::default()
         }
     }

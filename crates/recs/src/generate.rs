@@ -19,6 +19,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use lux_dataframe::prelude::*;
+use lux_engine::governor::{BudgetHandle, DegradeLevel};
 use lux_engine::trace::{names as metric, MetricsRegistry, SpanId, TraceCollector};
 #[cfg(test)]
 use lux_engine::LuxConfig;
@@ -120,14 +121,34 @@ fn execute_prepared(
     ctx: &ActionContext<'_>,
     sample: Option<&DataFrame>,
     model: &CostModel,
-    candidates: Vec<Candidate>,
+    mut candidates: Vec<Candidate>,
     trace: Option<&TraceCtx>,
+    governor: Option<&Arc<BudgetHandle>>,
 ) -> std::result::Result<Option<ActionResult>, ActionError> {
     let start = Instant::now();
     if candidates.is_empty() {
         return Ok(None);
     }
-    let opts = ctx.process_options();
+    let mut opts = ctx.process_options();
+    opts.governor = governor.cloned();
+    // Governor: the candidate search space is the first allocation-heavy
+    // surface of an action — cap it before any scoring/processing happens.
+    let mut governor_notes: Vec<String> = Vec::new();
+    let max_candidates = ctx.config.budget.max_candidates;
+    if candidates.len() > max_candidates {
+        let dropped = candidates.len() - max_candidates;
+        candidates.truncate(max_candidates);
+        let note = format!("candidate search space capped at {max_candidates} ({dropped} dropped)");
+        if let Some(g) = governor {
+            g.record(
+                format!("action:{}", action.name()),
+                DegradeLevel::CappedCardinality,
+                note.clone(),
+            );
+        }
+        governor_notes.push(note);
+    }
+    let governor_events_before = governor.map_or(0, |g| g.event_count());
     let estimated_cost = estimate_action(&candidates, ctx.meta, ctx.df.num_rows(), model);
     let k = ctx.config.top_k;
     let total = candidates.len();
@@ -243,7 +264,9 @@ fn execute_prepared(
             total,
         });
     }
-    scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+    // NaN scores sort last deterministically (an action whose statistic
+    // degenerates must never float to the top of the ranking).
+    scored.sort_by(|a, b| lux_engine::cmp_score_desc(a.1, b.1));
     scored.truncate(k);
 
     // Second pass: recompute approximate scores exactly and process the
@@ -319,13 +342,35 @@ fn execute_prepared(
     let mut vislist = VisList::new(visses);
     vislist.rank();
 
+    // Governor degradations during scoring/processing (group caps, shrunk
+    // scans, ...) surface on the result even though the deadline never
+    // fired: the tab is marked degraded with the governor's reasons.
+    if let Some(g) = governor {
+        let events = g.event_count().saturating_sub(governor_events_before);
+        if events > 0 {
+            governor_notes.push(format!(
+                "resource governor degraded {events} processing step(s)"
+            ));
+        }
+        if let Some(t) = trace {
+            t.tag("governor.events", events.to_string());
+        }
+    }
+    let degraded = degraded_reason.is_some() || !governor_notes.is_empty();
+    let degraded_reason = match (degraded_reason, governor_notes.is_empty()) {
+        (Some(r), true) => Some(r),
+        (Some(r), false) => Some(format!("{r}; {}", governor_notes.join("; "))),
+        (None, false) => Some(governor_notes.join("; ")),
+        (None, true) => None,
+    };
+
     Ok(Some(ActionResult {
         action: action.name().to_string(),
         class: action.class(),
         vislist,
         estimated_cost,
         elapsed: start.elapsed().as_secs_f64(),
-        degraded: degraded_reason.is_some(),
+        degraded,
         degraded_reason,
     }))
 }
@@ -353,6 +398,21 @@ pub fn execute_action_traced(
     model: &CostModel,
     trace: Option<&TraceCtx>,
 ) -> std::result::Result<Option<ActionResult>, ActionError> {
+    execute_action_governed(action, ctx, sample, model, trace, None)
+}
+
+/// [`execute_action_traced`] with an optional resource governor: candidate
+/// enumeration is capped at `config.budget.max_candidates`, processing runs
+/// with the governor attached (group-cardinality caps, scan shrinking), and
+/// any degradation surfaces on the result and the trace.
+pub fn execute_action_governed(
+    action: &dyn Action,
+    ctx: &ActionContext<'_>,
+    sample: Option<&DataFrame>,
+    model: &CostModel,
+    trace: Option<&TraceCtx>,
+    governor: Option<&Arc<BudgetHandle>>,
+) -> std::result::Result<Option<ActionResult>, ActionError> {
     let candidates = match trace {
         Some(t) => {
             let gen_span = t.child("generate");
@@ -366,7 +426,7 @@ pub fn execute_action_traced(
         }
         None => generate_isolated(action, ctx)?,
     };
-    execute_prepared(action, ctx, sample, model, candidates, trace)
+    execute_prepared(action, ctx, sample, model, candidates, trace, governor)
 }
 
 /// Fault-blind convenience wrapper around [`execute_action_guarded`]:
@@ -517,8 +577,23 @@ pub fn run_actions_report_traced(
     registry: &ActionRegistry,
     ctx: &ActionContext<'_>,
     sample: Option<&DataFrame>,
+    on_result: Option<&mut dyn FnMut(&ActionResult)>,
+    trace: Option<(&Arc<TraceCollector>, SpanId)>,
+) -> RunReport {
+    run_actions_report_governed(registry, ctx, sample, on_result, trace, None)
+}
+
+/// [`run_actions_report_traced`] with an optional per-pass resource
+/// governor shared by every action in the pass (see
+/// `lux_engine::governor`): allocation-heavy steps degrade against the
+/// shared budget instead of exhausting memory.
+pub fn run_actions_report_governed(
+    registry: &ActionRegistry,
+    ctx: &ActionContext<'_>,
+    sample: Option<&DataFrame>,
     mut on_result: Option<&mut dyn FnMut(&ActionResult)>,
     trace: Option<(&Arc<TraceCollector>, SpanId)>,
+    governor: Option<&Arc<BudgetHandle>>,
 ) -> RunReport {
     let model = CostModel::default();
     let breaker = registry.breaker();
@@ -587,7 +662,7 @@ pub fn run_actions_report_traced(
             ),
         }
     }
-    prepared.sort_by(|a, b| a.2.partial_cmp(&b.2).unwrap_or(std::cmp::Ordering::Equal));
+    prepared.sort_by(|a, b| lux_engine::cmp_cost_asc(a.2, b.2));
     if let Some((collector, _)) = trace {
         for (order, (_, _, _, span)) in prepared.iter().enumerate() {
             if let Some(id) = span {
@@ -615,6 +690,7 @@ pub fn run_actions_report_traced(
                     _ => None,
                 };
                 let tx = tx.clone();
+                let gov = governor.cloned();
                 scope.spawn(move || {
                     let outcome = execute_prepared(
                         action.as_ref(),
@@ -623,6 +699,7 @@ pub fn run_actions_report_traced(
                         model_ref,
                         candidates,
                         tctx.as_ref(),
+                        gov.as_ref(),
                     );
                     let _ = tx.send((action.name().to_string(), outcome));
                 });
@@ -654,6 +731,7 @@ pub fn run_actions_report_traced(
                 &model,
                 candidates,
                 tctx.as_ref(),
+                governor,
             );
             absorb_outcome(
                 action.name(),
@@ -667,12 +745,10 @@ pub fn run_actions_report_traced(
         }
     }
 
-    // Deterministic display order: cheapest action first.
-    report.results.sort_by(|a, b| {
-        a.estimated_cost
-            .partial_cmp(&b.estimated_cost)
-            .unwrap_or(std::cmp::Ordering::Equal)
-    });
+    // Deterministic display order: cheapest action first (NaN costs last).
+    report
+        .results
+        .sort_by(|a, b| lux_engine::cmp_cost_asc(a.estimated_cost, b.estimated_cost));
     report
 }
 
@@ -970,6 +1046,9 @@ pub struct OwnedContext {
     /// Trace attachment for the pass (the span is the parent under which
     /// per-action spans are recorded); `None` runs untraced.
     pub trace: Option<TraceCtx>,
+    /// Per-pass resource governor shared by every worker; `None` runs
+    /// ungoverned (no budget enforcement).
+    pub governor: Option<Arc<BudgetHandle>>,
 }
 
 impl OwnedContext {
@@ -1031,11 +1110,7 @@ impl StreamingRun {
     /// abandons them) and return results plus the health ledger.
     pub fn collect_report(self) -> RunReport {
         let mut results: Vec<ActionResult> = self.results.iter().collect();
-        results.sort_by(|a, b| {
-            a.estimated_cost
-                .partial_cmp(&b.estimated_cost)
-                .unwrap_or(std::cmp::Ordering::Equal)
-        });
+        results.sort_by(|a, b| lux_engine::cmp_cost_asc(a.estimated_cost, b.estimated_cost));
         let health = self.health.iter().collect();
         RunReport { results, health }
     }
@@ -1119,12 +1194,13 @@ pub fn run_actions_streaming(registry: &ActionRegistry, owned: OwnedContext) -> 
         std::thread::spawn(move || {
             let model = CostModel::default();
             let ctx = owned.action_context();
-            let outcome = execute_action_traced(
+            let outcome = execute_action_governed(
                 action.as_ref(),
                 &ctx,
                 owned.sample.as_deref(),
                 &model,
                 action_trace.as_ref(),
+                owned.governor.as_ref(),
             );
             let _ = worker_tx.send((action.name().to_string(), outcome));
         });
@@ -1236,6 +1312,7 @@ mod streaming_tests {
             config: Arc::new(config),
             sample: None,
             trace: None,
+            governor: None,
         }
     }
 

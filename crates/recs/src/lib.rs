@@ -23,8 +23,9 @@ pub use fault::{
     ActionError, ActionHealth, ActionStatus, ChaosAction, ChaosMode, CircuitBreaker, RunReport,
 };
 pub use generate::{
-    execute_action, execute_action_guarded, execute_action_traced, run_actions, run_actions_report,
-    run_actions_report_traced, run_actions_streaming, OwnedContext, StreamingRun, TraceCtx,
+    execute_action, execute_action_governed, execute_action_guarded, execute_action_traced,
+    run_actions, run_actions_report, run_actions_report_governed, run_actions_report_traced,
+    run_actions_streaming, OwnedContext, StreamingRun, TraceCtx,
 };
 
 /// Every default action of Table 1, in taxonomy order.

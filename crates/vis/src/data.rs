@@ -5,7 +5,10 @@
 //! decoupled from the source data (the paper's WYSIWYG rule: recommendations
 //! are views, they never mutate the user's dataframe).
 
+use std::sync::Arc;
+
 use lux_dataframe::prelude::*;
+use lux_engine::governor::{BudgetHandle, DegradeLevel};
 
 use crate::spec::{Channel, Mark, VisSpec};
 
@@ -39,6 +42,13 @@ pub struct ProcessOptions {
     /// Line charts over temporal axes with more distinct instants than this
     /// are resampled into this many equal-width time buckets.
     pub temporal_buckets: usize,
+    /// Hard ceiling on group-by output cardinality during processing: keys
+    /// beyond it fold into a single `"(other)"` group, so a near-unique
+    /// axis can never materialize millions of groups.
+    pub max_group_cardinality: usize,
+    /// Per-pass budget handle; when set, allocation-heavy steps charge it
+    /// and record their degradations.
+    pub governor: Option<Arc<BudgetHandle>>,
 }
 
 impl Default for ProcessOptions {
@@ -51,6 +61,8 @@ impl Default for ProcessOptions {
             seed: 7,
             backend: Backend::Native,
             temporal_buckets: 64,
+            max_group_cardinality: 1_000,
+            governor: None,
         }
     }
 }
@@ -138,7 +150,30 @@ fn process_group_agg(spec: &VisSpec, df: &DataFrame, opts: &ProcessOptions) -> R
             keys.push(c);
         }
     }
-    let gb = df.groupby(&keys)?;
+    // Grouping cost is ~8 bytes/row (group-id vector + hash-map entries up
+    // to the cap); charge it, and tighten the cap to the displayable bar
+    // count once the pass budget is spent.
+    let mut group_cap = opts.max_group_cardinality;
+    if let Some(g) = &opts.governor {
+        if !g.try_charge(df.num_rows() as u64 * 8) {
+            group_cap = group_cap.min(opts.max_bars.max(1));
+            g.record(
+                format!("process:{x}"),
+                DegradeLevel::CappedCardinality,
+                "pass memory budget exhausted; group cap tightened",
+            );
+        }
+    }
+    let gb = df.groupby_capped(&keys, group_cap)?;
+    if gb.is_capped() {
+        if let Some(g) = &opts.governor {
+            g.record(
+                format!("process:{x}"),
+                DegradeLevel::CappedCardinality,
+                format!("distinct group keys exceed cap {group_cap}; folded into \"(other)\""),
+            );
+        }
+    }
 
     let y_enc = spec.channel(Channel::Y);
     let grouped = match y_enc {
@@ -196,18 +231,8 @@ fn process_heatmap(spec: &VisSpec, df: &DataFrame, opts: &ProcessOptions) -> Res
     let color = spec.channel(Channel::Color).filter(|e| !e.synthetic);
     let ccol = color.map(|e| df.column(&e.attribute)).transpose()?;
 
-    let (xlo, xhi) = xcol.min_max_f64().unwrap_or((0.0, 1.0));
-    let (ylo, yhi) = ycol.min_max_f64().unwrap_or((0.0, 1.0));
-    let xw = if xhi > xlo {
-        (xhi - xlo) / xb as f64
-    } else {
-        1.0
-    };
-    let yw = if yhi > ylo {
-        (yhi - ylo) / yb as f64
-    } else {
-        1.0
-    };
+    let (xlo, xhi) = xcol.min_max_finite().unwrap_or((0.0, 1.0));
+    let (ylo, yhi) = ycol.min_max_finite().unwrap_or((0.0, 1.0));
 
     let mut counts = vec![0i64; xb * yb];
     let mut sums = vec![0f64; xb * yb];
@@ -215,11 +240,11 @@ fn process_heatmap(spec: &VisSpec, df: &DataFrame, opts: &ProcessOptions) -> Res
         let (Some(xv), Some(yv)) = (xcol.f64_at(i), ycol.f64_at(i)) else {
             continue;
         };
-        if xv.is_nan() || yv.is_nan() {
+        if !xv.is_finite() || !yv.is_finite() {
             continue;
         }
-        let bx = (((xv - xlo) / xw) as usize).min(xb - 1);
-        let by = (((yv - ylo) / yw) as usize).min(yb - 1);
+        let bx = bin_idx(xv, xlo, xhi, xb);
+        let by = bin_idx(yv, ylo, yhi, yb);
         let cell = by * xb + bx;
         counts[cell] += 1;
         if let Some(c) = &ccol {
@@ -242,8 +267,8 @@ fn process_heatmap(spec: &VisSpec, df: &DataFrame, opts: &ProcessOptions) -> Res
             if counts[cell] == 0 {
                 continue;
             }
-            xs.push(xlo + xw * bx as f64);
-            ys.push(ylo + yw * by as f64);
+            xs.push(bin_edge(bx, xlo, xhi, xb));
+            ys.push(bin_edge(by, ylo, yhi, yb));
             ns.push(counts[cell]);
             cs.push(sums[cell] / counts[cell] as f64);
         }
@@ -262,18 +287,35 @@ fn process_heatmap(spec: &VisSpec, df: &DataFrame, opts: &ProcessOptions) -> Res
 /// equal-width time buckets (bucket-start timestamps).
 fn resample_temporal(df: &DataFrame, column: &str, buckets: usize) -> Result<DataFrame> {
     let col = df.column(column)?;
-    let (lo, hi) = col.min_max_f64().unwrap_or((0.0, 1.0));
-    let width = ((hi - lo) / buckets.max(1) as f64).max(1.0);
+    let (lo, hi) = col.min_max_finite().unwrap_or((0.0, 1.0));
+    let buckets = buckets.max(1);
     let binned: Vec<Value> = (0..col.len())
         .map(|i| match col.f64_at(i) {
-            Some(v) => {
-                let b = (((v - lo) / width) as usize).min(buckets - 1);
-                Value::DateTime((lo + b as f64 * width) as i64)
+            Some(v) if v.is_finite() => {
+                let b = bin_idx(v, lo, hi, buckets);
+                Value::DateTime(bin_edge(b, lo, hi, buckets) as i64)
             }
-            None => Value::Null,
+            _ => Value::Null,
         })
         .collect();
     df.with_column(column, Column::from_values(&binned)?)
+}
+
+/// Equal-width bin index of a finite `v` over `[lo, hi]`. The half-span
+/// form stays finite even when `hi - lo` would overflow to inf.
+fn bin_idx(v: f64, lo: f64, hi: f64, nbins: usize) -> usize {
+    let half_span = hi * 0.5 - lo * 0.5;
+    if !(half_span > 0.0) {
+        return 0;
+    }
+    let pos = ((v * 0.5 - lo * 0.5) / half_span).clamp(0.0, 1.0);
+    ((pos * nbins as f64) as usize).min(nbins - 1)
+}
+
+/// Start edge of bin `b`, computed as a convex combination (overflow-safe).
+fn bin_edge(b: usize, lo: f64, hi: f64, nbins: usize) -> f64 {
+    let t = b as f64 / nbins as f64;
+    lo * (1.0 - t) + hi * t
 }
 
 #[cfg(test)]
@@ -541,5 +583,62 @@ mod tests {
     fn missing_encoding_errors() {
         let spec = VisSpec::new(Mark::Scatter, vec![], vec![]);
         assert!(process(&spec, &sample_df(), &opts()).is_err());
+    }
+
+    #[test]
+    fn near_unique_bar_axis_is_cardinality_capped() {
+        use lux_engine::governor::ResourceBudget;
+        let df = DataFrameBuilder::new()
+            .str("k", (0..500).map(|i| format!("k{i}")))
+            .float("v", (0..500).map(|i| i as f64))
+            .build()
+            .unwrap();
+        let spec = VisSpec::new(
+            Mark::Bar,
+            vec![
+                Encoding::new("k", SemanticType::Nominal, Channel::X),
+                Encoding::synthetic_count(Channel::Y),
+            ],
+            vec![],
+        );
+        let gov = Arc::new(BudgetHandle::new(ResourceBudget::default()));
+        let o = ProcessOptions {
+            max_group_cardinality: 50,
+            governor: Some(gov.clone()),
+            ..opts()
+        };
+        let out = process(&spec, &df, &o).unwrap();
+        assert!(out.num_rows() <= o.max_bars);
+        // the fold is recorded and the "(other)" bar carries the overflow
+        assert!(gov.event_count() >= 1, "no governor event for the cap");
+        assert_eq!(out.value(0, "k").unwrap(), Value::str("(other)"));
+        assert_eq!(out.value(0, "count").unwrap(), Value::Int(450));
+    }
+
+    #[test]
+    fn heatmap_survives_inf_values() {
+        let df = DataFrameBuilder::new()
+            .float("a", [f64::INFINITY, 1.0, 2.0, 3.0, f64::NEG_INFINITY])
+            .float("b", [1.0, 2.0, f64::NAN, 4.0, 5.0])
+            .build()
+            .unwrap();
+        let spec = VisSpec::new(
+            Mark::Heatmap,
+            vec![
+                Encoding::new("a", SemanticType::Quantitative, Channel::X).with_bin(4),
+                Encoding::new("b", SemanticType::Quantitative, Channel::Y).with_bin(4),
+            ],
+            vec![],
+        );
+        let out = process(&spec, &df, &opts()).unwrap();
+        // only the two fully-finite rows land in cells, at finite coords
+        let total: i64 = (0..out.num_rows())
+            .map(|i| out.value(i, "count").unwrap().as_f64().unwrap() as i64)
+            .sum();
+        assert_eq!(total, 2);
+        for i in 0..out.num_rows() {
+            assert!(out.value(i, "a").unwrap().as_f64().unwrap().is_finite());
+            assert!(out.value(i, "b").unwrap().as_f64().unwrap().is_finite());
+        }
     }
 }

@@ -72,13 +72,12 @@ impl VisList {
         self.visualizations.iter()
     }
 
-    /// Sort by score descending (stable, so spec order breaks ties).
+    /// Sort by score descending (stable, so spec order breaks ties). NaN
+    /// scores sort last deterministically — `partial_cmp` fallbacks would
+    /// leave their position dependent on the sort's visit order.
     pub fn rank(&mut self) {
-        self.visualizations.sort_by(|a, b| {
-            b.score
-                .partial_cmp(&a.score)
-                .unwrap_or(std::cmp::Ordering::Equal)
-        });
+        self.visualizations
+            .sort_by(|a, b| lux_engine::cmp_score_desc(a.score, b.score));
     }
 
     /// Keep the top `k` by current order.
@@ -151,6 +150,18 @@ mod tests {
         list.visualizations[1].score = 0.9;
         list.rank();
         assert_eq!(list.visualizations[0].score, 0.9);
+    }
+
+    #[test]
+    fn rank_sorts_nan_last() {
+        let mut list = VisList::from_specs(vec![spec("a", "b"), spec("b", "a"), spec("a", "b")]);
+        list.visualizations[0].score = f64::NAN;
+        list.visualizations[1].score = 0.3;
+        list.visualizations[2].score = 0.7;
+        list.rank();
+        assert_eq!(list.visualizations[0].score, 0.7);
+        assert_eq!(list.visualizations[1].score, 0.3);
+        assert!(list.visualizations[2].score.is_nan());
     }
 
     #[test]

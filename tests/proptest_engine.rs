@@ -19,6 +19,81 @@ fn duplicate(df: &DataFrame, k: usize) -> DataFrame {
     out
 }
 
+/// Adversarial frame generator: the pathological shapes the resource
+/// governor and the always-on print path must survive (DESIGN.md §8) —
+/// empty frames, all-null columns, near-unique categoricals, NaN/inf
+/// floats, single-value and mixed-sign-zero columns, and huge strings.
+pub fn adversarial_frame() -> impl Strategy<Value = DataFrame> {
+    let zero_rows = Just(
+        DataFrameBuilder::new()
+            .float("x", std::iter::empty::<f64>())
+            .str("s", std::iter::empty::<&str>())
+            .build()
+            .unwrap(),
+    );
+    let all_null = (1usize..60).prop_map(|rows| {
+        DataFrameBuilder::new()
+            .column(
+                "nf",
+                Column::Float64(PrimitiveColumn::from_options(vec![None; rows])),
+            )
+            .column(
+                "ns",
+                Column::Str(StrColumn::from_options(vec![None::<&str>; rows])),
+            )
+            .build()
+            .unwrap()
+    });
+    let near_unique = (50usize..200).prop_map(|rows| {
+        DataFrameBuilder::new()
+            .str("id", (0..rows).map(|i| format!("user-{i:06}")))
+            .float("v", (0..rows).map(|i| i as f64))
+            .build()
+            .unwrap()
+    });
+    let non_finite = proptest::collection::vec(
+        prop_oneof![
+            Just(f64::NAN),
+            Just(f64::INFINITY),
+            Just(f64::NEG_INFINITY),
+            Just(0.0),
+            Just(-0.0),
+            -1e300f64..1e300,
+        ],
+        2..40,
+    )
+    .prop_map(|vals| {
+        let n = vals.len();
+        DataFrameBuilder::new()
+            .float("weird", vals)
+            .str("g", (0..n).map(|i| if i % 2 == 0 { "a" } else { "b" }))
+            .build()
+            .unwrap()
+    });
+    let single_value = (2usize..40).prop_map(|rows| {
+        DataFrameBuilder::new()
+            .float("constant", std::iter::repeat(7.0).take(rows))
+            .int("zero", std::iter::repeat(0).take(rows))
+            .build()
+            .unwrap()
+    });
+    let huge_strings = (2usize..10).prop_map(|rows| {
+        DataFrameBuilder::new()
+            .str("blob", (0..rows).map(|i| "x".repeat(10_000 + i)))
+            .float("v", (0..rows).map(|i| i as f64))
+            .build()
+            .unwrap()
+    });
+    prop_oneof![
+        zero_rows,
+        all_null,
+        near_unique,
+        non_finite,
+        single_value,
+        huge_strings,
+    ]
+}
+
 fn small_frame() -> impl Strategy<Value = DataFrame> {
     (2usize..30).prop_flat_map(|rows| {
         (
@@ -105,6 +180,27 @@ proptest! {
         let m = CostModel::default();
         if n <= k {
             prop_assert!(!m.prune_worthwhile(n, k, OpClass::Selection2, 1_000_000, 10_000, 0));
+        }
+    }
+
+    #[test]
+    fn adversarial_frames_survive_the_full_print_path(df in adversarial_frame()) {
+        // The acceptance property of the governor PR: no pathological frame
+        // may panic, hang, or emit NaN rankings anywhere in the always-on
+        // path — metadata, actions, ranking, rendering.
+        let ldf = lux::LuxDataFrame::new(df);
+        let widget = ldf.print();
+        let _ = widget.to_string();
+        let _ = widget.render_lux_view(1);
+        for r in widget.results() {
+            for v in r.vislist.iter() {
+                prop_assert!(!v.score.is_nan(), "NaN score served by {}", r.action);
+            }
+        }
+        let meta = ldf.metadata();
+        for cm in &meta.columns {
+            prop_assert!(cm.min.is_none_or(|v| !v.is_nan()), "NaN min on {}", cm.name);
+            prop_assert!(cm.max.is_none_or(|v| !v.is_nan()), "NaN max on {}", cm.name);
         }
     }
 
