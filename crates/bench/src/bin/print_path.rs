@@ -1,0 +1,134 @@
+//! Parallel print-path benchmark (DESIGN.md §9).
+//!
+//! Runs the same cold-print workload as `trace_stages`, once per thread
+//! count, and writes the per-thread-count medians to `BENCH_parallel.json`.
+//! Each entry carries the `BENCH_trace.json` stage schema plus a `threads`
+//! field, so `scripts/bench_compare.sh` can diff totals against the
+//! committed baseline and the threads=1 entry stays directly comparable to
+//! `BENCH_trace.json`.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use lux_bench::{env_scales, full_scale, print_table};
+use lux_core::prelude::*;
+use lux_workloads::synthetic_wide;
+
+fn median(samples: &mut Vec<Duration>) -> Duration {
+    if samples.is_empty() {
+        return Duration::ZERO;
+    }
+    samples.sort();
+    samples[samples.len() / 2]
+}
+
+fn ms(d: Duration) -> String {
+    format!("{:.3}", d.as_secs_f64() * 1e3)
+}
+
+struct Run {
+    threads: usize,
+    stage_ms: Vec<(String, String)>,
+    render: Duration,
+    total: Duration,
+}
+
+fn run(threads: usize, rows: usize, cols: usize, iters: usize) -> Run {
+    let stages = ["table", "metadata", "generate", "score", "process"];
+    let mut samples: Vec<Vec<Duration>> = vec![Vec::new(); stages.len()];
+    let mut renders: Vec<Duration> = Vec::new();
+    let mut totals: Vec<Duration> = Vec::new();
+
+    for i in 0..iters {
+        // A fresh frame each iteration keeps the WFLOW memo (metadata and
+        // processed-vis alike) cold, so every pass runs the full pipeline.
+        let df = synthetic_wide(cols, rows, 7_000 + i as u64);
+        let config = LuxConfig {
+            threads,
+            ..LuxConfig::all_opt()
+        };
+        let ldf = LuxDataFrame::with_config(df, Arc::new(config));
+        let widget = ldf.print();
+        let start = Instant::now();
+        std::hint::black_box(widget.render_lux_view(1).len());
+        renders.push(start.elapsed());
+        let trace = ldf.last_trace().expect("print records a trace");
+        for (slot, stage) in samples.iter_mut().zip(stages) {
+            slot.push(trace.stage_total(stage));
+        }
+        totals.push(trace.total());
+    }
+
+    Run {
+        threads,
+        stage_ms: samples
+            .iter_mut()
+            .zip(stages)
+            .map(|(slot, stage)| (stage.to_string(), ms(median(slot))))
+            .collect(),
+        render: median(&mut renders),
+        total: median(&mut totals),
+    }
+}
+
+fn main() {
+    let (rows, cols, iters) = if full_scale() {
+        (100_000usize, 24usize, 30usize)
+    } else {
+        (8_000, 12, 15)
+    };
+    let rows = env_scales("LUX_TRACE_ROWS", &[rows])[0];
+    let iters = env_scales("LUX_TRACE_ITERS", &[iters])[0];
+    let thread_counts = env_scales("LUX_BENCH_THREADS", &[1, 4]);
+    println!(
+        "# Parallel print path ({rows} rows x {cols} cols, {iters} cold prints per thread count)\n"
+    );
+
+    let runs: Vec<Run> = thread_counts
+        .iter()
+        .map(|&t| run(t, rows, cols, iters))
+        .collect();
+
+    let mut rows_out: Vec<Vec<String>> = Vec::new();
+    let mut json = String::from("{\n  \"runs\": [\n");
+    for (k, r) in runs.iter().enumerate() {
+        json.push_str(&format!("    {{\"threads\": {},\n", r.threads));
+        let mut row = vec![format!("threads={}", r.threads)];
+        for (stage, med) in &r.stage_ms {
+            json.push_str(&format!("     \"{stage}_ms\": {med},\n"));
+            row.push(med.clone());
+        }
+        json.push_str(&format!("     \"render_ms\": {},\n", ms(r.render)));
+        json.push_str(&format!("     \"total_ms\": {}}}", ms(r.total)));
+        json.push_str(if k + 1 < runs.len() { ",\n" } else { "\n" });
+        row.push(ms(r.render));
+        row.push(ms(r.total));
+        rows_out.push(row);
+    }
+    json.push_str(&format!(
+        "  ],\n  \"rows\": {rows},\n  \"columns\": {cols},\n  \"iterations\": {iters}\n}}\n"
+    ));
+
+    print_table(
+        &[
+            "config", "table", "metadata", "generate", "score", "process", "render", "total",
+        ],
+        &rows_out,
+    );
+
+    if let (Some(base), Some(par)) = (
+        runs.iter().find(|r| r.threads == 1),
+        runs.iter().filter(|r| r.threads > 1).last(),
+    ) {
+        let speedup = base.total.as_secs_f64() / par.total.as_secs_f64().max(1e-9);
+        println!(
+            "\nspeedup (threads=1 -> threads={}): {speedup:.2}x \
+             (on {} available core(s))",
+            par.threads,
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        );
+    }
+
+    std::fs::write("BENCH_parallel.json", &json).expect("write BENCH_parallel.json");
+    println!("wrote BENCH_parallel.json");
+}

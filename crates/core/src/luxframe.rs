@@ -290,11 +290,12 @@ impl LuxDataFrame {
             metrics.incr(metric::META_MEMO_MISS);
             tag_memo("miss");
             let computed = std::time::Instant::now();
-            let meta = Arc::new(FrameMeta::compute_governed(
+            let meta = Arc::new(FrameMeta::compute_governed_par(
                 &self.df,
                 &self.overrides,
                 trace,
                 governor,
+                self.config.effective_threads(),
             ));
             metrics.observe(metric::METADATA_LATENCY, computed.elapsed());
             cache.meta = Some(Arc::clone(&meta));
@@ -303,11 +304,12 @@ impl LuxDataFrame {
             metrics.incr(metric::META_MEMO_MISS);
             tag_memo("off");
             let computed = std::time::Instant::now();
-            let meta = Arc::new(FrameMeta::compute_governed(
+            let meta = Arc::new(FrameMeta::compute_governed_par(
                 &self.df,
                 &self.overrides,
                 trace,
                 governor,
+                self.config.effective_threads(),
             ));
             metrics.observe(metric::METADATA_LATENCY, computed.elapsed());
             meta

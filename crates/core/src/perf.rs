@@ -20,8 +20,14 @@ pub struct PassSummary {
     pub table: Duration,
     /// Metadata stage time (zero when served from the memo).
     pub metadata: Duration,
+    /// CPU-summed metadata time: per-column scan spans added up across
+    /// workers. Exceeds `metadata` when column scans ran in parallel.
+    pub metadata_cpu: Duration,
     /// Recommendation stage time (all actions, including scheduling).
     pub actions: Duration,
+    /// CPU-summed action time: per-action spans added up across workers.
+    /// Exceeds `actions` when actions ran in parallel.
+    pub actions_cpu: Duration,
     /// WFLOW memo outcome for the recommendation stage:
     /// `"hit"`, `"miss"`, `"off"`, or `"unknown"` (untagged trace).
     pub memo: String,
@@ -50,6 +56,7 @@ impl PassSummary {
             .to_string();
         let (mut ok, mut degraded, mut failed, mut disabled) = (0, 0, 0, 0);
         let mut slowest: Option<(String, Duration)> = None;
+        let mut actions_cpu = Duration::ZERO;
         for span in trace.spans_prefixed("action:") {
             let status = span.tag("status");
             match status {
@@ -59,13 +66,19 @@ impl PassSummary {
                 Some("disabled") => disabled += 1,
                 _ => {}
             }
-            if status != Some("disabled")
-                && slowest.as_ref().map_or(true, |(_, d)| span.duration() > *d)
-            {
-                let name = span.name.trim_start_matches("action:").to_string();
-                slowest = Some((name, span.duration()));
+            if status != Some("disabled") {
+                actions_cpu += span.duration();
+                if slowest.as_ref().map_or(true, |(_, d)| span.duration() > *d) {
+                    let name = span.name.trim_start_matches("action:").to_string();
+                    slowest = Some((name, span.duration()));
+                }
             }
         }
+        let metadata_cpu = trace
+            .spans_prefixed("column:")
+            .iter()
+            .map(|s| s.duration())
+            .sum::<Duration>();
         let root_tag = |key: &str| trace.span("print").and_then(|s| s.tag(key));
         let governor_degrades = root_tag("governor.degrades")
             .and_then(|v| v.parse().ok())
@@ -75,7 +88,9 @@ impl PassSummary {
             total: trace.total(),
             table: stage("table"),
             metadata: stage("metadata"),
+            metadata_cpu,
             actions: stage("actions"),
+            actions_cpu,
             memo,
             actions_ok: ok,
             actions_degraded: degraded,
@@ -117,10 +132,12 @@ impl PassSummary {
             String::new()
         };
         format!(
-            "[pass {} | metadata {} | actions {} ({}) | memo {}{governor}]",
+            "[pass {} | metadata {}{} | actions {}{} ({}) | memo {}{governor}]",
             fmt_ms(self.total),
             fmt_ms(self.metadata),
+            fmt_cpu(self.metadata, self.metadata_cpu),
             fmt_ms(self.actions),
+            fmt_cpu(self.actions, self.actions_cpu),
             self.action_tally(),
             self.memo,
         )
@@ -138,11 +155,13 @@ impl PassSummary {
             None => String::new(),
         };
         format!(
-            "{{\"total_ms\": {:.3}, \"table_ms\": {:.3}, \"metadata_ms\": {:.3}, \"actions_ms\": {:.3}, \"memo\": \"{}\", \"ok\": {}, \"degraded\": {}, \"failed\": {}, \"disabled\": {}, \"governor_degrades\": {}, \"governor_breached\": {}{slowest}}}",
+            "{{\"total_ms\": {:.3}, \"table_ms\": {:.3}, \"metadata_ms\": {:.3}, \"metadata_cpu_ms\": {:.3}, \"actions_ms\": {:.3}, \"actions_cpu_ms\": {:.3}, \"memo\": \"{}\", \"ok\": {}, \"degraded\": {}, \"failed\": {}, \"disabled\": {}, \"governor_degrades\": {}, \"governor_breached\": {}{slowest}}}",
             self.total.as_secs_f64() * 1e3,
             self.table.as_secs_f64() * 1e3,
             self.metadata.as_secs_f64() * 1e3,
+            self.metadata_cpu.as_secs_f64() * 1e3,
             self.actions.as_secs_f64() * 1e3,
+            self.actions_cpu.as_secs_f64() * 1e3,
             json_escape(&self.memo),
             self.actions_ok,
             self.actions_degraded,
@@ -160,6 +179,17 @@ fn fmt_ms(d: Duration) -> String {
         format!("{ms:.0}ms")
     } else {
         format!("{ms:.2}ms")
+    }
+}
+
+/// ` (cpu Xms)` suffix for a stage whose summed worker time is visibly
+/// larger than its wall time — i.e. the stage actually ran in parallel.
+/// Empty otherwise, keeping sequential footers unchanged.
+fn fmt_cpu(wall: Duration, cpu: Duration) -> String {
+    if cpu > wall && cpu - wall > Duration::from_micros(100) {
+        format!(" (cpu {})", fmt_ms(cpu))
+    } else {
+        String::new()
     }
 }
 

@@ -22,6 +22,19 @@ pub struct DataFrame {
     columns: Vec<Arc<Column>>,
     index: Index,
     history: History,
+    /// Process-unique freshness stamp: every constructed or derived frame
+    /// gets a fresh value, while plain clones keep it (same data, same
+    /// stamp). Downstream memo caches (the processed-vis cache) key on it,
+    /// so any data-changing operation invalidates them for free.
+    fingerprint: u64,
+}
+
+/// Monotonic source for [`DataFrame::fingerprint`]. Starts at 1 so 0 can
+/// serve as an "unknown frame" sentinel in caches.
+fn next_fingerprint() -> u64 {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static NEXT: AtomicU64 = AtomicU64::new(1);
+    NEXT.fetch_add(1, Ordering::Relaxed)
 }
 
 impl DataFrame {
@@ -32,6 +45,7 @@ impl DataFrame {
             columns: Vec::new(),
             index: Index::range(0),
             history: History::new(),
+            fingerprint: next_fingerprint(),
         }
     }
 
@@ -121,6 +135,14 @@ impl DataFrame {
         &self.history
     }
 
+    /// The frame's freshness stamp: process-unique per constructed/derived
+    /// frame, shared by clones. Two frames with equal fingerprints hold the
+    /// same data, so memo caches may key on it (the converse does not hold —
+    /// re-deriving identical data yields a new stamp, costing only a miss).
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
     /// The boxed value at `(row, column-name)`.
     pub fn value(&self, row: usize, column: &str) -> Result<Value> {
         Ok(self.column(column)?.value(row))
@@ -151,6 +173,7 @@ impl DataFrame {
             columns,
             index,
             history,
+            fingerprint: next_fingerprint(),
         }
     }
 
@@ -185,9 +208,11 @@ impl DataFrame {
         self.history.push(event);
     }
 
-    /// Replace the index (used by group-by style ops).
+    /// Replace the index (used by group-by style ops). Re-stamps the
+    /// fingerprint: index labels are part of what downstream consumers see.
     pub(crate) fn with_index(mut self, index: Index) -> DataFrame {
         self.index = index;
+        self.fingerprint = next_fingerprint();
         self
     }
 
@@ -409,5 +434,17 @@ mod tests {
         let df = DataFrame::empty();
         assert_eq!(df.num_rows(), 0);
         assert_eq!(df.num_columns(), 0);
+    }
+
+    #[test]
+    fn fingerprint_fresh_on_derive_stable_on_clone() {
+        let df = sample();
+        assert_ne!(df.fingerprint(), 0);
+        let clone = df.clone();
+        assert_eq!(df.fingerprint(), clone.fingerprint(), "clones share data");
+        let other = sample();
+        assert_ne!(df.fingerprint(), other.fingerprint());
+        let derived = df.head(2);
+        assert_ne!(df.fingerprint(), derived.fingerprint());
     }
 }

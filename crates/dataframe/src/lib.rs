@@ -41,6 +41,7 @@ pub mod frame;
 pub mod history;
 pub mod index;
 pub mod ops;
+pub mod parallel;
 pub mod series;
 pub mod sql;
 pub mod value;

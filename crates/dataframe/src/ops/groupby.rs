@@ -123,10 +123,183 @@ pub struct GroupBy<'a> {
     overflow: Option<u32>,
 }
 
+/// Rows below this run the sequential kernel even when parallelism is
+/// requested: sharding overhead swamps the win on small frames.
+const PARALLEL_GROUPBY_MIN_ROWS: usize = 8_192;
+
+/// Minimum rows per shard; caps the shard count for mid-sized frames.
+const PARALLEL_GROUPBY_MIN_SHARD: usize = 2_048;
+
+/// Sequential hash-grouping: the reference semantics every other path must
+/// reproduce. Group ids are assigned in global first-seen order; keys first
+/// seen past `max_groups` fold into one overflow group.
+fn group_rows_sequential<K, F>(
+    nrows: usize,
+    max_groups: usize,
+    extract: &F,
+) -> (Vec<u32>, Vec<usize>, Option<u32>)
+where
+    K: Eq + std::hash::Hash,
+    F: Fn(usize) -> K,
+{
+    let mut map: HashMap<K, u32> = HashMap::new();
+    let mut group_of = Vec::with_capacity(nrows);
+    let mut representatives = Vec::new();
+    let mut overflow: Option<u32> = None;
+    for row in 0..nrows {
+        let part = extract(row);
+        let id = match map.get(&part) {
+            Some(&id) => id,
+            None if map.len() < max_groups => {
+                let next = representatives.len() as u32;
+                representatives.push(row);
+                map.insert(part, next);
+                next
+            }
+            None => *overflow.get_or_insert_with(|| {
+                let next = representatives.len() as u32;
+                representatives.push(row);
+                next
+            }),
+        };
+        group_of.push(id);
+    }
+    (group_of, representatives, overflow)
+}
+
+/// One shard's partial grouping over a contiguous row range.
+struct ShardGroups {
+    /// First row (global index) of each shard-local group, first-seen order.
+    reps: Vec<usize>,
+    /// Shard-local group id per row of the range.
+    local_of: Vec<u32>,
+    /// The shard-local map hit `max_groups`; the scan stopped early.
+    capped: bool,
+}
+
+/// Sharded parallel hash-grouping: each worker builds a partial map over a
+/// contiguous row range, then the partials merge sequentially *in shard
+/// order*, which reproduces the exact global first-seen group ids and
+/// representatives of [`group_rows_sequential`]. Returns `None` — fall back
+/// to the sequential kernel — whenever the `max_groups` cap binds (a shard
+/// hit the cap locally, or the merged distinct count crossed it): overflow
+/// folding is order-sensitive, and only the sequential scan gets it right.
+fn group_rows_sharded<K, F>(
+    nrows: usize,
+    max_groups: usize,
+    par: usize,
+    extract: &F,
+) -> Option<(Vec<u32>, Vec<usize>, Option<u32>)>
+where
+    K: Eq + std::hash::Hash + Send,
+    F: Fn(usize) -> K + Sync,
+{
+    let shards = par.min(nrows / PARALLEL_GROUPBY_MIN_SHARD).max(1);
+    if shards <= 1 {
+        return None;
+    }
+    let chunk = nrows.div_ceil(shards);
+    let slots: Vec<std::sync::Mutex<Option<ShardGroups>>> =
+        (0..shards).map(|_| std::sync::Mutex::new(None)).collect();
+    crate::parallel::run(shards, shards, &|s| {
+        let lo = s * chunk;
+        let hi = ((s + 1) * chunk).min(nrows);
+        let mut map: HashMap<K, u32> = HashMap::new();
+        let mut reps = Vec::new();
+        let mut local_of = Vec::with_capacity(hi - lo);
+        let mut capped = false;
+        for row in lo..hi {
+            let part = extract(row);
+            let id = match map.get(&part) {
+                Some(&id) => id,
+                None if map.len() < max_groups => {
+                    let next = reps.len() as u32;
+                    reps.push(row);
+                    map.insert(part, next);
+                    next
+                }
+                None => {
+                    // Local cap hit: abandon this shard — the caller falls
+                    // back to the sequential kernel, whose map is bounded
+                    // by the same cap, so memory stays bounded either way.
+                    capped = true;
+                    break;
+                }
+            };
+            local_of.push(id);
+        }
+        if let Ok(mut slot) = slots[s].lock() {
+            *slot = Some(ShardGroups {
+                reps,
+                local_of,
+                capped,
+            });
+        }
+    });
+    let mut map: HashMap<K, u32> = HashMap::new();
+    let mut representatives = Vec::new();
+    let mut group_of = vec![0u32; nrows];
+    let mut offset = 0usize;
+    for slot in &slots {
+        let out = slot.lock().ok()?.take()?;
+        if out.capped {
+            return None;
+        }
+        let mut translate = Vec::with_capacity(out.reps.len());
+        for &rep in &out.reps {
+            let part = extract(rep);
+            let id = match map.get(&part) {
+                Some(&id) => id,
+                None => {
+                    if representatives.len() >= max_groups {
+                        return None; // cap binds across shards: fall back
+                    }
+                    let next = representatives.len() as u32;
+                    representatives.push(rep);
+                    map.insert(part, next);
+                    next
+                }
+            };
+            translate.push(id);
+        }
+        for (i, &lid) in out.local_of.iter().enumerate() {
+            group_of[offset + i] = translate[lid as usize];
+        }
+        offset += out.local_of.len();
+    }
+    debug_assert_eq!(offset, nrows);
+    Some((group_of, representatives, None))
+}
+
+fn group_rows<K, F>(
+    nrows: usize,
+    max_groups: usize,
+    par: usize,
+    extract: F,
+) -> (Vec<u32>, Vec<usize>, Option<u32>)
+where
+    K: Eq + std::hash::Hash + Send,
+    F: Fn(usize) -> K + Sync,
+{
+    if par > 1 && nrows >= PARALLEL_GROUPBY_MIN_ROWS && crate::parallel::has_executor() {
+        if let Some(r) = group_rows_sharded(nrows, max_groups, par, &extract) {
+            return r;
+        }
+    }
+    group_rows_sequential(nrows, max_groups, &extract)
+}
+
 impl DataFrame {
     /// Start a group-by over the named key columns.
     pub fn groupby(&self, keys: &[&str]) -> Result<GroupBy<'_>> {
-        self.groupby_impl(keys, usize::MAX)
+        self.groupby_impl(keys, usize::MAX, 1)
+    }
+
+    /// [`DataFrame::groupby`] with the hash-grouping scan sharded over up to
+    /// `par` pool workers. Results are identical to the sequential kernel
+    /// for every `par` (group ids stay in global first-seen order).
+    pub fn groupby_par(&self, keys: &[&str], par: usize) -> Result<GroupBy<'_>> {
+        self.groupby_impl(keys, usize::MAX, par)
     }
 
     /// Start a group-by that enumerates at most `max_groups` distinct keys;
@@ -134,10 +307,22 @@ impl DataFrame {
     /// other"). This bounds the output cardinality — and therefore memory —
     /// no matter how pathological the key column is.
     pub fn groupby_capped(&self, keys: &[&str], max_groups: usize) -> Result<GroupBy<'_>> {
-        self.groupby_impl(keys, max_groups.max(1))
+        self.groupby_impl(keys, max_groups.max(1), 1)
     }
 
-    fn groupby_impl(&self, keys: &[&str], max_groups: usize) -> Result<GroupBy<'_>> {
+    /// [`DataFrame::groupby_capped`] with a sharded parallel scan. When the
+    /// cap actually binds the kernel reruns sequentially (overflow folding
+    /// is order-sensitive), so capped results too are `par`-independent.
+    pub fn groupby_capped_par(
+        &self,
+        keys: &[&str],
+        max_groups: usize,
+        par: usize,
+    ) -> Result<GroupBy<'_>> {
+        self.groupby_impl(keys, max_groups.max(1), par)
+    }
+
+    fn groupby_impl(&self, keys: &[&str], max_groups: usize, par: usize) -> Result<GroupBy<'_>> {
         if keys.is_empty() {
             return Err(Error::InvalidArgument(
                 "groupby requires at least one key".into(),
@@ -145,52 +330,15 @@ impl DataFrame {
         }
         let key_cols: Vec<&Column> = keys.iter().map(|k| self.column(k)).collect::<Result<_>>()?;
         let nrows = self.num_rows();
-        let mut group_of = Vec::with_capacity(nrows);
-        let mut representatives = Vec::new();
-        let mut overflow: Option<u32> = None;
-
-        if key_cols.len() == 1 {
-            let mut map: HashMap<KeyPart, u32> = HashMap::new();
+        let (group_of, representatives, overflow) = if key_cols.len() == 1 {
             let col = key_cols[0];
-            for row in 0..nrows {
-                let part = key_part(col, row);
-                let id = match map.get(&part) {
-                    Some(&id) => id,
-                    None if map.len() < max_groups => {
-                        let next = representatives.len() as u32;
-                        representatives.push(row);
-                        map.insert(part, next);
-                        next
-                    }
-                    None => *overflow.get_or_insert_with(|| {
-                        let next = representatives.len() as u32;
-                        representatives.push(row);
-                        next
-                    }),
-                };
-                group_of.push(id);
-            }
+            group_rows(nrows, max_groups, par, |row| key_part(col, row))
         } else {
-            let mut map: HashMap<Vec<KeyPart>, u32> = HashMap::new();
-            for row in 0..nrows {
-                let parts: Vec<KeyPart> = key_cols.iter().map(|c| key_part(c, row)).collect();
-                let id = match map.get(&parts) {
-                    Some(&id) => id,
-                    None if map.len() < max_groups => {
-                        let next = representatives.len() as u32;
-                        representatives.push(row);
-                        map.insert(parts, next);
-                        next
-                    }
-                    None => *overflow.get_or_insert_with(|| {
-                        let next = representatives.len() as u32;
-                        representatives.push(row);
-                        next
-                    }),
-                };
-                group_of.push(id);
-            }
-        }
+            let cols = &key_cols;
+            group_rows(nrows, max_groups, par, |row| {
+                cols.iter().map(|c| key_part(c, row)).collect::<Vec<_>>()
+            })
+        };
 
         Ok(GroupBy {
             df: self,
@@ -229,6 +377,20 @@ impl DataFrame {
     /// values beyond the cap are folded into an `"(other)"` row.
     pub fn value_counts_capped(&self, column: &str, max_groups: usize) -> Result<DataFrame> {
         let counted = self.groupby_capped(&[column], max_groups)?.count()?;
+        counted.sort_by(&["count"], false)
+    }
+
+    /// [`DataFrame::value_counts_capped`] with the grouping scan sharded
+    /// over up to `par` pool workers.
+    pub fn value_counts_capped_par(
+        &self,
+        column: &str,
+        max_groups: usize,
+        par: usize,
+    ) -> Result<DataFrame> {
+        let counted = self
+            .groupby_capped_par(&[column], max_groups, par)?
+            .count()?;
         counted.sort_by(&["count"], false)
     }
 }
@@ -671,6 +833,107 @@ mod tests {
             .unwrap();
         assert_eq!(df.groupby(&["x"]).unwrap().num_groups(), 2);
         assert_eq!(df.cardinality("x").unwrap(), 2);
+    }
+
+    /// A plain scoped-thread executor, installed so the sharded kernel runs
+    /// for real inside this crate's tests (the work-stealing pool lives in
+    /// `lux-engine` and installs itself the same way).
+    struct ScopedExec;
+    impl crate::parallel::ParallelExec for ScopedExec {
+        fn run(&self, par: usize, n: usize, body: &(dyn Fn(usize) + Sync)) {
+            use std::sync::atomic::{AtomicUsize, Ordering};
+            let cursor = AtomicUsize::new(0);
+            std::thread::scope(|s| {
+                for _ in 0..par.min(n).max(1) {
+                    s.spawn(|| loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        body(i);
+                    });
+                }
+            });
+        }
+    }
+
+    fn install_test_executor() {
+        static EXEC: ScopedExec = ScopedExec;
+        crate::parallel::install_executor(&EXEC);
+    }
+
+    fn tall_df(n: i64) -> DataFrame {
+        DataFrameBuilder::new()
+            .str("k", (0..n).map(|i| format!("key{}", i % 113)))
+            .int("kind", (0..n).map(|i| i % 7))
+            .float("v", (0..n).map(|i| (i % 31) as f64))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn sharded_groupby_matches_sequential() {
+        install_test_executor();
+        let df = tall_df(20_000);
+        let seq = df.groupby(&["k"]).unwrap();
+        let par = df.groupby_par(&["k"], 8).unwrap();
+        assert_eq!(seq.group_ids(), par.group_ids());
+        assert_eq!(seq.representatives, par.representatives);
+        assert_eq!(seq.overflow, par.overflow);
+        let a = df
+            .groupby_par(&["k"], 8)
+            .unwrap()
+            .agg(&[("v", Agg::Mean)])
+            .unwrap();
+        let b = df
+            .groupby(&["k"])
+            .unwrap()
+            .agg(&[("v", Agg::Mean)])
+            .unwrap();
+        for r in 0..a.num_rows() {
+            assert_eq!(a.value(r, "k").unwrap(), b.value(r, "k").unwrap());
+            assert_eq!(a.value(r, "v").unwrap(), b.value(r, "v").unwrap());
+        }
+    }
+
+    #[test]
+    fn sharded_multi_key_matches_sequential() {
+        install_test_executor();
+        let df = tall_df(20_000);
+        let seq = df.groupby(&["k", "kind"]).unwrap();
+        let par = df.groupby_par(&["k", "kind"], 8).unwrap();
+        assert_eq!(seq.group_ids(), par.group_ids());
+        assert_eq!(seq.representatives, par.representatives);
+    }
+
+    #[test]
+    fn sharded_capped_falls_back_to_exact_fold() {
+        install_test_executor();
+        // 113 distinct keys, cap 10: the cap binds, so the parallel entry
+        // point must reproduce the sequential overflow fold exactly.
+        let df = tall_df(20_000);
+        let seq = df.groupby_capped(&["k"], 10).unwrap();
+        let par = df.groupby_capped_par(&["k"], 10, 8).unwrap();
+        assert!(seq.is_capped() && par.is_capped());
+        assert_eq!(seq.group_ids(), par.group_ids());
+        assert_eq!(seq.representatives, par.representatives);
+        assert_eq!(seq.overflow, par.overflow);
+    }
+
+    #[test]
+    fn sharded_capped_below_cap_stays_parallel_and_exact() {
+        install_test_executor();
+        let df = tall_df(20_000);
+        let seq = df.groupby_capped(&["k"], 1_000).unwrap();
+        let par = df.groupby_capped_par(&["k"], 1_000, 8).unwrap();
+        assert!(!seq.is_capped() && !par.is_capped());
+        assert_eq!(seq.group_ids(), par.group_ids());
+        let a = df.value_counts_capped_par("k", 1_000, 8).unwrap();
+        let b = df.value_counts_capped("k", 1_000).unwrap();
+        assert_eq!(a.num_rows(), b.num_rows());
+        for r in 0..a.num_rows() {
+            assert_eq!(a.value(r, "count").unwrap(), b.value(r, "count").unwrap());
+        }
     }
 
     #[test]

@@ -1,0 +1,67 @@
+//! Pluggable parallel executor for dataframe kernels.
+//!
+//! The work-stealing pool lives in `lux-engine` (which depends on this
+//! crate), so the sharded group-by kernel cannot call it directly. Instead
+//! the engine installs its pool here once, through [`install_executor`], and
+//! kernels request parallelism through [`run`]. Until an executor is
+//! installed — or whenever the requested degree is 1 — [`run`] degrades to a
+//! plain sequential loop, so the dataframe crate stands alone with no
+//! behavior change.
+
+use std::sync::OnceLock;
+
+/// A fork-join executor: run `body(i)` for every `i in 0..n` with up to
+/// `par` concurrent executors, returning only after every index ran.
+pub trait ParallelExec: Sync {
+    fn run(&self, par: usize, n: usize, body: &(dyn Fn(usize) + Sync));
+}
+
+static EXECUTOR: OnceLock<&'static (dyn ParallelExec + 'static)> = OnceLock::new();
+
+/// Install the process-wide executor. The first call wins; later calls are
+/// ignored (the engine installs its pool exactly once, on pool start-up).
+pub fn install_executor(exec: &'static (dyn ParallelExec + 'static)) {
+    let _ = EXECUTOR.set(exec);
+}
+
+/// True once an executor has been installed.
+pub fn has_executor() -> bool {
+    EXECUTOR.get().is_some()
+}
+
+/// Run `body(i)` for `i in 0..n`, in parallel when an executor is installed
+/// and `par > 1`, sequentially (in index order) otherwise.
+pub fn run(par: usize, n: usize, body: &(dyn Fn(usize) + Sync)) {
+    match EXECUTOR.get() {
+        Some(exec) if par > 1 && n > 1 => exec.run(par, n, body),
+        _ => {
+            for i in 0..n {
+                body(i);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn run_without_executor_is_sequential() {
+        // The engine may have installed an executor if other tests ran
+        // first, so only assert coverage, not sequential order.
+        let hits: Vec<AtomicUsize> = (0..32).map(|_| AtomicUsize::new(0)).collect();
+        run(4, 32, &|i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn par_one_is_in_order() {
+        let order = std::sync::Mutex::new(Vec::new());
+        run(1, 8, &|i| order.lock().unwrap().push(i));
+        assert_eq!(*order.lock().unwrap(), (0..8).collect::<Vec<_>>());
+    }
+}

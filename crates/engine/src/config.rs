@@ -53,6 +53,12 @@ pub struct LuxConfig {
     /// [`crate::governor::BudgetHandle`] over this budget; see
     /// DESIGN.md §8 for the degradation ladder it drives.
     pub budget: ResourceBudget,
+    /// Parallelism degree for the print path (metadata fan-out, per-vis
+    /// score/process, sharded group-by; DESIGN.md §9). `0` — the default —
+    /// resolves through [`LuxConfig::effective_threads`]: the `LUX_THREADS`
+    /// environment variable when set, else the machine's available
+    /// parallelism. `1` forces the fully sequential path.
+    pub threads: usize,
 }
 
 impl Default for LuxConfig {
@@ -72,6 +78,7 @@ impl Default for LuxConfig {
             breaker_threshold: 3,
             breaker_cooldown: 2,
             budget: ResourceBudget::default(),
+            threads: 0,
         }
     }
 }
@@ -112,6 +119,26 @@ impl LuxConfig {
     pub fn all_opt() -> LuxConfig {
         LuxConfig::default()
     }
+
+    /// Resolve [`LuxConfig::threads`] to a concrete degree: an explicit
+    /// non-zero setting wins; `0` falls back to the `LUX_THREADS`
+    /// environment variable, then to
+    /// [`std::thread::available_parallelism`]. Never returns 0.
+    pub fn effective_threads(&self) -> usize {
+        if self.threads != 0 {
+            return self.threads;
+        }
+        if let Ok(v) = std::env::var("LUX_THREADS") {
+            if let Ok(n) = v.trim().parse::<usize>() {
+                if n >= 1 {
+                    return n;
+                }
+            }
+        }
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    }
 }
 
 #[cfg(test)]
@@ -138,6 +165,17 @@ mod tests {
         assert!(c.action_budget.is_some());
         assert!(c.breaker_threshold >= 1);
         assert!(c.breaker_cooldown >= 1);
+    }
+
+    #[test]
+    fn explicit_threads_win_over_auto() {
+        let mut c = LuxConfig::default();
+        assert_eq!(c.threads, 0, "default is auto");
+        assert!(c.effective_threads() >= 1);
+        c.threads = 3;
+        assert_eq!(c.effective_threads(), 3);
+        c.threads = 1;
+        assert_eq!(c.effective_threads(), 1);
     }
 
     #[test]

@@ -22,10 +22,26 @@
 
 use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 use crate::sync::lock_recover;
 use crate::trace::{names, MetricsRegistry};
+
+/// An ordered buffer of deferred [`GovernorEvent`]s. Parallel stages give
+/// each unit of work its own sink and replay the buffers in schedule order
+/// via [`BudgetHandle::absorb`], so the handle's event list — and therefore
+/// the pass summary — is identical at every thread count.
+pub type EventSink = Arc<Mutex<Vec<GovernorEvent>>>;
+
+/// A fresh, empty [`EventSink`].
+pub fn event_sink() -> EventSink {
+    Arc::new(Mutex::new(Vec::new()))
+}
+
+/// Drain a sink's buffered events (in recording order).
+pub fn drain_sink(sink: &EventSink) -> Vec<GovernorEvent> {
+    std::mem::take(&mut *lock_recover(sink))
+}
 
 /// Per-pass resource ceilings. All knobs live on `LuxConfig` (field
 /// `budget`), so callers tune them the same way they tune `top_k` or
@@ -144,17 +160,37 @@ impl BudgetHandle {
     }
 
     /// Charge `bytes` of intended allocation against the pass budget.
-    /// Returns false — without charging further — once the byte cap is
-    /// crossed; the caller should degrade rather than allocate.
+    /// Returns false — without charging — when the charge would cross the
+    /// byte cap; the caller should degrade rather than allocate. The
+    /// check-and-add is a single compare-exchange loop, so accounting stays
+    /// exact when pool workers charge the same handle concurrently: a
+    /// refused charge never inflates `charged()`, and concurrent successful
+    /// charges can never jointly overshoot the cap.
     pub fn try_charge(&self, bytes: u64) -> bool {
-        let before = self.charged.fetch_add(bytes, Ordering::Relaxed);
-        if before.saturating_add(bytes) > self.budget.max_bytes {
-            if !self.breached.swap(true, Ordering::Relaxed) {
-                MetricsRegistry::global().incr(names::GOVERNOR_BREACHES);
-            }
+        // A breach is sticky: once one charge was refused the pass stays
+        // degraded, even if smaller charges would still fit the ledger.
+        if self.breached.load(Ordering::Relaxed) {
             return false;
         }
-        true
+        let mut current = self.charged.load(Ordering::Relaxed);
+        loop {
+            let next = current.saturating_add(bytes);
+            if next > self.budget.max_bytes {
+                if !self.breached.swap(true, Ordering::Relaxed) {
+                    MetricsRegistry::global().incr(names::GOVERNOR_BREACHES);
+                }
+                return false;
+            }
+            match self.charged.compare_exchange_weak(
+                current,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return true,
+                Err(seen) => current = seen,
+            }
+        }
     }
 
     /// Total bytes charged so far.
@@ -162,8 +198,13 @@ impl BudgetHandle {
         self.charged.load(Ordering::Relaxed)
     }
 
-    /// Bytes left before the cap (0 once breached).
+    /// Bytes left before the cap (0 once breached — refused charges no
+    /// longer inflate the ledger, so the breach flag is what marks the
+    /// budget exhausted).
     pub fn remaining(&self) -> u64 {
+        if self.breached() {
+            return 0;
+        }
         self.budget.max_bytes.saturating_sub(self.charged())
     }
 
@@ -185,6 +226,15 @@ impl BudgetHandle {
             level,
             detail: detail.into(),
         });
+    }
+
+    /// Append deferred events from an [`EventSink`], with the same
+    /// accounting as recording them live. Callers replay sinks in schedule
+    /// order so the event list stays deterministic under parallelism.
+    pub fn absorb(&self, events: Vec<GovernorEvent>) {
+        for e in events {
+            self.record(e.stage, e.level, e.detail);
+        }
     }
 
     /// Downgrades recorded so far (pass order).
@@ -286,6 +336,47 @@ mod tests {
         assert_eq!(h.remaining(), 0);
         // later charges keep failing: the pass stays degraded
         assert!(!h.try_charge(1));
+    }
+
+    #[test]
+    fn refused_charge_does_not_inflate_ledger() {
+        let h = BudgetHandle::new(ResourceBudget {
+            max_bytes: 100,
+            ..ResourceBudget::default()
+        });
+        assert!(h.try_charge(60));
+        assert!(!h.try_charge(60), "would cross the cap");
+        // exact accounting: the refused 60 was never added
+        assert_eq!(h.charged(), 60);
+        assert!(h.breached());
+        assert_eq!(h.remaining(), 0, "breach pins remaining at 0");
+    }
+
+    #[test]
+    fn concurrent_charges_never_overshoot_cap() {
+        // 8 threads racing 1000 charges of 100 against a 50k cap: exactly
+        // 500 charges may succeed, and the ledger must land on the cap.
+        let h = std::sync::Arc::new(BudgetHandle::new(ResourceBudget {
+            max_bytes: 50_000,
+            ..ResourceBudget::default()
+        }));
+        let ok = std::sync::Arc::new(AtomicU64::new(0));
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let h = h.clone();
+                let ok = ok.clone();
+                s.spawn(move || {
+                    for _ in 0..1000 {
+                        if h.try_charge(100) {
+                            ok.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(h.charged(), 50_000);
+        assert_eq!(ok.load(Ordering::Relaxed), 500);
+        assert!(h.breached());
     }
 
     #[test]

@@ -15,7 +15,10 @@
 //!   (DESIGN.md §8);
 //! - [`trace`] — the always-on span/metrics subsystem: every print pass
 //!   records a [`PassTrace`] span tree and feeds the process-wide
-//!   [`MetricsRegistry`] (see DESIGN.md §7).
+//!   [`MetricsRegistry`] (see DESIGN.md §7);
+//! - [`pool`] — the zero-dependency work-stealing thread pool behind the
+//!   parallel print path: metadata fan-out, per-vis score/process, and the
+//!   sharded group-by kernel (DESIGN.md §9).
 //!
 //! Higher layers (intent compilation, visualization processing, actions)
 //! build on these services; the WFLOW freshness cache lives with the
@@ -26,6 +29,7 @@ pub mod config;
 pub mod cost;
 pub mod governor;
 pub mod metadata;
+pub mod pool;
 pub mod sample;
 pub mod sync;
 pub mod trace;
@@ -33,9 +37,11 @@ pub mod trace;
 pub use config::LuxConfig;
 pub use cost::{CostModel, OpClass};
 pub use governor::{
-    cmp_cost_asc, cmp_score_desc, BudgetHandle, DegradeLevel, GovernorEvent, ResourceBudget,
+    cmp_cost_asc, cmp_score_desc, drain_sink, event_sink, BudgetHandle, DegradeLevel, EventSink,
+    GovernorEvent, ResourceBudget,
 };
 pub use metadata::{ColumnMeta, FrameMeta, SemanticType};
+pub use pool::{parallel_for, parallel_map, worker_index, WorkPool};
 pub use sample::{CachedSample, DEFAULT_SAMPLE_CAP};
 pub use sync::lock_recover;
 pub use trace::{

@@ -133,30 +133,73 @@ impl FrameMeta {
         trace: Option<(&crate::trace::TraceCollector, crate::trace::SpanId)>,
         governor: Option<&BudgetHandle>,
     ) -> FrameMeta {
-        let columns = df
-            .column_names()
+        Self::compute_governed_par(df, overrides, trace, governor, 1)
+    }
+
+    /// [`FrameMeta::compute_governed`] with the per-column scans fanned out
+    /// over up to `par` pool workers (DESIGN.md §9). Runs in three phases so
+    /// the result — including governor accounting and event order — is
+    /// byte-identical for every `par`:
+    ///
+    /// 1. **plan** (sequential, column order): every byte-charge and
+    ///    scan-cap decision happens on the caller thread;
+    /// 2. **scan** (parallel): the heavy distinct/min-max scans run with
+    ///    their pre-decided caps, writing into per-column slots;
+    /// 3. **record** (sequential, column order): capped-cardinality events
+    ///    discovered during the scans land on the governor.
+    pub fn compute_governed_par(
+        df: &DataFrame,
+        overrides: &HashMap<String, SemanticType>,
+        trace: Option<(&crate::trace::TraceCollector, crate::trace::SpanId)>,
+        governor: Option<&BudgetHandle>,
+        par: usize,
+    ) -> FrameMeta {
+        let names = df.column_names();
+        let plans: Vec<usize> = names
             .iter()
             .map(|name| {
                 let col = df.column(name).expect("name enumerated from frame");
+                plan_column_scan(name, col, governor)
+            })
+            .collect();
+        let scanned: Vec<(ColumnMeta, bool)> =
+            crate::pool::parallel_map(par, names.iter().collect::<Vec<_>>(), |i, name| {
+                let col = df.column(name).expect("name enumerated from frame");
                 let span =
                     trace.map(|(c, parent)| (c, c.begin(Some(parent), format!("column:{name}"))));
-                let meta = compute_column_meta(
+                let (meta, capped) = compute_column_meta(
                     name,
                     col,
                     df.num_rows(),
-                    overrides.get(name).copied(),
-                    governor,
+                    overrides.get(name.as_str()).copied(),
+                    plans[i],
                 );
                 if let Some((c, id)) = span {
+                    if let Some(w) = crate::pool::worker_index() {
+                        c.tag(id, "sched.worker", w.to_string());
+                    }
                     c.tag(id, "cardinality", meta.cardinality.to_string());
                     c.tag(id, "semantic", meta.semantic.name());
                     c.end(id);
                 }
-                meta
-            })
-            .collect();
+                (meta, capped)
+            });
+        if let Some(g) = governor {
+            for (i, (meta, capped)) in scanned.iter().enumerate() {
+                if *capped {
+                    g.record(
+                        format!("metadata:{}", meta.name),
+                        DegradeLevel::CappedCardinality,
+                        format!(
+                            "distinct values exceed scan cap {}; cardinality estimated",
+                            plans[i]
+                        ),
+                    );
+                }
+            }
+        }
         FrameMeta {
-            columns,
+            columns: scanned.into_iter().map(|(m, _)| m).collect(),
             num_rows: df.num_rows(),
         }
     }
@@ -176,42 +219,11 @@ impl FrameMeta {
     }
 }
 
-fn compute_column_meta(
-    name: &str,
-    col: &Column,
-    num_rows: usize,
-    override_type: Option<SemanticType>,
-    governor: Option<&BudgetHandle>,
-) -> ColumnMeta {
-    let (cardinality, unique_values, unique_complete) = unique_stats(col, name, governor);
-    let (min, max) = col
-        .min_max_f64()
-        .map_or((None, None), |(a, b)| (Some(a), Some(b)));
-    let null_count = col.null_count();
-    let semantic =
-        override_type.unwrap_or_else(|| infer_semantic(name, col.dtype(), cardinality, num_rows));
-    ColumnMeta {
-        name: name.to_string(),
-        dtype: col.dtype(),
-        semantic,
-        cardinality,
-        unique_values,
-        unique_complete,
-        min,
-        max,
-        null_count,
-    }
-}
-
-/// Distinct non-null values: exact count when it fits the scan cap, capped
-/// materialized list. With a governor, the scan charges its map allocation
-/// up front and shrinks to [`DEGRADED_SCAN_CAP`] once the pass byte budget
-/// is exhausted.
-fn unique_stats(
-    col: &Column,
-    name: &str,
-    governor: Option<&BudgetHandle>,
-) -> (usize, Vec<Value>, bool) {
+/// Phase-1 governor planning for one column: performs every byte-charge for
+/// the column's scan and returns the distinct-scan cap to use. Always runs
+/// sequentially in column order on the caller thread, so accounting is
+/// independent of how the scans themselves are scheduled.
+fn plan_column_scan(name: &str, col: &Column, governor: Option<&BudgetHandle>) -> usize {
     match col {
         Column::Str(c) => {
             // Exact and already bounded: distinct values come from the
@@ -219,15 +231,7 @@ fn unique_stats(
             if let Some(g) = governor {
                 g.try_charge(c.dict().len() as u64 * 4);
             }
-            let codes = c.used_codes();
-            let cardinality = codes.len();
-            let values: Vec<Value> = codes
-                .iter()
-                .take(UNIQUE_VALUES_CAP)
-                .map(|&code| Value::Str(c.dict()[code as usize].clone()))
-                .collect();
-            let complete = cardinality <= UNIQUE_VALUES_CAP;
-            (cardinality, values, complete)
+            UNIQUE_SCAN_CAP
         }
         _ => {
             let mut scan_cap = UNIQUE_SCAN_CAP;
@@ -245,6 +249,61 @@ fn unique_stats(
                     );
                 }
             }
+            scan_cap
+        }
+    }
+}
+
+/// Phase-2 scan for one column. Governor-free by construction (all charging
+/// happened in [`plan_column_scan`]); the returned flag reports whether the
+/// distinct scan hit `scan_cap`, for the caller to record in column order.
+fn compute_column_meta(
+    name: &str,
+    col: &Column,
+    num_rows: usize,
+    override_type: Option<SemanticType>,
+    scan_cap: usize,
+) -> (ColumnMeta, bool) {
+    let (cardinality, unique_values, unique_complete, capped) = unique_stats(col, scan_cap);
+    let (min, max) = col
+        .min_max_f64()
+        .map_or((None, None), |(a, b)| (Some(a), Some(b)));
+    let null_count = col.null_count();
+    let semantic =
+        override_type.unwrap_or_else(|| infer_semantic(name, col.dtype(), cardinality, num_rows));
+    (
+        ColumnMeta {
+            name: name.to_string(),
+            dtype: col.dtype(),
+            semantic,
+            cardinality,
+            unique_values,
+            unique_complete,
+            min,
+            max,
+            null_count,
+        },
+        capped,
+    )
+}
+
+/// Distinct non-null values: exact count when it fits `scan_cap`, capped
+/// materialized list. The final bool reports whether the scan hit the cap
+/// (and cardinality was extrapolated).
+fn unique_stats(col: &Column, scan_cap: usize) -> (usize, Vec<Value>, bool, bool) {
+    match col {
+        Column::Str(c) => {
+            let codes = c.used_codes();
+            let cardinality = codes.len();
+            let values: Vec<Value> = codes
+                .iter()
+                .take(UNIQUE_VALUES_CAP)
+                .map(|&code| Value::Str(c.dict()[code as usize].clone()))
+                .collect();
+            let complete = cardinality <= UNIQUE_VALUES_CAP;
+            (cardinality, values, complete, false)
+        }
+        _ => {
             let mut seen: HashMap<u64, Value> = HashMap::new();
             let mut valid_scanned = 0usize;
             let mut capped = false;
@@ -286,21 +345,15 @@ fn unique_stats(
             } else {
                 seen.len()
             };
-            if capped {
-                if let Some(g) = governor {
-                    g.record(
-                        format!("metadata:{name}"),
-                        DegradeLevel::CappedCardinality,
-                        format!(
-                            "distinct values exceed scan cap {scan_cap}; cardinality estimated"
-                        ),
-                    );
-                }
-            }
-            let mut values: Vec<Value> = seen.into_values().take(UNIQUE_VALUES_CAP).collect();
+            // Sort before truncating: `HashMap` iteration order varies
+            // run-to-run, so "take any 256" would make the materialized
+            // values nondeterministic. Keeping the smallest values makes
+            // the list a pure function of the column.
+            let mut values: Vec<Value> = seen.into_values().collect();
             values.sort_by(|a, b| a.total_cmp(b));
+            values.truncate(UNIQUE_VALUES_CAP);
             let complete = !capped && cardinality <= UNIQUE_VALUES_CAP;
-            (cardinality, values, complete)
+            (cardinality, values, complete, capped)
         }
     }
 }
@@ -517,6 +570,48 @@ mod tests {
         let c = m.column("x").expect("col");
         assert!(c.cardinality > 0);
         assert_eq!(c.semantic, SemanticType::Quantitative);
+    }
+
+    #[test]
+    fn parallel_metadata_matches_sequential() {
+        use crate::governor::{BudgetHandle, ResourceBudget};
+        let df = DataFrameBuilder::new()
+            .int("id", 0..5_000)
+            .float("pay", (0..5_000).map(|i| (i % 97) as f64))
+            .str("dept", (0..5_000).map(|i| ["a", "b", "c"][i % 3]))
+            .int("rating", (0..5_000).map(|i| i % 5))
+            .datetime(
+                "when",
+                (0..5_000).map(|i| {
+                    if i % 2 == 0 {
+                        "2020-01-01"
+                    } else {
+                        "2021-06-15"
+                    }
+                }),
+            )
+            .build()
+            .expect("fixture frame");
+        let budget = ResourceBudget {
+            max_bytes: 300_000, // tight enough that later columns degrade
+            ..ResourceBudget::default()
+        };
+        let h1 = BudgetHandle::new(budget.clone());
+        let h8 = BudgetHandle::new(budget);
+        let seq = FrameMeta::compute_governed_par(&df, &HashMap::new(), None, Some(&h1), 1);
+        let par = FrameMeta::compute_governed_par(&df, &HashMap::new(), None, Some(&h8), 8);
+        assert_eq!(seq.columns.len(), par.columns.len());
+        for (a, b) in seq.columns.iter().zip(par.columns.iter()) {
+            assert_eq!(a.name, b.name);
+            assert_eq!(a.semantic, b.semantic, "{}", a.name);
+            assert_eq!(a.cardinality, b.cardinality, "{}", a.name);
+            assert_eq!(a.unique_values, b.unique_values, "{}", a.name);
+            assert_eq!((a.min, a.max, a.null_count), (b.min, b.max, b.null_count));
+        }
+        assert_eq!(h1.charged(), h8.charged(), "governor accounting must match");
+        let ev1: Vec<String> = h1.events().iter().map(|e| e.to_string()).collect();
+        let ev8: Vec<String> = h8.events().iter().map(|e| e.to_string()).collect();
+        assert_eq!(ev1, ev8, "governor events must match in order");
     }
 
     #[test]

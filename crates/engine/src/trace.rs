@@ -383,6 +383,10 @@ pub mod names {
     pub const META_MEMO_HIT: &str = "lux.wflow.meta_memo_hit";
     /// Counter: metadata recomputed.
     pub const META_MEMO_MISS: &str = "lux.wflow.meta_memo_miss";
+    /// Counter: processed-vis results served from the vis memo cache.
+    pub const VIS_MEMO_HIT: &str = "lux.memo.vis.hit";
+    /// Counter: processed-vis results computed (and possibly cached).
+    pub const VIS_MEMO_MISS: &str = "lux.memo.vis.miss";
     /// Counter: actions where the PRUNE gate engaged approximation.
     pub const PRUNE_ENGAGED: &str = "lux.prune.engaged";
     /// Counter: actions where PRUNE was considered but the cost model

@@ -19,7 +19,8 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use lux_dataframe::prelude::*;
-use lux_engine::governor::{BudgetHandle, DegradeLevel};
+use lux_engine::governor::{drain_sink, event_sink, BudgetHandle, DegradeLevel, EventSink};
+use lux_engine::lock_recover;
 use lux_engine::trace::{names as metric, MetricsRegistry, SpanId, TraceCollector};
 #[cfg(test)]
 use lux_engine::LuxConfig;
@@ -124,6 +125,7 @@ fn execute_prepared(
     mut candidates: Vec<Candidate>,
     trace: Option<&TraceCtx>,
     governor: Option<&Arc<BudgetHandle>>,
+    sink: Option<&EventSink>,
 ) -> std::result::Result<Option<ActionResult>, ActionError> {
     let start = Instant::now();
     if candidates.is_empty() {
@@ -131,6 +133,18 @@ fn execute_prepared(
     }
     let mut opts = ctx.process_options();
     opts.governor = governor.cloned();
+    // Degradation events go to the caller's sink when one is attached (the
+    // parallel-actions path replays them in schedule order), otherwise live
+    // onto the governor. Returns how many events were emitted.
+    let emit = |events: Vec<lux_engine::GovernorEvent>| -> usize {
+        let n = events.len();
+        match (sink, governor) {
+            (Some(s), _) => lock_recover(s).extend(events),
+            (None, Some(g)) => g.absorb(events),
+            _ => {}
+        }
+        n
+    };
     // Governor: the candidate search space is the first allocation-heavy
     // surface of an action — cap it before any scoring/processing happens.
     let mut governor_notes: Vec<String> = Vec::new();
@@ -139,16 +153,19 @@ fn execute_prepared(
         let dropped = candidates.len() - max_candidates;
         candidates.truncate(max_candidates);
         let note = format!("candidate search space capped at {max_candidates} ({dropped} dropped)");
-        if let Some(g) = governor {
-            g.record(
-                format!("action:{}", action.name()),
-                DegradeLevel::CappedCardinality,
-                note.clone(),
-            );
+        if governor.is_some() {
+            emit(vec![lux_engine::GovernorEvent {
+                stage: format!("action:{}", action.name()),
+                level: DegradeLevel::CappedCardinality,
+                detail: note.clone(),
+            }]);
         }
         governor_notes.push(note);
     }
-    let governor_events_before = governor.map_or(0, |g| g.event_count());
+    // Score/process degradations attributed to THIS action (counted from
+    // its own per-candidate sinks, immune to concurrent actions' events).
+    let mut degrade_events = 0usize;
+    let governed = governor.is_some();
     let estimated_cost = estimate_action(&candidates, ctx.meta, ctx.df.num_rows(), model);
     let k = ctx.config.top_k;
     let total = candidates.len();
@@ -215,21 +232,37 @@ fn execute_prepared(
         }
     }
 
-    // First pass: score every candidate (on the sample when PRUNE applies),
-    // checking the deadline cooperatively between candidates.
+    // First pass: score every candidate (on the sample when PRUNE applies).
+    // With `threads > 1` candidates score as pool tasks into per-index
+    // slots; the slots are folded in candidate order, stopping at the first
+    // deadline expiry, so a run that never hits its deadline produces
+    // byte-identical output at every thread count (and `threads = 1` is the
+    // old sequential loop exactly).
+    let par = ctx.config.effective_threads();
     let score_span = trace.map(|t| t.child("score"));
-    let mut scored: Vec<(Candidate, f64, bool)> = Vec::with_capacity(total);
-    let mut degraded_reason: Option<String> = None;
-    for cand in candidates {
+    if let (Some(t), Some(id)) = (trace, score_span) {
+        t.collector.tag(id, "par", par.to_string());
+    }
+    enum ScoreOutcome {
+        Scored(Candidate, f64, bool),
+        Expired,
+        Panicked(ActionError),
+    }
+    let outcomes = lux_engine::parallel_map(par, candidates, |_, cand| {
         if deadline.expired() {
-            degraded_reason = Some(format!(
-                "budget {:?} exhausted after scoring {}/{} candidates",
-                deadline.budget(),
-                scored.len(),
-                total
-            ));
-            break;
+            return (ScoreOutcome::Expired, None);
         }
+        // Per-candidate event sink: degradations recorded while scoring
+        // buffer here and are replayed in candidate order by the fold below.
+        let csink = governed.then(event_sink);
+        let copts = match &csink {
+            Some(s) => {
+                let mut c = opts.clone();
+                c.event_sink = Some(s.clone());
+                c
+            }
+            None => opts.clone(),
+        };
         // Candidates pinned to their own frame (history/structure actions)
         // are scored on that frame; others use the sample when pruning.
         let (frame, approx): (&DataFrame, bool) = match (&cand.frame, prune_sample) {
@@ -237,17 +270,39 @@ fn execute_prepared(
             (None, Some(s)) => (s, true),
             (None, None) => (ctx.df, false),
         };
-        let score = match isolate(action.name(), || action.score(&cand.spec, frame, &opts)) {
-            Ok(s) => s,
-            Err(e) => {
+        let outcome = match isolate(action.name(), || action.score(&cand.spec, frame, &copts)) {
+            Ok(s) => ScoreOutcome::Scored(cand, s, approx),
+            Err(e) => ScoreOutcome::Panicked(e),
+        };
+        (outcome, csink)
+    });
+    let mut scored: Vec<(Candidate, f64, bool)> = Vec::with_capacity(total);
+    let mut degraded_reason: Option<String> = None;
+    for (outcome, csink) in outcomes {
+        // Replay this candidate's events before settling its outcome — the
+        // order a sequential run would have recorded them in.
+        if let Some(s) = &csink {
+            degrade_events += emit(drain_sink(s));
+        }
+        match outcome {
+            ScoreOutcome::Scored(cand, score, approx) => scored.push((cand, score, approx)),
+            ScoreOutcome::Expired => {
+                degraded_reason = Some(format!(
+                    "budget {:?} exhausted after scoring {}/{} candidates",
+                    deadline.budget(),
+                    scored.len(),
+                    total
+                ));
+                break;
+            }
+            ScoreOutcome::Panicked(e) => {
                 if let (Some(t), Some(id)) = (trace, score_span) {
                     t.collector.tag(id, "panicked", "true");
                     t.collector.end(id);
                 }
                 return Err(e);
             }
-        };
-        scored.push((cand, score, approx));
+        }
     }
     if let (Some(t), Some(id)) = (trace, score_span) {
         t.collector
@@ -273,47 +328,49 @@ fn execute_prepared(
     // top-k on the full frame — until the deadline expires, after which the
     // remaining survivors are served degraded: approximate score kept,
     // processed against the (cheap) sample so there is still data to draw.
+    // Like scoring, survivors process as pool tasks into per-index slots;
+    // each task re-checks the deadline itself, so without deadline pressure
+    // every thread count takes the exact path on every survivor.
     let process_span = trace.map(|t| t.child("process"));
-    let mut visses: Vec<Vis> = Vec::with_capacity(scored.len());
-    let mut last_processing_error: Option<String> = None;
-    for (cand, score, approx) in scored {
-        if degraded_reason.is_none() && deadline.expired() {
-            degraded_reason = Some(format!(
-                "budget {:?} exhausted during exact processing; remaining results are sample-approximated",
-                deadline.budget()
-            ));
-        }
+    if let (Some(t), Some(id)) = (trace, process_span) {
+        t.collector.tag(id, "par", par.to_string());
+    }
+    enum ProcOutcome {
+        Exact(Result<Vis>),
+        Degraded(Vis),
+        Panicked(ActionError),
+    }
+    let already_degraded = degraded_reason.is_some();
+    let proc_outcomes = lux_engine::parallel_map(par, scored, |_, (cand, score, approx)| {
+        let csink = governed.then(event_sink);
+        let copts = match &csink {
+            Some(s) => {
+                let mut c = opts.clone();
+                c.event_sink = Some(s.clone());
+                c
+            }
+            None => opts.clone(),
+        };
         let Candidate {
             spec,
             frame: pinned,
         } = cand;
-        if degraded_reason.is_none() {
+        let outcome = if !already_degraded && !deadline.expired() {
             let frame: &DataFrame = pinned.as_deref().unwrap_or(ctx.df);
-            let processed = match isolate(action.name(), || -> Result<Vis> {
+            match isolate(action.name(), || -> Result<Vis> {
                 let exact = if approx {
-                    action.score(&spec, frame, &opts)
+                    action.score(&spec, frame, &copts)
                 } else {
                     score
                 };
                 let mut vis = Vis::new(spec);
                 vis.score = exact;
                 vis.approximate = false;
-                vis.process(frame, &opts)?;
+                vis.process(frame, &copts)?;
                 Ok(vis)
             }) {
-                Ok(r) => r,
-                Err(e) => {
-                    if let (Some(t), Some(id)) = (trace, process_span) {
-                        t.collector.tag(id, "panicked", "true");
-                        t.collector.end(id);
-                    }
-                    return Err(e);
-                }
-            };
-            match processed {
-                Ok(vis) => visses.push(vis),
-                // fail-safe: drop the broken vis, keep the rest
-                Err(e) => last_processing_error = Some(e.to_string()),
+                Ok(r) => ProcOutcome::Exact(r),
+                Err(e) => ProcOutcome::Panicked(e),
             }
         } else {
             // Degraded path: best-effort processing against the pinned
@@ -322,10 +379,43 @@ fn execute_prepared(
             vis.score = score;
             vis.approximate = true;
             if let Some(frame) = pinned.as_deref().or(sample) {
-                let _ = isolate(action.name(), || vis.process(frame, &opts));
+                let _ = isolate(action.name(), || vis.process(frame, &copts));
             }
-            visses.push(vis);
+            ProcOutcome::Degraded(vis)
+        };
+        (outcome, csink)
+    });
+    let mut visses: Vec<Vis> = Vec::with_capacity(proc_outcomes.len());
+    let mut last_processing_error: Option<String> = None;
+    let mut expired_during_processing = false;
+    for (outcome, csink) in proc_outcomes {
+        if let Some(s) = &csink {
+            degrade_events += emit(drain_sink(s));
         }
+        match outcome {
+            ProcOutcome::Exact(Ok(vis)) => visses.push(vis),
+            // fail-safe: drop the broken vis, keep the rest
+            ProcOutcome::Exact(Err(e)) => last_processing_error = Some(e.to_string()),
+            ProcOutcome::Degraded(vis) => {
+                if !already_degraded {
+                    expired_during_processing = true;
+                }
+                visses.push(vis);
+            }
+            ProcOutcome::Panicked(e) => {
+                if let (Some(t), Some(id)) = (trace, process_span) {
+                    t.collector.tag(id, "panicked", "true");
+                    t.collector.end(id);
+                }
+                return Err(e);
+            }
+        }
+    }
+    if expired_during_processing && degraded_reason.is_none() {
+        degraded_reason = Some(format!(
+            "budget {:?} exhausted during exact processing; remaining results are sample-approximated",
+            deadline.budget()
+        ));
     }
     if let (Some(t), Some(id)) = (trace, process_span) {
         t.collector.tag(id, "processed", visses.len().to_string());
@@ -345,15 +435,14 @@ fn execute_prepared(
     // Governor degradations during scoring/processing (group caps, shrunk
     // scans, ...) surface on the result even though the deadline never
     // fired: the tab is marked degraded with the governor's reasons.
-    if let Some(g) = governor {
-        let events = g.event_count().saturating_sub(governor_events_before);
-        if events > 0 {
+    if governed {
+        if degrade_events > 0 {
             governor_notes.push(format!(
-                "resource governor degraded {events} processing step(s)"
+                "resource governor degraded {degrade_events} processing step(s)"
             ));
         }
         if let Some(t) = trace {
-            t.tag("governor.events", events.to_string());
+            t.tag("governor.events", degrade_events.to_string());
         }
     }
     let degraded = degraded_reason.is_some() || !governor_notes.is_empty();
@@ -426,7 +515,9 @@ pub fn execute_action_governed(
         }
         None => generate_isolated(action, ctx)?,
     };
-    execute_prepared(action, ctx, sample, model, candidates, trace, governor)
+    execute_prepared(
+        action, ctx, sample, model, candidates, trace, governor, None,
+    )
 }
 
 /// Fault-blind convenience wrapper around [`execute_action_guarded`]:
@@ -671,53 +762,59 @@ pub fn run_actions_report_governed(
         }
     }
 
-    if ctx.config.r#async && prepared.len() > 1 {
-        // Cheapest-first dispatch onto scoped workers; results stream back
-        // in completion order (cheap actions come back while laggards run).
-        type Outcome = std::result::Result<Option<ActionResult>, ActionError>;
-        let (tx, rx) = mpsc::channel::<(String, Outcome)>();
-        let model_ref = &model;
-        let mut spans: HashMap<String, SpanId> = HashMap::new();
-        std::thread::scope(|scope| {
-            for (action, candidates, _, span) in prepared {
-                if let Some(id) = span {
-                    spans.insert(action.name().to_string(), id);
-                }
+    let par = ctx.config.effective_threads();
+    if ctx.config.r#async && par > 1 && prepared.len() > 1 {
+        // Cheapest-first dispatch as work-pool fork-join tasks (the caller
+        // participates while waiting); outcomes land in per-action slots
+        // and are absorbed in schedule order, so the report — results,
+        // health ledger, callbacks — is identical to the sequential path.
+        let outcomes =
+            lux_engine::parallel_map(par, prepared, |_, (action, candidates, _, span)| {
                 let tctx = match (trace, span) {
                     (Some((collector, _)), Some(id)) => {
                         Some(TraceCtx::new(Arc::clone(collector), id))
                     }
                     _ => None,
                 };
-                let tx = tx.clone();
-                let gov = governor.cloned();
-                scope.spawn(move || {
-                    let outcome = execute_prepared(
-                        action.as_ref(),
-                        ctx,
-                        sample,
-                        model_ref,
-                        candidates,
-                        tctx.as_ref(),
-                        gov.as_ref(),
+                if let Some(t) = &tctx {
+                    t.tag(
+                        "sched.worker",
+                        match lux_engine::worker_index() {
+                            Some(w) => w.to_string(),
+                            None => "caller".to_string(),
+                        },
                     );
-                    let _ = tx.send((action.name().to_string(), outcome));
-                });
-            }
-            drop(tx);
-            while let Ok((name, outcome)) = rx.recv() {
-                let span = span_ref(spans.get(&name).copied());
-                absorb_outcome(
-                    &name,
-                    outcome,
-                    &mut report,
-                    breaker,
-                    threshold,
-                    &mut on_result,
-                    span,
+                }
+                // Per-action event sink: governor degradations buffer here and
+                // are replayed onto the handle in schedule order below, so the
+                // pass's event list matches the sequential path exactly.
+                let asink = governor.is_some().then(event_sink);
+                let outcome = execute_prepared(
+                    action.as_ref(),
+                    ctx,
+                    sample,
+                    &model,
+                    candidates,
+                    tctx.as_ref(),
+                    governor,
+                    asink.as_ref(),
                 );
+                (action, outcome, span, asink)
+            });
+        for (action, outcome, span, asink) in outcomes {
+            if let (Some(g), Some(s)) = (governor, &asink) {
+                g.absorb(drain_sink(s));
             }
-        });
+            absorb_outcome(
+                action.name(),
+                outcome,
+                &mut report,
+                breaker,
+                threshold,
+                &mut on_result,
+                span_ref(span),
+            );
+        }
     } else {
         for (action, candidates, _, span) in prepared {
             let tctx = match (trace, span) {
@@ -732,6 +829,7 @@ pub fn run_actions_report_governed(
                 candidates,
                 tctx.as_ref(),
                 governor,
+                None,
             );
             absorb_outcome(
                 action.name(),
@@ -1191,7 +1289,21 @@ pub fn run_actions_streaming(registry: &ActionRegistry, owned: OwnedContext) -> 
         );
         let owned = owned.clone();
         let worker_tx = worker_tx.clone();
-        std::thread::spawn(move || {
+        // Detached-lane pool task rather than a dedicated thread: cheap
+        // actions reuse warm threads instead of paying a spawn each, while
+        // a task abandoned at the hard cutoff only parks its own lane
+        // thread — it can never occupy the fixed work-stealing workers that
+        // run the per-vis fan-out inside healthy actions.
+        lux_engine::pool::global().spawn_detached(Box::new(move || {
+            if let Some(t) = &action_trace {
+                t.tag(
+                    "sched.worker",
+                    match lux_engine::worker_index() {
+                        Some(w) => w.to_string(),
+                        None => "caller".to_string(),
+                    },
+                );
+            }
             let model = CostModel::default();
             let ctx = owned.action_context();
             let outcome = execute_action_governed(
@@ -1203,7 +1315,7 @@ pub fn run_actions_streaming(registry: &ActionRegistry, owned: OwnedContext) -> 
                 owned.governor.as_ref(),
             );
             let _ = worker_tx.send((action.name().to_string(), outcome));
-        });
+        }));
     }
     drop(worker_tx);
 

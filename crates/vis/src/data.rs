@@ -8,7 +8,9 @@
 use std::sync::Arc;
 
 use lux_dataframe::prelude::*;
-use lux_engine::governor::{BudgetHandle, DegradeLevel};
+use lux_engine::governor::{BudgetHandle, DegradeLevel, EventSink, GovernorEvent};
+use lux_engine::lock_recover;
+use lux_engine::trace::{names, MetricsRegistry};
 
 use crate::spec::{Channel, Mark, VisSpec};
 
@@ -49,6 +51,17 @@ pub struct ProcessOptions {
     /// Per-pass budget handle; when set, allocation-heavy steps charge it
     /// and record their degradations.
     pub governor: Option<Arc<BudgetHandle>>,
+    /// Deferred-event buffer: when set, degradations are pushed here
+    /// instead of recorded live on the governor, so a parallel caller can
+    /// replay them in schedule order (see `lux_engine::governor::EventSink`).
+    pub event_sink: Option<EventSink>,
+    /// Parallelism hint for data-parallel kernels (group-by sharding).
+    /// `1` (the default) keeps every kernel strictly sequential.
+    pub threads: usize,
+    /// Consult and fill the processed-vis memo cache (the paper's WFLOW
+    /// rule extended past metadata). Off by default so direct `process`
+    /// calls never observe cross-call state.
+    pub memo: bool,
 }
 
 impl Default for ProcessOptions {
@@ -63,6 +76,9 @@ impl Default for ProcessOptions {
             temporal_buckets: 64,
             max_group_cardinality: 1_000,
             governor: None,
+            event_sink: None,
+            threads: 1,
+            memo: false,
         }
     }
 }
@@ -71,7 +87,56 @@ impl Default for ProcessOptions {
 /// whose columns match the spec's channels (`x`, `y`, and optionally
 /// `color`-named after the source attributes, or `count` for synthetic
 /// count axes).
+///
+/// With [`ProcessOptions::memo`] set, results are served from a bounded
+/// process-wide cache keyed on the source frame's fingerprint and the full
+/// spec/options serialization. Only exact (non-degraded) results are
+/// cached: a pass whose governor recorded a degradation during processing
+/// computed something budget-shaped, not data-shaped, and must not leak
+/// into healthier passes.
 pub fn process(spec: &VisSpec, df: &DataFrame, opts: &ProcessOptions) -> Result<DataFrame> {
+    if !opts.memo {
+        return process_uncached(spec, df, opts);
+    }
+    let key = memo::key(spec, opts);
+    let fingerprint = df.fingerprint();
+    let metrics = MetricsRegistry::global();
+    if let Some(hit) = memo::get(fingerprint, &key) {
+        metrics.incr(names::VIS_MEMO_HIT);
+        return Ok(hit);
+    }
+    // Bracket the computation with a call-local sink: a degradation is
+    // whatever THIS call recorded, never what a concurrently-running vis
+    // happened to record on the shared handle in the same window.
+    let call_sink = lux_engine::governor::event_sink();
+    let mut inner = opts.clone();
+    inner.event_sink = Some(call_sink.clone());
+    let result = process_uncached(spec, df, &inner);
+    let events = lux_engine::governor::drain_sink(&call_sink);
+    let degraded = !events.is_empty();
+    if !events.is_empty() {
+        // Hand the events back to whatever the caller was collecting into.
+        if let Some(outer) = &opts.event_sink {
+            lock_recover(outer).extend(events);
+        } else if let Some(g) = &opts.governor {
+            g.absorb(events);
+        }
+    }
+    let out = result?;
+    if degraded {
+        metrics.incr(names::VIS_MEMO_MISS);
+    } else if memo::insert(fingerprint, key, out.clone()) {
+        // Another worker finished the same vis while we computed: count it
+        // as the hit it would have been sequentially, so hit/miss totals
+        // stay identical across thread counts.
+        metrics.incr(names::VIS_MEMO_HIT);
+    } else {
+        metrics.incr(names::VIS_MEMO_MISS);
+    }
+    Ok(out)
+}
+
+fn process_uncached(spec: &VisSpec, df: &DataFrame, opts: &ProcessOptions) -> Result<DataFrame> {
     if opts.backend == Backend::Sql {
         return crate::sql::process_sql(spec, df, opts);
     }
@@ -92,6 +157,21 @@ pub fn process(spec: &VisSpec, df: &DataFrame, opts: &ProcessOptions) -> Result<
         Mark::Bar | Mark::Line | Mark::Choropleth => process_group_agg(spec, frame, opts),
         Mark::Histogram => process_histogram(spec, frame, opts),
         Mark::Heatmap => process_heatmap(spec, frame, opts),
+    }
+}
+
+/// Record a processing degradation: buffered into the caller's
+/// [`EventSink`] when one is attached (deterministic parallel replay),
+/// otherwise recorded live on the governor.
+fn record_degrade(opts: &ProcessOptions, stage: String, level: DegradeLevel, detail: String) {
+    if let Some(sink) = &opts.event_sink {
+        lock_recover(sink).push(GovernorEvent {
+            stage,
+            level,
+            detail,
+        });
+    } else if let Some(g) = &opts.governor {
+        g.record(stage, level, detail);
     }
 }
 
@@ -157,22 +237,22 @@ fn process_group_agg(spec: &VisSpec, df: &DataFrame, opts: &ProcessOptions) -> R
     if let Some(g) = &opts.governor {
         if !g.try_charge(df.num_rows() as u64 * 8) {
             group_cap = group_cap.min(opts.max_bars.max(1));
-            g.record(
+            record_degrade(
+                opts,
                 format!("process:{x}"),
                 DegradeLevel::CappedCardinality,
-                "pass memory budget exhausted; group cap tightened",
+                "pass memory budget exhausted; group cap tightened".to_string(),
             );
         }
     }
-    let gb = df.groupby_capped(&keys, group_cap)?;
-    if gb.is_capped() {
-        if let Some(g) = &opts.governor {
-            g.record(
-                format!("process:{x}"),
-                DegradeLevel::CappedCardinality,
-                format!("distinct group keys exceed cap {group_cap}; folded into \"(other)\""),
-            );
-        }
+    let gb = df.groupby_capped_par(&keys, group_cap, opts.threads)?;
+    if gb.is_capped() && opts.governor.is_some() {
+        record_degrade(
+            opts,
+            format!("process:{x}"),
+            DegradeLevel::CappedCardinality,
+            format!("distinct group keys exceed cap {group_cap}; folded into \"(other)\""),
+        );
     }
 
     let y_enc = spec.channel(Channel::Y);
@@ -316,6 +396,79 @@ fn bin_idx(v: f64, lo: f64, hi: f64, nbins: usize) -> usize {
 fn bin_edge(b: usize, lo: f64, hi: f64, nbins: usize) -> f64 {
     let t = b as f64 / nbins as f64;
     lo * (1.0 - t) + hi * t
+}
+
+/// Processed-vis memo cache (paper's WFLOW rule applied to processing, not
+/// just metadata). Process-wide like [`MetricsRegistry`], bounded FIFO.
+/// Entries key on the source frame's fingerprint, so any derivation — which
+/// re-stamps the fingerprint — naturally invalidates; stale entries age out
+/// of the FIFO without explicit hooks.
+mod memo {
+    use std::collections::{HashMap, VecDeque};
+    use std::sync::Mutex;
+
+    use lux_dataframe::DataFrame;
+
+    use super::{ProcessOptions, VisSpec};
+
+    const CAPACITY: usize = 256;
+
+    struct Store {
+        map: HashMap<(u64, String), DataFrame>,
+        order: VecDeque<(u64, String)>,
+    }
+
+    static STORE: Mutex<Option<Store>> = Mutex::new(None);
+
+    /// Full cache key: the spec serialization plus every option that can
+    /// change the processed output.
+    pub(super) fn key(spec: &VisSpec, opts: &ProcessOptions) -> String {
+        format!(
+            "{}|hb={}|mb={}|mp={}|hm={}|s={}|tb={}|gc={}|be={:?}",
+            spec.cache_key(),
+            opts.histogram_bins,
+            opts.max_bars,
+            opts.max_points,
+            opts.heatmap_bins,
+            opts.seed,
+            opts.temporal_buckets,
+            opts.max_group_cardinality,
+            opts.backend,
+        )
+    }
+
+    pub(super) fn get(fingerprint: u64, key: &str) -> Option<DataFrame> {
+        let guard = STORE.lock().ok()?;
+        guard
+            .as_ref()?
+            .map
+            .get(&(fingerprint, key.to_string()))
+            .cloned()
+    }
+
+    /// Insert unless present. Returns `true` when an entry already existed
+    /// (a concurrent computation of the same vis won the race).
+    pub(super) fn insert(fingerprint: u64, key: String, value: DataFrame) -> bool {
+        let Ok(mut guard) = STORE.lock() else {
+            return false;
+        };
+        let store = guard.get_or_insert_with(|| Store {
+            map: HashMap::new(),
+            order: VecDeque::new(),
+        });
+        let k = (fingerprint, key);
+        if store.map.contains_key(&k) {
+            return true;
+        }
+        if store.order.len() >= CAPACITY {
+            if let Some(old) = store.order.pop_front() {
+                store.map.remove(&old);
+            }
+        }
+        store.order.push_back(k.clone());
+        store.map.insert(k, value);
+        false
+    }
 }
 
 #[cfg(test)]
@@ -613,6 +766,76 @@ mod tests {
         assert!(gov.event_count() >= 1, "no governor event for the cap");
         assert_eq!(out.value(0, "k").unwrap(), Value::str("(other)"));
         assert_eq!(out.value(0, "count").unwrap(), Value::Int(450));
+    }
+
+    #[test]
+    fn memo_caches_exact_results_by_fingerprint() {
+        let df = sample_df();
+        let spec = VisSpec::new(
+            Mark::Bar,
+            vec![
+                Encoding::new("dept", SemanticType::Nominal, Channel::X),
+                Encoding::new("pay", SemanticType::Quantitative, Channel::Y)
+                    .with_aggregation(Agg::Mean),
+            ],
+            vec![],
+        );
+        let o = ProcessOptions {
+            memo: true,
+            ..opts()
+        };
+        let first = process(&spec, &df, &o).unwrap();
+        let k = memo::key(&spec, &o);
+        assert!(
+            memo::get(df.fingerprint(), &k).is_some(),
+            "exact result was not cached"
+        );
+        let second = process(&spec, &df, &o).unwrap();
+        assert_eq!(first.num_rows(), second.num_rows());
+        assert_eq!(
+            first.value(0, "dept").unwrap(),
+            second.value(0, "dept").unwrap()
+        );
+        assert_eq!(
+            first.value(0, "pay").unwrap(),
+            second.value(0, "pay").unwrap()
+        );
+        // a fresh frame with identical data has a different fingerprint:
+        // at worst a miss, never a wrong hit
+        assert!(memo::get(sample_df().fingerprint(), &k).is_none());
+    }
+
+    #[test]
+    fn memo_skips_degraded_results() {
+        let df = DataFrameBuilder::new()
+            .str("k", (0..500).map(|i| format!("k{i}")))
+            .float("v", (0..500).map(|i| i as f64))
+            .build()
+            .unwrap();
+        let spec = VisSpec::new(
+            Mark::Bar,
+            vec![
+                Encoding::new("k", SemanticType::Nominal, Channel::X),
+                Encoding::synthetic_count(Channel::Y),
+            ],
+            vec![],
+        );
+        let gov = Arc::new(BudgetHandle::new(
+            lux_engine::governor::ResourceBudget::default(),
+        ));
+        let o = ProcessOptions {
+            max_group_cardinality: 50,
+            governor: Some(gov.clone()),
+            memo: true,
+            ..opts()
+        };
+        process(&spec, &df, &o).unwrap();
+        assert!(gov.event_count() >= 1, "expected a cap degradation");
+        let k = memo::key(&spec, &o);
+        assert!(
+            memo::get(df.fingerprint(), &k).is_none(),
+            "degraded result must not be cached"
+        );
     }
 
     #[test]

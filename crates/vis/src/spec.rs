@@ -213,6 +213,33 @@ impl VisSpec {
         }
     }
 
+    /// Stable serialization of every field that affects processing, used to
+    /// key the processed-vis memo cache. Unlike [`VisSpec::describe`] (a
+    /// human-readable title), this includes channels, bin counts, semantic
+    /// types, and synthetic markers, so two specs share a key only when
+    /// processing them is guaranteed to produce the same result.
+    pub fn cache_key(&self) -> String {
+        use std::fmt::Write;
+        let mut s = String::with_capacity(64);
+        let _ = write!(s, "m={};", self.mark.name());
+        for e in &self.encodings {
+            let _ = write!(
+                s,
+                "e={}|{:?}|{}|{:?}|{:?}|{};",
+                e.attribute,
+                e.semantic,
+                e.channel.name(),
+                e.aggregation,
+                e.bin,
+                e.synthetic
+            );
+        }
+        for f in &self.filters {
+            let _ = write!(s, "f={}|{}|{:?};", f.attribute, f.op, f.value);
+        }
+        s
+    }
+
     /// Human-readable one-line description, used as chart title.
     pub fn describe(&self) -> String {
         let enc: Vec<String> = self

@@ -1,0 +1,61 @@
+#!/usr/bin/env bash
+# Parallel print-path regression gate: re-runs the `print_path` benchmark
+# and compares each thread count's median total against the committed
+# BENCH_parallel.json baseline. Fails if any configuration regresses by
+# more than the tolerance (benchmark noise on shared runners is real, so
+# the bar is deliberately loose — catch structural regressions, not jitter).
+#
+# Usage: scripts/bench_compare.sh [tolerance_pct]   (default 15)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+TOLERANCE="${1:-15}"
+BASELINE=BENCH_parallel.json
+
+if [ ! -f "$BASELINE" ]; then
+    echo "error: no committed $BASELINE baseline to compare against"
+    exit 1
+fi
+
+# Pull "threads total_ms" pairs out of the runs array. The file is written
+# by crates/bench/src/bin/print_path.rs with one run object per entry, so a
+# line-oriented scrape is enough — no jq dependency.
+extract() {
+    grep -o '"threads": [0-9]*' "$1" | awk '{print $2}' >/tmp/bench_threads.$$
+    grep -o '"total_ms": [0-9.]*' "$1" | awk '{print $2}' >/tmp/bench_totals.$$
+    paste /tmp/bench_threads.$$ /tmp/bench_totals.$$
+    rm -f /tmp/bench_threads.$$ /tmp/bench_totals.$$
+}
+
+baseline_pairs=$(extract "$BASELINE")
+
+echo "== building and running print_path"
+cargo build --release -p lux-bench --bin print_path --quiet
+work=$(mktemp -d)
+(cd "$work" && "$OLDPWD/target/release/print_path")
+current_pairs=$(extract "$work/BENCH_parallel.json")
+rm -rf "$work"
+
+echo
+echo "== comparing against committed $BASELINE (tolerance ${TOLERANCE}%)"
+fail=0
+while read -r threads base_ms; do
+    cur_ms=$(echo "$current_pairs" | awk -v t="$threads" '$1 == t {print $2}')
+    if [ -z "$cur_ms" ]; then
+        echo "warn: threads=$threads missing from current run, skipping"
+        continue
+    fi
+    verdict=$(awk -v b="$base_ms" -v c="$cur_ms" -v tol="$TOLERANCE" 'BEGIN {
+        delta = (c - b) / b * 100
+        printf "%+.1f%% ", delta
+        print (delta > tol) ? "REGRESSION" : "ok"
+    }')
+    echo "threads=$threads: baseline ${base_ms}ms -> current ${cur_ms}ms ($verdict)"
+    case "$verdict" in *REGRESSION*) fail=1 ;; esac
+done <<<"$baseline_pairs"
+
+if [ "$fail" -ne 0 ]; then
+    echo "error: print-path total regressed more than ${TOLERANCE}% vs $BASELINE"
+    exit 1
+fi
+echo "bench comparison passed"

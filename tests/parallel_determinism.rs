@@ -1,0 +1,142 @@
+//! Parallel determinism suite (DESIGN.md §9): the recommendation output of
+//! a print pass must not depend on the parallelism degree. Every test here
+//! runs the identical workload under `threads = 1` and `threads = 8` and
+//! requires bit-identical results — action lists, spec order, scores,
+//! degradation flags, governor notes — plus identical metrics-counter
+//! deltas for the pipeline's own accounting.
+//!
+//! Frames are rebuilt (not cloned) between runs: clones share freshness
+//! fingerprints, and a shared fingerprint would let the second run answer
+//! from the processed-vis memo instead of exercising its own schedule.
+
+mod common;
+
+use std::sync::{Arc, Mutex};
+
+use common::adversarial_frame;
+use lux::engine::trace::{names, MetricsRegistry};
+use lux::prelude::*;
+use lux::LuxDataFrame;
+use proptest::prelude::*;
+
+/// Serializes the tests in this binary: counter-delta comparisons read the
+/// process-global [`MetricsRegistry`], so concurrent passes from sibling
+/// tests would pollute each other's deltas.
+static PASS_LOCK: Mutex<()> = Mutex::new(());
+
+fn lock() -> std::sync::MutexGuard<'static, ()> {
+    PASS_LOCK.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+/// Everything observable about one pass, in a directly comparable shape.
+#[derive(Debug, PartialEq)]
+struct PassOutput {
+    /// Tab order: action names as scheduled.
+    actions: Vec<String>,
+    /// Per action: (spec description, score bits, data rows) per vis, in
+    /// rank order. Scores compare as bit patterns — parallel folds must
+    /// reproduce the sequential arithmetic exactly, not approximately.
+    vislists: Vec<Vec<(String, u64, Option<usize>)>>,
+    /// Per action: degraded flag and reason.
+    degraded: Vec<(bool, Option<String>)>,
+    /// The pass's governor summary line (None when fully exact).
+    governor: Option<String>,
+}
+
+fn run_pass(df: DataFrame, threads: usize) -> PassOutput {
+    let config = LuxConfig {
+        threads,
+        ..LuxConfig::all_opt()
+    };
+    let ldf = LuxDataFrame::with_config(df, Arc::new(config));
+    let widget = ldf.print();
+    PassOutput {
+        actions: widget.results().iter().map(|r| r.action.clone()).collect(),
+        vislists: widget
+            .results()
+            .iter()
+            .map(|r| {
+                r.vislist
+                    .iter()
+                    .map(|v| {
+                        (
+                            v.spec.describe(),
+                            v.score.to_bits(),
+                            v.data.as_ref().map(|d| d.num_rows()),
+                        )
+                    })
+                    .collect()
+            })
+            .collect(),
+        degraded: widget
+            .results()
+            .iter()
+            .map(|r| (r.degraded, r.degraded_reason.clone()))
+            .collect(),
+        governor: widget.governor_note().map(str::to_string),
+    }
+}
+
+/// A content-equal frame with a fresh fingerprint (memo-cold).
+fn rebuild(df: &DataFrame) -> DataFrame {
+    df.head(df.num_rows())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn adversarial_frames_print_identically_at_any_thread_count(df in adversarial_frame()) {
+        let _guard = lock();
+        let sequential = run_pass(rebuild(&df), 1);
+        let parallel = run_pass(rebuild(&df), 8);
+        prop_assert_eq!(&sequential.actions, &parallel.actions, "action schedule diverged");
+        prop_assert_eq!(&sequential.vislists, &parallel.vislists, "vis ranking diverged");
+        prop_assert_eq!(&sequential.degraded, &parallel.degraded, "degradation diverged");
+        prop_assert_eq!(&sequential.governor, &parallel.governor, "governor events diverged");
+    }
+}
+
+#[test]
+fn structured_frame_prints_identically_at_any_thread_count() {
+    let _guard = lock();
+    let df = lux::workloads::synthetic_wide(10, 2_000, 42);
+    let sequential = run_pass(rebuild(&df), 1);
+    let parallel = run_pass(rebuild(&df), 8);
+    assert_eq!(sequential, parallel);
+    assert!(
+        !sequential.actions.is_empty(),
+        "workload frame must produce recommendations"
+    );
+}
+
+#[test]
+fn pipeline_counters_are_thread_count_invariant() {
+    let _guard = lock();
+    let watched = [
+        names::VIS_MEMO_HIT,
+        names::VIS_MEMO_MISS,
+        names::META_MEMO_HIT,
+        names::META_MEMO_MISS,
+    ];
+    let metrics = MetricsRegistry::global();
+    let df = lux::workloads::synthetic_wide(8, 1_000, 7);
+
+    let mut deltas: Vec<Vec<u64>> = Vec::new();
+    for threads in [1usize, 8] {
+        let before: Vec<u64> = watched.iter().map(|n| metrics.counter(n)).collect();
+        let _ = run_pass(rebuild(&df), threads);
+        let after: Vec<u64> = watched.iter().map(|n| metrics.counter(n)).collect();
+        deltas.push(
+            before
+                .iter()
+                .zip(&after)
+                .map(|(b, a)| a.saturating_sub(*b))
+                .collect(),
+        );
+    }
+    assert_eq!(
+        deltas[0], deltas[1],
+        "counter deltas diverged between threads=1 and threads=8 ({watched:?})"
+    );
+}

@@ -19,80 +19,8 @@ fn duplicate(df: &DataFrame, k: usize) -> DataFrame {
     out
 }
 
-/// Adversarial frame generator: the pathological shapes the resource
-/// governor and the always-on print path must survive (DESIGN.md §8) —
-/// empty frames, all-null columns, near-unique categoricals, NaN/inf
-/// floats, single-value and mixed-sign-zero columns, and huge strings.
-pub fn adversarial_frame() -> impl Strategy<Value = DataFrame> {
-    let zero_rows = Just(
-        DataFrameBuilder::new()
-            .float("x", std::iter::empty::<f64>())
-            .str("s", std::iter::empty::<&str>())
-            .build()
-            .unwrap(),
-    );
-    let all_null = (1usize..60).prop_map(|rows| {
-        DataFrameBuilder::new()
-            .column(
-                "nf",
-                Column::Float64(PrimitiveColumn::from_options(vec![None; rows])),
-            )
-            .column(
-                "ns",
-                Column::Str(StrColumn::from_options(vec![None::<&str>; rows])),
-            )
-            .build()
-            .unwrap()
-    });
-    let near_unique = (50usize..200).prop_map(|rows| {
-        DataFrameBuilder::new()
-            .str("id", (0..rows).map(|i| format!("user-{i:06}")))
-            .float("v", (0..rows).map(|i| i as f64))
-            .build()
-            .unwrap()
-    });
-    let non_finite = proptest::collection::vec(
-        prop_oneof![
-            Just(f64::NAN),
-            Just(f64::INFINITY),
-            Just(f64::NEG_INFINITY),
-            Just(0.0),
-            Just(-0.0),
-            -1e300f64..1e300,
-        ],
-        2..40,
-    )
-    .prop_map(|vals| {
-        let n = vals.len();
-        DataFrameBuilder::new()
-            .float("weird", vals)
-            .str("g", (0..n).map(|i| if i % 2 == 0 { "a" } else { "b" }))
-            .build()
-            .unwrap()
-    });
-    let single_value = (2usize..40).prop_map(|rows| {
-        DataFrameBuilder::new()
-            .float("constant", std::iter::repeat(7.0).take(rows))
-            .int("zero", std::iter::repeat(0).take(rows))
-            .build()
-            .unwrap()
-    });
-    let huge_strings = (2usize..10).prop_map(|rows| {
-        DataFrameBuilder::new()
-            .str("blob", (0..rows).map(|i| "x".repeat(10_000 + i)))
-            .float("v", (0..rows).map(|i| i as f64))
-            .build()
-            .unwrap()
-    });
-    prop_oneof![
-        zero_rows,
-        all_null,
-        near_unique,
-        non_finite,
-        single_value,
-        huge_strings,
-    ]
-}
+mod common;
+use common::adversarial_frame;
 
 fn small_frame() -> impl Strategy<Value = DataFrame> {
     (2usize..30).prop_flat_map(|rows| {
