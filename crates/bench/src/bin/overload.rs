@@ -1,0 +1,138 @@
+//! Multi-session overload benchmark (DESIGN.md §10).
+//!
+//! Hammers one process with 1, 8, and 32 concurrent sessions printing cold
+//! frames and reports per-print latency percentiles plus the admission
+//! controller's decision counts at each level. Writes `BENCH_overload.json`
+//! so `scripts/bench_compare.sh` can gate the single-session p50 against
+//! the committed baseline — the admission layer must stay invisible to an
+//! idle engine.
+//!
+//! Scales: `LUX_OVERLOAD_ROWS` (rows per frame), `LUX_OVERLOAD_ITERS`
+//! (prints per session), `LUX_OVERLOAD_SESSIONS` (comma-separated
+//! concurrency levels), `LUX_BENCH_FULL=1` for the bigger defaults.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use lux_bench::{env_scales, full_scale, print_table};
+use lux_core::prelude::*;
+use lux_engine::trace::{names, MetricsRegistry};
+use lux_engine::AdmissionController;
+use lux_workloads::synthetic_wide;
+
+fn percentile(sorted: &[Duration], p: f64) -> Duration {
+    if sorted.is_empty() {
+        return Duration::ZERO;
+    }
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+fn ms(d: Duration) -> String {
+    format!("{:.3}", d.as_secs_f64() * 1e3)
+}
+
+struct Level {
+    sessions: usize,
+    p50: Duration,
+    p99: Duration,
+    served: u64,
+    shed: u64,
+    total: Duration,
+}
+
+fn run(sessions: usize, rows: usize, cols: usize, iters: usize) -> Level {
+    let metrics = MetricsRegistry::global();
+    let admits0 = metrics.counter(names::ADMISSION_ADMITS);
+    let sheds0 = metrics.counter(names::ADMISSION_SHEDS);
+    let started = Instant::now();
+    let handles: Vec<_> = (0..sessions)
+        .map(|s| {
+            std::thread::spawn(move || {
+                let mut latencies = Vec::with_capacity(iters);
+                for i in 0..iters {
+                    // Fresh frame per print: memo cold, full pipeline.
+                    let df = synthetic_wide(cols, rows, (s * 1_000 + i) as u64 + 11);
+                    let ldf = LuxDataFrame::with_config(df, Arc::new(LuxConfig::all_opt()));
+                    let t = Instant::now();
+                    let widget = ldf.print();
+                    std::hint::black_box(widget.table().len());
+                    latencies.push(t.elapsed());
+                }
+                latencies
+            })
+        })
+        .collect();
+    let mut latencies: Vec<Duration> = handles
+        .into_iter()
+        .flat_map(|h| h.join().expect("session panicked"))
+        .collect();
+    let total = started.elapsed();
+    latencies.sort();
+    Level {
+        sessions,
+        p50: percentile(&latencies, 0.50),
+        p99: percentile(&latencies, 0.99),
+        served: metrics.counter(names::ADMISSION_ADMITS) - admits0,
+        shed: metrics.counter(names::ADMISSION_SHEDS) - sheds0,
+        total,
+    }
+}
+
+fn main() {
+    let (rows, cols, iters) = if full_scale() {
+        (50_000usize, 16usize, 20usize)
+    } else {
+        (4_000, 8, 8)
+    };
+    let rows = env_scales("LUX_OVERLOAD_ROWS", &[rows])[0];
+    let iters = env_scales("LUX_OVERLOAD_ITERS", &[iters])[0];
+    let levels = env_scales("LUX_OVERLOAD_SESSIONS", &[1, 8, 32]);
+    let cfg = AdmissionController::global().config();
+    println!(
+        "# Overload: concurrent sessions vs print latency ({rows} rows x {cols} cols, \
+         {iters} prints/session, {} slots, {}MiB global cap)\n",
+        cfg.max_sessions,
+        cfg.max_global_bytes >> 20
+    );
+
+    let runs: Vec<Level> = levels.iter().map(|&n| run(n, rows, cols, iters)).collect();
+
+    let mut rows_out: Vec<Vec<String>> = Vec::new();
+    let mut json = String::from("{\n  \"runs\": [\n");
+    for (k, r) in runs.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"sessions\": {}, \"p50_ms\": {}, \"p99_ms\": {}, \"admits\": {}, \
+             \"sheds\": {}, \"wall_ms\": {}}}",
+            r.sessions,
+            ms(r.p50),
+            ms(r.p99),
+            r.served,
+            r.shed,
+            ms(r.total)
+        ));
+        json.push_str(if k + 1 < runs.len() { ",\n" } else { "\n" });
+        rows_out.push(vec![
+            format!("sessions={}", r.sessions),
+            ms(r.p50),
+            ms(r.p99),
+            r.served.to_string(),
+            r.shed.to_string(),
+            ms(r.total),
+        ]);
+    }
+    json.push_str(&format!(
+        "  ],\n  \"rows\": {rows},\n  \"columns\": {cols},\n  \"iterations\": {iters},\n  \
+         \"slots\": {},\n  \"global_cap_mb\": {}\n}}\n",
+        cfg.max_sessions,
+        cfg.max_global_bytes >> 20
+    ));
+
+    print_table(
+        &["config", "p50", "p99", "admits", "sheds", "wall"],
+        &rows_out,
+    );
+
+    std::fs::write("BENCH_overload.json", &json).expect("write BENCH_overload.json");
+    println!("\nwrote BENCH_overload.json");
+}

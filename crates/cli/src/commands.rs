@@ -430,13 +430,21 @@ impl Shell {
             Command::Profile { name } => Ok(Some(self.resolve(&name)?.profile())),
             Command::Health { name } => {
                 let health = self.resolve(&name)?.action_health();
-                if health.is_empty() {
-                    return Ok(Some("all actions healthy (no health entries)".into()));
-                }
-                let mut out = String::from("action health:");
-                for h in health.iter() {
-                    out.push_str(&format!("\n  {h}"));
-                }
+                let mut out = if health.is_empty() {
+                    String::from("all actions healthy (no health entries)")
+                } else {
+                    let mut out = String::from("action health:");
+                    for h in health.iter() {
+                        out.push_str(&format!("\n  {h}"));
+                    }
+                    out
+                };
+                out.push('\n');
+                out.push_str(
+                    &lux_engine::AdmissionController::global()
+                        .stats()
+                        .render_text(),
+                );
                 Ok(Some(out))
             }
             Command::Trace { save } => {
@@ -455,7 +463,13 @@ impl Shell {
                     None => Ok(Some(trace.render_text())),
                 }
             }
-            Command::Stats => Ok(Some(MetricsRegistry::global().snapshot().render_text())),
+            Command::Stats => Ok(Some(format!(
+                "{}\n{}",
+                MetricsRegistry::global().snapshot().render_text(),
+                lux_engine::AdmissionController::global()
+                    .stats()
+                    .render_text()
+            ))),
             Command::Intent { clauses } => {
                 let current = self
                     .current

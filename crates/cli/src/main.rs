@@ -9,6 +9,10 @@ use std::io::{BufRead, Write};
 use lux_cli::{parse_command, Command, Shell};
 
 fn main() {
+    // Arm `LUX_FAILPOINTS` before anything touches ingest: the registry is
+    // otherwise initialized lazily on the first admission, which is too
+    // late for faults injected into `load`.
+    lux_engine::failpoint::init();
     let mut shell = Shell::new();
     for (i, arg) in std::env::args().skip(1).enumerate() {
         let name = if i == 0 {

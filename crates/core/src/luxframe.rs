@@ -26,7 +26,10 @@ use lux_engine::sync::lock_recover;
 use lux_engine::trace::{
     names as metric, MetricsRegistry, MetricsSnapshot, SpanId, TraceCollector,
 };
-use lux_engine::{BudgetHandle, CachedSample, FrameMeta, LuxConfig, PassTrace, SemanticType};
+use lux_engine::{
+    Admission, AdmissionController, BudgetHandle, CachedSample, FrameMeta, LuxConfig, PassTrace,
+    Priority, SemanticType, ShedReason,
+};
 use lux_intent::{Clause, Diagnostic};
 use lux_recs::{ActionContext, ActionHealth, ActionRegistry, ActionResult};
 use lux_vis::{Vis, VisSpec};
@@ -379,6 +382,9 @@ impl LuxDataFrame {
                 trace: trace
                     .map(|(collector, span)| lux_recs::TraceCtx::new(Arc::clone(collector), span)),
                 governor: governor.cloned(),
+                // The caller (print) already holds the pass's admission
+                // slot and blocks on collect_report, so none is threaded.
+                permit: None,
             };
             lux_recs::run_actions_streaming(&self.registry, owned).collect_report()
         } else {
@@ -464,9 +470,31 @@ impl LuxDataFrame {
     /// for each action completes". Bypasses the WFLOW memo (results go to
     /// the caller, not the cache).
     pub fn recommendations_streaming(&self) -> lux_recs::generate::StreamingRun {
+        // Background priority: streaming runs yield to interactive prints
+        // and retry with jittered backoff before giving up. The jitter seed
+        // derives from the frame shape so threads=1 runs stay deterministic.
+        let seed = (self.df.num_rows() as u64) << 16 ^ self.df.num_columns() as u64;
+        let permit =
+            match AdmissionController::global().admit_with_retry(Priority::Background, seed) {
+                Admission::Granted(p) => Arc::new(p),
+                Admission::Shed(shed) => {
+                    if let Some(log) = &self.logger {
+                        log.log(
+                            EventKind::ActionFault,
+                            format!("shed: {}", shed.reason),
+                            None,
+                        );
+                    }
+                    return lux_recs::generate::StreamingRun::shed(&shed.reason);
+                }
+            };
         let meta = self.metadata();
         let specs = self.compiled_intent();
         let sample = self.config.prune.then(|| self.sample.get(&self.df));
+        // Each streaming run is its own pass; open a fresh budget, shaped
+        // by current admission pressure and charged to the global ledger.
+        let (budget, floor) = permit.shape_budget(&self.config.budget);
+        let governor = Arc::new(BudgetHandle::governed(budget, permit.ledger(), floor));
         let owned = lux_recs::generate::OwnedContext {
             df: Arc::clone(&self.df),
             meta,
@@ -475,8 +503,8 @@ impl LuxDataFrame {
             config: Arc::clone(&self.config),
             sample,
             trace: None,
-            // Each streaming run is its own pass; open a fresh budget.
-            governor: Some(Arc::new(BudgetHandle::new(self.config.budget.clone()))),
+            governor: Some(governor),
+            permit: Some(permit),
         };
         lux_recs::generate::run_actions_streaming(&self.registry, owned)
     }
@@ -505,13 +533,30 @@ impl LuxDataFrame {
     /// [`LuxDataFrame::last_trace`]) and updates the process-wide metrics.
     pub fn print(&self) -> Widget {
         let start = std::time::Instant::now();
+        // Admission first: under overload the pass is shed to a well-formed
+        // "engine busy" widget instead of piling more work onto a saturated
+        // process (DESIGN.md §10). Interactive priority — prints jump the
+        // queue ahead of background streaming runs.
+        let permit = match AdmissionController::global().admit(Priority::Interactive) {
+            Admission::Granted(p) => p,
+            Admission::Shed(shed) => return self.print_shed(start, shed),
+        };
         // One budget per pass: every allocation-heavy step below (metadata
         // scans, candidate enumeration, group-by/bin processing) charges
         // this handle and degrades along the ladder instead of exhausting
-        // memory (DESIGN.md §8).
-        let governor = Arc::new(BudgetHandle::new(self.config.budget.clone()));
+        // memory (DESIGN.md §8). Under admission pressure the budget is
+        // shaped down (shed ladder) and every charge is mirrored into the
+        // process-wide ledger.
+        let (budget, floor) = permit.shape_budget(&self.config.budget);
+        let governor = Arc::new(BudgetHandle::governed(budget, permit.ledger(), floor));
         let collector = TraceCollector::new();
         let root = collector.begin(None, "print");
+        collector.tag(
+            root,
+            "admission.wait_ms",
+            permit.waited().as_millis().to_string(),
+        );
+        collector.tag(root, "admission.pressure", permit.pressure().name());
         let table = collector.time(Some(root), "table", || self.df.to_table_string(10));
         // Metadata first (and traced): the validate/compile/action stages
         // below all read it through the memo.
@@ -565,6 +610,46 @@ impl LuxDataFrame {
             self.df.num_columns(),
             Some(trace),
             governor_note,
+        )
+    }
+
+    /// The load-shedding tail of [`LuxDataFrame::print`]: admission refused
+    /// the pass, so degrade to the plain table plus a busy note — still a
+    /// complete, well-formed widget with a trace and metrics, never a panic
+    /// or a hang (§10.3 fail-safe behavior under overload).
+    fn print_shed(&self, start: std::time::Instant, shed: ShedReason) -> Widget {
+        let collector = TraceCollector::new();
+        let root = collector.begin(None, "print");
+        let table = collector.time(Some(root), "table", || self.df.to_table_string(10));
+        let diagnostics = collector.time(Some(root), "intent.validate", || self.validate_intent());
+        collector.tag(root, "admission.shed", shed.reason.clone());
+        collector.tag(root, "admission.priority", shed.priority.name());
+        collector.end(root);
+        let trace = Arc::new(collector.snapshot());
+        let elapsed = start.elapsed();
+        let metrics = MetricsRegistry::global();
+        metrics.incr(metric::PRINTS);
+        metrics.observe(metric::PRINT_LATENCY, elapsed);
+        if let Some(log) = &self.logger {
+            log.log(
+                EventKind::Print,
+                format!(
+                    "print {}x{} shed: {}",
+                    self.df.num_rows(),
+                    self.df.num_columns(),
+                    shed.reason
+                ),
+                Some(elapsed.as_secs_f64()),
+            );
+        }
+        *lock_recover(&self.last_trace) = Some(Arc::clone(&trace));
+        Widget::busy(
+            table,
+            diagnostics,
+            self.df.num_rows(),
+            self.df.num_columns(),
+            Some(trace),
+            shed.reason,
         )
     }
 

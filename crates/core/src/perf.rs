@@ -42,6 +42,13 @@ pub struct PassSummary {
     pub governor_degrades: usize,
     /// Whether the pass memory budget was breached.
     pub governor_breached: bool,
+    /// Why admission control shed the pass (`None` for admitted passes).
+    pub admission_shed: Option<String>,
+    /// How long the pass waited in the admission queue before starting.
+    pub admission_wait: Duration,
+    /// Engine pressure at admission time (`normal`/`elevated`/`critical`),
+    /// `None` on untagged (pre-admission) traces.
+    pub admission_pressure: Option<String>,
 }
 
 impl PassSummary {
@@ -84,6 +91,12 @@ impl PassSummary {
             .and_then(|v| v.parse().ok())
             .unwrap_or(0);
         let governor_breached = root_tag("governor.breached") == Some("true");
+        let admission_shed = root_tag("admission.shed").map(str::to_string);
+        let admission_wait = root_tag("admission.wait_ms")
+            .and_then(|v| v.parse::<u64>().ok())
+            .map(Duration::from_millis)
+            .unwrap_or_default();
+        let admission_pressure = root_tag("admission.pressure").map(str::to_string);
         PassSummary {
             total: trace.total(),
             table: stage("table"),
@@ -99,6 +112,9 @@ impl PassSummary {
             slowest,
             governor_degrades,
             governor_breached,
+            admission_shed,
+            admission_wait,
+            admission_pressure,
         }
     }
 
@@ -118,6 +134,15 @@ impl PassSummary {
 
     /// The one-line timing footer shown under the widget.
     pub fn footer(&self) -> String {
+        if let Some(reason) = &self.admission_shed {
+            return format!("[pass {} | shed: {reason}]", fmt_ms(self.total));
+        }
+        let admission = match (&self.admission_pressure, self.admission_wait) {
+            (Some(p), w) if p != "normal" || !w.is_zero() => {
+                format!(" | admission {p} ({})", fmt_ms(w))
+            }
+            _ => String::new(),
+        };
         let governor = if self.governor_breached || self.governor_degrades > 0 {
             format!(
                 " | governor {} degrade(s){}",
@@ -132,7 +157,7 @@ impl PassSummary {
             String::new()
         };
         format!(
-            "[pass {} | metadata {}{} | actions {}{} ({}) | memo {}{governor}]",
+            "[pass {} | metadata {}{} | actions {}{} ({}) | memo {}{governor}{admission}]",
             fmt_ms(self.total),
             fmt_ms(self.metadata),
             fmt_cpu(self.metadata, self.metadata_cpu),
@@ -154,8 +179,21 @@ impl PassSummary {
             ),
             None => String::new(),
         };
+        let mut admission = String::new();
+        if let Some(reason) = &self.admission_shed {
+            admission.push_str(&format!(", \"shed\": \"{}\"", json_escape(reason)));
+        }
+        if !self.admission_wait.is_zero() {
+            admission.push_str(&format!(
+                ", \"admission_wait_ms\": {:.3}",
+                self.admission_wait.as_secs_f64() * 1e3
+            ));
+        }
+        if let Some(p) = &self.admission_pressure {
+            admission.push_str(&format!(", \"admission_pressure\": \"{}\"", json_escape(p)));
+        }
         format!(
-            "{{\"total_ms\": {:.3}, \"table_ms\": {:.3}, \"metadata_ms\": {:.3}, \"metadata_cpu_ms\": {:.3}, \"actions_ms\": {:.3}, \"actions_cpu_ms\": {:.3}, \"memo\": \"{}\", \"ok\": {}, \"degraded\": {}, \"failed\": {}, \"disabled\": {}, \"governor_degrades\": {}, \"governor_breached\": {}{slowest}}}",
+            "{{\"total_ms\": {:.3}, \"table_ms\": {:.3}, \"metadata_ms\": {:.3}, \"metadata_cpu_ms\": {:.3}, \"actions_ms\": {:.3}, \"actions_cpu_ms\": {:.3}, \"memo\": \"{}\", \"ok\": {}, \"degraded\": {}, \"failed\": {}, \"disabled\": {}, \"governor_degrades\": {}, \"governor_breached\": {}{slowest}{admission}}}",
             self.total.as_secs_f64() * 1e3,
             self.table.as_secs_f64() * 1e3,
             self.metadata.as_secs_f64() * 1e3,
@@ -258,6 +296,46 @@ mod tests {
         // an exact pass keeps the footer clean
         let clean = PassSummary::from_trace(&traced_pass()).footer();
         assert!(!clean.contains("governor"), "{clean}");
+    }
+
+    #[test]
+    fn admission_tags_flow_into_summary_and_footer() {
+        let c = TraceCollector::new();
+        let root = c.begin(None, "print");
+        c.tag(root, "admission.wait_ms", "12");
+        c.tag(root, "admission.pressure", "elevated");
+        c.end(root);
+        let s = PassSummary::from_trace(&c.snapshot());
+        assert_eq!(s.admission_wait, Duration::from_millis(12));
+        assert_eq!(s.admission_pressure.as_deref(), Some("elevated"));
+        let footer = s.footer();
+        assert!(footer.contains("admission elevated"), "{footer}");
+        let json = s.to_compact_json();
+        assert!(
+            json.contains("\"admission_pressure\": \"elevated\""),
+            "{json}"
+        );
+
+        // a shed pass collapses the footer to the reason
+        let c = TraceCollector::new();
+        let root = c.begin(None, "print");
+        c.tag(root, "admission.shed", "all 2 session slots busy");
+        c.end(root);
+        let s = PassSummary::from_trace(&c.snapshot());
+        let footer = s.footer();
+        assert!(
+            footer.contains("shed: all 2 session slots busy"),
+            "{footer}"
+        );
+        assert!(
+            s.to_compact_json().contains("\"shed\""),
+            "{}",
+            s.to_compact_json()
+        );
+
+        // an unqueued normal pass keeps the footer clean
+        let clean = PassSummary::from_trace(&traced_pass()).footer();
+        assert!(!clean.contains("admission"), "{clean}");
     }
 
     #[test]

@@ -27,6 +27,10 @@ pub struct Widget {
     /// One-line summary of resource-governor degradations during the pass
     /// (`None` when everything ran exact within budget).
     governor_note: Option<String>,
+    /// Set when admission control shed the pass: the engine was too busy to
+    /// run recommendations, so the widget degrades to the plain table plus
+    /// this reason (never a panic or a hang).
+    shed_note: Option<String>,
 }
 
 impl Widget {
@@ -50,6 +54,32 @@ impl Widget {
             num_columns,
             trace,
             governor_note,
+            shed_note: None,
+        }
+    }
+
+    /// A well-formed "engine busy" widget: the table view with no
+    /// recommendation tabs, produced when admission control sheds the pass
+    /// under overload (DESIGN.md §10). Still a complete widget — display,
+    /// export, and the timing footer all work.
+    pub(crate) fn busy(
+        table: String,
+        diagnostics: Vec<Diagnostic>,
+        num_rows: usize,
+        num_columns: usize,
+        trace: Option<Arc<PassTrace>>,
+        shed_note: String,
+    ) -> Widget {
+        Widget {
+            table,
+            results: Arc::new(Vec::new()),
+            health: Arc::new(Vec::new()),
+            diagnostics,
+            num_rows,
+            num_columns,
+            trace,
+            governor_note: None,
+            shed_note: Some(shed_note),
         }
     }
 
@@ -62,6 +92,17 @@ impl Widget {
     /// why, or `None` when the pass ran entirely exact within its budget.
     pub fn governor_note(&self) -> Option<&str> {
         self.governor_note.as_deref()
+    }
+
+    /// Why admission control shed this pass, or `None` when it ran
+    /// normally. A shed widget has a table but no recommendation tabs.
+    pub fn shed_note(&self) -> Option<&str> {
+        self.shed_note.as_deref()
+    }
+
+    /// Whether this pass was shed by admission control (engine busy).
+    pub fn was_shed(&self) -> bool {
+        self.shed_note.is_some()
     }
 
     /// The one-line per-pass timing footer (`None` for untraced widgets).
@@ -122,6 +163,11 @@ impl Widget {
         }
         if let Some(note) = &self.governor_note {
             out.push_str(&format!("(~) {note}\n"));
+        }
+        if let Some(note) = &self.shed_note {
+            out.push_str(&format!("(!) engine busy: {note}\n"));
+            out.push_str(&self.table);
+            return out;
         }
         if self.results.is_empty() {
             out.push_str("(no recommendations: showing table view)\n");
@@ -222,6 +268,9 @@ impl std::fmt::Display for Widget {
         }
         if let Some(note) = &self.governor_note {
             writeln!(f, "[{note}]")?;
+        }
+        if let Some(note) = &self.shed_note {
+            writeln!(f, "[engine busy: {note}]")?;
         }
         if let Some(footer) = self.timing_footer() {
             writeln!(f, "{footer}")?;

@@ -1,0 +1,825 @@
+//! Global admission control and load shedding for multi-session engines.
+//!
+//! PR 3's governor bounds what *one* pass may do; PR 4 made the pool, the
+//! processed-vis memo cache, and metrics process-wide. Nothing bounded what
+//! N concurrent sessions could collectively do to that shared state. This
+//! module closes the gap with three pieces (DESIGN.md §10):
+//!
+//! - an [`AdmissionController`]: every recommendation pass acquires a slot
+//!   from a bounded pool through a deadline-aware wait queue where
+//!   interactive prints outrank streaming/background passes;
+//! - a [`GlobalLedger`]: a process-wide memory cap that every live pass
+//!   [`crate::governor::BudgetHandle`] charges in addition to its own
+//!   per-pass cap, so concurrent passes can never jointly overshoot;
+//! - a shed ladder extending the PR 3 degradation ladder across sessions:
+//!   under pressure an admitted pass is forced into PRUNE/sample mode
+//!   ([`PressureLevel::Elevated`]), then has its candidate and byte caps
+//!   shrunk ([`PressureLevel::Critical`]), and finally the pass is refused
+//!   outright with a well-formed "engine busy" notice ([`Admission::Shed`])
+//!   — never a panic and never an unbounded wait.
+//!
+//! Background passes that get a transient refusal retry with jittered
+//! exponential [`Backoff`] instead of competing with interactive work.
+//! Every decision is accounted in `lux.admission.*` metrics.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock, RwLock};
+use std::time::{Duration, Instant};
+
+use crate::governor::ResourceBudget;
+use crate::sync::lock_recover;
+use crate::trace::{names, MetricsRegistry};
+
+// ---------------------------------------------------------------------
+// Configuration
+// ---------------------------------------------------------------------
+
+/// Process-wide admission knobs. Defaults come from the environment on
+/// first use of [`AdmissionController::global`]; tests reconfigure live via
+/// [`AdmissionController::reconfigure`].
+#[derive(Debug, Clone)]
+pub struct AdmissionConfig {
+    /// Concurrency slots: passes allowed to execute at once
+    /// (`LUX_MAX_SESSIONS`). Clamped to ≥ 1.
+    pub max_sessions: usize,
+    /// Global memory ledger cap in bytes, aggregated across every live
+    /// pass budget (`LUX_GLOBAL_MEMORY_CAP_MB`).
+    pub max_global_bytes: u64,
+    /// How long an interactive pass may wait for a slot before it is shed
+    /// (`LUX_ADMIT_TIMEOUT_MS`).
+    pub interactive_deadline: Duration,
+    /// How long one background admission attempt may wait for a slot.
+    pub background_deadline: Duration,
+    /// Waiting passes beyond which new arrivals are shed immediately
+    /// instead of queueing (bounds the queue itself).
+    pub max_queue: usize,
+    /// First backoff delay for background retries.
+    pub backoff_base: Duration,
+    /// Backoff ceiling.
+    pub backoff_max: Duration,
+    /// Re-admission attempts a background pass makes before giving up.
+    pub max_retries: u32,
+}
+
+impl Default for AdmissionConfig {
+    fn default() -> Self {
+        let cores = std::thread::available_parallelism().map_or(4, |n| n.get());
+        AdmissionConfig {
+            max_sessions: (2 * cores).max(4),
+            max_global_bytes: 1 << 30, // 1 GiB across all live passes
+            interactive_deadline: Duration::from_millis(2_000),
+            background_deadline: Duration::from_millis(100),
+            max_queue: (8 * cores).max(32),
+            backoff_base: Duration::from_millis(5),
+            backoff_max: Duration::from_millis(200),
+            max_retries: 5,
+        }
+    }
+}
+
+impl AdmissionConfig {
+    /// Defaults overridden by `LUX_MAX_SESSIONS`, `LUX_GLOBAL_MEMORY_CAP_MB`
+    /// and `LUX_ADMIT_TIMEOUT_MS` when set.
+    pub fn from_env() -> AdmissionConfig {
+        fn env_u64(name: &str) -> Option<u64> {
+            std::env::var(name).ok()?.trim().parse().ok()
+        }
+        let mut cfg = AdmissionConfig::default();
+        if let Some(n) = env_u64("LUX_MAX_SESSIONS") {
+            cfg.max_sessions = (n as usize).max(1);
+        }
+        if let Some(mb) = env_u64("LUX_GLOBAL_MEMORY_CAP_MB") {
+            cfg.max_global_bytes = mb.saturating_mul(1 << 20).max(1 << 20);
+        }
+        if let Some(ms) = env_u64("LUX_ADMIT_TIMEOUT_MS") {
+            cfg.interactive_deadline = Duration::from_millis(ms);
+        }
+        cfg
+    }
+}
+
+// ---------------------------------------------------------------------
+// Global memory ledger
+// ---------------------------------------------------------------------
+
+/// Process-wide byte ledger aggregating every live pass budget. A pass's
+/// [`crate::governor::BudgetHandle`] charges here *in addition to* its own
+/// per-pass cap and releases its whole charge when the pass's handle drops,
+/// so `live()` is exactly the sum of live pass charges and can never exceed
+/// `cap()` — concurrent sessions jointly stay under the global cap by
+/// construction.
+#[derive(Debug)]
+pub struct GlobalLedger {
+    cap: AtomicU64,
+    live: AtomicU64,
+    peak: AtomicU64,
+    /// Cached metric handles: charging is hot, the registry map lock isn't.
+    peak_metric: Arc<AtomicU64>,
+    refusal_metric: Arc<AtomicU64>,
+}
+
+impl GlobalLedger {
+    pub fn new(cap: u64) -> GlobalLedger {
+        let m = MetricsRegistry::global();
+        GlobalLedger {
+            cap: AtomicU64::new(cap.max(1)),
+            live: AtomicU64::new(0),
+            peak: AtomicU64::new(0),
+            peak_metric: m.counter_handle(names::ADMISSION_LEDGER_PEAK),
+            refusal_metric: m.counter_handle(names::ADMISSION_LEDGER_REFUSALS),
+        }
+    }
+
+    /// Charge `bytes` against the global cap; false (without charging) when
+    /// the charge would cross it.
+    pub fn try_charge(&self, bytes: u64) -> bool {
+        let cap = self.cap.load(Ordering::Relaxed);
+        let mut current = self.live.load(Ordering::Relaxed);
+        loop {
+            let next = current.saturating_add(bytes);
+            if next > cap {
+                self.refusal_metric.fetch_add(1, Ordering::Relaxed);
+                return false;
+            }
+            match self.live.compare_exchange_weak(
+                current,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => {
+                    self.peak.fetch_max(next, Ordering::Relaxed);
+                    self.peak_metric.fetch_max(next, Ordering::Relaxed);
+                    return true;
+                }
+                Err(seen) => current = seen,
+            }
+        }
+    }
+
+    /// Return `bytes` to the ledger (pass budget dropped).
+    pub fn release(&self, bytes: u64) {
+        let mut current = self.live.load(Ordering::Relaxed);
+        loop {
+            let next = current.saturating_sub(bytes);
+            match self.live.compare_exchange_weak(
+                current,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return,
+                Err(seen) => current = seen,
+            }
+        }
+    }
+
+    pub fn live(&self) -> u64 {
+        self.live.load(Ordering::Relaxed)
+    }
+
+    pub fn peak(&self) -> u64 {
+        self.peak.load(Ordering::Relaxed)
+    }
+
+    pub fn cap(&self) -> u64 {
+        self.cap.load(Ordering::Relaxed)
+    }
+
+    fn set_cap(&self, cap: u64) {
+        self.cap.store(cap.max(1), Ordering::Relaxed);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Jittered exponential backoff
+// ---------------------------------------------------------------------
+
+/// Deterministic jittered exponential backoff: delay `n` is
+/// `base · 2ⁿ` capped at `max`, scaled by a jitter factor in `[0.5, 1.0)`
+/// derived from a splitmix64 stream seeded by the caller. Seeding keeps
+/// retry schedules reproducible in tests while still decorrelating
+/// concurrent sessions (each seeds with its own identity).
+#[derive(Debug)]
+pub struct Backoff {
+    base: Duration,
+    max: Duration,
+    attempt: u32,
+    state: u64,
+}
+
+impl Backoff {
+    pub fn new(base: Duration, max: Duration, seed: u64) -> Backoff {
+        Backoff {
+            base,
+            max,
+            attempt: 0,
+            state: seed ^ 0x9e37_79b9_7f4a_7c15,
+        }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        // splitmix64 — the same generator the sampling layer uses.
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// The next delay in the schedule (advances the attempt counter).
+    pub fn next_delay(&mut self) -> Duration {
+        let exp = self
+            .base
+            .saturating_mul(1u32 << self.attempt.min(16))
+            .min(self.max);
+        self.attempt = self.attempt.saturating_add(1);
+        let jitter = 0.5 + (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64 / 2.0;
+        Duration::from_nanos((exp.as_nanos() as f64 * jitter) as u64)
+    }
+
+    /// Attempts taken so far.
+    pub fn attempts(&self) -> u32 {
+        self.attempt
+    }
+}
+
+// ---------------------------------------------------------------------
+// Admission controller
+// ---------------------------------------------------------------------
+
+/// Who is asking for a slot. Interactive prints outrank background and
+/// streaming passes in the wait queue: a slot freed while both wait always
+/// goes to an interactive waiter first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Priority {
+    /// A user is watching (the `print` path).
+    Interactive,
+    /// Streaming/background recomputation; sheds early and retries with
+    /// backoff instead of queueing against interactive work.
+    Background,
+}
+
+impl Priority {
+    pub fn name(self) -> &'static str {
+        match self {
+            Priority::Interactive => "interactive",
+            Priority::Background => "background",
+        }
+    }
+}
+
+/// How loaded the engine was at admission time; decides the shed-ladder
+/// rung the admitted pass must run at.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum PressureLevel {
+    /// Run exact.
+    Normal,
+    /// Force PRUNE/sample mode (ledger filling up, or passes queueing).
+    Elevated,
+    /// Also shrink candidate and per-pass byte caps.
+    Critical,
+}
+
+impl PressureLevel {
+    pub fn name(self) -> &'static str {
+        match self {
+            PressureLevel::Normal => "normal",
+            PressureLevel::Elevated => "elevated",
+            PressureLevel::Critical => "critical",
+        }
+    }
+}
+
+/// Why a pass was refused.
+#[derive(Debug, Clone)]
+pub struct ShedReason {
+    pub reason: String,
+    pub priority: Priority,
+}
+
+/// Outcome of an admission request.
+pub enum Admission {
+    /// A slot was granted; holds it until the permit drops.
+    Granted(AdmissionPermit),
+    /// The pass was shed; render a busy notice (interactive) or give up
+    /// after retries (background). Never panic, never hang.
+    Shed(ShedReason),
+}
+
+struct QueueState {
+    active: usize,
+    waiting_interactive: usize,
+    waiting_background: usize,
+    admits: u64,
+    sheds: u64,
+    queue_waits: u64,
+}
+
+struct Inner {
+    cfg: RwLock<AdmissionConfig>,
+    state: Mutex<QueueState>,
+    cond: Condvar,
+    ledger: Arc<GlobalLedger>,
+}
+
+/// The process-wide pass gate. See module docs.
+pub struct AdmissionController {
+    inner: Arc<Inner>,
+}
+
+/// Point-in-time admission state for REPL `stats` / `health`.
+#[derive(Debug, Clone)]
+pub struct AdmissionStats {
+    pub live_sessions: usize,
+    pub slots: usize,
+    pub queue_depth: usize,
+    pub admits: u64,
+    pub queue_waits: u64,
+    pub sheds: u64,
+    pub retries: u64,
+    pub ledger_live: u64,
+    pub ledger_peak: u64,
+    pub ledger_cap: u64,
+}
+
+impl AdmissionStats {
+    /// REPL-facing rendering, matching `MetricsSnapshot::render_text` style.
+    pub fn render_text(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let _ = writeln!(out, "admission:");
+        let _ = writeln!(
+            out,
+            "  sessions {} live / {} slots, queue depth {}",
+            self.live_sessions, self.slots, self.queue_depth
+        );
+        let _ = writeln!(
+            out,
+            "  admits {} (waited {}), sheds {}, retries {}",
+            self.admits, self.queue_waits, self.sheds, self.retries
+        );
+        let _ = writeln!(
+            out,
+            "  ledger {} live / {} cap (peak {})",
+            fmt_bytes(self.ledger_live),
+            fmt_bytes(self.ledger_cap),
+            fmt_bytes(self.ledger_peak),
+        );
+        out
+    }
+}
+
+fn fmt_bytes(b: u64) -> String {
+    if b >= 1 << 30 {
+        format!("{:.1}GiB", b as f64 / (1u64 << 30) as f64)
+    } else if b >= 1 << 20 {
+        format!("{:.1}MiB", b as f64 / (1u64 << 20) as f64)
+    } else if b >= 1 << 10 {
+        format!("{:.1}KiB", b as f64 / (1u64 << 10) as f64)
+    } else {
+        format!("{b}B")
+    }
+}
+
+impl AdmissionController {
+    pub fn new(cfg: AdmissionConfig) -> AdmissionController {
+        let ledger = Arc::new(GlobalLedger::new(cfg.max_global_bytes));
+        AdmissionController {
+            inner: Arc::new(Inner {
+                cfg: RwLock::new(cfg),
+                state: Mutex::new(QueueState {
+                    active: 0,
+                    waiting_interactive: 0,
+                    waiting_background: 0,
+                    admits: 0,
+                    sheds: 0,
+                    queue_waits: 0,
+                }),
+                cond: Condvar::new(),
+                ledger,
+            }),
+        }
+    }
+
+    /// The process-wide controller, configured from the environment on
+    /// first use. Also the spot that initialises the failpoint subsystem:
+    /// every print pass goes through here, so `LUX_FAILPOINTS` is always
+    /// honoured without any extra call site.
+    pub fn global() -> &'static AdmissionController {
+        static GLOBAL: OnceLock<AdmissionController> = OnceLock::new();
+        GLOBAL.get_or_init(|| {
+            crate::failpoint::init();
+            AdmissionController::new(AdmissionConfig::from_env())
+        })
+    }
+
+    /// Replace the configuration live (tests, REPL tuning). Waiters are
+    /// woken so a raised slot count takes effect immediately.
+    pub fn reconfigure(&self, cfg: AdmissionConfig) {
+        self.inner.ledger.set_cap(cfg.max_global_bytes);
+        *self
+            .inner
+            .cfg
+            .write()
+            .unwrap_or_else(std::sync::PoisonError::into_inner) = cfg;
+        self.inner.cond.notify_all();
+    }
+
+    pub fn config(&self) -> AdmissionConfig {
+        self.inner
+            .cfg
+            .read()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .clone()
+    }
+
+    /// The global memory ledger this controller enforces.
+    pub fn ledger(&self) -> Arc<GlobalLedger> {
+        Arc::clone(&self.inner.ledger)
+    }
+
+    /// Request a slot, waiting up to the priority's deadline. Interactive
+    /// waiters always beat background waiters to a freed slot. Returns
+    /// [`Admission::Shed`] when the queue is full or the deadline expires —
+    /// a bounded wait, never a hang.
+    pub fn admit(&self, priority: Priority) -> Admission {
+        if let Some(msg) = crate::failpoint::hit(crate::failpoint::names::ADMISSION_ACQUIRE) {
+            return self.shed(priority, format!("injected refusal: {msg}"));
+        }
+        let cfg = self.config();
+        let slots = cfg.max_sessions.max(1);
+        let deadline = match priority {
+            Priority::Interactive => cfg.interactive_deadline,
+            Priority::Background => cfg.background_deadline,
+        };
+        let start = Instant::now();
+        let metrics = MetricsRegistry::global();
+        let mut st = lock_recover(&self.inner.state);
+        let mut waited = false;
+        loop {
+            let eligible = priority == Priority::Interactive || st.waiting_interactive == 0;
+            if st.active < slots && eligible {
+                st.active += 1;
+                st.admits += 1;
+                if waited {
+                    st.queue_waits += 1;
+                    metrics.incr(names::ADMISSION_QUEUE_WAITS);
+                }
+                metrics.incr(names::ADMISSION_ADMITS);
+                let wait = start.elapsed();
+                metrics.observe(names::ADMISSION_WAIT, wait);
+                let pressure = self.pressure_locked(&st, slots);
+                drop(st);
+                return Admission::Granted(AdmissionPermit {
+                    inner: Arc::clone(&self.inner),
+                    pressure,
+                    waited: wait,
+                    priority,
+                });
+            }
+            if !waited {
+                // Arriving to a full engine: shed immediately if the queue
+                // itself is full, otherwise join it.
+                let queued = st.waiting_interactive + st.waiting_background;
+                if queued >= cfg.max_queue {
+                    drop(st);
+                    return self.shed(
+                        priority,
+                        format!("admission queue full ({queued} waiting, {slots} slots busy)"),
+                    );
+                }
+            }
+            let Some(remaining) = deadline.checked_sub(start.elapsed()) else {
+                drop(st);
+                return self.shed(
+                    priority,
+                    format!(
+                        "no slot within {}ms ({slots} slots busy)",
+                        deadline.as_millis()
+                    ),
+                );
+            };
+            waited = true;
+            match priority {
+                Priority::Interactive => st.waiting_interactive += 1,
+                Priority::Background => st.waiting_background += 1,
+            }
+            // Bounded naps so config changes and missed wakeups can't
+            // strand a waiter past its deadline.
+            let nap = remaining.min(Duration::from_millis(50));
+            let (guard, _timeout) = self
+                .inner
+                .cond
+                .wait_timeout(st, nap)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            st = guard;
+            match priority {
+                Priority::Interactive => st.waiting_interactive -= 1,
+                Priority::Background => st.waiting_background -= 1,
+            }
+        }
+    }
+
+    /// [`Self::admit`] plus the background retry protocol: on a transient
+    /// refusal, retry up to `max_retries` times with jittered exponential
+    /// backoff (seeded by `seed` for reproducible schedules).
+    pub fn admit_with_retry(&self, priority: Priority, seed: u64) -> Admission {
+        let cfg = self.config();
+        let mut backoff = Backoff::new(cfg.backoff_base, cfg.backoff_max, seed);
+        loop {
+            match self.admit(priority) {
+                Admission::Granted(p) => return Admission::Granted(p),
+                Admission::Shed(r) => {
+                    if backoff.attempts() >= cfg.max_retries {
+                        return Admission::Shed(ShedReason {
+                            reason: format!(
+                                "{} (gave up after {} retries)",
+                                r.reason,
+                                backoff.attempts()
+                            ),
+                            ..r
+                        });
+                    }
+                    MetricsRegistry::global().incr(names::ADMISSION_RETRIES);
+                    std::thread::sleep(backoff.next_delay());
+                }
+            }
+        }
+    }
+
+    fn shed(&self, priority: Priority, reason: String) -> Admission {
+        {
+            let mut st = lock_recover(&self.inner.state);
+            st.sheds += 1;
+        }
+        MetricsRegistry::global().incr(names::ADMISSION_SHEDS);
+        Admission::Shed(ShedReason { reason, priority })
+    }
+
+    fn pressure_locked(&self, st: &QueueState, slots: usize) -> PressureLevel {
+        let ledger = &self.inner.ledger;
+        let util = ledger.live() as f64 / ledger.cap().max(1) as f64;
+        let queued = st.waiting_interactive + st.waiting_background;
+        if util > 0.85 || queued >= slots.max(1) {
+            PressureLevel::Critical
+        } else if util > 0.60 || queued > 0 || st.active >= slots {
+            PressureLevel::Elevated
+        } else {
+            PressureLevel::Normal
+        }
+    }
+
+    /// Point-in-time state for the REPL.
+    pub fn stats(&self) -> AdmissionStats {
+        let metrics = MetricsRegistry::global();
+        let st = lock_recover(&self.inner.state);
+        let cfg = self.config();
+        AdmissionStats {
+            live_sessions: st.active,
+            slots: cfg.max_sessions.max(1),
+            queue_depth: st.waiting_interactive + st.waiting_background,
+            admits: st.admits,
+            queue_waits: st.queue_waits,
+            sheds: st.sheds,
+            retries: metrics.counter(names::ADMISSION_RETRIES),
+            ledger_live: self.inner.ledger.live(),
+            ledger_peak: self.inner.ledger.peak(),
+            ledger_cap: self.inner.ledger.cap(),
+        }
+    }
+}
+
+/// A held concurrency slot. Shapes the pass budget to the pressure level
+/// observed at admission and releases the slot on drop.
+pub struct AdmissionPermit {
+    inner: Arc<Inner>,
+    pressure: PressureLevel,
+    waited: Duration,
+    priority: Priority,
+}
+
+impl AdmissionPermit {
+    pub fn pressure(&self) -> PressureLevel {
+        self.pressure
+    }
+
+    pub fn waited(&self) -> Duration {
+        self.waited
+    }
+
+    pub fn priority(&self) -> Priority {
+        self.priority
+    }
+
+    /// The global ledger the pass budget must charge.
+    pub fn ledger(&self) -> Arc<GlobalLedger> {
+        Arc::clone(&self.inner.ledger)
+    }
+
+    /// Apply the shed ladder to the pass budget: at `Elevated` the pass is
+    /// forced into PRUNE/sample mode (the returned floor), at `Critical`
+    /// its candidate cap is quartered and its byte cap shrunk to a fair
+    /// share of the remaining global headroom.
+    pub fn shape_budget(
+        &self,
+        base: &ResourceBudget,
+    ) -> (ResourceBudget, crate::governor::DegradeLevel) {
+        use crate::governor::DegradeLevel;
+        match self.pressure {
+            PressureLevel::Normal => (base.clone(), DegradeLevel::Exact),
+            PressureLevel::Elevated => (base.clone(), DegradeLevel::Sampled),
+            PressureLevel::Critical => {
+                let ledger = &self.inner.ledger;
+                let slots = self
+                    .inner
+                    .cfg
+                    .read()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .max_sessions
+                    .max(1) as u64;
+                let headroom = ledger.cap().saturating_sub(ledger.live());
+                // Fair share of what's left, floored so a pass can still
+                // make progress and always within the per-pass cap.
+                let share = (headroom / slots.max(1)).max(1 << 20);
+                let mut shaped = base.clone();
+                shaped.max_bytes = shaped.max_bytes.min(share);
+                shaped.max_candidates = (shaped.max_candidates / 4).max(8);
+                (shaped, DegradeLevel::Sampled)
+            }
+        }
+    }
+}
+
+impl Drop for AdmissionPermit {
+    fn drop(&mut self) {
+        let mut st = lock_recover(&self.inner.state);
+        st.active = st.active.saturating_sub(1);
+        drop(st);
+        self.inner.cond.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny(slots: usize) -> AdmissionController {
+        AdmissionController::new(AdmissionConfig {
+            max_sessions: slots,
+            max_global_bytes: 64 << 20,
+            interactive_deadline: Duration::from_millis(50),
+            background_deadline: Duration::from_millis(10),
+            max_queue: 4,
+            backoff_base: Duration::from_millis(1),
+            backoff_max: Duration::from_millis(4),
+            max_retries: 2,
+        })
+    }
+
+    #[test]
+    fn grants_up_to_slots_then_sheds_on_deadline() {
+        let c = tiny(2);
+        let p1 = match c.admit(Priority::Interactive) {
+            Admission::Granted(p) => p,
+            Admission::Shed(r) => panic!("unexpected shed: {}", r.reason),
+        };
+        let _p2 = match c.admit(Priority::Interactive) {
+            Admission::Granted(p) => p,
+            Admission::Shed(r) => panic!("unexpected shed: {}", r.reason),
+        };
+        match c.admit(Priority::Interactive) {
+            Admission::Granted(_) => panic!("third admit should wait out and shed"),
+            Admission::Shed(r) => assert!(r.reason.contains("no slot"), "{}", r.reason),
+        }
+        drop(p1);
+        match c.admit(Priority::Interactive) {
+            Admission::Granted(_) => {}
+            Admission::Shed(r) => panic!("slot was free: {}", r.reason),
+        }
+    }
+
+    #[test]
+    fn freed_slot_goes_to_interactive_before_background() {
+        let c = Arc::new(tiny(1));
+        let held = match c.admit(Priority::Interactive) {
+            Admission::Granted(p) => p,
+            Admission::Shed(r) => panic!("{}", r.reason),
+        };
+        // Give both waiters generous deadlines for this race.
+        c.reconfigure(AdmissionConfig {
+            interactive_deadline: Duration::from_secs(5),
+            background_deadline: Duration::from_secs(5),
+            ..c.config()
+        });
+        let (tx, rx) = std::sync::mpsc::channel::<&'static str>();
+        let cb = Arc::clone(&c);
+        let txb = tx.clone();
+        let bg = std::thread::spawn(move || {
+            let got = cb.admit(Priority::Background);
+            let _ = txb.send("background");
+            drop(got);
+        });
+        std::thread::sleep(Duration::from_millis(30));
+        let ci = Arc::clone(&c);
+        let it = std::thread::spawn(move || {
+            let got = ci.admit(Priority::Interactive);
+            let _ = tx.send("interactive");
+            // Hold briefly so the background waiter observes the slot busy.
+            std::thread::sleep(Duration::from_millis(20));
+            drop(got);
+        });
+        std::thread::sleep(Duration::from_millis(30));
+        drop(held);
+        let first = rx.recv_timeout(Duration::from_secs(5)).expect("one waiter");
+        assert_eq!(first, "interactive", "interactive must win the freed slot");
+        it.join().expect("interactive thread");
+        bg.join().expect("background thread");
+    }
+
+    #[test]
+    fn ledger_charges_and_releases() {
+        let l = GlobalLedger::new(1_000);
+        assert!(l.try_charge(600));
+        assert!(!l.try_charge(600), "would cross cap");
+        assert_eq!(l.live(), 600);
+        assert_eq!(l.peak(), 600);
+        l.release(600);
+        assert_eq!(l.live(), 0);
+        assert!(l.try_charge(1_000));
+        assert_eq!(l.peak(), 1_000);
+    }
+
+    #[test]
+    fn backoff_is_deterministic_and_bounded() {
+        let delays: Vec<Duration> = {
+            let mut b = Backoff::new(Duration::from_millis(5), Duration::from_millis(200), 42);
+            (0..8).map(|_| b.next_delay()).collect()
+        };
+        let again: Vec<Duration> = {
+            let mut b = Backoff::new(Duration::from_millis(5), Duration::from_millis(200), 42);
+            (0..8).map(|_| b.next_delay()).collect()
+        };
+        assert_eq!(delays, again, "same seed, same schedule");
+        for d in &delays {
+            assert!(*d <= Duration::from_millis(200));
+            assert!(*d >= Duration::from_micros(2_500), "jitter floor is 0.5x");
+        }
+        // Different seeds decorrelate.
+        let mut b = Backoff::new(Duration::from_millis(5), Duration::from_millis(200), 43);
+        let other: Vec<Duration> = (0..8).map(|_| b.next_delay()).collect();
+        assert_ne!(delays, other);
+    }
+
+    #[test]
+    fn retry_exhaustion_reports_attempts() {
+        let c = tiny(1);
+        let _held = match c.admit(Priority::Background) {
+            Admission::Granted(p) => p,
+            Admission::Shed(r) => panic!("{}", r.reason),
+        };
+        match c.admit_with_retry(Priority::Background, 7) {
+            Admission::Granted(_) => panic!("slot is held"),
+            Admission::Shed(r) => assert!(r.reason.contains("gave up"), "{}", r.reason),
+        }
+    }
+
+    #[test]
+    fn pressure_shapes_budget() {
+        let c = tiny(2);
+        // Fill the ledger past the critical threshold.
+        assert!(c.ledger().try_charge(60 << 20));
+        let p = match c.admit(Priority::Interactive) {
+            Admission::Granted(p) => p,
+            Admission::Shed(r) => panic!("{}", r.reason),
+        };
+        assert_eq!(p.pressure(), PressureLevel::Critical);
+        let base = ResourceBudget::default();
+        let (shaped, floor) = p.shape_budget(&base);
+        assert_eq!(floor, crate::governor::DegradeLevel::Sampled);
+        assert!(shaped.max_bytes < base.max_bytes);
+        assert_eq!(shaped.max_candidates, base.max_candidates / 4);
+        c.ledger().release(60 << 20);
+    }
+
+    #[test]
+    fn stats_account_for_decisions() {
+        let c = tiny(1);
+        let p = match c.admit(Priority::Interactive) {
+            Admission::Granted(p) => p,
+            Admission::Shed(r) => panic!("{}", r.reason),
+        };
+        let s = c.stats();
+        assert_eq!(s.live_sessions, 1);
+        assert_eq!(s.admits, 1);
+        match c.admit(Priority::Background) {
+            Admission::Granted(_) => panic!("held"),
+            Admission::Shed(_) => {}
+        }
+        let s = c.stats();
+        assert_eq!(s.sheds, 1);
+        drop(p);
+        assert_eq!(c.stats().live_sessions, 0);
+        assert!(s.render_text().contains("admission:"));
+    }
+}

@@ -1,0 +1,316 @@
+//! Deterministic failpoint harness (zero dependencies, tikv `fail-rs` style).
+//!
+//! A *failpoint* is a named injection site compiled into the engine. When a
+//! failpoint is disabled — the production default — hitting it costs a single
+//! relaxed atomic load. When enabled (programmatically from a test via
+//! [`cfg`], or process-wide via the `LUX_FAILPOINTS` environment variable),
+//! the site executes an injected [`FailAction`]: return an error message,
+//! panic, or sleep. This lets chaos tests cover the engine layers (pool,
+//! memo cache, metadata, CSV ingest, SQL backend) that PR 1's `ChaosAction`
+//! harness — which only scripts *actions* — cannot reach.
+//!
+//! `lux-dataframe` is the dependency-free base crate, so its CSV/SQL sites
+//! cannot call this registry directly; they go through the installable hook
+//! in `lux_dataframe::failpoint`, which [`init`] wires to [`hit`] (mirroring
+//! how the pool installs its executor into `lux_dataframe::parallel`).
+//!
+//! ## Activation syntax
+//!
+//! `LUX_FAILPOINTS="name=action;name=action"`, where `action` is one of:
+//!
+//! - `return` / `return(msg)` — the site reports an injected failure,
+//! - `panic` / `panic(msg)` — the site panics (exercises isolation/respawn),
+//! - `sleep(ms)` — the site blocks for `ms` milliseconds (exercises
+//!   deadlines, watchdogs and hard cutoffs),
+//! - `off` — disabled,
+//!
+//! optionally prefixed with a trigger budget: `3*panic` fires three times,
+//! then the point goes quiet. Counted triggers keep chaos deterministic: a
+//! test can inject exactly one fault and assert the *next* pass succeeds.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, Once, OnceLock};
+use std::time::Duration;
+
+use crate::sync::lock_recover;
+
+/// Catalogue of the named failpoints compiled into the workspace. Keeping
+/// them here (like `trace::names`) makes the chaos surface greppable.
+pub mod names {
+    /// Inside the pool's `run_task`, before the task body runs (panics here
+    /// are caught by the task guard — the pool must survive).
+    pub const POOL_TASK_RUN: &str = "pool.task.run";
+    /// In the worker loop outside the task guard (panics here kill the
+    /// worker thread — exercises supervisor respawn).
+    pub const POOL_WORKER_LOOP: &str = "pool.worker.loop";
+    /// Before the processed-vis memo cache lookup (a `return` turns every
+    /// lookup into a miss).
+    pub const MEMO_VIS_LOOKUP: &str = "memo.vis.lookup";
+    /// Inside the processed-vis memo cache insert, while the store lock is
+    /// held (a `panic` poisons the mutex — exercises poison recovery).
+    pub const MEMO_VIS_INSERT: &str = "memo.vis.insert";
+    /// Per-column metadata scan, before the heavy distinct/min-max pass.
+    pub const METADATA_COLUMN: &str = "metadata.column";
+    /// CSV ingest entry (strict and permissive paths).
+    pub const CSV_INGEST: &str = "csv.ingest";
+    /// SQL backend query execution (`return` injects a backend error; make
+    /// the message contain `transient` to exercise the retry path).
+    pub const SQL_QUERY: &str = "sql.query";
+    /// Admission slot acquisition, before the controller takes the queue
+    /// lock.
+    pub const ADMISSION_ACQUIRE: &str = "admission.acquire";
+
+    /// Every compiled-in failpoint, for catalogue listings and tests.
+    pub const ALL: &[&str] = &[
+        POOL_TASK_RUN,
+        POOL_WORKER_LOOP,
+        MEMO_VIS_LOOKUP,
+        MEMO_VIS_INSERT,
+        METADATA_COLUMN,
+        CSV_INGEST,
+        SQL_QUERY,
+        ADMISSION_ACQUIRE,
+    ];
+}
+
+/// What an enabled failpoint does when hit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FailAction {
+    /// Report an injected failure; the site maps the message to its native
+    /// error type (or treats it as a miss/skip where it has no error path).
+    Return(Option<String>),
+    /// Panic with the given message.
+    Panic(Option<String>),
+    /// Block for the duration, then continue normally.
+    Sleep(Duration),
+    /// Disabled (parsing `off` removes the point).
+    Off,
+}
+
+struct Entry {
+    action: FailAction,
+    /// Remaining triggers; `None` = unlimited.
+    remaining: Option<usize>,
+}
+
+/// Number of currently-configured failpoints. The disabled fast path is a
+/// single relaxed load of this counter observing zero.
+static ACTIVE: AtomicUsize = AtomicUsize::new(0);
+
+fn registry() -> &'static Mutex<HashMap<String, Entry>> {
+    static REGISTRY: OnceLock<Mutex<HashMap<String, Entry>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// Parse an action string: `[count*]return[(msg)] | panic[(msg)] | sleep(ms)
+/// | off`.
+pub fn parse_action(spec: &str) -> Result<(FailAction, Option<usize>), String> {
+    let spec = spec.trim();
+    let (count, body) = match spec.split_once('*') {
+        Some((n, rest)) => {
+            let n: usize = n
+                .trim()
+                .parse()
+                .map_err(|_| format!("bad trigger count in failpoint action `{spec}`"))?;
+            (Some(n), rest.trim())
+        }
+        None => (None, spec),
+    };
+    let (verb, arg) = match body.split_once('(') {
+        Some((v, rest)) => {
+            let inner = rest
+                .strip_suffix(')')
+                .ok_or_else(|| format!("unclosed `(` in failpoint action `{spec}`"))?;
+            (v.trim(), Some(inner.trim()))
+        }
+        None => (body, None),
+    };
+    let action = match verb {
+        "return" => FailAction::Return(arg.filter(|a| !a.is_empty()).map(str::to_string)),
+        "panic" => FailAction::Panic(arg.filter(|a| !a.is_empty()).map(str::to_string)),
+        "sleep" => {
+            let ms: u64 = arg
+                .unwrap_or("")
+                .parse()
+                .map_err(|_| format!("sleep needs a millisecond argument in `{spec}`"))?;
+            FailAction::Sleep(Duration::from_millis(ms))
+        }
+        "off" => FailAction::Off,
+        other => return Err(format!("unknown failpoint action `{other}`")),
+    };
+    Ok((action, count))
+}
+
+/// Configure a failpoint by name. `action` uses the [`parse_action`] syntax;
+/// `off` removes the point. Returns an error on unparseable actions.
+pub fn cfg(name: &str, action: &str) -> Result<(), String> {
+    let (action, remaining) = parse_action(action)?;
+    let mut reg = lock_recover(registry());
+    let had = reg.contains_key(name);
+    if matches!(action, FailAction::Off) {
+        if reg.remove(name).is_some() {
+            ACTIVE.fetch_sub(1, Ordering::Release);
+        }
+        return Ok(());
+    }
+    reg.insert(name.to_string(), Entry { action, remaining });
+    if !had {
+        ACTIVE.fetch_add(1, Ordering::Release);
+    }
+    Ok(())
+}
+
+/// Remove a single failpoint.
+pub fn remove(name: &str) {
+    let mut reg = lock_recover(registry());
+    if reg.remove(name).is_some() {
+        ACTIVE.fetch_sub(1, Ordering::Release);
+    }
+}
+
+/// Remove every configured failpoint (test teardown).
+pub fn clear_all() {
+    let mut reg = lock_recover(registry());
+    let n = reg.len();
+    reg.clear();
+    ACTIVE.fetch_sub(n, Ordering::Release);
+}
+
+/// Initialise the subsystem: parse `LUX_FAILPOINTS` once and install the
+/// evaluator hook into `lux_dataframe::failpoint` so the base crate's
+/// CSV/SQL sites reach this registry. Idempotent; called from the admission
+/// controller's `global()` (a spot every pass hits) and from `cfg`-driven
+/// tests via [`hit`]'s callers.
+pub fn init() {
+    static INIT: Once = Once::new();
+    INIT.call_once(|| {
+        lux_dataframe::failpoint::install(hit);
+        if let Ok(spec) = std::env::var("LUX_FAILPOINTS") {
+            for part in spec.split(';').filter(|p| !p.trim().is_empty()) {
+                match part.split_once('=') {
+                    Some((name, action)) => {
+                        if let Err(e) = cfg(name.trim(), action) {
+                            eprintln!("lux: ignoring failpoint `{part}`: {e}");
+                        }
+                    }
+                    None => {
+                        eprintln!("lux: ignoring malformed failpoint `{part}` (want name=action)")
+                    }
+                }
+            }
+        }
+    });
+}
+
+/// Evaluate the failpoint `name`. Disabled points cost one relaxed atomic
+/// load and return `None`. Enabled points execute their action: `Sleep`
+/// blocks then returns `None`, `Panic` panics, `Return` yields
+/// `Some(message)` for the site to map to its native failure.
+pub fn hit(name: &str) -> Option<String> {
+    if ACTIVE.load(Ordering::Relaxed) == 0 {
+        return None;
+    }
+    let action = {
+        let mut reg = lock_recover(registry());
+        let entry = reg.get_mut(name)?;
+        match &mut entry.remaining {
+            Some(0) => return None,
+            Some(n) => *n -= 1,
+            None => {}
+        }
+        entry.action.clone()
+    };
+    match action {
+        FailAction::Return(msg) => {
+            crate::trace::MetricsRegistry::global().incr(crate::trace::names::FAILPOINT_TRIPS);
+            Some(msg.unwrap_or_else(|| format!("failpoint {name} triggered")))
+        }
+        FailAction::Panic(msg) => {
+            crate::trace::MetricsRegistry::global().incr(crate::trace::names::FAILPOINT_TRIPS);
+            panic!(
+                "{}",
+                msg.unwrap_or_else(|| format!("failpoint {name} panic"))
+            );
+        }
+        FailAction::Sleep(d) => {
+            crate::trace::MetricsRegistry::global().incr(crate::trace::names::FAILPOINT_TRIPS);
+            std::thread::sleep(d);
+            None
+        }
+        FailAction::Off => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_is_none_and_cheap() {
+        assert_eq!(hit("no.such.point"), None);
+    }
+
+    #[test]
+    fn parse_forms() {
+        assert_eq!(
+            parse_action("return").expect("parse").0,
+            FailAction::Return(None)
+        );
+        assert_eq!(
+            parse_action("return(boom)").expect("parse"),
+            (FailAction::Return(Some("boom".into())), None)
+        );
+        assert_eq!(
+            parse_action("2*panic(x)").expect("parse"),
+            (FailAction::Panic(Some("x".into())), Some(2))
+        );
+        assert_eq!(
+            parse_action("sleep(25)").expect("parse").0,
+            FailAction::Sleep(Duration::from_millis(25))
+        );
+        assert!(parse_action("sleep").is_err());
+        assert!(parse_action("explode").is_err());
+        assert!(parse_action("x*return").is_err());
+        assert!(parse_action("return(oops").is_err());
+    }
+
+    #[test]
+    fn counted_trigger_exhausts() {
+        cfg("test.counted", "2*return(err)").expect("cfg");
+        assert_eq!(hit("test.counted"), Some("err".into()));
+        assert_eq!(hit("test.counted"), Some("err".into()));
+        assert_eq!(hit("test.counted"), None);
+        remove("test.counted");
+    }
+
+    #[test]
+    fn off_removes() {
+        cfg("test.off", "return").expect("cfg");
+        assert!(hit("test.off").is_some());
+        cfg("test.off", "off").expect("cfg");
+        assert_eq!(hit("test.off"), None);
+    }
+
+    #[test]
+    fn panic_action_panics() {
+        cfg("test.panic", "1*panic(kaboom)").expect("cfg");
+        let caught = std::panic::catch_unwind(|| hit("test.panic"));
+        remove("test.panic");
+        let payload = caught.expect_err("should panic");
+        let msg = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_default();
+        assert!(msg.contains("kaboom"), "unexpected payload: {msg}");
+    }
+
+    #[test]
+    fn catalogue_is_nonempty_and_unique() {
+        assert!(names::ALL.len() >= 8);
+        let mut sorted: Vec<_> = names::ALL.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), names::ALL.len());
+    }
+}

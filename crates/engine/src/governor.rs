@@ -142,6 +142,14 @@ pub struct BudgetHandle {
     charged: AtomicU64,
     breached: AtomicBool,
     events: Mutex<Vec<GovernorEvent>>,
+    /// Global admission ledger every successful charge is mirrored into
+    /// (and released from when the handle drops). `None` for ungoverned
+    /// passes and standalone tests.
+    ledger: Option<Arc<crate::admission::GlobalLedger>>,
+    /// Admission-forced minimum degradation rung: `Sampled` means the pass
+    /// must engage PRUNE/sample mode even where the cost model would not
+    /// (the shed ladder, DESIGN.md §10).
+    floor: DegradeLevel,
 }
 
 impl BudgetHandle {
@@ -151,12 +159,33 @@ impl BudgetHandle {
             charged: AtomicU64::new(0),
             breached: AtomicBool::new(false),
             events: Mutex::new(Vec::new()),
+            ledger: None,
+            floor: DegradeLevel::Exact,
         }
+    }
+
+    /// A handle whose charges also count against the process-wide admission
+    /// ledger, carrying the admission-imposed degradation floor.
+    pub fn governed(
+        budget: ResourceBudget,
+        ledger: Arc<crate::admission::GlobalLedger>,
+        floor: DegradeLevel,
+    ) -> BudgetHandle {
+        let mut h = BudgetHandle::new(budget);
+        h.ledger = Some(ledger);
+        h.floor = floor;
+        h
     }
 
     /// The ceilings this handle enforces.
     pub fn budget(&self) -> &ResourceBudget {
         &self.budget
+    }
+
+    /// The admission-forced minimum degradation rung ([`DegradeLevel::Exact`]
+    /// when the pass was admitted without pressure).
+    pub fn degrade_floor(&self) -> DegradeLevel {
+        self.floor
     }
 
     /// Charge `bytes` of intended allocation against the pass budget.
@@ -187,7 +216,21 @@ impl BudgetHandle {
                 Ordering::Relaxed,
                 Ordering::Relaxed,
             ) {
-                Ok(_) => return true,
+                Ok(_) => {
+                    // Mirror the charge into the global admission ledger;
+                    // a refusal there breaches this pass too (and rolls the
+                    // local charge back so drop-time release stays exact).
+                    if let Some(ledger) = &self.ledger {
+                        if !ledger.try_charge(bytes) {
+                            self.charged.fetch_sub(bytes, Ordering::Relaxed);
+                            if !self.breached.swap(true, Ordering::Relaxed) {
+                                MetricsRegistry::global().incr(names::GOVERNOR_BREACHES);
+                            }
+                            return false;
+                        }
+                    }
+                    return true;
+                }
                 Err(seen) => current = seen,
             }
         }
@@ -267,6 +310,17 @@ impl BudgetHandle {
             events.len(),
             shown.join("; ")
         ))
+    }
+}
+
+impl Drop for BudgetHandle {
+    fn drop(&mut self) {
+        // The pass is over: return its whole live charge to the global
+        // ledger. `charged` only ever holds ledger-accepted bytes (refused
+        // mirrors are rolled back in `try_charge`), so this is exact.
+        if let Some(ledger) = &self.ledger {
+            ledger.release(self.charged.load(Ordering::Relaxed));
+        }
     }
 }
 

@@ -25,8 +25,10 @@
 //! `LuxDataFrame` wrapper in `lux-core` because it is keyed to the wrapper's
 //! operation instrumentation.
 
+pub mod admission;
 pub mod config;
 pub mod cost;
+pub mod failpoint;
 pub mod governor;
 pub mod metadata;
 pub mod pool;
@@ -34,6 +36,10 @@ pub mod sample;
 pub mod sync;
 pub mod trace;
 
+pub use admission::{
+    Admission, AdmissionConfig, AdmissionController, AdmissionPermit, AdmissionStats, Backoff,
+    GlobalLedger, PressureLevel, Priority, ShedReason,
+};
 pub use config::LuxConfig;
 pub use cost::{CostModel, OpClass};
 pub use governor::{

@@ -164,6 +164,10 @@ impl FrameMeta {
             .collect();
         let scanned: Vec<(ColumnMeta, bool)> =
             crate::pool::parallel_map(par, names.iter().collect::<Vec<_>>(), |i, name| {
+                // Chaos site: `panic`/`sleep` actions inject a crash or a
+                // stall into the per-column scan (a `return` is a no-op
+                // here — metadata has no error channel).
+                let _ = crate::failpoint::hit(crate::failpoint::names::METADATA_COLUMN);
                 let col = df.column(name).expect("name enumerated from frame");
                 let span =
                     trace.map(|(c, parent)| (c, c.begin(Some(parent), format!("column:{name}"))));

@@ -29,15 +29,25 @@
 //!
 //! Worker panics are caught per-task so a panicking task can never take a
 //! worker down; fork-join re-raises the panic on the calling thread.
+//!
+//! Supervision (DESIGN.md §10): each worker thread runs its loop under a
+//! supervisor that restarts it if a panic ever escapes the per-task guard
+//! (counted as `lux.pool.respawns`), and a watchdog thread watches how long
+//! every worker has been on its current task — a worker stuck past the
+//! threshold (`LUX_WORKER_WATCHDOG_MS`, default 30s) is flagged
+//! (`lux.pool.hung_workers`) and a replacement worker is started on its
+//! queue so queued work keeps flowing while the hung task is left to the
+//! streaming path's existing hard-cutoff/abandonment semantics.
 
 use std::cell::Cell;
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use crate::sync::lock_recover;
+use crate::trace::{names, MetricsRegistry};
 
 type Task = Box<dyn FnOnce() + Send + 'static>;
 
@@ -60,9 +70,25 @@ struct Shared {
     locals: Vec<Mutex<VecDeque<Task>>>,
     /// Signalled whenever a task is pushed anywhere.
     available: Condvar,
+    /// Pool epoch origin for the watchdog's coarse clocks.
+    started: Instant,
+    /// Per-worker-index: millis-since-start when the current task began
+    /// (0 = idle). Written by workers, read by the watchdog.
+    busy_since_ms: Vec<AtomicU64>,
+    /// Per-worker-index: the `busy_since_ms` value already flagged as hung,
+    /// so one stuck task is counted once.
+    flagged_at_ms: Vec<AtomicU64>,
+    /// Replacement workers started (by the watchdog); bounded so a storm of
+    /// hung tasks can at most double the pool.
+    replacements: AtomicUsize,
 }
 
 impl Shared {
+    /// Coarse monotonic clock for the watchdog: non-zero millis since pool
+    /// start (0 is reserved for "idle").
+    fn epoch_ms(&self) -> u64 {
+        (self.started.elapsed().as_millis() as u64).max(1)
+    }
     /// Pop work from anywhere: own deque first (newest — best locality),
     /// then the injector, then steal the oldest task from another worker.
     fn find_task(&self, own: Option<usize>) -> Option<Task> {
@@ -150,16 +176,29 @@ pub struct WorkPool {
 impl WorkPool {
     fn start(workers: usize) -> WorkPool {
         let workers = workers.max(1);
+        if let Some(ms) = std::env::var("LUX_WORKER_WATCHDOG_MS")
+            .ok()
+            .and_then(|v| v.trim().parse::<u64>().ok())
+        {
+            set_watchdog_ms(ms);
+        }
         let shared = Arc::new(Shared {
             injector: Mutex::new(VecDeque::new()),
             locals: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
             available: Condvar::new(),
+            started: Instant::now(),
+            busy_since_ms: (0..workers).map(|_| AtomicU64::new(0)).collect(),
+            flagged_at_ms: (0..workers).map(|_| AtomicU64::new(0)).collect(),
+            replacements: AtomicUsize::new(0),
         });
         for index in 0..workers {
+            spawn_worker(Arc::clone(&shared), index);
+        }
+        {
             let shared = Arc::clone(&shared);
             std::thread::Builder::new()
-                .name(format!("lux-pool-{index}"))
-                .spawn(move || worker_loop(shared, index))
+                .name("lux-pool-watchdog".to_string())
+                .spawn(move || watchdog_loop(shared))
                 .ok();
         }
         let detached = Arc::new(Detached {
@@ -225,15 +264,46 @@ impl WorkPool {
 fn run_task(task: Task) {
     // A panicking task must not unwind into the worker loop; fork-join
     // callers re-raise via their own flag, detached tasks are expected to
-    // catch panics themselves (`isolate`) before they get here.
-    let _ = catch_unwind(AssertUnwindSafe(task));
+    // catch panics themselves (`isolate`) before they get here. The
+    // failpoint sits inside the guard: a `panic` action exercises exactly
+    // the task-panic path, a `return` action drops the task (fork-join
+    // recovers through the caller-drained cursor, streaming through the
+    // hard cutoff).
+    let _ = catch_unwind(AssertUnwindSafe(move || {
+        if crate::failpoint::hit(crate::failpoint::names::POOL_TASK_RUN).is_some() {
+            return;
+        }
+        task()
+    }));
+}
+
+/// Start a (or another) worker on `index` under a supervisor: if a panic
+/// ever escapes the per-task guard — a failpoint in the loop itself, or a
+/// bug in queue handling — the loop is restarted on the same thread and the
+/// respawn is counted, instead of the pool silently losing a worker.
+fn spawn_worker(shared: Arc<Shared>, index: usize) {
+    std::thread::Builder::new()
+        .name(format!("lux-pool-{index}"))
+        .spawn(move || loop {
+            let shared = Arc::clone(&shared);
+            if catch_unwind(AssertUnwindSafe(|| worker_loop(shared, index))).is_ok() {
+                return; // normal exit (the loop runs for the process lifetime)
+            }
+            MetricsRegistry::global().incr(names::POOL_RESPAWNS);
+        })
+        .ok();
 }
 
 fn worker_loop(shared: Arc<Shared>, index: usize) {
     WORKER_INDEX.with(|c| c.set(Some(index)));
     loop {
+        // Outside the task guard on purpose: a `panic` action here escapes
+        // the loop and exercises the supervisor respawn path.
+        let _ = crate::failpoint::hit(crate::failpoint::names::POOL_WORKER_LOOP);
         if let Some(task) = shared.find_task(Some(index)) {
+            shared.busy_since_ms[index].store(shared.epoch_ms(), Ordering::Relaxed);
             run_task(task);
+            shared.busy_since_ms[index].store(0, Ordering::Relaxed);
             continue;
         }
         let guard = lock_recover(&shared.injector);
@@ -245,6 +315,49 @@ fn worker_loop(shared: Arc<Shared>, index: usize) {
         let _ = shared
             .available
             .wait_timeout(guard, Duration::from_millis(50));
+    }
+}
+
+/// Hung-task threshold in milliseconds, adjustable at runtime (tests) and
+/// seeded from `LUX_WORKER_WATCHDOG_MS` on pool start.
+static WATCHDOG_MS: AtomicU64 = AtomicU64::new(30_000);
+
+/// Adjust the watchdog's hung-task threshold.
+pub fn set_watchdog_ms(ms: u64) {
+    WATCHDOG_MS.store(ms.max(1), Ordering::Relaxed);
+}
+
+fn watchdog_loop(shared: Arc<Shared>) {
+    let workers = shared.busy_since_ms.len();
+    loop {
+        let threshold = WATCHDOG_MS.load(Ordering::Relaxed);
+        std::thread::sleep(Duration::from_millis(
+            threshold.div_ceil(4).clamp(10, 1_000),
+        ));
+        let now = shared.epoch_ms();
+        for i in 0..workers {
+            let since = shared.busy_since_ms[i].load(Ordering::Relaxed);
+            if since == 0 || now.saturating_sub(since) < threshold {
+                continue;
+            }
+            // Flag each stuck task occupancy once (the swap only differs
+            // when a *new* task got stuck since the last flag).
+            if shared.flagged_at_ms[i].swap(since, Ordering::Relaxed) == since {
+                continue;
+            }
+            MetricsRegistry::global().incr(names::POOL_HUNG_WORKERS);
+            // Keep queued work flowing: start a replacement worker on the
+            // same queue, bounded so hung storms can at most double the
+            // pool. The hung task itself is abandoned to the streaming
+            // path's hard cutoff.
+            let seat = shared.replacements.fetch_add(1, Ordering::Relaxed);
+            if seat < workers {
+                MetricsRegistry::global().incr(names::POOL_RESPAWNS);
+                spawn_worker(Arc::clone(&shared), i);
+            } else {
+                shared.replacements.fetch_sub(1, Ordering::Relaxed);
+            }
+        }
     }
 }
 

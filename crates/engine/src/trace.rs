@@ -405,12 +405,36 @@ pub mod names {
     pub const GOVERNOR_SKIPS: &str = "lux.governor.skips";
     /// Counter: memory-budget breaches (a charge that crossed the byte cap).
     pub const GOVERNOR_BREACHES: &str = "lux.governor.breaches";
+    /// Counter: passes admitted by the global admission controller.
+    pub const ADMISSION_ADMITS: &str = "lux.admission.admits";
+    /// Counter: admitted passes that had to wait for a slot first.
+    pub const ADMISSION_QUEUE_WAITS: &str = "lux.admission.queue_waits";
+    /// Counter: passes shed (refused) by the admission controller.
+    pub const ADMISSION_SHEDS: &str = "lux.admission.sheds";
+    /// Counter: background/streaming re-admission attempts after a
+    /// transient refusal (jittered-backoff retries).
+    pub const ADMISSION_RETRIES: &str = "lux.admission.retries";
+    /// High-water counter (set via `set_max`): peak bytes held live across
+    /// all passes in the global memory ledger.
+    pub const ADMISSION_LEDGER_PEAK: &str = "lux.admission.ledger_peak";
+    /// Counter: per-pass charges the global ledger refused at the cap.
+    pub const ADMISSION_LEDGER_REFUSALS: &str = "lux.admission.ledger_refusals";
+    /// Counter: transient SQL backend errors retried with backoff.
+    pub const SQL_RETRIES: &str = "lux.sql.retries";
+    /// Counter: pool workers respawned after a panic escaped the task guard.
+    pub const POOL_RESPAWNS: &str = "lux.pool.respawns";
+    /// Counter: workers the watchdog flagged as hung on a single task.
+    pub const POOL_HUNG_WORKERS: &str = "lux.pool.hung_workers";
+    /// Counter: failpoint actions actually executed (chaos bookkeeping).
+    pub const FAILPOINT_TRIPS: &str = "lux.failpoint.trips";
     /// Histogram: end-to-end print latency.
     pub const PRINT_LATENCY: &str = "lux.print.latency";
     /// Histogram: per-action execution latency.
     pub const ACTION_LATENCY: &str = "lux.action.latency";
     /// Histogram: metadata computation latency (misses only).
     pub const METADATA_LATENCY: &str = "lux.metadata.latency";
+    /// Histogram: time an admitted pass spent waiting for a slot.
+    pub const ADMISSION_WAIT: &str = "lux.admission.wait";
 }
 
 // ---------------------------------------------------------------------
@@ -547,6 +571,12 @@ impl MetricsRegistry {
     /// Increment a counter by `n`.
     pub fn add(&self, name: &str, n: u64) {
         self.counter_handle(name).fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Raise a high-water counter to `v` if `v` exceeds its current value
+    /// (gauge-style peaks, e.g. the admission ledger high-water mark).
+    pub fn set_max(&self, name: &str, v: u64) {
+        self.counter_handle(name).fetch_max(v, Ordering::Relaxed);
     }
 
     /// Current value of a counter (0 if never recorded).

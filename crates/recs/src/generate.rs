@@ -133,6 +133,13 @@ fn execute_prepared(
     }
     let mut opts = ctx.process_options();
     opts.governor = governor.cloned();
+    // SQL backend: count transient-error retries so they can be tagged
+    // onto this action's span (`sql.retries`) after processing.
+    let sql_attempts = ctx
+        .config
+        .sql_backend
+        .then(|| Arc::new(std::sync::atomic::AtomicU64::new(0)));
+    opts.sql_attempts = sql_attempts.clone();
     // Degradation events go to the caller's sink when one is attached (the
     // parallel-actions path replays them in schedule order), otherwise live
     // onto the governor. Returns how many events were emitted.
@@ -148,7 +155,12 @@ fn execute_prepared(
     // Governor: the candidate search space is the first allocation-heavy
     // surface of an action — cap it before any scoring/processing happens.
     let mut governor_notes: Vec<String> = Vec::new();
-    let max_candidates = ctx.config.budget.max_candidates;
+    // The governor's budget may be tighter than the config's: under
+    // admission pressure the shed ladder hands the pass a shrunk candidate
+    // cap (DESIGN.md §10).
+    let max_candidates = governor
+        .map(|g| g.budget().max_candidates)
+        .unwrap_or(ctx.config.budget.max_candidates);
     if candidates.len() > max_candidates {
         let dropped = candidates.len() - max_candidates;
         candidates.truncate(max_candidates);
@@ -189,7 +201,12 @@ fn execute_prepared(
     // "prune without a sample" state is unrepresentable.
     let rep_class = candidates[0].spec.op_class();
     let (rep_rows, rep_groups) = estimate_spec(&candidates[0].spec, ctx.meta, ctx.df.num_rows());
+    // Admission shed ladder: a pass admitted under pressure carries a
+    // `Sampled` degradation floor — approximate scoring is then forced
+    // whenever a sample exists, regardless of the cost model's verdict.
+    let force_sampled = governor.is_some_and(|g| g.degrade_floor() >= DegradeLevel::Sampled);
     let prune_sample: Option<&DataFrame> = match sample {
+        Some(s) if force_sampled => Some(s),
         Some(s)
             if ctx.config.prune
                 && total > k
@@ -208,7 +225,7 @@ fn execute_prepared(
     };
     // PRUNE observability: when approximation was a live question (PRUNE on
     // and a sample available), record whether the cost-model gate engaged.
-    if ctx.config.prune && sample.is_some() {
+    if (ctx.config.prune || force_sampled) && sample.is_some() {
         MetricsRegistry::global().incr(if prune_sample.is_some() {
             metric::PRUNE_ENGAGED
         } else {
@@ -218,10 +235,15 @@ fn execute_prepared(
     if let Some(t) = trace {
         t.tag(
             "prune",
-            match (ctx.config.prune, prune_sample.is_some()) {
-                (true, true) => "engaged",
-                (true, false) => "skipped",
-                (false, _) => "off",
+            match (
+                force_sampled && prune_sample.is_some(),
+                ctx.config.prune,
+                prune_sample.is_some(),
+            ) {
+                (true, _, _) => "forced",
+                (false, true, true) => "engaged",
+                (false, true, false) => "skipped",
+                (false, false, _) => "off",
             },
         );
         if deadline.is_bounded() {
@@ -443,6 +465,14 @@ fn execute_prepared(
         }
         if let Some(t) = trace {
             t.tag("governor.events", degrade_events.to_string());
+        }
+    }
+    // Surface transient SQL retries on the action span (satellite: the
+    // retry-with-backoff wrapper counts attempts into this cell).
+    if let (Some(t), Some(attempts)) = (trace, &sql_attempts) {
+        let n = attempts.load(std::sync::atomic::Ordering::Relaxed);
+        if n > 0 {
+            t.tag("sql.retries", n.to_string());
         }
     }
     let degraded = degraded_reason.is_some() || !governor_notes.is_empty();
@@ -1147,6 +1177,11 @@ pub struct OwnedContext {
     /// Per-pass resource governor shared by every worker; `None` runs
     /// ungoverned (no budget enforcement).
     pub governor: Option<Arc<BudgetHandle>>,
+    /// Admission slot held for the duration of the pass. The collector
+    /// thread takes ownership so the slot is released only once every
+    /// action has settled (or been abandoned), not when the caller's
+    /// stack frame unwinds.
+    pub permit: Option<Arc<lux_engine::AdmissionPermit>>,
 }
 
 impl OwnedContext {
@@ -1216,6 +1251,24 @@ impl StreamingRun {
     /// Drain every remaining result (blocks until all workers finish).
     pub fn collect_all(self) -> Vec<ActionResult> {
         self.collect_report().results
+    }
+
+    /// A run that was refused admission: no actions dispatched, channels
+    /// already closed, and a single health entry carrying the shed reason
+    /// so report consumers see *why* nothing ran instead of an empty
+    /// report that looks like success.
+    pub fn shed(reason: &str) -> StreamingRun {
+        let (_results_tx, results) = mpsc::channel::<ActionResult>();
+        let (health_tx, health) = mpsc::channel::<ActionHealth>();
+        let _ = health_tx.send(ActionHealth::new(
+            "recommendations",
+            ActionStatus::Failed(format!("shed by admission control: {reason}")),
+        ));
+        StreamingRun {
+            results,
+            health,
+            expected: 0,
+        }
     }
 }
 
@@ -1321,7 +1374,11 @@ pub fn run_actions_streaming(registry: &ActionRegistry, owned: OwnedContext) -> 
 
     // The collector owns the breaker bookkeeping so health stays correct
     // even when the consumer drops the StreamingRun without draining it.
+    // It also owns the admission permit: the session slot stays occupied
+    // until every action settles, even if the caller returns immediately.
+    let permit = owned.permit.clone();
     std::thread::spawn(move || {
+        let _permit = permit;
         for h in pre_health {
             let _ = health_tx.send(h);
         }
@@ -1425,6 +1482,7 @@ mod streaming_tests {
             sample: None,
             trace: None,
             governor: None,
+            permit: None,
         }
     }
 

@@ -62,6 +62,9 @@ pub struct ProcessOptions {
     /// rule extended past metadata). Off by default so direct `process`
     /// calls never observe cross-call state.
     pub memo: bool,
+    /// When set, the SQL backend counts transient-error retry attempts
+    /// here, so the action executor can tag them onto its trace span.
+    pub sql_attempts: Option<Arc<std::sync::atomic::AtomicU64>>,
 }
 
 impl Default for ProcessOptions {
@@ -79,6 +82,7 @@ impl Default for ProcessOptions {
             event_sink: None,
             threads: 1,
             memo: false,
+            sql_attempts: None,
         }
     }
 }
@@ -408,6 +412,7 @@ mod memo {
     use std::sync::Mutex;
 
     use lux_dataframe::DataFrame;
+    use lux_engine::lock_recover;
 
     use super::{ProcessOptions, VisSpec};
 
@@ -438,7 +443,16 @@ mod memo {
     }
 
     pub(super) fn get(fingerprint: u64, key: &str) -> Option<DataFrame> {
-        let guard = STORE.lock().ok()?;
+        // Injected lookup failure reads as a miss (the vis recomputes).
+        if lux_engine::failpoint::hit(lux_engine::failpoint::names::MEMO_VIS_LOOKUP).is_some() {
+            return None;
+        }
+        // Recover from poisoning: a panic while the lock was held (e.g. an
+        // injected insert fault) leaves plain map/deque state that is never
+        // torn across a panic point — silently disabling the cache for the
+        // rest of the process (the old `.lock().ok()?`) wedged every later
+        // pass into miss-and-recompute.
+        let guard = lock_recover(&STORE);
         guard
             .as_ref()?
             .map
@@ -449,9 +463,13 @@ mod memo {
     /// Insert unless present. Returns `true` when an entry already existed
     /// (a concurrent computation of the same vis won the race).
     pub(super) fn insert(fingerprint: u64, key: String, value: DataFrame) -> bool {
-        let Ok(mut guard) = STORE.lock() else {
+        let mut guard = lock_recover(&STORE);
+        // Inside the critical section on purpose: a `panic` action poisons
+        // the store mutex mid-insert, which the poisoning regression test
+        // requires later passes to survive.
+        if lux_engine::failpoint::hit(lux_engine::failpoint::names::MEMO_VIS_INSERT).is_some() {
             return false;
-        };
+        }
         let store = guard.get_or_insert_with(|| Store {
             map: HashMap::new(),
             order: VecDeque::new(),

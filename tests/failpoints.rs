@@ -1,0 +1,241 @@
+//! Deterministic fault-injection suite (DESIGN.md §10).
+//!
+//! Every named failpoint is driven end to end: injected CSV/SQL failures
+//! surface as ordinary errors, transient SQL errors are retried with
+//! backoff, a panic inside the processed-vis memo cache poisons the store
+//! and later passes recover, and a panic escaping a pool worker loop gets
+//! the worker respawned by its supervisor. Failpoints are process-global
+//! state, so the whole file serializes on one lock and clears the registry
+//! on both entry and exit of each test.
+
+use std::sync::{Mutex, OnceLock};
+use std::time::Duration;
+
+use lux::engine::failpoint::{self, names as fp};
+use lux::engine::trace::{names, MetricsRegistry};
+use lux::prelude::*;
+use lux::vis::{process, Backend, Channel, Encoding, Mark, ProcessOptions, VisSpec};
+use lux::LuxDataFrame;
+
+fn failpoint_lock() -> &'static Mutex<()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(|| Mutex::new(()))
+}
+
+/// Clears every failpoint when dropped, so a panicking assertion cannot
+/// leak chaos into the next test.
+struct Chaos;
+
+impl Chaos {
+    fn begin() -> Chaos {
+        failpoint::init();
+        failpoint::clear_all();
+        Chaos
+    }
+}
+
+impl Drop for Chaos {
+    fn drop(&mut self) {
+        failpoint::clear_all();
+    }
+}
+
+fn frame(rows: usize) -> DataFrame {
+    DataFrameBuilder::new()
+        .float("pay", (0..rows).map(|i| 40.0 + ((i * 13) % 70) as f64))
+        .float("age", (0..rows).map(|i| 22.0 + ((i * 7) % 40) as f64))
+        .str("dept", (0..rows).map(|i| ["Sales", "Eng", "HR"][i % 3]))
+        .build()
+        .unwrap()
+}
+
+fn scatter() -> VisSpec {
+    VisSpec::new(
+        Mark::Scatter,
+        vec![
+            Encoding::new("pay", SemanticType::Quantitative, Channel::X),
+            Encoding::new("age", SemanticType::Quantitative, Channel::Y),
+        ],
+        vec![],
+    )
+}
+
+#[test]
+fn csv_ingest_failpoint_surfaces_as_parse_error() {
+    let _serial = failpoint_lock().lock().unwrap();
+    let _chaos = Chaos::begin();
+    failpoint::cfg(fp::CSV_INGEST, "return(disk gremlin)").unwrap();
+    let err = lux::dataframe::csv::read_csv_str("a,b\n1,2\n").unwrap_err();
+    assert!(err.to_string().contains("injected ingest failure"), "{err}");
+    failpoint::remove(fp::CSV_INGEST);
+    let df = lux::dataframe::csv::read_csv_str("a,b\n1,2\n").unwrap();
+    assert_eq!(df.num_rows(), 1);
+}
+
+#[test]
+fn transient_sql_errors_retry_with_backoff_then_succeed() {
+    let _serial = failpoint_lock().lock().unwrap();
+    let _chaos = Chaos::begin();
+    let metrics = MetricsRegistry::global();
+    let retries0 = metrics.counter(names::SQL_RETRIES);
+    // Two transient refusals, then the backend works: the third of the
+    // three budgeted attempts succeeds.
+    failpoint::cfg(fp::SQL_QUERY, "2*return(connection reset by peer)").unwrap();
+    let df = frame(100);
+    let opts = ProcessOptions {
+        backend: Backend::Sql,
+        ..ProcessOptions::default()
+    };
+    let out = process(&scatter(), &df, &opts).expect("retries should have recovered");
+    assert_eq!(out.num_rows(), 100);
+    assert!(
+        metrics.counter(names::SQL_RETRIES) >= retries0 + 2,
+        "transient errors were not counted as retries"
+    );
+}
+
+#[test]
+fn permanent_sql_errors_fail_fast_without_retry() {
+    let _serial = failpoint_lock().lock().unwrap();
+    let _chaos = Chaos::begin();
+    let metrics = MetricsRegistry::global();
+    let retries0 = metrics.counter(names::SQL_RETRIES);
+    failpoint::cfg(fp::SQL_QUERY, "return(malformed projection)").unwrap();
+    let df = frame(50);
+    let opts = ProcessOptions {
+        backend: Backend::Sql,
+        ..ProcessOptions::default()
+    };
+    let err = process(&scatter(), &df, &opts).unwrap_err();
+    assert!(
+        err.to_string().contains("injected backend failure"),
+        "{err}"
+    );
+    assert_eq!(
+        metrics.counter(names::SQL_RETRIES),
+        retries0,
+        "a permanent error must not be retried"
+    );
+}
+
+/// The PR 4 poisoning audit, as a regression test: a panic raised while the
+/// processed-vis memo store lock is held poisons the mutex mid-pass; the
+/// next pass must both succeed *and* still use the cache (the pre-audit
+/// `.lock().ok()?` silently disabled it for the rest of the process).
+#[test]
+fn memo_cache_survives_poisoning_and_keeps_caching() {
+    let _serial = failpoint_lock().lock().unwrap();
+    let _chaos = Chaos::begin();
+    let df = frame(200);
+    let opts = ProcessOptions {
+        memo: true,
+        ..ProcessOptions::default()
+    };
+    // Poison: the panic fires inside the store's critical section.
+    failpoint::cfg(fp::MEMO_VIS_INSERT, "1*panic(injected insert fault)").unwrap();
+    let poisoned = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        let _ = process(&scatter(), &df, &opts);
+    }));
+    assert!(poisoned.is_err(), "panic failpoint did not fire");
+    failpoint::remove(fp::MEMO_VIS_INSERT);
+
+    // Recovery: the next pass succeeds and the cache still serves hits.
+    let metrics = MetricsRegistry::global();
+    let first = process(&scatter(), &df, &opts).expect("pass after poisoning failed");
+    let hits0 = metrics.counter(names::VIS_MEMO_HIT);
+    let second = process(&scatter(), &df, &opts).expect("repeat pass failed");
+    assert!(
+        metrics.counter(names::VIS_MEMO_HIT) > hits0,
+        "memo cache wedged after poisoning — repeat process() did not hit"
+    );
+    assert_eq!(first.num_rows(), second.num_rows());
+}
+
+/// A panic escaping the worker *loop* (not a task) is caught by the
+/// supervisor, counted, and the worker restarted — the pool self-heals
+/// instead of silently shrinking.
+#[test]
+fn pool_worker_panic_is_respawned_by_supervisor() {
+    let _serial = failpoint_lock().lock().unwrap();
+    let _chaos = Chaos::begin();
+    let metrics = MetricsRegistry::global();
+    // Touch the pool first so workers exist before the failpoint arms.
+    let warm: Vec<usize> =
+        lux::engine::pool::parallel_map(4, (0..64).collect(), |_, x: usize| x * 2);
+    assert_eq!(warm[5], 10);
+    let respawns0 = metrics.counter(names::POOL_RESPAWNS);
+    failpoint::cfg(fp::POOL_WORKER_LOOP, "1*panic(injected loop fault)").unwrap();
+    // Idle workers re-enter the loop top within their 50ms nap, so the
+    // panic fires without any help; poll for the supervisor's restart.
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    while metrics.counter(names::POOL_RESPAWNS) == respawns0 {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "supervisor never respawned the panicked worker"
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    failpoint::remove(fp::POOL_WORKER_LOOP);
+    // The pool still does correct fork-join work afterwards.
+    let healed: Vec<usize> =
+        lux::engine::pool::parallel_map(4, (0..64).collect(), |_, x: usize| x + 1);
+    assert_eq!(healed.iter().sum::<usize>(), (1..=64).sum::<usize>());
+}
+
+/// A dropped pool task (`return` at `pool.task.run`) cannot hang fork-join
+/// callers: the caller drains the index cursor itself.
+#[test]
+fn dropped_pool_tasks_do_not_hang_fork_join() {
+    let _serial = failpoint_lock().lock().unwrap();
+    let _chaos = Chaos::begin();
+    failpoint::cfg(fp::POOL_TASK_RUN, "3*return").unwrap();
+    let out: Vec<usize> = lux::engine::pool::parallel_map(8, (0..256).collect(), |_, x: usize| x);
+    assert_eq!(out.len(), 256);
+    assert_eq!(out[255], 255);
+}
+
+/// Chaos sweep over a whole always-on pass: metadata, memo lookup, and
+/// pool failpoints all armed with small counts. The print completes, tabs
+/// or a table are served, and after clearing chaos the engine is healthy.
+#[test]
+fn chaotic_print_pass_completes_and_recovers() {
+    let _serial = failpoint_lock().lock().unwrap();
+    let _chaos = Chaos::begin();
+    let metrics = MetricsRegistry::global();
+    let trips0 = metrics.counter(names::FAILPOINT_TRIPS);
+    failpoint::cfg(fp::METADATA_COLUMN, "2*return(metadata chaos)").unwrap();
+    failpoint::cfg(fp::MEMO_VIS_LOOKUP, "4*return(lookup chaos)").unwrap();
+    failpoint::cfg(fp::POOL_TASK_RUN, "1*return").unwrap();
+    failpoint::cfg(fp::MEMO_VIS_INSERT, "2*return(insert chaos)").unwrap();
+    let ldf = LuxDataFrame::new(frame(400));
+    let widget = ldf.print();
+    assert!(
+        !widget.table().is_empty(),
+        "chaotic pass lost even the table"
+    );
+    assert!(
+        metrics.counter(names::FAILPOINT_TRIPS) > trips0,
+        "no failpoint actually fired during the chaotic pass"
+    );
+    failpoint::clear_all();
+    let clean = LuxDataFrame::new(frame(400)).print();
+    assert!(clean.shed_note().is_none());
+    assert!(
+        !clean.results().is_empty(),
+        "engine unhealthy after chaos cleared"
+    );
+}
+
+/// `LUX_FAILPOINTS`-style specs parse; malformed actions are rejected
+/// loudly rather than silently ignored, and the catalogue stays complete.
+#[test]
+fn failpoint_spec_parsing_round_trips() {
+    let _serial = failpoint_lock().lock().unwrap();
+    let _chaos = Chaos::begin();
+    for name in fp::ALL {
+        failpoint::cfg(name, "off").unwrap();
+    }
+    assert!(fp::ALL.len() >= 8, "failpoint catalogue shrank");
+    assert!(failpoint::cfg(fp::CSV_INGEST, "dance(badly)").is_err());
+    assert!(failpoint::cfg(fp::CSV_INGEST, "sleep").is_err());
+}
