@@ -1,0 +1,241 @@
+//! Server load benchmark (DESIGN.md §11).
+//!
+//! Boots one in-process recommendation server, then hammers it over real
+//! TCP with 1, 8, and 32 concurrent clients. Each client replays the
+//! Table-3 notebook cell mix as wire traffic: `print-df` cells are prints
+//! with a rotating intent (so every print does real recommendation work
+//! instead of a pure memo hit), dataframe-op cells re-upload a mutated
+//! frame, and non-Lux cells touch nothing. Round-trip latency is measured
+//! per print, and well-formed sheds (`Busy` responses) are counted.
+//!
+//! Appends a `"server"` section to `BENCH_overload.json` so
+//! `scripts/bench_compare.sh` can gate the single-client round-trip p50
+//! against the committed baseline — the wire protocol and registry must
+//! stay thin relative to an in-process print.
+//!
+//! Scales: `LUX_OVERLOAD_ROWS` (rows per frame), `LUX_OVERLOAD_ITERS`
+//! (prints per client), `LUX_SERVER_LOAD_CLIENTS` (comma-separated
+//! concurrency levels), `LUX_BENCH_FULL=1` for the bigger defaults.
+
+use std::path::PathBuf;
+use std::sync::atomic::Ordering;
+use std::time::{Duration, Instant};
+
+use lux_bench::{env_scales, full_scale, print_table};
+use lux_server::{Client, PrintOutcome, Server, ServerConfig};
+
+fn percentile(sorted: &[Duration], p: f64) -> Duration {
+    if sorted.is_empty() {
+        return Duration::ZERO;
+    }
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+fn ms(d: Duration) -> String {
+    format!("{:.3}", d.as_secs_f64() * 1e3)
+}
+
+/// A deterministic numeric CSV: `cols` columns, `rows` rows.
+fn make_csv(rows: usize, cols: usize, seed: u64) -> String {
+    let mut out = String::with_capacity(rows * cols * 8);
+    for c in 0..cols {
+        if c > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("c{c}"));
+    }
+    out.push('\n');
+    let mut state = seed | 1;
+    for _ in 0..rows {
+        for c in 0..cols {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            if c > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("{}", state % 1_000));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+struct Level {
+    clients: usize,
+    p50: Duration,
+    p99: Duration,
+    served: u64,
+    shed: u64,
+    total: Duration,
+}
+
+fn run(addr: &str, clients: usize, rows: usize, cols: usize, iters: usize) -> Level {
+    let started = Instant::now();
+    let handles: Vec<_> = (0..clients)
+        .map(|i| {
+            let addr = addr.to_string();
+            std::thread::spawn(move || {
+                let mut c = Client::connect(&addr, Duration::from_secs(60)).expect("connect");
+                c.hello(&format!("tenant-{i}")).expect("hello");
+                let csv = make_csv(rows, cols, (i as u64) * 7 + 11);
+                c.put_frame("frame", &csv).expect("put");
+                let mut latencies = Vec::with_capacity(iters);
+                let mut served = 0u64;
+                let mut shed = 0u64;
+                for k in 0..iters {
+                    // Every few cells the "notebook" mutates its frame (a
+                    // dataframe op in Table 3's mix) and re-uploads it; the
+                    // cells in between alternate whole-frame prints with
+                    // column-intent prints. Re-upload cost is not counted
+                    // in print latency, matching the paper's per-cell
+                    // accounting.
+                    if k > 0 && k % 4 == 0 {
+                        let mutated = make_csv(rows, cols, (i as u64) * 7 + 11 + k as u64);
+                        c.put_frame("frame", &mutated).expect("re-put");
+                    }
+                    // Rotate the intent so each print recomputes instead of
+                    // replaying the memo — cold-ish work over a warm frame.
+                    let intent = if k % 3 == 0 {
+                        String::new()
+                    } else {
+                        format!("c{}", k % cols)
+                    };
+                    let t = Instant::now();
+                    match c.print("frame", &intent, 0, 2).expect("print") {
+                        PrintOutcome::Widget(w) => {
+                            std::hint::black_box(w.table.len());
+                            served += 1;
+                        }
+                        PrintOutcome::Busy(_) => shed += 1,
+                        PrintOutcome::Error(code, msg) => {
+                            panic!("typed error mid-benchmark: {code:?} {msg}")
+                        }
+                    }
+                    latencies.push(t.elapsed());
+                }
+                (latencies, served, shed)
+            })
+        })
+        .collect();
+    let mut latencies = Vec::new();
+    let mut served = 0u64;
+    let mut shed = 0u64;
+    for h in handles {
+        let (l, sv, sh) = h.join().expect("client panicked");
+        latencies.extend(l);
+        served += sv;
+        shed += sh;
+    }
+    let total = started.elapsed();
+    latencies.sort();
+    Level {
+        clients,
+        p50: percentile(&latencies, 0.50),
+        p99: percentile(&latencies, 0.99),
+        served,
+        shed,
+        total,
+    }
+}
+
+/// Append (or replace) the `"server"` section of BENCH_overload.json,
+/// preserving the in-process overload runs written by `overload`.
+fn merge_json(section: &str) {
+    let path = "BENCH_overload.json";
+    let body = match std::fs::read_to_string(path) {
+        Ok(existing) => {
+            let head = existing
+                .split(",\n  \"server\":")
+                .next()
+                .unwrap_or(&existing)
+                .trim_end()
+                .trim_end_matches('}')
+                .trim_end()
+                .to_string();
+            format!("{head},\n  \"server\": {section}\n}}\n")
+        }
+        Err(_) => format!("{{\n  \"server\": {section}\n}}\n"),
+    };
+    std::fs::write(path, body).expect("write BENCH_overload.json");
+}
+
+fn main() {
+    let (rows, cols, iters) = if full_scale() {
+        (50_000usize, 16usize, 20usize)
+    } else {
+        (4_000, 8, 8)
+    };
+    let rows = env_scales("LUX_OVERLOAD_ROWS", &[rows])[0];
+    let iters = env_scales("LUX_OVERLOAD_ITERS", &[iters])[0];
+    let levels = env_scales("LUX_SERVER_LOAD_CLIENTS", &[1, 8, 32]);
+
+    let data_dir: PathBuf =
+        std::env::temp_dir().join(format!("lux_server_load_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&data_dir);
+    let server = Server::bind(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        data_dir: data_dir.clone(),
+        read_timeout: Duration::from_secs(30),
+        write_timeout: Duration::from_secs(30),
+        drain_timeout: Duration::from_secs(5),
+        max_conns: 256,
+    })
+    .expect("bind");
+    let addr = server.local_addr().to_string();
+    let shutdown = server.shutdown_handle();
+    let server_thread = std::thread::spawn(move || server.run().expect("run"));
+
+    println!(
+        "# Server load: concurrent clients vs round-trip print latency \
+         ({rows} rows x {cols} cols, {iters} prints/client, addr {addr})\n"
+    );
+
+    let runs: Vec<Level> = levels
+        .iter()
+        .map(|&n| run(&addr, n, rows, cols, iters))
+        .collect();
+
+    shutdown.store(true, Ordering::SeqCst);
+    server_thread.join().expect("server thread");
+    let _ = std::fs::remove_dir_all(&data_dir);
+
+    let mut rows_out: Vec<Vec<String>> = Vec::new();
+    let mut section = String::from("{\n    \"runs\": [\n");
+    for (k, r) in runs.iter().enumerate() {
+        let shed_rate = r.shed as f64 / (r.served + r.shed).max(1) as f64;
+        section.push_str(&format!(
+            "      {{\"clients\": {}, \"server_p50_ms\": {}, \"server_p99_ms\": {}, \
+             \"served\": {}, \"shed\": {}, \"shed_rate\": {:.3}, \"wall_ms\": {}}}",
+            r.clients,
+            ms(r.p50),
+            ms(r.p99),
+            r.served,
+            r.shed,
+            shed_rate,
+            ms(r.total)
+        ));
+        section.push_str(if k + 1 < runs.len() { ",\n" } else { "\n" });
+        rows_out.push(vec![
+            format!("clients={}", r.clients),
+            ms(r.p50),
+            ms(r.p99),
+            r.served.to_string(),
+            r.shed.to_string(),
+            format!("{:.1}%", shed_rate * 100.0),
+            ms(r.total),
+        ]);
+    }
+    section.push_str(&format!(
+        "    ],\n    \"rows\": {rows},\n    \"columns\": {cols},\n    \"iterations\": {iters}\n  }}"
+    ));
+
+    print_table(
+        &["config", "p50", "p99", "served", "shed", "shed%", "wall"],
+        &rows_out,
+    );
+
+    merge_json(&section);
+    println!("\nmerged server section into BENCH_overload.json");
+}

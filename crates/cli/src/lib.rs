@@ -7,5 +7,6 @@
 //! price<=500`, `export Correlation 0`, `save-report out.html`.
 
 pub mod commands;
+pub mod serve;
 
 pub use commands::{parse_command, Command, Shell, HELP};

@@ -1,14 +1,27 @@
-//! The `lux-shell` binary: a line-oriented REPL over [`lux_cli::Shell`].
+//! The `lux-shell` binary: a line-oriented REPL over [`lux_cli::Shell`],
+//! plus the long-lived recommendation server and its one-shot client.
 //!
 //! ```sh
-//! lux-shell [csv-file ...]    # each file is loaded as a session frame
+//! lux-shell [csv-file ...]           # each file is loaded as a session frame
+//! lux-shell serve [addr]             # run the recommendation server
+//! lux-shell client <addr> <cmd> ...  # one request against a server
 //! ```
 
 use std::io::{BufRead, Write};
 
-use lux_cli::{parse_command, Command, Shell};
+use lux_cli::{parse_command, serve, Command, Shell};
 
 fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match argv.split_first() {
+        Some((mode, rest)) if mode == "serve" => {
+            std::process::exit(serve::run_serve(rest));
+        }
+        Some((mode, rest)) if mode == "client" => {
+            std::process::exit(serve::run_client(rest));
+        }
+        _ => {}
+    }
     // Arm `LUX_FAILPOINTS` before anything touches ingest: the registry is
     // otherwise initialized lazily on the first admission, which is too
     // late for faults injected into `load`.

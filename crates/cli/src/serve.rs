@@ -1,0 +1,169 @@
+//! `lux-shell serve` / `lux-shell client` — the long-lived recommendation
+//! server and a one-shot command-line client for it.
+//!
+//! ```sh
+//! lux-shell serve [addr]                  # serve until SIGTERM / shutdown
+//! lux-shell client <addr> <cmd> [...]     # one request, exit code reports it
+//! ```
+//!
+//! The serve loop installs a SIGTERM handler: on signal the listener stops
+//! accepting, `Hello` answers `draining: true`, in-flight passes finish (up
+//! to `LUX_DRAIN_TIMEOUT_MS`), then the process exits 0.
+
+use std::time::Duration;
+
+use lux_server::{Client, PrintOutcome, Server, ServerConfig};
+
+const CLIENT_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Run the server until shutdown; returns a process exit code.
+pub fn run_serve(args: &[String]) -> i32 {
+    lux_engine::failpoint::init();
+    let mut cfg = ServerConfig::from_env();
+    if let Some(addr) = args.first() {
+        cfg.addr = addr.clone();
+    }
+    lux_server::install_signal_handlers();
+    let server = match Server::bind(cfg) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("lux-serve: bind failed: {e}");
+            return 2;
+        }
+    };
+    println!("lux-serve: listening on {}", server.local_addr());
+    // Tests and scripts wait for this marker before connecting.
+    println!("lux-serve: ready");
+    match server.run() {
+        Ok(0) => {
+            println!("lux-serve: drained cleanly");
+            0
+        }
+        Ok(leftover) => {
+            eprintln!("lux-serve: drain timeout with {leftover} request(s) in flight");
+            0
+        }
+        Err(e) => {
+            eprintln!("lux-serve: {e}");
+            2
+        }
+    }
+}
+
+/// Run one client command; returns a process exit code.
+///
+/// Commands: `ping`, `stats`, `shutdown`, `list <tenant>`,
+/// `put <tenant> <name> <csv-path>`, `drop <tenant> <name>`,
+/// `print <tenant> <name> [intent] [deadline-ms]`.
+pub fn run_client(args: &[String]) -> i32 {
+    let usage = "usage: lux-shell client <addr> \
+                 ping|stats|shutdown|list|put|drop|print [...]";
+    let (addr, rest) = match args.split_first() {
+        Some((a, r)) if !r.is_empty() => (a.as_str(), r),
+        _ => {
+            eprintln!("{usage}");
+            return 2;
+        }
+    };
+    let mut client = match Client::connect(addr, CLIENT_TIMEOUT) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("lux-client: connect {addr}: {e}");
+            return 2;
+        }
+    };
+    let cmd = rest[0].as_str();
+    let args = &rest[1..];
+    let outcome: Result<i32, String> = match (cmd, args) {
+        ("ping", []) => client.ping().map(|()| {
+            println!("pong");
+            0
+        }),
+        ("stats", []) => client.stats().map(|s| {
+            println!("{s}");
+            0
+        }),
+        ("shutdown", []) => client.shutdown().map(|()| {
+            println!("shutting down");
+            0
+        }),
+        ("list", [tenant]) => client.hello(tenant).and_then(|_| {
+            client.list_frames().map(|names| {
+                for n in &names {
+                    println!("{n}");
+                }
+                0
+            })
+        }),
+        ("put", [tenant, name, path]) => {
+            let csv = match std::fs::read_to_string(path) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("lux-client: read {path}: {e}");
+                    return 2;
+                }
+            };
+            client.hello(tenant).and_then(|_| {
+                client.put_frame(name, &csv).map(|(rows, cols, fp)| {
+                    println!("stored {name}: {rows} rows x {cols} cols (fingerprint {fp:016x})");
+                    0
+                })
+            })
+        }
+        ("drop", [tenant, name]) => client.hello(tenant).and_then(|_| {
+            client.drop_frame(name).map(|existed| {
+                println!("{}", if existed { "dropped" } else { "not found" });
+                if existed {
+                    0
+                } else {
+                    1
+                }
+            })
+        }),
+        ("print", [tenant, name, tail @ ..]) if tail.len() <= 2 => {
+            let intent = tail.first().map(String::as_str).unwrap_or("");
+            let deadline_ms = match tail.get(1) {
+                Some(d) => match d.parse::<u64>() {
+                    Ok(v) => v,
+                    Err(_) => {
+                        eprintln!("lux-client: bad deadline {d:?} (want milliseconds)");
+                        return 2;
+                    }
+                },
+                None => 0,
+            };
+            client.hello(tenant).and_then(|draining| {
+                if draining {
+                    eprintln!("lux-client: note: server is draining");
+                }
+                client
+                    .print(name, intent, deadline_ms, 3)
+                    .map(|out| match out {
+                        PrintOutcome::Widget(w) => {
+                            println!("{}", w.render());
+                            0
+                        }
+                        PrintOutcome::Busy(reason) => {
+                            eprintln!("lux-client: shed: {reason}");
+                            3
+                        }
+                        PrintOutcome::Error(code, message) => {
+                            eprintln!("lux-client: error ({code:?}): {message}");
+                            1
+                        }
+                    })
+            })
+        }
+        _ => {
+            eprintln!("{usage}");
+            return 2;
+        }
+    };
+    match outcome {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("lux-client: {e}");
+            1
+        }
+    }
+}

@@ -34,20 +34,20 @@ pub mod vis_api;
 pub mod widget;
 
 pub use logging::{EventKind, SessionLogger};
-pub use luxframe::LuxDataFrame;
+pub use luxframe::{LuxDataFrame, PrintOptions};
 pub use luxseries::LuxSeries;
 pub use perf::PassSummary;
 pub use vis_api::{LuxVis, LuxVisList};
-pub use widget::Widget;
+pub use widget::{Widget, WireWidget};
 
 /// Common imports for applications using Lux.
 pub mod prelude {
     pub use crate::logging::{EventKind, SessionLogger};
-    pub use crate::luxframe::LuxDataFrame;
+    pub use crate::luxframe::{LuxDataFrame, PrintOptions};
     pub use crate::luxseries::LuxSeries;
     pub use crate::perf::PassSummary;
     pub use crate::vis_api::{LuxVis, LuxVisList};
-    pub use crate::widget::Widget;
+    pub use crate::widget::{Widget, WireWidget};
     pub use lux_dataframe::prelude::*;
     pub use lux_engine::{
         LuxConfig, MetricsRegistry, MetricsSnapshot, PassTrace, SemanticType, TraceCollector,

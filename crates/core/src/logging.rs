@@ -33,6 +33,8 @@ pub enum EventKind {
     /// detail is its compact JSON payload, so session logs carry the same
     /// stage/memo numbers the pass trace does.
     PassSummary,
+    /// Serving-layer lifecycle: boot, journal recovery, drain, shutdown.
+    Server,
 }
 
 impl EventKind {
@@ -44,6 +46,7 @@ impl EventKind {
             EventKind::Operation => "operation",
             EventKind::ActionFault => "action-fault",
             EventKind::PassSummary => "pass-summary",
+            EventKind::Server => "server",
         }
     }
 
@@ -56,6 +59,7 @@ impl EventKind {
             "operation" => Some(EventKind::Operation),
             "action-fault" => Some(EventKind::ActionFault),
             "pass-summary" => Some(EventKind::PassSummary),
+            "server" => Some(EventKind::Server),
             _ => None,
         }
     }

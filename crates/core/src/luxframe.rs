@@ -27,8 +27,8 @@ use lux_engine::trace::{
     names as metric, MetricsRegistry, MetricsSnapshot, SpanId, TraceCollector,
 };
 use lux_engine::{
-    Admission, AdmissionController, BudgetHandle, CachedSample, FrameMeta, LuxConfig, PassTrace,
-    Priority, SemanticType, ShedReason,
+    Admission, AdmissionController, AdmitRequest, BudgetHandle, CachedSample, FrameMeta, LuxConfig,
+    PassTrace, Priority, SemanticType, ShedReason,
 };
 use lux_intent::{Clause, Diagnostic};
 use lux_recs::{ActionContext, ActionHealth, ActionRegistry, ActionResult};
@@ -45,6 +45,33 @@ struct WflowCache {
     recommendations: Option<Arc<Vec<ActionResult>>>,
     /// Per-action health from the pass that produced `recommendations`.
     health: Option<Arc<Vec<ActionHealth>>>,
+}
+
+/// Caller-supplied options for one print pass, used by the serving layer to
+/// propagate per-request context into the engine. `deadline` is end-to-end:
+/// it bounds the admission wait, and whatever is left after queueing caps the
+/// per-action compute budget. `tenant` charges the pass against that
+/// tenant's admission quota.
+#[derive(Debug, Clone, Default)]
+pub struct PrintOptions {
+    /// End-to-end deadline for the pass (admission wait + compute).
+    pub deadline: Option<std::time::Duration>,
+    /// Tenant label for per-tenant admission quotas.
+    pub tenant: Option<String>,
+}
+
+impl PrintOptions {
+    /// Builder-style deadline setter.
+    pub fn with_deadline(mut self, deadline: Option<std::time::Duration>) -> PrintOptions {
+        self.deadline = deadline;
+        self
+    }
+
+    /// Builder-style tenant setter.
+    pub fn with_tenant(mut self, tenant: Option<String>) -> PrintOptions {
+        self.tenant = tenant;
+        self
+    }
 }
 
 /// A pandas-style dataframe with always-on visualization recommendations.
@@ -179,6 +206,12 @@ impl LuxDataFrame {
 
     pub fn column_names(&self) -> &[String] {
         self.df.column_names()
+    }
+
+    /// The underlying frame's identity fingerprint (shared by clones; the
+    /// key of the process-wide processed-vis memo).
+    pub fn fingerprint(&self) -> u64 {
+        self.df.fingerprint()
     }
 
     /// The active config.
@@ -352,14 +385,19 @@ impl LuxDataFrame {
     }
 
     fn compute_recommendations(&self) -> (Arc<Vec<ActionResult>>, Arc<Vec<ActionHealth>>) {
-        self.compute_recommendations_traced(None, None)
+        self.compute_recommendations_traced(None, None, None)
     }
 
     fn compute_recommendations_traced(
         &self,
         trace: Option<(&Arc<TraceCollector>, SpanId)>,
         governor: Option<&Arc<BudgetHandle>>,
+        config_override: Option<&Arc<LuxConfig>>,
     ) -> (Arc<Vec<ActionResult>>, Arc<Vec<ActionHealth>>) {
+        // A caller-supplied config (deadline-shrunk action budget from a
+        // propagated client deadline) replaces the frame's own for this one
+        // pass; everything memoized (metadata, sample) is config-independent.
+        let config = config_override.unwrap_or(&self.config);
         let meta = self.metadata();
         let specs = match trace {
             Some((collector, parent)) => {
@@ -367,8 +405,8 @@ impl LuxDataFrame {
             }
             None => self.compiled_intent(),
         };
-        let sample = self.config.prune.then(|| self.sample.get(&self.df));
-        let report = if self.config.r#async {
+        let sample = config.prune.then(|| self.sample.get(&self.df));
+        let report = if config.r#async {
             // Owned executor: the frame is shared by Arc with detached
             // workers, which lets the collector abandon hung actions at the
             // hard cutoff instead of waiting on them.
@@ -377,7 +415,7 @@ impl LuxDataFrame {
                 meta,
                 intent: Arc::new(self.intent.clone()),
                 intent_specs: Arc::new(specs),
-                config: Arc::clone(&self.config),
+                config: Arc::clone(config),
                 sample,
                 trace: trace
                     .map(|(collector, span)| lux_recs::TraceCtx::new(Arc::clone(collector), span)),
@@ -393,7 +431,7 @@ impl LuxDataFrame {
                 meta: &meta,
                 intent: &self.intent,
                 intent_specs: &specs,
-                config: &self.config,
+                config,
             };
             lux_recs::run_actions_report_governed(
                 &self.registry,
@@ -413,13 +451,14 @@ impl LuxDataFrame {
     }
 
     fn recommendations_with_health(&self) -> (Arc<Vec<ActionResult>>, Arc<Vec<ActionHealth>>) {
-        self.recommendations_with_health_traced(None, None)
+        self.recommendations_with_health_traced(None, None, None)
     }
 
     fn recommendations_with_health_traced(
         &self,
         trace: Option<(&Arc<TraceCollector>, SpanId)>,
         governor: Option<&Arc<BudgetHandle>>,
+        config_override: Option<&Arc<LuxConfig>>,
     ) -> (Arc<Vec<ActionResult>>, Arc<Vec<ActionHealth>>) {
         let metrics = MetricsRegistry::global();
         let tag_memo = |outcome: &str| {
@@ -438,15 +477,24 @@ impl LuxDataFrame {
             } // release while computing (compute re-takes for meta)
             metrics.incr(metric::MEMO_MISS);
             tag_memo("miss");
-            let (recs, health) = self.compute_recommendations_traced(trace, governor);
-            let mut cache = lock_recover(&self.cache);
-            cache.recommendations = Some(Arc::clone(&recs));
-            cache.health = Some(Arc::clone(&health));
+            let (recs, health) =
+                self.compute_recommendations_traced(trace, governor, config_override);
+            // A deadline-shrunk pass that degraded must not poison the memo:
+            // the next print with a full budget would otherwise replay the
+            // partial results forever. Clean passes cache as usual.
+            let cacheable = config_override.is_none() || health.iter().all(|h| h.status.is_ok());
+            if cacheable {
+                let mut cache = lock_recover(&self.cache);
+                cache.recommendations = Some(Arc::clone(&recs));
+                cache.health = Some(Arc::clone(&health));
+            } else {
+                tag_memo("skip-degraded");
+            }
             (recs, health)
         } else {
             metrics.incr(metric::MEMO_MISS);
             tag_memo("off");
-            self.compute_recommendations_traced(trace, governor)
+            self.compute_recommendations_traced(trace, governor, config_override)
         }
     }
 
@@ -532,15 +580,53 @@ impl LuxDataFrame {
     /// Every print records a full [`PassTrace`] (kept on the frame, see
     /// [`LuxDataFrame::last_trace`]) and updates the process-wide metrics.
     pub fn print(&self) -> Widget {
+        self.print_with(&PrintOptions::default())
+    }
+
+    /// [`LuxDataFrame::print`] with caller-supplied admission options: an
+    /// end-to-end deadline (covering both the admission wait and the compute
+    /// pass — the serving layer propagates each client's deadline here) and
+    /// a tenant label charged against the per-tenant admission quota.
+    pub fn print_with(&self, opts: &PrintOptions) -> Widget {
         let start = std::time::Instant::now();
         // Admission first: under overload the pass is shed to a well-formed
         // "engine busy" widget instead of piling more work onto a saturated
         // process (DESIGN.md §10). Interactive priority — prints jump the
         // queue ahead of background streaming runs.
-        let permit = match AdmissionController::global().admit(Priority::Interactive) {
+        let request = AdmitRequest::new(Priority::Interactive)
+            .with_deadline(opts.deadline)
+            .with_tenant(opts.tenant.clone());
+        let permit = match AdmissionController::global().admit_request(request) {
             Admission::Granted(p) => p,
             Admission::Shed(shed) => return self.print_shed(start, shed),
         };
+        // What is left of the client deadline after queueing becomes this
+        // pass's action budget ceiling: a pass admitted with 200ms remaining
+        // must not run the configured 2s per action. An exhausted deadline
+        // sheds before any compute.
+        let remaining = opts.deadline.map(|d| d.saturating_sub(permit.waited()));
+        if let Some(rem) = remaining {
+            if rem < std::time::Duration::from_millis(1) {
+                drop(permit);
+                let metrics = MetricsRegistry::global();
+                metrics.incr(metric::ADMISSION_SHEDS);
+                return self.print_shed(
+                    start,
+                    ShedReason {
+                        reason: "deadline exhausted while waiting for a slot".to_string(),
+                        priority: Priority::Interactive,
+                    },
+                );
+            }
+        }
+        let deadline_config = remaining.map(|rem| {
+            let mut c = (*self.config).clone();
+            c.action_budget = Some(match c.action_budget {
+                Some(b) => b.min(rem),
+                None => rem,
+            });
+            Arc::new(c)
+        });
         // One budget per pass: every allocation-heavy step below (metadata
         // scans, candidate enumeration, group-by/bin processing) charges
         // this handle and degrades along the ladder instead of exhausting
@@ -557,6 +643,12 @@ impl LuxDataFrame {
             permit.waited().as_millis().to_string(),
         );
         collector.tag(root, "admission.pressure", permit.pressure().name());
+        if let Some(rem) = remaining {
+            collector.tag(root, "deadline.remaining_ms", rem.as_millis().to_string());
+        }
+        if let Some(tenant) = permit.tenant() {
+            collector.tag(root, "admission.tenant", tenant.to_string());
+        }
         let table = collector.time(Some(root), "table", || self.df.to_table_string(10));
         // Metadata first (and traced): the validate/compile/action stages
         // below all read it through the memo.
@@ -568,8 +660,11 @@ impl LuxDataFrame {
         collector.end(meta_span);
         let diagnostics = collector.time(Some(root), "intent.validate", || self.validate_intent());
         let actions_span = collector.begin(Some(root), "actions");
-        let (results, health) = self
-            .recommendations_with_health_traced(Some((&collector, actions_span)), Some(&governor));
+        let (results, health) = self.recommendations_with_health_traced(
+            Some((&collector, actions_span)),
+            Some(&governor),
+            deadline_config.as_ref(),
+        );
         collector.end(actions_span);
         collector.tag(
             root,
@@ -871,6 +966,43 @@ mod tests {
         assert!(names.contains(&"Distribution"));
         assert!(names.contains(&"Occurrence")); // "tier" is nominal
         assert!(names.contains(&"Geographic")); // "region" matches the geo heuristic
+    }
+
+    #[test]
+    fn print_with_zero_deadline_sheds_cleanly() {
+        let ldf = sample_ldf();
+        let opts =
+            crate::luxframe::PrintOptions::default().with_deadline(Some(std::time::Duration::ZERO));
+        let w = ldf.print_with(&opts);
+        assert!(w.was_shed());
+        // Either the deadline expired after admission ("deadline exhausted")
+        // or — when parallel tests hold all slots — during the wait ("no
+        // slot within 0ms"); both are the deadline doing its job.
+        let note = w.shed_note().expect("shed widget carries a note");
+        assert!(
+            note.contains("deadline") || note.contains("no slot within"),
+            "unexpected shed note: {note}"
+        );
+        // A deadline-shed pass must not poison the memo: a follow-up
+        // unconstrained print serves full recommendations.
+        let w2 = ldf.print();
+        assert!(!w2.was_shed());
+        assert!(!w2.results().is_empty());
+    }
+
+    #[test]
+    fn print_with_generous_deadline_serves_normally() {
+        let ldf = sample_ldf();
+        let opts = crate::luxframe::PrintOptions::default()
+            .with_deadline(Some(std::time::Duration::from_secs(120)))
+            .with_tenant(Some("t-test".to_string()));
+        let w = ldf.print_with(&opts);
+        assert!(!w.was_shed());
+        assert!(!w.results().is_empty());
+        let trace = w.trace().expect("print attaches a trace");
+        let rendered = trace.render_text();
+        assert!(rendered.contains("deadline.remaining_ms"));
+        assert!(rendered.contains("t-test"));
     }
 
     #[test]

@@ -279,6 +279,210 @@ impl std::fmt::Display for Widget {
     }
 }
 
+/// A flattened, wire-serializable snapshot of a [`Widget`] for the serving
+/// layer: the rendered views plus the health/degradation notes, with the
+/// heavyweight internals (span tree, raw `ActionResult`s) already rendered
+/// to strings. Encodes to a versioned, length-prefixed binary payload that
+/// the server frames onto the socket; decode is bounds-checked and returns
+/// an error on truncation rather than panicking.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct WireWidget {
+    pub num_rows: u64,
+    pub num_columns: u64,
+    pub table: String,
+    /// The full Lux view rendered with the caller's per-tab chart cap.
+    pub lux_view: String,
+    /// Grouped Vega-Lite JSON (the machine-readable export).
+    pub vega_lite: String,
+    /// Tab names in display order.
+    pub tabs: Vec<String>,
+    /// Non-ok action health lines ("Correlation: degraded (...)").
+    pub health_problems: Vec<String>,
+    pub governor_note: Option<String>,
+    pub shed_note: Option<String>,
+    pub timing_footer: Option<String>,
+}
+
+/// Payload format version; bump on any field change.
+const WIRE_WIDGET_VERSION: u8 = 1;
+
+impl WireWidget {
+    /// Flatten a widget for the wire. `per_tab` caps charts per tab in the
+    /// rendered Lux view (the table/vega exports are unaffected).
+    pub fn from_widget(w: &Widget, per_tab: usize) -> WireWidget {
+        WireWidget {
+            num_rows: w.num_rows as u64,
+            num_columns: w.num_columns as u64,
+            table: w.table().to_string(),
+            lux_view: w.render_lux_view(per_tab),
+            vega_lite: w.to_vega_lite(),
+            tabs: w.tabs().iter().map(|t| t.to_string()).collect(),
+            health_problems: w.health_problems().iter().map(|h| h.to_string()).collect(),
+            governor_note: w.governor_note().map(str::to_string),
+            shed_note: w.shed_note().map(str::to_string),
+            timing_footer: w.timing_footer(),
+        }
+    }
+
+    /// Whether the producing pass was shed by admission control.
+    pub fn was_shed(&self) -> bool {
+        self.shed_note.is_some()
+    }
+
+    /// Serialize to the versioned binary payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out =
+            Vec::with_capacity(64 + self.table.len() + self.lux_view.len() + self.vega_lite.len());
+        out.push(WIRE_WIDGET_VERSION);
+        put_u64(&mut out, self.num_rows);
+        put_u64(&mut out, self.num_columns);
+        put_str(&mut out, &self.table);
+        put_str(&mut out, &self.lux_view);
+        put_str(&mut out, &self.vega_lite);
+        put_vec(&mut out, &self.tabs);
+        put_vec(&mut out, &self.health_problems);
+        put_opt(&mut out, self.governor_note.as_deref());
+        put_opt(&mut out, self.shed_note.as_deref());
+        put_opt(&mut out, self.timing_footer.as_deref());
+        out
+    }
+
+    /// Deserialize a payload produced by [`WireWidget::encode`]. Truncated,
+    /// oversized, or non-UTF-8 input yields `Err`, never a panic.
+    pub fn decode(bytes: &[u8]) -> Result<WireWidget, String> {
+        let mut cur = Cursor { buf: bytes, pos: 0 };
+        let version = cur.u8()?;
+        if version != WIRE_WIDGET_VERSION {
+            return Err(format!(
+                "unsupported widget payload version {version} (expected {WIRE_WIDGET_VERSION})"
+            ));
+        }
+        let w = WireWidget {
+            num_rows: cur.u64()?,
+            num_columns: cur.u64()?,
+            table: cur.str()?,
+            lux_view: cur.str()?,
+            vega_lite: cur.str()?,
+            tabs: cur.vec()?,
+            health_problems: cur.vec()?,
+            governor_note: cur.opt()?,
+            shed_note: cur.opt()?,
+            timing_footer: cur.opt()?,
+        };
+        if cur.pos != bytes.len() {
+            return Err(format!(
+                "trailing garbage: {} byte(s) after widget payload",
+                bytes.len() - cur.pos
+            ));
+        }
+        Ok(w)
+    }
+
+    /// Human-readable rendering for the client side of the wire: the Lux
+    /// view plus the footer, matching what a local print would show.
+    pub fn render(&self) -> String {
+        let mut out = self.lux_view.clone();
+        if !out.ends_with('\n') {
+            out.push('\n');
+        }
+        if let Some(footer) = &self.timing_footer {
+            out.push_str(footer);
+            out.push('\n');
+        }
+        out
+    }
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn put_vec(out: &mut Vec<u8>, items: &[String]) {
+    out.extend_from_slice(&(items.len() as u32).to_le_bytes());
+    for s in items {
+        put_str(out, s);
+    }
+}
+
+fn put_opt(out: &mut Vec<u8>, s: Option<&str>) {
+    match s {
+        Some(s) => {
+            out.push(1);
+            put_str(out, s);
+        }
+        None => out.push(0),
+    }
+}
+
+/// Bounds-checked reader over a widget payload. Every accessor returns
+/// `Err` on truncation; element counts are validated against the remaining
+/// buffer so a hostile length prefix cannot trigger a huge allocation.
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], String> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.buf.len())
+            .ok_or_else(|| format!("truncated widget payload at byte {}", self.pos))?;
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, String> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, String> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn u64(&mut self) -> Result<u64, String> {
+        let b = self.take(8)?;
+        let mut a = [0u8; 8];
+        a.copy_from_slice(b);
+        Ok(u64::from_le_bytes(a))
+    }
+
+    fn str(&mut self) -> Result<String, String> {
+        let len = self.u32()? as usize;
+        let b = self.take(len)?;
+        String::from_utf8(b.to_vec()).map_err(|_| "non-UTF-8 string in payload".to_string())
+    }
+
+    fn vec(&mut self) -> Result<Vec<String>, String> {
+        let n = self.u32()? as usize;
+        // Each element needs at least its 4-byte length prefix.
+        if n > self.buf.len().saturating_sub(self.pos) / 4 {
+            return Err(format!("element count {n} exceeds remaining payload"));
+        }
+        let mut v = Vec::with_capacity(n);
+        for _ in 0..n {
+            v.push(self.str()?);
+        }
+        Ok(v)
+    }
+
+    fn opt(&mut self) -> Result<Option<String>, String> {
+        match self.u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(self.str()?)),
+            t => Err(format!("invalid option tag {t}")),
+        }
+    }
+}
+
 fn html_escape(s: &str) -> String {
     s.replace('&', "&amp;")
         .replace('<', "&lt;")
@@ -354,5 +558,32 @@ mod tests {
         let html = w.to_html();
         assert!(html.contains("vegaEmbed"));
         assert!(html.contains("<h3>Correlation</h3>"));
+    }
+
+    #[test]
+    fn wire_widget_roundtrips() {
+        let w = widget();
+        let wire = super::WireWidget::from_widget(&w, 1);
+        assert!(wire.tabs.iter().any(|t| t == "Correlation"));
+        let bytes = wire.encode();
+        let back = super::WireWidget::decode(&bytes).expect("round-trip decode");
+        assert_eq!(wire, back);
+        assert!(back.render().contains("=== Correlation"));
+    }
+
+    #[test]
+    fn wire_widget_decode_rejects_truncation_without_panic() {
+        let bytes = super::WireWidget::from_widget(&widget(), 1).encode();
+        for cut in 0..bytes.len().min(64) {
+            assert!(super::WireWidget::decode(&bytes[..cut]).is_err());
+        }
+        // Torn mid-payload at every eighth offset too (cheap full sweep).
+        for cut in (64..bytes.len()).step_by(8) {
+            assert!(super::WireWidget::decode(&bytes[..cut]).is_err());
+        }
+        // Trailing garbage is also rejected.
+        let mut extended = bytes.clone();
+        extended.push(0xFF);
+        assert!(super::WireWidget::decode(&extended).is_err());
     }
 }

@@ -22,6 +22,7 @@
 //! exponential [`Backoff`] instead of competing with interactive work.
 //! Every decision is accounted in `lux.admission.*` metrics.
 
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock, RwLock};
 use std::time::{Duration, Instant};
@@ -59,6 +60,11 @@ pub struct AdmissionConfig {
     pub backoff_max: Duration,
     /// Re-admission attempts a background pass makes before giving up.
     pub max_retries: u32,
+    /// Concurrent passes one *tenant* may hold at once
+    /// (`LUX_TENANT_MAX_SESSIONS`). Tenants are named by the serving layer;
+    /// tenant-less passes (the REPL, library callers) are not counted.
+    /// Clamped to ≥ 1.
+    pub tenant_max_sessions: usize,
 }
 
 impl Default for AdmissionConfig {
@@ -73,26 +79,30 @@ impl Default for AdmissionConfig {
             backoff_base: Duration::from_millis(5),
             backoff_max: Duration::from_millis(200),
             max_retries: 5,
+            tenant_max_sessions: (2 * cores).max(4),
         }
     }
 }
 
 impl AdmissionConfig {
-    /// Defaults overridden by `LUX_MAX_SESSIONS`, `LUX_GLOBAL_MEMORY_CAP_MB`
-    /// and `LUX_ADMIT_TIMEOUT_MS` when set.
+    /// Defaults overridden by `LUX_MAX_SESSIONS`, `LUX_GLOBAL_MEMORY_CAP_MB`,
+    /// `LUX_ADMIT_TIMEOUT_MS` and `LUX_TENANT_MAX_SESSIONS` when set.
+    /// Unparseable values warn once (see [`crate::envcfg`]) and keep the
+    /// default — misconfiguration is surfaced, never silently swallowed.
     pub fn from_env() -> AdmissionConfig {
-        fn env_u64(name: &str) -> Option<u64> {
-            std::env::var(name).ok()?.trim().parse().ok()
-        }
         let mut cfg = AdmissionConfig::default();
-        if let Some(n) = env_u64("LUX_MAX_SESSIONS") {
+        if let Some(n) = crate::envcfg::parse_u64("LUX_MAX_SESSIONS") {
             cfg.max_sessions = (n as usize).max(1);
         }
-        if let Some(mb) = env_u64("LUX_GLOBAL_MEMORY_CAP_MB") {
+        if let Some(mb) = crate::envcfg::parse_u64("LUX_GLOBAL_MEMORY_CAP_MB") {
             cfg.max_global_bytes = mb.saturating_mul(1 << 20).max(1 << 20);
         }
-        if let Some(ms) = env_u64("LUX_ADMIT_TIMEOUT_MS") {
+        if let Some(ms) = crate::envcfg::parse_u64("LUX_ADMIT_TIMEOUT_MS") {
             cfg.interactive_deadline = Duration::from_millis(ms);
+        }
+        cfg.tenant_max_sessions = cfg.max_sessions;
+        if let Some(n) = crate::envcfg::parse_u64("LUX_TENANT_MAX_SESSIONS") {
+            cfg.tenant_max_sessions = (n as usize).max(1);
         }
         cfg
     }
@@ -307,6 +317,41 @@ pub enum Admission {
     Shed(ShedReason),
 }
 
+/// Parameters of one admission request. The plain [`AdmissionController::
+/// admit`] path is `AdmitRequest::new(priority)`; the serving layer adds a
+/// tenant identity (quota enforcement) and a per-request deadline
+/// (propagated from the client's wire deadline, overriding the configured
+/// wait).
+#[derive(Debug, Clone)]
+pub struct AdmitRequest {
+    pub priority: Priority,
+    /// How long this request may wait for a slot; `None` uses the
+    /// priority's configured deadline.
+    pub deadline: Option<Duration>,
+    /// Tenant this pass is accounted to; `None` passes are un-quota'd.
+    pub tenant: Option<String>,
+}
+
+impl AdmitRequest {
+    pub fn new(priority: Priority) -> AdmitRequest {
+        AdmitRequest {
+            priority,
+            deadline: None,
+            tenant: None,
+        }
+    }
+
+    pub fn with_deadline(mut self, deadline: Option<Duration>) -> AdmitRequest {
+        self.deadline = deadline;
+        self
+    }
+
+    pub fn with_tenant(mut self, tenant: Option<String>) -> AdmitRequest {
+        self.tenant = tenant;
+        self
+    }
+}
+
 struct QueueState {
     active: usize,
     waiting_interactive: usize,
@@ -314,6 +359,9 @@ struct QueueState {
     admits: u64,
     sheds: u64,
     queue_waits: u64,
+    /// Live passes per tenant (serving layer only; entries are removed at
+    /// zero so the map stays bounded by live tenants).
+    tenant_active: HashMap<String, usize>,
 }
 
 struct Inner {
@@ -341,6 +389,8 @@ pub struct AdmissionStats {
     pub ledger_live: u64,
     pub ledger_peak: u64,
     pub ledger_cap: u64,
+    /// Tenants currently holding at least one pass (serving layer).
+    pub live_tenants: usize,
 }
 
 impl AdmissionStats {
@@ -351,8 +401,8 @@ impl AdmissionStats {
         let _ = writeln!(out, "admission:");
         let _ = writeln!(
             out,
-            "  sessions {} live / {} slots, queue depth {}",
-            self.live_sessions, self.slots, self.queue_depth
+            "  sessions {} live / {} slots, queue depth {}, {} tenant(s) live",
+            self.live_sessions, self.slots, self.queue_depth, self.live_tenants
         );
         let _ = writeln!(
             out,
@@ -395,6 +445,7 @@ impl AdmissionController {
                     admits: 0,
                     sheds: 0,
                     queue_waits: 0,
+                    tenant_active: HashMap::new(),
                 }),
                 cond: Condvar::new(),
                 ledger,
@@ -444,24 +495,54 @@ impl AdmissionController {
     /// [`Admission::Shed`] when the queue is full or the deadline expires —
     /// a bounded wait, never a hang.
     pub fn admit(&self, priority: Priority) -> Admission {
+        self.admit_request(AdmitRequest::new(priority))
+    }
+
+    /// [`Self::admit`] with explicit parameters: a per-request wait
+    /// deadline (the serving layer propagates the client's wire deadline
+    /// here) and a tenant identity enforced against
+    /// [`AdmissionConfig::tenant_max_sessions`]. A tenant at its quota is
+    /// shed immediately with a distinguishable reason rather than queueing —
+    /// one greedy tenant can never starve the shared wait queue.
+    pub fn admit_request(&self, req: AdmitRequest) -> Admission {
+        let priority = req.priority;
         if let Some(msg) = crate::failpoint::hit(crate::failpoint::names::ADMISSION_ACQUIRE) {
             return self.shed(priority, format!("injected refusal: {msg}"));
         }
         let cfg = self.config();
         let slots = cfg.max_sessions.max(1);
-        let deadline = match priority {
+        let tenant_cap = cfg.tenant_max_sessions.max(1);
+        let deadline = req.deadline.unwrap_or(match priority {
             Priority::Interactive => cfg.interactive_deadline,
             Priority::Background => cfg.background_deadline,
-        };
+        });
         let start = Instant::now();
         let metrics = MetricsRegistry::global();
         let mut st = lock_recover(&self.inner.state);
+        if let Some(tenant) = &req.tenant {
+            let live = st.tenant_active.get(tenant).copied().unwrap_or(0);
+            if live >= tenant_cap {
+                drop(st);
+                return self.shed(
+                    priority,
+                    format!("tenant quota: {live} live passes (cap {tenant_cap})"),
+                );
+            }
+        }
         let mut waited = false;
         loop {
             let eligible = priority == Priority::Interactive || st.waiting_interactive == 0;
-            if st.active < slots && eligible {
+            // Re-checked on every wakeup: a sibling pass of the same tenant
+            // may have been admitted while this one waited.
+            let tenant_ok = req.tenant.as_ref().map_or(true, |t| {
+                st.tenant_active.get(t).copied().unwrap_or(0) < tenant_cap
+            });
+            if st.active < slots && eligible && tenant_ok {
                 st.active += 1;
                 st.admits += 1;
+                if let Some(tenant) = &req.tenant {
+                    *st.tenant_active.entry(tenant.clone()).or_insert(0) += 1;
+                }
                 if waited {
                     st.queue_waits += 1;
                     metrics.incr(names::ADMISSION_QUEUE_WAITS);
@@ -476,6 +557,7 @@ impl AdmissionController {
                     pressure,
                     waited: wait,
                     priority,
+                    tenant: req.tenant,
                 });
             }
             if !waited {
@@ -586,6 +668,7 @@ impl AdmissionController {
             ledger_live: self.inner.ledger.live(),
             ledger_peak: self.inner.ledger.peak(),
             ledger_cap: self.inner.ledger.cap(),
+            live_tenants: st.tenant_active.len(),
         }
     }
 }
@@ -597,6 +680,7 @@ pub struct AdmissionPermit {
     pressure: PressureLevel,
     waited: Duration,
     priority: Priority,
+    tenant: Option<String>,
 }
 
 impl AdmissionPermit {
@@ -610,6 +694,12 @@ impl AdmissionPermit {
 
     pub fn priority(&self) -> Priority {
         self.priority
+    }
+
+    /// The tenant this pass is accounted to, when admitted through
+    /// [`AdmissionController::admit_request`] with one.
+    pub fn tenant(&self) -> Option<&str> {
+        self.tenant.as_deref()
     }
 
     /// The global ledger the pass budget must charge.
@@ -655,6 +745,17 @@ impl Drop for AdmissionPermit {
     fn drop(&mut self) {
         let mut st = lock_recover(&self.inner.state);
         st.active = st.active.saturating_sub(1);
+        if let Some(tenant) = &self.tenant {
+            // Release the tenant's quota share. Dropping the permit is the
+            // *only* release path, so a connection that dies mid-request
+            // frees its tenant slot the moment the handler unwinds.
+            if let Some(live) = st.tenant_active.get_mut(tenant) {
+                *live = live.saturating_sub(1);
+                if *live == 0 {
+                    st.tenant_active.remove(tenant);
+                }
+            }
+        }
         drop(st);
         self.inner.cond.notify_all();
     }
@@ -674,6 +775,7 @@ mod tests {
             backoff_base: Duration::from_millis(1),
             backoff_max: Duration::from_millis(4),
             max_retries: 2,
+            tenant_max_sessions: 1,
         })
     }
 
@@ -800,6 +902,56 @@ mod tests {
         assert!(shaped.max_bytes < base.max_bytes);
         assert_eq!(shaped.max_candidates, base.max_candidates / 4);
         c.ledger().release(60 << 20);
+    }
+
+    #[test]
+    fn tenant_quota_sheds_at_cap_and_releases_on_drop() {
+        let c = tiny(4); // 4 slots, but tenant cap is 1
+        let req = || AdmitRequest::new(Priority::Interactive).with_tenant(Some("acme".into()));
+        let held = match c.admit_request(req()) {
+            Admission::Granted(p) => p,
+            Admission::Shed(r) => panic!("{}", r.reason),
+        };
+        assert_eq!(held.tenant(), Some("acme"));
+        // Same tenant: quota'd out immediately even though slots are free.
+        match c.admit_request(req()) {
+            Admission::Granted(_) => panic!("tenant cap is 1"),
+            Admission::Shed(r) => assert!(r.reason.contains("tenant quota"), "{}", r.reason),
+        }
+        // A different tenant is unaffected.
+        let other =
+            c.admit_request(AdmitRequest::new(Priority::Interactive).with_tenant(Some("b".into())));
+        assert!(matches!(other, Admission::Granted(_)));
+        assert_eq!(c.stats().live_tenants, 2);
+        // Dropping the permit frees the tenant's share.
+        drop(held);
+        match c.admit_request(req()) {
+            Admission::Granted(_) => {}
+            Admission::Shed(r) => panic!("quota should be free again: {}", r.reason),
+        }
+    }
+
+    #[test]
+    fn request_deadline_overrides_configured_wait() {
+        let c = tiny(1);
+        let _held = match c.admit(Priority::Interactive) {
+            Admission::Granted(p) => p,
+            Admission::Shed(r) => panic!("{}", r.reason),
+        };
+        // Configured interactive deadline is 50ms; a 1ms request deadline
+        // must shed far sooner.
+        let start = Instant::now();
+        let req =
+            AdmitRequest::new(Priority::Interactive).with_deadline(Some(Duration::from_millis(1)));
+        match c.admit_request(req) {
+            Admission::Granted(_) => panic!("slot is held"),
+            Admission::Shed(r) => assert!(r.reason.contains("no slot"), "{}", r.reason),
+        }
+        assert!(
+            start.elapsed() < Duration::from_millis(40),
+            "request deadline was not honoured: {:?}",
+            start.elapsed()
+        );
     }
 
     #[test]

@@ -128,11 +128,9 @@ impl LuxConfig {
         if self.threads != 0 {
             return self.threads;
         }
-        if let Ok(v) = std::env::var("LUX_THREADS") {
-            if let Ok(n) = v.trim().parse::<usize>() {
-                if n >= 1 {
-                    return n;
-                }
+        if let Some(n) = crate::envcfg::parse_usize("LUX_THREADS") {
+            if n >= 1 {
+                return n;
             }
         }
         std::thread::available_parallelism()

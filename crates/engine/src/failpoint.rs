@@ -60,6 +60,17 @@ pub mod names {
     /// Admission slot acquisition, before the controller takes the queue
     /// lock.
     pub const ADMISSION_ACQUIRE: &str = "admission.acquire";
+    /// Server wire read, after a frame header is accepted (`return` injects
+    /// an I/O failure closing the connection; `sleep` simulates a stalled
+    /// client against the read timeout).
+    pub const SERVER_READ: &str = "server.read";
+    /// Server wire write, before a response frame is flushed (`return`
+    /// simulates a dead client mid-response; the handler must release its
+    /// session state, never wedge).
+    pub const SERVER_WRITE: &str = "server.write";
+    /// Session-journal append, before the line reaches the file (`return`
+    /// degrades persistence; the request itself must still succeed).
+    pub const SERVER_JOURNAL: &str = "server.journal";
 
     /// Every compiled-in failpoint, for catalogue listings and tests.
     pub const ALL: &[&str] = &[
@@ -71,6 +82,9 @@ pub mod names {
         CSV_INGEST,
         SQL_QUERY,
         ADMISSION_ACQUIRE,
+        SERVER_READ,
+        SERVER_WRITE,
+        SERVER_JOURNAL,
     ];
 }
 

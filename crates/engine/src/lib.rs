@@ -28,6 +28,7 @@
 pub mod admission;
 pub mod config;
 pub mod cost;
+pub mod envcfg;
 pub mod failpoint;
 pub mod governor;
 pub mod metadata;
@@ -37,8 +38,8 @@ pub mod sync;
 pub mod trace;
 
 pub use admission::{
-    Admission, AdmissionConfig, AdmissionController, AdmissionPermit, AdmissionStats, Backoff,
-    GlobalLedger, PressureLevel, Priority, ShedReason,
+    Admission, AdmissionConfig, AdmissionController, AdmissionPermit, AdmissionStats, AdmitRequest,
+    Backoff, GlobalLedger, PressureLevel, Priority, ShedReason,
 };
 pub use config::LuxConfig;
 pub use cost::{CostModel, OpClass};

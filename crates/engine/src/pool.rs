@@ -176,10 +176,7 @@ pub struct WorkPool {
 impl WorkPool {
     fn start(workers: usize) -> WorkPool {
         let workers = workers.max(1);
-        if let Some(ms) = std::env::var("LUX_WORKER_WATCHDOG_MS")
-            .ok()
-            .and_then(|v| v.trim().parse::<u64>().ok())
-        {
+        if let Some(ms) = crate::envcfg::parse_u64("LUX_WORKER_WATCHDOG_MS") {
             set_watchdog_ms(ms);
         }
         let shared = Arc::new(Shared {
@@ -371,10 +368,8 @@ pub fn global() -> &'static WorkPool {
         let mut workers = std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(1);
-        if let Ok(v) = std::env::var("LUX_THREADS") {
-            if let Ok(n) = v.trim().parse::<usize>() {
-                workers = workers.max(n.min(64));
-            }
+        if let Some(n) = crate::envcfg::parse_usize("LUX_THREADS") {
+            workers = workers.max(n.min(64));
         }
         // Hook the dataframe crate's parallel kernels (group-by sharding)
         // up to this pool; without the hook they stay sequential.

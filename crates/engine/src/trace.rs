@@ -427,6 +427,15 @@ pub mod names {
     pub const POOL_HUNG_WORKERS: &str = "lux.pool.hung_workers";
     /// Counter: failpoint actions actually executed (chaos bookkeeping).
     pub const FAILPOINT_TRIPS: &str = "lux.failpoint.trips";
+    /// Counter: `LUX_*` environment values that failed to parse (each
+    /// distinct variable also warns once on stderr; see `envcfg`).
+    pub const ENV_INVALID: &str = "lux.env.invalid";
+    /// Counter: requests served by the recommendation server.
+    pub const SERVER_REQUESTS: &str = "lux.server.requests";
+    /// Counter: malformed/truncated wire frames answered with a typed error.
+    pub const SERVER_PROTOCOL_ERRORS: &str = "lux.server.protocol_errors";
+    /// Counter: connections reaped by the read/write timeout.
+    pub const SERVER_TIMEOUTS: &str = "lux.server.timeouts";
     /// Histogram: end-to-end print latency.
     pub const PRINT_LATENCY: &str = "lux.print.latency";
     /// Histogram: per-action execution latency.

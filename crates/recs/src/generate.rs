@@ -1367,7 +1367,16 @@ pub fn run_actions_streaming(registry: &ActionRegistry, owned: OwnedContext) -> 
                 action_trace.as_ref(),
                 owned.governor.as_ref(),
             );
-            let _ = worker_tx.send((action.name().to_string(), outcome));
+            let name = action.name().to_string();
+            // Release this worker's context clone — and with it its
+            // governor/ledger handle — *before* signaling completion. The
+            // collector may settle the pass the instant this send lands,
+            // and the caller's budget drop must then be the last one so
+            // the global ledger reflects the pass's exit synchronously.
+            drop(ctx);
+            drop(action);
+            drop(owned);
+            let _ = worker_tx.send((name, outcome));
         }));
     }
     drop(worker_tx);

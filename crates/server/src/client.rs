@@ -1,0 +1,152 @@
+//! A blocking client for the wire protocol, used by the CLI's client mode,
+//! the load-test binary, and the integration tests.
+
+use std::time::Duration;
+
+use lux_core::WireWidget;
+
+use crate::protocol::{read_frame, write_frame, ErrorCode, Request, Response};
+use crate::server::Conn;
+
+/// Outcome of a print request, flattened for callers that only care about
+/// the three well-formed endings: a widget, a shed, or a typed error.
+#[derive(Debug)]
+pub enum PrintOutcome {
+    Widget(WireWidget),
+    Busy(String),
+    Error(ErrorCode, String),
+}
+
+/// One connection to a lux server. Requests are synchronous: send a frame,
+/// read the matching response.
+pub struct Client {
+    conn: Conn,
+    next_id: u32,
+}
+
+impl Client {
+    /// Connect to `host:port` or `unix:<path>`, with both socket timeouts
+    /// set to `timeout`.
+    pub fn connect(addr: &str, timeout: Duration) -> std::io::Result<Client> {
+        let conn = Conn::connect(addr)?;
+        conn.set_timeouts(timeout, timeout)?;
+        Ok(Client { conn, next_id: 1 })
+    }
+
+    /// Send a request and read its response. A response with a mismatched
+    /// request id is a protocol error (this client keeps one request in
+    /// flight at a time).
+    pub fn request(&mut self, req: &Request) -> Result<Response, String> {
+        let id = self.next_id;
+        self.next_id = self.next_id.wrapping_add(1).max(1);
+        let (t, p) = req.encode();
+        write_frame(&mut self.conn, t, id, &p).map_err(|e| format!("send failed: {e}"))?;
+        let frame = read_frame(&mut self.conn).map_err(|e| format!("recv failed: {e}"))?;
+        // Errors emitted outside a request context carry id 0.
+        if frame.request_id != id && frame.request_id != 0 {
+            return Err(format!(
+                "response id {} does not match request id {id}",
+                frame.request_id
+            ));
+        }
+        Response::decode(frame.msg_type, &frame.payload)
+    }
+
+    /// Register this connection's tenant. Returns whether the server is
+    /// draining.
+    pub fn hello(&mut self, tenant: &str) -> Result<bool, String> {
+        match self.request(&Request::Hello {
+            tenant: tenant.to_string(),
+        })? {
+            Response::HelloAck { draining, .. } => Ok(draining),
+            Response::Error { code, message } => Err(format!("{code:?}: {message}")),
+            other => Err(format!("unexpected response {other:?}")),
+        }
+    }
+
+    /// Upload a named CSV frame; returns `(rows, cols, fingerprint)`.
+    pub fn put_frame(&mut self, name: &str, csv: &str) -> Result<(u64, u64, u64), String> {
+        match self.request(&Request::PutFrame {
+            name: name.to_string(),
+            csv: csv.to_string(),
+        })? {
+            Response::FrameAck {
+                rows,
+                cols,
+                fingerprint,
+            } => Ok((rows, cols, fingerprint)),
+            Response::Error { code, message } => Err(format!("{code:?}: {message}")),
+            other => Err(format!("unexpected response {other:?}")),
+        }
+    }
+
+    /// Print a named frame. `deadline_ms` of 0 means no deadline.
+    pub fn print(
+        &mut self,
+        name: &str,
+        intent: &str,
+        deadline_ms: u64,
+        per_tab: u32,
+    ) -> Result<PrintOutcome, String> {
+        match self.request(&Request::Print {
+            name: name.to_string(),
+            intent: intent.to_string(),
+            deadline_ms,
+            per_tab,
+        })? {
+            Response::PrintResult { widget } => {
+                let w =
+                    WireWidget::decode(&widget).map_err(|e| format!("bad widget payload: {e}"))?;
+                Ok(PrintOutcome::Widget(w))
+            }
+            Response::Busy { reason } => Ok(PrintOutcome::Busy(reason)),
+            Response::Error { code, message } => Ok(PrintOutcome::Error(code, message)),
+            other => Err(format!("unexpected response {other:?}")),
+        }
+    }
+
+    /// Names of this tenant's frames.
+    pub fn list_frames(&mut self) -> Result<Vec<String>, String> {
+        match self.request(&Request::ListFrames)? {
+            Response::FrameList { names } => Ok(names),
+            Response::Error { code, message } => Err(format!("{code:?}: {message}")),
+            other => Err(format!("unexpected response {other:?}")),
+        }
+    }
+
+    /// Drop a named frame; returns whether it existed.
+    pub fn drop_frame(&mut self, name: &str) -> Result<bool, String> {
+        match self.request(&Request::DropFrame {
+            name: name.to_string(),
+        })? {
+            Response::Dropped { existed } => Ok(existed),
+            Response::Error { code, message } => Err(format!("{code:?}: {message}")),
+            other => Err(format!("unexpected response {other:?}")),
+        }
+    }
+
+    /// The server's stats text (admission + serving counters).
+    pub fn stats(&mut self) -> Result<String, String> {
+        match self.request(&Request::Stats)? {
+            Response::StatsText { text } => Ok(text),
+            Response::Error { code, message } => Err(format!("{code:?}: {message}")),
+            other => Err(format!("unexpected response {other:?}")),
+        }
+    }
+
+    /// Liveness probe.
+    pub fn ping(&mut self) -> Result<(), String> {
+        match self.request(&Request::Ping)? {
+            Response::Pong => Ok(()),
+            other => Err(format!("unexpected response {other:?}")),
+        }
+    }
+
+    /// Ask the server to drain and exit.
+    pub fn shutdown(&mut self) -> Result<(), String> {
+        match self.request(&Request::Shutdown)? {
+            Response::ShuttingDown => Ok(()),
+            other => Err(format!("unexpected response {other:?}")),
+        }
+    }
+}

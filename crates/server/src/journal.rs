@@ -1,0 +1,305 @@
+//! The append-only session journal and its crash replay.
+//!
+//! Every mutation of server session state — tenant registration, named
+//! frame upload, frame drop — appends one JSONL line to
+//! `<data_dir>/journal.jsonl`; the CSV payload itself is spooled to
+//! `<data_dir>/frames/<tenant>/<name>.csv` before the journal line is
+//! written (write-ahead ordering: a journal entry never references a file
+//! that was not durably created first). On startup the server replays the
+//! journal: torn or corrupt lines (a crash mid-append) are skipped, `drop`
+//! entries erase earlier `put`s, and whatever survives is reloaded so a
+//! restarted server serves the same named frames as the one that died.
+//!
+//! Tenant and frame names are restricted to the wire-name alphabet
+//! ([`crate::protocol::valid_name`]), which makes both the JSON lines and
+//! the spool paths injection-safe without an escaping layer.
+
+use std::collections::BTreeMap;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+use lux_engine::failpoint;
+
+/// One replayed `put` record: where the frame's CSV lives and what shape it
+/// had when journaled.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PutRecord {
+    pub tenant: String,
+    pub name: String,
+    pub rows: u64,
+    pub cols: u64,
+    /// Spool path relative to the data dir.
+    pub file: String,
+}
+
+/// The survivor state after a replay.
+#[derive(Debug, Default)]
+pub struct Replay {
+    pub tenants: Vec<String>,
+    pub frames: Vec<PutRecord>,
+    /// Torn or corrupt lines skipped (crash artifacts, not errors).
+    pub skipped: usize,
+}
+
+/// Appender over the journal file. All writes go through [`Journal::append`]
+/// so the `server.journal` failpoint can degrade persistence in one place.
+pub struct Journal {
+    path: PathBuf,
+    file: Option<std::fs::File>,
+    /// Set when an append failed (or the failpoint injected one); the
+    /// server keeps serving, it just stops promising durability.
+    degraded: bool,
+}
+
+impl Journal {
+    /// Open (creating if needed) the journal at `<data_dir>/journal.jsonl`.
+    pub fn open(data_dir: &Path) -> std::io::Result<Journal> {
+        std::fs::create_dir_all(data_dir)?;
+        let path = data_dir.join("journal.jsonl");
+        let file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)?;
+        Ok(Journal {
+            path,
+            file: Some(file),
+            degraded: false,
+        })
+    }
+
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Whether a journal append has failed since open.
+    pub fn degraded(&self) -> bool {
+        self.degraded
+    }
+
+    pub fn record_tenant(&mut self, tenant: &str) {
+        self.append(&format!("{{\"op\":\"tenant\",\"tenant\":\"{tenant}\"}}"));
+    }
+
+    pub fn record_put(&mut self, rec: &PutRecord) {
+        self.append(&format!(
+            "{{\"op\":\"put\",\"tenant\":\"{}\",\"name\":\"{}\",\"rows\":{},\"cols\":{},\"file\":\"{}\"}}",
+            rec.tenant, rec.name, rec.rows, rec.cols, rec.file
+        ));
+    }
+
+    pub fn record_drop(&mut self, tenant: &str, name: &str) {
+        self.append(&format!(
+            "{{\"op\":\"drop\",\"tenant\":\"{tenant}\",\"name\":\"{name}\"}}"
+        ));
+    }
+
+    fn append(&mut self, line: &str) {
+        // Failpoint: injected journal failure degrades persistence only —
+        // the request that triggered the append must still succeed.
+        if failpoint::hit(failpoint::names::SERVER_JOURNAL).is_some() {
+            self.degraded = true;
+            return;
+        }
+        let Some(file) = self.file.as_mut() else {
+            self.degraded = true;
+            return;
+        };
+        let ok = file
+            .write_all(line.as_bytes())
+            .and_then(|_| file.write_all(b"\n"))
+            .and_then(|_| file.flush());
+        if ok.is_err() {
+            self.degraded = true;
+        }
+    }
+}
+
+/// Replay the journal at `<data_dir>/journal.jsonl`. A missing journal is
+/// an empty replay, not an error. Lines that fail to parse — the torn tail
+/// a crash mid-append leaves behind, or any other corruption — are counted
+/// and skipped; replay never fails the boot.
+pub fn replay(data_dir: &Path) -> Replay {
+    let path = data_dir.join("journal.jsonl");
+    let Ok(text) = std::fs::read_to_string(&path) else {
+        return Replay::default();
+    };
+    let mut tenants: Vec<String> = Vec::new();
+    let mut frames: BTreeMap<(String, String), PutRecord> = BTreeMap::new();
+    let mut skipped = 0usize;
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        match parse_line(line) {
+            Some(Op::Tenant { tenant }) => {
+                if !tenants.contains(&tenant) {
+                    tenants.push(tenant);
+                }
+            }
+            Some(Op::Put(rec)) => {
+                frames.insert((rec.tenant.clone(), rec.name.clone()), rec);
+            }
+            Some(Op::Drop { tenant, name }) => {
+                frames.remove(&(tenant, name));
+            }
+            None => skipped += 1,
+        }
+    }
+    Replay {
+        tenants,
+        frames: frames.into_values().collect(),
+        skipped,
+    }
+}
+
+enum Op {
+    Tenant { tenant: String },
+    Put(PutRecord),
+    Drop { tenant: String, name: String },
+}
+
+/// Parse one journal line. The journal only ever contains lines this
+/// module wrote (flat objects, names in the safe alphabet), so a focused
+/// field extractor is sufficient — anything it cannot read is treated as
+/// corruption and skipped by the caller.
+fn parse_line(line: &str) -> Option<Op> {
+    if !line.starts_with('{') || !line.ends_with('}') {
+        return None;
+    }
+    let op = str_field(line, "op")?;
+    match op.as_str() {
+        "tenant" => Some(Op::Tenant {
+            tenant: str_field(line, "tenant")?,
+        }),
+        "put" => Some(Op::Put(PutRecord {
+            tenant: str_field(line, "tenant")?,
+            name: str_field(line, "name")?,
+            rows: u64_field(line, "rows")?,
+            cols: u64_field(line, "cols")?,
+            file: str_field(line, "file")?,
+        })),
+        "drop" => Some(Op::Drop {
+            tenant: str_field(line, "tenant")?,
+            name: str_field(line, "name")?,
+        }),
+        _ => None,
+    }
+}
+
+fn str_field(line: &str, key: &str) -> Option<String> {
+    let pat = format!("\"{key}\":\"");
+    let start = line.find(&pat)? + pat.len();
+    let end = line[start..].find('"')? + start;
+    Some(line[start..end].to_string())
+}
+
+fn u64_field(line: &str, key: &str) -> Option<u64> {
+    let pat = format!("\"{key}\":");
+    let start = line.find(&pat)? + pat.len();
+    let digits: String = line[start..]
+        .chars()
+        .take_while(|c| c.is_ascii_digit())
+        .collect();
+    digits.parse().ok()
+}
+
+/// The spool path (relative to the data dir) for a tenant's named frame.
+/// Both components are wire-validated names, so the path cannot escape the
+/// spool directory.
+pub fn spool_rel_path(tenant: &str, name: &str) -> String {
+    format!("frames/{tenant}/{name}.csv")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("lux_journal_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn replay_applies_puts_and_drops() {
+        let dir = tmp_dir("basic");
+        let mut j = Journal::open(&dir).unwrap();
+        j.record_tenant("t1");
+        j.record_put(&PutRecord {
+            tenant: "t1".into(),
+            name: "cars".into(),
+            rows: 10,
+            cols: 3,
+            file: spool_rel_path("t1", "cars"),
+        });
+        j.record_put(&PutRecord {
+            tenant: "t1".into(),
+            name: "trips".into(),
+            rows: 5,
+            cols: 2,
+            file: spool_rel_path("t1", "trips"),
+        });
+        j.record_drop("t1", "trips");
+        drop(j);
+        let r = replay(&dir);
+        assert_eq!(r.tenants, vec!["t1".to_string()]);
+        assert_eq!(r.frames.len(), 1);
+        assert_eq!(r.frames[0].name, "cars");
+        assert_eq!(r.frames[0].rows, 10);
+        assert_eq!(r.skipped, 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_tail_is_skipped_not_fatal() {
+        let dir = tmp_dir("torn");
+        let mut j = Journal::open(&dir).unwrap();
+        j.record_put(&PutRecord {
+            tenant: "t1".into(),
+            name: "cars".into(),
+            rows: 10,
+            cols: 3,
+            file: spool_rel_path("t1", "cars"),
+        });
+        drop(j);
+        // Simulate a crash mid-append: a torn half-line at the tail.
+        let path = dir.join("journal.jsonl");
+        let mut f = std::fs::OpenOptions::new()
+            .append(true)
+            .open(&path)
+            .unwrap();
+        f.write_all(b"{\"op\":\"put\",\"tenant\":\"t1\",\"na")
+            .unwrap();
+        drop(f);
+        let r = replay(&dir);
+        assert_eq!(r.frames.len(), 1);
+        assert_eq!(r.skipped, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_journal_is_empty_replay() {
+        let dir = tmp_dir("missing");
+        let r = replay(&dir.join("nope"));
+        assert!(r.tenants.is_empty() && r.frames.is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn journal_failpoint_degrades_but_does_not_fail() {
+        let dir = tmp_dir("failpoint");
+        let mut j = Journal::open(&dir).unwrap();
+        lux_engine::failpoint::cfg(lux_engine::failpoint::names::SERVER_JOURNAL, "1*return")
+            .unwrap();
+        j.record_tenant("t1"); // swallowed by the failpoint
+        assert!(j.degraded());
+        j.record_tenant("t2"); // lands normally
+        drop(j);
+        lux_engine::failpoint::remove(lux_engine::failpoint::names::SERVER_JOURNAL);
+        let r = replay(&dir);
+        assert_eq!(r.tenants, vec!["t2".to_string()]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

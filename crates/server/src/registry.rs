@@ -1,0 +1,324 @@
+//! The session registry: tenants and their named frames.
+//!
+//! A client uploads a CSV once (`PutFrame`) and prints it many times; the
+//! registry keeps one [`LuxDataFrame`] per `(tenant, name)`, so repeated
+//! prints share the WFLOW metadata/recommendation memo and — through the
+//! underlying frame fingerprint — the process-wide processed-vis cache.
+//! Every mutation is journaled (spool file first, journal line second) so a
+//! crashed server rebuilds the same registry on restart.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use lux_core::{LuxDataFrame, PrintOptions, WireWidget};
+use lux_engine::sync::lock_recover;
+
+use crate::journal::{self, Journal, PutRecord};
+use crate::protocol::{valid_name, ErrorCode};
+
+/// A typed request failure: the wire error code plus a human message.
+pub type ReqError = (ErrorCode, String);
+
+/// One named frame. The engine frame (and its memo caches) lives behind a
+/// mutex: same-frame prints serialize — which is what shared memoization
+/// wants anyway — while different frames print in parallel, bounded by the
+/// admission controller.
+pub struct FrameEntry {
+    pub rows: u64,
+    pub cols: u64,
+    pub fingerprint: u64,
+    /// Spool path relative to the data dir.
+    pub file: String,
+    /// The engine frame plus the intent string it currently carries.
+    state: Mutex<(LuxDataFrame, String)>,
+}
+
+impl FrameEntry {
+    fn new(ldf: LuxDataFrame, file: String) -> FrameEntry {
+        FrameEntry {
+            rows: ldf.num_rows() as u64,
+            cols: ldf.num_columns() as u64,
+            fingerprint: ldf.fingerprint(),
+            file,
+            state: Mutex::new((ldf, String::new())),
+        }
+    }
+
+    /// Run one print pass against this frame with the client's intent,
+    /// deadline, and tenant identity.
+    pub fn print(
+        &self,
+        intent: &str,
+        tenant: &str,
+        deadline: Option<Duration>,
+        per_tab: usize,
+    ) -> Result<WireWidget, ReqError> {
+        let mut st = lock_recover(&self.state);
+        if st.1 != intent {
+            let (ldf, current) = &mut *st;
+            if intent.trim().is_empty() {
+                ldf.clear_intent();
+            } else {
+                let parts = intent.split(',').map(str::trim).filter(|s| !s.is_empty());
+                ldf.set_intent_strs(parts)
+                    .map_err(|e| (ErrorCode::BadData, format!("bad intent: {e}")))?;
+            }
+            *current = intent.to_string();
+        }
+        let opts = PrintOptions::default()
+            .with_deadline(deadline)
+            .with_tenant(Some(tenant.to_string()));
+        let widget = st.0.print_with(&opts);
+        Ok(WireWidget::from_widget(&widget, per_tab.max(1)))
+    }
+}
+
+#[derive(Default)]
+struct Inner {
+    tenants: BTreeSet<String>,
+    frames: BTreeMap<(String, String), Arc<FrameEntry>>,
+}
+
+/// The registry proper. All methods take `&self`; internal locking keeps
+/// the journal ordered with the in-memory state it describes.
+pub struct Registry {
+    data_dir: PathBuf,
+    inner: Mutex<Inner>,
+    journal: Mutex<Journal>,
+}
+
+impl Registry {
+    /// Open the registry over a data dir, replaying any existing journal.
+    /// Returns the registry plus replay notes for the boot log (frames
+    /// recovered, journal lines skipped, spool files missing).
+    pub fn recover(data_dir: &Path) -> std::io::Result<(Registry, Vec<String>)> {
+        let replayed = journal::replay(data_dir);
+        let mut notes = Vec::new();
+        if replayed.skipped > 0 {
+            notes.push(format!(
+                "journal replay skipped {} corrupt line(s)",
+                replayed.skipped
+            ));
+        }
+        let mut inner = Inner::default();
+        for t in &replayed.tenants {
+            inner.tenants.insert(t.clone());
+        }
+        for rec in &replayed.frames {
+            let path = data_dir.join(&rec.file);
+            match lux_dataframe::csv::read_csv_path(&path) {
+                Ok(df) => {
+                    let entry = Arc::new(FrameEntry::new(LuxDataFrame::new(df), rec.file.clone()));
+                    inner
+                        .frames
+                        .insert((rec.tenant.clone(), rec.name.clone()), entry);
+                }
+                Err(e) => notes.push(format!(
+                    "frame {}/{} not recovered ({}: {e})",
+                    rec.tenant,
+                    rec.name,
+                    path.display()
+                )),
+            }
+        }
+        if !inner.frames.is_empty() {
+            notes.push(format!(
+                "recovered {} frame(s) for {} tenant(s) from the journal",
+                inner.frames.len(),
+                inner.tenants.len()
+            ));
+        }
+        let journal = Journal::open(data_dir)?;
+        Ok((
+            Registry {
+                data_dir: data_dir.to_path_buf(),
+                inner: Mutex::new(inner),
+                journal: Mutex::new(journal),
+            },
+            notes,
+        ))
+    }
+
+    /// Register a tenant (idempotent). Validates the wire name.
+    pub fn register_tenant(&self, tenant: &str) -> Result<(), ReqError> {
+        if !valid_name(tenant) {
+            return Err((
+                ErrorCode::BadName,
+                format!("invalid tenant name {tenant:?} (want 1-64 of [A-Za-z0-9_.-])"),
+            ));
+        }
+        let fresh = lock_recover(&self.inner).tenants.insert(tenant.to_string());
+        if fresh {
+            lock_recover(&self.journal).record_tenant(tenant);
+        }
+        Ok(())
+    }
+
+    /// Store (or replace) a named frame for a tenant. Spools the CSV to
+    /// disk, journals the put, and builds the engine frame.
+    pub fn put_frame(
+        &self,
+        tenant: &str,
+        name: &str,
+        csv: &str,
+    ) -> Result<Arc<FrameEntry>, ReqError> {
+        if !valid_name(name) {
+            return Err((
+                ErrorCode::BadName,
+                format!("invalid frame name {name:?} (want 1-64 of [A-Za-z0-9_.-])"),
+            ));
+        }
+        self.register_tenant(tenant)?;
+        let df = lux_dataframe::csv::read_csv_str(csv)
+            .map_err(|e| (ErrorCode::BadData, format!("csv parse failed: {e}")))?;
+        let rel = journal::spool_rel_path(tenant, name);
+        let path = self.data_dir.join(&rel);
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)
+                .map_err(|e| (ErrorCode::Internal, format!("spool dir create failed: {e}")))?;
+        }
+        // Spool before journaling: a journal line never references a file
+        // that is not already on disk.
+        std::fs::write(&path, csv)
+            .map_err(|e| (ErrorCode::Internal, format!("spool write failed: {e}")))?;
+        let entry = Arc::new(FrameEntry::new(LuxDataFrame::new(df), rel.clone()));
+        lock_recover(&self.journal).record_put(&PutRecord {
+            tenant: tenant.to_string(),
+            name: name.to_string(),
+            rows: entry.rows,
+            cols: entry.cols,
+            file: rel,
+        });
+        lock_recover(&self.inner)
+            .frames
+            .insert((tenant.to_string(), name.to_string()), Arc::clone(&entry));
+        Ok(entry)
+    }
+
+    /// Look up a tenant's named frame.
+    pub fn get(&self, tenant: &str, name: &str) -> Option<Arc<FrameEntry>> {
+        lock_recover(&self.inner)
+            .frames
+            .get(&(tenant.to_string(), name.to_string()))
+            .cloned()
+    }
+
+    /// Names of a tenant's frames, sorted.
+    pub fn list(&self, tenant: &str) -> Vec<String> {
+        lock_recover(&self.inner)
+            .frames
+            .keys()
+            .filter(|(t, _)| t == tenant)
+            .map(|(_, n)| n.clone())
+            .collect()
+    }
+
+    /// Drop a named frame; returns whether it existed. The spool file is
+    /// removed best-effort (the journal `drop` line is authoritative).
+    pub fn drop_frame(&self, tenant: &str, name: &str) -> bool {
+        let removed = lock_recover(&self.inner)
+            .frames
+            .remove(&(tenant.to_string(), name.to_string()));
+        match removed {
+            Some(entry) => {
+                lock_recover(&self.journal).record_drop(tenant, name);
+                let _ = std::fs::remove_file(self.data_dir.join(&entry.file));
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Total frames across all tenants (for stats).
+    pub fn frame_count(&self) -> usize {
+        lock_recover(&self.inner).frames.len()
+    }
+
+    /// Registered tenant count (for stats).
+    pub fn tenant_count(&self) -> usize {
+        lock_recover(&self.inner).tenants.len()
+    }
+
+    /// Whether journal persistence has degraded (failpoint or I/O error).
+    pub fn journal_degraded(&self) -> bool {
+        lock_recover(&self.journal).degraded()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const CSV: &str = "mpg,hp,origin\n18.0,130,usa\n24.0,95,japan\n27.0,88,japan\n14.0,220,usa\n";
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("lux_registry_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn put_print_list_drop() {
+        let dir = tmp_dir("basic");
+        let (reg, _) = Registry::recover(&dir).unwrap();
+        let entry = reg.put_frame("t1", "cars", CSV).unwrap();
+        assert_eq!(entry.rows, 4);
+        assert_eq!(entry.cols, 3);
+        assert_eq!(reg.list("t1"), vec!["cars".to_string()]);
+        assert!(reg.list("t2").is_empty());
+        let w = entry.print("", "t1", None, 1).unwrap();
+        assert_eq!(w.num_rows, 4);
+        assert!(!w.was_shed());
+        assert!(reg.drop_frame("t1", "cars"));
+        assert!(!reg.drop_frame("t1", "cars"));
+        assert!(reg.get("t1", "cars").is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn recovery_replays_frames() {
+        let dir = tmp_dir("recover");
+        {
+            let (reg, _) = Registry::recover(&dir).unwrap();
+            reg.put_frame("t1", "cars", CSV).unwrap();
+            reg.put_frame("t1", "gone", CSV).unwrap();
+            reg.drop_frame("t1", "gone");
+        } // "crash": registry dropped without any shutdown protocol
+        let (reg, notes) = Registry::recover(&dir).unwrap();
+        assert_eq!(reg.list("t1"), vec!["cars".to_string()]);
+        assert_eq!(reg.tenant_count(), 1);
+        assert!(notes.iter().any(|n| n.contains("recovered 1 frame(s)")));
+        let entry = reg.get("t1", "cars").unwrap();
+        let w = entry.print("", "t1", None, 1).unwrap();
+        assert_eq!(w.num_rows, 4);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn bad_names_and_bad_csv_are_typed_errors() {
+        let dir = tmp_dir("badinput");
+        let (reg, _) = Registry::recover(&dir).unwrap();
+        let err = reg.put_frame("t1", "../escape", CSV).err().unwrap();
+        assert_eq!(err.0, ErrorCode::BadName);
+        let err = reg.put_frame("bad tenant", "cars", CSV).err().unwrap();
+        assert_eq!(err.0, ErrorCode::BadName);
+        let err = reg.put_frame("t1", "cars", "").err().unwrap();
+        assert_eq!(err.0, ErrorCode::BadData);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn intent_print_and_bad_intent() {
+        let dir = tmp_dir("intent");
+        let (reg, _) = Registry::recover(&dir).unwrap();
+        let entry = reg.put_frame("t1", "cars", CSV).unwrap();
+        let w = entry.print("mpg,hp", "t1", None, 1).unwrap();
+        assert!(w.tabs.iter().any(|t| t == "Current Vis" || t == "Enhance"));
+        let err = entry.print("?bogus_type", "t1", None, 1).unwrap_err();
+        assert_eq!(err.0, ErrorCode::BadData);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

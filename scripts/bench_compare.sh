@@ -100,4 +100,37 @@ else
     echo "note: no $OVERLOAD_BASELINE baseline, skipping overload gate"
 fi
 
+# Server gate: the wire protocol + registry must stay thin relative to an
+# in-process print, so the single-client round-trip p50 is held to the same
+# tolerance. Higher client counts are reported but not gated (contention
+# noise). Skipped when the committed baseline predates the server section.
+if [ -f "$OVERLOAD_BASELINE" ] && grep -q '"server_p50_ms"' "$OVERLOAD_BASELINE"; then
+    base_sp50=$(grep -o '"server_p50_ms": [0-9.]*' "$OVERLOAD_BASELINE" | head -1 | awk '{print $2}')
+    echo
+    echo "== building and running server_load"
+    cargo build --release -p lux-bench --bin server_load --quiet
+    work=$(mktemp -d)
+    (cd "$work" && "$OLDPWD/target/release/server_load")
+    cur_sp50=$(grep -o '"server_p50_ms": [0-9.]*' "$work/BENCH_overload.json" | head -1 | awk '{print $2}')
+    rm -rf "$work"
+    echo
+    echo "== comparing single-client server p50 against committed $OVERLOAD_BASELINE (tolerance ${TOLERANCE}%)"
+    if [ -n "$base_sp50" ] && [ -n "$cur_sp50" ]; then
+        verdict=$(awk -v b="$base_sp50" -v c="$cur_sp50" -v tol="$TOLERANCE" 'BEGIN {
+            delta = (c - b) / b * 100
+            printf "%+.1f%% ", delta
+            print (delta > tol) ? "REGRESSION" : "ok"
+        }')
+        echo "clients=1: baseline ${base_sp50}ms -> current ${cur_sp50}ms ($verdict)"
+        case "$verdict" in *REGRESSION*)
+            echo "error: single-client server p50 regressed more than ${TOLERANCE}% vs $OVERLOAD_BASELINE"
+            exit 1
+        ;; esac
+    else
+        echo "warn: clients=1 server entry missing, skipping server gate"
+    fi
+else
+    echo "note: no server section in $OVERLOAD_BASELINE, skipping server gate"
+fi
+
 echo "bench comparison passed"
