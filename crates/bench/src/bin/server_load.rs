@@ -17,11 +17,13 @@
 //! (prints per client), `LUX_SERVER_LOAD_CLIENTS` (comma-separated
 //! concurrency levels), `LUX_BENCH_FULL=1` for the bigger defaults.
 
+use std::io::{Read, Write};
 use std::path::PathBuf;
 use std::sync::atomic::Ordering;
 use std::time::{Duration, Instant};
 
 use lux_bench::{env_scales, full_scale, print_table};
+use lux_engine::FlightRecorder;
 use lux_server::{Client, PrintOutcome, Server, ServerConfig};
 
 fn percentile(sorted: &[Duration], p: f64) -> Duration {
@@ -108,7 +110,7 @@ fn run(addr: &str, clients: usize, rows: usize, cols: usize, iters: usize) -> Le
                             std::hint::black_box(w.table.len());
                             served += 1;
                         }
-                        PrintOutcome::Busy(_) => shed += 1,
+                        PrintOutcome::Busy { .. } => shed += 1,
                         PrintOutcome::Error(code, msg) => {
                             panic!("typed error mid-benchmark: {code:?} {msg}")
                         }
@@ -161,6 +163,100 @@ fn merge_json(section: &str) {
     std::fs::write(path, body).expect("write BENCH_overload.json");
 }
 
+/// Scrape the plaintext exposition listener and fail loudly unless the
+/// per-tenant SLO catalogue is present and every sample line is
+/// well-formed Prometheus text (`name{labels} value`).
+fn validate_exposition(metrics_addr: &str) {
+    let mut s = std::net::TcpStream::connect(metrics_addr).expect("connect metrics listener");
+    s.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    s.write_all(b"GET /metrics HTTP/1.0\r\n\r\n").unwrap();
+    let mut raw = String::new();
+    s.read_to_string(&mut raw).expect("scrape");
+    assert!(raw.starts_with("HTTP/1.0 200 OK"), "scrape status: {raw}");
+    let body = raw.split_once("\r\n\r\n").expect("header/body split").1;
+    for needle in [
+        "lux_tenant_requests{tenant=\"tenant-0\"}",
+        "lux_tenant_sheds{tenant=\"tenant-0\"}",
+        "lux_tenant_pass_latency_seconds{tenant=\"tenant-0\",quantile=\"0.5\"}",
+        "lux_tenant_pass_latency_seconds{tenant=\"tenant-0\",quantile=\"0.99\"}",
+        "lux_server_requests",
+    ] {
+        assert!(
+            body.contains(needle),
+            "exposition missing {needle}:\n{body}"
+        );
+    }
+    let mut samples = 0usize;
+    for line in body.lines() {
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (name, value) = line
+            .rsplit_once(' ')
+            .unwrap_or_else(|| panic!("malformed exposition line (no sample value): {line:?}"));
+        assert!(
+            !name.is_empty()
+                && name
+                    .chars()
+                    .next()
+                    .is_some_and(|c| c.is_ascii_alphabetic() || c == '_'),
+            "malformed metric name in line: {line:?}"
+        );
+        assert!(
+            value.parse::<f64>().is_ok(),
+            "non-numeric sample value in line: {line:?}"
+        );
+        samples += 1;
+    }
+    println!("\nmetrics exposition ok: {samples} well-formed samples from {metrics_addr}");
+}
+
+/// Print a fresh (memo-cold) frame under a 1 ms deadline so the pass
+/// either misses its deadline or sheds — both flight-recorder anomalies —
+/// then check the pinned entry: the trace must pass structural validation
+/// and the spooled Chrome JSON dump must be a parseable event array.
+fn force_deadline_miss_and_validate_flight(
+    addr: &str,
+    rows: usize,
+    cols: usize,
+    data_dir: &PathBuf,
+) {
+    let mut c = Client::connect(addr, Duration::from_secs(60)).expect("connect");
+    c.hello("tenant-flight").expect("hello");
+    c.put_frame("missy", &make_csv(rows * 2, cols, 0xf11e))
+        .expect("put");
+    match c.print("missy", "", 1, 2).expect("deadline print") {
+        PrintOutcome::Widget(_) | PrintOutcome::Busy { .. } => {}
+        PrintOutcome::Error(code, msg) => panic!("typed error on deadline print: {code:?} {msg}"),
+    }
+    let recorder = FlightRecorder::global();
+    let pinned = recorder.pinned();
+    let entry = pinned
+        .iter()
+        .find(|e| e.tenant == "tenant-flight")
+        .unwrap_or_else(|| panic!("forced deadline-miss was not pinned; pinned = {pinned:?}"));
+    let anomaly = entry.anomaly.clone().expect("pinned entry has an anomaly");
+    entry
+        .trace
+        .validate(Duration::from_millis(5))
+        .expect("pinned trace fails structural validation");
+    let dump_path = entry
+        .dump_path
+        .clone()
+        .unwrap_or_else(|| panic!("pinned entry has no spooled dump (spool {data_dir:?})"));
+    let dump = std::fs::read_to_string(&dump_path).expect("read flight dump");
+    assert!(
+        dump.trim_start().starts_with('[')
+            && dump.trim_end().ends_with(']')
+            && dump.contains("\"ph\": \"X\""),
+        "flight dump is not a Chrome event array: {dump_path:?}"
+    );
+    println!(
+        "flight recorder ok: anomaly {anomaly:?} pinned, trace valid, dump {}",
+        dump_path.display()
+    );
+}
+
 fn main() {
     let (rows, cols, iters) = if full_scale() {
         (50_000usize, 16usize, 20usize)
@@ -181,9 +277,14 @@ fn main() {
         write_timeout: Duration::from_secs(30),
         drain_timeout: Duration::from_secs(5),
         max_conns: 256,
+        metrics_addr: Some("127.0.0.1:0".to_string()),
     })
     .expect("bind");
     let addr = server.local_addr().to_string();
+    let metrics_addr = server
+        .metrics_addr()
+        .expect("metrics listener bound")
+        .to_string();
     let shutdown = server.shutdown_handle();
     let server_thread = std::thread::spawn(move || server.run().expect("run"));
 
@@ -196,6 +297,13 @@ fn main() {
         .iter()
         .map(|&n| run(&addr, n, rows, cols, iters))
         .collect();
+
+    // Observability validation, while the loaded server is still up: the
+    // per-tenant SLO series must be scrapeable from the exposition
+    // listener, and a forced deadline-miss must leave a pinned,
+    // structurally valid flight-recorder dump behind.
+    validate_exposition(&metrics_addr);
+    force_deadline_miss_and_validate_flight(&addr, rows, cols, &data_dir);
 
     shutdown.store(true, Ordering::SeqCst);
     server_thread.join().expect("server thread");

@@ -32,6 +32,10 @@ pub fn run_serve(args: &[String]) -> i32 {
         }
     };
     println!("lux-serve: listening on {}", server.local_addr());
+    if let Some(maddr) = server.metrics_addr() {
+        // Scrape jobs and the CI load test wait for this marker.
+        println!("lux-serve: metrics on {maddr}");
+    }
     // Tests and scripts wait for this marker before connecting.
     println!("lux-serve: ready");
     match server.run() {
@@ -52,12 +56,13 @@ pub fn run_serve(args: &[String]) -> i32 {
 
 /// Run one client command; returns a process exit code.
 ///
-/// Commands: `ping`, `stats`, `shutdown`, `list <tenant>`,
+/// Commands: `ping`, `stats`, `metrics`, `flight`,
+/// `top [interval-ms] [rounds]`, `shutdown`, `list <tenant>`,
 /// `put <tenant> <name> <csv-path>`, `drop <tenant> <name>`,
-/// `print <tenant> <name> [intent] [deadline-ms]`.
+/// `print <tenant> <name> [intent] [deadline-ms] [trace-id]`.
 pub fn run_client(args: &[String]) -> i32 {
     let usage = "usage: lux-shell client <addr> \
-                 ping|stats|shutdown|list|put|drop|print [...]";
+                 ping|stats|metrics|flight|top|shutdown|list|put|drop|print [...]";
     let (addr, rest) = match args.split_first() {
         Some((a, r)) if !r.is_empty() => (a.as_str(), r),
         _ => {
@@ -83,6 +88,61 @@ pub fn run_client(args: &[String]) -> i32 {
             println!("{s}");
             0
         }),
+        ("metrics", []) => client.metrics().map(|s| {
+            print!("{s}");
+            0
+        }),
+        ("flight", []) => client.flight().map(|s| {
+            println!("{s}");
+            0
+        }),
+        // `top` — a lux-top-style watch loop: redraw stats + the flight
+        // recorder every `interval-ms` (default 1000), forever or for a
+        // bounded number of rounds (handy for scripts and tests).
+        ("top", tail) if tail.len() <= 2 => {
+            let interval_ms = match tail.first().map(|s| s.parse::<u64>()) {
+                None => 1_000,
+                Some(Ok(v)) => v.max(50),
+                Some(Err(_)) => {
+                    eprintln!("lux-client: bad interval {:?} (want milliseconds)", tail[0]);
+                    return 2;
+                }
+            };
+            let rounds = match tail.get(1).map(|s| s.parse::<u64>()) {
+                None => u64::MAX,
+                Some(Ok(v)) => v,
+                Some(Err(_)) => {
+                    eprintln!("lux-client: bad round count {:?}", tail[1]);
+                    return 2;
+                }
+            };
+            let mut round = 0u64;
+            loop {
+                let stats = client.stats();
+                let flight = client.flight();
+                match (stats, flight) {
+                    (Ok(s), Ok(f)) => {
+                        round += 1;
+                        if rounds == u64::MAX {
+                            // Redraw in place on an interactive watch; a
+                            // bounded run (scripts, tests) streams plainly.
+                            print!("\x1b[2J\x1b[H");
+                        }
+                        println!("lux-top: {addr} (round {round})\n");
+                        println!("{s}\n");
+                        println!("{f}");
+                    }
+                    (Err(e), _) | (_, Err(e)) => {
+                        eprintln!("lux-client: {e}");
+                        break Err(e);
+                    }
+                }
+                if round >= rounds {
+                    break Ok(0);
+                }
+                std::thread::sleep(Duration::from_millis(interval_ms));
+            }
+        }
         ("shutdown", []) => client.shutdown().map(|()| {
             println!("shutting down");
             0
@@ -120,7 +180,7 @@ pub fn run_client(args: &[String]) -> i32 {
                 }
             })
         }),
-        ("print", [tenant, name, tail @ ..]) if tail.len() <= 2 => {
+        ("print", [tenant, name, tail @ ..]) if tail.len() <= 3 => {
             let intent = tail.first().map(String::as_str).unwrap_or("");
             let deadline_ms = match tail.get(1) {
                 Some(d) => match d.parse::<u64>() {
@@ -132,19 +192,20 @@ pub fn run_client(args: &[String]) -> i32 {
                 },
                 None => 0,
             };
+            let trace = tail.get(2).map(String::as_str).unwrap_or("");
             client.hello(tenant).and_then(|draining| {
                 if draining {
                     eprintln!("lux-client: note: server is draining");
                 }
                 client
-                    .print(name, intent, deadline_ms, 3)
+                    .print_traced(name, intent, deadline_ms, 3, trace)
                     .map(|out| match out {
                         PrintOutcome::Widget(w) => {
                             println!("{}", w.render());
                             0
                         }
-                        PrintOutcome::Busy(reason) => {
-                            eprintln!("lux-client: shed: {reason}");
+                        PrintOutcome::Busy { reason, trace } => {
+                            eprintln!("lux-client: shed [{trace}]: {reason}");
                             3
                         }
                         PrintOutcome::Error(code, message) => {

@@ -27,8 +27,9 @@ use lux_engine::trace::{
     names as metric, MetricsRegistry, MetricsSnapshot, SpanId, TraceCollector,
 };
 use lux_engine::{
-    Admission, AdmissionController, AdmitRequest, BudgetHandle, CachedSample, FrameMeta, LuxConfig,
-    PassTrace, Priority, SemanticType, ShedReason,
+    Admission, AdmissionController, AdmitRequest, BudgetHandle, CachedSample, DegradeLevel,
+    FlightRecorder, FlightSample, FrameMeta, LuxConfig, PassTrace, Priority, SemanticType,
+    ShedReason,
 };
 use lux_intent::{Clause, Diagnostic};
 use lux_recs::{ActionContext, ActionHealth, ActionRegistry, ActionResult};
@@ -56,8 +57,12 @@ struct WflowCache {
 pub struct PrintOptions {
     /// End-to-end deadline for the pass (admission wait + compute).
     pub deadline: Option<std::time::Duration>,
-    /// Tenant label for per-tenant admission quotas.
+    /// Tenant label for per-tenant admission quotas and SLO metrics.
     pub tenant: Option<String>,
+    /// Wire-propagated request id (client-supplied or server-minted). Tagged
+    /// onto the root span as `request.id` so the trace, the pass-summary
+    /// JSONL event, and any flight-recorder dump are attributable end to end.
+    pub request_id: Option<String>,
 }
 
 impl PrintOptions {
@@ -70,6 +75,12 @@ impl PrintOptions {
     /// Builder-style tenant setter.
     pub fn with_tenant(mut self, tenant: Option<String>) -> PrintOptions {
         self.tenant = tenant;
+        self
+    }
+
+    /// Builder-style request-id setter.
+    pub fn with_request_id(mut self, request_id: Option<String>) -> PrintOptions {
+        self.request_id = request_id;
         self
     }
 }
@@ -598,7 +609,7 @@ impl LuxDataFrame {
             .with_tenant(opts.tenant.clone());
         let permit = match AdmissionController::global().admit_request(request) {
             Admission::Granted(p) => p,
-            Admission::Shed(shed) => return self.print_shed(start, shed),
+            Admission::Shed(shed) => return self.print_shed(start, shed, opts),
         };
         // What is left of the client deadline after queueing becomes this
         // pass's action budget ceiling: a pass admitted with 200ms remaining
@@ -616,6 +627,7 @@ impl LuxDataFrame {
                         reason: "deadline exhausted while waiting for a slot".to_string(),
                         priority: Priority::Interactive,
                     },
+                    opts,
                 );
             }
         }
@@ -649,6 +661,7 @@ impl LuxDataFrame {
         if let Some(tenant) = permit.tenant() {
             collector.tag(root, "admission.tenant", tenant.to_string());
         }
+        self.tag_request_context(&collector, root, opts);
         let table = collector.time(Some(root), "table", || self.df.to_table_string(10));
         // Metadata first (and traced): the validate/compile/action stages
         // below all read it through the memo.
@@ -683,6 +696,33 @@ impl LuxDataFrame {
         let metrics = MetricsRegistry::global();
         metrics.incr(metric::PRINTS);
         metrics.observe(metric::PRINT_LATENCY, elapsed);
+        // Deadline-miss accounting: the pass finished, but after the client's
+        // end-to-end budget — the client has likely timed out on its side.
+        let deadline_missed = opts.deadline.is_some_and(|d| elapsed > d);
+        if deadline_missed {
+            metrics.incr(metric::DEADLINE_MISSES);
+        }
+        // Per-tenant SLO series (request count, latency, queue wait,
+        // deadline misses, governor degrades) keyed by the request tenant.
+        if let Some(tenant) = opts.tenant.as_deref().or_else(|| permit.tenant()) {
+            metrics.incr_tenant(metric::TENANT_REQUESTS, tenant);
+            metrics.observe_tenant(metric::TENANT_PASS_LATENCY, tenant, elapsed);
+            metrics.observe_tenant(metric::TENANT_QUEUE_WAIT, tenant, permit.waited());
+            metrics.add_tenant(
+                metric::TENANT_GOVERNOR_DEGRADES,
+                tenant,
+                governor.event_count() as u64,
+            );
+            if deadline_missed {
+                metrics.incr_tenant(metric::TENANT_DEADLINE_MISSES, tenant);
+            }
+            // Pre-register the event-driven series at zero so a tenant's
+            // SLO catalogue is complete from its first request — scrapers
+            // can tell "no sheds yet" from "tenant unknown".
+            let _ = metrics.tenant_counter_handle(metric::TENANT_SHEDS, tenant);
+            let _ = metrics.tenant_counter_handle(metric::TENANT_DEADLINE_MISSES, tenant);
+        }
+        let summary = PassSummary::from_trace(&trace);
         if let Some(log) = &self.logger {
             log.log(
                 EventKind::Print,
@@ -691,10 +731,26 @@ impl LuxDataFrame {
             );
             log.log(
                 EventKind::PassSummary,
-                PassSummary::from_trace(&trace).to_compact_json(),
+                summary.to_compact_json(),
                 Some(elapsed.as_secs_f64()),
             );
         }
+        let governor_skips = governor
+            .events()
+            .iter()
+            .filter(|e| e.level == DegradeLevel::Skipped)
+            .count() as u64;
+        FlightRecorder::global().record(
+            Arc::clone(&trace),
+            FlightSample {
+                request_id: opts.request_id.clone().unwrap_or_default(),
+                tenant: opts.tenant.clone().unwrap_or_default(),
+                shed: false,
+                deadline_miss: deadline_missed,
+                governor_skips,
+                summary_json: summary.to_compact_json(),
+            },
+        );
         *lock_recover(&self.last_trace) = Some(Arc::clone(&trace));
         Widget::new(
             table,
@@ -708,13 +764,31 @@ impl LuxDataFrame {
         )
     }
 
+    /// Tag wire-propagated request context (`request.id` / `request.tenant`)
+    /// onto a pass's root span so traces, pass summaries, and flight dumps
+    /// stay attributable across the process boundary.
+    fn tag_request_context(&self, collector: &TraceCollector, root: SpanId, opts: &PrintOptions) {
+        if let Some(id) = &opts.request_id {
+            collector.tag(root, "request.id", id.clone());
+        }
+        if let Some(tenant) = &opts.tenant {
+            collector.tag(root, "request.tenant", tenant.clone());
+        }
+    }
+
     /// The load-shedding tail of [`LuxDataFrame::print`]: admission refused
     /// the pass, so degrade to the plain table plus a busy note — still a
     /// complete, well-formed widget with a trace and metrics, never a panic
     /// or a hang (§10.3 fail-safe behavior under overload).
-    fn print_shed(&self, start: std::time::Instant, shed: ShedReason) -> Widget {
+    fn print_shed(
+        &self,
+        start: std::time::Instant,
+        shed: ShedReason,
+        opts: &PrintOptions,
+    ) -> Widget {
         let collector = TraceCollector::new();
         let root = collector.begin(None, "print");
+        self.tag_request_context(&collector, root, opts);
         let table = collector.time(Some(root), "table", || self.df.to_table_string(10));
         let diagnostics = collector.time(Some(root), "intent.validate", || self.validate_intent());
         collector.tag(root, "admission.shed", shed.reason.clone());
@@ -725,6 +799,11 @@ impl LuxDataFrame {
         let metrics = MetricsRegistry::global();
         metrics.incr(metric::PRINTS);
         metrics.observe(metric::PRINT_LATENCY, elapsed);
+        if let Some(tenant) = opts.tenant.as_deref() {
+            metrics.incr_tenant(metric::TENANT_REQUESTS, tenant);
+            metrics.incr_tenant(metric::TENANT_SHEDS, tenant);
+        }
+        let summary = PassSummary::from_trace(&trace);
         if let Some(log) = &self.logger {
             log.log(
                 EventKind::Print,
@@ -736,7 +815,25 @@ impl LuxDataFrame {
                 ),
                 Some(elapsed.as_secs_f64()),
             );
+            // Sheds emit a PassSummary event too, so the JSONL log carries
+            // the shed reason and request attribution for every request.
+            log.log(
+                EventKind::PassSummary,
+                summary.to_compact_json(),
+                Some(elapsed.as_secs_f64()),
+            );
         }
+        FlightRecorder::global().record(
+            Arc::clone(&trace),
+            FlightSample {
+                request_id: opts.request_id.clone().unwrap_or_default(),
+                tenant: opts.tenant.clone().unwrap_or_default(),
+                shed: true,
+                deadline_miss: false,
+                governor_skips: 0,
+                summary_json: summary.to_compact_json(),
+            },
+        );
         *lock_recover(&self.last_trace) = Some(Arc::clone(&trace));
         Widget::busy(
             table,

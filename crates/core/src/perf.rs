@@ -49,6 +49,12 @@ pub struct PassSummary {
     /// Engine pressure at admission time (`normal`/`elevated`/`critical`),
     /// `None` on untagged (pre-admission) traces.
     pub admission_pressure: Option<String>,
+    /// Wire-propagated request id (client-supplied or server-minted), `None`
+    /// for local passes without request context.
+    pub request_id: Option<String>,
+    /// Tenant the pass was attributed to (request context, falling back to
+    /// the admission tenant tag).
+    pub tenant: Option<String>,
 }
 
 impl PassSummary {
@@ -97,6 +103,10 @@ impl PassSummary {
             .map(Duration::from_millis)
             .unwrap_or_default();
         let admission_pressure = root_tag("admission.pressure").map(str::to_string);
+        let request_id = root_tag("request.id").map(str::to_string);
+        let tenant = root_tag("request.tenant")
+            .or_else(|| root_tag("admission.tenant"))
+            .map(str::to_string);
         PassSummary {
             total: trace.total(),
             table: stage("table"),
@@ -115,6 +125,8 @@ impl PassSummary {
             admission_shed,
             admission_wait,
             admission_pressure,
+            request_id,
+            tenant,
         }
     }
 
@@ -191,6 +203,12 @@ impl PassSummary {
         }
         if let Some(p) = &self.admission_pressure {
             admission.push_str(&format!(", \"admission_pressure\": \"{}\"", json_escape(p)));
+        }
+        if let Some(id) = &self.request_id {
+            admission.push_str(&format!(", \"request_id\": \"{}\"", json_escape(id)));
+        }
+        if let Some(t) = &self.tenant {
+            admission.push_str(&format!(", \"tenant\": \"{}\"", json_escape(t)));
         }
         format!(
             "{{\"total_ms\": {:.3}, \"table_ms\": {:.3}, \"metadata_ms\": {:.3}, \"metadata_cpu_ms\": {:.3}, \"actions_ms\": {:.3}, \"actions_cpu_ms\": {:.3}, \"memo\": \"{}\", \"ok\": {}, \"degraded\": {}, \"failed\": {}, \"disabled\": {}, \"governor_degrades\": {}, \"governor_breached\": {}{slowest}{admission}}}",
@@ -336,6 +354,34 @@ mod tests {
         // an unqueued normal pass keeps the footer clean
         let clean = PassSummary::from_trace(&traced_pass()).footer();
         assert!(!clean.contains("admission"), "{clean}");
+    }
+
+    #[test]
+    fn request_context_tags_flow_into_summary_and_json() {
+        let c = TraceCollector::new();
+        let root = c.begin(None, "print");
+        c.tag(root, "request.id", "cli-42");
+        c.tag(root, "request.tenant", "acme");
+        c.end(root);
+        let s = PassSummary::from_trace(&c.snapshot());
+        assert_eq!(s.request_id.as_deref(), Some("cli-42"));
+        assert_eq!(s.tenant.as_deref(), Some("acme"));
+        let json = s.to_compact_json();
+        assert!(json.contains("\"request_id\": \"cli-42\""), "{json}");
+        assert!(json.contains("\"tenant\": \"acme\""), "{json}");
+
+        // Falls back to the admission tenant tag when only quotas tagged it.
+        let c = TraceCollector::new();
+        let root = c.begin(None, "print");
+        c.tag(root, "admission.tenant", "beta");
+        c.end(root);
+        let s = PassSummary::from_trace(&c.snapshot());
+        assert_eq!(s.tenant.as_deref(), Some("beta"));
+        assert!(s.request_id.is_none());
+        // Local passes stay clean.
+        assert!(!PassSummary::from_trace(&traced_pass())
+            .to_compact_json()
+            .contains("request_id"));
     }
 
     #[test]

@@ -1,0 +1,467 @@
+//! Anomaly-triggered flight recorder for recommendation passes.
+//!
+//! A bounded ring buffer of the most recent [`PassTrace`]s (plus their
+//! compact pass-summary JSON) that an operator can inspect after the fact:
+//! "the p99 spiked at 14:32 — show me the trace of the pass that did it".
+//! Every finished pass is offered to the recorder; passes that trip an
+//! anomaly trigger are *pinned* (survive ring eviction) and their Chrome
+//! trace JSON is dumped to a spool directory for offline analysis.
+//!
+//! Anomaly triggers:
+//! - the pass was **shed** by admission control;
+//! - the pass **missed its deadline** (finished after the client budget);
+//! - the governor **skipped** at least one stage (`DegradeLevel::Skipped`);
+//! - pass latency exceeded a configurable **multiple of the rolling p99**
+//!   (default 4x, after a 32-sample warm-up window).
+//!
+//! Knobs: `LUX_FLIGHT_RECORDER_SIZE` (ring capacity, default 64, `0`
+//! disables), `LUX_FLIGHT_LATENCY_MULT` (outlier multiplier, default 4),
+//! `LUX_FLIGHT_SPOOL` (dump directory; the server points this at
+//! `<data_dir>/flight` automatically). See DESIGN.md §12.
+
+use std::collections::VecDeque;
+use std::path::{Path, PathBuf};
+use std::sync::{Mutex, OnceLock};
+use std::time::{SystemTime, UNIX_EPOCH};
+
+use crate::envcfg;
+use crate::sync::lock_recover;
+use std::sync::Arc;
+
+use crate::trace::{names, MetricsRegistry, PassTrace};
+
+/// Default ring capacity (`LUX_FLIGHT_RECORDER_SIZE`).
+pub const DEFAULT_CAPACITY: usize = 64;
+/// Default latency-outlier multiplier (`LUX_FLIGHT_LATENCY_MULT`).
+pub const DEFAULT_LATENCY_MULT: u64 = 4;
+/// Rolling latency window used for the p99 estimate.
+const LATENCY_WINDOW: usize = 256;
+/// Minimum samples before the latency-outlier trigger arms.
+const MIN_P99_SAMPLES: usize = 32;
+
+/// What the caller knows about one finished pass, offered to
+/// [`FlightRecorder::record`].
+#[derive(Debug, Clone, Default)]
+pub struct FlightSample {
+    pub request_id: String,
+    pub tenant: String,
+    /// The pass was shed by admission control (busy widget returned).
+    pub shed: bool,
+    /// The pass finished after its client-supplied deadline.
+    pub deadline_miss: bool,
+    /// Number of governor events at `DegradeLevel::Skipped`.
+    pub governor_skips: u64,
+    /// Compact pass-summary JSON (empty when unavailable, e.g. sheds).
+    pub summary_json: String,
+}
+
+/// One recorded pass in the ring.
+#[derive(Debug, Clone)]
+pub struct FlightEntry {
+    /// Monotonic sequence number (1-based) within this recorder.
+    pub seq: u64,
+    /// Wall-clock record time, milliseconds since the Unix epoch.
+    pub unix_ms: u64,
+    pub total_ns: u64,
+    pub request_id: String,
+    pub tenant: String,
+    /// Trigger that pinned this entry, e.g. `"shed"`, `"deadline"`,
+    /// `"governor-skip"`, `"latency-outlier"`. `None` for routine passes.
+    pub anomaly: Option<String>,
+    /// Spool file the Chrome trace was dumped to, when an anomaly fired and
+    /// a spool directory is configured.
+    pub dump_path: Option<PathBuf>,
+    pub summary_json: String,
+    /// Shared, not cloned: recording a routine pass must stay O(1) — the
+    /// print path hands over its existing `Arc`.
+    pub trace: Arc<PassTrace>,
+}
+
+struct Inner {
+    ring: VecDeque<FlightEntry>,
+    /// Anomalous entries, retained independently of ring eviction.
+    pinned: VecDeque<FlightEntry>,
+    /// Rolling window of recent pass latencies for the p99 estimate.
+    latencies: VecDeque<u64>,
+    seq: u64,
+    anomalies: u64,
+}
+
+/// Bounded ring of recent pass traces with anomaly pin-and-dump. One global
+/// instance ([`FlightRecorder::global`]) serves the whole process; tests can
+/// build private instances with [`FlightRecorder::new`].
+pub struct FlightRecorder {
+    capacity: usize,
+    latency_mult: u64,
+    spool: Mutex<Option<PathBuf>>,
+    inner: Mutex<Inner>,
+}
+
+impl std::fmt::Debug for FlightRecorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FlightRecorder")
+            .field("capacity", &self.capacity)
+            .field("latency_mult", &self.latency_mult)
+            .finish_non_exhaustive()
+    }
+}
+
+impl FlightRecorder {
+    pub fn new(capacity: usize, latency_mult: u64) -> FlightRecorder {
+        FlightRecorder {
+            capacity,
+            latency_mult: latency_mult.max(1),
+            spool: Mutex::new(None),
+            inner: Mutex::new(Inner {
+                ring: VecDeque::new(),
+                pinned: VecDeque::new(),
+                latencies: VecDeque::new(),
+                seq: 0,
+                anomalies: 0,
+            }),
+        }
+    }
+
+    /// The process-wide recorder, configured from `LUX_FLIGHT_*` env knobs
+    /// on first use.
+    pub fn global() -> &'static FlightRecorder {
+        static GLOBAL: OnceLock<FlightRecorder> = OnceLock::new();
+        GLOBAL.get_or_init(|| {
+            let capacity =
+                envcfg::parse_usize("LUX_FLIGHT_RECORDER_SIZE").unwrap_or(DEFAULT_CAPACITY);
+            let mult = envcfg::parse_u64("LUX_FLIGHT_LATENCY_MULT").unwrap_or(DEFAULT_LATENCY_MULT);
+            let rec = FlightRecorder::new(capacity, mult);
+            if let Ok(dir) = std::env::var("LUX_FLIGHT_SPOOL") {
+                if !dir.trim().is_empty() {
+                    rec.set_spool(Path::new(dir.trim()));
+                }
+            }
+            rec
+        })
+    }
+
+    /// `true` when the recorder accepts samples (capacity > 0).
+    pub fn enabled(&self) -> bool {
+        self.capacity > 0
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Point anomaly dumps at `dir` (created eagerly; failures leave the
+    /// spool unset and dumps silently skipped).
+    pub fn set_spool(&self, dir: &Path) {
+        if std::fs::create_dir_all(dir).is_ok() {
+            *lock_recover(&self.spool) = Some(dir.to_path_buf());
+        }
+    }
+
+    pub fn spool(&self) -> Option<PathBuf> {
+        lock_recover(&self.spool).clone()
+    }
+
+    /// Offer one finished pass. Returns the spool path when an anomaly fired
+    /// and the trace was dumped.
+    pub fn record(&self, trace: Arc<PassTrace>, sample: FlightSample) -> Option<PathBuf> {
+        if !self.enabled() {
+            return None;
+        }
+        let total_ns = trace.total_ns;
+        let metrics = MetricsRegistry::global();
+        let (seq, anomaly) = {
+            let mut inner = lock_recover(&self.inner);
+            inner.seq += 1;
+            let anomaly = self.classify(&inner, total_ns, &sample);
+            // The window feeds the p99 estimate; exclude anomalous passes so
+            // a burst of outliers cannot ratchet the baseline up and mask
+            // later ones.
+            if anomaly.is_none() {
+                if inner.latencies.len() >= LATENCY_WINDOW {
+                    inner.latencies.pop_front();
+                }
+                inner.latencies.push_back(total_ns);
+            } else {
+                inner.anomalies += 1;
+            }
+            (inner.seq, anomaly)
+        };
+        metrics.incr(names::FLIGHT_RECORDED);
+        let mut dump_path = None;
+        if let Some(reason) = &anomaly {
+            metrics.incr(names::FLIGHT_ANOMALIES);
+            if let Some(dir) = self.spool() {
+                let file = dir.join(format!("flight-{seq:06}-{reason}.json"));
+                match std::fs::write(&file, trace.to_chrome_json()) {
+                    Ok(()) => {
+                        metrics.incr(names::FLIGHT_DUMPS);
+                        dump_path = Some(file);
+                    }
+                    Err(_) => metrics.incr(names::FLIGHT_DUMP_FAILURES),
+                }
+            }
+        }
+        let entry = FlightEntry {
+            seq,
+            unix_ms: unix_ms(),
+            total_ns,
+            request_id: sample.request_id,
+            tenant: sample.tenant,
+            anomaly: anomaly.clone(),
+            dump_path: dump_path.clone(),
+            summary_json: sample.summary_json,
+            trace,
+        };
+        let mut inner = lock_recover(&self.inner);
+        if anomaly.is_some() {
+            if inner.pinned.len() >= self.capacity {
+                inner.pinned.pop_front();
+            }
+            inner.pinned.push_back(entry.clone());
+        }
+        if inner.ring.len() >= self.capacity {
+            inner.ring.pop_front();
+        }
+        inner.ring.push_back(entry);
+        dump_path
+    }
+
+    fn classify(&self, inner: &Inner, total_ns: u64, sample: &FlightSample) -> Option<String> {
+        if sample.shed {
+            return Some("shed".to_string());
+        }
+        if sample.deadline_miss {
+            return Some("deadline".to_string());
+        }
+        if sample.governor_skips > 0 {
+            return Some("governor-skip".to_string());
+        }
+        if inner.latencies.len() >= MIN_P99_SAMPLES {
+            let p99 = rolling_p99(&inner.latencies);
+            if total_ns > p99.saturating_mul(self.latency_mult) {
+                return Some("latency-outlier".to_string());
+            }
+        }
+        None
+    }
+
+    /// The most recent `n` entries, newest first.
+    pub fn recent(&self, n: usize) -> Vec<FlightEntry> {
+        lock_recover(&self.inner)
+            .ring
+            .iter()
+            .rev()
+            .take(n)
+            .cloned()
+            .collect()
+    }
+
+    /// Pinned (anomalous) entries, newest first.
+    pub fn pinned(&self) -> Vec<FlightEntry> {
+        lock_recover(&self.inner)
+            .pinned
+            .iter()
+            .rev()
+            .cloned()
+            .collect()
+    }
+
+    /// Total passes offered / anomalies pinned over the recorder's lifetime.
+    pub fn totals(&self) -> (u64, u64) {
+        let inner = lock_recover(&self.inner);
+        (inner.seq, inner.anomalies)
+    }
+
+    /// Human-readable table of recent entries (the CLI `flight` view).
+    pub fn render_text(&self) -> String {
+        use std::fmt::Write as _;
+        let (recorded, anomalies) = self.totals();
+        let mut out = format!(
+            "flight recorder: {recorded} recorded, {anomalies} anomalies (capacity {})\n",
+            self.capacity
+        );
+        if let Some(dir) = self.spool() {
+            let _ = writeln!(out, "spool: {}", dir.display());
+        }
+        let entries = self.recent(self.capacity.min(32));
+        if entries.is_empty() {
+            out.push_str("  (no passes recorded)\n");
+            return out;
+        }
+        out.push_str("  seq     total_ms  tenant           request               anomaly\n");
+        for e in entries {
+            let _ = writeln!(
+                out,
+                "  {:<6}  {:>8.2}  {:<15}  {:<20}  {}",
+                e.seq,
+                e.total_ns as f64 / 1e6,
+                truncate(&e.tenant, 15),
+                truncate(&e.request_id, 20),
+                e.anomaly.as_deref().unwrap_or("-"),
+            );
+        }
+        out
+    }
+}
+
+fn rolling_p99(window: &VecDeque<u64>) -> u64 {
+    let mut sorted: Vec<u64> = window.iter().copied().collect();
+    sorted.sort_unstable();
+    let rank = ((sorted.len() as f64 * 0.99).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+fn unix_ms() -> u64 {
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_millis() as u64)
+        .unwrap_or(0)
+}
+
+fn truncate(s: &str, n: usize) -> String {
+    if s.chars().count() <= n {
+        s.to_string()
+    } else {
+        let cut: String = s.chars().take(n.saturating_sub(1)).collect();
+        format!("{cut}…")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::TraceCollector;
+    use std::time::Duration;
+
+    fn trace_of(ms: u64) -> Arc<PassTrace> {
+        let c = TraceCollector::new();
+        let root = c.begin(None, "print");
+        std::thread::sleep(Duration::from_millis(1));
+        c.end(root);
+        let mut t = c.snapshot();
+        // Pin a deterministic duration for trigger math.
+        t.total_ns = ms * 1_000_000;
+        Arc::new(t)
+    }
+
+    fn sample() -> FlightSample {
+        FlightSample {
+            request_id: "req-1".into(),
+            tenant: "acme".into(),
+            ..FlightSample::default()
+        }
+    }
+
+    #[test]
+    fn ring_is_bounded_and_ordered() {
+        let r = FlightRecorder::new(4, 4);
+        for _ in 0..10 {
+            r.record(trace_of(5), sample());
+        }
+        let recent = r.recent(16);
+        assert_eq!(recent.len(), 4);
+        assert_eq!(recent[0].seq, 10, "newest first");
+        assert_eq!(recent[3].seq, 7);
+        assert!(r.pinned().is_empty());
+    }
+
+    #[test]
+    fn anomalies_pin_and_survive_eviction() {
+        let r = FlightRecorder::new(2, 4);
+        let mut s = sample();
+        s.shed = true;
+        r.record(trace_of(5), s);
+        for _ in 0..5 {
+            r.record(trace_of(5), sample());
+        }
+        let pinned = r.pinned();
+        assert_eq!(pinned.len(), 1);
+        assert_eq!(pinned[0].anomaly.as_deref(), Some("shed"));
+        // Evicted from the ring but retained in the pinned set.
+        assert!(r.recent(16).iter().all(|e| e.seq != pinned[0].seq));
+        let (recorded, anomalies) = r.totals();
+        assert_eq!((recorded, anomalies), (6, 1));
+    }
+
+    #[test]
+    fn deadline_and_governor_triggers_classify() {
+        let r = FlightRecorder::new(8, 4);
+        let mut s = sample();
+        s.deadline_miss = true;
+        r.record(trace_of(5), s);
+        let mut s = sample();
+        s.governor_skips = 2;
+        r.record(trace_of(5), s);
+        let kinds: Vec<String> = r
+            .pinned()
+            .iter()
+            .filter_map(|e| e.anomaly.clone())
+            .collect();
+        assert_eq!(kinds, vec!["governor-skip", "deadline"]);
+    }
+
+    #[test]
+    fn latency_outlier_arms_after_warmup() {
+        let r = FlightRecorder::new(512, 4);
+        // Below the 32-sample warm-up: a huge pass is not an outlier yet.
+        for _ in 0..MIN_P99_SAMPLES - 1 {
+            r.record(trace_of(10), sample());
+        }
+        r.record(trace_of(1000), sample());
+        assert!(r.pinned().is_empty(), "trigger must not arm before warm-up");
+        // That 1s pass entered the window; top it up past the threshold.
+        for _ in 0..MIN_P99_SAMPLES {
+            r.record(trace_of(10), sample());
+        }
+        r.record(trace_of(100_000), sample());
+        let pinned = r.pinned();
+        assert_eq!(pinned.len(), 1);
+        assert_eq!(pinned[0].anomaly.as_deref(), Some("latency-outlier"));
+    }
+
+    #[test]
+    fn anomaly_dump_written_to_spool() {
+        let dir = std::env::temp_dir().join(format!(
+            "lux-flight-test-{}-{}",
+            std::process::id(),
+            unix_ms()
+        ));
+        let r = FlightRecorder::new(8, 4);
+        r.set_spool(&dir);
+        let mut s = sample();
+        s.shed = true;
+        let path = r
+            .record(trace_of(5), s)
+            .expect("anomaly dumps when spool set");
+        let json = std::fs::read_to_string(&path).expect("dump readable");
+        assert!(json.starts_with('[') && json.trim_end().ends_with(']'));
+        let name = path
+            .file_name()
+            .and_then(|n| n.to_str())
+            .expect("dump file name");
+        assert!(name.contains("shed"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn zero_capacity_disables() {
+        let r = FlightRecorder::new(0, 4);
+        let mut s = sample();
+        s.shed = true;
+        assert!(r.record(trace_of(5), s).is_none());
+        assert!(r.recent(4).is_empty());
+        assert!(!r.enabled());
+    }
+
+    #[test]
+    fn render_text_lists_entries() {
+        let r = FlightRecorder::new(8, 4);
+        let mut s = sample();
+        s.deadline_miss = true;
+        r.record(trace_of(5), s);
+        let text = r.render_text();
+        assert!(text.contains("1 recorded, 1 anomalies"));
+        assert!(text.contains("deadline"));
+        assert!(text.contains("acme"));
+    }
+}

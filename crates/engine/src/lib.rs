@@ -30,6 +30,7 @@ pub mod config;
 pub mod cost;
 pub mod envcfg;
 pub mod failpoint;
+pub mod flight;
 pub mod governor;
 pub mod metadata;
 pub mod pool;
@@ -43,6 +44,7 @@ pub use admission::{
 };
 pub use config::LuxConfig;
 pub use cost::{CostModel, OpClass};
+pub use flight::{FlightEntry, FlightRecorder, FlightSample};
 pub use governor::{
     cmp_cost_asc, cmp_score_desc, drain_sink, event_sink, BudgetHandle, DegradeLevel, EventSink,
     GovernorEvent, ResourceBudget,

@@ -436,6 +436,43 @@ pub mod names {
     pub const SERVER_PROTOCOL_ERRORS: &str = "lux.server.protocol_errors";
     /// Counter: connections reaped by the read/write timeout.
     pub const SERVER_TIMEOUTS: &str = "lux.server.timeouts";
+    /// Counter: lines appended to the server session journal.
+    pub const SERVER_JOURNAL_APPENDS: &str = "lux.server.journal.appends";
+    /// Counter: journal appends that failed (I/O error or injected fault).
+    pub const SERVER_JOURNAL_FAILURES: &str = "lux.server.journal.append_failures";
+    /// High-water counter (0/1): set once journal persistence degrades —
+    /// the metric form of the sticky "journal: degraded" stats flag.
+    pub const SERVER_JOURNAL_DEGRADED: &str = "lux.server.journal.degraded";
+    /// Counter: frames rebuilt from the journal at boot.
+    pub const SERVER_JOURNAL_REPLAYED_FRAMES: &str = "lux.server.journal.replayed_frames";
+    /// Counter: tenants rebuilt from the journal at boot.
+    pub const SERVER_JOURNAL_REPLAYED_TENANTS: &str = "lux.server.journal.replayed_tenants";
+    /// Counter: corrupt/torn journal lines skipped during replay.
+    pub const SERVER_JOURNAL_SKIPPED_LINES: &str = "lux.server.journal.skipped_lines";
+    /// Counter: passes that finished after their client deadline (the
+    /// deadline-miss SLO signal; sheds are counted separately).
+    pub const DEADLINE_MISSES: &str = "lux.deadline.misses";
+    /// Counter: passes recorded by the flight recorder.
+    pub const FLIGHT_RECORDED: &str = "lux.flight.recorded";
+    /// Counter: recorded passes that tripped an anomaly trigger.
+    pub const FLIGHT_ANOMALIES: &str = "lux.flight.anomalies";
+    /// Counter: anomalous traces dumped to the flight spool directory.
+    pub const FLIGHT_DUMPS: &str = "lux.flight.dumps";
+    /// Counter: flight-dump writes that failed (spool I/O).
+    pub const FLIGHT_DUMP_FAILURES: &str = "lux.flight.dump_failures";
+    /// Per-tenant counter: print requests attributed to the tenant.
+    pub const TENANT_REQUESTS: &str = "lux.tenant.requests";
+    /// Per-tenant counter: passes shed (admission or deadline) for the tenant.
+    pub const TENANT_SHEDS: &str = "lux.tenant.sheds";
+    /// Per-tenant counter: passes that finished after the client deadline.
+    pub const TENANT_DEADLINE_MISSES: &str = "lux.tenant.deadline_misses";
+    /// Per-tenant counter: governor degradation events across the tenant's
+    /// passes.
+    pub const TENANT_GOVERNOR_DEGRADES: &str = "lux.tenant.governor_degrades";
+    /// Per-tenant histogram: end-to-end pass latency.
+    pub const TENANT_PASS_LATENCY: &str = "lux.tenant.pass_latency";
+    /// Per-tenant histogram: time spent waiting in the admission queue.
+    pub const TENANT_QUEUE_WAIT: &str = "lux.tenant.queue_wait";
     /// Histogram: end-to-end print latency.
     pub const PRINT_LATENCY: &str = "lux.print.latency";
     /// Histogram: per-action execution latency.
@@ -454,13 +491,15 @@ const HIST_BUCKETS: usize = 48;
 
 /// Lock-free log₂-bucketed latency histogram: bucket `i` covers
 /// `[2^i, 2^(i+1))` nanoseconds, which spans 1 ns to ~3.9 days in 48
-/// buckets. Quantiles are estimated at the geometric midpoint of the
-/// containing bucket — plenty for p50/p95 dashboards.
+/// buckets. Quantiles are estimated by linear interpolation within the
+/// containing bucket, with the top populated bucket's upper edge pinned to
+/// the largest observation — so long-tail p99s are not understated.
 #[derive(Debug)]
 pub struct Histogram {
     buckets: [AtomicU64; HIST_BUCKETS],
     count: AtomicU64,
     sum_ns: AtomicU64,
+    max_ns: AtomicU64,
 }
 
 impl Default for Histogram {
@@ -469,6 +508,7 @@ impl Default for Histogram {
             buckets: std::array::from_fn(|_| AtomicU64::new(0)),
             count: AtomicU64::new(0),
             sum_ns: AtomicU64::new(0),
+            max_ns: AtomicU64::new(0),
         }
     }
 }
@@ -486,10 +526,20 @@ impl Histogram {
         self.buckets[Self::bucket_index(ns)].fetch_add(1, Ordering::Relaxed);
         self.count.fetch_add(1, Ordering::Relaxed);
         self.sum_ns.fetch_add(ns, Ordering::Relaxed);
+        self.max_ns.fetch_max(ns, Ordering::Relaxed);
     }
 
     pub fn count(&self) -> u64 {
         self.count.load(Ordering::Relaxed)
+    }
+
+    pub fn sum_ns(&self) -> u64 {
+        self.sum_ns.load(Ordering::Relaxed)
+    }
+
+    /// Largest observation recorded so far (0 before the first).
+    pub fn max_ns(&self) -> u64 {
+        self.max_ns.load(Ordering::Relaxed)
     }
 
     pub fn mean_ns(&self) -> u64 {
@@ -501,30 +551,44 @@ impl Histogram {
         }
     }
 
-    /// Estimated `q`-quantile (0.0..=1.0) in nanoseconds.
+    /// Estimated `q`-quantile (0.0..=1.0) in nanoseconds: linear
+    /// interpolation by rank within the containing bucket `[2^i, 2^(i+1))`,
+    /// with the upper edge capped at the largest recorded observation. The
+    /// cap matters in the top populated bucket: a single 1s outlier among
+    /// millisecond samples yields p100 = 1s exactly instead of the bucket
+    /// midpoint (which understated long-tail quantiles).
     pub fn quantile_ns(&self, q: f64) -> u64 {
         let n = self.count();
         if n == 0 {
             return 0;
         }
         let target = ((q.clamp(0.0, 1.0) * n as f64).ceil() as u64).max(1);
+        let max = self.max_ns.load(Ordering::Relaxed);
         let mut seen = 0u64;
         for (i, b) in self.buckets.iter().enumerate() {
-            seen += b.load(Ordering::Relaxed);
-            if seen >= target {
-                // geometric midpoint of [2^i, 2^(i+1))
-                return (((1u128 << i) as f64) * std::f64::consts::SQRT_2) as u64;
+            let in_bucket = b.load(Ordering::Relaxed);
+            if in_bucket == 0 {
+                continue;
             }
+            if seen + in_bucket >= target {
+                let lo = 1u64 << i;
+                let hi = ((2u128 << i).min(u64::MAX as u128) as u64).min(max).max(lo);
+                let frac = (target - seen) as f64 / in_bucket as f64;
+                return lo + ((hi - lo) as f64 * frac) as u64;
+            }
+            seen += in_bucket;
         }
-        1u64 << (HIST_BUCKETS - 1)
+        max
     }
 
     pub fn summary(&self) -> HistogramSummary {
         HistogramSummary {
             count: self.count(),
+            sum_ns: self.sum_ns(),
             mean_ns: self.mean_ns(),
             p50_ns: self.quantile_ns(0.50),
             p95_ns: self.quantile_ns(0.95),
+            p99_ns: self.quantile_ns(0.99),
         }
     }
 }
@@ -533,9 +597,11 @@ impl Histogram {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct HistogramSummary {
     pub count: u64,
+    pub sum_ns: u64,
     pub mean_ns: u64,
     pub p50_ns: u64,
     pub p95_ns: u64,
+    pub p99_ns: u64,
 }
 
 // ---------------------------------------------------------------------
@@ -550,6 +616,10 @@ pub struct HistogramSummary {
 pub struct MetricsRegistry {
     counters: Mutex<HashMap<String, Arc<AtomicU64>>>,
     histograms: Mutex<HashMap<String, Arc<Histogram>>>,
+    /// Per-tenant labeled series, keyed `(metric name, tenant)`. Bounded in
+    /// practice by live tenants × the handful of `lux.tenant.*` names.
+    tenant_counters: Mutex<HashMap<(String, String), Arc<AtomicU64>>>,
+    tenant_histograms: Mutex<HashMap<(String, String), Arc<Histogram>>>,
 }
 
 impl MetricsRegistry {
@@ -600,7 +670,54 @@ impl MetricsRegistry {
         self.histogram_handle(name).observe(d);
     }
 
-    /// Point-in-time snapshot of every counter and histogram, sorted by name.
+    /// Handle to a per-tenant labeled counter (create-on-first-use).
+    pub fn tenant_counter_handle(&self, name: &str, tenant: &str) -> Arc<AtomicU64> {
+        let mut counters = lock_recover(&self.tenant_counters);
+        Arc::clone(
+            counters
+                .entry((name.to_string(), tenant.to_string()))
+                .or_default(),
+        )
+    }
+
+    /// Handle to a per-tenant labeled histogram (create-on-first-use).
+    pub fn tenant_histogram_handle(&self, name: &str, tenant: &str) -> Arc<Histogram> {
+        let mut hists = lock_recover(&self.tenant_histograms);
+        Arc::clone(
+            hists
+                .entry((name.to_string(), tenant.to_string()))
+                .or_default(),
+        )
+    }
+
+    /// Increment a per-tenant counter by `n`.
+    pub fn add_tenant(&self, name: &str, tenant: &str, n: u64) {
+        if n > 0 {
+            self.tenant_counter_handle(name, tenant)
+                .fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Increment a per-tenant counter by 1.
+    pub fn incr_tenant(&self, name: &str, tenant: &str) {
+        self.tenant_counter_handle(name, tenant)
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one per-tenant latency observation.
+    pub fn observe_tenant(&self, name: &str, tenant: &str, d: Duration) {
+        self.tenant_histogram_handle(name, tenant).observe(d);
+    }
+
+    /// Current value of a per-tenant counter (0 if never recorded).
+    pub fn tenant_counter(&self, name: &str, tenant: &str) -> u64 {
+        lock_recover(&self.tenant_counters)
+            .get(&(name.to_string(), tenant.to_string()))
+            .map_or(0, |c| c.load(Ordering::Relaxed))
+    }
+
+    /// Point-in-time snapshot of every counter and histogram (global and
+    /// per-tenant), sorted by name.
     pub fn snapshot(&self) -> MetricsSnapshot {
         let mut counters: Vec<(String, u64)> = lock_recover(&self.counters)
             .iter()
@@ -612,9 +729,22 @@ impl MetricsRegistry {
             .map(|(k, v)| (k.clone(), v.summary()))
             .collect();
         histograms.sort_by(|a, b| a.0.cmp(&b.0));
+        let mut tenant_counters: Vec<(String, String, u64)> = lock_recover(&self.tenant_counters)
+            .iter()
+            .map(|((k, t), v)| (k.clone(), t.clone(), v.load(Ordering::Relaxed)))
+            .collect();
+        tenant_counters.sort();
+        let mut tenant_histograms: Vec<(String, String, HistogramSummary)> =
+            lock_recover(&self.tenant_histograms)
+                .iter()
+                .map(|((k, t), v)| (k.clone(), t.clone(), v.summary()))
+                .collect();
+        tenant_histograms.sort_by(|a, b| (&a.0, &a.1).cmp(&(&b.0, &b.1)));
         MetricsSnapshot {
             counters,
             histograms,
+            tenant_counters,
+            tenant_histograms,
         }
     }
 }
@@ -624,6 +754,10 @@ impl MetricsRegistry {
 pub struct MetricsSnapshot {
     pub counters: Vec<(String, u64)>,
     pub histograms: Vec<(String, HistogramSummary)>,
+    /// Per-tenant labeled counters as `(name, tenant, value)`.
+    pub tenant_counters: Vec<(String, String, u64)>,
+    /// Per-tenant labeled histograms as `(name, tenant, summary)`.
+    pub tenant_histograms: Vec<(String, String, HistogramSummary)>,
 }
 
 impl MetricsSnapshot {
@@ -632,6 +766,20 @@ impl MetricsSnapshot {
             .iter()
             .find(|(k, _)| k == name)
             .map_or(0, |(_, v)| *v)
+    }
+
+    pub fn tenant_counter(&self, name: &str, tenant: &str) -> u64 {
+        self.tenant_counters
+            .iter()
+            .find(|(k, t, _)| k == name && t == tenant)
+            .map_or(0, |(_, _, v)| *v)
+    }
+
+    pub fn tenant_histogram(&self, name: &str, tenant: &str) -> Option<&HistogramSummary> {
+        self.tenant_histograms
+            .iter()
+            .find(|(k, t, _)| k == name && t == tenant)
+            .map(|(_, _, v)| v)
     }
 
     pub fn histogram(&self, name: &str) -> Option<&HistogramSummary> {
@@ -672,22 +820,118 @@ impl MetricsSnapshot {
                 rate * 100.0
             );
         }
-        out.push_str("latencies (count / mean / p50 / p95):\n");
+        out.push_str("latencies (count / mean / p50 / p95 / p99):\n");
         if self.histograms.is_empty() {
             out.push_str("  (none recorded)\n");
         }
         for (name, h) in &self.histograms {
             let _ = writeln!(
                 out,
-                "  {name:<28} {:>6}  {:>9}  {:>9}  {:>9}",
+                "  {name:<28} {:>6}  {:>9}  {:>9}  {:>9}  {:>9}",
                 h.count,
                 fmt_ns(h.mean_ns),
                 fmt_ns(h.p50_ns),
-                fmt_ns(h.p95_ns)
+                fmt_ns(h.p95_ns),
+                fmt_ns(h.p99_ns)
             );
+        }
+        if !self.tenant_counters.is_empty() || !self.tenant_histograms.is_empty() {
+            out.push_str("per-tenant:\n");
+            for (name, tenant, value) in &self.tenant_counters {
+                let label = format!("{name}{{{tenant}}}");
+                let _ = writeln!(out, "  {label:<36} {value}");
+            }
+            for (name, tenant, h) in &self.tenant_histograms {
+                let label = format!("{name}{{{tenant}}}");
+                let _ = writeln!(
+                    out,
+                    "  {label:<36} {:>6}  p50 {:>9}  p99 {:>9}",
+                    h.count,
+                    fmt_ns(h.p50_ns),
+                    fmt_ns(h.p99_ns)
+                );
+            }
         }
         out
     }
+
+    /// Render the snapshot in the Prometheus plaintext exposition format
+    /// (version 0.0.4). Counters become `counter` families; histograms are
+    /// rendered as `summary` families (quantile series + `_sum`/`_count`)
+    /// with latencies in seconds. Per-tenant series carry a `tenant` label.
+    pub fn prometheus_text(&self) -> String {
+        let mut out = String::new();
+        for (name, value) in &self.counters {
+            let pname = prom_name(name);
+            let _ = writeln!(out, "# TYPE {pname} counter");
+            let _ = writeln!(out, "{pname} {value}");
+        }
+        // Group per-tenant counters by metric name so each family gets one
+        // TYPE line (the snapshot is sorted by (name, tenant)).
+        let mut last_family: Option<&str> = None;
+        for (name, tenant, value) in &self.tenant_counters {
+            let pname = prom_name(name);
+            if last_family != Some(name.as_str()) {
+                let _ = writeln!(out, "# TYPE {pname} counter");
+                last_family = Some(name.as_str());
+            }
+            let _ = writeln!(out, "{pname}{{tenant=\"{}\"}} {value}", prom_label(tenant));
+        }
+        for (name, h) in &self.histograms {
+            let pname = format!("{}_seconds", prom_name(name));
+            let _ = writeln!(out, "# TYPE {pname} summary");
+            for (q, v) in [(0.5, h.p50_ns), (0.95, h.p95_ns), (0.99, h.p99_ns)] {
+                let _ = writeln!(out, "{pname}{{quantile=\"{q}\"}} {}", secs(v));
+            }
+            let _ = writeln!(out, "{pname}_sum {}", secs(h.sum_ns));
+            let _ = writeln!(out, "{pname}_count {}", h.count);
+        }
+        let mut last_family: Option<&str> = None;
+        for (name, tenant, h) in &self.tenant_histograms {
+            let pname = format!("{}_seconds", prom_name(name));
+            if last_family != Some(name.as_str()) {
+                let _ = writeln!(out, "# TYPE {pname} summary");
+                last_family = Some(name.as_str());
+            }
+            let t = prom_label(tenant);
+            for (q, v) in [(0.5, h.p50_ns), (0.95, h.p95_ns), (0.99, h.p99_ns)] {
+                let _ = writeln!(
+                    out,
+                    "{pname}{{tenant=\"{t}\",quantile=\"{q}\"}} {}",
+                    secs(v)
+                );
+            }
+            let _ = writeln!(out, "{pname}_sum{{tenant=\"{t}\"}} {}", secs(h.sum_ns));
+            let _ = writeln!(out, "{pname}_count{{tenant=\"{t}\"}} {}", h.count);
+        }
+        out
+    }
+}
+
+/// Mangle a dotted metric name into a Prometheus-legal one: every character
+/// outside `[a-zA-Z0-9_]` becomes `_`.
+fn prom_name(name: &str) -> String {
+    name.chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect()
+}
+
+/// Escape a Prometheus label value (backslash, double quote, newline).
+fn prom_label(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+fn secs(ns: u64) -> String {
+    format!("{:.9}", ns as f64 / 1e9)
 }
 
 #[cfg(test)]
@@ -786,6 +1030,85 @@ mod tests {
         let p95 = h.quantile_ns(0.95);
         assert!(p95 > 50_000_000, "p95={p95}");
         assert!(h.mean_ns() > 10_000_000);
+    }
+
+    #[test]
+    fn histogram_quantiles_pin_known_values() {
+        // 99 fast observations plus one long-tail outlier: the top quantile
+        // must land on the observed max, not the top bucket's lower bound
+        // (the pre-fix behaviour understated long-tail p99 by up to 2x).
+        let h = Histogram::default();
+        for _ in 0..99 {
+            h.observe_ns(1_000_000); // 1ms
+        }
+        h.observe_ns(1_000_000_000); // 1s outlier
+        assert_eq!(h.quantile_ns(1.0), 1_000_000_000);
+        let p99 = h.quantile_ns(0.99);
+        // rank 99 of 100 is the last 1ms sample: inside its bucket [2^19, 2^20)
+        assert!((524_288..2_097_152).contains(&p99), "p99={p99}");
+        // Quantiles are monotone non-decreasing.
+        let mut last = 0;
+        for q in [0.0, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0] {
+            let v = h.quantile_ns(q);
+            assert!(v >= last, "quantile({q})={v} < {last}");
+            last = v;
+        }
+        // Empty histogram reads zero everywhere.
+        let empty = Histogram::default();
+        assert_eq!(empty.quantile_ns(0.99), 0);
+        // Single observation: every quantile is exactly that value.
+        let one = Histogram::default();
+        one.observe_ns(5_000_000);
+        assert_eq!(one.quantile_ns(0.5), 5_000_000);
+        assert_eq!(one.quantile_ns(1.0), 5_000_000);
+        assert_eq!(one.max_ns(), 5_000_000);
+        assert_eq!(one.sum_ns(), 5_000_000);
+    }
+
+    #[test]
+    fn registry_tenant_series_snapshot() {
+        let r = MetricsRegistry::default();
+        r.incr_tenant(names::TENANT_REQUESTS, "acme");
+        r.add_tenant(names::TENANT_REQUESTS, "acme", 2);
+        r.incr_tenant(names::TENANT_SHEDS, "beta");
+        r.observe_tenant(names::TENANT_PASS_LATENCY, "acme", Duration::from_millis(7));
+        assert_eq!(r.tenant_counter(names::TENANT_REQUESTS, "acme"), 3);
+        assert_eq!(r.tenant_counter(names::TENANT_REQUESTS, "other"), 0);
+        let snap = r.snapshot();
+        assert_eq!(snap.tenant_counter(names::TENANT_REQUESTS, "acme"), 3);
+        assert_eq!(snap.tenant_counter(names::TENANT_SHEDS, "beta"), 1);
+        let lat = snap
+            .tenant_histogram(names::TENANT_PASS_LATENCY, "acme")
+            .expect("tenant histogram present");
+        assert_eq!(lat.count, 1);
+        assert!(snap.render_text().contains("lux.tenant.requests{acme}"));
+    }
+
+    #[test]
+    fn prometheus_exposition_format() {
+        let r = MetricsRegistry::default();
+        r.add("lux.prints", 4);
+        r.observe("lux.print.latency", Duration::from_millis(10));
+        r.incr_tenant(names::TENANT_REQUESTS, "te\"nant");
+        r.observe_tenant(names::TENANT_PASS_LATENCY, "acme", Duration::from_millis(3));
+        let text = r.snapshot().prometheus_text();
+        assert!(text.contains("# TYPE lux_prints counter"));
+        assert!(text.contains("lux_prints 4"));
+        assert!(text.contains("# TYPE lux_print_latency_seconds summary"));
+        assert!(text.contains("lux_print_latency_seconds{quantile=\"0.5\"}"));
+        assert!(text.contains("lux_print_latency_seconds_count 1"));
+        // Label value escaping.
+        assert!(text.contains("lux_tenant_requests{tenant=\"te\\\"nant\"} 1"));
+        assert!(text.contains("lux_tenant_pass_latency_seconds{tenant=\"acme\",quantile=\"0.99\"}"));
+        assert!(text.contains("lux_tenant_pass_latency_seconds_count{tenant=\"acme\"} 1"));
+        // Every non-comment line is `name{labels}? value` with a float/int value.
+        for line in text.lines() {
+            if line.starts_with('#') {
+                continue;
+            }
+            let (_, value) = line.rsplit_once(' ').expect("metric line has a value");
+            value.parse::<f64>().expect("metric value parses");
+        }
     }
 
     #[test]

@@ -9,11 +9,13 @@ use crate::protocol::{read_frame, write_frame, ErrorCode, Request, Response};
 use crate::server::Conn;
 
 /// Outcome of a print request, flattened for callers that only care about
-/// the three well-formed endings: a widget, a shed, or a typed error.
+/// the three well-formed endings: a widget, a shed, or a typed error. Shed
+/// and error endings carry the echoed request trace id (empty when the
+/// request supplied none and the failure preceded server-side minting).
 #[derive(Debug)]
 pub enum PrintOutcome {
     Widget(WireWidget),
-    Busy(String),
+    Busy { reason: String, trace: String },
     Error(ErrorCode, String),
 }
 
@@ -59,7 +61,7 @@ impl Client {
             tenant: tenant.to_string(),
         })? {
             Response::HelloAck { draining, .. } => Ok(draining),
-            Response::Error { code, message } => Err(format!("{code:?}: {message}")),
+            Response::Error { code, message, .. } => Err(format!("{code:?}: {message}")),
             other => Err(format!("unexpected response {other:?}")),
         }
     }
@@ -75,7 +77,7 @@ impl Client {
                 cols,
                 fingerprint,
             } => Ok((rows, cols, fingerprint)),
-            Response::Error { code, message } => Err(format!("{code:?}: {message}")),
+            Response::Error { code, message, .. } => Err(format!("{code:?}: {message}")),
             other => Err(format!("unexpected response {other:?}")),
         }
     }
@@ -88,19 +90,34 @@ impl Client {
         deadline_ms: u64,
         per_tab: u32,
     ) -> Result<PrintOutcome, String> {
+        self.print_traced(name, intent, deadline_ms, per_tab, "")
+    }
+
+    /// Print a named frame, attaching a client-supplied request trace id
+    /// that the server tags onto the pass trace and echoes back on shed or
+    /// error. An empty `trace` lets the server mint its own id.
+    pub fn print_traced(
+        &mut self,
+        name: &str,
+        intent: &str,
+        deadline_ms: u64,
+        per_tab: u32,
+        trace: &str,
+    ) -> Result<PrintOutcome, String> {
         match self.request(&Request::Print {
             name: name.to_string(),
             intent: intent.to_string(),
             deadline_ms,
             per_tab,
+            trace: trace.to_string(),
         })? {
             Response::PrintResult { widget } => {
                 let w =
                     WireWidget::decode(&widget).map_err(|e| format!("bad widget payload: {e}"))?;
                 Ok(PrintOutcome::Widget(w))
             }
-            Response::Busy { reason } => Ok(PrintOutcome::Busy(reason)),
-            Response::Error { code, message } => Ok(PrintOutcome::Error(code, message)),
+            Response::Busy { reason, trace } => Ok(PrintOutcome::Busy { reason, trace }),
+            Response::Error { code, message, .. } => Ok(PrintOutcome::Error(code, message)),
             other => Err(format!("unexpected response {other:?}")),
         }
     }
@@ -109,7 +126,7 @@ impl Client {
     pub fn list_frames(&mut self) -> Result<Vec<String>, String> {
         match self.request(&Request::ListFrames)? {
             Response::FrameList { names } => Ok(names),
-            Response::Error { code, message } => Err(format!("{code:?}: {message}")),
+            Response::Error { code, message, .. } => Err(format!("{code:?}: {message}")),
             other => Err(format!("unexpected response {other:?}")),
         }
     }
@@ -120,7 +137,7 @@ impl Client {
             name: name.to_string(),
         })? {
             Response::Dropped { existed } => Ok(existed),
-            Response::Error { code, message } => Err(format!("{code:?}: {message}")),
+            Response::Error { code, message, .. } => Err(format!("{code:?}: {message}")),
             other => Err(format!("unexpected response {other:?}")),
         }
     }
@@ -129,7 +146,27 @@ impl Client {
     pub fn stats(&mut self) -> Result<String, String> {
         match self.request(&Request::Stats)? {
             Response::StatsText { text } => Ok(text),
-            Response::Error { code, message } => Err(format!("{code:?}: {message}")),
+            Response::Error { code, message, .. } => Err(format!("{code:?}: {message}")),
+            other => Err(format!("unexpected response {other:?}")),
+        }
+    }
+
+    /// The process metrics in Prometheus text exposition format, over the
+    /// wire (works even without a metrics listener configured).
+    pub fn metrics(&mut self) -> Result<String, String> {
+        match self.request(&Request::Metrics)? {
+            Response::MetricsText { text } => Ok(text),
+            Response::Error { code, message, .. } => Err(format!("{code:?}: {message}")),
+            other => Err(format!("unexpected response {other:?}")),
+        }
+    }
+
+    /// The server's flight-recorder table: recent and pinned anomalous
+    /// passes.
+    pub fn flight(&mut self) -> Result<String, String> {
+        match self.request(&Request::Flight)? {
+            Response::FlightText { text } => Ok(text),
+            Response::Error { code, message, .. } => Err(format!("{code:?}: {message}")),
             other => Err(format!("unexpected response {other:?}")),
         }
     }

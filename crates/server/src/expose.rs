@@ -1,0 +1,96 @@
+//! Zero-dependency plaintext metrics exposition (`LUX_METRICS_ADDR`).
+//!
+//! A second, read-only listener that renders the process
+//! [`MetricsRegistry`](lux_engine::trace::MetricsRegistry) in the
+//! Prometheus text format (0.0.4) over minimal HTTP/1.0 — enough for
+//! `curl`, a Prometheus scrape job, or the CI load test, with no HTTP
+//! library. Every connection gets one response and a close; the request
+//! line and headers are read (bounded) and ignored, so any `GET` path
+//! works. The listener thread is detached and exits when the server's
+//! shutdown flag flips.
+
+use std::io::{Read, Write};
+use std::net::TcpListener;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use lux_engine::trace::MetricsRegistry;
+
+/// Cap on how much request data one scrape connection may send before we
+/// give up on finding the end of its headers.
+const MAX_REQUEST_BYTES: usize = 8 * 1024;
+
+/// Bind `addr` (TCP `host:port`; `:0` picks a port) and serve the metrics
+/// exposition until `shutdown` flips. Returns the bound address.
+pub fn spawn_metrics_listener(addr: &str, shutdown: Arc<AtomicBool>) -> std::io::Result<String> {
+    let listener = TcpListener::bind(addr)?;
+    let bound = listener.local_addr()?.to_string();
+    listener.set_nonblocking(true)?;
+    std::thread::Builder::new()
+        .name("lux-metrics-expose".to_string())
+        .spawn(move || {
+            while !shutdown.load(Ordering::SeqCst) {
+                match listener.accept() {
+                    Ok((stream, _)) => serve_one(stream),
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(50));
+                    }
+                    Err(_) => std::thread::sleep(Duration::from_millis(100)),
+                }
+            }
+        })?;
+    Ok(bound)
+}
+
+fn serve_one(mut stream: std::net::TcpStream) {
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(2_000)));
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(2_000)));
+    // Drain the request line + headers (up to a blank line or the cap);
+    // scrape clients send tiny requests, and we answer anything.
+    let mut buf = [0u8; 1024];
+    let mut seen = Vec::new();
+    loop {
+        match stream.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => {
+                seen.extend_from_slice(&buf[..n]);
+                if seen.windows(4).any(|w| w == b"\r\n\r\n")
+                    || seen.windows(2).any(|w| w == b"\n\n")
+                    || seen.len() >= MAX_REQUEST_BYTES
+                {
+                    break;
+                }
+            }
+            Err(_) => break,
+        }
+    }
+    let body = MetricsRegistry::global().snapshot().prometheus_text();
+    let response = format!(
+        "HTTP/1.0 200 OK\r\nContent-Type: text/plain; version=0.0.4; charset=utf-8\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    let _ = stream.write_all(response.as_bytes());
+    let _ = stream.flush();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpStream;
+
+    #[test]
+    fn listener_serves_prometheus_text_over_http() {
+        MetricsRegistry::global().incr("lux.test.expose_probe");
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let addr = spawn_metrics_listener("127.0.0.1:0", Arc::clone(&shutdown)).unwrap();
+        let mut s = TcpStream::connect(&addr).unwrap();
+        s.write_all(b"GET /metrics HTTP/1.0\r\n\r\n").unwrap();
+        let mut out = String::new();
+        s.read_to_string(&mut out).unwrap();
+        assert!(out.starts_with("HTTP/1.0 200 OK"), "{out}");
+        assert!(out.contains("text/plain"), "{out}");
+        assert!(out.contains("lux_test_expose_probe"), "{out}");
+        shutdown.store(true, Ordering::SeqCst);
+    }
+}

@@ -19,6 +19,7 @@ use std::io::Write;
 use std::path::{Path, PathBuf};
 
 use lux_engine::failpoint;
+use lux_engine::trace::{names as metric, MetricsRegistry};
 
 /// One replayed `put` record: where the frame's CSV lives and what shape it
 /// had when journaled.
@@ -97,11 +98,11 @@ impl Journal {
         // Failpoint: injected journal failure degrades persistence only —
         // the request that triggered the append must still succeed.
         if failpoint::hit(failpoint::names::SERVER_JOURNAL).is_some() {
-            self.degraded = true;
+            self.mark_degraded();
             return;
         }
         let Some(file) = self.file.as_mut() else {
-            self.degraded = true;
+            self.mark_degraded();
             return;
         };
         let ok = file
@@ -109,8 +110,22 @@ impl Journal {
             .and_then(|_| file.write_all(b"\n"))
             .and_then(|_| file.flush());
         if ok.is_err() {
-            self.degraded = true;
+            self.mark_degraded();
+        } else {
+            MetricsRegistry::global().incr(metric::SERVER_JOURNAL_APPENDS);
         }
+    }
+
+    /// Record a failed append: the sticky degraded flag, a failure count,
+    /// and the 0/1 `lux.server.journal.degraded` high-water gauge scrapers
+    /// alert on.
+    fn mark_degraded(&mut self) {
+        self.degraded = true;
+        let metrics = MetricsRegistry::global();
+        metrics.incr(metric::SERVER_JOURNAL_FAILURES);
+        metrics
+            .counter_handle(metric::SERVER_JOURNAL_DEGRADED)
+            .store(1, std::sync::atomic::Ordering::Relaxed);
     }
 }
 
@@ -146,11 +161,22 @@ pub fn replay(data_dir: &Path) -> Replay {
             None => skipped += 1,
         }
     }
-    Replay {
+    let replay = Replay {
         tenants,
         frames: frames.into_values().collect(),
         skipped,
-    }
+    };
+    let metrics = MetricsRegistry::global();
+    metrics.add(
+        metric::SERVER_JOURNAL_REPLAYED_FRAMES,
+        replay.frames.len() as u64,
+    );
+    metrics.add(
+        metric::SERVER_JOURNAL_REPLAYED_TENANTS,
+        replay.tenants.len() as u64,
+    );
+    metrics.add(metric::SERVER_JOURNAL_SKIPPED_LINES, replay.skipped as u64);
+    replay
 }
 
 enum Op {

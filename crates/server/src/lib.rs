@@ -21,8 +21,11 @@
 //!   behind a readiness flip with a hard cutoff.
 //! - [`client`] — a blocking client for the CLI, the load-test binary, and
 //!   the integration tests.
+//! - [`expose`] — an optional read-only Prometheus-text metrics listener
+//!   (`LUX_METRICS_ADDR`), hand-rolled HTTP/1.0 on `std`.
 
 pub mod client;
+pub mod expose;
 pub mod journal;
 pub mod protocol;
 pub mod registry;

@@ -5,7 +5,7 @@
 //! ```text
 //! offset  size  field
 //! 0       2     magic `LX`
-//! 2       1     protocol version (currently 1)
+//! 2       1     protocol version (currently 2)
 //! 3       1     message type
 //! 4       4     request id (little-endian; echoed in the response)
 //! 8       4     payload length (little-endian; capped at 64 MiB)
@@ -23,8 +23,10 @@
 
 use std::io::{Read, Write};
 
-/// Protocol version carried in every frame header.
-pub const PROTOCOL_VERSION: u8 = 1;
+/// Protocol version carried in every frame header. Version 2 added wire
+/// request-trace propagation (a trace id on `Print`, echoed on `Busy` and
+/// `Error`) and the `Metrics`/`Flight` observability ops.
+pub const PROTOCOL_VERSION: u8 = 2;
 
 /// Frame magic.
 pub const MAGIC: [u8; 2] = *b"LX";
@@ -204,6 +206,8 @@ pub mod msg {
     pub const STATS: u8 = 0x06;
     pub const PING: u8 = 0x07;
     pub const SHUTDOWN: u8 = 0x08;
+    pub const METRICS: u8 = 0x09;
+    pub const FLIGHT: u8 = 0x0A;
 
     pub const HELLO_ACK: u8 = 0x81;
     pub const FRAME_ACK: u8 = 0x82;
@@ -214,6 +218,8 @@ pub mod msg {
     pub const STATS_TEXT: u8 = 0x87;
     pub const PONG: u8 = 0x88;
     pub const SHUTTING_DOWN: u8 = 0x89;
+    pub const METRICS_TEXT: u8 = 0x8A;
+    pub const FLIGHT_TEXT: u8 = 0x8B;
     pub const ERROR: u8 = 0xFF;
 }
 
@@ -264,12 +270,15 @@ pub enum Request {
         csv: String,
     },
     /// Print a named frame: the always-on pass, with the client's
-    /// end-to-end deadline (0 = none) and per-tab chart cap.
+    /// end-to-end deadline (0 = none), per-tab chart cap, and a request
+    /// trace id (empty = server mints one) that attributes the server-side
+    /// pass trace, pass-summary log event, and any flight-recorder dump.
     Print {
         name: String,
         intent: String,
         deadline_ms: u64,
         per_tab: u32,
+        trace: String,
     },
     ListFrames,
     DropFrame {
@@ -280,6 +289,10 @@ pub enum Request {
     /// Administrative: ask the server to drain and exit (used by tests and
     /// the CLI's `serve --oneshot` teardown).
     Shutdown,
+    /// Prometheus text exposition of the server's `MetricsRegistry`.
+    Metrics,
+    /// Flight-recorder summary (recent passes + pinned anomalies).
+    Flight,
 }
 
 impl Request {
@@ -300,11 +313,13 @@ impl Request {
                 intent,
                 deadline_ms,
                 per_tab,
+                trace,
             } => {
                 put_str(&mut p, name);
                 put_str(&mut p, intent);
                 p.extend_from_slice(&deadline_ms.to_le_bytes());
                 p.extend_from_slice(&per_tab.to_le_bytes());
+                put_str(&mut p, trace);
                 (msg::PRINT, p)
             }
             Request::ListFrames => (msg::LIST_FRAMES, p),
@@ -315,6 +330,8 @@ impl Request {
             Request::Stats => (msg::STATS, p),
             Request::Ping => (msg::PING, p),
             Request::Shutdown => (msg::SHUTDOWN, p),
+            Request::Metrics => (msg::METRICS, p),
+            Request::Flight => (msg::FLIGHT, p),
         }
     }
 
@@ -334,12 +351,15 @@ impl Request {
                 intent: c.str()?,
                 deadline_ms: c.u64()?,
                 per_tab: c.u32()?,
+                trace: c.str()?,
             },
             msg::LIST_FRAMES => Request::ListFrames,
             msg::DROP_FRAME => Request::DropFrame { name: c.str()? },
             msg::STATS => Request::Stats,
             msg::PING => Request::Ping,
             msg::SHUTDOWN => Request::Shutdown,
+            msg::METRICS => Request::Metrics,
+            msg::FLIGHT => Request::Flight,
             t => return Err(format!("unknown request type 0x{t:02x}")),
         };
         c.finish()?;
@@ -364,9 +384,11 @@ pub enum Response {
         widget: Vec<u8>,
     },
     /// The pass was shed (admission or deadline); a well-formed outcome,
-    /// not an error.
+    /// not an error. `trace` echoes the request's trace id so the client can
+    /// correlate the shed with server-side telemetry.
     Busy {
         reason: String,
+        trace: String,
     },
     FrameList {
         names: Vec<String>,
@@ -379,9 +401,20 @@ pub enum Response {
     },
     Pong,
     ShuttingDown,
+    /// Prometheus text exposition (the `Metrics` op's response).
+    MetricsText {
+        text: String,
+    },
+    /// Flight-recorder rendering (the `Flight` op's response).
+    FlightText {
+        text: String,
+    },
+    /// `trace` echoes the failing request's trace id ("" when the request
+    /// never carried one, e.g. a protocol-level error).
     Error {
         code: ErrorCode,
         message: String,
+        trace: String,
     },
 }
 
@@ -408,8 +441,9 @@ impl Response {
                 (msg::FRAME_ACK, p)
             }
             Response::PrintResult { widget } => (msg::PRINT_RESULT, widget.clone()),
-            Response::Busy { reason } => {
+            Response::Busy { reason, trace } => {
                 put_str(&mut p, reason);
+                put_str(&mut p, trace);
                 (msg::BUSY, p)
             }
             Response::FrameList { names } => {
@@ -429,9 +463,22 @@ impl Response {
             }
             Response::Pong => (msg::PONG, p),
             Response::ShuttingDown => (msg::SHUTTING_DOWN, p),
-            Response::Error { code, message } => {
+            Response::MetricsText { text } => {
+                put_str(&mut p, text);
+                (msg::METRICS_TEXT, p)
+            }
+            Response::FlightText { text } => {
+                put_str(&mut p, text);
+                (msg::FLIGHT_TEXT, p)
+            }
+            Response::Error {
+                code,
+                message,
+                trace,
+            } => {
                 p.extend_from_slice(&(*code as u16).to_le_bytes());
                 put_str(&mut p, message);
+                put_str(&mut p, trace);
                 (msg::ERROR, p)
             }
         }
@@ -454,7 +501,10 @@ impl Response {
                     widget: payload.to_vec(),
                 })
             }
-            msg::BUSY => Response::Busy { reason: c.str()? },
+            msg::BUSY => Response::Busy {
+                reason: c.str()?,
+                trace: c.str()?,
+            },
             msg::FRAME_LIST => {
                 let n = c.u32()? as usize;
                 if n > payload.len() / 4 {
@@ -472,9 +522,12 @@ impl Response {
             msg::STATS_TEXT => Response::StatsText { text: c.str()? },
             msg::PONG => Response::Pong,
             msg::SHUTTING_DOWN => Response::ShuttingDown,
+            msg::METRICS_TEXT => Response::MetricsText { text: c.str()? },
+            msg::FLIGHT_TEXT => Response::FlightText { text: c.str()? },
             msg::ERROR => Response::Error {
                 code: ErrorCode::from_u16(c.u16()?),
                 message: c.str()?,
+                trace: c.str()?,
             },
             t => return Err(format!("unknown response type 0x{t:02x}")),
         };
@@ -694,6 +747,7 @@ mod tests {
                 intent: "a,b".into(),
                 deadline_ms: 250,
                 per_tab: 2,
+                trace: "cli-42".into(),
             },
             Request::ListFrames,
             Request::DropFrame {
@@ -702,6 +756,8 @@ mod tests {
             Request::Stats,
             Request::Ping,
             Request::Shutdown,
+            Request::Metrics,
+            Request::Flight,
         ];
         for req in cases {
             let (t, p) = req.encode();
@@ -726,6 +782,7 @@ mod tests {
             },
             Response::Busy {
                 reason: "engine busy".into(),
+                trace: "cli-42".into(),
             },
             Response::FrameList {
                 names: vec!["a".into(), "b".into()],
@@ -736,9 +793,16 @@ mod tests {
             },
             Response::Pong,
             Response::ShuttingDown,
+            Response::MetricsText {
+                text: "lux_prints 1\n".into(),
+            },
+            Response::FlightText {
+                text: "flight recorder: 0 recorded".into(),
+            },
             Response::Error {
                 code: ErrorCode::Draining,
                 message: "draining".into(),
+                trace: "cli-42".into(),
             },
         ];
         for resp in cases {

@@ -12,7 +12,7 @@ use std::path::{Path, PathBuf};
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
-use lux_core::{LuxDataFrame, PrintOptions, WireWidget};
+use lux_core::{LuxDataFrame, PrintOptions, SessionLogger, WireWidget};
 use lux_engine::sync::lock_recover;
 
 use crate::journal::{self, Journal, PutRecord};
@@ -47,13 +47,15 @@ impl FrameEntry {
     }
 
     /// Run one print pass against this frame with the client's intent,
-    /// deadline, and tenant identity.
+    /// deadline, tenant identity, and wire trace id (`""` = no request
+    /// context; the server mints one before calling here).
     pub fn print(
         &self,
         intent: &str,
         tenant: &str,
         deadline: Option<Duration>,
         per_tab: usize,
+        request_id: &str,
     ) -> Result<WireWidget, ReqError> {
         let mut st = lock_recover(&self.state);
         if st.1 != intent {
@@ -69,7 +71,8 @@ impl FrameEntry {
         }
         let opts = PrintOptions::default()
             .with_deadline(deadline)
-            .with_tenant(Some(tenant.to_string()));
+            .with_tenant(Some(tenant.to_string()))
+            .with_request_id((!request_id.is_empty()).then(|| request_id.to_string()));
         let widget = st.0.print_with(&opts);
         Ok(WireWidget::from_widget(&widget, per_tab.max(1)))
     }
@@ -87,13 +90,27 @@ pub struct Registry {
     data_dir: PathBuf,
     inner: Mutex<Inner>,
     journal: Mutex<Journal>,
+    /// Session logger attached to every engine frame so server-side print
+    /// passes emit attributable `Print`/`PassSummary` JSONL events.
+    logger: Option<Arc<SessionLogger>>,
 }
 
 impl Registry {
+    /// [`Registry::recover_with_logger`] without a logger (tests,
+    /// embeddings that do their own logging).
+    pub fn recover(data_dir: &Path) -> std::io::Result<(Registry, Vec<String>)> {
+        Self::recover_with_logger(data_dir, None)
+    }
+
     /// Open the registry over a data dir, replaying any existing journal.
     /// Returns the registry plus replay notes for the boot log (frames
-    /// recovered, journal lines skipped, spool files missing).
-    pub fn recover(data_dir: &Path) -> std::io::Result<(Registry, Vec<String>)> {
+    /// recovered, journal lines skipped, spool files missing). `logger` is
+    /// attached to every recovered and uploaded frame, so each print pass
+    /// logs its pass summary into the server's JSONL session log.
+    pub fn recover_with_logger(
+        data_dir: &Path,
+        logger: Option<Arc<SessionLogger>>,
+    ) -> std::io::Result<(Registry, Vec<String>)> {
         let replayed = journal::replay(data_dir);
         let mut notes = Vec::new();
         if replayed.skipped > 0 {
@@ -110,7 +127,11 @@ impl Registry {
             let path = data_dir.join(&rec.file);
             match lux_dataframe::csv::read_csv_path(&path) {
                 Ok(df) => {
-                    let entry = Arc::new(FrameEntry::new(LuxDataFrame::new(df), rec.file.clone()));
+                    let mut ldf = LuxDataFrame::new(df);
+                    if let Some(log) = &logger {
+                        ldf.attach_logger(Arc::clone(log));
+                    }
+                    let entry = Arc::new(FrameEntry::new(ldf, rec.file.clone()));
                     inner
                         .frames
                         .insert((rec.tenant.clone(), rec.name.clone()), entry);
@@ -136,6 +157,7 @@ impl Registry {
                 data_dir: data_dir.to_path_buf(),
                 inner: Mutex::new(inner),
                 journal: Mutex::new(journal),
+                logger,
             },
             notes,
         ))
@@ -183,7 +205,11 @@ impl Registry {
         // that is not already on disk.
         std::fs::write(&path, csv)
             .map_err(|e| (ErrorCode::Internal, format!("spool write failed: {e}")))?;
-        let entry = Arc::new(FrameEntry::new(LuxDataFrame::new(df), rel.clone()));
+        let mut ldf = LuxDataFrame::new(df);
+        if let Some(log) = &self.logger {
+            ldf.attach_logger(Arc::clone(log));
+        }
+        let entry = Arc::new(FrameEntry::new(ldf, rel.clone()));
         lock_recover(&self.journal).record_put(&PutRecord {
             tenant: tenant.to_string(),
             name: name.to_string(),
@@ -269,7 +295,7 @@ mod tests {
         assert_eq!(entry.cols, 3);
         assert_eq!(reg.list("t1"), vec!["cars".to_string()]);
         assert!(reg.list("t2").is_empty());
-        let w = entry.print("", "t1", None, 1).unwrap();
+        let w = entry.print("", "t1", None, 1, "").unwrap();
         assert_eq!(w.num_rows, 4);
         assert!(!w.was_shed());
         assert!(reg.drop_frame("t1", "cars"));
@@ -292,7 +318,7 @@ mod tests {
         assert_eq!(reg.tenant_count(), 1);
         assert!(notes.iter().any(|n| n.contains("recovered 1 frame(s)")));
         let entry = reg.get("t1", "cars").unwrap();
-        let w = entry.print("", "t1", None, 1).unwrap();
+        let w = entry.print("", "t1", None, 1, "").unwrap();
         assert_eq!(w.num_rows, 4);
         let _ = std::fs::remove_dir_all(&dir);
     }
@@ -315,9 +341,9 @@ mod tests {
         let dir = tmp_dir("intent");
         let (reg, _) = Registry::recover(&dir).unwrap();
         let entry = reg.put_frame("t1", "cars", CSV).unwrap();
-        let w = entry.print("mpg,hp", "t1", None, 1).unwrap();
+        let w = entry.print("mpg,hp", "t1", None, 1, "").unwrap();
         assert!(w.tabs.iter().any(|t| t == "Current Vis" || t == "Enhance"));
-        let err = entry.print("?bogus_type", "t1", None, 1).unwrap_err();
+        let err = entry.print("?bogus_type", "t1", None, 1, "").unwrap_err();
         assert_eq!(err.0, ErrorCode::BadData);
         let _ = std::fs::remove_dir_all(&dir);
     }

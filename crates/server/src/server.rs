@@ -50,6 +50,10 @@ pub struct ServerConfig {
     /// Connection cap; excess connections get a typed error and a close
     /// (`LUX_MAX_CONNS`).
     pub max_conns: usize,
+    /// Optional plaintext metrics exposition address (`LUX_METRICS_ADDR`):
+    /// a second listener serving the Prometheus text rendering of the
+    /// process `MetricsRegistry` over minimal HTTP. `None` = off.
+    pub metrics_addr: Option<String>,
 }
 
 impl Default for ServerConfig {
@@ -61,6 +65,7 @@ impl Default for ServerConfig {
             write_timeout: Duration::from_millis(10_000),
             drain_timeout: Duration::from_millis(5_000),
             max_conns: 256,
+            metrics_addr: None,
         }
     }
 }
@@ -92,6 +97,11 @@ impl ServerConfig {
         }
         if let Some(n) = envcfg::parse_usize("LUX_MAX_CONNS") {
             cfg.max_conns = n.max(1);
+        }
+        if let Ok(addr) = std::env::var("LUX_METRICS_ADDR") {
+            if !addr.trim().is_empty() {
+                cfg.metrics_addr = Some(addr.trim().to_string());
+            }
         }
         cfg
     }
@@ -241,16 +251,44 @@ pub struct Server {
     in_flight: Arc<AtomicUsize>,
     conns: Arc<AtomicUsize>,
     logger: Arc<SessionLogger>,
+    /// Bound metrics-exposition address, when `cfg.metrics_addr` was set.
+    metrics_addr: Option<String>,
 }
 
 impl Server {
     /// Bind the listener and recover session state from the journal.
     pub fn bind(cfg: ServerConfig) -> std::io::Result<Server> {
         failpoint::init();
-        let (registry, notes) = Registry::recover(&cfg.data_dir)?;
-        let (listener, local_addr) = Listener::bind(&cfg.addr)?;
+        // The data dir must exist before the logger opens its JSONL file in
+        // it — otherwise a fresh deployment silently degrades to an
+        // in-memory logger and loses request attribution.
+        std::fs::create_dir_all(&cfg.data_dir)?;
+        // Logger first: the registry attaches it to every frame so
+        // server-side passes emit attributable PassSummary JSONL events.
         let logger = SessionLogger::to_file(&cfg.data_dir.join("server.log.jsonl"))
             .unwrap_or_else(|_| SessionLogger::in_memory());
+        let (registry, notes) =
+            Registry::recover_with_logger(&cfg.data_dir, Some(Arc::clone(&logger)))?;
+        let (listener, local_addr) = Listener::bind(&cfg.addr)?;
+        // Anomalous passes dump their traces under the data dir unless
+        // LUX_FLIGHT_SPOOL already pointed the recorder elsewhere.
+        let flight = lux_engine::FlightRecorder::global();
+        if flight.enabled() && flight.spool().is_none() {
+            flight.set_spool(&cfg.data_dir.join("flight"));
+        }
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let metrics_addr = match &cfg.metrics_addr {
+            Some(addr) => {
+                let bound = crate::expose::spawn_metrics_listener(addr, Arc::clone(&shutdown))?;
+                logger.log(
+                    EventKind::Server,
+                    format!("metrics exposition on {bound}"),
+                    None,
+                );
+                Some(bound)
+            }
+            None => None,
+        };
         for w in envcfg::invalid_warnings() {
             logger.log(EventKind::ActionFault, w, None);
         }
@@ -267,17 +305,23 @@ impl Server {
             registry: Arc::new(registry),
             listener,
             local_addr,
-            shutdown: Arc::new(AtomicBool::new(false)),
+            shutdown,
             draining: Arc::new(AtomicBool::new(false)),
             in_flight: Arc::new(AtomicUsize::new(0)),
             conns: Arc::new(AtomicUsize::new(0)),
             logger,
+            metrics_addr,
         })
     }
 
     /// The bound address (resolves `:0` to the chosen port).
     pub fn local_addr(&self) -> &str {
         &self.local_addr
+    }
+
+    /// The bound metrics-exposition address (`None` when not enabled).
+    pub fn metrics_addr(&self) -> Option<&str> {
+        self.metrics_addr.as_deref()
     }
 
     /// Handle a test or embedding can use to request a drain.
@@ -351,6 +395,7 @@ impl Server {
             let (t, p) = Response::Error {
                 code: ErrorCode::Draining,
                 message: format!("connection limit {} reached", self.cfg.max_conns),
+                trace: String::new(),
             }
             .encode();
             let _ = write_frame(&mut conn, t, 0, &p);
@@ -419,6 +464,7 @@ fn handle_connection(conn: &mut Conn, ctx: &HandlerCtx) {
                 let resp = Response::Error {
                     code: ErrorCode::Protocol,
                     message: e.to_string(),
+                    trace: String::new(),
                 };
                 if !send(conn, 0, &resp, ctx) {
                     return;
@@ -458,6 +504,7 @@ fn handle_connection(conn: &mut Conn, ctx: &HandlerCtx) {
                 let resp = Response::Error {
                     code,
                     message: e.to_string(),
+                    trace: String::new(),
                 };
                 let _ = send(conn, 0, &resp, ctx);
                 return;
@@ -476,6 +523,7 @@ fn handle_connection(conn: &mut Conn, ctx: &HandlerCtx) {
                 let resp = Response::Error {
                     code: ErrorCode::Protocol,
                     message: msg,
+                    trace: String::new(),
                 };
                 if !send(conn, request_id, &resp, ctx) {
                     return;
@@ -521,8 +569,18 @@ fn send(conn: &mut Conn, request_id: u32, resp: &Response, ctx: &HandlerCtx) -> 
     }
 }
 
+/// Server-minted trace id sequence (used when a `Print` arrives with an
+/// empty trace id, so every pass is attributable even for old-style
+/// clients).
+static NEXT_TRACE: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(1);
+
+fn mint_trace_id() -> String {
+    format!("srv-{}", NEXT_TRACE.fetch_add(1, Ordering::Relaxed))
+}
+
 fn process(request: &Request, tenant: &mut Option<String>, ctx: &HandlerCtx) -> Response {
     let draining = ctx.draining.load(Ordering::SeqCst);
+    let no_trace = String::new;
     match request {
         Request::Hello { tenant: t } => match ctx.registry.register_tenant(t) {
             Ok(()) => {
@@ -532,11 +590,23 @@ fn process(request: &Request, tenant: &mut Option<String>, ctx: &HandlerCtx) -> 
                     draining,
                 }
             }
-            Err((code, message)) => Response::Error { code, message },
+            Err((code, message)) => Response::Error {
+                code,
+                message,
+                trace: no_trace(),
+            },
         },
         Request::Ping => Response::Pong,
         Request::Stats => Response::StatsText {
             text: stats_text(ctx),
+        },
+        // Observability ops stay answerable while draining (and before
+        // Hello): an operator diagnosing a drain needs them most.
+        Request::Metrics => Response::MetricsText {
+            text: MetricsRegistry::global().snapshot().prometheus_text(),
+        },
+        Request::Flight => Response::FlightText {
+            text: lux_engine::FlightRecorder::global().render_text(),
         },
         Request::Shutdown => {
             ctx.shutdown.store(true, Ordering::SeqCst);
@@ -544,15 +614,25 @@ fn process(request: &Request, tenant: &mut Option<String>, ctx: &HandlerCtx) -> 
         }
         // Everything below is real work: refused while draining, and
         // requires a Hello first.
+        Request::Print { trace, .. } if draining => Response::Error {
+            code: ErrorCode::Draining,
+            message: "server is draining for shutdown".to_string(),
+            trace: trace.clone(),
+        },
         _ if draining => Response::Error {
             code: ErrorCode::Draining,
             message: "server is draining for shutdown".to_string(),
+            trace: no_trace(),
         },
         _ => {
             let Some(tenant) = tenant.as_deref() else {
                 return Response::Error {
                     code: ErrorCode::Protocol,
                     message: "send Hello before frame operations".to_string(),
+                    trace: match request {
+                        Request::Print { trace, .. } => trace.clone(),
+                        _ => no_trace(),
+                    },
                 };
             };
             match request {
@@ -563,7 +643,11 @@ fn process(request: &Request, tenant: &mut Option<String>, ctx: &HandlerCtx) -> 
                             cols: entry.cols,
                             fingerprint: entry.fingerprint,
                         },
-                        Err((code, message)) => Response::Error { code, message },
+                        Err((code, message)) => Response::Error {
+                            code,
+                            message,
+                            trace: no_trace(),
+                        },
                     }
                 }
                 Request::Print {
@@ -571,24 +655,39 @@ fn process(request: &Request, tenant: &mut Option<String>, ctx: &HandlerCtx) -> 
                     intent,
                     deadline_ms,
                     per_tab,
+                    trace,
                 } => {
+                    // Client-supplied or server-minted: either way, every
+                    // response and every server-side artifact (root-span
+                    // tags, PassSummary JSONL, flight dumps) carries it.
+                    let trace_id = if trace.is_empty() {
+                        mint_trace_id()
+                    } else {
+                        trace.clone()
+                    };
                     let Some(entry) = ctx.registry.get(tenant, name) else {
                         return Response::Error {
                             code: ErrorCode::UnknownFrame,
                             message: format!("no frame named {name:?} for tenant {tenant:?}"),
+                            trace: trace_id,
                         };
                     };
                     let deadline = (*deadline_ms > 0).then(|| Duration::from_millis(*deadline_ms));
-                    match entry.print(intent, tenant, deadline, *per_tab as usize) {
+                    match entry.print(intent, tenant, deadline, *per_tab as usize, &trace_id) {
                         Ok(widget) if widget.was_shed() => Response::Busy {
                             reason: widget
                                 .shed_note
                                 .unwrap_or_else(|| "engine busy".to_string()),
+                            trace: trace_id,
                         },
                         Ok(widget) => Response::PrintResult {
                             widget: widget.encode(),
                         },
-                        Err((code, message)) => Response::Error { code, message },
+                        Err((code, message)) => Response::Error {
+                            code,
+                            message,
+                            trace: trace_id,
+                        },
                     }
                 }
                 Request::ListFrames => Response::FrameList {
@@ -597,10 +696,11 @@ fn process(request: &Request, tenant: &mut Option<String>, ctx: &HandlerCtx) -> 
                 Request::DropFrame { name } => Response::Dropped {
                     existed: ctx.registry.drop_frame(tenant, name),
                 },
-                // Hello/Ping/Stats/Shutdown handled above.
+                // Hello/Ping/Stats/Metrics/Flight/Shutdown handled above.
                 _ => Response::Error {
                     code: ErrorCode::Internal,
                     message: "unreachable request routing".to_string(),
+                    trace: no_trace(),
                 },
             }
         }

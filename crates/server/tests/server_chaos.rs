@@ -30,6 +30,7 @@ fn injected_faults_degrade_one_request_never_the_server() {
         write_timeout: Duration::from_millis(500),
         drain_timeout: Duration::from_millis(2_000),
         max_conns: 32,
+        metrics_addr: None,
     })
     .expect("bind");
     let addr = server.local_addr().to_string();

@@ -45,6 +45,7 @@ fn start_server(dir: &PathBuf) -> (String, Arc<AtomicBool>, std::thread::JoinHan
         write_timeout: Duration::from_millis(500),
         drain_timeout: Duration::from_millis(3_000),
         max_conns: 64,
+        metrics_addr: None,
     };
     let server = Server::bind(cfg).expect("bind");
     let addr = server.local_addr().to_string();
@@ -107,6 +108,7 @@ fn full_request_surface_roundtrips() {
         Response::Error {
             code: ErrorCode::Protocol,
             message,
+            ..
         } => assert!(message.contains("Hello"), "message: {message}"),
         other => panic!("unexpected response {other:?}"),
     }
@@ -129,7 +131,7 @@ fn deadline_propagates_to_server_pass() {
     // A 1ms deadline either sheds (deadline exhausted after the admission
     // wait) or — on a memo hit — returns instantly; both are well-formed.
     match c.print("big", "", 1, 1).unwrap() {
-        PrintOutcome::Busy(reason) => {
+        PrintOutcome::Busy { reason, .. } => {
             assert!(
                 reason.contains("deadline") || reason.contains("no slot"),
                 "reason: {reason}"
@@ -228,6 +230,7 @@ fn dead_client_mid_request_releases_admission_state() {
             intent: String::new(),
             deadline_ms: 0,
             per_tab: 1,
+            trace: String::new(),
         }
         .encode();
         protocol::write_frame(&mut raw, t, 2, &p).unwrap();
@@ -319,6 +322,7 @@ fn unix_socket_transport_works() {
         write_timeout: Duration::from_millis(500),
         drain_timeout: Duration::from_millis(2_000),
         max_conns: 8,
+        metrics_addr: None,
     };
     let server = Server::bind(cfg).expect("bind unix");
     let addr = server.local_addr().to_string();

@@ -16,6 +16,21 @@ cargo build --workspace --quiet
 echo "== cargo test --workspace"
 cargo test --workspace --quiet
 
+echo "== metric catalogue drift (trace::names vs scripts/metric_catalogue.txt)"
+# Every metric name constant in lux_engine::trace::names must be listed in
+# the committed catalogue (and vice versa) — a new metric cannot ship
+# without updating the catalogue, which is what DESIGN.md §12 and the CI
+# scrape check (scripts/scrape_check.sh) key off. Regenerate with:
+#   awk '/pub mod names/,/^}/' crates/engine/src/trace.rs \
+#     | grep -o '= "lux\.[a-z0-9._]*"' | sed 's/= "//; s/"//' | sort -u
+current=$(awk '/pub mod names/,/^}/' crates/engine/src/trace.rs \
+    | grep -o '= "lux\.[a-z0-9._]*"' | sed 's/= "//; s/"//' | sort -u)
+if ! diff -u scripts/metric_catalogue.txt <(printf '%s\n' "$current"); then
+    echo "error: metric catalogue drift — update scripts/metric_catalogue.txt (and DESIGN.md §12) to match trace::names"
+    exit 1
+fi
+echo "ok: $(wc -l < scripts/metric_catalogue.txt | tr -d ' ') catalogued metric names in sync"
+
 echo "== unwrap() lint (crates/{engine,recs,core}/src)"
 BASELINE=147
 count=$(grep -rho 'unwrap()' crates/engine/src crates/recs/src crates/core/src | wc -l | tr -d ' ')

@@ -63,6 +63,7 @@ fn thirty_two_clients_against_two_slots() {
         write_timeout: Duration::from_secs(5),
         drain_timeout: Duration::from_secs(3),
         max_conns: 64,
+        metrics_addr: None,
     })
     .expect("bind");
     let addr = server.local_addr().to_string();
@@ -96,7 +97,7 @@ fn thirty_two_clients_against_two_slots() {
                                 widgets += 1;
                             }
                         }
-                        PrintOutcome::Busy(reason) => {
+                        PrintOutcome::Busy { reason, .. } => {
                             assert!(!reason.is_empty(), "shed must carry a reason");
                             sheds += 1;
                         }
