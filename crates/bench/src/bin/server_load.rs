@@ -307,6 +307,18 @@ fn main() {
 
     shutdown.store(true, Ordering::SeqCst);
     server_thread.join().expect("server thread");
+
+    // Recovery benchmark: replay the journal the load run just wrote (one
+    // frame per tenant plus the churn of every re-upload, compacted or
+    // not) exactly as a restarted server would, and time it. Gated by
+    // bench_compare.sh so recovery cost stays visible.
+    let recover_started = Instant::now();
+    let (recovered_reg, _notes) =
+        lux_server::Registry::recover(&data_dir).expect("journal recovery");
+    let recovery_ms = recover_started.elapsed().as_secs_f64() * 1e3;
+    let recovered_frames = recovered_reg.frame_count();
+    drop(recovered_reg);
+    println!("\nrecovery: {recovered_frames} frame(s) replayed in {recovery_ms:.3} ms");
     let _ = std::fs::remove_dir_all(&data_dir);
 
     let mut rows_out: Vec<Vec<String>> = Vec::new();
@@ -336,7 +348,9 @@ fn main() {
         ]);
     }
     section.push_str(&format!(
-        "    ],\n    \"rows\": {rows},\n    \"columns\": {cols},\n    \"iterations\": {iters}\n  }}"
+        "    ],\n    \"recovery_ms\": {recovery_ms:.3},\n    \
+         \"recovered_frames\": {recovered_frames},\n    \
+         \"rows\": {rows},\n    \"columns\": {cols},\n    \"iterations\": {iters}\n  }}"
     ));
 
     print_table(

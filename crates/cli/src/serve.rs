@@ -12,7 +12,7 @@
 
 use std::time::Duration;
 
-use lux_server::{Client, PrintOutcome, Server, ServerConfig};
+use lux_server::{Client, ClientError, PrintOutcome, Server, ServerConfig};
 
 const CLIENT_TIMEOUT: Duration = Duration::from_secs(30);
 
@@ -54,9 +54,71 @@ pub fn run_serve(args: &[String]) -> i32 {
     }
 }
 
+/// Parse optional `[interval-ms] [rounds]` watch arguments (shared by the
+/// `top` and `flight` watch modes). `None` = bad arguments, reported.
+fn parse_watch_args(tail: &[String]) -> Option<(u64, u64)> {
+    let interval_ms = match tail.first().map(|s| s.parse::<u64>()) {
+        None => 1_000,
+        Some(Ok(v)) => v.max(50),
+        Some(Err(_)) => {
+            eprintln!("lux-client: bad interval {:?} (want milliseconds)", tail[0]);
+            return None;
+        }
+    };
+    let rounds = match tail.get(1).map(|s| s.parse::<u64>()) {
+        None => u64::MAX,
+        Some(Ok(v)) => v,
+        Some(Err(_)) => {
+            eprintln!("lux-client: bad round count {:?}", tail[1]);
+            return None;
+        }
+    };
+    Some((interval_ms, rounds))
+}
+
+/// A reconnecting watch loop: render every `interval_ms`, forever or for
+/// `rounds` iterations. A transport failure does not exit the watch — the
+/// client reconnects with backoff and the loop keeps going (a failed
+/// attempt counts as a round, so bounded runs always terminate). Only
+/// server-side typed errors end the loop.
+fn watch_loop(
+    label: &str,
+    addr: &str,
+    interval_ms: u64,
+    rounds: u64,
+    mut render: impl FnMut() -> Result<String, ClientError>,
+) -> Result<i32, ClientError> {
+    let mut round = 0u64;
+    loop {
+        round += 1;
+        match render() {
+            Ok(text) => {
+                if rounds == u64::MAX {
+                    // Redraw in place on an interactive watch; a bounded
+                    // run (scripts, tests) streams plainly.
+                    print!("\x1b[2J\x1b[H");
+                }
+                println!("{label}: {addr} (round {round})\n");
+                println!("{text}");
+            }
+            Err(e) if e.is_transport() => {
+                eprintln!("{label}: {e}; reconnecting...");
+            }
+            Err(e) => {
+                eprintln!("{label}: {e}");
+                return Err(e);
+            }
+        }
+        if round >= rounds {
+            return Ok(0);
+        }
+        std::thread::sleep(Duration::from_millis(interval_ms));
+    }
+}
+
 /// Run one client command; returns a process exit code.
 ///
-/// Commands: `ping`, `stats`, `metrics`, `flight`,
+/// Commands: `ping`, `stats`, `metrics`, `flight [interval-ms] [rounds]`,
 /// `top [interval-ms] [rounds]`, `shutdown`, `list <tenant>`,
 /// `put <tenant> <name> <csv-path>`, `drop <tenant> <name>`,
 /// `print <tenant> <name> [intent] [deadline-ms] [trace-id]`.
@@ -79,7 +141,7 @@ pub fn run_client(args: &[String]) -> i32 {
     };
     let cmd = rest[0].as_str();
     let args = &rest[1..];
-    let outcome: Result<i32, String> = match (cmd, args) {
+    let outcome: Result<i32, ClientError> = match (cmd, args) {
         ("ping", []) => client.ping().map(|()| {
             println!("pong");
             0
@@ -92,56 +154,31 @@ pub fn run_client(args: &[String]) -> i32 {
             print!("{s}");
             0
         }),
+        // `flight` — one-shot with no extra args, or a reconnecting watch
+        // of the flight recorder with `[interval-ms] [rounds]`.
         ("flight", []) => client.flight().map(|s| {
             println!("{s}");
             0
         }),
+        ("flight", tail) if tail.len() <= 2 => {
+            let Some((interval_ms, rounds)) = parse_watch_args(tail) else {
+                return 2;
+            };
+            watch_loop("lux-flight", addr, interval_ms, rounds, || client.flight())
+        }
         // `top` — a lux-top-style watch loop: redraw stats + the flight
         // recorder every `interval-ms` (default 1000), forever or for a
-        // bounded number of rounds (handy for scripts and tests).
+        // bounded number of rounds (handy for scripts and tests). Survives
+        // a server restart: the loop reconnects instead of exiting.
         ("top", tail) if tail.len() <= 2 => {
-            let interval_ms = match tail.first().map(|s| s.parse::<u64>()) {
-                None => 1_000,
-                Some(Ok(v)) => v.max(50),
-                Some(Err(_)) => {
-                    eprintln!("lux-client: bad interval {:?} (want milliseconds)", tail[0]);
-                    return 2;
-                }
+            let Some((interval_ms, rounds)) = parse_watch_args(tail) else {
+                return 2;
             };
-            let rounds = match tail.get(1).map(|s| s.parse::<u64>()) {
-                None => u64::MAX,
-                Some(Ok(v)) => v,
-                Some(Err(_)) => {
-                    eprintln!("lux-client: bad round count {:?}", tail[1]);
-                    return 2;
-                }
-            };
-            let mut round = 0u64;
-            loop {
-                let stats = client.stats();
-                let flight = client.flight();
-                match (stats, flight) {
-                    (Ok(s), Ok(f)) => {
-                        round += 1;
-                        if rounds == u64::MAX {
-                            // Redraw in place on an interactive watch; a
-                            // bounded run (scripts, tests) streams plainly.
-                            print!("\x1b[2J\x1b[H");
-                        }
-                        println!("lux-top: {addr} (round {round})\n");
-                        println!("{s}\n");
-                        println!("{f}");
-                    }
-                    (Err(e), _) | (_, Err(e)) => {
-                        eprintln!("lux-client: {e}");
-                        break Err(e);
-                    }
-                }
-                if round >= rounds {
-                    break Ok(0);
-                }
-                std::thread::sleep(Duration::from_millis(interval_ms));
-            }
+            watch_loop("lux-top", addr, interval_ms, rounds, || {
+                let s = client.stats()?;
+                let f = client.flight()?;
+                Ok(format!("{s}\n{f}"))
+            })
         }
         ("shutdown", []) => client.shutdown().map(|()| {
             println!("shutting down");
@@ -164,8 +201,17 @@ pub fn run_client(args: &[String]) -> i32 {
                 }
             };
             client.hello(tenant).and_then(|_| {
-                client.put_frame(name, &csv).map(|(rows, cols, fp)| {
-                    println!("stored {name}: {rows} rows x {cols} cols (fingerprint {fp:016x})");
+                client.put_frame_durable(name, &csv).map(|ack| {
+                    println!(
+                        "stored {name}: {} rows x {} cols (fingerprint {:016x}, journal seq {})",
+                        ack.rows, ack.cols, ack.fingerprint, ack.seq
+                    );
+                    if ack.seq == 0 {
+                        eprintln!(
+                            "lux-client: warning: server persistence is degraded; \
+                                   the frame is served from memory only"
+                        );
+                    }
                     0
                 })
             })

@@ -40,6 +40,13 @@ pub fn invalid_warnings() -> Vec<String> {
     lock_recover(warnings()).values().cloned().collect()
 }
 
+/// Report an invalid value discovered by caller-side validation (enum-like
+/// knobs that parse as strings but carry an unknown variant). Same
+/// warn-once, metric, and stats-surfacing behavior as a parse failure.
+pub fn invalid(name: &str, raw: &str, expected: &str) {
+    record_invalid(name, raw, expected);
+}
+
 /// Typed env read: `None` when unset, `Some(value)` when it parses, and
 /// `None` **plus a one-time warning** when set to something unparseable.
 pub fn parse<T: FromStr>(name: &str, expected: &str) -> Option<T> {

@@ -71,6 +71,20 @@ pub mod names {
     /// Session-journal append, before the line reaches the file (`return`
     /// degrades persistence; the request itself must still succeed).
     pub const SERVER_JOURNAL: &str = "server.journal";
+    /// Frame-spool write, before the CSV payload is written to its temp
+    /// file (`return` degrades persistence: the frame is served from
+    /// memory but not re-served after a restart).
+    pub const SERVER_SPOOL: &str = "server.spool";
+    /// Journal snapshot/compaction, before the snapshot temp file is
+    /// written (`return` fails the compaction — the journal keeps growing
+    /// and persistence degrades with a typed reason; `sleep` widens the
+    /// crash window the torture harness kills into).
+    pub const SERVER_SNAPSHOT: &str = "server.snapshot";
+    /// Durability fsync (journal line, spool file, or snapshot), before
+    /// the `sync_data` call (`return` simulates a disk that acknowledges
+    /// writes but fails to make them durable — under
+    /// `LUX_JOURNAL_FSYNC=always` this flips the degrade ladder).
+    pub const IO_FSYNC: &str = "io.fsync";
 
     /// Every compiled-in failpoint, for catalogue listings and tests.
     pub const ALL: &[&str] = &[
@@ -85,6 +99,9 @@ pub mod names {
         SERVER_READ,
         SERVER_WRITE,
         SERVER_JOURNAL,
+        SERVER_SPOOL,
+        SERVER_SNAPSHOT,
+        IO_FSYNC,
     ];
 }
 

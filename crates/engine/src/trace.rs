@@ -449,6 +449,17 @@ pub mod names {
     pub const SERVER_JOURNAL_REPLAYED_TENANTS: &str = "lux.server.journal.replayed_tenants";
     /// Counter: corrupt/torn journal lines skipped during replay.
     pub const SERVER_JOURNAL_SKIPPED_LINES: &str = "lux.server.journal.skipped_lines";
+    /// Counter: durability fsyncs issued (journal lines, spool files,
+    /// snapshots), governed by the `LUX_JOURNAL_FSYNC` policy.
+    pub const SERVER_JOURNAL_FSYNCS: &str = "lux.server.journal.fsyncs";
+    /// Counter: snapshot + truncate compaction cycles completed.
+    pub const SERVER_JOURNAL_COMPACTIONS: &str = "lux.server.journal.compactions";
+    /// Counter: spooled frames whose payload failed its recovery checksum
+    /// and were quarantined instead of served.
+    pub const SERVER_JOURNAL_QUARANTINED: &str = "lux.server.journal.quarantined_frames";
+    /// Counter: classified journal/spool/snapshot I/O errors (disk-full,
+    /// EIO, ...) — the events that flip the persistence degrade ladder.
+    pub const SERVER_JOURNAL_IO_ERRORS: &str = "lux.server.journal.io_errors";
     /// Counter: passes that finished after their client deadline (the
     /// deadline-miss SLO signal; sheds are counted separately).
     pub const DEADLINE_MISSES: &str = "lux.deadline.misses";

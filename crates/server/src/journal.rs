@@ -1,28 +1,78 @@
-//! The append-only session journal and its crash replay.
+//! Durable session state v2: a checksummed, sequence-numbered journal with
+//! an explicit fsync policy, snapshot + compaction, and spool integrity.
 //!
 //! Every mutation of server session state — tenant registration, named
-//! frame upload, frame drop — appends one JSONL line to
-//! `<data_dir>/journal.jsonl`; the CSV payload itself is spooled to
-//! `<data_dir>/frames/<tenant>/<name>.csv` before the journal line is
-//! written (write-ahead ordering: a journal entry never references a file
-//! that was not durably created first). On startup the server replays the
-//! journal: torn or corrupt lines (a crash mid-append) are skipped, `drop`
-//! entries erase earlier `put`s, and whatever survives is reloaded so a
-//! restarted server serves the same named frames as the one that died.
+//! frame upload, frame drop — appends one record to
+//! `<data_dir>/journal.jsonl`. A v2 record is a framed line
 //!
-//! Tenant and frame names are restricted to the wire-name alphabet
-//! ([`crate::protocol::valid_name`]), which makes both the JSON lines and
-//! the spool paths injection-safe without an escaping layer.
+//! ```text
+//! v2 <seq> <crc32-hex> <json>
+//! ```
+//!
+//! where the CRC-32 (IEEE) covers `<seq> <json>`, so a flipped bit anywhere
+//! in the sequence number or body is caught on replay, not served. The CSV
+//! payload itself is spooled to
+//! `<data_dir>/frames/<tenant>/<name>.<seq>.csv` *before* the journal line
+//! is written, via temp-file → fsync → rename, so write-ahead ordering is
+//! durable rather than merely buffered; versioning the file by sequence
+//! number means a same-name overwrite never touches the bytes the previous
+//! acked put promised (the old version is deleted only after the new put is
+//! journaled, and boot sweeps the orphans a crash leaves behind). The `put`
+//! record carries the payload's byte length and CRC-32, and recovery
+//! verifies both — a frame whose spool bytes no longer match is moved to
+//! `<data_dir>/quarantine/` and reported, never served.
+//!
+//! ## Fsync policy
+//!
+//! `LUX_JOURNAL_FSYNC` selects how hard an acknowledged mutation is:
+//!
+//! - `always` — `sync_data` after every journal append (an acked put
+//!   survives power loss),
+//! - `interval` (default) — `sync_data` at most every
+//!   `LUX_JOURNAL_FSYNC_MS` (50 ms) of appends (an acked put survives
+//!   `kill -9`, and at most the last interval is exposed to power loss),
+//! - `never` — `write` only (an acked put still survives `kill -9` — the
+//!   bytes are in the page cache — but not power loss).
+//!
+//! Spool files and snapshots are always fsynced before they are linked into
+//! place regardless of policy (`never` skips even those, for benchmarks).
+//!
+//! ## Snapshot + compaction
+//!
+//! The journal is no longer append-only forever: once it exceeds
+//! `LUX_JOURNAL_COMPACT_MB` (or `LUX_JOURNAL_COMPACT_LINES`), the live
+//! state is written to `snapshot.jsonl` — temp file, fsync, rename, so the
+//! snapshot is either the old one or complete — and only after the rename
+//! is durable is `journal.jsonl` truncated. Records keep their original
+//! sequence numbers through compaction, and the snapshot trailer pins
+//! `last_seq`; replay applies the snapshot first and then skips any journal
+//! record with `seq <= last_seq`, which makes a crash *between* the rename
+//! and the truncate harmless (the stale journal prefix is deduplicated by
+//! sequence number).
+//!
+//! ## Degradation ladder
+//!
+//! Journal, spool, and snapshot I/O errors are classified: transient kinds
+//! (`Interrupted`, `WouldBlock`, `TimedOut`) are retried once, everything
+//! else (disk-full, EIO, permissions) flips the sticky
+//! [`Journal::degraded`] state with a typed [`DegradeReason`]. The server
+//! keeps serving — it just stops promising durability, and says so in
+//! `stats` (`journal: degraded (...)`), in the `HelloAck` health flag, and
+//! in the `lux.server.journal.*` metrics.
 
 use std::collections::BTreeMap;
 use std::io::Write;
 use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
 
+use lux_engine::envcfg;
 use lux_engine::failpoint;
 use lux_engine::trace::{names as metric, MetricsRegistry};
 
-/// One replayed `put` record: where the frame's CSV lives and what shape it
-/// had when journaled.
+use crate::protocol::crc32;
+
+/// One replayed `put` record: where the frame's CSV lives, what shape it
+/// had when journaled, and the integrity facts recovery verifies.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PutRecord {
     pub tenant: String,
@@ -31,6 +81,17 @@ pub struct PutRecord {
     pub cols: u64,
     /// Spool path relative to the data dir.
     pub file: String,
+    /// Byte length of the spooled CSV payload (0 = legacy v1 record, not
+    /// verified).
+    pub len: u64,
+    /// CRC-32 of the spooled CSV payload (only meaningful when `len > 0`).
+    pub crc: u32,
+    /// Client idempotency token carried by the put (empty for legacy or
+    /// server-internal records). Lets a reconnecting client confirm that
+    /// an un-acked put was in fact applied.
+    pub token: String,
+    /// Journal sequence number assigned at append time (0 = legacy v1).
+    pub seq: u64,
 }
 
 /// The survivor state after a replay.
@@ -40,31 +101,251 @@ pub struct Replay {
     pub frames: Vec<PutRecord>,
     /// Torn or corrupt lines skipped (crash artifacts, not errors).
     pub skipped: usize,
+    /// Highest sequence number seen across snapshot + journal.
+    pub last_seq: u64,
+    /// Whether a snapshot participated in this replay.
+    pub from_snapshot: bool,
 }
 
-/// Appender over the journal file. All writes go through [`Journal::append`]
-/// so the `server.journal` failpoint can degrade persistence in one place.
+/// Why the journal stopped promising durability. Sticky: once set, only a
+/// restart clears it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DegradeReason {
+    /// A journal append failed (the mutation was served but not persisted).
+    Append(String),
+    /// A durability fsync failed (writes may sit in volatile caches).
+    Fsync(String),
+    /// A snapshot/compaction cycle failed (the journal keeps growing).
+    Compact(String),
+    /// A spool write failed (the frame is served from memory only).
+    Spool(String),
+}
+
+impl std::fmt::Display for DegradeReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DegradeReason::Append(e) => write!(f, "append failed: {e}"),
+            DegradeReason::Fsync(e) => write!(f, "fsync failed: {e}"),
+            DegradeReason::Compact(e) => write!(f, "compaction failed: {e}"),
+            DegradeReason::Spool(e) => write!(f, "spool write failed: {e}"),
+        }
+    }
+}
+
+/// How hard an acknowledged mutation is (see the module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FsyncPolicy {
+    Always,
+    Interval(Duration),
+    Never,
+}
+
+impl FsyncPolicy {
+    /// Parse `LUX_JOURNAL_FSYNC` / `LUX_JOURNAL_FSYNC_MS`; invalid values
+    /// warn once (via `envcfg`) and keep the default (`interval`, 50 ms).
+    pub fn from_env() -> FsyncPolicy {
+        let interval = Duration::from_millis(
+            envcfg::parse_u64("LUX_JOURNAL_FSYNC_MS")
+                .unwrap_or(50)
+                .max(1),
+        );
+        match envcfg::parse::<String>("LUX_JOURNAL_FSYNC", "one of always|interval|never")
+            .as_deref()
+        {
+            Some("always") => FsyncPolicy::Always,
+            Some("never") => FsyncPolicy::Never,
+            Some("interval") | None => FsyncPolicy::Interval(interval),
+            Some(other) => {
+                // envcfg::parse::<String> never fails, so surface the bad
+                // enum value through the same warn-once channel.
+                envcfg::invalid("LUX_JOURNAL_FSYNC", other, "one of always|interval|never");
+                FsyncPolicy::Interval(interval)
+            }
+        }
+    }
+
+    fn label(&self) -> &'static str {
+        match self {
+            FsyncPolicy::Always => "always",
+            FsyncPolicy::Interval(_) => "interval",
+            FsyncPolicy::Never => "never",
+        }
+    }
+}
+
+/// Journal tuning knobs, separable from the environment for tests.
+#[derive(Debug, Clone)]
+pub struct JournalConfig {
+    pub fsync: FsyncPolicy,
+    /// Compact once the journal file exceeds this many bytes.
+    pub compact_bytes: u64,
+    /// ... or this many records, whichever trips first.
+    pub compact_lines: u64,
+}
+
+impl Default for JournalConfig {
+    fn default() -> JournalConfig {
+        JournalConfig {
+            fsync: FsyncPolicy::Interval(Duration::from_millis(50)),
+            compact_bytes: 8 * 1024 * 1024,
+            compact_lines: 10_000,
+        }
+    }
+}
+
+impl JournalConfig {
+    /// Defaults overridden by `LUX_JOURNAL_FSYNC[_MS]`,
+    /// `LUX_JOURNAL_COMPACT_MB`, and `LUX_JOURNAL_COMPACT_LINES`.
+    pub fn from_env() -> JournalConfig {
+        let mut cfg = JournalConfig {
+            fsync: FsyncPolicy::from_env(),
+            ..JournalConfig::default()
+        };
+        if let Some(mb) = envcfg::parse_u64("LUX_JOURNAL_COMPACT_MB") {
+            cfg.compact_bytes = mb.max(1).saturating_mul(1024 * 1024);
+        }
+        if let Some(n) = envcfg::parse_u64("LUX_JOURNAL_COMPACT_LINES") {
+            cfg.compact_lines = n.max(16);
+        }
+        cfg
+    }
+}
+
+/// Classify an I/O error: transient kinds get one retry, everything else
+/// (disk-full, EIO, permissions, bad descriptors) flips the degrade ladder
+/// immediately.
+fn transient(e: &std::io::Error) -> bool {
+    matches!(
+        e.kind(),
+        std::io::ErrorKind::Interrupted
+            | std::io::ErrorKind::WouldBlock
+            | std::io::ErrorKind::TimedOut
+    )
+}
+
+/// Count a classified I/O error in the metric the alert rules key off.
+fn count_io_error() {
+    MetricsRegistry::global().incr(metric::SERVER_JOURNAL_IO_ERRORS);
+}
+
+/// fsync a file through the `io.fsync` failpoint; counts
+/// `lux.server.journal.fsyncs` on success.
+fn fsync_file(file: &std::fs::File) -> std::io::Result<()> {
+    if let Some(msg) = failpoint::hit(failpoint::names::IO_FSYNC) {
+        return Err(std::io::Error::other(format!(
+            "injected fsync failure: {msg}"
+        )));
+    }
+    file.sync_data()?;
+    MetricsRegistry::global().incr(metric::SERVER_JOURNAL_FSYNCS);
+    Ok(())
+}
+
+/// fsync a directory (making a rename within it durable). Best-effort on
+/// platforms where directories cannot be opened for sync.
+fn fsync_dir(dir: &Path) -> std::io::Result<()> {
+    match std::fs::File::open(dir) {
+        Ok(d) => fsync_file(&d),
+        Err(_) => Ok(()),
+    }
+}
+
+/// Durable spool write: temp file in the target directory, write, fsync
+/// (policy permitting), rename into place, fsync the directory. A crash at
+/// any instruction leaves either the old payload or the new one — never a
+/// torn file the journal already references.
+pub fn spool_write(path: &Path, bytes: &[u8], fsync: bool) -> std::io::Result<()> {
+    if let Some(msg) = failpoint::hit(failpoint::names::SERVER_SPOOL) {
+        return Err(std::io::Error::other(format!(
+            "injected spool failure: {msg}"
+        )));
+    }
+    let parent = path
+        .parent()
+        .ok_or_else(|| std::io::Error::other("spool path has no parent"))?;
+    std::fs::create_dir_all(parent)?;
+    let tmp = parent.join(format!(
+        ".{}.tmp",
+        path.file_name().and_then(|n| n.to_str()).unwrap_or("spool")
+    ));
+    {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(bytes)?;
+        if fsync {
+            fsync_file(&f)?;
+        }
+    }
+    std::fs::rename(&tmp, path)?;
+    if fsync {
+        fsync_dir(parent)?;
+    }
+    Ok(())
+}
+
+/// Move a spool file whose payload failed its recovery checksum into
+/// `<data_dir>/quarantine/`, returning the new location. The frame is
+/// reported and counted, never served.
+fn quarantine(data_dir: &Path, rec: &PutRecord) -> Option<PathBuf> {
+    let qdir = data_dir.join("quarantine");
+    std::fs::create_dir_all(&qdir).ok()?;
+    let dest = qdir.join(format!("{}_{}_seq{}.csv", rec.tenant, rec.name, rec.seq));
+    std::fs::rename(data_dir.join(&rec.file), &dest).ok()?;
+    Some(dest)
+}
+
+/// The live state a snapshot captures (what the registry holds in memory).
+#[derive(Debug, Default, Clone)]
+pub struct SnapshotState {
+    pub tenants: Vec<String>,
+    pub frames: Vec<PutRecord>,
+}
+
+/// Appender over the journal file. All writes go through
+/// [`Journal::append`] so the `server.journal` failpoint and the fsync
+/// policy act in one place.
 pub struct Journal {
+    data_dir: PathBuf,
     path: PathBuf,
     file: Option<std::fs::File>,
-    /// Set when an append failed (or the failpoint injected one); the
-    /// server keeps serving, it just stops promising durability.
-    degraded: bool,
+    cfg: JournalConfig,
+    /// Next sequence number to assign.
+    next_seq: u64,
+    /// Records and bytes in the current journal file (compaction inputs).
+    lines: u64,
+    bytes: u64,
+    /// Completed compaction cycles since open.
+    compactions: u64,
+    last_sync: Instant,
+    /// Appends since the last successful fsync (interval policy bookkeeping).
+    unsynced: u64,
+    /// Set when persistence degraded; sticky until restart.
+    degraded: Option<DegradeReason>,
 }
 
 impl Journal {
-    /// Open (creating if needed) the journal at `<data_dir>/journal.jsonl`.
-    pub fn open(data_dir: &Path) -> std::io::Result<Journal> {
+    /// Open (creating if needed) the journal at `<data_dir>/journal.jsonl`,
+    /// continuing the sequence numbering after `last_seq` (from
+    /// [`replay`]).
+    pub fn open(data_dir: &Path, cfg: JournalConfig, last_seq: u64) -> std::io::Result<Journal> {
         std::fs::create_dir_all(data_dir)?;
         let path = data_dir.join("journal.jsonl");
         let file = std::fs::OpenOptions::new()
             .create(true)
             .append(true)
             .open(&path)?;
+        let meta = file.metadata()?;
         Ok(Journal {
+            data_dir: data_dir.to_path_buf(),
             path,
             file: Some(file),
-            degraded: false,
+            cfg,
+            next_seq: last_seq + 1,
+            lines: 0,
+            bytes: meta.len(),
+            compactions: 0,
+            last_sync: Instant::now(),
+            unsynced: 0,
+            degraded: None,
         })
     }
 
@@ -72,99 +353,334 @@ impl Journal {
         &self.path
     }
 
-    /// Whether a journal append has failed since open.
-    pub fn degraded(&self) -> bool {
-        self.degraded
+    /// Whether persistence has degraded since open, and why.
+    pub fn degraded(&self) -> Option<&DegradeReason> {
+        self.degraded.as_ref()
     }
 
-    pub fn record_tenant(&mut self, tenant: &str) {
-        self.append(&format!("{{\"op\":\"tenant\",\"tenant\":\"{tenant}\"}}"));
+    /// One-line health summary for `stats`.
+    pub fn health_line(&self) -> String {
+        match &self.degraded {
+            Some(reason) => format!("degraded ({reason})"),
+            None => format!(
+                "ok (fsync={}, seq={}, compactions={})",
+                self.cfg.fsync.label(),
+                self.next_seq.saturating_sub(1),
+                self.compactions
+            ),
+        }
     }
 
-    pub fn record_put(&mut self, rec: &PutRecord) {
-        self.append(&format!(
-            "{{\"op\":\"put\",\"tenant\":\"{}\",\"name\":\"{}\",\"rows\":{},\"cols\":{},\"file\":\"{}\"}}",
-            rec.tenant, rec.name, rec.rows, rec.cols, rec.file
-        ));
+    /// The sequence number the next append will get.
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
     }
 
-    pub fn record_drop(&mut self, tenant: &str, name: &str) {
+    /// Whether the spool/snapshot layer should fsync under the current
+    /// policy (`never` opts benchmarks out of all durability syncs).
+    pub fn spool_fsync(&self) -> bool {
+        !matches!(self.cfg.fsync, FsyncPolicy::Never)
+    }
+
+    /// Record a degraded-persistence event originating outside the journal
+    /// file itself (spool writes). Counted as an I/O error — injected
+    /// failpoints included, since they stand in for exactly that.
+    pub fn mark_degraded(&mut self, reason: DegradeReason) {
+        count_io_error();
+        MetricsRegistry::global().incr(metric::SERVER_JOURNAL_FAILURES);
+        self.set_degraded(reason);
+    }
+
+    pub fn record_tenant(&mut self, tenant: &str) -> Option<u64> {
+        self.append(&format!("{{\"op\":\"tenant\",\"tenant\":\"{tenant}\"}}"))
+    }
+
+    /// Append a `put` record; returns its sequence number when it landed
+    /// durably enough for the active policy (`None` = persistence is
+    /// degraded and the caller should ack without promising durability).
+    pub fn record_put(&mut self, rec: &PutRecord) -> Option<u64> {
+        self.append(&put_body(rec))
+    }
+
+    pub fn record_drop(&mut self, tenant: &str, name: &str) -> Option<u64> {
         self.append(&format!(
             "{{\"op\":\"drop\",\"tenant\":\"{tenant}\",\"name\":\"{name}\"}}"
-        ));
+        ))
     }
 
-    fn append(&mut self, line: &str) {
+    /// Whether the journal has outgrown its compaction thresholds.
+    pub fn should_compact(&self) -> bool {
+        self.degraded.is_none()
+            && (self.bytes >= self.cfg.compact_bytes || self.lines >= self.cfg.compact_lines)
+    }
+
+    /// Snapshot + truncate compaction (see the module docs for the crash
+    /// windows). On failure the journal is left as it was and persistence
+    /// degrades with a `Compact` reason — the server keeps serving.
+    pub fn compact(&mut self, state: &SnapshotState) {
+        if let Err(e) = self.try_compact(state) {
+            count_io_error();
+            MetricsRegistry::global().incr(metric::SERVER_JOURNAL_FAILURES);
+            self.set_degraded(DegradeReason::Compact(e));
+            return;
+        }
+        self.compactions += 1;
+        MetricsRegistry::global().incr(metric::SERVER_JOURNAL_COMPACTIONS);
+    }
+
+    fn try_compact(&mut self, state: &SnapshotState) -> Result<(), String> {
+        if let Some(msg) = failpoint::hit(failpoint::names::SERVER_SNAPSHOT) {
+            return Err(format!("injected snapshot failure: {msg}"));
+        }
+        let last_seq = self.next_seq - 1;
+        let tmp = self.data_dir.join("snapshot.tmp");
+        {
+            let mut f = std::fs::File::create(&tmp).map_err(|e| e.to_string())?;
+            let mut body = String::new();
+            for t in &state.tenants {
+                // Snapshot records reuse seq 0 for tenants: idempotent,
+                // order-free registrations that never need dedup.
+                body.push_str(&frame_line(
+                    0,
+                    &format!("{{\"op\":\"tenant\",\"tenant\":\"{t}\"}}"),
+                ));
+            }
+            for rec in &state.frames {
+                body.push_str(&frame_line(rec.seq, &put_body(rec)));
+            }
+            // Trailer last: a snapshot without a trailer is torn and
+            // ignored by replay.
+            body.push_str(&frame_line(
+                last_seq,
+                &format!(
+                    "{{\"op\":\"snap_end\",\"last_seq\":{last_seq},\"frames\":{}}}",
+                    state.frames.len()
+                ),
+            ));
+            f.write_all(body.as_bytes()).map_err(|e| e.to_string())?;
+            if self.spool_fsync() {
+                fsync_file(&f).map_err(|e| e.to_string())?;
+            }
+        }
+        std::fs::rename(&tmp, self.data_dir.join("snapshot.jsonl")).map_err(|e| e.to_string())?;
+        if self.spool_fsync() {
+            fsync_dir(&self.data_dir).map_err(|e| e.to_string())?;
+        }
+        // Only now — with the snapshot durable — may the journal shrink.
+        let sync = self.spool_fsync();
+        let file = self.file.as_mut().ok_or("journal file lost")?;
+        file.set_len(0).map_err(|e| e.to_string())?;
+        if sync {
+            fsync_file(file).map_err(|e| e.to_string())?;
+        }
+        self.lines = 0;
+        self.bytes = 0;
+        self.unsynced = 0;
+        Ok(())
+    }
+
+    /// Append one record body with the v2 framing; applies the fsync
+    /// policy. Returns the assigned sequence number, or `None` once
+    /// degraded (the caller serves the mutation without the durability
+    /// promise).
+    fn append(&mut self, body: &str) -> Option<u64> {
         // Failpoint: injected journal failure degrades persistence only —
         // the request that triggered the append must still succeed.
-        if failpoint::hit(failpoint::names::SERVER_JOURNAL).is_some() {
-            self.mark_degraded();
-            return;
+        if let Some(msg) = failpoint::hit(failpoint::names::SERVER_JOURNAL) {
+            MetricsRegistry::global().incr(metric::SERVER_JOURNAL_FAILURES);
+            self.set_degraded(DegradeReason::Append(format!("injected: {msg}")));
+            return None;
         }
+        let seq = self.next_seq;
+        let line = frame_line(seq, body);
         let Some(file) = self.file.as_mut() else {
-            self.mark_degraded();
-            return;
+            MetricsRegistry::global().incr(metric::SERVER_JOURNAL_FAILURES);
+            self.set_degraded(DegradeReason::Append("journal file lost".to_string()));
+            return None;
         };
-        let ok = file
-            .write_all(line.as_bytes())
-            .and_then(|_| file.write_all(b"\n"))
-            .and_then(|_| file.flush());
-        if ok.is_err() {
-            self.mark_degraded();
-        } else {
-            MetricsRegistry::global().incr(metric::SERVER_JOURNAL_APPENDS);
+        let mut write = || file.write_all(line.as_bytes());
+        let result = match write() {
+            Err(e) if transient(&e) => write(),
+            other => other,
+        };
+        if let Err(e) = result {
+            count_io_error();
+            MetricsRegistry::global().incr(metric::SERVER_JOURNAL_FAILURES);
+            self.set_degraded(DegradeReason::Append(e.to_string()));
+            return None;
         }
+        self.next_seq += 1;
+        self.lines += 1;
+        self.bytes += line.len() as u64;
+        self.unsynced += 1;
+        MetricsRegistry::global().incr(metric::SERVER_JOURNAL_APPENDS);
+        let need_sync = match self.cfg.fsync {
+            FsyncPolicy::Always => true,
+            FsyncPolicy::Interval(d) => self.last_sync.elapsed() >= d,
+            FsyncPolicy::Never => false,
+        };
+        if need_sync {
+            // The write above proved the handle exists, but stay typed
+            // rather than panic if that ever stops holding.
+            let Some(file) = self.file.as_ref() else {
+                self.set_degraded(DegradeReason::Fsync("journal file lost".to_string()));
+                return None;
+            };
+            let result = match fsync_file(file) {
+                Err(e) if transient(&e) => fsync_file(file),
+                other => other,
+            };
+            match result {
+                Ok(()) => {
+                    self.last_sync = Instant::now();
+                    self.unsynced = 0;
+                }
+                Err(e) => {
+                    count_io_error();
+                    MetricsRegistry::global().incr(metric::SERVER_JOURNAL_FAILURES);
+                    self.set_degraded(DegradeReason::Fsync(e.to_string()));
+                    return None;
+                }
+            }
+        }
+        Some(seq)
     }
 
-    /// Record a failed append: the sticky degraded flag, a failure count,
-    /// and the 0/1 `lux.server.journal.degraded` high-water gauge scrapers
-    /// alert on.
-    fn mark_degraded(&mut self) {
-        self.degraded = true;
-        let metrics = MetricsRegistry::global();
-        metrics.incr(metric::SERVER_JOURNAL_FAILURES);
-        metrics
+    fn set_degraded(&mut self, reason: DegradeReason) {
+        if self.degraded.is_none() {
+            self.degraded = Some(reason);
+        }
+        MetricsRegistry::global()
             .counter_handle(metric::SERVER_JOURNAL_DEGRADED)
             .store(1, std::sync::atomic::Ordering::Relaxed);
     }
 }
 
-/// Replay the journal at `<data_dir>/journal.jsonl`. A missing journal is
-/// an empty replay, not an error. Lines that fail to parse — the torn tail
-/// a crash mid-append leaves behind, or any other corruption — are counted
-/// and skipped; replay never fails the boot.
+/// Serialize a put body (shared by live appends and snapshot writes).
+fn put_body(rec: &PutRecord) -> String {
+    format!(
+        "{{\"op\":\"put\",\"tenant\":\"{}\",\"name\":\"{}\",\"rows\":{},\"cols\":{},\
+         \"file\":\"{}\",\"len\":{},\"crc\":{},\"token\":\"{}\"}}",
+        rec.tenant, rec.name, rec.rows, rec.cols, rec.file, rec.len, rec.crc, rec.token
+    )
+}
+
+/// Frame one record body with the v2 header: `v2 <seq> <crc32-hex> <json>\n`,
+/// CRC over `<seq> <json>`.
+fn frame_line(seq: u64, body: &str) -> String {
+    let covered = format!("{seq} {body}");
+    format!("v2 {} {:08x} {}\n", seq, crc32(covered.as_bytes()), body)
+}
+
+/// Parse one v2 or legacy line into `(seq, op)`. `None` = corrupt.
+fn parse_framed(line: &str) -> Option<(u64, Op)> {
+    if let Some(rest) = line.strip_prefix("v2 ") {
+        let (seq_s, rest) = rest.split_once(' ')?;
+        let (crc_s, body) = rest.split_once(' ')?;
+        let seq: u64 = seq_s.parse().ok()?;
+        let expected = u32::from_str_radix(crc_s, 16).ok()?;
+        let covered = format!("{seq} {body}");
+        if crc32(covered.as_bytes()) != expected {
+            return None;
+        }
+        Some((seq, parse_body(body)?))
+    } else {
+        // Legacy v1 line: plain JSON, no seq, no checksum. Accepted so an
+        // upgraded server replays journals written before v2.
+        Some((0, parse_body(line)?))
+    }
+}
+
+/// Replay `<data_dir>`: snapshot first (if any), then the journal, skipping
+/// journal records already covered by the snapshot (`seq <= last_seq`,
+/// which deduplicates the stale prefix a crash between snapshot-rename and
+/// journal-truncate leaves behind). A missing journal is an empty replay,
+/// not an error; corrupt lines are counted and skipped; replay never fails
+/// the boot.
 pub fn replay(data_dir: &Path) -> Replay {
-    let path = data_dir.join("journal.jsonl");
-    let Ok(text) = std::fs::read_to_string(&path) else {
-        return Replay::default();
-    };
     let mut tenants: Vec<String> = Vec::new();
     let mut frames: BTreeMap<(String, String), PutRecord> = BTreeMap::new();
     let mut skipped = 0usize;
-    for line in text.lines() {
-        let line = line.trim();
-        if line.is_empty() {
-            continue;
-        }
-        match parse_line(line) {
-            Some(Op::Tenant { tenant }) => {
-                if !tenants.contains(&tenant) {
-                    tenants.push(tenant);
+    let mut last_seq = 0u64;
+    let mut snapshot_floor = 0u64;
+    let mut from_snapshot = false;
+
+    // Phase 1 — snapshot. Only trusted when its trailer survives: a torn
+    // or trailerless snapshot is ignored wholesale (the journal it was
+    // compacted from is gone, but a snapshot.jsonl only exists after a
+    // durable rename, so this is bit-rot territory, handled by quarantine
+    // and skip counts rather than a refused boot).
+    let snap_path = data_dir.join("snapshot.jsonl");
+    if let Ok(text) = std::fs::read_to_string(&snap_path) {
+        let mut snap_tenants = Vec::new();
+        let mut snap_frames = BTreeMap::new();
+        let mut snap_skipped = 0usize;
+        let mut trailer: Option<u64> = None;
+        for line in text.lines().map(str::trim).filter(|l| !l.is_empty()) {
+            match parse_framed(line) {
+                Some((_, Op::Tenant { tenant })) => {
+                    if !snap_tenants.contains(&tenant) {
+                        snap_tenants.push(tenant);
+                    }
                 }
+                Some((seq, Op::Put(mut rec))) => {
+                    rec.seq = seq;
+                    snap_frames.insert((rec.tenant.clone(), rec.name.clone()), rec);
+                }
+                Some((_, Op::Drop { .. })) => {} // snapshots hold live state only
+                Some((_, Op::SnapEnd { last_seq })) => trailer = Some(last_seq),
+                None => snap_skipped += 1,
             }
-            Some(Op::Put(rec)) => {
-                frames.insert((rec.tenant.clone(), rec.name.clone()), rec);
-            }
-            Some(Op::Drop { tenant, name }) => {
-                frames.remove(&(tenant, name));
-            }
-            None => skipped += 1,
+        }
+        if let Some(seq_floor) = trailer {
+            tenants = snap_tenants;
+            frames = snap_frames;
+            skipped += snap_skipped;
+            snapshot_floor = seq_floor;
+            last_seq = seq_floor;
+            from_snapshot = true;
+        } else {
+            skipped += snap_skipped.max(1); // torn snapshot counts as skipped
         }
     }
+
+    // Phase 2 — the journal on top.
+    let path = data_dir.join("journal.jsonl");
+    if let Ok(text) = std::fs::read_to_string(&path) {
+        for line in text.lines().map(str::trim).filter(|l| !l.is_empty()) {
+            match parse_framed(line) {
+                Some((seq, op)) => {
+                    if seq != 0 && seq <= snapshot_floor {
+                        continue; // stale prefix predating the snapshot
+                    }
+                    last_seq = last_seq.max(seq);
+                    match op {
+                        Op::Tenant { tenant } => {
+                            if !tenants.contains(&tenant) {
+                                tenants.push(tenant);
+                            }
+                        }
+                        Op::Put(mut rec) => {
+                            rec.seq = seq;
+                            frames.insert((rec.tenant.clone(), rec.name.clone()), rec);
+                        }
+                        Op::Drop { tenant, name } => {
+                            frames.remove(&(tenant, name));
+                        }
+                        Op::SnapEnd { .. } => {} // never journaled; tolerate
+                    }
+                }
+                None => skipped += 1,
+            }
+        }
+    }
+
     let replay = Replay {
         tenants,
         frames: frames.into_values().collect(),
         skipped,
+        last_seq,
+        from_snapshot,
     };
     let metrics = MetricsRegistry::global();
     metrics.add(
@@ -179,17 +695,51 @@ pub fn replay(data_dir: &Path) -> Replay {
     replay
 }
 
+/// Verify a replayed put's spool payload against the journaled length and
+/// checksum. `Ok(bytes)` means the exact acked payload; `Err` carries a
+/// human reason and has already quarantined the file (when possible) and
+/// counted `lux.server.journal.quarantined_frames`.
+pub fn verify_spool(data_dir: &Path, rec: &PutRecord) -> Result<Vec<u8>, String> {
+    let path = data_dir.join(&rec.file);
+    let bytes = std::fs::read(&path).map_err(|e| format!("spool read failed ({e})"))?;
+    // Legacy records (len 0) predate payload checksums: parseability is
+    // their only gate, as before v2.
+    if rec.len > 0 {
+        if bytes.len() as u64 != rec.len {
+            let where_ = quarantine(data_dir, rec);
+            MetricsRegistry::global().incr(metric::SERVER_JOURNAL_QUARANTINED);
+            return Err(format!(
+                "spool length {} != journaled {} (quarantined to {:?})",
+                bytes.len(),
+                rec.len,
+                where_
+            ));
+        }
+        let actual = crc32(&bytes);
+        if actual != rec.crc {
+            let where_ = quarantine(data_dir, rec);
+            MetricsRegistry::global().incr(metric::SERVER_JOURNAL_QUARANTINED);
+            return Err(format!(
+                "spool crc {:08x} != journaled {:08x} (quarantined to {:?})",
+                actual, rec.crc, where_
+            ));
+        }
+    }
+    Ok(bytes)
+}
+
 enum Op {
     Tenant { tenant: String },
     Put(PutRecord),
     Drop { tenant: String, name: String },
+    SnapEnd { last_seq: u64 },
 }
 
-/// Parse one journal line. The journal only ever contains lines this
+/// Parse one record body. The journal only ever contains bodies this
 /// module wrote (flat objects, names in the safe alphabet), so a focused
 /// field extractor is sufficient — anything it cannot read is treated as
 /// corruption and skipped by the caller.
-fn parse_line(line: &str) -> Option<Op> {
+fn parse_body(line: &str) -> Option<Op> {
     if !line.starts_with('{') || !line.ends_with('}') {
         return None;
     }
@@ -204,10 +754,17 @@ fn parse_line(line: &str) -> Option<Op> {
             rows: u64_field(line, "rows")?,
             cols: u64_field(line, "cols")?,
             file: str_field(line, "file")?,
+            len: u64_field(line, "len").unwrap_or(0),
+            crc: u64_field(line, "crc").unwrap_or(0) as u32,
+            token: str_field(line, "token").unwrap_or_default(),
+            seq: 0,
         })),
         "drop" => Some(Op::Drop {
             tenant: str_field(line, "tenant")?,
             name: str_field(line, "name")?,
+        }),
+        "snap_end" => Some(Op::SnapEnd {
+            last_seq: u64_field(line, "last_seq")?,
         }),
         _ => None,
     }
@@ -230,11 +787,48 @@ fn u64_field(line: &str, key: &str) -> Option<u64> {
     digits.parse().ok()
 }
 
-/// The spool path (relative to the data dir) for a tenant's named frame.
-/// Both components are wire-validated names, so the path cannot escape the
-/// spool directory.
-pub fn spool_rel_path(tenant: &str, name: &str) -> String {
-    format!("frames/{tenant}/{name}.csv")
+/// The spool path (relative to the data dir) for a tenant's named frame at
+/// a given journal sequence number. Versioning the file by `seq` is what
+/// makes overwrites crash-safe: a newer put for the same name spools to a
+/// *different* file, so a crash between its spool rename and its journal
+/// append can never clobber the bytes the last *acked* put promised.
+/// Sequence numbers contain no dots, so distinct `(name, seq)` pairs can
+/// never collide even though names may contain dots. Both name components
+/// are wire-validated, so the path cannot escape the spool directory.
+pub fn spool_rel_path(tenant: &str, name: &str, seq: u64) -> String {
+    format!("frames/{tenant}/{name}.{seq}.csv")
+}
+
+/// Remove spool files no journal record references (boot-time sweep).
+/// Orphans are a normal crash artifact: a put that spooled its payload but
+/// died before its journal append, or a put acked under degraded
+/// persistence. `referenced` holds data-dir-relative paths that must
+/// survive — every replayed record's file, recovered or not (a CRC-valid
+/// file whose CSV no longer parses is kept as evidence, not deleted).
+pub fn sweep_orphan_spools(
+    data_dir: &Path,
+    referenced: &std::collections::BTreeSet<String>,
+) -> usize {
+    let frames = data_dir.join("frames");
+    let mut removed = 0usize;
+    let Ok(tenants) = std::fs::read_dir(&frames) else {
+        return 0;
+    };
+    for tenant in tenants.flatten() {
+        let Ok(files) = std::fs::read_dir(tenant.path()) else {
+            continue;
+        };
+        for f in files.flatten() {
+            let rel = match (tenant.file_name().to_str(), f.file_name().to_str()) {
+                (Some(t), Some(n)) => format!("frames/{t}/{n}"),
+                _ => continue,
+            };
+            if !referenced.contains(&rel) && std::fs::remove_file(f.path()).is_ok() {
+                removed += 1;
+            }
+        }
+    }
+    removed
 }
 
 #[cfg(test)]
@@ -248,25 +842,31 @@ mod tests {
         dir
     }
 
+    fn put(tenant: &str, name: &str, rows: u64) -> PutRecord {
+        PutRecord {
+            tenant: tenant.into(),
+            name: name.into(),
+            rows,
+            cols: 3,
+            file: spool_rel_path(tenant, name, 0),
+            len: 0,
+            crc: 0,
+            token: String::new(),
+            seq: 0,
+        }
+    }
+
+    fn open(dir: &Path) -> Journal {
+        Journal::open(dir, JournalConfig::default(), replay(dir).last_seq).unwrap()
+    }
+
     #[test]
     fn replay_applies_puts_and_drops() {
         let dir = tmp_dir("basic");
-        let mut j = Journal::open(&dir).unwrap();
+        let mut j = open(&dir);
         j.record_tenant("t1");
-        j.record_put(&PutRecord {
-            tenant: "t1".into(),
-            name: "cars".into(),
-            rows: 10,
-            cols: 3,
-            file: spool_rel_path("t1", "cars"),
-        });
-        j.record_put(&PutRecord {
-            tenant: "t1".into(),
-            name: "trips".into(),
-            rows: 5,
-            cols: 2,
-            file: spool_rel_path("t1", "trips"),
-        });
+        j.record_put(&put("t1", "cars", 10));
+        j.record_put(&put("t1", "trips", 5));
         j.record_drop("t1", "trips");
         drop(j);
         let r = replay(&dir);
@@ -275,20 +875,15 @@ mod tests {
         assert_eq!(r.frames[0].name, "cars");
         assert_eq!(r.frames[0].rows, 10);
         assert_eq!(r.skipped, 0);
+        assert_eq!(r.last_seq, 4);
         let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]
     fn torn_tail_is_skipped_not_fatal() {
         let dir = tmp_dir("torn");
-        let mut j = Journal::open(&dir).unwrap();
-        j.record_put(&PutRecord {
-            tenant: "t1".into(),
-            name: "cars".into(),
-            rows: 10,
-            cols: 3,
-            file: spool_rel_path("t1", "cars"),
-        });
+        let mut j = open(&dir);
+        j.record_put(&put("t1", "cars", 10));
         drop(j);
         // Simulate a crash mid-append: a torn half-line at the tail.
         let path = dir.join("journal.jsonl");
@@ -296,11 +891,31 @@ mod tests {
             .append(true)
             .open(&path)
             .unwrap();
-        f.write_all(b"{\"op\":\"put\",\"tenant\":\"t1\",\"na")
+        f.write_all(b"v2 9 00000000 {\"op\":\"put\",\"tenant\":\"t1\",\"na")
             .unwrap();
         drop(f);
         let r = replay(&dir);
         assert_eq!(r.frames.len(), 1);
+        assert_eq!(r.skipped, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn bit_flip_in_record_is_caught_by_crc() {
+        let dir = tmp_dir("bitflip");
+        let mut j = open(&dir);
+        j.record_put(&put("t1", "cars", 10));
+        j.record_put(&put("t1", "trips", 5));
+        drop(j);
+        let path = dir.join("journal.jsonl");
+        let mut bytes = std::fs::read(&path).unwrap();
+        // Flip a bit inside the *body* of the first record (row count).
+        let pos = bytes.iter().position(|&b| b == b'1').unwrap();
+        bytes[pos] ^= 0x02;
+        std::fs::write(&path, &bytes).unwrap();
+        let r = replay(&dir);
+        assert_eq!(r.frames.len(), 1, "corrupt record must be dropped");
+        assert_eq!(r.frames[0].name, "trips");
         assert_eq!(r.skipped, 1);
         let _ = std::fs::remove_dir_all(&dir);
     }
@@ -314,18 +929,179 @@ mod tests {
     }
 
     #[test]
+    fn legacy_v1_lines_still_replay() {
+        let dir = tmp_dir("legacy");
+        std::fs::write(
+            dir.join("journal.jsonl"),
+            "{\"op\":\"tenant\",\"tenant\":\"t1\"}\n\
+             {\"op\":\"put\",\"tenant\":\"t1\",\"name\":\"cars\",\"rows\":10,\"cols\":3,\"file\":\"frames/t1/cars.csv\"}\n",
+        )
+        .unwrap();
+        let r = replay(&dir);
+        assert_eq!(r.tenants, vec!["t1".to_string()]);
+        assert_eq!(r.frames.len(), 1);
+        assert_eq!(r.frames[0].len, 0, "legacy records carry no checksum");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
     fn journal_failpoint_degrades_but_does_not_fail() {
         let dir = tmp_dir("failpoint");
-        let mut j = Journal::open(&dir).unwrap();
+        let mut j = open(&dir);
         lux_engine::failpoint::cfg(lux_engine::failpoint::names::SERVER_JOURNAL, "1*return")
             .unwrap();
-        j.record_tenant("t1"); // swallowed by the failpoint
-        assert!(j.degraded());
-        j.record_tenant("t2"); // lands normally
+        assert_eq!(j.record_tenant("t1"), None); // swallowed by the failpoint
+        assert!(matches!(j.degraded(), Some(DegradeReason::Append(_))));
+        j.record_tenant("t2"); // lands normally (flag stays sticky)
+        assert!(j.degraded().is_some());
         drop(j);
         lux_engine::failpoint::remove(lux_engine::failpoint::names::SERVER_JOURNAL);
         let r = replay(&dir);
         assert_eq!(r.tenants, vec!["t2".to_string()]);
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fsync_failpoint_degrades_under_always_policy() {
+        let dir = tmp_dir("fsyncfail");
+        let cfg = JournalConfig {
+            fsync: FsyncPolicy::Always,
+            ..JournalConfig::default()
+        };
+        let mut j = Journal::open(&dir, cfg, 0).unwrap();
+        lux_engine::failpoint::cfg(lux_engine::failpoint::names::IO_FSYNC, "2*return").unwrap();
+        assert_eq!(j.record_tenant("t1"), None);
+        assert!(matches!(j.degraded(), Some(DegradeReason::Fsync(_))));
+        lux_engine::failpoint::remove(lux_engine::failpoint::names::IO_FSYNC);
+        // The line itself was written before the failed fsync — replay
+        // still sees it; only the durability *promise* was withdrawn.
+        drop(j);
+        let r = replay(&dir);
+        assert_eq!(r.tenants, vec!["t1".to_string()]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn compaction_snapshots_and_truncates() {
+        let dir = tmp_dir("compact");
+        let cfg = JournalConfig {
+            compact_lines: 16,
+            ..JournalConfig::default()
+        };
+        let mut j = Journal::open(&dir, cfg, 0).unwrap();
+        let mut live: Vec<PutRecord> = Vec::new();
+        for i in 0..20 {
+            let name = format!("f{}", i % 4);
+            let mut rec = put("t1", &name, i);
+            rec.seq = j.record_put(&rec).unwrap();
+            live.retain(|r| r.name != name);
+            live.push(rec);
+        }
+        assert!(j.should_compact());
+        let state = SnapshotState {
+            tenants: vec!["t1".to_string()],
+            frames: live.clone(),
+        };
+        j.compact(&state);
+        assert!(j.degraded().is_none());
+        assert!(dir.join("snapshot.jsonl").exists());
+        assert_eq!(std::fs::metadata(j.path()).unwrap().len(), 0);
+        // Post-compaction appends and the snapshot replay compose.
+        j.record_drop("t1", "f0");
+        drop(j);
+        let r = replay(&dir);
+        assert!(r.from_snapshot);
+        assert_eq!(r.frames.len(), 3);
+        assert!(r.frames.iter().all(|f| f.name != "f0"));
+        // The newest put of each name survived.
+        assert!(r.frames.iter().any(|f| f.name == "f3" && f.rows == 19));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stale_journal_prefix_after_snapshot_is_deduped() {
+        // Crash window: snapshot renamed durable, journal NOT yet
+        // truncated. Replay must not resurrect dropped frames from the
+        // stale prefix.
+        let dir = tmp_dir("stale");
+        let cfg = JournalConfig::default();
+        let mut j = Journal::open(&dir, cfg, 0).unwrap();
+        let mut rec = put("t1", "cars", 10);
+        rec.seq = j.record_put(&rec).unwrap();
+        let seq_gone = j.record_put(&put("t1", "gone", 5)).unwrap();
+        assert!(seq_gone > 0);
+        j.record_drop("t1", "gone");
+        // Snapshot current state (cars only), then *skip* the truncate by
+        // writing the snapshot by hand with the same framing.
+        let state = SnapshotState {
+            tenants: vec!["t1".to_string()],
+            frames: vec![rec],
+        };
+        let last_seq = j.next_seq() - 1;
+        let mut body = String::new();
+        body.push_str(&frame_line(0, "{\"op\":\"tenant\",\"tenant\":\"t1\"}"));
+        for r in &state.frames {
+            body.push_str(&frame_line(r.seq, &put_body(r)));
+        }
+        body.push_str(&frame_line(
+            last_seq,
+            &format!("{{\"op\":\"snap_end\",\"last_seq\":{last_seq},\"frames\":1}}"),
+        ));
+        std::fs::write(dir.join("snapshot.jsonl"), body).unwrap();
+        drop(j); // journal still holds put(gone) + drop(gone)
+        let r = replay(&dir);
+        assert!(r.from_snapshot);
+        assert_eq!(r.frames.len(), 1);
+        assert_eq!(r.frames[0].name, "cars");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn snapshot_failpoint_degrades_compaction() {
+        let dir = tmp_dir("snapfail");
+        let mut j = open(&dir);
+        j.record_put(&put("t1", "cars", 1));
+        lux_engine::failpoint::cfg(lux_engine::failpoint::names::SERVER_SNAPSHOT, "1*return")
+            .unwrap();
+        j.compact(&SnapshotState::default());
+        lux_engine::failpoint::remove(lux_engine::failpoint::names::SERVER_SNAPSHOT);
+        assert!(matches!(j.degraded(), Some(DegradeReason::Compact(_))));
+        // The journal was left untouched.
+        let r = replay(&dir);
+        assert_eq!(r.frames.len(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn spool_roundtrip_and_verification() {
+        let dir = tmp_dir("spool");
+        let rel = spool_rel_path("t1", "cars", 0);
+        let payload = b"a,b\n1,2\n";
+        spool_write(&dir.join(&rel), payload, true).unwrap();
+        let mut rec = put("t1", "cars", 1);
+        rec.len = payload.len() as u64;
+        rec.crc = crc32(payload);
+        assert_eq!(verify_spool(&dir, &rec).unwrap(), payload);
+        // Corrupt one byte: verification must fail and quarantine.
+        let mut bytes = std::fs::read(dir.join(&rel)).unwrap();
+        bytes[0] ^= 0xFF;
+        std::fs::write(dir.join(&rel), &bytes).unwrap();
+        let err = verify_spool(&dir, &rec).unwrap_err();
+        assert!(err.contains("crc"), "{err}");
+        assert!(!dir.join(&rel).exists(), "corrupt spool must be moved out");
+        assert!(dir.join("quarantine").join("t1_cars_seq0.csv").exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fsync_policy_parses_from_env_shapes() {
+        // Direct construction only — env vars are process-global and other
+        // tests run in parallel, so only exercise the pure paths here.
+        assert_eq!(FsyncPolicy::Always.label(), "always");
+        assert_eq!(
+            FsyncPolicy::Interval(Duration::from_millis(50)).label(),
+            "interval"
+        );
+        assert_eq!(FsyncPolicy::Never.label(), "never");
     }
 }

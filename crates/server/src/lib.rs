@@ -12,9 +12,10 @@
 //!   a CSV once, print it many times; repeated prints share the WFLOW memo
 //!   and the process-wide processed-vis cache through the frame
 //!   fingerprint.
-//! - [`journal`] — append-only JSONL session journal plus CSV spool;
-//!   replayed on boot so a `kill -9`'d server comes back serving the same
-//!   named frames.
+//! - [`journal`] — checksummed, sequence-numbered JSONL session journal
+//!   with an explicit fsync policy, snapshot + compaction, and a verified
+//!   CSV spool; replayed on boot so a `kill -9`'d server comes back
+//!   serving exactly the frames it acked — and never a corrupt one.
 //! - [`server`] — the accept/dispatch/drain loop: per-request deadlines
 //!   propagate into the engine's admission and action-budget machinery,
 //!   reads/writes are timeout-bounded, SIGTERM drains in-flight passes
@@ -31,7 +32,7 @@ pub mod protocol;
 pub mod registry;
 pub mod server;
 
-pub use client::{Client, PrintOutcome};
+pub use client::{Client, ClientError, FrameStatInfo, HelloInfo, PrintOutcome, PutAck};
 pub use protocol::{ErrorCode, Frame, ProtoError, Request, Response};
 pub use registry::Registry;
 pub use server::{install_signal_handlers, Conn, Server, ServerConfig, SERVER_VERSION};

@@ -25,8 +25,12 @@ use std::io::{Read, Write};
 
 /// Protocol version carried in every frame header. Version 2 added wire
 /// request-trace propagation (a trace id on `Print`, echoed on `Busy` and
-/// `Error`) and the `Metrics`/`Flight` observability ops.
-pub const PROTOCOL_VERSION: u8 = 2;
+/// `Error`) and the `Metrics`/`Flight` observability ops. Version 3 added
+/// durable-state plumbing: an idempotency token on `PutFrame`, the journal
+/// sequence number on `FrameAck`, a persistence-degraded flag on
+/// `HelloAck`, and the `StatFrame`/`FrameStat` pair a reconnecting client
+/// uses to confirm whether an un-acked put was applied.
+pub const PROTOCOL_VERSION: u8 = 3;
 
 /// Frame magic.
 pub const MAGIC: [u8; 2] = *b"LX";
@@ -208,6 +212,7 @@ pub mod msg {
     pub const SHUTDOWN: u8 = 0x08;
     pub const METRICS: u8 = 0x09;
     pub const FLIGHT: u8 = 0x0A;
+    pub const STAT_FRAME: u8 = 0x0B;
 
     pub const HELLO_ACK: u8 = 0x81;
     pub const FRAME_ACK: u8 = 0x82;
@@ -220,6 +225,7 @@ pub mod msg {
     pub const SHUTTING_DOWN: u8 = 0x89;
     pub const METRICS_TEXT: u8 = 0x8A;
     pub const FLIGHT_TEXT: u8 = 0x8B;
+    pub const FRAME_STAT: u8 = 0x8C;
     pub const ERROR: u8 = 0xFF;
 }
 
@@ -264,10 +270,15 @@ pub enum Request {
     Hello {
         tenant: String,
     },
-    /// Upload a CSV under a name; idempotent (same name replaces).
+    /// Upload a CSV under a name; idempotent (same name replaces). The
+    /// `token` is a client-generated idempotency token journaled with the
+    /// put: after a reconnect, `StatFrame` compares tokens to decide
+    /// whether an un-acked put was in fact applied ("" = no confirmation
+    /// wanted).
     PutFrame {
         name: String,
         csv: String,
+        token: String,
     },
     /// Print a named frame: the always-on pass, with the client's
     /// end-to-end deadline (0 = none), per-tab chart cap, and a request
@@ -293,6 +304,11 @@ pub enum Request {
     Metrics,
     /// Flight-recorder summary (recent passes + pinned anomalies).
     Flight,
+    /// Durability probe: what does the server currently hold under this
+    /// name? Used by a reconnecting client to settle an in-doubt put.
+    StatFrame {
+        name: String,
+    },
 }
 
 impl Request {
@@ -303,9 +319,10 @@ impl Request {
                 put_str(&mut p, tenant);
                 (msg::HELLO, p)
             }
-            Request::PutFrame { name, csv } => {
+            Request::PutFrame { name, csv, token } => {
                 put_str(&mut p, name);
                 put_str(&mut p, csv);
+                put_str(&mut p, token);
                 (msg::PUT_FRAME, p)
             }
             Request::Print {
@@ -332,6 +349,10 @@ impl Request {
             Request::Shutdown => (msg::SHUTDOWN, p),
             Request::Metrics => (msg::METRICS, p),
             Request::Flight => (msg::FLIGHT, p),
+            Request::StatFrame { name } => {
+                put_str(&mut p, name);
+                (msg::STAT_FRAME, p)
+            }
         }
     }
 
@@ -345,6 +366,7 @@ impl Request {
             msg::PUT_FRAME => Request::PutFrame {
                 name: c.str()?,
                 csv: c.str()?,
+                token: c.str()?,
             },
             msg::PRINT => Request::Print {
                 name: c.str()?,
@@ -360,6 +382,7 @@ impl Request {
             msg::SHUTDOWN => Request::Shutdown,
             msg::METRICS => Request::Metrics,
             msg::FLIGHT => Request::Flight,
+            msg::STAT_FRAME => Request::StatFrame { name: c.str()? },
             t => return Err(format!("unknown request type 0x{t:02x}")),
         };
         c.finish()?;
@@ -373,11 +396,18 @@ pub enum Response {
     HelloAck {
         server_version: String,
         draining: bool,
+        /// Persistence health at connect time: `true` means the journal is
+        /// in its sticky degraded state and puts carry no durability
+        /// promise.
+        degraded: bool,
     },
     FrameAck {
         rows: u64,
         cols: u64,
         fingerprint: u64,
+        /// Journal sequence number the put landed at (0 = persistence
+        /// degraded; the frame is served from memory only).
+        seq: u64,
     },
     /// An encoded [`lux_core::WireWidget`] payload.
     PrintResult {
@@ -409,6 +439,17 @@ pub enum Response {
     FlightText {
         text: String,
     },
+    /// Answer to `StatFrame`: the shape, journal seq, and idempotency
+    /// token of whatever the server holds under the probed name
+    /// (`exists: false` zeroes the rest).
+    FrameStat {
+        exists: bool,
+        rows: u64,
+        cols: u64,
+        fingerprint: u64,
+        seq: u64,
+        token: String,
+    },
     /// `trace` echoes the failing request's trace id ("" when the request
     /// never carried one, e.g. a protocol-level error).
     Error {
@@ -425,19 +466,23 @@ impl Response {
             Response::HelloAck {
                 server_version,
                 draining,
+                degraded,
             } => {
                 put_str(&mut p, server_version);
                 p.push(u8::from(*draining));
+                p.push(u8::from(*degraded));
                 (msg::HELLO_ACK, p)
             }
             Response::FrameAck {
                 rows,
                 cols,
                 fingerprint,
+                seq,
             } => {
                 p.extend_from_slice(&rows.to_le_bytes());
                 p.extend_from_slice(&cols.to_le_bytes());
                 p.extend_from_slice(&fingerprint.to_le_bytes());
+                p.extend_from_slice(&seq.to_le_bytes());
                 (msg::FRAME_ACK, p)
             }
             Response::PrintResult { widget } => (msg::PRINT_RESULT, widget.clone()),
@@ -471,6 +516,22 @@ impl Response {
                 put_str(&mut p, text);
                 (msg::FLIGHT_TEXT, p)
             }
+            Response::FrameStat {
+                exists,
+                rows,
+                cols,
+                fingerprint,
+                seq,
+                token,
+            } => {
+                p.push(u8::from(*exists));
+                p.extend_from_slice(&rows.to_le_bytes());
+                p.extend_from_slice(&cols.to_le_bytes());
+                p.extend_from_slice(&fingerprint.to_le_bytes());
+                p.extend_from_slice(&seq.to_le_bytes());
+                put_str(&mut p, token);
+                (msg::FRAME_STAT, p)
+            }
             Response::Error {
                 code,
                 message,
@@ -490,11 +551,13 @@ impl Response {
             msg::HELLO_ACK => Response::HelloAck {
                 server_version: c.str()?,
                 draining: c.u8()? != 0,
+                degraded: c.u8()? != 0,
             },
             msg::FRAME_ACK => Response::FrameAck {
                 rows: c.u64()?,
                 cols: c.u64()?,
                 fingerprint: c.u64()?,
+                seq: c.u64()?,
             },
             msg::PRINT_RESULT => {
                 return Ok(Response::PrintResult {
@@ -524,6 +587,14 @@ impl Response {
             msg::SHUTTING_DOWN => Response::ShuttingDown,
             msg::METRICS_TEXT => Response::MetricsText { text: c.str()? },
             msg::FLIGHT_TEXT => Response::FlightText { text: c.str()? },
+            msg::FRAME_STAT => Response::FrameStat {
+                exists: c.u8()? != 0,
+                rows: c.u64()?,
+                cols: c.u64()?,
+                fingerprint: c.u64()?,
+                seq: c.u64()?,
+                token: c.str()?,
+            },
             msg::ERROR => Response::Error {
                 code: ErrorCode::from_u16(c.u16()?),
                 message: c.str()?,
@@ -741,6 +812,7 @@ mod tests {
             Request::PutFrame {
                 name: "cars".into(),
                 csv: "a,b\n1,2\n".into(),
+                token: "tok-1".into(),
             },
             Request::Print {
                 name: "cars".into(),
@@ -758,6 +830,9 @@ mod tests {
             Request::Shutdown,
             Request::Metrics,
             Request::Flight,
+            Request::StatFrame {
+                name: "cars".into(),
+            },
         ];
         for req in cases {
             let (t, p) = req.encode();
@@ -771,11 +846,13 @@ mod tests {
             Response::HelloAck {
                 server_version: "lux/0.1".into(),
                 draining: true,
+                degraded: false,
             },
             Response::FrameAck {
                 rows: 10,
                 cols: 3,
                 fingerprint: 99,
+                seq: 17,
             },
             Response::PrintResult {
                 widget: vec![1, 2, 3],
@@ -799,6 +876,14 @@ mod tests {
             Response::FlightText {
                 text: "flight recorder: 0 recorded".into(),
             },
+            Response::FrameStat {
+                exists: true,
+                rows: 10,
+                cols: 3,
+                fingerprint: 99,
+                seq: 17,
+                token: "tok-1".into(),
+            },
             Response::Error {
                 code: ErrorCode::Draining,
                 message: "draining".into(),
@@ -816,6 +901,7 @@ mod tests {
         let (t, p) = Request::PutFrame {
             name: "cars".into(),
             csv: "a,b\n1,2\n".into(),
+            token: "tok-1".into(),
         }
         .encode();
         for cut in 0..p.len() {

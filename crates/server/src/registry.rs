@@ -4,19 +4,22 @@
 //! registry keeps one [`LuxDataFrame`] per `(tenant, name)`, so repeated
 //! prints share the WFLOW metadata/recommendation memo and — through the
 //! underlying frame fingerprint — the process-wide processed-vis cache.
-//! Every mutation is journaled (spool file first, journal line second) so a
-//! crashed server rebuilds the same registry on restart.
+//! Every mutation is journaled write-ahead (spool file durable first,
+//! journal line second) so a crashed server rebuilds the same registry on
+//! restart; recovery verifies each spool payload against the length and
+//! CRC-32 its journal record promised, quarantining anything that no
+//! longer matches rather than serving it.
 
 use std::collections::{BTreeMap, BTreeSet};
 use std::path::{Path, PathBuf};
 use std::sync::{Arc, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use lux_core::{LuxDataFrame, PrintOptions, SessionLogger, WireWidget};
 use lux_engine::sync::lock_recover;
 
-use crate::journal::{self, Journal, PutRecord};
-use crate::protocol::{valid_name, ErrorCode};
+use crate::journal::{self, DegradeReason, Journal, JournalConfig, PutRecord, SnapshotState};
+use crate::protocol::{crc32, valid_name, ErrorCode};
 
 /// A typed request failure: the wire error code plus a human message.
 pub type ReqError = (ErrorCode, String);
@@ -31,17 +34,30 @@ pub struct FrameEntry {
     pub fingerprint: u64,
     /// Spool path relative to the data dir.
     pub file: String,
+    /// Spooled payload length and CRC-32 (0/0 for legacy recovered frames
+    /// that predate spool integrity).
+    pub len: u64,
+    pub crc: u32,
+    /// Client idempotency token from the put that created this entry.
+    pub token: String,
+    /// Journal sequence number of that put (0 = not journaled: legacy
+    /// record or degraded persistence).
+    pub seq: u64,
     /// The engine frame plus the intent string it currently carries.
     state: Mutex<(LuxDataFrame, String)>,
 }
 
 impl FrameEntry {
-    fn new(ldf: LuxDataFrame, file: String) -> FrameEntry {
+    fn new(ldf: LuxDataFrame, rec: &PutRecord) -> FrameEntry {
         FrameEntry {
             rows: ldf.num_rows() as u64,
             cols: ldf.num_columns() as u64,
             fingerprint: ldf.fingerprint(),
-            file,
+            file: rec.file.clone(),
+            len: rec.len,
+            crc: rec.crc,
+            token: rec.token.clone(),
+            seq: rec.seq,
             state: Mutex::new((ldf, String::new())),
         }
     }
@@ -86,6 +102,10 @@ struct Inner {
 
 /// The registry proper. All methods take `&self`; internal locking keeps
 /// the journal ordered with the in-memory state it describes.
+///
+/// Lock order: `inner` may be acquired and *held* while taking `journal`
+/// (compaction needs an atomic view of both); no path takes them in the
+/// opposite nesting, so the pair cannot deadlock.
 pub struct Registry {
     data_dir: PathBuf,
     inner: Mutex<Inner>,
@@ -102,17 +122,22 @@ impl Registry {
         Self::recover_with_logger(data_dir, None)
     }
 
-    /// Open the registry over a data dir, replaying any existing journal.
-    /// Returns the registry plus replay notes for the boot log (frames
-    /// recovered, journal lines skipped, spool files missing). `logger` is
-    /// attached to every recovered and uploaded frame, so each print pass
-    /// logs its pass summary into the server's JSONL session log.
+    /// Open the registry over a data dir, replaying any existing snapshot
+    /// and journal. Returns the registry plus replay notes for the boot
+    /// log (frames recovered, corrupt journal lines skipped, spool files
+    /// quarantined, total recovery time). `logger` is attached to every
+    /// recovered and uploaded frame, so each print pass logs its pass
+    /// summary into the server's JSONL session log.
     pub fn recover_with_logger(
         data_dir: &Path,
         logger: Option<Arc<SessionLogger>>,
     ) -> std::io::Result<(Registry, Vec<String>)> {
+        let started = Instant::now();
         let replayed = journal::replay(data_dir);
         let mut notes = Vec::new();
+        if replayed.from_snapshot {
+            notes.push("journal replay seeded from snapshot.jsonl".to_string());
+        }
         if replayed.skipped > 0 {
             notes.push(format!(
                 "journal replay skipped {} corrupt line(s)",
@@ -123,35 +148,62 @@ impl Registry {
         for t in &replayed.tenants {
             inner.tenants.insert(t.clone());
         }
+        let mut quarantined = 0usize;
         for rec in &replayed.frames {
-            let path = data_dir.join(&rec.file);
-            match lux_dataframe::csv::read_csv_path(&path) {
+            // Integrity gate first: the payload must be byte-identical to
+            // what the journal acked, or it is quarantined, not parsed.
+            let bytes = match journal::verify_spool(data_dir, rec) {
+                Ok(bytes) => bytes,
+                Err(reason) => {
+                    quarantined += 1;
+                    notes.push(format!(
+                        "frame {}/{} not recovered: {reason}",
+                        rec.tenant, rec.name
+                    ));
+                    continue;
+                }
+            };
+            let text = String::from_utf8_lossy(&bytes);
+            match lux_dataframe::csv::read_csv_str(&text) {
                 Ok(df) => {
                     let mut ldf = LuxDataFrame::new(df);
                     if let Some(log) = &logger {
                         ldf.attach_logger(Arc::clone(log));
                     }
-                    let entry = Arc::new(FrameEntry::new(ldf, rec.file.clone()));
+                    let entry = Arc::new(FrameEntry::new(ldf, rec));
                     inner
                         .frames
                         .insert((rec.tenant.clone(), rec.name.clone()), entry);
                 }
                 Err(e) => notes.push(format!(
-                    "frame {}/{} not recovered ({}: {e})",
-                    rec.tenant,
-                    rec.name,
-                    path.display()
+                    "frame {}/{} not recovered (csv parse failed: {e})",
+                    rec.tenant, rec.name
                 )),
             }
         }
-        if !inner.frames.is_empty() {
+        if !inner.frames.is_empty() || quarantined > 0 {
             notes.push(format!(
-                "recovered {} frame(s) for {} tenant(s) from the journal",
+                "recovered {} frame(s) for {} tenant(s) from the journal ({} quarantined)",
                 inner.frames.len(),
-                inner.tenants.len()
+                inner.tenants.len(),
+                quarantined
             ));
         }
-        let journal = Journal::open(data_dir)?;
+        // Sweep spool files no journal record references: puts that died
+        // between their spool rename and their journal append, or that were
+        // acked under degraded persistence. Normal crash artifacts — their
+        // puts were never acked with a durability promise.
+        let referenced: BTreeSet<String> = replayed.frames.iter().map(|r| r.file.clone()).collect();
+        let orphans = journal::sweep_orphan_spools(data_dir, &referenced);
+        if orphans > 0 {
+            notes.push(format!("removed {orphans} orphaned spool file(s)"));
+        }
+        let journal = Journal::open(data_dir, JournalConfig::from_env(), replayed.last_seq)?;
+        notes.push(format!(
+            "recovery completed in {} ms (last_seq {})",
+            started.elapsed().as_millis(),
+            replayed.last_seq
+        ));
         Ok((
             Registry {
                 data_dir: data_dir.to_path_buf(),
@@ -178,13 +230,18 @@ impl Registry {
         Ok(())
     }
 
-    /// Store (or replace) a named frame for a tenant. Spools the CSV to
-    /// disk, journals the put, and builds the engine frame.
+    /// Store (or replace) a named frame for a tenant: spool the CSV
+    /// durably, journal the put (carrying payload length, CRC-32, and the
+    /// client's idempotency token), build the engine frame. A spool or
+    /// journal failure degrades persistence but still serves the frame
+    /// from memory — the entry's `seq` stays 0 so the client knows no
+    /// durability was promised.
     pub fn put_frame(
         &self,
         tenant: &str,
         name: &str,
         csv: &str,
+        token: &str,
     ) -> Result<Arc<FrameEntry>, ReqError> {
         if !valid_name(name) {
             return Err((
@@ -195,31 +252,65 @@ impl Registry {
         self.register_tenant(tenant)?;
         let df = lux_dataframe::csv::read_csv_str(csv)
             .map_err(|e| (ErrorCode::BadData, format!("csv parse failed: {e}")))?;
-        let rel = journal::spool_rel_path(tenant, name);
-        let path = self.data_dir.join(&rel);
-        if let Some(parent) = path.parent() {
-            std::fs::create_dir_all(parent)
-                .map_err(|e| (ErrorCode::Internal, format!("spool dir create failed: {e}")))?;
-        }
-        // Spool before journaling: a journal line never references a file
-        // that is not already on disk.
-        std::fs::write(&path, csv)
-            .map_err(|e| (ErrorCode::Internal, format!("spool write failed: {e}")))?;
         let mut ldf = LuxDataFrame::new(df);
         if let Some(log) = &self.logger {
             ldf.attach_logger(Arc::clone(log));
         }
-        let entry = Arc::new(FrameEntry::new(ldf, rel.clone()));
-        lock_recover(&self.journal).record_put(&PutRecord {
+        let mut rec = PutRecord {
             tenant: tenant.to_string(),
             name: name.to_string(),
-            rows: entry.rows,
-            cols: entry.cols,
-            file: rel,
-        });
-        lock_recover(&self.inner)
+            rows: ldf.num_rows() as u64,
+            cols: ldf.num_columns() as u64,
+            file: String::new(),
+            len: csv.len() as u64,
+            crc: crc32(csv.as_bytes()),
+            token: sanitize_token(token),
+            seq: 0,
+        };
+        {
+            // Spool before journaling, under the journal lock so journal
+            // order matches spool order: a journal line never references a
+            // file that is not already durable on disk. The spool file is
+            // versioned by the sequence number this put will journal under
+            // (nothing else can take it while we hold the lock), so a
+            // same-name overwrite writes a *new* file and the previous
+            // acked put's bytes stay intact until this one is journaled.
+            let mut j = lock_recover(&self.journal);
+            rec.file = journal::spool_rel_path(tenant, name, j.next_seq());
+            let path = self.data_dir.join(&rec.file);
+            match journal::spool_write(&path, csv.as_bytes(), j.spool_fsync()) {
+                Ok(()) => match j.record_put(&rec) {
+                    Some(seq) => rec.seq = seq,
+                    None => {
+                        // Persistence degraded: the file will never be
+                        // referenced by a journal record, so remove it
+                        // rather than strand the last journaled version.
+                        let _ = std::fs::remove_file(&path);
+                    }
+                },
+                Err(e) => {
+                    // Served from memory only; degrade loudly instead of
+                    // failing the request.
+                    j.mark_degraded(DegradeReason::Spool(e.to_string()));
+                }
+            }
+        }
+        let entry = Arc::new(FrameEntry::new(ldf, &rec));
+        let prev = lock_recover(&self.inner)
             .frames
             .insert((tenant.to_string(), name.to_string()), Arc::clone(&entry));
+        // The replaced version's spool file is dead weight once the new put
+        // is journaled — but only then: while this put carries no
+        // durability promise (seq 0), the previous journaled version is
+        // still what a crash would recover, so its bytes must stay.
+        if rec.seq > 0 {
+            if let Some(old) = prev {
+                if !old.file.is_empty() && old.file != rec.file {
+                    let _ = std::fs::remove_file(self.data_dir.join(&old.file));
+                }
+            }
+        }
+        self.maybe_compact();
         Ok(entry)
     }
 
@@ -251,10 +342,42 @@ impl Registry {
             Some(entry) => {
                 lock_recover(&self.journal).record_drop(tenant, name);
                 let _ = std::fs::remove_file(self.data_dir.join(&entry.file));
+                self.maybe_compact();
                 true
             }
             None => false,
         }
+    }
+
+    /// Snapshot + truncate the journal once it outgrows its thresholds.
+    /// Holds `inner` across the compaction so the snapshot is an atomic
+    /// view: no put can slip a sequence number into the journal after the
+    /// snapshot was gathered but before the truncate erases it.
+    fn maybe_compact(&self) {
+        let inner = lock_recover(&self.inner);
+        let mut j = lock_recover(&self.journal);
+        if !j.should_compact() {
+            return;
+        }
+        let state = SnapshotState {
+            tenants: inner.tenants.iter().cloned().collect(),
+            frames: inner
+                .frames
+                .iter()
+                .map(|((tenant, name), e)| PutRecord {
+                    tenant: tenant.clone(),
+                    name: name.clone(),
+                    rows: e.rows,
+                    cols: e.cols,
+                    file: e.file.clone(),
+                    len: e.len,
+                    crc: e.crc,
+                    token: e.token.clone(),
+                    seq: e.seq,
+                })
+                .collect(),
+        };
+        j.compact(&state);
     }
 
     /// Total frames across all tenants (for stats).
@@ -269,8 +392,25 @@ impl Registry {
 
     /// Whether journal persistence has degraded (failpoint or I/O error).
     pub fn journal_degraded(&self) -> bool {
-        lock_recover(&self.journal).degraded()
+        lock_recover(&self.journal).degraded().is_some()
     }
+
+    /// One-line persistence health summary for `stats`: `"ok (...)"` or
+    /// `"degraded (<typed reason>)"`.
+    pub fn journal_health(&self) -> String {
+        lock_recover(&self.journal).health_line()
+    }
+}
+
+/// Idempotency tokens travel over the wire into the journal, so hold them
+/// to the same safe alphabet as names (dropping anything else) and bound
+/// their length. An empty result simply disables put confirmation.
+fn sanitize_token(token: &str) -> String {
+    token
+        .chars()
+        .filter(|c| c.is_ascii_alphanumeric() || matches!(c, '_' | '.' | '-'))
+        .take(64)
+        .collect()
 }
 
 #[cfg(test)]
@@ -290,9 +430,11 @@ mod tests {
     fn put_print_list_drop() {
         let dir = tmp_dir("basic");
         let (reg, _) = Registry::recover(&dir).unwrap();
-        let entry = reg.put_frame("t1", "cars", CSV).unwrap();
+        let entry = reg.put_frame("t1", "cars", CSV, "tok-1").unwrap();
         assert_eq!(entry.rows, 4);
         assert_eq!(entry.cols, 3);
+        assert!(entry.seq > 0, "journaled put carries its seq");
+        assert_eq!(entry.token, "tok-1");
         assert_eq!(reg.list("t1"), vec!["cars".to_string()]);
         assert!(reg.list("t2").is_empty());
         let w = entry.print("", "t1", None, 1, "").unwrap();
@@ -309,17 +451,119 @@ mod tests {
         let dir = tmp_dir("recover");
         {
             let (reg, _) = Registry::recover(&dir).unwrap();
-            reg.put_frame("t1", "cars", CSV).unwrap();
-            reg.put_frame("t1", "gone", CSV).unwrap();
+            reg.put_frame("t1", "cars", CSV, "tok-cars").unwrap();
+            reg.put_frame("t1", "gone", CSV, "").unwrap();
             reg.drop_frame("t1", "gone");
         } // "crash": registry dropped without any shutdown protocol
         let (reg, notes) = Registry::recover(&dir).unwrap();
         assert_eq!(reg.list("t1"), vec!["cars".to_string()]);
         assert_eq!(reg.tenant_count(), 1);
         assert!(notes.iter().any(|n| n.contains("recovered 1 frame(s)")));
+        assert!(notes.iter().any(|n| n.contains("recovery completed in")));
         let entry = reg.get("t1", "cars").unwrap();
+        assert_eq!(entry.token, "tok-cars", "token survives recovery");
+        assert!(entry.seq > 0, "seq survives recovery");
         let w = entry.print("", "t1", None, 1, "").unwrap();
         assert_eq!(w.num_rows, 4);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_spool_is_quarantined_not_served() {
+        let dir = tmp_dir("quarantine");
+        let spool = {
+            let (reg, _) = Registry::recover(&dir).unwrap();
+            let entry = reg.put_frame("t1", "cars", CSV, "").unwrap();
+            dir.join(&entry.file)
+        };
+        // Corrupt the spooled payload behind the journal's back. The
+        // damaged CSV still *parses* — only the checksum catches it.
+        let mut bytes = std::fs::read(&spool).unwrap();
+        let pos = bytes.iter().position(|&b| b == b'8').unwrap();
+        bytes[pos] = b'9';
+        std::fs::write(&spool, &bytes).unwrap();
+        let (reg, notes) = Registry::recover(&dir).unwrap();
+        assert!(
+            reg.get("t1", "cars").is_none(),
+            "corrupt frame must not serve"
+        );
+        assert!(
+            notes
+                .iter()
+                .any(|n| n.contains("not recovered") && n.contains("crc")),
+            "{notes:?}"
+        );
+        assert!(!spool.exists(), "corrupt spool moved to quarantine");
+        assert!(dir.join("quarantine").exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn compaction_bounds_journal_under_churn() {
+        let dir = tmp_dir("churn");
+        std::env::set_var("LUX_JOURNAL_COMPACT_LINES", "32");
+        let (reg, _) = Registry::recover(&dir).unwrap();
+        std::env::remove_var("LUX_JOURNAL_COMPACT_LINES");
+        for i in 0..200 {
+            reg.put_frame("t1", "hot", CSV, &format!("tok-{i}"))
+                .unwrap();
+        }
+        let journal_len = std::fs::metadata(dir.join("journal.jsonl")).unwrap().len();
+        assert!(
+            journal_len < 32 * 200,
+            "journal must stay bounded under churn, got {journal_len} bytes"
+        );
+        assert!(dir.join("snapshot.jsonl").exists());
+        // And the compacted state still recovers.
+        drop(reg);
+        let (reg, _) = Registry::recover(&dir).unwrap();
+        let entry = reg.get("t1", "hot").unwrap();
+        assert_eq!(entry.rows, 4);
+        assert_eq!(entry.token, "tok-199", "latest put wins through compaction");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_overwrite_never_loses_the_acked_version() {
+        // Regression for a bug the crash-torture harness found: a newer
+        // same-name put that spooled its payload but died before its
+        // journal append must not clobber the last acked put. Versioned
+        // spool files make the torn write land in a different file, which
+        // recovery then sweeps as an orphan.
+        let dir = tmp_dir("torn");
+        let acked_file = {
+            let (reg, _) = Registry::recover(&dir).unwrap();
+            let entry = reg.put_frame("t1", "cars", CSV, "tok-acked").unwrap();
+            // Simulate the torn newer put: payload spooled at the next
+            // sequence number, no journal record (the crash point).
+            let torn = dir.join(journal::spool_rel_path("t1", "cars", entry.seq + 7));
+            journal::spool_write(&torn, b"a,b\n9,9\n", true).unwrap();
+            entry.file.clone()
+        };
+        let (reg, notes) = Registry::recover(&dir).unwrap();
+        let entry = reg.get("t1", "cars").expect("acked put must survive");
+        assert_eq!(
+            entry.rows, 4,
+            "the acked payload is served, not the torn one"
+        );
+        assert_eq!(entry.token, "tok-acked");
+        assert_eq!(entry.file, acked_file);
+        assert!(
+            notes.iter().any(|n| n.contains("1 orphaned spool file")),
+            "the torn spool is swept and reported: {notes:?}"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn overwrite_removes_the_stale_spool_version() {
+        let dir = tmp_dir("overwrite");
+        let (reg, _) = Registry::recover(&dir).unwrap();
+        let first = reg.put_frame("t1", "cars", CSV, "tok-1").unwrap();
+        let second = reg.put_frame("t1", "cars", CSV, "tok-2").unwrap();
+        assert_ne!(first.file, second.file, "spool files are versioned by seq");
+        assert!(!dir.join(&first.file).exists(), "stale version removed");
+        assert!(dir.join(&second.file).exists());
         let _ = std::fs::remove_dir_all(&dir);
     }
 
@@ -327,12 +571,28 @@ mod tests {
     fn bad_names_and_bad_csv_are_typed_errors() {
         let dir = tmp_dir("badinput");
         let (reg, _) = Registry::recover(&dir).unwrap();
-        let err = reg.put_frame("t1", "../escape", CSV).err().unwrap();
+        let err = reg.put_frame("t1", "../escape", CSV, "").err().unwrap();
         assert_eq!(err.0, ErrorCode::BadName);
-        let err = reg.put_frame("bad tenant", "cars", CSV).err().unwrap();
+        let err = reg.put_frame("bad tenant", "cars", CSV, "").err().unwrap();
         assert_eq!(err.0, ErrorCode::BadName);
-        let err = reg.put_frame("t1", "cars", "").err().unwrap();
+        let err = reg.put_frame("t1", "cars", "", "").err().unwrap();
         assert_eq!(err.0, ErrorCode::BadData);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn spool_failpoint_degrades_but_serves_from_memory() {
+        let dir = tmp_dir("spoolfail");
+        let (reg, _) = Registry::recover(&dir).unwrap();
+        lux_engine::failpoint::cfg(lux_engine::failpoint::names::SERVER_SPOOL, "1*return").unwrap();
+        let entry = reg.put_frame("t1", "cars", CSV, "tok").unwrap();
+        lux_engine::failpoint::remove(lux_engine::failpoint::names::SERVER_SPOOL);
+        assert_eq!(entry.seq, 0, "no durability promised");
+        assert!(reg.journal_degraded());
+        assert!(reg.journal_health().contains("degraded"));
+        // Still fully servable from memory.
+        let w = entry.print("", "t1", None, 1, "").unwrap();
+        assert_eq!(w.num_rows, 4);
         let _ = std::fs::remove_dir_all(&dir);
     }
 
@@ -340,11 +600,18 @@ mod tests {
     fn intent_print_and_bad_intent() {
         let dir = tmp_dir("intent");
         let (reg, _) = Registry::recover(&dir).unwrap();
-        let entry = reg.put_frame("t1", "cars", CSV).unwrap();
+        let entry = reg.put_frame("t1", "cars", CSV, "").unwrap();
         let w = entry.print("mpg,hp", "t1", None, 1, "").unwrap();
         assert!(w.tabs.iter().any(|t| t == "Current Vis" || t == "Enhance"));
         let err = entry.print("?bogus_type", "t1", None, 1, "").unwrap_err();
         assert_eq!(err.0, ErrorCode::BadData);
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn tokens_are_sanitized_before_journaling() {
+        assert_eq!(sanitize_token("ok-token_1.2"), "ok-token_1.2");
+        assert_eq!(sanitize_token("quote\"brace}x"), "quotebracex");
+        assert_eq!(sanitize_token(&"a".repeat(100)).len(), 64);
     }
 }

@@ -588,6 +588,7 @@ fn process(request: &Request, tenant: &mut Option<String>, ctx: &HandlerCtx) -> 
                 Response::HelloAck {
                     server_version: SERVER_VERSION.to_string(),
                     draining,
+                    degraded: ctx.registry.journal_degraded(),
                 }
             }
             Err((code, message)) => Response::Error {
@@ -611,6 +612,36 @@ fn process(request: &Request, tenant: &mut Option<String>, ctx: &HandlerCtx) -> 
         Request::Shutdown => {
             ctx.shutdown.store(true, Ordering::SeqCst);
             Response::ShuttingDown
+        }
+        // StatFrame is the reconnect-settlement probe: read-only, cheap,
+        // and most needed exactly when the server is restarting or
+        // draining — answerable any time after Hello.
+        Request::StatFrame { name } => {
+            let Some(tenant) = tenant.as_deref() else {
+                return Response::Error {
+                    code: ErrorCode::Protocol,
+                    message: "send Hello before frame operations".to_string(),
+                    trace: no_trace(),
+                };
+            };
+            match ctx.registry.get(tenant, name) {
+                Some(e) => Response::FrameStat {
+                    exists: true,
+                    rows: e.rows,
+                    cols: e.cols,
+                    fingerprint: e.fingerprint,
+                    seq: e.seq,
+                    token: e.token.clone(),
+                },
+                None => Response::FrameStat {
+                    exists: false,
+                    rows: 0,
+                    cols: 0,
+                    fingerprint: 0,
+                    seq: 0,
+                    token: String::new(),
+                },
+            }
         }
         // Everything below is real work: refused while draining, and
         // requires a Hello first.
@@ -636,12 +667,13 @@ fn process(request: &Request, tenant: &mut Option<String>, ctx: &HandlerCtx) -> 
                 };
             };
             match request {
-                Request::PutFrame { name, csv } => {
-                    match ctx.registry.put_frame(tenant, name, csv) {
+                Request::PutFrame { name, csv, token } => {
+                    match ctx.registry.put_frame(tenant, name, csv, token) {
                         Ok(entry) => Response::FrameAck {
                             rows: entry.rows,
                             cols: entry.cols,
                             fingerprint: entry.fingerprint,
+                            seq: entry.seq,
                         },
                         Err((code, message)) => Response::Error {
                             code,
@@ -715,11 +747,7 @@ fn stats_text(ctx: &HandlerCtx) -> String {
         "tenants: {}  frames: {}  journal: {}\n",
         ctx.registry.tenant_count(),
         ctx.registry.frame_count(),
-        if ctx.registry.journal_degraded() {
-            "degraded"
-        } else {
-            "ok"
-        }
+        ctx.registry.journal_health()
     ));
     out.push_str(&format!(
         "requests: {}  protocol_errors: {}  timeouts: {}\n",

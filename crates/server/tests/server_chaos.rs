@@ -39,25 +39,24 @@ fn injected_faults_degrade_one_request_never_the_server() {
     let connect = || Client::connect(&addr, Duration::from_secs(5)).expect("connect");
 
     // Phase 1 — server.read: the handler dies before reading, exactly like
-    // a connection that went away. The affected client sees a dead socket;
-    // the next connection is served normally.
+    // a connection that went away. The client sees a dead socket on that
+    // attempt — and, being idempotent, reconnects and retries: a one-shot
+    // fault is absorbed entirely client-side.
     failpoint::cfg(names::SERVER_READ, "1*return").unwrap();
-    let mut doomed = connect();
-    assert!(
-        doomed.ping().is_err(),
-        "ping on the faulted connection should fail"
-    );
+    let mut faulted = connect();
+    faulted
+        .ping()
+        .expect("reconnecting client absorbs a one-shot read fault");
     let mut c = connect();
     c.ping().expect("server healthy after read fault");
 
     // Phase 2 — server.write: the response write is dropped and the
-    // connection closed. Client-side: an error on that request only.
+    // connection closed. Same story: the retry rides over it.
     failpoint::cfg(names::SERVER_WRITE, "1*return").unwrap();
-    let mut doomed = connect();
-    assert!(
-        doomed.ping().is_err(),
-        "response on the faulted connection should be dropped"
-    );
+    let mut faulted = connect();
+    faulted
+        .ping()
+        .expect("reconnecting client absorbs a one-shot write fault");
     let mut c = connect();
     c.ping().expect("server healthy after write fault");
 

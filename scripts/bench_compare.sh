@@ -112,11 +112,16 @@ fi
 if [ -f "$OVERLOAD_BASELINE" ] && grep -q '"server_p50_ms"' "$OVERLOAD_BASELINE"; then
     base_sp50=$(grep -o '"server_p50_ms": [0-9.]*' "$OVERLOAD_BASELINE" | head -1 | awk '{print $2}')
     echo
-    echo "== building and running server_load"
+    echo "== building and running server_load (LUX_JOURNAL_FSYNC=always)"
+    # Strictest durability on: every journal append fsyncs. Puts are not
+    # counted in print latency, so holding the print p50 to the committed
+    # (pre-fsync-always) baseline proves acked-put durability stays off
+    # the print path entirely.
     cargo build --release -p lux-bench --bin server_load --quiet
     work=$(mktemp -d)
-    (cd "$work" && "$OLDPWD/target/release/server_load")
+    (cd "$work" && LUX_JOURNAL_FSYNC=always "$OLDPWD/target/release/server_load")
     cur_sp50=$(grep -o '"server_p50_ms": [0-9.]*' "$work/BENCH_overload.json" | head -1 | awk '{print $2}')
+    cur_recovery=$(grep -o '"recovery_ms": [0-9.]*' "$work/BENCH_overload.json" | head -1 | awk '{print $2}')
     rm -rf "$work"
     echo
     echo "== comparing single-client server p50 against committed $OVERLOAD_BASELINE (tolerance ${TOLERANCE}%)"
@@ -133,6 +138,28 @@ if [ -f "$OVERLOAD_BASELINE" ] && grep -q '"server_p50_ms"' "$OVERLOAD_BASELINE"
         ;; esac
     else
         echo "warn: clients=1 server entry missing, skipping server gate"
+    fi
+    # Recovery gate: journal replay after the load run must stay bounded.
+    # Recovery re-parses every spooled CSV, so on a loaded runner the
+    # absolute number jitters by tens of ms; the relative tolerance gets a
+    # 250 ms absolute slack on top. The regression this is built to catch
+    # — losing snapshot/compaction and replaying the full journal — costs
+    # seconds, far outside the slack. Skipped when the committed baseline
+    # predates the recovery benchmark.
+    base_recovery=$(grep -o '"recovery_ms": [0-9.]*' "$OVERLOAD_BASELINE" | head -1 | awk '{print $2}')
+    if [ -n "$base_recovery" ] && [ -n "${cur_recovery:-}" ]; then
+        verdict=$(awk -v b="$base_recovery" -v c="$cur_recovery" -v tol="$TOLERANCE" 'BEGIN {
+            allowed = b * (1 + tol / 100) + 250
+            printf "%+.1fms ", c - b
+            print (c > allowed) ? "REGRESSION" : "ok"
+        }')
+        echo "recovery: baseline ${base_recovery}ms -> current ${cur_recovery}ms ($verdict)"
+        case "$verdict" in *REGRESSION*)
+            echo "error: journal recovery regressed more than ${TOLERANCE}%+250ms vs $OVERLOAD_BASELINE"
+            exit 1
+        ;; esac
+    else
+        echo "note: no recovery_ms baseline, skipping recovery gate"
     fi
 else
     echo "note: no server section in $OVERLOAD_BASELINE, skipping server gate"

@@ -31,6 +31,21 @@ if ! diff -u scripts/metric_catalogue.txt <(printf '%s\n' "$current"); then
 fi
 echo "ok: $(wc -l < scripts/metric_catalogue.txt | tr -d ' ') catalogued metric names in sync"
 
+echo "== failpoint catalogue drift (failpoint::names vs scripts/failpoint_catalogue.txt)"
+# Same contract as the metric catalogue: every failpoint site constant in
+# lux_engine::failpoint::names must be listed in the committed catalogue
+# (and vice versa) — a new injection site cannot ship without the chaos /
+# torture suites and DESIGN.md §10 knowing about it. Regenerate with:
+#   awk '/pub mod names/,/^}/' crates/engine/src/failpoint.rs \
+#     | grep -o '= "[a-z0-9._]*"' | sed 's/= "//; s/"//' | sort -u
+current=$(awk '/pub mod names/,/^}/' crates/engine/src/failpoint.rs \
+    | grep -o '= "[a-z0-9._]*"' | sed 's/= "//; s/"//' | sort -u)
+if ! diff -u scripts/failpoint_catalogue.txt <(printf '%s\n' "$current"); then
+    echo "error: failpoint catalogue drift — update scripts/failpoint_catalogue.txt (and DESIGN.md) to match failpoint::names"
+    exit 1
+fi
+echo "ok: $(wc -l < scripts/failpoint_catalogue.txt | tr -d ' ') catalogued failpoint sites in sync"
+
 echo "== unwrap() lint (crates/{engine,recs,core}/src)"
 BASELINE=147
 count=$(grep -rho 'unwrap()' crates/engine/src crates/recs/src crates/core/src | wc -l | tr -d ' ')
