@@ -27,6 +27,13 @@
 //! optionally prefixed with a trigger budget: `3*panic` fires three times,
 //! then the point goes quiet. Counted triggers keep chaos deterministic: a
 //! test can inject exactly one fault and assert the *next* pass succeeds.
+//!
+//! Actions chain with `->` (tikv `fail-rs` style): `2*off->1*return` passes
+//! the first two hits through untouched, fails the third, then goes quiet.
+//! Chains place a fault at an exact hit index when several sites share one
+//! failpoint (e.g. `io.fsync` covers spool, directory, and journal syncs).
+//! A bare `off` still removes the point; a counted or chained `off` stage
+//! is a pass-through.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -120,9 +127,11 @@ pub enum FailAction {
 }
 
 struct Entry {
-    action: FailAction,
-    /// Remaining triggers; `None` = unlimited.
-    remaining: Option<usize>,
+    /// Action stages: each runs until its trigger budget (`None` =
+    /// unlimited) exhausts, then the next stage takes over; past the last
+    /// stage the point is quiet.
+    chain: Vec<(FailAction, Option<usize>)>,
+    stage: usize,
 }
 
 /// Number of currently-configured failpoints. The disabled fast path is a
@@ -173,19 +182,24 @@ pub fn parse_action(spec: &str) -> Result<(FailAction, Option<usize>), String> {
     Ok((action, count))
 }
 
-/// Configure a failpoint by name. `action` uses the [`parse_action`] syntax;
-/// `off` removes the point. Returns an error on unparseable actions.
+/// Parse a `->`-chained sequence of [`parse_action`] stages.
+pub fn parse_chain(spec: &str) -> Result<Vec<(FailAction, Option<usize>)>, String> {
+    spec.split("->").map(parse_action).collect()
+}
+
+/// Configure a failpoint by name. `action` uses the [`parse_chain`] syntax;
+/// a bare `off` removes the point. Returns an error on unparseable actions.
 pub fn cfg(name: &str, action: &str) -> Result<(), String> {
-    let (action, remaining) = parse_action(action)?;
+    let chain = parse_chain(action)?;
     let mut reg = lock_recover(registry());
     let had = reg.contains_key(name);
-    if matches!(action, FailAction::Off) {
+    if matches!(chain.as_slice(), [(FailAction::Off, None)]) {
         if reg.remove(name).is_some() {
             ACTIVE.fetch_sub(1, Ordering::Release);
         }
         return Ok(());
     }
-    reg.insert(name.to_string(), Entry { action, remaining });
+    reg.insert(name.to_string(), Entry { chain, stage: 0 });
     if !had {
         ACTIVE.fetch_add(1, Ordering::Release);
     }
@@ -245,12 +259,20 @@ pub fn hit(name: &str) -> Option<String> {
     let action = {
         let mut reg = lock_recover(registry());
         let entry = reg.get_mut(name)?;
-        match &mut entry.remaining {
-            Some(0) => return None,
-            Some(n) => *n -= 1,
-            None => {}
+        loop {
+            let Some((action, remaining)) = entry.chain.get_mut(entry.stage) else {
+                return None; // every stage exhausted
+            };
+            match remaining {
+                Some(0) => {
+                    entry.stage += 1;
+                    continue;
+                }
+                Some(n) => *n -= 1,
+                None => {}
+            }
+            break action.clone();
         }
-        entry.action.clone()
     };
     match action {
         FailAction::Return(msg) => {
@@ -304,6 +326,17 @@ mod tests {
         assert!(parse_action("explode").is_err());
         assert!(parse_action("x*return").is_err());
         assert!(parse_action("return(oops").is_err());
+    }
+
+    #[test]
+    fn chained_stages_run_in_order() {
+        cfg("test.chain", "2*off->1*return(boom)").expect("cfg");
+        assert_eq!(hit("test.chain"), None, "first off stage");
+        assert_eq!(hit("test.chain"), None, "second off stage");
+        assert_eq!(hit("test.chain"), Some("boom".into()));
+        assert_eq!(hit("test.chain"), None, "chain exhausted");
+        remove("test.chain");
+        assert!(parse_chain("1*off->nonsense").is_err());
     }
 
     #[test]

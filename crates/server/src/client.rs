@@ -310,7 +310,10 @@ impl Client {
     /// carries a generated idempotency token; if the transport dies before
     /// the ack, the client reconnects and probes `StatFrame`: a matching
     /// token proves the put was applied (the ack is synthesized), anything
-    /// else is [`ClientError::RetryUnsafe`].
+    /// else is [`ClientError::RetryUnsafe`]. A put is only ever in doubt
+    /// once its request frame may have reached the wire — a failed *dial*
+    /// ([`ClientError::Connect`]) provably never sent it, so those simply
+    /// reconnect and resend.
     pub fn put_frame_durable(&mut self, name: &str, csv: &str) -> Result<PutAck, ClientError> {
         let token = format!(
             "tok-{:08x}-{:08x}",
@@ -322,14 +325,30 @@ impl Client {
             csv: csv.to_string(),
             token: token.clone(),
         };
-        let err = match self.request(&req) {
-            Ok(resp) => return decode_put_ack(resp),
-            Err(e) if e.is_transport() => e,
-            Err(e) => return Err(e),
-        };
-        // In-doubt: the put may or may not have been applied. Reconnect
-        // (within the budget) and let the server settle it by token.
         let mut attempt = 0u32;
+        let err = loop {
+            match self.request(&req) {
+                Ok(resp) => return decode_put_ack(resp),
+                Err(e @ ClientError::Connect { .. }) => {
+                    // The dial itself failed: the put was never sent, so
+                    // resending is unconditionally safe — no token probe.
+                    if attempt >= self.retry.retries {
+                        return Err(e);
+                    }
+                    attempt += 1;
+                    self.backoff(attempt);
+                    // Replays `Hello` (tenant identity is per-connection);
+                    // a failed redial just burns the attempt.
+                    let _ = self.redial();
+                }
+                Err(e) if e.is_transport() => break e,
+                Err(e) => return Err(e),
+            }
+        };
+        // In-doubt: the request frame was (at least partially) written
+        // before the transport died — the put may or may not have been
+        // applied. Reconnect (within the remaining budget) and let the
+        // server settle it by token.
         while attempt < self.retry.retries {
             attempt += 1;
             self.backoff(attempt);

@@ -58,7 +58,9 @@
 //! [`Journal::degraded`] state with a typed [`DegradeReason`]. The server
 //! keeps serving — it just stops promising durability, and says so in
 //! `stats` (`journal: degraded (...)`), in the `HelloAck` health flag, and
-//! in the `lux.server.journal.*` metrics.
+//! in the `lux.server.journal.*` metrics. Degraded is sticky all the way
+//! down: once set, [`Journal::append`] stops writing entirely, so acks
+//! carrying seq 0 and the degraded health flag can never disagree.
 
 use std::collections::BTreeMap;
 use std::io::Write;
@@ -99,12 +101,53 @@ pub struct PutRecord {
 pub struct Replay {
     pub tenants: Vec<String>,
     pub frames: Vec<PutRecord>,
+    /// Put records a newer put of the same name superseded (in replay
+    /// order, so the last entry per name is the most recent loser; cleared
+    /// when the name is dropped). Recovery falls back to these when the
+    /// newest record's payload is missing or corrupt — the newest put may
+    /// never have been acked durable, but a superseded one was.
+    pub superseded: Vec<PutRecord>,
     /// Torn or corrupt lines skipped (crash artifacts, not errors).
     pub skipped: usize,
     /// Highest sequence number seen across snapshot + journal.
     pub last_seq: u64,
     /// Whether a snapshot participated in this replay.
     pub from_snapshot: bool,
+}
+
+/// Outcome of one journal append. The middle case is load-bearing: a
+/// *written* record reaches the file before its durability fsync fails, so
+/// it **will** replay after `kill -9` and the spool file it references
+/// must be kept — only the durability promise (the acked seq) is withdrawn.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Append {
+    /// On disk, synced as hard as the active policy promises.
+    Durable(u64),
+    /// On disk (it will replay), but the durability fsync failed;
+    /// persistence is now degraded and no seq is promised to the client.
+    Written(u64),
+    /// Nothing reached the journal file; the mutation is memory-only.
+    Lost,
+}
+
+impl Append {
+    /// The sequence number when the record landed durably enough to
+    /// promise (what acks carry), `None` otherwise.
+    pub fn durable(self) -> Option<u64> {
+        match self {
+            Append::Durable(seq) => Some(seq),
+            Append::Written(_) | Append::Lost => None,
+        }
+    }
+
+    /// The sequence number of any record that reached the journal file —
+    /// durable or not — i.e. what a post-crash replay will see.
+    pub fn written(self) -> Option<u64> {
+        match self {
+            Append::Durable(seq) | Append::Written(seq) => Some(seq),
+            Append::Lost => None,
+        }
+    }
 }
 
 /// Why the journal stopped promising durability. Sticky: once set, only a
@@ -393,12 +436,14 @@ impl Journal {
 
     pub fn record_tenant(&mut self, tenant: &str) -> Option<u64> {
         self.append(&format!("{{\"op\":\"tenant\",\"tenant\":\"{tenant}\"}}"))
+            .durable()
     }
 
-    /// Append a `put` record; returns its sequence number when it landed
-    /// durably enough for the active policy (`None` = persistence is
-    /// degraded and the caller should ack without promising durability).
-    pub fn record_put(&mut self, rec: &PutRecord) -> Option<u64> {
+    /// Append a `put` record. The caller must branch on the full
+    /// [`Append`] outcome: `Durable` is ackable, `Written` means the
+    /// record is on disk (keep its spool file!) but carries no promise,
+    /// `Lost` means nothing will ever reference the spool file.
+    pub fn record_put(&mut self, rec: &PutRecord) -> Append {
         self.append(&put_body(rec))
     }
 
@@ -406,6 +451,7 @@ impl Journal {
         self.append(&format!(
             "{{\"op\":\"drop\",\"tenant\":\"{tenant}\",\"name\":\"{name}\"}}"
         ))
+        .durable()
     }
 
     /// Whether the journal has outgrown its compaction thresholds.
@@ -480,23 +526,27 @@ impl Journal {
     }
 
     /// Append one record body with the v2 framing; applies the fsync
-    /// policy. Returns the assigned sequence number, or `None` once
-    /// degraded (the caller serves the mutation without the durability
-    /// promise).
-    fn append(&mut self, body: &str) -> Option<u64> {
+    /// policy. Once degraded, nothing more is appended: acks (seq 0), the
+    /// `HelloAck` health flag, and `stats` must keep agreeing that no
+    /// durability is being promised — and under the interval policy a
+    /// failed fsync means later writes may genuinely never become durable.
+    fn append(&mut self, body: &str) -> Append {
+        if self.degraded.is_some() {
+            return Append::Lost;
+        }
         // Failpoint: injected journal failure degrades persistence only —
         // the request that triggered the append must still succeed.
         if let Some(msg) = failpoint::hit(failpoint::names::SERVER_JOURNAL) {
             MetricsRegistry::global().incr(metric::SERVER_JOURNAL_FAILURES);
             self.set_degraded(DegradeReason::Append(format!("injected: {msg}")));
-            return None;
+            return Append::Lost;
         }
         let seq = self.next_seq;
         let line = frame_line(seq, body);
         let Some(file) = self.file.as_mut() else {
             MetricsRegistry::global().incr(metric::SERVER_JOURNAL_FAILURES);
             self.set_degraded(DegradeReason::Append("journal file lost".to_string()));
-            return None;
+            return Append::Lost;
         };
         let mut write = || file.write_all(line.as_bytes());
         let result = match write() {
@@ -507,7 +557,10 @@ impl Journal {
             count_io_error();
             MetricsRegistry::global().incr(metric::SERVER_JOURNAL_FAILURES);
             self.set_degraded(DegradeReason::Append(e.to_string()));
-            return None;
+            // A short write may have left a torn prefix; replay skips it
+            // by CRC and `next_seq` stays put, so the next successful
+            // append (after a restart clears the degrade) reuses the seq.
+            return Append::Lost;
         }
         self.next_seq += 1;
         self.lines += 1;
@@ -521,10 +574,12 @@ impl Journal {
         };
         if need_sync {
             // The write above proved the handle exists, but stay typed
-            // rather than panic if that ever stops holding.
+            // rather than panic if that ever stops holding. From here on
+            // the record is *written* — it will replay after kill -9 —
+            // so a failed fsync withdraws the promise, not the record.
             let Some(file) = self.file.as_ref() else {
                 self.set_degraded(DegradeReason::Fsync("journal file lost".to_string()));
-                return None;
+                return Append::Written(seq);
             };
             let result = match fsync_file(file) {
                 Err(e) if transient(&e) => fsync_file(file),
@@ -539,11 +594,11 @@ impl Journal {
                     count_io_error();
                     MetricsRegistry::global().incr(metric::SERVER_JOURNAL_FAILURES);
                     self.set_degraded(DegradeReason::Fsync(e.to_string()));
-                    return None;
+                    return Append::Written(seq);
                 }
             }
         }
-        Some(seq)
+        Append::Durable(seq)
     }
 
     fn set_degraded(&mut self, reason: DegradeReason) {
@@ -600,6 +655,7 @@ fn parse_framed(line: &str) -> Option<(u64, Op)> {
 pub fn replay(data_dir: &Path) -> Replay {
     let mut tenants: Vec<String> = Vec::new();
     let mut frames: BTreeMap<(String, String), PutRecord> = BTreeMap::new();
+    let mut superseded: Vec<PutRecord> = Vec::new();
     let mut skipped = 0usize;
     let mut last_seq = 0u64;
     let mut snapshot_floor = 0u64;
@@ -662,10 +718,17 @@ pub fn replay(data_dir: &Path) -> Replay {
                         }
                         Op::Put(mut rec) => {
                             rec.seq = seq;
-                            frames.insert((rec.tenant.clone(), rec.name.clone()), rec);
+                            if let Some(old) =
+                                frames.insert((rec.tenant.clone(), rec.name.clone()), rec)
+                            {
+                                superseded.push(old);
+                            }
                         }
                         Op::Drop { tenant, name } => {
-                            frames.remove(&(tenant, name));
+                            frames.remove(&(tenant.clone(), name.clone()));
+                            // Old versions of a dropped frame are dead —
+                            // never fallback material.
+                            superseded.retain(|r| r.tenant != tenant || r.name != name);
                         }
                         Op::SnapEnd { .. } => {} // never journaled; tolerate
                     }
@@ -678,6 +741,7 @@ pub fn replay(data_dir: &Path) -> Replay {
     let replay = Replay {
         tenants,
         frames: frames.into_values().collect(),
+        superseded,
         skipped,
         last_seq,
         from_snapshot,
@@ -952,12 +1016,14 @@ mod tests {
             .unwrap();
         assert_eq!(j.record_tenant("t1"), None); // swallowed by the failpoint
         assert!(matches!(j.degraded(), Some(DegradeReason::Append(_))));
-        j.record_tenant("t2"); // lands normally (flag stays sticky)
+        lux_engine::failpoint::remove(lux_engine::failpoint::names::SERVER_JOURNAL);
+        // Sticky all the way down: once degraded, nothing more is
+        // appended, so acks carrying seq 0 and the health flag agree.
+        assert_eq!(j.record_tenant("t2"), None);
         assert!(j.degraded().is_some());
         drop(j);
-        lux_engine::failpoint::remove(lux_engine::failpoint::names::SERVER_JOURNAL);
         let r = replay(&dir);
-        assert_eq!(r.tenants, vec!["t2".to_string()]);
+        assert!(r.tenants.is_empty(), "degraded journal appends nothing");
         let _ = std::fs::remove_dir_all(&dir);
     }
 
@@ -982,6 +1048,50 @@ mod tests {
     }
 
     #[test]
+    fn fsync_failure_is_written_not_lost() {
+        // The distinction put_frame's spool cleanup rides on: a put whose
+        // journal line landed but whose fsync failed WILL replay, so the
+        // caller must learn the record exists (and keep its spool file).
+        let dir = tmp_dir("written");
+        let cfg = JournalConfig {
+            fsync: FsyncPolicy::Always,
+            ..JournalConfig::default()
+        };
+        let mut j = Journal::open(&dir, cfg, 0).unwrap();
+        lux_engine::failpoint::cfg(lux_engine::failpoint::names::IO_FSYNC, "1*return").unwrap();
+        let out = j.record_put(&put("t1", "cars", 10));
+        lux_engine::failpoint::remove(lux_engine::failpoint::names::IO_FSYNC);
+        assert!(matches!(out, Append::Written(seq) if seq > 0), "{out:?}");
+        assert_eq!(out.durable(), None, "no durability promised");
+        assert!(matches!(j.degraded(), Some(DegradeReason::Fsync(_))));
+        drop(j);
+        let r = replay(&dir);
+        assert_eq!(r.frames.len(), 1, "the written record replays");
+        assert_eq!(r.frames[0].seq, out.written().unwrap());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn replay_tracks_superseded_versions_until_drop() {
+        let dir = tmp_dir("superseded");
+        let mut j = open(&dir);
+        j.record_put(&put("t1", "cars", 10));
+        j.record_put(&put("t1", "cars", 11));
+        j.record_put(&put("t1", "trips", 5));
+        j.record_put(&put("t1", "trips", 6));
+        j.record_drop("t1", "trips");
+        drop(j);
+        let r = replay(&dir);
+        assert_eq!(r.frames.len(), 1);
+        assert_eq!(r.frames[0].rows, 11);
+        // cars' old version is fallback material; trips' is not (dropped).
+        assert_eq!(r.superseded.len(), 1);
+        assert_eq!(r.superseded[0].name, "cars");
+        assert_eq!(r.superseded[0].rows, 10);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
     fn compaction_snapshots_and_truncates() {
         let dir = tmp_dir("compact");
         let cfg = JournalConfig {
@@ -993,7 +1103,7 @@ mod tests {
         for i in 0..20 {
             let name = format!("f{}", i % 4);
             let mut rec = put("t1", &name, i);
-            rec.seq = j.record_put(&rec).unwrap();
+            rec.seq = j.record_put(&rec).durable().unwrap();
             live.retain(|r| r.name != name);
             live.push(rec);
         }
@@ -1027,8 +1137,8 @@ mod tests {
         let cfg = JournalConfig::default();
         let mut j = Journal::open(&dir, cfg, 0).unwrap();
         let mut rec = put("t1", "cars", 10);
-        rec.seq = j.record_put(&rec).unwrap();
-        let seq_gone = j.record_put(&put("t1", "gone", 5)).unwrap();
+        rec.seq = j.record_put(&rec).durable().unwrap();
+        let seq_gone = j.record_put(&put("t1", "gone", 5)).durable().unwrap();
         assert!(seq_gone > 0);
         j.record_drop("t1", "gone");
         // Snapshot current state (cars only), then *skip* the truncate by

@@ -122,15 +122,27 @@ impl Registry {
         Self::recover_with_logger(data_dir, None)
     }
 
+    /// [`Registry::recover_with_config`] with the journal configuration
+    /// read from the `LUX_JOURNAL_*` environment.
+    pub fn recover_with_logger(
+        data_dir: &Path,
+        logger: Option<Arc<SessionLogger>>,
+    ) -> std::io::Result<(Registry, Vec<String>)> {
+        Self::recover_with_config(data_dir, logger, JournalConfig::from_env())
+    }
+
     /// Open the registry over a data dir, replaying any existing snapshot
     /// and journal. Returns the registry plus replay notes for the boot
     /// log (frames recovered, corrupt journal lines skipped, spool files
     /// quarantined, total recovery time). `logger` is attached to every
     /// recovered and uploaded frame, so each print pass logs its pass
-    /// summary into the server's JSONL session log.
-    pub fn recover_with_logger(
+    /// summary into the server's JSONL session log. `cfg` tunes the
+    /// journal explicitly — tests must use this rather than mutating the
+    /// process-global environment out from under parallel tests.
+    pub fn recover_with_config(
         data_dir: &Path,
         logger: Option<Arc<SessionLogger>>,
+        cfg: JournalConfig,
     ) -> std::io::Result<(Registry, Vec<String>)> {
         let started = Instant::now();
         let replayed = journal::replay(data_dir);
@@ -148,19 +160,59 @@ impl Registry {
         for t in &replayed.tenants {
             inner.tenants.insert(t.clone());
         }
+        // Older same-name versions the replay saw a newer put supersede:
+        // the fallback pool for when the newest record's payload is gone
+        // (e.g. its put was only ever acked without a durability promise).
+        let mut fallbacks: BTreeMap<(String, String), Vec<PutRecord>> = BTreeMap::new();
+        for old in &replayed.superseded {
+            fallbacks
+                .entry((old.tenant.clone(), old.name.clone()))
+                .or_default()
+                .push(old.clone());
+        }
+        // Spool paths that must survive the orphan sweep: every replayed
+        // record's file, recovered or not (a CRC-valid file whose CSV no
+        // longer parses is kept as evidence), plus any fallback version
+        // actually served.
+        let mut referenced: BTreeSet<String> =
+            replayed.frames.iter().map(|r| r.file.clone()).collect();
         let mut quarantined = 0usize;
         for rec in &replayed.frames {
             // Integrity gate first: the payload must be byte-identical to
             // what the journal acked, or it is quarantined, not parsed.
-            let bytes = match journal::verify_spool(data_dir, rec) {
-                Ok(bytes) => bytes,
+            let (rec, bytes) = match journal::verify_spool(data_dir, rec) {
+                Ok(bytes) => (rec.clone(), bytes),
                 Err(reason) => {
                     quarantined += 1;
-                    notes.push(format!(
-                        "frame {}/{} not recovered: {reason}",
-                        rec.tenant, rec.name
-                    ));
-                    continue;
+                    // The newest record's payload is missing or corrupt —
+                    // fall back to the most recent superseded version that
+                    // still verifies. Serving the last good acked state
+                    // loudly beats serving nothing: the newest put never
+                    // proved durable, the superseded one did.
+                    let older = fallbacks.get(&(rec.tenant.clone(), rec.name.clone()));
+                    let fallback = older.into_iter().flatten().rev().find_map(|old| {
+                        journal::verify_spool(data_dir, old)
+                            .ok()
+                            .map(|bytes| (old.clone(), bytes))
+                    });
+                    match fallback {
+                        Some((old, bytes)) => {
+                            notes.push(format!(
+                                "frame {}/{}: newest put (seq {}) unusable ({reason}); \
+                                 serving previous version (seq {})",
+                                rec.tenant, rec.name, rec.seq, old.seq
+                            ));
+                            referenced.insert(old.file.clone());
+                            (old, bytes)
+                        }
+                        None => {
+                            notes.push(format!(
+                                "frame {}/{} not recovered: {reason}",
+                                rec.tenant, rec.name
+                            ));
+                            continue;
+                        }
+                    }
                 }
             };
             let text = String::from_utf8_lossy(&bytes);
@@ -170,7 +222,7 @@ impl Registry {
                     if let Some(log) = &logger {
                         ldf.attach_logger(Arc::clone(log));
                     }
-                    let entry = Arc::new(FrameEntry::new(ldf, rec));
+                    let entry = Arc::new(FrameEntry::new(ldf, &rec));
                     inner
                         .frames
                         .insert((rec.tenant.clone(), rec.name.clone()), entry);
@@ -193,12 +245,11 @@ impl Registry {
         // between their spool rename and their journal append, or that were
         // acked under degraded persistence. Normal crash artifacts — their
         // puts were never acked with a durability promise.
-        let referenced: BTreeSet<String> = replayed.frames.iter().map(|r| r.file.clone()).collect();
         let orphans = journal::sweep_orphan_spools(data_dir, &referenced);
         if orphans > 0 {
             notes.push(format!("removed {orphans} orphaned spool file(s)"));
         }
-        let journal = Journal::open(data_dir, JournalConfig::from_env(), replayed.last_seq)?;
+        let journal = Journal::open(data_dir, cfg, replayed.last_seq)?;
         notes.push(format!(
             "recovery completed in {} ms (last_seq {})",
             started.elapsed().as_millis(),
@@ -280,11 +331,21 @@ impl Registry {
             let path = self.data_dir.join(&rec.file);
             match journal::spool_write(&path, csv.as_bytes(), j.spool_fsync()) {
                 Ok(()) => match j.record_put(&rec) {
-                    Some(seq) => rec.seq = seq,
-                    None => {
-                        // Persistence degraded: the file will never be
-                        // referenced by a journal record, so remove it
-                        // rather than strand the last journaled version.
+                    journal::Append::Durable(seq) => rec.seq = seq,
+                    journal::Append::Written(_) => {
+                        // The record reached the journal file and will
+                        // replay after a crash, referencing this spool
+                        // file — it must be kept. Only the durability
+                        // promise is withdrawn: the ack's seq stays 0.
+                        // Deleting the file here was a data-loss bug: the
+                        // replayed record would supersede the previous
+                        // acked version and then fail verification, and
+                        // the sweep would destroy the old version's bytes.
+                    }
+                    journal::Append::Lost => {
+                        // Nothing reached the journal: no record can ever
+                        // reference this file, so remove it rather than
+                        // strand it until the boot-time orphan sweep.
                         let _ = std::fs::remove_file(&path);
                     }
                 },
@@ -418,6 +479,9 @@ mod tests {
     use super::*;
 
     const CSV: &str = "mpg,hp,origin\n18.0,130,usa\n24.0,95,japan\n27.0,88,japan\n14.0,220,usa\n";
+    /// A distinguishable second payload (5 rows to CSV's 4).
+    const CSV2: &str =
+        "mpg,hp,origin\n18.0,130,usa\n24.0,95,japan\n27.0,88,japan\n14.0,220,usa\n31.0,65,japan\n";
 
     fn tmp_dir(tag: &str) -> PathBuf {
         let dir = std::env::temp_dir().join(format!("lux_registry_{tag}_{}", std::process::id()));
@@ -501,9 +565,13 @@ mod tests {
     #[test]
     fn compaction_bounds_journal_under_churn() {
         let dir = tmp_dir("churn");
-        std::env::set_var("LUX_JOURNAL_COMPACT_LINES", "32");
-        let (reg, _) = Registry::recover(&dir).unwrap();
-        std::env::remove_var("LUX_JOURNAL_COMPACT_LINES");
+        // Explicit config, not env vars: tests run in parallel and the
+        // environment is process-global.
+        let cfg = JournalConfig {
+            compact_lines: 32,
+            ..JournalConfig::default()
+        };
+        let (reg, _) = Registry::recover_with_config(&dir, None, cfg).unwrap();
         for i in 0..200 {
             reg.put_frame("t1", "hot", CSV, &format!("tok-{i}"))
                 .unwrap();
@@ -551,6 +619,80 @@ mod tests {
         assert!(
             notes.iter().any(|n| n.contains("1 orphaned spool file")),
             "the torn spool is swept and reported: {notes:?}"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fsync_failure_on_overwrite_never_loses_the_frame() {
+        // Regression for a data-loss bug: an overwrite put whose journal
+        // line landed but whose fsync failed had its spool file deleted
+        // as if the record were never written. On the next boot the
+        // written record replayed, superseded the previous acked version,
+        // failed spool verification (file gone), and the orphan sweep
+        // then destroyed the previous version's bytes too.
+        let dir = tmp_dir("fsyncloss");
+        let cfg = JournalConfig {
+            fsync: crate::journal::FsyncPolicy::Always,
+            ..JournalConfig::default()
+        };
+        let (reg, _) = Registry::recover_with_config(&dir, None, cfg).unwrap();
+        let first = reg.put_frame("t1", "cars", CSV, "tok-1").unwrap();
+        assert!(first.seq > 0, "first put is acked durable");
+        // Fail exactly the overwrite's *journal* fsync: the first two
+        // io.fsync hits are its spool file + directory syncs.
+        lux_engine::failpoint::cfg(lux_engine::failpoint::names::IO_FSYNC, "2*off->1*return")
+            .unwrap();
+        let second = reg.put_frame("t1", "cars", CSV2, "tok-2").unwrap();
+        lux_engine::failpoint::remove(lux_engine::failpoint::names::IO_FSYNC);
+        assert_eq!(second.seq, 0, "no durability promised");
+        assert!(reg.journal_degraded());
+        // Both spool versions must still be on disk: the written record
+        // references the new one, and if its un-synced journal line were
+        // lost to power failure, replay would fall back to the old one.
+        assert!(dir.join(&first.file).exists(), "prior acked bytes kept");
+        assert!(dir.join(&second.file).exists(), "journaled bytes kept");
+        drop(reg);
+        // kill -9 semantics: the written line survives, so the newer
+        // payload is served; nothing was lost, nothing quarantined.
+        let (reg, notes) = Registry::recover(&dir).unwrap();
+        let entry = reg.get("t1", "cars").expect("frame must survive");
+        assert_eq!(entry.rows, 5, "the written put's payload is served");
+        assert_eq!(entry.token, "tok-2");
+        assert!(
+            !notes.iter().any(|n| n.contains("not recovered")),
+            "{notes:?}"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_newest_spool_falls_back_to_prior_acked_version() {
+        // Bit-rot / lost-tail safety net: when the newest put's payload is
+        // gone, recovery serves the most recent superseded version that
+        // still verifies — loudly — instead of serving nothing.
+        let dir = tmp_dir("fallback");
+        let (first_file, second_file) = {
+            let (reg, _) = Registry::recover(&dir).unwrap();
+            let first = reg.put_frame("t1", "cars", CSV, "tok-1").unwrap();
+            let second = reg.put_frame("t1", "cars", CSV2, "tok-2").unwrap();
+            (first.file.clone(), second.file.clone())
+        };
+        // The overwrite removed v1's spool; restore its exact bytes and
+        // lose v2's, simulating the newest payload vanishing.
+        journal::spool_write(&dir.join(&first_file), CSV.as_bytes(), true).unwrap();
+        std::fs::remove_file(dir.join(&second_file)).unwrap();
+        let (reg, notes) = Registry::recover(&dir).unwrap();
+        let entry = reg.get("t1", "cars").expect("fallback version served");
+        assert_eq!(entry.rows, 4, "v1's payload is served");
+        assert_eq!(entry.token, "tok-1");
+        assert!(
+            notes.iter().any(|n| n.contains("serving previous version")),
+            "fallback must be loud: {notes:?}"
+        );
+        assert!(
+            dir.join(&first_file).exists(),
+            "the served fallback file must survive the orphan sweep"
         );
         let _ = std::fs::remove_dir_all(&dir);
     }

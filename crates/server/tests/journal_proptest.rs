@@ -115,7 +115,7 @@ fn build_state(
                     seq: 0,
                 };
                 journal::spool_write(&dir.join(&rec.file), &payload, false).unwrap();
-                rec.seq = j.record_put(&rec).unwrap();
+                rec.seq = j.record_put(&rec).durable().unwrap();
                 ever.insert((t.clone(), n.clone()));
                 live.insert((t, n), (rec, payload));
             }
